@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace vmgrid::bench {
+
+/// Shared table formatting for the reproduction benches: every bench
+/// prints its paper artifact as rows of {label, measured, paper} plus
+/// the shape checks it makes.
+
+inline void print_header(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+/// Count of failed shape checks in this process (drives the exit code so
+/// CI can run the benches as regression tests).
+inline int& shape_failures() {
+  static int n = 0;
+  return n;
+}
+
+inline void print_shape_check(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "OK" : "MISMATCH", claim.c_str());
+  if (!holds) ++shape_failures();
+}
+
+[[nodiscard]] inline int shape_exit_code() { return shape_failures() == 0 ? 0 : 1; }
+
+struct StatRow {
+  std::string label;
+  sim::Accumulator measured;
+  double paper_mean{0.0};
+};
+
+inline void print_stat_table(const std::vector<StatRow>& rows,
+                             const std::string& unit) {
+  std::printf("%-42s %10s %8s %8s %8s | %10s\n", "scenario", ("mean(" + unit + ")").c_str(),
+              "std", "min", "max", "paper");
+  for (const auto& r : rows) {
+    std::printf("%-42s %10.1f %8.1f %8.1f %8.1f | %10.1f\n", r.label.c_str(),
+                r.measured.mean(), r.measured.stddev(), r.measured.min(),
+                r.measured.max(), r.paper_mean);
+  }
+}
+
+}  // namespace vmgrid::bench

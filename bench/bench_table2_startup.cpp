@@ -1,0 +1,127 @@
+// Reproduces Table 2 of "A Case for Grid Computing on Virtual Machines"
+// (ICDCS'03): VM startup latency through globusrun, for VM-reboot vs
+// VM-restore crossed with {persistent copy, non-persistent DiskFS,
+// non-persistent LoopbackNFS}. 10 samples per cell, as in the paper.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "middleware/gram.hpp"
+#include "middleware/testbed.hpp"
+
+namespace {
+
+using namespace vmgrid;
+using namespace vmgrid::middleware;
+
+struct Cell {
+  VmStartMode mode;
+  StateAccess access;
+  const char* label;
+  double paper_mean;
+};
+
+constexpr std::array<Cell, 6> kCells{{
+    {VmStartMode::kColdBoot, StateAccess::kPersistentCopy,
+     "VM-reboot / persistent", 273.0},
+    {VmStartMode::kColdBoot, StateAccess::kNonPersistentLocal,
+     "VM-reboot / non-persistent DiskFS", 69.2},
+    {VmStartMode::kColdBoot, StateAccess::kNonPersistentLoopback,
+     "VM-reboot / non-persistent LoopbackNFS", 74.5},
+    {VmStartMode::kWarmRestore, StateAccess::kPersistentCopy,
+     "VM-restore / persistent", 269.0},
+    {VmStartMode::kWarmRestore, StateAccess::kNonPersistentLocal,
+     "VM-restore / non-persistent DiskFS", 12.4},
+    {VmStartMode::kWarmRestore, StateAccess::kNonPersistentLoopback,
+     "VM-restore / non-persistent LoopbackNFS", 29.2},
+}};
+
+constexpr int kSamples = 10;
+
+/// One globusrun-timed startup on a fresh LAN testbed.
+double run_startup_sample(const Cell& cell, std::uint64_t seed) {
+  testbed::StartupTestbed tb{seed};
+  auto& grid = *tb.grid;
+  ComputeServer* cs = tb.compute;
+
+  cs->gram().set_executor([&](const std::string&, GramService::ExecutorDone done) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm("vm-t2");
+    opts.image = testbed::paper_image();
+    opts.mode = cell.mode;
+    opts.access = cell.access;
+    cs->instantiate(std::move(opts),
+                    [done = std::move(done)](vm::VirtualMachine* vmachine,
+                                             InstantiationStats stats) {
+                      done(vmachine != nullptr, stats.error);
+                    });
+  });
+
+  GramClient client{grid.fabric(), tb.client};
+  std::optional<double> elapsed;
+  client.globusrun(cs->node(), "start-vm", [&](GramJobResult r) {
+    if (r.ok) elapsed = r.elapsed.to_seconds();
+  });
+  grid.run();
+  return elapsed.value_or(-1.0);
+}
+
+std::array<sim::Accumulator, kCells.size()>& results() {
+  static std::array<sim::Accumulator, kCells.size()> acc = [] {
+    std::array<sim::Accumulator, kCells.size()> a;
+    for (std::size_t c = 0; c < kCells.size(); ++c) {
+      for (int s = 0; s < kSamples; ++s) {
+        a[c].add(run_startup_sample(kCells[c], 1000 + 17 * s));
+      }
+    }
+    return a;
+  }();
+  return acc;
+}
+
+void BM_Startup(benchmark::State& state) {
+  const auto& cell = kCells[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_startup_sample(cell, 42));
+  }
+  state.counters["sim_startup_s"] = results()[static_cast<std::size_t>(state.range(0))].mean();
+}
+BENCHMARK(BM_Startup)->DenseRange(0, static_cast<int>(kCells.size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_table() {
+  auto& acc = results();
+  bench::print_header(
+      "Table 2 reproduction: VM startup times via globusrun (seconds, 10 samples)");
+  std::vector<bench::StatRow> rows;
+  for (std::size_t c = 0; c < kCells.size(); ++c) {
+    rows.push_back(bench::StatRow{kCells[c].label, acc[c], kCells[c].paper_mean});
+  }
+  bench::print_stat_table(rows, "s");
+
+  std::printf("\nShape checks (paper's qualitative findings):\n");
+  const auto mean = [&](std::size_t i) { return acc[i].mean(); };
+  bench::print_shape_check("restore/DiskFS is the fastest path (~12s, < 20s)",
+                           mean(4) < 20.0 && mean(4) < mean(1) && mean(4) < mean(5));
+  bench::print_shape_check("persistent copy dominates startup (> 3.5 min either mode)",
+                           mean(0) > 210.0 && mean(3) > 210.0);
+  bench::print_shape_check("LoopbackNFS adds a few seconds over DiskFS (reboot)",
+                           mean(2) > mean(1) + 2.0 && mean(2) < mean(1) + 15.0);
+  bench::print_shape_check("NFS-accessed warm state stays under 30-45s",
+                           mean(5) < 45.0 && mean(5) > mean(4));
+  bench::print_shape_check("reboot costs ~55-60s more than restore (non-persistent)",
+                           mean(1) - mean(4) > 40.0 && mean(1) - mean(4) < 75.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return vmgrid::bench::shape_exit_code();
+}

@@ -1,0 +1,119 @@
+// A day in the life of a VM-based grid (§4's full life cycle): a lab
+// submits a simulation campaign to the batch scheduler, which places
+// jobs across a small farm using RPS predictions; a user pops an
+// interactive console into one worker VM; when the campaign drains, the
+// workers are hibernated to the archive (and would age to tape), and one
+// is later thawed to run a follow-up job — computation intact.
+//
+//   $ ./example_batch_campaign
+
+#include <cstdio>
+#include <vector>
+
+#include "middleware/archive.hpp"
+#include "middleware/console.hpp"
+#include "middleware/scheduler_service.hpp"
+#include "middleware/testbed.hpp"
+#include "workload/spec_benchmarks.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace vmgrid;
+using namespace vmgrid::middleware;
+
+int main() {
+  Grid grid{777};
+
+  // Farm: two compute servers; archive lives on the image server.
+  auto& h1 = grid.add_compute_server(testbed::paper_compute("node-a", testbed::fig1_host()));
+  auto& h2 = grid.add_compute_server(testbed::paper_compute("node-b", testbed::fig1_host()));
+  ImageServerParams isp;
+  isp.name = "archive-store";
+  auto& store = grid.add_image_server(isp);
+  auto sw = grid.add_router("switch");
+  auto user = grid.add_client("user-laptop");
+  for (auto node : {h1.node(), h2.node(), store.node(), user}) {
+    grid.connect(node, sw, Grid::lan_link());
+  }
+  store.add_image(testbed::paper_image(), &grid.info());
+  h1.preload_image(testbed::paper_image());
+  h2.preload_image(testbed::paper_image());
+
+  ArchiveService archive{grid, store, ArchiveParams{}};
+
+  // --- the campaign ---
+  SchedulerServiceParams sp;
+  sp.policy = PlacementPolicy::kPredictedRuntime;
+  SchedulerService sched{grid, sp};
+  sched.add_worker_host(h1, testbed::paper_image());
+  sched.add_worker_host(h2, testbed::paper_image());
+
+  workload::SyntheticMix mix;
+  mix.mean_user_seconds = 200.0;
+  mix.io_probability = 0.0;
+  int done = 0;
+  const int kJobs = 8;
+  for (int i = 0; i < kJobs; ++i) {
+    auto job = workload::random_task(grid.simulation().rng(), mix, static_cast<std::size_t>(i));
+    sched.submit("lab", job, [&](BatchJobResult r) {
+      ++done;
+      std::printf("[t=%7.1fs] %2d/%d done on %-7s (wait %5.1fs, run %6.1fs)\n",
+                  grid.now().to_seconds(), done, kJobs, r.host.c_str(),
+                  r.queue_wait.to_seconds(), r.run_time.to_seconds());
+    });
+  }
+  grid.run();
+
+  // --- an interactive look into a worker (console session, §4 step 6) ---
+  ConsoleSession console{grid.network(), user, h1.node()};
+  console.type_burst(40, [&](sim::Accumulator echo) {
+    std::printf("[t=%7.1fs] console: typed 40 keys, echo %.1f ms mean (max %.1f)\n",
+                grid.now().to_seconds(), echo.mean(), echo.max());
+  });
+  grid.run();
+
+  // --- nightfall: hibernate the workers to the archive ---
+  std::vector<CheckpointId> ckpts;
+  for (auto* cs : {&h1, &h2}) {
+    for (auto* vmachine : cs->vmm().vms()) {
+      archive.hibernate(*cs, *vmachine, "lab", [&](std::optional<CheckpointId> id) {
+        if (id) {
+          ckpts.push_back(*id);
+          std::printf("[t=%7.1fs] hibernated a worker -> checkpoint %llu (%.0f MB)\n",
+                      grid.now().to_seconds(),
+                      static_cast<unsigned long long>(id->value()),
+                      static_cast<double>(archive.info(*id)->state_bytes) / (1 << 20));
+        }
+      });
+    }
+  }
+  grid.run();
+  std::printf("[t=%7.1fs] archive now holds %.0f MB on disk, %.0f MB on tape\n",
+              grid.now().to_seconds(),
+              static_cast<double>(archive.disk_bytes()) / (1 << 20),
+              static_cast<double>(archive.tape_bytes()) / (1 << 20));
+
+  // --- morning: thaw one worker and run a follow-up job ---
+  if (!ckpts.empty()) {
+    archive.thaw(ckpts.front(), h2, StateAccess::kNonPersistentLocal, {},
+                 [&](vm::VirtualMachine* fresh, std::string err) {
+                   if (fresh == nullptr) {
+                     std::printf("thaw failed: %s\n", err.c_str());
+                     return;
+                   }
+                   std::printf("[t=%7.1fs] thawed worker on %s; running follow-up\n",
+                               grid.now().to_seconds(), h2.name().c_str());
+                   fresh->run_task(workload::micro_test_task(60.0),
+                                   [&](vm::TaskResult r) {
+                                     std::printf("[t=%7.1fs] follow-up done (%.0fs)\n",
+                                                 grid.now().to_seconds(),
+                                                 r.wall.to_seconds());
+                                   });
+                 });
+  }
+  grid.run();
+
+  const auto usage = grid.accounting().usage("lab");
+  std::printf("\nlab usage: %.0f cpu-s across %u tasks\n", usage.cpu_seconds,
+              usage.tasks_completed);
+  return done == kJobs ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Migration scenario (§2.2 "site independence" + §3.1): a long-running
+// job executes in a VM on a desktop owner's machine. When the owner
+// comes back (host load spikes), an RPS sensor notices, the middleware
+// migrates the entire computing environment to a CPU server — keeping
+// the session and its data mounts alive — and the job finishes there.
+//
+//   $ ./example_migration
+
+#include <cstdio>
+
+#include "host/trace_playback.hpp"
+#include "middleware/testbed.hpp"
+#include "rps/predictors.hpp"
+#include "rps/sensor.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+using namespace vmgrid;
+using namespace vmgrid::middleware;
+
+int main() {
+  Grid grid{404};
+
+  auto& desktop =
+      grid.add_compute_server(testbed::paper_compute("owner-desktop", testbed::fig1_host()));
+  // The CPU server accepts migrations but advertises no futures of its
+  // own, so fresh sessions land on the desktop.
+  auto server_params = testbed::paper_compute("cpu-server", testbed::table1_host());
+  server_params.future_max_instances = 0;
+  auto& server = grid.add_compute_server(server_params);
+  ImageServerParams isp;
+  isp.name = "images";
+  auto& image_server = grid.add_image_server(isp);
+  auto lan = Grid::lan_link();
+  auto sw = grid.add_router("switch");
+  grid.connect(desktop.node(), sw, lan);
+  grid.connect(server.node(), sw, lan);
+  grid.connect(image_server.node(), sw, lan);
+
+  image_server.add_image(testbed::paper_image(), &grid.info());
+  desktop.publish(grid.info());
+
+  // RPS: watch the desktop's native load (the owner's own processes).
+  rps::HostLoadSensor sensor{grid.simulation(), desktop.host().cpu(),
+                             sim::Duration::seconds(2)};
+  rps::LastValuePredictor predictor;
+
+  SessionRequest req;
+  req.user = "grid-user";
+  req.access = StateAccess::kNonPersistentVfs;
+  req.query.time_bound = sim::Duration::millis(100);
+
+  grid.sessions().create_session(req, [&](VmSession* s, std::string err) {
+    if (s == nullptr) {
+      std::printf("session failed: %s\n", err.c_str());
+      return;
+    }
+    std::printf("[t=%7.1fs] job placed in VM '%s' on '%s'\n", grid.now().to_seconds(),
+                s->name().c_str(), s->server().name().c_str());
+
+    auto job = workload::micro_test_task(1800.0);  // a 30-minute computation
+    job.name = "long-simulation";
+    s->run_task(job, [&, s](vm::TaskResult r) {
+      std::printf("[t=%7.1fs] job finished on '%s' (wall %.0fs, %.1f%% over native)\n",
+                  grid.now().to_seconds(), s->server().name().c_str(),
+                  r.wall.to_seconds(),
+                  (r.wall.to_seconds() / 1800.0 - 1.0) * 100.0);
+      sensor.stop();  // before shutdown: the session pointer dies with it
+      s->shutdown();
+      grid.simulation().stop();
+    });
+
+    // After 5 minutes the owner returns: interactive + build load appears
+    // on the desktop.
+    grid.simulation().schedule_after(sim::Duration::minutes(5), [&] {
+      std::printf("[t=%7.1fs] owner returns: desktop load rising\n",
+                  grid.now().to_seconds());
+      auto trace = host::LoadTrace::constant(sim::Duration::minutes(60), 1.6);
+      auto* playback = new host::TracePlayback{grid.simulation(), desktop.host().cpu(),
+                                               std::move(trace)};
+      playback->start();  // owned by the scenario; lives to process exit
+    });
+
+    // Policy loop: if predicted native load stays above 1.0, migrate the
+    // grid VM away (the owner's constraint: interactive use wins).
+    sensor.start();
+    sensor.set_on_sample([&, s](double) {
+      static bool migrating = false;
+      if (migrating || !s->alive() || &s->server() != &desktop) return;
+      const double predicted = predictor.predict(sensor.series(), 1);
+      if (predicted > 1.0) {
+        migrating = true;
+        std::printf("[t=%7.1fs] predicted load %.2f > 1.0 -> migrating VM to '%s'\n",
+                    grid.now().to_seconds(), predicted, server.name().c_str());
+        const auto t0 = grid.now();
+        s->migrate_to(server, [&, s, t0](bool ok) {
+          std::printf("[t=%7.1fs] migration %s (%.1fs); job continues on '%s'\n",
+                      grid.now().to_seconds(), ok ? "succeeded" : "failed",
+                      (grid.now() - t0).to_seconds(), s->server().name().c_str());
+        });
+      }
+    });
+  });
+
+  grid.run();
+
+  std::printf("\ndesktop mean utilization: %.2f CPUs; cpu-server mean: %.2f CPUs\n",
+              desktop.host().cpu().mean_utilization(),
+              server.host().cpu().mean_utilization());
+  return 0;
+}

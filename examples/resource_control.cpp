@@ -1,0 +1,119 @@
+// Resource control (§3.2): a desktop owner writes a constraint policy in
+// the specialized language; the toolchain compiles it (with admission
+// control) into a real-time schedule for the host, and the enforcer
+// applies it to the owner's interactive work and two grid VMs. The
+// owner's interactive share is protected no matter how greedy the guest
+// VMs are.
+//
+//   $ ./example_resource_control
+
+#include <cstdio>
+
+#include "middleware/schedule_compiler.hpp"
+#include "middleware/testbed.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+using namespace vmgrid;
+using namespace vmgrid::middleware;
+
+int main() {
+  Grid grid{88};
+  auto& cs = grid.add_compute_server(testbed::paper_compute("desktop", testbed::fig1_host()));
+  cs.preload_image(testbed::paper_image());
+
+  const char* policy_text = R"(
+    # Desktop owner's constraints: interactive work is guaranteed 60% of
+    # one CPU; grid guests get hard reservations and a duty-cycled
+    # best-effort lane.
+    policy desktop-owner {
+      scheduler rt;
+      reserve interactive 0.6;
+      rt grid-vm1 slice=10ms period=50ms;   # 20% of a CPU
+      rt grid-vm2 slice=10ms period=100ms;  # 10% of a CPU
+      dutycycle grid-vm2 0.5 period=2s;     # and only half the time
+      weight interactive 4;
+      weight grid-vm1 1;
+      weight grid-vm2 1;
+    }
+  )";
+
+  const auto parsed = parse_policy(policy_text);
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors) {
+      std::printf("policy error (line %zu): %s\n", e.line, e.message.c_str());
+    }
+    return 1;
+  }
+  std::printf("parsed policy '%s' (%zu entity rules)\n", parsed.policy->name.c_str(),
+              parsed.policy->rules.size());
+
+  CompiledSchedule schedule;
+  try {
+    schedule = compile_policy(*parsed.policy, cs.host().params().ncpus);
+  } catch (const CompileError& e) {
+    std::printf("admission control rejected the policy: %s\n", e.what());
+    return 1;
+  }
+  std::printf("compiled: scheduler=%s, total reservation=%.2f CPUs\n",
+              to_string(schedule.scheduler), schedule.total_reservation);
+
+  ScheduleEnforcer enforcer{grid.simulation(), cs.host().cpu(), std::move(schedule)};
+
+  // The owner's interactive workload: an infinite native process.
+  auto interactive = cs.host().cpu().add("interactive", {}, host::CpuEngine::kInfiniteWork);
+  enforcer.bind("interactive", interactive);
+
+  // Two greedy grid VMs, each running an infinite guest burn loop.
+  vm::VirtualMachine* vms[2] = {nullptr, nullptr};
+  const char* entities[2] = {"grid-vm1", "grid-vm2"};
+  for (int i = 0; i < 2; ++i) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm(entities[i]);
+    opts.image = testbed::paper_image();
+    opts.mode = VmStartMode::kWarmRestore;
+    opts.access = StateAccess::kNonPersistentLocal;
+    cs.instantiate(opts, [&, i](vm::VirtualMachine* vmp, InstantiationStats st) {
+      vms[i] = vmp;
+      std::printf("[t=%6.1fs] %s running (started in %.1fs)\n", grid.now().to_seconds(),
+                  entities[i], st.total.to_seconds());
+    });
+  }
+  grid.run();
+
+  for (int i = 0; i < 2; ++i) {
+    if (vms[i] == nullptr) return 1;
+    // Saturating guest load, bound to the policy entity.
+    vms[i]->play_load(host::LoadTrace::constant(sim::Duration::minutes(60), 2.0));
+  }
+  // Bind the VMs' guest processes: grab their current pids via the
+  // engine's runnable view and the VM attrs. For this example we bind by
+  // adjusting the VM's SchedAttrs template directly through the enforcer
+  // bindings on the playback processes is not exposed, so we instead set
+  // attrs on every runnable process owned by each VM.
+  auto views = cs.host().cpu().runnable_views();
+  std::size_t bound = 0;
+  for (const auto& v : views) {
+    if (v.id == interactive) continue;
+    // Alternate the guest processes across the two VM entities in
+    // creation order (vm1's playback processes were created first).
+    const char* entity = bound < views.size() / 2 ? "grid-vm1" : "grid-vm2";
+    enforcer.bind(entity, v.id);
+    ++bound;
+  }
+  std::printf("bound %zu guest processes under the policy\n", bound);
+
+  const double t0 = grid.now().to_seconds();
+  const double i0 = cs.host().cpu().cpu_time_used(interactive);
+  grid.run_for(sim::Duration::minutes(10));
+  const double span = grid.now().to_seconds() - t0;
+  const double ishare = (cs.host().cpu().cpu_time_used(interactive) - i0) / span;
+
+  std::printf("\nover %.0f minutes of saturation by grid guests:\n", span / 60.0);
+  std::printf("  interactive share: %.2f CPUs (guaranteed 0.60 + weighted residue)\n",
+              ishare);
+  std::printf("  host utilization:  %.2f of %.0f CPUs\n",
+              cs.host().cpu().mean_utilization(), cs.host().params().ncpus);
+  std::printf("  => the owner's constraint holds: %s\n",
+              ishare >= 0.6 ? "YES" : "NO (bug!)");
+  return ishare >= 0.6 ? 0 : 1;
+}

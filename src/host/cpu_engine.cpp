@@ -1,0 +1,197 @@
+#include "host/cpu_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::host {
+
+namespace {
+constexpr double kEps = 1e-9;  // native cpu-seconds considered "done"
+}
+
+CpuEngine::CpuEngine(sim::Simulation& s, double ncpus, std::unique_ptr<Scheduler> sched)
+    : sim_{s}, ncpus_{ncpus}, sched_{std::move(sched)}, last_advance_{s.now()} {
+  assert(ncpus_ > 0.0);
+  assert(sched_ != nullptr);
+}
+
+ProcessId CpuEngine::add(std::string name, SchedAttrs attrs, double work,
+                         CompletionCallback on_complete, double efficiency) {
+  const ProcessId id{next_id_++};
+  Proc p;
+  p.name = std::move(name);
+  p.attrs = attrs;
+  p.efficiency = efficiency;
+  p.remaining = work;
+  p.on_complete = std::move(on_complete);
+  procs_.emplace(id, std::move(p));
+  reschedule();
+  return id;
+}
+
+void CpuEngine::remove(ProcessId id) {
+  if (procs_.erase(id) > 0) reschedule();
+}
+
+void CpuEngine::set_attrs(ProcessId id, SchedAttrs attrs) {
+  advance();
+  procs_.at(id).attrs = attrs;
+  reschedule();
+}
+
+SchedAttrs CpuEngine::attrs(ProcessId id) const { return procs_.at(id).attrs; }
+
+void CpuEngine::set_efficiency(ProcessId id, double eff) {
+  set_efficiency_quiet(id, eff);
+  reschedule();
+}
+
+void CpuEngine::set_efficiency_quiet(ProcessId id, double eff) {
+  if (eff <= 0.0 || eff > 1.0) {
+    throw std::logic_error("CpuEngine: efficiency must be in (0, 1]");
+  }
+  // Advance first so past progress is charged at the old efficiency.
+  advance();
+  procs_.at(id).efficiency = eff;
+}
+
+double CpuEngine::efficiency(ProcessId id) const { return procs_.at(id).efficiency; }
+
+void CpuEngine::add_work(ProcessId id, double cpu_seconds, CompletionCallback on_complete) {
+  Proc& p = procs_.at(id);
+  advance();
+  if (std::isinf(p.remaining)) {
+    throw std::logic_error("CpuEngine::add_work on an infinite-work process");
+  }
+  p.remaining += cpu_seconds;
+  if (on_complete) p.on_complete = std::move(on_complete);
+  reschedule();
+}
+
+double CpuEngine::remaining_work(ProcessId id) const {
+  const_cast<CpuEngine*>(this)->advance();
+  return procs_.at(id).remaining;
+}
+
+double CpuEngine::cpu_time_used(ProcessId id) const {
+  const_cast<CpuEngine*>(this)->advance();
+  return procs_.at(id).cpu_used;
+}
+
+double CpuEngine::current_rate(ProcessId id) const {
+  auto it = procs_.find(id);
+  return it == procs_.end() ? 0.0 : it->second.rate;
+}
+
+std::vector<ProcView> CpuEngine::runnable_views() const {
+  std::vector<ProcView> views;
+  views.reserve(procs_.size());
+  for (const auto& [id, p] : procs_) {
+    if (p.remaining > kEps && p.attrs.demand_cap > 0.0) {
+      views.push_back(ProcView{id, p.attrs, p.efficiency, std::isfinite(p.remaining),
+                               p.remaining});
+    }
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(views.begin(), views.end(),
+            [](const ProcView& a, const ProcView& b) { return a.id < b.id; });
+  return views;
+}
+
+double CpuEngine::total_demand() const {
+  double d = 0.0;
+  for (const auto& [id, p] : procs_) {
+    if (p.remaining > kEps) d += std::min(1.0, p.attrs.demand_cap);
+  }
+  return d;
+}
+
+void CpuEngine::set_scheduler(std::unique_ptr<Scheduler> sched) {
+  assert(sched != nullptr);
+  advance();
+  sched_ = std::move(sched);
+  reschedule();
+}
+
+double CpuEngine::mean_utilization() const { return util_.mean(sim_.now()); }
+
+void CpuEngine::advance() {
+  const double dt = (sim_.now() - last_advance_).to_seconds();
+  last_advance_ = sim_.now();
+  if (dt <= 0.0) return;
+  for (auto& [id, p] : procs_) {
+    if (p.rate <= 0.0) continue;
+    const double alloc = p.rate * dt;
+    p.cpu_used += alloc;
+    if (std::isfinite(p.remaining)) {
+      p.remaining = std::max(0.0, p.remaining - alloc * p.efficiency);
+    }
+  }
+}
+
+void CpuEngine::reschedule() {
+  if (in_reschedule_) return;  // outer loop re-runs allocation before exiting
+  in_reschedule_ = true;
+  bool again = true;
+  while (again) {
+    again = false;
+    advance();
+
+    // Fire completions. Callbacks may add/remove work; gather first.
+    std::vector<std::pair<ProcessId, CompletionCallback>> done;
+    for (auto& [id, p] : procs_) {
+      if (std::isfinite(p.remaining) && p.remaining <= kEps && p.on_complete) {
+        done.emplace_back(id, std::move(p.on_complete));
+        p.on_complete = nullptr;
+        p.remaining = 0.0;
+        p.rate = 0.0;
+      }
+    }
+    std::sort(done.begin(), done.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, cb] : done) {
+      cb();
+      again = true;  // callbacks may have mutated state; re-run the loop
+    }
+
+    if (hook_) hook_(*this);
+
+    const auto views = runnable_views();
+    std::vector<double> rates;
+    if (!views.empty()) {
+      rates = sched_->allocate(views, ncpus_);
+      assert(rates.size() == views.size());
+    }
+    for (auto& [id, p] : procs_) p.rate = 0.0;
+    double total_rate = 0.0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      const double cap = std::min(1.0, views[i].attrs.demand_cap);
+      const double r = std::clamp(rates[i], 0.0, cap);
+      procs_.at(views[i].id).rate = r;
+      total_rate += r;
+    }
+    util_.set(sim_.now(), total_rate);
+
+    // Arm the next completion event.
+    sim_.cancel(next_event_);
+    next_event_ = {};
+    double horizon = std::numeric_limits<double>::infinity();
+    for (const auto& v : views) {
+      const Proc& p = procs_.at(v.id);
+      if (std::isfinite(p.remaining) && p.rate > 0.0) {
+        horizon = std::min(horizon, p.remaining / (p.rate * p.efficiency));
+      }
+    }
+    if (std::isfinite(horizon)) {
+      const auto delay =
+          sim::Duration::nanos(static_cast<std::int64_t>(std::ceil(horizon * 1e9)) + 1);
+      next_event_ = sim_.schedule_after(delay, [this] { reschedule(); });
+    }
+  }
+  in_reschedule_ = false;
+}
+
+}  // namespace vmgrid::host

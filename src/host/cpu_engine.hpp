@@ -1,0 +1,105 @@
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/sched_types.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace vmgrid::host {
+
+/// Generalized-processor-sharing CPU model for one SMP host.
+///
+/// Runnable processes receive CPU *rates* from the installed Scheduler;
+/// the engine advances remaining work fluidly between scheduling events
+/// (arrival, completion, attribute change). A process with efficiency
+/// e < 1 needs 1/e seconds of allocated CPU per second of native work —
+/// this is how VMM virtualization overhead is charged.
+///
+/// Determinism: everything is recomputed at event boundaries; no quantum
+/// randomness. Lottery-scheduler variance is modelled by the scheduler's
+/// fluid expected shares (see schedulers.hpp).
+class CpuEngine {
+ public:
+  CpuEngine(sim::Simulation& s, double ncpus, std::unique_ptr<Scheduler> sched);
+
+  static constexpr double kInfiniteWork = std::numeric_limits<double>::infinity();
+
+  using CompletionCallback = std::function<void()>;
+  /// Hook invoked after work is advanced but before rates are recomputed;
+  /// used by VMMs to adjust efficiencies based on the current co-runner
+  /// set (world-switch overhead).
+  using PreAllocateHook = std::function<void(CpuEngine&)>;
+
+  /// Add a process with `work` native cpu-seconds (kInfiniteWork for
+  /// never-ending background load). on_complete fires when work drains.
+  ProcessId add(std::string name, SchedAttrs attrs, double work,
+                CompletionCallback on_complete = nullptr, double efficiency = 1.0);
+
+  /// Remove (kill) a process; its completion callback never fires.
+  void remove(ProcessId id);
+
+  [[nodiscard]] bool contains(ProcessId id) const { return procs_.contains(id); }
+
+  /// Replace scheduling attributes (triggers a reschedule).
+  void set_attrs(ProcessId id, SchedAttrs attrs);
+  [[nodiscard]] SchedAttrs attrs(ProcessId id) const;
+
+  /// Set efficiency; `quiet` variants (for use inside pre-allocate hooks)
+  /// do not recursively reschedule.
+  void set_efficiency(ProcessId id, double eff);
+  void set_efficiency_quiet(ProcessId id, double eff);
+  [[nodiscard]] double efficiency(ProcessId id) const;
+
+  /// Append more native work to an existing process (re-arms completion).
+  void add_work(ProcessId id, double cpu_seconds, CompletionCallback on_complete);
+
+  [[nodiscard]] double remaining_work(ProcessId id) const;
+  /// Allocated CPU time so far (what `time` would report as user+sys).
+  [[nodiscard]] double cpu_time_used(ProcessId id) const;
+  /// Current CPU rate granted (0 if not runnable).
+  [[nodiscard]] double current_rate(ProcessId id) const;
+
+  [[nodiscard]] std::vector<ProcView> runnable_views() const;
+  [[nodiscard]] double total_demand() const;  // sum of capped demands
+  [[nodiscard]] double ncpus() const { return ncpus_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return *sched_; }
+  void set_scheduler(std::unique_ptr<Scheduler> sched);
+
+  void set_pre_allocate_hook(PreAllocateHook hook) { hook_ = std::move(hook); }
+
+  /// Time-weighted mean utilization (0..ncpus) since construction.
+  [[nodiscard]] double mean_utilization() const;
+
+ private:
+  struct Proc {
+    std::string name;
+    SchedAttrs attrs;
+    double efficiency{1.0};
+    double remaining{0.0};
+    double rate{0.0};
+    double cpu_used{0.0};
+    CompletionCallback on_complete;
+  };
+
+  void advance();
+  void reschedule();
+
+  sim::Simulation& sim_;
+  double ncpus_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unordered_map<ProcessId, Proc, std::hash<ProcessId>> procs_;
+  std::uint64_t next_id_{1};
+  sim::TimePoint last_advance_{};
+  sim::EventId next_event_{};
+  PreAllocateHook hook_;
+  sim::TimeWeightedMean util_;
+  bool in_reschedule_{false};
+};
+
+}  // namespace vmgrid::host

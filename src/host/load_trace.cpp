@@ -1,0 +1,56 @@
+#include "host/load_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace vmgrid::host {
+
+LoadTrace::LoadTrace(sim::Duration epoch, std::vector<double> samples)
+    : epoch_{epoch}, samples_{std::move(samples)} {
+  assert(!samples_.empty());
+  assert(epoch_ > sim::Duration::zero());
+}
+
+LoadTrace LoadTrace::generate(sim::Rng& rng, sim::Duration length,
+                              const LoadTraceParams& p) {
+  const auto n = static_cast<std::size_t>(
+      std::max<double>(1.0, std::ceil(length / p.epoch)));
+  std::vector<double> samples;
+  samples.reserve(n);
+  double x = p.mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double noise = rng.normal(0.0, p.noise_sd);
+    x = p.mean + p.ar_phi * (x - p.mean) + noise;
+    double level = std::clamp(x, 0.0, p.max_load);
+    if (rng.bernoulli(p.burst_prob)) {
+      level = std::min(p.max_load, level + p.mean * p.burst_scale);
+    }
+    samples.push_back(level);
+  }
+  return LoadTrace{p.epoch, std::move(samples)};
+}
+
+LoadTrace LoadTrace::constant(sim::Duration length, double level, sim::Duration epoch) {
+  const auto n = static_cast<std::size_t>(
+      std::max<double>(1.0, std::ceil(length / epoch)));
+  return LoadTrace{epoch, std::vector<double>(n, level)};
+}
+
+double LoadTrace::at(sim::Duration t) const {
+  auto idx = static_cast<std::size_t>(t / epoch_);
+  return samples_[idx % samples_.size()];
+}
+
+double LoadTrace::mean() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double LoadTrace::peak() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace vmgrid::host

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace vmgrid::host {
+
+/// Parameters for synthetic host-load traces.
+///
+/// The paper drives its microbenchmark with host-load traces collected on
+/// the Pittsburgh Supercomputing Center Alpha cluster, replayed with
+/// Dinda & O'Hallaron's trace-playback tool. Those traces are long-gone
+/// proprietary data; we generate AR(1)-correlated, bursty load series with
+/// matching first-order statistics (mean level, strong autocorrelation,
+/// occasional spikes) — the microbenchmark result depends only on these.
+struct LoadTraceParams {
+  sim::Duration epoch{sim::Duration::seconds(1)};
+  double mean{0.3};
+  double ar_phi{0.95};       // autocorrelation of successive epochs
+  double noise_sd{0.08};     // innovation std-dev
+  double burst_prob{0.015};  // per-epoch probability of a load spike
+  double burst_scale{2.5};   // spike multiplier over the mean
+  double max_load{8.0};
+};
+
+/// Piecewise-constant host load (average runnable queue length) sampled
+/// at a fixed epoch. `at()` wraps around, so short traces can drive long
+/// experiments.
+class LoadTrace {
+ public:
+  LoadTrace(sim::Duration epoch, std::vector<double> samples);
+
+  [[nodiscard]] static LoadTrace generate(sim::Rng& rng, sim::Duration length,
+                                          const LoadTraceParams& params);
+  [[nodiscard]] static LoadTrace constant(sim::Duration length, double level,
+                                          sim::Duration epoch = sim::Duration::seconds(1));
+
+  /// Load level at offset `t` from the trace start (wraps).
+  [[nodiscard]] double at(sim::Duration t) const;
+
+  [[nodiscard]] sim::Duration epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] sim::Duration length() const { return epoch_ * static_cast<double>(samples_.size()); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double peak() const;
+
+ private:
+  sim::Duration epoch_;
+  std::vector<double> samples_;
+};
+
+}  // namespace vmgrid::host

@@ -1,0 +1,28 @@
+#include "host/physical_host.hpp"
+
+#include <utility>
+
+namespace vmgrid::host {
+
+PhysicalHost::PhysicalHost(sim::Simulation& s, net::Network& net, HostParams params,
+                           std::unique_ptr<Scheduler> sched)
+    : sim_{s},
+      net_{net},
+      params_{std::move(params)},
+      node_{net.add_node(params_.name)},
+      cpu_{s, params_.ncpus, std::move(sched)},
+      disk_{s, params_.disk},
+      fs_{s, disk_},
+      free_mb_{params_.memory_mb} {}
+
+bool PhysicalHost::reserve_memory(std::uint64_t mb) {
+  if (mb > free_mb_) return false;
+  free_mb_ -= mb;
+  return true;
+}
+
+void PhysicalHost::release_memory(std::uint64_t mb) {
+  free_mb_ = std::min(free_mb_ + mb, params_.memory_mb);
+}
+
+}  // namespace vmgrid::host

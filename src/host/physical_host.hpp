@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "host/cpu_engine.hpp"
+#include "host/schedulers.hpp"
+#include "net/network.hpp"
+#include "storage/disk.hpp"
+#include "storage/local_fs.hpp"
+
+namespace vmgrid::host {
+
+struct HostParams {
+  std::string name{"host"};
+  double ncpus{2.0};
+  std::uint32_t cpu_mhz{800};
+  std::uint64_t memory_mb{1024};
+  storage::DiskParams disk{};
+  std::string os{"linux-2.4"};
+};
+
+/// A physical machine of the grid: an SMP CPU engine, one disk with a
+/// local file system, a network identity, and a memory budget from which
+/// VM instances reserve their footprint.
+class PhysicalHost {
+ public:
+  PhysicalHost(sim::Simulation& s, net::Network& net, HostParams params,
+               std::unique_ptr<Scheduler> sched = std::make_unique<FairShareScheduler>());
+
+  PhysicalHost(const PhysicalHost&) = delete;
+  PhysicalHost& operator=(const PhysicalHost&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] const HostParams& params() const { return params_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] CpuEngine& cpu() { return cpu_; }
+  [[nodiscard]] const CpuEngine& cpu() const { return cpu_; }
+  [[nodiscard]] storage::Disk& disk() { return disk_; }
+  [[nodiscard]] storage::LocalFileSystem& fs() { return fs_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+
+  /// Memory accounting for VM placement. Returns false when the request
+  /// does not fit (the information service then reports no capacity).
+  [[nodiscard]] bool reserve_memory(std::uint64_t mb);
+  void release_memory(std::uint64_t mb);
+  [[nodiscard]] std::uint64_t free_memory_mb() const { return free_mb_; }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  HostParams params_;
+  net::NodeId node_;
+  CpuEngine cpu_;
+  storage::Disk disk_;
+  storage::LocalFileSystem fs_;
+  std::uint64_t free_mb_;
+};
+
+}  // namespace vmgrid::host

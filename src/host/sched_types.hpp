@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmgrid::host {
+
+/// Scheduling attributes of one schedulable entity. Which fields matter
+/// depends on the installed Scheduler: weight (fair-share/WFQ), tickets
+/// (lottery), nice (priority), reservation (real-time slice/period as a
+/// CPU fraction). demand_cap bounds how much CPU the entity *wants*
+/// (used by load playback and duty-cycle throttling).
+struct SchedAttrs {
+  double weight{1.0};
+  std::uint32_t tickets{100};
+  int nice{0};
+  double reservation{0.0};
+  double demand_cap{1.0};
+};
+
+/// Identifier of a process within one CpuEngine.
+class ProcessId {
+ public:
+  constexpr ProcessId() = default;
+  explicit constexpr ProcessId(std::uint64_t v) : v_{v} {}
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const ProcessId&) const = default;
+
+ private:
+  std::uint64_t v_{0};
+};
+
+/// Read-only view of a runnable process handed to Scheduler::allocate.
+struct ProcView {
+  ProcessId id;
+  SchedAttrs attrs;
+  double efficiency{1.0};
+  bool finite{true};
+  double remaining{0.0};  // native cpu-seconds of work left
+};
+
+/// Allocation policy: map runnable processes to CPU rates.
+///
+/// Contract: result[i] is the CPU fraction granted to procs[i];
+/// 0 <= result[i] <= min(1, procs[i].attrs.demand_cap); sum(result) <=
+/// ncpus. Implementations are fluid-limit models of their quantum-based
+/// counterparts — GPS for fair-share, expected shares for lottery, the
+/// WFQ fluid bound, strict levels for priority.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                                     double ncpus) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace vmgrid::host
+
+template <>
+struct std::hash<vmgrid::host::ProcessId> {
+  std::size_t operator()(vmgrid::host::ProcessId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

@@ -1,0 +1,219 @@
+#include "host/schedulers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace vmgrid::host {
+
+std::vector<double> water_fill(const std::vector<double>& weights,
+                               const std::vector<double>& caps, double capacity) {
+  assert(weights.size() == caps.size());
+  const std::size_t n = weights.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0) return alloc;
+
+  double cap_sum = 0.0;
+  for (double c : caps) cap_sum += std::max(0.0, c);
+  double remaining = std::min(capacity, cap_sum);
+
+  std::vector<bool> fixed(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (caps[i] <= 0.0) fixed[i] = true;
+  }
+  while (remaining > 1e-15) {
+    double wsum = 0.0;
+    std::size_t free_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!fixed[i]) {
+        wsum += std::max(weights[i], 0.0);
+        ++free_count;
+      }
+    }
+    if (free_count == 0) break;
+    bool saturated_any = false;
+    if (wsum <= 0.0) {
+      // All remaining weights zero: share equally.
+      const double each = remaining / static_cast<double>(free_count);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fixed[i]) continue;
+        if (each >= caps[i] - alloc[i] - 1e-15) {
+          remaining -= caps[i] - alloc[i];
+          alloc[i] = caps[i];
+          fixed[i] = true;
+          saturated_any = true;
+        }
+      }
+      if (!saturated_any) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!fixed[i]) alloc[i] += each;
+        }
+        break;
+      }
+      continue;
+    }
+    const double lambda = remaining / wsum;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      const double want = lambda * std::max(weights[i], 0.0);
+      if (want >= caps[i] - alloc[i] - 1e-15) {
+        remaining -= caps[i] - alloc[i];
+        alloc[i] = caps[i];
+        fixed[i] = true;
+        saturated_any = true;
+      }
+    }
+    if (!saturated_any) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!fixed[i]) alloc[i] += lambda * std::max(weights[i], 0.0);
+      }
+      break;
+    }
+  }
+  return alloc;
+}
+
+double nice_to_weight(int nice) {
+  return std::pow(1.25, -nice);
+}
+
+namespace {
+std::vector<double> proc_caps(const std::vector<ProcView>& procs) {
+  std::vector<double> caps(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    caps[i] = std::clamp(procs[i].attrs.demand_cap, 0.0, 1.0);
+  }
+  return caps;
+}
+}  // namespace
+
+std::vector<double> FairShareScheduler::allocate(const std::vector<ProcView>& procs,
+                                                 double ncpus) const {
+  std::vector<double> w(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    w[i] = procs[i].attrs.weight * nice_to_weight(procs[i].attrs.nice);
+  }
+  return water_fill(w, proc_caps(procs), ncpus);
+}
+
+std::vector<double> LotteryScheduler::allocate(const std::vector<ProcView>& procs,
+                                               double ncpus) const {
+  std::vector<double> w(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    w[i] = static_cast<double>(procs[i].attrs.tickets);
+  }
+  return water_fill(w, proc_caps(procs), ncpus);
+}
+
+std::vector<double> WfqScheduler::allocate(const std::vector<ProcView>& procs,
+                                           double ncpus) const {
+  std::vector<double> w(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    w[i] = procs[i].attrs.weight;
+  }
+  return water_fill(w, proc_caps(procs), ncpus);
+}
+
+std::vector<double> PriorityScheduler::allocate(const std::vector<ProcView>& procs,
+                                                double ncpus) const {
+  const auto caps = proc_caps(procs);
+  std::vector<double> alloc(procs.size(), 0.0);
+  // Group indices by nice, most-privileged (lowest) first.
+  std::map<int, std::vector<std::size_t>> levels;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    levels[procs[i].attrs.nice].push_back(i);
+  }
+  double remaining = ncpus;
+  for (const auto& [nice, idx] : levels) {
+    if (remaining <= 1e-15) break;
+    std::vector<double> w, c;
+    w.reserve(idx.size());
+    c.reserve(idx.size());
+    for (std::size_t i : idx) {
+      w.push_back(procs[i].attrs.weight);
+      c.push_back(caps[i]);
+    }
+    const auto level_alloc = water_fill(w, c, remaining);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      alloc[idx[k]] = level_alloc[k];
+      remaining -= level_alloc[k];
+    }
+  }
+  return alloc;
+}
+
+std::vector<double> RealTimeScheduler::allocate(const std::vector<ProcView>& procs,
+                                                double ncpus) const {
+  const auto caps = proc_caps(procs);
+  std::vector<double> alloc(procs.size(), 0.0);
+
+  // Phase 1: honour reservations (scaled down if over-admitted).
+  double reserved = 0.0;
+  for (const auto& p : procs) reserved += std::clamp(p.attrs.reservation, 0.0, 1.0);
+  const double scale = reserved > ncpus ? ncpus / reserved : 1.0;
+  double remaining = ncpus;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const double r = std::clamp(procs[i].attrs.reservation, 0.0, 1.0) * scale;
+    alloc[i] = std::min(r, caps[i]);
+    remaining -= alloc[i];
+  }
+
+  // Phase 2: the residue is shared by weight among everyone with headroom.
+  std::vector<double> w(procs.size()), headroom(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    w[i] = procs[i].attrs.weight;
+    headroom[i] = std::max(0.0, caps[i] - alloc[i]);
+  }
+  const auto extra = water_fill(w, headroom, std::max(0.0, remaining));
+  for (std::size_t i = 0; i < procs.size(); ++i) alloc[i] += extra[i];
+  return alloc;
+}
+
+DutyCycleController::DutyCycleController(sim::Simulation& s, CpuEngine& engine,
+                                         ProcessId target, double duty,
+                                         sim::Duration period)
+    : sim_{s}, engine_{engine}, target_{target},
+      duty_{std::clamp(duty, 0.0, 1.0)}, period_{period} {}
+
+DutyCycleController::~DutyCycleController() { stop(); }
+
+void DutyCycleController::start() {
+  if (running_) return;
+  running_ = true;
+  saved_cap_ = engine_.attrs(target_).demand_cap;
+  phase_on_ = true;
+  if (duty_ >= 1.0) return;  // never stopped
+  if (duty_ <= 0.0) {        // permanently stopped
+    auto attrs = engine_.attrs(target_);
+    attrs.demand_cap = 0.0;
+    engine_.set_attrs(target_, attrs);
+    return;
+  }
+  tick();
+}
+
+void DutyCycleController::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(event_);
+  event_ = {};
+  if (engine_.contains(target_)) {
+    auto attrs = engine_.attrs(target_);
+    attrs.demand_cap = saved_cap_;
+    engine_.set_attrs(target_, attrs);
+  }
+}
+
+void DutyCycleController::tick() {
+  if (!running_ || !engine_.contains(target_)) return;
+  auto attrs = engine_.attrs(target_);
+  attrs.demand_cap = phase_on_ ? saved_cap_ : 0.0;
+  engine_.set_attrs(target_, attrs);
+  const auto window = phase_on_ ? period_ * duty_ : period_ * (1.0 - duty_);
+  phase_on_ = !phase_on_;
+  event_ = sim_.schedule_weak_after(window, [this] { tick(); });
+}
+
+}  // namespace vmgrid::host

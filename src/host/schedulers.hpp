@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "host/cpu_engine.hpp"
+#include "host/sched_types.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::host {
+
+/// Shared helper: water-filling allocation. Gives a_i = min(cap_i, λ·w_i)
+/// with λ chosen so Σa_i = min(capacity, Σcap_i). The fluid limit of every
+/// proportional-share scheduler in this file.
+[[nodiscard]] std::vector<double> water_fill(const std::vector<double>& weights,
+                                             const std::vector<double>& caps,
+                                             double capacity);
+
+/// Weight-based fair share (the host OS default): weights derive from
+/// `nice` the way a Linux-style scheduler maps priorities to CPU shares.
+class FairShareScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                             double ncpus) const override;
+  [[nodiscard]] std::string name() const override { return "fair-share"; }
+};
+
+/// Lottery scheduling [Waldspurger & Weihl, OSDI'94]: expected share is
+/// proportional to ticket count (fluid model of the randomized quantum
+/// lottery).
+class LotteryScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                             double ncpus) const override;
+  [[nodiscard]] std::string name() const override { return "lottery"; }
+};
+
+/// Weighted fair queueing [Demers, Keshav & Shenker] applied to CPU time:
+/// share proportional to weight, fluid bound.
+class WfqScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                             double ncpus) const override;
+  [[nodiscard]] std::string name() const override { return "wfq"; }
+};
+
+/// Strict priority levels (lower nice runs first); equal-priority
+/// processes share by weight.
+class PriorityScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                             double ncpus) const override;
+  [[nodiscard]] std::string name() const override { return "priority"; }
+};
+
+/// Reservation-based real-time scheduling (periodic slice/period tasks
+/// expressed as a CPU fraction): reservations are honoured first, the
+/// residue is shared by weight. Admission control (Σ reservations ≤
+/// capacity) is the schedule compiler's job; if violated, reservations
+/// are scaled down proportionally rather than silently starving anyone.
+class RealTimeScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::vector<double> allocate(const std::vector<ProcView>& procs,
+                                             double ncpus) const override;
+  [[nodiscard]] std::string name() const override { return "real-time"; }
+};
+
+/// SIGSTOP/SIGCONT duty-cycle throttle (§3.2's "coarse-grain" option):
+/// periodically stops and continues one process so its long-run share
+/// approaches `duty`. Coarse by construction — the victim runs unthrottled
+/// within the ON window, which is exactly the imprecision the paper
+/// attributes to this mechanism (and the resource-control bench measures).
+class DutyCycleController {
+ public:
+  DutyCycleController(sim::Simulation& s, CpuEngine& engine, ProcessId target,
+                      double duty, sim::Duration period = sim::Duration::seconds(1));
+  ~DutyCycleController();
+
+  DutyCycleController(const DutyCycleController&) = delete;
+  DutyCycleController& operator=(const DutyCycleController&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] double duty() const { return duty_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  CpuEngine& engine_;
+  ProcessId target_;
+  double duty_;
+  sim::Duration period_;
+  double saved_cap_{1.0};
+  bool running_{false};
+  bool phase_on_{true};
+  sim::EventId event_{};
+};
+
+/// Map a Unix nice value (-20..19) to a fair-share weight, approximating
+/// the familiar ~1.25× per nice step.
+[[nodiscard]] double nice_to_weight(int nice);
+
+}  // namespace vmgrid::host

@@ -1,0 +1,65 @@
+#include "host/trace_playback.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace vmgrid::host {
+
+TracePlayback::TracePlayback(sim::Simulation& s, CpuEngine& engine, LoadTrace trace,
+                             Options options)
+    : sim_{s}, engine_{engine}, trace_{std::move(trace)}, options_{std::move(options)} {}
+
+TracePlayback::~TracePlayback() { stop(); }
+
+void TracePlayback::start() {
+  if (running_) return;
+  running_ = true;
+  started_ = sim_.now();
+  const auto max_procs = static_cast<std::size_t>(std::ceil(trace_.peak())) + 1;
+  procs_.reserve(max_procs);
+  for (std::size_t i = 0; i < max_procs; ++i) {
+    auto attrs = options_.attrs;
+    attrs.demand_cap = 0.0;  // idle until the first epoch applies demand
+    const auto id = engine_.add("bg-load-" + std::to_string(i), attrs,
+                                CpuEngine::kInfiniteWork, nullptr,
+                                options_.efficiency);
+    procs_.push_back(id);
+    if (options_.on_spawn) options_.on_spawn(id);
+  }
+  apply_epoch();
+}
+
+void TracePlayback::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(event_);
+  event_ = {};
+  for (auto id : procs_) {
+    if (options_.on_remove) options_.on_remove(id);
+    engine_.remove(id);
+  }
+  procs_.clear();
+  current_level_ = 0.0;
+}
+
+void TracePlayback::apply_epoch() {
+  if (!running_) return;
+  const double level = trace_.at(sim_.now() - started_);
+  current_level_ = level;
+  const auto whole = static_cast<std::size_t>(std::floor(level));
+  const double frac = level - static_cast<double>(whole);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    auto attrs = engine_.attrs(procs_[i]);
+    if (i < whole) {
+      attrs.demand_cap = std::min(1.0, options_.attrs.demand_cap);
+    } else if (i == whole) {
+      attrs.demand_cap = frac * std::min(1.0, options_.attrs.demand_cap);
+    } else {
+      attrs.demand_cap = 0.0;
+    }
+    engine_.set_attrs(procs_[i], attrs);
+  }
+  event_ = sim_.schedule_weak_after(trace_.epoch(), [this] { apply_epoch(); });
+}
+
+}  // namespace vmgrid::host

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "host/cpu_engine.hpp"
+#include "host/load_trace.hpp"
+
+namespace vmgrid::host {
+
+/// Host-load trace playback (Dinda & O'Hallaron, LCR 2000): converts a
+/// load-average series into actual background CPU demand on an engine.
+///
+/// A load level L is realized as floor(L) saturated background processes
+/// plus one process whose demand cap equals the fractional remainder;
+/// demands are updated every trace epoch. The optional `on_spawn` hook
+/// lets a VMM claim the spawned processes so virtualization overhead
+/// applies to load played *inside* a VM.
+class TracePlayback {
+ public:
+  struct Options {
+    SchedAttrs attrs{};
+    double efficiency{1.0};
+    std::function<void(ProcessId)> on_spawn;
+    std::function<void(ProcessId)> on_remove;  // fired by stop() per process
+  };
+
+  TracePlayback(sim::Simulation& s, CpuEngine& engine, LoadTrace trace,
+                Options options);
+  TracePlayback(sim::Simulation& s, CpuEngine& engine, LoadTrace trace)
+      : TracePlayback(s, engine, std::move(trace), Options{}) {}
+  ~TracePlayback();
+
+  TracePlayback(const TracePlayback&) = delete;
+  TracePlayback& operator=(const TracePlayback&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] double current_level() const { return current_level_; }
+  [[nodiscard]] const LoadTrace& trace() const { return trace_; }
+
+ private:
+  void apply_epoch();
+
+  sim::Simulation& sim_;
+  CpuEngine& engine_;
+  LoadTrace trace_;
+  Options options_;
+  std::vector<ProcessId> procs_;
+  sim::TimePoint started_{};
+  sim::EventId event_{};
+  bool running_{false};
+  double current_level_{0.0};
+};
+
+}  // namespace vmgrid::host

@@ -1,0 +1,39 @@
+#include "middleware/accounting.hpp"
+
+#include <algorithm>
+
+namespace vmgrid::middleware {
+
+void Accounting::charge_cpu(const std::string& user, double cpu_seconds) {
+  users_[user].cpu_seconds += cpu_seconds;
+}
+
+void Accounting::charge_vm_time(const std::string& user, sim::Duration wall) {
+  users_[user].vm_seconds += wall.to_seconds();
+}
+
+void Accounting::charge_transfer(const std::string& user, std::uint64_t bytes) {
+  users_[user].bytes_transferred += bytes;
+}
+
+void Accounting::charge_io(const std::string& user, std::uint64_t rpcs) {
+  users_[user].io_rpcs += rpcs;
+}
+
+void Accounting::count_vm(const std::string& user) { ++users_[user].vms_instantiated; }
+
+void Accounting::count_task(const std::string& user) { ++users_[user].tasks_completed; }
+
+UsageRecord Accounting::usage(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? UsageRecord{} : it->second;
+}
+
+std::vector<std::pair<std::string, UsageRecord>> Accounting::report() const {
+  std::vector<std::pair<std::string, UsageRecord>> out(users_.begin(), users_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace vmgrid::middleware

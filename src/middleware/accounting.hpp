@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::middleware {
+
+/// Per-user resource usage (§2.2: resource control "enables a provider
+/// to account for the usage of a resource"). Charged by sessions and
+/// compute servers as work completes.
+struct UsageRecord {
+  double cpu_seconds{0.0};
+  double vm_seconds{0.0};          // wall time of owned VM instances
+  std::uint64_t bytes_transferred{0};
+  std::uint64_t io_rpcs{0};
+  std::uint32_t vms_instantiated{0};
+  std::uint32_t tasks_completed{0};
+};
+
+class Accounting {
+ public:
+  void charge_cpu(const std::string& user, double cpu_seconds);
+  void charge_vm_time(const std::string& user, sim::Duration wall);
+  void charge_transfer(const std::string& user, std::uint64_t bytes);
+  void charge_io(const std::string& user, std::uint64_t rpcs);
+  void count_vm(const std::string& user);
+  void count_task(const std::string& user);
+
+  [[nodiscard]] UsageRecord usage(const std::string& user) const;
+  [[nodiscard]] std::vector<std::pair<std::string, UsageRecord>> report() const;
+
+ private:
+  std::unordered_map<std::string, UsageRecord> users_;
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,197 @@
+#include "middleware/archive.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "middleware/grid.hpp"
+
+namespace vmgrid::middleware {
+
+ArchiveService::ArchiveService(Grid& grid, ImageServer& store, ArchiveParams params)
+    : grid_{grid}, store_{store}, params_{params} {
+  sweep_event_ = grid_.simulation().schedule_weak_after(params_.sweep_interval, [this] {
+    sweep();
+  });
+}
+
+ArchiveService::~ArchiveService() { grid_.simulation().cancel(sweep_event_); }
+
+void ArchiveService::hibernate(ComputeServer& server, vm::VirtualMachine& vmachine,
+                               const std::string& owner, HibernateCallback cb) {
+  if (vmachine.state() != vm::VmPowerState::kRunning) {
+    grid_.simulation().schedule_after(sim::Duration::micros(1),
+                                      [cb = std::move(cb)] { cb(std::nullopt); });
+    return;
+  }
+  const CheckpointId id{next_id_++};
+  Stored stored;
+  stored.info.id = id;
+  stored.info.owner = owner;
+  stored.info.vm_name = vmachine.config().name;
+  stored.info.state_bytes = vmachine.migratable_state_bytes();
+  stored.info.tier = CheckpointTier::kDisk;
+  stored.config = vmachine.config();
+  stored.image = vmachine.image();
+
+  // Suspend writes memory+device state to the host's file system; the
+  // paused guest computation is captured into the checkpoint record.
+  vmachine.suspend([this, id, &server, &vmachine, stored = std::move(stored),
+                    cb = std::move(cb)]() mutable {
+    stored.tasks = vmachine.release_guest_tasks();
+    const std::string local_state = vmachine.suspend_file();
+    stored.info.created = grid_.simulation().now();
+    stored.info.last_touched = stored.info.created;
+    // Upload the serialized state to the archive store, then retire the
+    // source instance.
+    grid_.ftp().transfer(
+        server.host().fs(), server.node(), local_state, store_.fs(), store_.node(),
+        state_file(id),
+        [this, id, &server, &vmachine, stored = std::move(stored),
+         cb = std::move(cb)](StagingResult r) mutable {
+          if (!r.ok) {
+            cb(std::nullopt);
+            return;
+          }
+          server.host().fs().remove(vmachine.suspend_file());
+          server.destroy_vm(vmachine);
+          checkpoints_.emplace(id.value(), std::move(stored));
+          cb(id);
+        });
+  });
+}
+
+void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess access,
+                          net::NodeId image_server_node, ThawCallback cb) {
+  auto it = checkpoints_.find(id.value());
+  if (it == checkpoints_.end()) {
+    grid_.simulation().schedule_after(
+        sim::Duration::micros(1),
+        [cb = std::move(cb)] { cb(nullptr, "no such checkpoint"); });
+    return;
+  }
+  Stored& stored = it->second;
+  stored.info.last_touched = grid_.simulation().now();
+
+  auto start_download = [this, id, &server, &stored, access, image_server_node,
+                         cb = std::move(cb)]() mutable {
+    // Pull the serialized state back to the target host.
+    grid_.ftp().transfer(
+        store_.fs(), store_.node(), state_file(id), server.host().fs(), server.node(),
+        state_file(id),
+        [this, id, &server, &stored, access, image_server_node,
+         cb = std::move(cb)](StagingResult r) mutable {
+          if (!r.ok) {
+            cb(nullptr, "state download failed: " + r.error);
+            return;
+          }
+          InstantiateOptions opts;
+          opts.config = stored.config;
+          opts.image = stored.image;
+          opts.access = access;
+          opts.image_server_node = image_server_node;
+          server.prepare_storage(
+              opts, [this, id, &server, &stored, cb = std::move(cb)](
+                        bool ok, std::string error, vm::VmStorage storage) mutable {
+                if (!ok) {
+                  cb(nullptr, std::move(error));
+                  return;
+                }
+                vm::VirtualMachine* fresh = nullptr;
+                try {
+                  fresh = &server.vmm().create_vm(stored.config, stored.image,
+                                                  std::move(storage));
+                } catch (const std::exception& e) {
+                  cb(nullptr, e.what());
+                  return;
+                }
+                // The downloaded state file backs the resume read.
+                auto& hfs = server.host().fs();
+                const auto bytes = stored.info.state_bytes;
+                if (!hfs.exists(fresh->suspend_file())) {
+                  hfs.create(fresh->suspend_file(), bytes);
+                }
+                fresh->adopt_suspended_state(/*in_memory=*/false);
+                fresh->adopt_guest_tasks(std::move(stored.tasks));
+                stored.tasks.clear();
+                fresh->resume([this, id, fresh, cb = std::move(cb)] {
+                  checkpoints_.erase(id.value());
+                  cb(fresh, {});
+                });
+              });
+        });
+  };
+
+  if (stored.info.tier == CheckpointTier::kTape) {
+    // Tape recall: mount, then stream back to the archive's disk at tape
+    // bandwidth before the normal download can begin.
+    const auto stream = sim::Duration::seconds(
+        static_cast<double>(stored.info.state_bytes) / params_.tape_bandwidth_bps);
+    grid_.simulation().schedule_after(
+        params_.tape_mount_time + stream,
+        [this, id, &stored, start_download = std::move(start_download)]() mutable {
+          stored.info.tier = CheckpointTier::kDisk;
+          // Re-materialize the staged copy on the archive's disk.
+          store_.fs().create(state_file(id), stored.info.state_bytes);
+          start_download();
+        });
+    return;
+  }
+  start_download();
+}
+
+bool ArchiveService::remove(CheckpointId id) {
+  auto it = checkpoints_.find(id.value());
+  if (it == checkpoints_.end()) return false;
+  store_.fs().remove(state_file(id));
+  // Aborting the captured tasks ends their life cycle with the image.
+  for (auto& t : it->second.tasks) t.task->abort();
+  checkpoints_.erase(it);
+  return true;
+}
+
+std::optional<CheckpointInfo> ArchiveService::info(CheckpointId id) const {
+  auto it = checkpoints_.find(id.value());
+  if (it == checkpoints_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+std::vector<CheckpointInfo> ArchiveService::list() const {
+  std::vector<CheckpointInfo> out;
+  out.reserve(checkpoints_.size());
+  for (const auto& [id, s] : checkpoints_) out.push_back(s.info);
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+std::uint64_t ArchiveService::disk_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, s] : checkpoints_) {
+    if (s.info.tier == CheckpointTier::kDisk) n += s.info.state_bytes;
+  }
+  return n;
+}
+
+std::uint64_t ArchiveService::tape_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, s] : checkpoints_) {
+    if (s.info.tier == CheckpointTier::kTape) n += s.info.state_bytes;
+  }
+  return n;
+}
+
+void ArchiveService::sweep() {
+  const auto now = grid_.simulation().now();
+  for (auto& [id, s] : checkpoints_) {
+    if (s.info.tier == CheckpointTier::kDisk &&
+        now - s.info.last_touched >= params_.tape_after) {
+      s.info.tier = CheckpointTier::kTape;
+      // The disk copy is released once the tape copy exists.
+      store_.fs().remove(state_file(CheckpointId{id}));
+    }
+  }
+  sweep_event_ = grid_.simulation().schedule_weak_after(params_.sweep_interval,
+                                                   [this] { sweep(); });
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/compute_server.hpp"
+#include "middleware/image_server.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vmgrid::middleware {
+
+class Grid;
+
+/// Identifier of an archived (hibernated) VM.
+class CheckpointId {
+ public:
+  constexpr CheckpointId() = default;
+  explicit constexpr CheckpointId(std::uint64_t v) : v_{v} {}
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const CheckpointId&) const = default;
+
+ private:
+  std::uint64_t v_{0};
+};
+
+enum class CheckpointTier { kDisk, kTape };
+
+struct CheckpointInfo {
+  CheckpointId id{};
+  std::string owner;
+  std::string vm_name;
+  std::uint64_t state_bytes{0};
+  std::uint64_t diff_bytes{0};
+  CheckpointTier tier{CheckpointTier::kDisk};
+  sim::TimePoint created{};
+  sim::TimePoint last_touched{};
+};
+
+struct ArchiveParams {
+  /// Idle checkpoints older than this are migrated to tape by the sweep.
+  sim::Duration tape_after{sim::Duration::minutes(60)};
+  sim::Duration sweep_interval{sim::Duration::minutes(10)};
+  sim::Duration tape_mount_time{sim::Duration::seconds(45)};
+  double tape_bandwidth_bps{6e6};
+};
+
+/// The end of the paper's §4 VM life cycle: "the user, or a grid
+/// scheduler, will have the option to shutdown, hibernate, restore, or
+/// migrate the virtual machine at any time... Infrequently run virtual
+/// machine images will be migrated to tape. The life cycle of a virtual
+/// machine ends when the image is removed from permanent storage."
+///
+/// Hibernation serializes a running VM (memory + device state + the
+/// non-persistent diff) onto an archive store; thawing restores it on
+/// any capable compute server — with its guest computation intact.
+class ArchiveService {
+ public:
+  ArchiveService(Grid& grid, ImageServer& store, ArchiveParams params = {});
+  ~ArchiveService();
+
+  ArchiveService(const ArchiveService&) = delete;
+  ArchiveService& operator=(const ArchiveService&) = delete;
+
+  using HibernateCallback = std::function<void(std::optional<CheckpointId>)>;
+  using ThawCallback = std::function<void(vm::VirtualMachine*, std::string error)>;
+
+  /// Suspend `vmachine`, upload its state to the archive, and destroy the
+  /// instance on `server`. The guest's paused tasks travel with the
+  /// checkpoint.
+  void hibernate(ComputeServer& server, vm::VirtualMachine& vmachine,
+                 const std::string& owner, HibernateCallback cb);
+
+  /// Materialize a checkpoint as a fresh running VM on `server` (which
+  /// must be able to reach the base image through `access`).
+  void thaw(CheckpointId id, ComputeServer& server, StateAccess access,
+            net::NodeId image_server_node, ThawCallback cb);
+
+  /// Permanently delete a checkpoint (ends the VM's life cycle).
+  bool remove(CheckpointId id);
+
+  [[nodiscard]] std::optional<CheckpointInfo> info(CheckpointId id) const;
+  [[nodiscard]] std::vector<CheckpointInfo> list() const;
+  [[nodiscard]] std::uint64_t disk_bytes() const;
+  [[nodiscard]] std::uint64_t tape_bytes() const;
+
+  /// Run one archival sweep immediately (also runs periodically).
+  void sweep();
+
+ private:
+  struct Stored {
+    CheckpointInfo info;
+    vm::VmConfig config;
+    vm::VmImageSpec image;
+    std::vector<vm::VirtualMachine::TrackedTask> tasks;
+  };
+
+  [[nodiscard]] std::string state_file(CheckpointId id) const {
+    return "ckpt-" + std::to_string(id.value()) + ".state";
+  }
+
+  Grid& grid_;
+  ImageServer& store_;
+  ArchiveParams params_;
+  std::unordered_map<std::uint64_t, Stored> checkpoints_;
+  std::uint64_t next_id_{1};
+  sim::EventId sweep_event_{};
+};
+
+}  // namespace vmgrid::middleware

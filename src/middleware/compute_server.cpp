@@ -1,0 +1,265 @@
+#include "middleware/compute_server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+const char* to_string(StateAccess a) {
+  switch (a) {
+    case StateAccess::kPersistentCopy: return "persistent";
+    case StateAccess::kNonPersistentLocal: return "nonpersistent-diskfs";
+    case StateAccess::kNonPersistentLoopback: return "nonpersistent-loopback-nfs";
+    case StateAccess::kNonPersistentVfs: return "nonpersistent-grid-vfs";
+  }
+  return "?";
+}
+
+const char* to_string(VmStartMode m) {
+  switch (m) {
+    case VmStartMode::kColdBoot: return "vm-reboot";
+    case VmStartMode::kWarmRestore: return "vm-restore";
+  }
+  return "?";
+}
+
+ComputeServer::ComputeServer(sim::Simulation& s, net::Network& net,
+                             net::RpcFabric& fabric, vfs::GridVfs& gvfs,
+                             ComputeServerParams params)
+    : sim_{s},
+      net_{net},
+      fabric_{fabric},
+      gvfs_{gvfs},
+      params_{std::move(params)},
+      host_{s, net, params_.host},
+      vmm_{host_, params_.vmm},
+      rpc_server_{fabric, host_.node(), params_.rpc},
+      gram_{rpc_server_, params_.gram},
+      loopback_export_{rpc_server_, host_.fs()},
+      loopback_client_{std::make_unique<storage::NfsClient>(fabric, host_.node(),
+                                                            host_.node())},
+      dhcp_{net, host_.node(),
+            net::IpAddress::from_octets(
+                10, static_cast<std::uint8_t>(host_.node().value() & 0xff), 0, 10),
+            64},
+      ftp_{s, net} {}
+
+void ComputeServer::preload_image(const vm::VmImageSpec& spec) {
+  host_.fs().create(spec.disk_file(), spec.disk_bytes);
+  if (spec.memory_state_bytes > 0) {
+    host_.fs().create(spec.memory_file(),
+                      spec.memory_state_bytes + spec.device_state_bytes);
+  }
+}
+
+void ComputeServer::stage_image(storage::LocalFileSystem& src_fs, net::NodeId src_node,
+                                const vm::VmImageSpec& spec,
+                                std::function<void(bool)> cb) {
+  auto done = std::make_shared<std::size_t>(spec.memory_state_bytes > 0 ? 2 : 1);
+  auto ok_all = std::make_shared<bool>(true);
+  auto finish = [done, ok_all, cb = std::move(cb)](const StagingResult& r) {
+    *ok_all = *ok_all && r.ok;
+    if (--*done == 0) cb(*ok_all);
+  };
+  ftp_.transfer(src_fs, src_node, spec.disk_file(), host_.fs(), host_.node(),
+                spec.disk_file(), finish);
+  if (spec.memory_state_bytes > 0) {
+    ftp_.transfer(src_fs, src_node, spec.memory_file(), host_.fs(), host_.node(),
+                  spec.memory_file(), finish);
+  }
+}
+
+vfs::VfsMount& ComputeServer::vfs_mount_for(net::NodeId image_server) {
+  auto it = vfs_mounts_.find(image_server);
+  if (it != vfs_mounts_.end()) return *it->second;
+  vfs::VfsMountOptions opts;
+  opts.use_shared_image_cache = true;
+  auto& mount = gvfs_.mount(host_.node(), image_server, opts);
+  vfs_mounts_.emplace(image_server, &mount);
+  return mount;
+}
+
+void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallback cb) {
+  const auto& spec = opts.image;
+  const double io_cpu = params_.io_client_cpu_per_rpc;
+  const std::string diff_file = opts.config.name + ".diff";
+
+  switch (opts.access) {
+    case StateAccess::kPersistentCopy: {
+      if (!host_.fs().exists(spec.disk_file())) {
+        cb(false, "persistent copy: image not on local disk: " + spec.disk_file(), {});
+        return;
+      }
+      const std::string private_disk = opts.config.name + ".disk";
+      host_.fs().copy(spec.disk_file(), private_disk,
+                      [this, spec, private_disk, cb = std::move(cb)]() mutable {
+                        vm::VmStorage s;
+                        s.disk = vm::make_local_accessor(host_.fs(), private_disk);
+                        if (spec.memory_state_bytes > 0 &&
+                            host_.fs().exists(spec.memory_file())) {
+                          s.memory_state =
+                              vm::make_local_accessor(host_.fs(), spec.memory_file());
+                        }
+                        cb(true, {}, std::move(s));
+                      });
+      return;
+    }
+    case StateAccess::kNonPersistentLocal: {
+      if (!host_.fs().exists(spec.disk_file())) {
+        cb(false, "diskfs: image not on local disk: " + spec.disk_file(), {});
+        return;
+      }
+      host_.fs().create(diff_file, 0);
+      vm::VmStorage s;
+      s.disk = std::make_unique<vm::CowDisk>(
+          vm::make_local_accessor(host_.fs(), spec.disk_file()),
+          vm::make_local_accessor(host_.fs(), diff_file));
+      if (spec.memory_state_bytes > 0 && host_.fs().exists(spec.memory_file())) {
+        s.memory_state = vm::make_local_accessor(host_.fs(), spec.memory_file());
+      }
+      sim_.schedule_after(params_.vm_setup_time,
+                          [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
+                                                   std::move(s))]() mutable {
+                            cb(true, {}, std::move(*s));
+                          });
+      return;
+    }
+    case StateAccess::kNonPersistentLoopback: {
+      if (!host_.fs().exists(spec.disk_file())) {
+        cb(false, "loopback: image not on local disk: " + spec.disk_file(), {});
+        return;
+      }
+      host_.fs().create(diff_file, 0);
+      vm::VmStorage s;
+      s.disk = std::make_unique<vm::CowDisk>(
+          vm::make_nfs_accessor(*loopback_client_, spec.disk_file(), io_cpu),
+          vm::make_nfs_accessor(*loopback_client_, diff_file, io_cpu));
+      if (spec.memory_state_bytes > 0 && host_.fs().exists(spec.memory_file())) {
+        s.memory_state =
+            vm::make_nfs_accessor(*loopback_client_, spec.memory_file(), io_cpu);
+      }
+      sim_.schedule_after(params_.vm_setup_time,
+                          [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
+                                                   std::move(s))]() mutable {
+                            cb(true, {}, std::move(*s));
+                          });
+      return;
+    }
+    case StateAccess::kNonPersistentVfs: {
+      if (!opts.image_server_node.valid()) {
+        cb(false, "grid-vfs: no image server specified", {});
+        return;
+      }
+      auto& mount = vfs_mount_for(opts.image_server_node);
+      host_.fs().create(diff_file, 0);
+      const double vfs_cpu = params_.vfs_client_cpu_per_rpc;
+      vm::VmStorage s;
+      s.disk = std::make_unique<vm::CowDisk>(
+          vm::make_vfs_accessor(mount.proxy(), spec.disk_file(), vfs_cpu),
+          vm::make_local_accessor(host_.fs(), diff_file));
+      if (spec.memory_state_bytes > 0) {
+        s.memory_state =
+            vm::make_vfs_accessor(mount.proxy(), spec.memory_file(), vfs_cpu);
+      }
+      sim_.schedule_after(params_.vm_setup_time,
+                          [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
+                                                   std::move(s))]() mutable {
+                            cb(true, {}, std::move(*s));
+                          });
+      return;
+    }
+  }
+  cb(false, "unknown state access mode", {});
+}
+
+void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb) {
+  const auto t0 = sim_.now();
+  if (opts.config.persistent != (opts.access == StateAccess::kPersistentCopy)) {
+    opts.config.persistent = opts.access == StateAccess::kPersistentCopy;
+  }
+  // Count the request against the advertised future immediately so
+  // concurrent placement decisions see this slot as taken.
+  ++pending_instantiations_;
+  refresh_published();
+  auto fail = [this, t0](InstantiationStats& stats, std::string error,
+                         InstantiateCallback& done) {
+    --pending_instantiations_;
+    refresh_published();
+    stats.ok = false;
+    stats.error = std::move(error);
+    stats.total = sim_.now() - t0;
+    done(nullptr, std::move(stats));
+  };
+  prepare_storage(opts, [this, opts, t0, fail, cb = std::move(cb)](
+                            bool ok, std::string error, vm::VmStorage storage) mutable {
+    InstantiationStats stats;
+    stats.access = opts.access;
+    stats.mode = opts.mode;
+    stats.state_preparation = sim_.now() - t0;
+    if (!ok) {
+      fail(stats, std::move(error), cb);
+      return;
+    }
+    vm::VirtualMachine* vmachine = nullptr;
+    try {
+      vmachine = &vmm_.create_vm(opts.config, opts.image, std::move(storage));
+    } catch (const std::exception& e) {
+      fail(stats, e.what(), cb);
+      return;
+    }
+    const auto t_start = sim_.now();
+    auto on_running = [this, vmachine, t0, t_start, stats, cb = std::move(cb)]() mutable {
+      ++instantiations_;
+      --pending_instantiations_;
+      refresh_published();
+      stats.start_time = sim_.now() - t_start;
+      stats.total = sim_.now() - t0;
+      cb(vmachine, std::move(stats));
+    };
+    if (opts.mode == VmStartMode::kColdBoot) {
+      vmachine->boot(std::move(on_running));
+    } else {
+      vmachine->restore(std::move(on_running));
+    }
+  });
+}
+
+void ComputeServer::destroy_vm(vm::VirtualMachine& vmachine) {
+  vmm_.destroy_vm(vmachine);
+  refresh_published();
+}
+
+void ComputeServer::publish(InformationService& info) {
+  published_to_ = &info;
+  HostRecord rec;
+  rec.name = host_.name();
+  rec.node = host_.node();
+  rec.ncpus = host_.params().ncpus;
+  rec.cpu_mhz = host_.params().cpu_mhz;
+  rec.memory_mb = host_.params().memory_mb;
+  rec.free_memory_mb = host_.free_memory_mb();
+  rec.os = host_.params().os;
+  rec.current_load = host_.cpu().total_demand();
+  rec.binding = this;
+  info.register_host(std::move(rec));
+
+  VmFutureRecord fut;
+  fut.host_name = host_.name();
+  fut.node = host_.node();
+  fut.max_instances = params_.future_max_instances;
+  fut.active_instances =
+      static_cast<std::uint32_t>(vmm_.vm_count()) + pending_instantiations_;
+  fut.max_memory_mb = params_.future_max_memory_mb;
+  fut.binding = this;
+  info.register_future(std::move(fut));
+}
+
+void ComputeServer::refresh_published() {
+  if (published_to_ == nullptr) return;
+  published_to_->update_host(host_.name(), host_.cpu().total_demand(),
+                             host_.free_memory_mb());
+  published_to_->update_future(
+      host_.name(), static_cast<std::uint32_t>(vmm_.vm_count()) + pending_instantiations_);
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/physical_host.hpp"
+#include "middleware/gram.hpp"
+#include "middleware/gridftp.hpp"
+#include "middleware/information_service.hpp"
+#include "net/dhcp.hpp"
+#include "net/rpc.hpp"
+#include "storage/nfs_server.hpp"
+#include "vfs/grid_vfs.hpp"
+#include "vm/vm_disk.hpp"
+#include "vm/vmm.hpp"
+
+namespace vmgrid::middleware {
+
+/// How VM state files are reached from the host — Table 2's columns plus
+/// the wide-area grid-virtual-file-system path of Table 1.
+enum class StateAccess {
+  kPersistentCopy,        ///< explicit local copy of the disk before start
+  kNonPersistentLocal,    ///< base image on local DiskFS + local diff
+  kNonPersistentLoopback, ///< base image via loopback-mounted NFS + diff there too
+  kNonPersistentVfs,      ///< base image via the proxy-cached grid VFS (possibly WAN)
+};
+
+[[nodiscard]] const char* to_string(StateAccess a);
+
+/// Cold boot vs warm restore — Table 2's rows.
+enum class VmStartMode { kColdBoot, kWarmRestore };
+
+[[nodiscard]] const char* to_string(VmStartMode m);
+
+struct ComputeServerParams {
+  host::HostParams host{};
+  vm::VmmParams vmm{};
+  GramParams gram{};
+  std::uint32_t future_max_instances{4};
+  std::uint64_t future_max_memory_mb{512};
+  /// Guest-side CPU charge per NFS RPC through the kernel client
+  /// (VMM trap + guest kernel RPC stack).
+  double io_client_cpu_per_rpc{0.00035};
+  /// Per-RPC CPU through the user-level grid-VFS proxy chain (extra
+  /// copies and context switches vs the kernel client) — the source of
+  /// the extra system time in Table 1's PVFS rows.
+  double vfs_client_cpu_per_rpc{0.002};
+  /// Per-call overhead of this node's RPC stack. The loopback NFS export
+  /// shares it, which is what makes the LoopbackNFS instantiation path
+  /// measurably slower than DiskFS in the startup experiment.
+  net::RpcServerParams rpc{sim::Duration::micros(550)};
+  /// Fixed VMM configuration/registration cost charged on every
+  /// non-persistent instantiation.
+  sim::Duration vm_setup_time{sim::Duration::millis(400)};
+};
+
+struct InstantiationStats {
+  bool ok{true};
+  std::string error;
+  sim::Duration total{};
+  sim::Duration state_preparation{};  // staging / persistent copy
+  sim::Duration start_time{};         // boot or restore
+  StateAccess access{};
+  VmStartMode mode{};
+};
+
+struct InstantiateOptions {
+  vm::VmConfig config;
+  vm::VmImageSpec image;
+  VmStartMode mode{VmStartMode::kColdBoot};
+  StateAccess access{StateAccess::kNonPersistentLocal};
+  /// Image location for kNonPersistentVfs; invalid NodeId means "the
+  /// image is already on the host's local file system".
+  net::NodeId image_server_node{};
+};
+
+/// A grid compute node ("virtualized compute server V" in Figure 2):
+/// physical host + VMM + GRAM gatekeeper + loopback NFS export + grid
+/// VFS client, able to instantiate dynamic VM instances through all the
+/// state-access paths the paper measures.
+class ComputeServer {
+ public:
+  ComputeServer(sim::Simulation& s, net::Network& net, net::RpcFabric& fabric,
+                vfs::GridVfs& gvfs, ComputeServerParams params = {});
+
+  using InstantiateCallback = std::function<void(vm::VirtualMachine*, InstantiationStats)>;
+
+  /// Make an image's files available on the local file system (as the
+  /// paper's Table 2 setup does before measuring startup).
+  void preload_image(const vm::VmImageSpec& spec);
+
+  /// Instantiate a VM through the requested state-access path and start
+  /// it (boot or restore). The callback fires when the VM is running.
+  void instantiate(InstantiateOptions opts, InstantiateCallback cb);
+
+  /// Stage an image from a remote image server to local disk (GridFTP).
+  void stage_image(storage::LocalFileSystem& src_fs, net::NodeId src_node,
+                   const vm::VmImageSpec& spec, std::function<void(bool)> cb);
+
+  void destroy_vm(vm::VirtualMachine& vmachine);
+
+  /// Publish this server's host record and VM future; keeps them fresh
+  /// on instantiate/destroy.
+  void publish(InformationService& info);
+
+  [[nodiscard]] host::PhysicalHost& host() { return host_; }
+  [[nodiscard]] vm::Vmm& vmm() { return vmm_; }
+  [[nodiscard]] net::NodeId node() const { return host_.node(); }
+  [[nodiscard]] const std::string& name() const { return host_.name(); }
+  [[nodiscard]] GramService& gram() { return gram_; }
+  [[nodiscard]] net::RpcServer& rpc_server() { return rpc_server_; }
+  [[nodiscard]] vfs::GridVfs& gvfs() { return gvfs_; }
+  [[nodiscard]] net::DhcpServer& dhcp() { return dhcp_; }
+  [[nodiscard]] const ComputeServerParams& params() const { return params_; }
+
+  using StorageCallback =
+      std::function<void(bool ok, std::string error, vm::VmStorage storage)>;
+
+  /// Build the VmStorage for an instantiation request without creating
+  /// the VM (used directly by migration, which lands an already-running
+  /// machine). Public: the session manager prepares target storage here.
+  void prepare_storage(const InstantiateOptions& opts, StorageCallback cb);
+
+ private:
+  void refresh_published();
+  [[nodiscard]] vfs::VfsMount& vfs_mount_for(net::NodeId image_server);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::RpcFabric& fabric_;
+  vfs::GridVfs& gvfs_;
+  ComputeServerParams params_;
+  host::PhysicalHost host_;
+  vm::Vmm vmm_;
+  net::RpcServer rpc_server_;
+  GramService gram_;
+  /// Loopback export of the host's own file system (Table 2's
+  /// LoopbackNFS column mounts through this).
+  storage::NfsServer loopback_export_;
+  std::unique_ptr<storage::NfsClient> loopback_client_;
+  net::DhcpServer dhcp_;
+  GridFtp ftp_;
+  std::unordered_map<net::NodeId, vfs::VfsMount*> vfs_mounts_;
+  InformationService* published_to_{nullptr};
+  std::uint32_t instantiations_{0};
+  /// Instantiations accepted but not yet running: counted against the
+  /// advertised future so concurrent placements spread correctly.
+  std::uint32_t pending_instantiations_{0};
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,65 @@
+#include "middleware/console.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+ConsoleSession::ConsoleSession(net::Network& net, net::NodeId client,
+                               net::NodeId vm_host, ConsoleParams params,
+                               net::EthernetTunnel* tunnel)
+    : net_{net}, client_{client}, vm_host_{vm_host}, params_{params}, tunnel_{tunnel} {}
+
+void ConsoleSession::send(bool to_vm, std::uint64_t bytes, net::TransferCallback cb) {
+  if (tunnel_ != nullptr) {
+    tunnel_->send(to_vm, bytes, std::move(cb));
+  } else {
+    const auto src = to_vm ? client_ : vm_host_;
+    const auto dst = to_vm ? vm_host_ : client_;
+    net_.send(src, dst, bytes, std::move(cb));
+  }
+}
+
+void ConsoleSession::keystroke(EchoCallback cb) {
+  const auto started = net_.simulation().now();
+  send(true, params_.keystroke_bytes, [this, started,
+                                       cb = std::move(cb)](const net::TransferResult&) {
+    net_.simulation().schedule_after(params_.guest_render, [this, started,
+                                                            cb = std::move(cb)]() mutable {
+      send(false, params_.update_bytes,
+           [this, started, cb = std::move(cb)](const net::TransferResult&) {
+             const auto rtt = net_.simulation().now() - started;
+             stats_.add(rtt.to_millis());
+             cb(rtt);
+           });
+    });
+  });
+}
+
+void ConsoleSession::type_burst(std::size_t count,
+                                std::function<void(sim::Accumulator)> cb) {
+  auto burst = std::make_shared<sim::Accumulator>();
+  auto remaining = std::make_shared<std::size_t>(count);
+  auto done = std::make_shared<std::function<void(sim::Accumulator)>>(std::move(cb));
+  if (count == 0) {
+    net_.simulation().schedule_after(sim::Duration::micros(1),
+                                     [burst, done] { (*done)(*burst); });
+    return;
+  }
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, burst, remaining, done, step] {
+    keystroke([this, burst, remaining, done, step](sim::Duration rtt) {
+      burst->add(rtt.to_millis());
+      if (--*remaining == 0) {
+        (*done)(*burst);
+        return;
+      }
+      // A fast typist: ~120 ms between keystrokes.
+      net_.simulation().schedule_after(sim::Duration::millis(120),
+                                       [step] { (*step)(); });
+    });
+  };
+  (*step)();
+}
+
+}  // namespace vmgrid::middleware

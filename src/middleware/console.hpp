@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/tunnel.hpp"
+#include "sim/stats.hpp"
+
+namespace vmgrid::middleware {
+
+struct ConsoleParams {
+  std::uint64_t keystroke_bytes{64};
+  std::uint64_t update_bytes{2048};  // encoded screen delta per echo
+  sim::Duration guest_render{sim::Duration::millis(3)};
+};
+
+/// §4 step 6: "if it is an interactive application, a handle is provided
+/// back to the user (e.g. a login session, or a virtual display session
+/// such as VNC)". A ConsoleSession models that display channel: a
+/// keystroke travels client → VM, the guest renders, and the screen
+/// update travels back. Optionally rides an Ethernet-over-SSH tunnel
+/// (the §3.3 scenario-2 path) instead of the raw network.
+class ConsoleSession {
+ public:
+  ConsoleSession(net::Network& net, net::NodeId client, net::NodeId vm_host,
+                 ConsoleParams params = {}, net::EthernetTunnel* tunnel = nullptr);
+
+  using EchoCallback = std::function<void(sim::Duration)>;
+
+  /// One keypress → render → screen-update round trip.
+  void keystroke(EchoCallback cb);
+
+  /// Type a burst of `count` keystrokes back to back; the callback fires
+  /// after the last echo with per-keystroke latency statistics.
+  void type_burst(std::size_t count, std::function<void(sim::Accumulator)> cb);
+
+  [[nodiscard]] const sim::Accumulator& echo_stats() const { return stats_; }
+
+ private:
+  void send(bool to_vm, std::uint64_t bytes, net::TransferCallback cb);
+
+  net::Network& net_;
+  net::NodeId client_;
+  net::NodeId vm_host_;
+  ConsoleParams params_;
+  net::EthernetTunnel* tunnel_;
+  sim::Accumulator stats_;
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,336 @@
+#include "middleware/constraint_lang.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFairShare: return "fair";
+    case SchedulerKind::kWfq: return "wfq";
+    case SchedulerKind::kLottery: return "lottery";
+    case SchedulerKind::kPriority: return "priority";
+    case SchedulerKind::kRealTime: return "rt";
+  }
+  return "?";
+}
+
+const EntityRule* OwnerPolicy::find(const std::string& entity) const {
+  auto it = std::find_if(rules.begin(), rules.end(),
+                         [&entity](const EntityRule& r) { return r.entity == entity; });
+  return it == rules.end() ? nullptr : &*it;
+}
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line;
+};
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(Token{cur, line});
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '#') {  // line comment
+      flush();
+      while (i < src.size() && src[i] != '\n') ++i;
+      ++line;
+      continue;
+    }
+    if (c == '\n') {
+      flush();
+      ++line;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+      continue;
+    }
+    if (c == '{' || c == '}' || c == ';') {
+      flush();
+      tokens.push_back(Token{std::string{c}, line});
+      continue;
+    }
+    cur.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_{std::move(tokens)} {}
+
+  ParseResult run() {
+    parse_policy_block();
+    ParseResult out;
+    out.errors = std::move(errors_);
+    if (out.errors.empty()) out.policy = std::move(policy_);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  const Token& next() { return tokens_[pos_++]; }
+  [[nodiscard]] std::size_t here() const {
+    return done() ? (tokens_.empty() ? 1 : tokens_.back().line) : peek().line;
+  }
+
+  void error(std::string message) { errors_.push_back(ParseError{here(), std::move(message)}); }
+
+  bool expect(const std::string& text) {
+    if (done() || peek().text != text) {
+      error("expected '" + text + "'" + (done() ? " at end of input" : ", got '" + peek().text + "'"));
+      return false;
+    }
+    next();
+    return true;
+  }
+
+  void skip_statement() {
+    while (!done() && peek().text != ";" && peek().text != "}") next();
+    if (!done() && peek().text == ";") next();
+  }
+
+  std::optional<double> parse_number(const std::string& t) {
+    double value{};
+    const auto* begin = t.data();
+    const auto* end = t.data() + t.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+  }
+
+  std::optional<sim::Duration> parse_duration(const std::string& t) {
+    // number followed by unit suffix: us / ms / s.
+    std::size_t unit_pos = t.size();
+    while (unit_pos > 0 && !std::isdigit(static_cast<unsigned char>(t[unit_pos - 1])) &&
+           t[unit_pos - 1] != '.') {
+      --unit_pos;
+    }
+    const std::string num = t.substr(0, unit_pos);
+    const std::string unit = t.substr(unit_pos);
+    const auto value = parse_number(num);
+    if (!value) return std::nullopt;
+    if (unit == "us") return sim::Duration::seconds(*value / 1e6);
+    if (unit == "ms") return sim::Duration::seconds(*value / 1e3);
+    if (unit == "s") return sim::Duration::seconds(*value);
+    return std::nullopt;
+  }
+
+  /// Parse `key=value` and return value text, or nullopt.
+  std::optional<std::string> parse_kv(const std::string& token, const std::string& key) {
+    const auto prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0) return std::nullopt;
+    return token.substr(prefix.size());
+  }
+
+  EntityRule& rule_for(const std::string& entity) {
+    auto it = std::find_if(policy_.rules.begin(), policy_.rules.end(),
+                           [&entity](const EntityRule& r) { return r.entity == entity; });
+    if (it != policy_.rules.end()) return *it;
+    EntityRule fresh;
+    fresh.entity = entity;
+    policy_.rules.push_back(std::move(fresh));
+    return policy_.rules.back();
+  }
+
+  void parse_policy_block() {
+    if (!expect("policy")) return;
+    if (!done() && peek().text != "{") policy_.name = next().text;
+    if (!expect("{")) return;
+    while (!done() && peek().text != "}") parse_statement();
+    expect("}");
+    if (!done()) error("unexpected trailing input '" + peek().text + "'");
+  }
+
+  void parse_statement() {
+    const Token verb = next();
+    if (verb.text == "scheduler") {
+      parse_scheduler();
+    } else if (verb.text == "reserve") {
+      parse_entity_number([](EntityRule& r, double v) { r.reservation = v; },
+                          "reserve", 0.0, 1.0);
+    } else if (verb.text == "rt") {
+      parse_rt();
+    } else if (verb.text == "shares") {
+      parse_entity_number(
+          [](EntityRule& r, double v) { r.tickets = static_cast<std::uint32_t>(v); },
+          "shares", 1.0, 1e9);
+    } else if (verb.text == "weight") {
+      parse_entity_number([](EntityRule& r, double v) { r.weight = v; }, "weight",
+                          1e-9, 1e9);
+    } else if (verb.text == "nice") {
+      parse_entity_number([](EntityRule& r, double v) { r.nice = static_cast<int>(v); },
+                          "nice", -20.0, 19.0);
+    } else if (verb.text == "dutycycle") {
+      parse_dutycycle();
+    } else if (verb.text == "cap") {
+      parse_entity_number([](EntityRule& r, double v) { r.cap = v; }, "cap", 0.0, 1.0);
+    } else if (verb.text == "limit") {
+      parse_limit();
+    } else {
+      error("unknown statement '" + verb.text + "'");
+      skip_statement();
+    }
+  }
+
+  void parse_scheduler() {
+    if (done()) {
+      error("scheduler: missing kind");
+      return;
+    }
+    const std::string kind = next().text;
+    if (kind == "fair") {
+      policy_.scheduler = SchedulerKind::kFairShare;
+    } else if (kind == "wfq") {
+      policy_.scheduler = SchedulerKind::kWfq;
+    } else if (kind == "lottery") {
+      policy_.scheduler = SchedulerKind::kLottery;
+    } else if (kind == "priority") {
+      policy_.scheduler = SchedulerKind::kPriority;
+    } else if (kind == "rt") {
+      policy_.scheduler = SchedulerKind::kRealTime;
+    } else {
+      error("unknown scheduler kind '" + kind + "'");
+    }
+    expect(";");
+  }
+
+  template <typename Apply>
+  void parse_entity_number(Apply apply, const std::string& what, double lo, double hi) {
+    if (done()) {
+      error(what + ": missing entity");
+      return;
+    }
+    const std::string entity = next().text;
+    if (done()) {
+      error(what + ": missing value");
+      return;
+    }
+    const auto value = parse_number(next().text);
+    if (!value) {
+      error(what + ": value is not a number");
+      skip_statement();
+      return;
+    }
+    if (*value < lo || *value > hi) {
+      error(what + ": value out of range [" + std::to_string(lo) + ", " +
+            std::to_string(hi) + "]");
+      skip_statement();
+      return;
+    }
+    apply(rule_for(entity), *value);
+    expect(";");
+  }
+
+  void parse_rt() {
+    if (done()) {
+      error("rt: missing entity");
+      return;
+    }
+    const std::string entity = next().text;
+    std::optional<sim::Duration> slice, period;
+    while (!done() && peek().text != ";" && peek().text != "}") {
+      const std::string t = next().text;
+      if (auto v = parse_kv(t, "slice")) {
+        slice = parse_duration(*v);
+        if (!slice) error("rt: bad slice duration '" + *v + "'");
+      } else if (auto v2 = parse_kv(t, "period")) {
+        period = parse_duration(*v2);
+        if (!period) error("rt: bad period duration '" + *v2 + "'");
+      } else {
+        error("rt: unexpected token '" + t + "'");
+      }
+    }
+    expect(";");
+    if (!slice || !period) {
+      error("rt: requires slice= and period=");
+      return;
+    }
+    if (*period <= sim::Duration::zero() || *slice > *period) {
+      error("rt: slice must not exceed period");
+      return;
+    }
+    rule_for(entity).reservation = *slice / *period;
+  }
+
+  void parse_dutycycle() {
+    if (done()) {
+      error("dutycycle: missing entity");
+      return;
+    }
+    const std::string entity = next().text;
+    if (done()) {
+      error("dutycycle: missing fraction");
+      return;
+    }
+    const auto duty = parse_number(next().text);
+    if (!duty || *duty < 0.0 || *duty > 1.0) {
+      error("dutycycle: fraction must be in [0, 1]");
+      skip_statement();
+      return;
+    }
+    auto& rule = rule_for(entity);
+    rule.duty = *duty;
+    while (!done() && peek().text != ";" && peek().text != "}") {
+      const std::string t = next().text;
+      if (auto v = parse_kv(t, "period")) {
+        if (auto d = parse_duration(*v)) {
+          rule.duty_period = *d;
+        } else {
+          error("dutycycle: bad period '" + *v + "'");
+        }
+      } else {
+        error("dutycycle: unexpected token '" + t + "'");
+      }
+    }
+    expect(";");
+  }
+
+  void parse_limit() {
+    if (done() || next().text != "guest_total") {
+      error("limit: only 'guest_total' is supported");
+      skip_statement();
+      return;
+    }
+    if (done()) {
+      error("limit: missing fraction");
+      return;
+    }
+    const auto value = parse_number(next().text);
+    if (!value || *value < 0.0 || *value > 1.0) {
+      error("limit: fraction must be in [0, 1]");
+      skip_statement();
+      return;
+    }
+    policy_.guest_total_limit = *value;
+    expect(";");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+  OwnerPolicy policy_;
+  std::vector<ParseError> errors_;
+};
+
+}  // namespace
+
+ParseResult parse_policy(const std::string& source) {
+  return Parser{tokenize(source)}.run();
+}
+
+}  // namespace vmgrid::middleware

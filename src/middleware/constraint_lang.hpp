@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::middleware {
+
+/// §3.2: "Our approach to the complex and varying constraints of resource
+/// owners is to use a specialized language for specifying the constraints,
+/// and a toolchain for enforcing [them] when scheduling virtual machines
+/// on the host operating system."
+///
+/// Grammar (line comments start with '#'):
+///
+///   policy <name> {
+///     scheduler fair | wfq | lottery | priority | rt ;
+///     reserve   <entity> <fraction> ;            # CPU reservation
+///     rt        <entity> slice=<dur> period=<dur> ;  # same, slice/period form
+///     shares    <entity> <int> ;                 # lottery tickets
+///     weight    <entity> <float> ;               # wfq / fair-share weight
+///     nice      <entity> <int> ;                 # priority level
+///     dutycycle <entity> <fraction> [period=<dur>] ; # SIGSTOP/SIGCONT throttle
+///     cap       <entity> <fraction> ;            # hard demand cap
+///     limit guest_total <fraction> ;             # bound on Σ guest demand
+///   }
+///
+/// Durations: e.g. 10ms, 2s, 500us.
+
+enum class SchedulerKind { kFairShare, kWfq, kLottery, kPriority, kRealTime };
+
+[[nodiscard]] const char* to_string(SchedulerKind k);
+
+struct EntityRule {
+  std::string entity;
+  std::optional<double> reservation;
+  std::optional<std::uint32_t> tickets;
+  std::optional<double> weight;
+  std::optional<int> nice;
+  std::optional<double> duty;
+  sim::Duration duty_period{sim::Duration::seconds(1)};
+  std::optional<double> cap;
+};
+
+struct OwnerPolicy {
+  std::string name;
+  SchedulerKind scheduler{SchedulerKind::kFairShare};
+  std::vector<EntityRule> rules;  // insertion order preserved
+  std::optional<double> guest_total_limit;
+
+  [[nodiscard]] const EntityRule* find(const std::string& entity) const;
+};
+
+struct ParseError {
+  std::size_t line;
+  std::string message;
+};
+
+struct ParseResult {
+  std::optional<OwnerPolicy> policy;  // set iff errors is empty
+  std::vector<ParseError> errors;
+
+  [[nodiscard]] bool ok() const { return policy.has_value(); }
+};
+
+[[nodiscard]] ParseResult parse_policy(const std::string& source);
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,19 @@
+#include "middleware/image_server.hpp"
+
+namespace vmgrid::middleware {
+
+DataServer::DataServer(sim::Simulation& s, net::Network& net, net::RpcFabric& fabric,
+                       DataServerParams params)
+    : sim_{s},
+      params_{std::move(params)},
+      node_{net.add_node(params_.name)},
+      disk_{s, params_.disk},
+      fs_{s, disk_},
+      nfs_{fabric, node_, fs_, params_.rpc} {}
+
+void DataServer::add_user_file(const std::string& user, const std::string& file,
+                               std::uint64_t bytes) {
+  fs_.create(user_path(user, file), bytes);
+}
+
+}  // namespace vmgrid::middleware

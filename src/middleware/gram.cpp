@@ -1,0 +1,74 @@
+#include "middleware/gram.hpp"
+
+#include <utility>
+
+namespace vmgrid::middleware {
+
+namespace {
+struct SubmitArgs {
+  std::string rsl;
+};
+struct SubmitReply {
+  bool ok{false};
+  std::string output;
+};
+}  // namespace
+
+GramService::GramService(net::RpcServer& server, GramParams params)
+    : server_{server}, params_{params} {
+  server_.register_method(
+      "gram.ping", [](const net::RpcRequest&, net::RpcResponder respond) {
+        respond(net::RpcResponse{.ok = true,
+                                 .error = {},
+                                 .response_bytes = 64,
+                                 .payload = {}});
+      });
+  server_.register_method(
+      "gram.submit", [this](const net::RpcRequest& req, net::RpcResponder respond) {
+        const auto& args = std::any_cast<const SubmitArgs&>(req.payload);
+        if (!executor_) {
+          respond(net::RpcResponse{.ok = false,
+                                   .error = "gatekeeper has no executor configured",
+                                   .response_bytes = 128,
+                                   .payload = {}});
+          return;
+        }
+        ++jobs_;
+        auto& sim = server_.fabric().simulation();
+        // GSI mutual authentication, then jobmanager fork/exec, then the
+        // job itself; the reply is held until the job completes (the
+        // -interactive globusrun behaviour the paper timed).
+        sim.schedule_after(
+            params_.auth_time + params_.jobmanager_startup,
+            [this, rsl = args.rsl, respond = std::move(respond)]() mutable {
+              executor_(rsl, [respond = std::move(respond)](bool ok, std::string output) {
+                respond(net::RpcResponse{.ok = ok,
+                                         .error = ok ? "" : output,
+                                         .response_bytes = 256,
+                                         .payload = SubmitReply{ok, std::move(output)}});
+              });
+            });
+      });
+}
+
+void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
+                           ResultCallback cb) {
+  // Capture the fabric by reference, not `this`: GramClient is commonly a
+  // short-lived stack object while the fabric outlives the whole run.
+  auto& fabric = fabric_;
+  const auto started = fabric.simulation().now();
+  fabric.call(self_, gatekeeper, net::RpcRequest{"gram.submit", 2048, SubmitArgs{rsl}},
+              [&fabric, started, cb = std::move(cb)](net::RpcResponse resp) {
+                GramJobResult r;
+                r.elapsed = fabric.simulation().now() - started;
+                r.ok = resp.ok;
+                if (resp.ok) {
+                  r.output = std::any_cast<const SubmitReply&>(resp.payload).output;
+                } else {
+                  r.error = resp.error;
+                }
+                cb(std::move(r));
+              });
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/rpc.hpp"
+
+namespace vmgrid::middleware {
+
+/// Globus-2-era GRAM cost profile: GSI mutual authentication plus the
+/// fork/exec of a per-job jobmanager process. Together with the RPC round
+/// trips this reproduces the few-seconds `globusrun` overhead visible in
+/// the paper's Table 2.
+struct GramParams {
+  sim::Duration auth_time{sim::Duration::millis(1400)};
+  sim::Duration jobmanager_startup{sim::Duration::millis(1100)};
+};
+
+struct GramJobResult {
+  bool ok{false};
+  std::string error;
+  std::string output;
+  sim::Duration elapsed{};
+};
+
+/// Server side: the gatekeeper. The hosting component (a compute server)
+/// installs an executor that interprets RSL job descriptions; the
+/// gatekeeper charges authentication + jobmanager costs around it.
+class GramService {
+ public:
+  /// Registers gram.* methods on a shared per-node RPC server.
+  GramService(net::RpcServer& server, GramParams params = {});
+
+  using ExecutorDone = std::function<void(bool ok, std::string output)>;
+  using Executor = std::function<void(const std::string& rsl, ExecutorDone done)>;
+
+  /// The executor runs once per submitted job, after auth + startup.
+  void set_executor(Executor exec) { executor_ = std::move(exec); }
+
+  [[nodiscard]] std::uint64_t jobs_run() const { return jobs_; }
+
+ private:
+  net::RpcServer& server_;
+  GramParams params_;
+  Executor executor_;
+  std::uint64_t jobs_{0};
+};
+
+/// Client side: `globusrun` — submit an RSL string to a gatekeeper node
+/// and wait for the job to finish. The callback receives the job result
+/// with wall-clock elapsed time measured exactly like the paper measured
+/// `globusrun` (start of submission to completion).
+class GramClient {
+ public:
+  GramClient(net::RpcFabric& fabric, net::NodeId self) : fabric_{fabric}, self_{self} {}
+
+  using ResultCallback = std::function<void(GramJobResult)>;
+
+  void globusrun(net::NodeId gatekeeper, const std::string& rsl, ResultCallback cb);
+
+ private:
+  net::RpcFabric& fabric_;
+  net::NodeId self_;
+};
+
+}  // namespace vmgrid::middleware

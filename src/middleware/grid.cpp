@@ -1,0 +1,61 @@
+#include "middleware/grid.hpp"
+
+#include <utility>
+
+#include "middleware/session.hpp"
+
+namespace vmgrid::middleware {
+
+Grid::Grid(std::uint64_t seed)
+    : sim_{seed},
+      net_{sim_},
+      fabric_{net_},
+      gvfs_{fabric_},
+      info_{sim_},
+      ftp_{sim_, net_} {
+  sessions_ = std::make_unique<SessionManager>(*this);
+}
+
+Grid::~Grid() = default;
+
+net::LinkParams Grid::lan_link() {
+  return net::LinkParams{sim::Duration::micros(200), 10e6};
+}
+
+net::LinkParams Grid::wan_link(sim::Duration one_way, double bandwidth_bps) {
+  return net::LinkParams{one_way, bandwidth_bps};
+}
+
+net::NodeId Grid::add_router(const std::string& name) { return net_.add_node(name); }
+
+net::NodeId Grid::add_client(const std::string& name) { return net_.add_node(name); }
+
+void Grid::connect(net::NodeId a, net::NodeId b, net::LinkParams params) {
+  net_.add_link(a, b, params);
+}
+
+ComputeServer& Grid::add_compute_server(ComputeServerParams params) {
+  compute_.push_back(
+      std::make_unique<ComputeServer>(sim_, net_, fabric_, gvfs_, std::move(params)));
+  compute_.back()->publish(info_);
+  return *compute_.back();
+}
+
+ImageServer& Grid::add_image_server(ImageServerParams params) {
+  images_.push_back(std::make_unique<ImageServer>(sim_, net_, fabric_, std::move(params)));
+  return *images_.back();
+}
+
+DataServer& Grid::add_data_server(DataServerParams params) {
+  data_.push_back(std::make_unique<DataServer>(sim_, net_, fabric_, std::move(params)));
+  return *data_.back();
+}
+
+std::vector<ComputeServer*> Grid::compute_servers() {
+  std::vector<ComputeServer*> out;
+  out.reserve(compute_.size());
+  for (auto& c : compute_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace vmgrid::middleware

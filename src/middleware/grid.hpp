@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "middleware/accounting.hpp"
+#include "middleware/compute_server.hpp"
+#include "middleware/gridftp.hpp"
+#include "middleware/image_server.hpp"
+#include "middleware/information_service.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "vfs/grid_vfs.hpp"
+
+namespace vmgrid::middleware {
+
+class SessionManager;
+
+/// Top-level facade: owns the simulation kernel and the shared grid
+/// services (network, RPC fabric, grid virtual file system, information
+/// service, accounting) plus the servers created through it. Examples
+/// and benches build their world through a Grid.
+class Grid {
+ public:
+  explicit Grid(std::uint64_t seed = 1);
+  ~Grid();
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] net::RpcFabric& fabric() { return fabric_; }
+  [[nodiscard]] vfs::GridVfs& gvfs() { return gvfs_; }
+  [[nodiscard]] InformationService& info() { return info_; }
+  [[nodiscard]] Accounting& accounting() { return accounting_; }
+  [[nodiscard]] GridFtp& ftp() { return ftp_; }
+  [[nodiscard]] SessionManager& sessions() { return *sessions_; }
+
+  // --- topology ---
+  /// 2003-era switched LAN: sub-millisecond, ~100 Mbit.
+  [[nodiscard]] static net::LinkParams lan_link();
+  /// The paper's UFL <-> NWU wide-area path (~35 ms RTT).
+  [[nodiscard]] static net::LinkParams wan_link(
+      sim::Duration one_way = sim::Duration::millis(17),
+      double bandwidth_bps = 2.5e6);
+
+  net::NodeId add_router(const std::string& name);
+  net::NodeId add_client(const std::string& name);  // user workstation
+  void connect(net::NodeId a, net::NodeId b, net::LinkParams params);
+
+  // --- servers (owned by the grid) ---
+  ComputeServer& add_compute_server(ComputeServerParams params = {});
+  ImageServer& add_image_server(ImageServerParams params = {});
+  DataServer& add_data_server(DataServerParams params = {});
+
+  [[nodiscard]] std::vector<ComputeServer*> compute_servers();
+
+  // --- execution ---
+  void run() { sim_.run(); }
+  void run_for(sim::Duration d) { sim_.run_for(d); }
+  [[nodiscard]] sim::TimePoint now() const { return sim_.now(); }
+
+ private:
+  sim::Simulation sim_;
+  net::Network net_;
+  net::RpcFabric fabric_;
+  vfs::GridVfs gvfs_;
+  InformationService info_;
+  Accounting accounting_;
+  GridFtp ftp_;
+  std::vector<std::unique_ptr<ComputeServer>> compute_;
+  std::vector<std::unique_ptr<ImageServer>> images_;
+  std::vector<std::unique_ptr<DataServer>> data_;
+  std::unique_ptr<SessionManager> sessions_;
+};
+
+}  // namespace vmgrid::middleware

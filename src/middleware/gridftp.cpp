@@ -1,0 +1,101 @@
+#include "middleware/gridftp.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+namespace {
+
+struct TransferState : std::enable_shared_from_this<TransferState> {
+  sim::Simulation* sim;
+  net::Network* net;
+  storage::LocalFileSystem* src_fs;
+  storage::LocalFileSystem* dst_fs;
+  net::NodeId src_node, dst_node;
+  std::string src_path, dst_path;
+  GridFtpParams params;
+  GridFtp::StagingCallback cb;
+
+  std::uint64_t total{0};
+  std::uint64_t next_offset{0};
+  std::uint64_t written{0};
+  sim::TimePoint started{};
+  bool finished{false};
+
+  void begin() {
+    started = sim->now();
+    const auto size = src_fs->size(src_path);
+    if (!size) {
+      finish(false, "gridftp: no such file: " + src_path);
+      return;
+    }
+    total = *size;
+    dst_fs->create(dst_path, total);
+    auto self = shared_from_this();
+    sim->schedule_after(params.control_setup, [self] {
+      if (self->total == 0) {
+        self->finish(true, {});
+        return;
+      }
+      const auto streams = std::max<std::uint32_t>(1, self->params.parallel_streams);
+      for (std::uint32_t i = 0; i < streams; ++i) self->pump();
+    });
+  }
+
+  /// One stream: claim the next chunk, read, ship, write, repeat.
+  void pump() {
+    if (finished || next_offset >= total) return;
+    const std::uint64_t offset = next_offset;
+    const std::uint64_t chunk = std::min(params.chunk_bytes, total - offset);
+    next_offset += chunk;
+    auto self = shared_from_this();
+    src_fs->read(src_path, offset, chunk, [self, offset, chunk](storage::ReadResult) {
+      self->net->send(self->src_node, self->dst_node, chunk,
+                      [self, offset, chunk](const net::TransferResult&) {
+                        self->dst_fs->write(self->dst_path, offset, chunk, [self, chunk] {
+                          self->written += chunk;
+                          if (self->written >= self->total) {
+                            self->finish(true, {});
+                          } else {
+                            self->pump();
+                          }
+                        });
+                      });
+    });
+  }
+
+  void finish(bool ok, std::string error) {
+    if (finished) return;
+    finished = true;
+    StagingResult r;
+    r.ok = ok;
+    r.error = std::move(error);
+    r.elapsed = sim->now() - started;
+    r.bytes = written;
+    cb(std::move(r));
+  }
+};
+
+}  // namespace
+
+void GridFtp::transfer(storage::LocalFileSystem& src_fs, net::NodeId src_node,
+                       const std::string& src_path, storage::LocalFileSystem& dst_fs,
+                       net::NodeId dst_node, const std::string& dst_path,
+                       GridFtpParams params, StagingCallback cb) {
+  auto st = std::make_shared<TransferState>();
+  st->sim = &sim_;
+  st->net = &net_;
+  st->src_fs = &src_fs;
+  st->dst_fs = &dst_fs;
+  st->src_node = src_node;
+  st->dst_node = dst_node;
+  st->src_path = src_path;
+  st->dst_path = dst_path;
+  st->params = params;
+  st->cb = std::move(cb);
+  st->begin();
+}
+
+}  // namespace vmgrid::middleware

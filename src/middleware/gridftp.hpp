@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+#include "storage/local_fs.hpp"
+
+namespace vmgrid::middleware {
+
+struct GridFtpParams {
+  std::uint32_t parallel_streams{4};
+  std::uint64_t chunk_bytes{4ull << 20};
+  sim::Duration control_setup{sim::Duration::millis(400)};  // auth + channel setup
+};
+
+struct StagingResult {
+  bool ok{true};
+  std::string error;
+  sim::Duration elapsed{};
+  std::uint64_t bytes{0};
+};
+
+/// Explicit whole-file staging (GridFTP/GASS style): the transfer model
+/// the paper contrasts with on-demand virtual-file-system access. Reads
+/// the source file in chunks, ships them over `parallel_streams`
+/// concurrent TCP streams, writes them at the destination.
+class GridFtp {
+ public:
+  explicit GridFtp(sim::Simulation& s, net::Network& net) : sim_{s}, net_{net} {}
+
+  using StagingCallback = std::function<void(StagingResult)>;
+
+  void transfer(storage::LocalFileSystem& src_fs, net::NodeId src_node,
+                const std::string& src_path, storage::LocalFileSystem& dst_fs,
+                net::NodeId dst_node, const std::string& dst_path,
+                GridFtpParams params, StagingCallback cb);
+
+  void transfer(storage::LocalFileSystem& src_fs, net::NodeId src_node,
+                const std::string& src_path, storage::LocalFileSystem& dst_fs,
+                net::NodeId dst_node, const std::string& dst_path, StagingCallback cb) {
+    transfer(src_fs, src_node, src_path, dst_fs, dst_node, dst_path, GridFtpParams{},
+             std::move(cb));
+  }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,57 @@
+#include "middleware/image_server.hpp"
+
+#include <algorithm>
+
+#include "middleware/information_service.hpp"
+
+namespace vmgrid::middleware {
+
+ImageServer::ImageServer(sim::Simulation& s, net::Network& net, net::RpcFabric& fabric,
+                         ImageServerParams params)
+    : sim_{s},
+      params_{std::move(params)},
+      node_{net.add_node(params_.name)},
+      disk_{s, params_.disk},
+      fs_{s, disk_},
+      nfs_{fabric, node_, fs_, params_.rpc} {}
+
+void ImageServer::add_image(const vm::VmImageSpec& spec, InformationService* info) {
+  fs_.create(spec.disk_file(), spec.disk_bytes);
+  if (spec.memory_state_bytes > 0) {
+    fs_.create(spec.memory_file(), spec.memory_state_bytes + spec.device_state_bytes);
+  }
+  auto it = std::find_if(images_.begin(), images_.end(),
+                         [&spec](const vm::VmImageSpec& i) { return i.name == spec.name; });
+  if (it != images_.end()) {
+    *it = spec;
+  } else {
+    images_.push_back(spec);
+  }
+  if (info != nullptr) {
+    ImageRecord rec;
+    rec.name = spec.name;
+    rec.os = spec.os;
+    rec.disk_bytes = spec.disk_bytes;
+    rec.has_memory_snapshot = spec.memory_state_bytes > 0;
+    rec.server_node = node_;
+    rec.spec = spec;
+    rec.binding = this;
+    info->register_image(std::move(rec));
+  }
+}
+
+const vm::VmImageSpec* ImageServer::find(const std::string& name) const {
+  auto it = std::find_if(images_.begin(), images_.end(),
+                         [&name](const vm::VmImageSpec& i) { return i.name == name; });
+  return it == images_.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> ImageServer::catalog() const {
+  std::vector<std::string> names;
+  names.reserve(images_.size());
+  for (const auto& i : images_) names.push_back(i.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "storage/disk.hpp"
+#include "storage/local_fs.hpp"
+#include "storage/nfs_server.hpp"
+#include "vm/vm_image.hpp"
+
+namespace vmgrid::middleware {
+
+class InformationService;
+
+struct ImageServerParams {
+  std::string name{"image-server"};
+  storage::DiskParams disk{};
+  net::RpcServerParams rpc{};
+};
+
+/// Archive of static VM states (§3.1's "image server" role): a storage
+/// node exporting VM disk images and post-boot memory snapshots over
+/// NFS, with the catalog published to the information service.
+class ImageServer {
+ public:
+  ImageServer(sim::Simulation& s, net::Network& net, net::RpcFabric& fabric,
+              ImageServerParams params = {});
+
+  /// Create the image's backing files and advertise it. Re-adding an
+  /// image with the same name replaces it.
+  void add_image(const vm::VmImageSpec& spec, InformationService* info = nullptr);
+
+  [[nodiscard]] const vm::VmImageSpec* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> catalog() const;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] storage::LocalFileSystem& fs() { return fs_; }
+  [[nodiscard]] storage::Disk& disk() { return disk_; }
+
+ private:
+  sim::Simulation& sim_;
+  ImageServerParams params_;
+  net::NodeId node_;
+  storage::Disk disk_;
+  storage::LocalFileSystem fs_;
+  storage::NfsServer nfs_;
+  std::vector<vm::VmImageSpec> images_;
+};
+
+/// Storage for user/application data (§3.1's "data server" role).
+struct DataServerParams {
+  std::string name{"data-server"};
+  storage::DiskParams disk{};
+  net::RpcServerParams rpc{};
+};
+
+class DataServer {
+ public:
+  DataServer(sim::Simulation& s, net::Network& net, net::RpcFabric& fabric,
+             DataServerParams params = {});
+
+  /// Provision a user file of the given size.
+  void add_user_file(const std::string& user, const std::string& file,
+                     std::uint64_t bytes);
+
+  /// Canonical path of a user file within the export.
+  [[nodiscard]] static std::string user_path(const std::string& user,
+                                             const std::string& file) {
+    return user + "/" + file;
+  }
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] storage::LocalFileSystem& fs() { return fs_; }
+
+ private:
+  sim::Simulation& sim_;
+  DataServerParams params_;
+  net::NodeId node_;
+  storage::Disk disk_;
+  storage::LocalFileSystem fs_;
+  storage::NfsServer nfs_;
+};
+
+}  // namespace vmgrid::middleware

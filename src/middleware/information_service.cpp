@@ -1,0 +1,185 @@
+#include "middleware/information_service.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+namespace {
+template <typename Rec>
+auto find_by_name(std::vector<Rec>& table, const std::string& name) {
+  return std::find_if(table.begin(), table.end(),
+                      [&name](const Rec& r) { return r.name == name; });
+}
+}  // namespace
+
+void InformationService::register_host(HostRecord rec) {
+  auto it = find_by_name(hosts_, rec.name);
+  if (it != hosts_.end()) {
+    *it = std::move(rec);
+  } else {
+    hosts_.push_back(std::move(rec));
+  }
+}
+
+void InformationService::update_host(const std::string& name, double load,
+                                     std::uint64_t free_mb) {
+  auto it = find_by_name(hosts_, name);
+  if (it == hosts_.end()) return;
+  it->current_load = load;
+  it->free_memory_mb = free_mb;
+}
+
+void InformationService::unregister_host(const std::string& name) {
+  auto it = find_by_name(hosts_, name);
+  if (it != hosts_.end()) hosts_.erase(it);
+}
+
+void InformationService::register_image(ImageRecord rec) {
+  auto it = find_by_name(images_, rec.name);
+  if (it != images_.end()) {
+    *it = std::move(rec);
+  } else {
+    images_.push_back(std::move(rec));
+  }
+}
+
+void InformationService::unregister_image(const std::string& name) {
+  auto it = find_by_name(images_, name);
+  if (it != images_.end()) images_.erase(it);
+}
+
+void InformationService::register_future(VmFutureRecord rec) {
+  auto it = std::find_if(futures_.begin(), futures_.end(), [&rec](const VmFutureRecord& f) {
+    return f.host_name == rec.host_name;
+  });
+  if (it != futures_.end()) {
+    *it = std::move(rec);
+  } else {
+    futures_.push_back(std::move(rec));
+  }
+}
+
+void InformationService::update_future(const std::string& host_name,
+                                       std::uint32_t active) {
+  auto it = std::find_if(futures_.begin(), futures_.end(),
+                         [&host_name](const VmFutureRecord& f) {
+                           return f.host_name == host_name;
+                         });
+  if (it != futures_.end()) it->active_instances = active;
+}
+
+void InformationService::register_vm(VmRecord rec) {
+  auto it = find_by_name(vms_, rec.name);
+  if (it != vms_.end()) {
+    *it = std::move(rec);
+  } else {
+    vms_.push_back(std::move(rec));
+  }
+}
+
+void InformationService::update_vm_state(const std::string& name,
+                                         const std::string& state) {
+  auto it = find_by_name(vms_, name);
+  if (it != vms_.end()) it->state = state;
+}
+
+void InformationService::unregister_vm(const std::string& name) {
+  auto it = find_by_name(vms_, name);
+  if (it != vms_.end()) vms_.erase(it);
+}
+
+template <typename Rec, typename Pred>
+void InformationService::scan(const std::vector<Rec>& table, Pred pred,
+                              QueryOptions opts,
+                              std::function<void(std::vector<Rec>)> cb) {
+  // Budget: how many records the time bound allows us to examine.
+  const auto budget = static_cast<std::size_t>(
+      std::max<double>(1.0, opts.time_bound / per_record_cost_));
+  std::vector<std::size_t> order(table.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Nondeterministic examination order (seeded, so reproducible per run).
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[sim_.rng().index(i)]);
+  }
+  std::vector<Rec> results;
+  std::size_t examined = 0;
+  for (std::size_t idx : order) {
+    if (examined >= budget || results.size() >= opts.max_results) break;
+    ++examined;
+    if (pred(table[idx])) results.push_back(table[idx]);
+  }
+  const auto elapsed =
+      per_record_cost_ * static_cast<double>(std::max<std::size_t>(examined, 1));
+  sim_.schedule_after(elapsed,
+                      [cb = std::move(cb), results = std::move(results)]() mutable {
+                        cb(std::move(results));
+                      });
+}
+
+void InformationService::query_hosts(HostPredicate pred, QueryOptions opts,
+                                     std::function<void(std::vector<HostRecord>)> cb) {
+  scan(hosts_, std::move(pred), opts, std::move(cb));
+}
+
+void InformationService::query_images(ImagePredicate pred, QueryOptions opts,
+                                      std::function<void(std::vector<ImageRecord>)> cb) {
+  scan(images_, std::move(pred), opts, std::move(cb));
+}
+
+void InformationService::query_futures(
+    FuturePredicate pred, QueryOptions opts,
+    std::function<void(std::vector<VmFutureRecord>)> cb) {
+  scan(futures_, std::move(pred), opts, std::move(cb));
+}
+
+void InformationService::query_placements(FuturePredicate fpred, ImagePredicate ipred,
+                                          QueryOptions opts,
+                                          std::function<void(std::vector<Placement>)> cb) {
+  // Split the time bound across the two scans of the join.
+  QueryOptions half = opts;
+  half.time_bound = opts.time_bound / 2.0;
+  query_futures(
+      [fpred](const VmFutureRecord& f) {
+        return f.active_instances < f.max_instances && fpred(f);
+      },
+      half,
+      [this, ipred, half, cb = std::move(cb)](std::vector<VmFutureRecord> futures) mutable {
+        query_images(ipred, half,
+                     [futures = std::move(futures),
+                      cb = std::move(cb)](std::vector<ImageRecord> images) mutable {
+                       std::vector<Placement> out;
+                       for (const auto& f : futures) {
+                         for (const auto& i : images) {
+                           out.push_back(Placement{f, i});
+                         }
+                       }
+                       cb(std::move(out));
+                     });
+      });
+}
+
+std::optional<HostRecord> InformationService::lookup_host(const std::string& name) const {
+  auto it = std::find_if(hosts_.begin(), hosts_.end(),
+                         [&name](const HostRecord& r) { return r.name == name; });
+  if (it == hosts_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<ImageRecord> InformationService::lookup_image(
+    const std::string& name) const {
+  auto it = std::find_if(images_.begin(), images_.end(),
+                         [&name](const ImageRecord& r) { return r.name == name; });
+  if (it == images_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<VmRecord> InformationService::lookup_vm(const std::string& name) const {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&name](const VmRecord& r) { return r.name == name; });
+  if (it == vms_.end()) return std::nullopt;
+  return *it;
+}
+
+}  // namespace vmgrid::middleware

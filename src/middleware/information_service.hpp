@@ -1,0 +1,148 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/simulation.hpp"
+#include "vm/vm_image.hpp"
+
+namespace vmgrid::host {
+class PhysicalHost;
+}
+namespace vmgrid::vm {
+class Vmm;
+}
+
+namespace vmgrid::middleware {
+
+class ImageServer;
+class ComputeServer;
+
+/// Row in the hosts table (an MDS/URGIS-style resource record).
+struct HostRecord {
+  std::string name;
+  net::NodeId node{};
+  double ncpus{0};
+  std::uint32_t cpu_mhz{0};
+  std::uint64_t memory_mb{0};
+  std::uint64_t free_memory_mb{0};
+  std::string os;
+  double current_load{0.0};
+  ComputeServer* binding{nullptr};  // middleware-side handle, not serialized
+};
+
+/// Row in the images table.
+struct ImageRecord {
+  std::string name;
+  std::string os;
+  std::uint64_t disk_bytes{0};
+  bool has_memory_snapshot{false};
+  net::NodeId server_node{};
+  vm::VmImageSpec spec;
+  ImageServer* binding{nullptr};
+};
+
+/// A VM future (§3.2): a host advertising how many VMs of what size it
+/// is willing to instantiate.
+struct VmFutureRecord {
+  std::string host_name;
+  net::NodeId node{};
+  std::uint32_t max_instances{0};
+  std::uint32_t active_instances{0};
+  std::uint64_t max_memory_mb{0};
+  ComputeServer* binding{nullptr};
+};
+
+/// Row in the (dynamic) VM instances table.
+struct VmRecord {
+  std::string name;
+  std::string host_name;
+  std::string owner;
+  std::string state;
+  net::IpAddress ip{};
+};
+
+struct QueryOptions {
+  /// Paper model: queries are non-deterministic and return partial
+  /// results within a bounded amount of time. The bound caps how many
+  /// records the service can examine (examination order is randomized).
+  sim::Duration time_bound{sim::Duration::millis(50)};
+  std::size_t max_results{16};
+};
+
+/// A placement candidate produced by the futures ⋈ images join.
+struct Placement {
+  VmFutureRecord future;
+  ImageRecord image;
+};
+
+/// Grid information service: relational tables over hosts, images, VM
+/// futures, and live VM instances, queried with predicates and joins
+/// under a time bound.
+class InformationService {
+ public:
+  explicit InformationService(sim::Simulation& s,
+                              sim::Duration per_record_cost = sim::Duration::micros(25))
+      : sim_{s}, per_record_cost_{per_record_cost} {}
+
+  // --- registration (performed by middleware components) ---
+  void register_host(HostRecord rec);
+  void update_host(const std::string& name, double load, std::uint64_t free_mb);
+  void unregister_host(const std::string& name);
+
+  void register_image(ImageRecord rec);
+  void unregister_image(const std::string& name);
+
+  void register_future(VmFutureRecord rec);
+  void update_future(const std::string& host_name, std::uint32_t active);
+
+  void register_vm(VmRecord rec);
+  void update_vm_state(const std::string& name, const std::string& state);
+  void unregister_vm(const std::string& name);
+
+  // --- queries ---
+  using HostPredicate = std::function<bool(const HostRecord&)>;
+  using ImagePredicate = std::function<bool(const ImageRecord&)>;
+  using FuturePredicate = std::function<bool(const VmFutureRecord&)>;
+
+  void query_hosts(HostPredicate pred, QueryOptions opts,
+                   std::function<void(std::vector<HostRecord>)> cb);
+  void query_images(ImagePredicate pred, QueryOptions opts,
+                    std::function<void(std::vector<ImageRecord>)> cb);
+  void query_futures(FuturePredicate pred, QueryOptions opts,
+                     std::function<void(std::vector<VmFutureRecord>)> cb);
+
+  /// Join query: futures with spare capacity × images, both filtered,
+  /// subject to the combined time bound.
+  void query_placements(FuturePredicate fpred, ImagePredicate ipred, QueryOptions opts,
+                        std::function<void(std::vector<Placement>)> cb);
+
+  [[nodiscard]] std::optional<HostRecord> lookup_host(const std::string& name) const;
+  [[nodiscard]] std::optional<ImageRecord> lookup_image(const std::string& name) const;
+  [[nodiscard]] std::optional<VmRecord> lookup_vm(const std::string& name) const;
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t image_count() const { return images_.size(); }
+  [[nodiscard]] std::size_t future_count() const { return futures_.size(); }
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+
+ private:
+  /// Shared scan machinery: examine up to budget records in a random
+  /// order, collect matches, deliver after the time actually spent.
+  template <typename Rec, typename Pred>
+  void scan(const std::vector<Rec>& table, Pred pred, QueryOptions opts,
+            std::function<void(std::vector<Rec>)> cb);
+
+  sim::Simulation& sim_;
+  sim::Duration per_record_cost_;
+  std::vector<HostRecord> hosts_;
+  std::vector<ImageRecord> images_;
+  std::vector<VmFutureRecord> futures_;
+  std::vector<VmRecord> vms_;
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,93 @@
+#include "middleware/logical_accounts.hpp"
+
+#include <algorithm>
+
+#include "sim/simulation.hpp"
+
+namespace vmgrid::middleware {
+
+const char* to_string(GridOperation op) {
+  switch (op) {
+    case GridOperation::kInstantiateVm: return "instantiate-vm";
+    case GridOperation::kStoreImage: return "store-image";
+    case GridOperation::kMountData: return "mount-data";
+    case GridOperation::kMigrateVm: return "migrate-vm";
+    case GridOperation::kHibernateVm: return "hibernate-vm";
+  }
+  return "?";
+}
+
+LogicalAccountService::LogicalAccountService(sim::Simulation& s,
+                                             std::vector<std::string> physical_pool)
+    : sim_{s}, pool_{std::move(physical_pool)} {
+  for (const auto& p : pool_) free_.insert(p);
+}
+
+std::optional<std::string> LogicalAccountService::acquire(
+    const std::string& logical_user) {
+  if (auto it = leases_.find(logical_user); it != leases_.end()) {
+    return it->second;  // idempotent: sessions of one user share the lease
+  }
+  if (free_.empty()) return std::nullopt;
+  // Deterministic pick: the first pool entry that is free.
+  auto pick = std::find_if(pool_.begin(), pool_.end(),
+                           [this](const std::string& p) { return free_.contains(p); });
+  const std::string account = *pick;
+  free_.erase(account);
+  leases_.emplace(logical_user, account);
+  audit_.push_back(AuditEntry{logical_user, account, sim_.now(), std::nullopt});
+  return account;
+}
+
+void LogicalAccountService::release(const std::string& logical_user) {
+  auto it = leases_.find(logical_user);
+  if (it == leases_.end()) return;
+  for (auto rit = audit_.rbegin(); rit != audit_.rend(); ++rit) {
+    if (rit->logical_user == logical_user && !rit->until.has_value()) {
+      rit->until = sim_.now();
+      break;
+    }
+  }
+  free_.insert(it->second);
+  leases_.erase(it);
+}
+
+std::optional<std::string> LogicalAccountService::physical_for(
+    const std::string& logical_user) const {
+  auto it = leases_.find(logical_user);
+  if (it == leases_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LogicalAccountService::grant(const std::string& logical_user, GridOperation op) {
+  grants_[logical_user].insert(static_cast<int>(op));
+}
+
+void LogicalAccountService::revoke(const std::string& logical_user, GridOperation op) {
+  auto it = grants_.find(logical_user);
+  if (it != grants_.end()) it->second.erase(static_cast<int>(op));
+}
+
+void LogicalAccountService::restrict_operation(GridOperation op) {
+  restricted_.insert(static_cast<int>(op));
+}
+
+bool LogicalAccountService::authorize(const std::string& logical_user,
+                                      GridOperation op) const {
+  if (!restricted_.contains(static_cast<int>(op))) return true;
+  auto it = grants_.find(logical_user);
+  return it != grants_.end() && it->second.contains(static_cast<int>(op));
+}
+
+std::optional<std::string> LogicalAccountService::holder_at(
+    const std::string& physical_account, sim::TimePoint t) const {
+  for (const auto& e : audit_) {
+    if (e.physical_account != physical_account) continue;
+    const bool started = e.from <= t;
+    const bool not_ended = !e.until.has_value() || t < *e.until;
+    if (started && not_ended) return e.logical_user;
+  }
+  return std::nullopt;
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+class Simulation;
+}
+
+namespace vmgrid::middleware {
+
+/// Operations a logical user may be authorized for.
+enum class GridOperation {
+  kInstantiateVm,
+  kStoreImage,
+  kMountData,
+  kMigrateVm,
+  kHibernateVm,
+};
+
+[[nodiscard]] const char* to_string(GridOperation op);
+
+/// PUNCH-style logical user accounts (§3.1, Kapadia/Figueiredo/Fortes):
+/// grid users are *logical* identities leased onto a site's small pool
+/// of physical accounts only for the duration of a session. The mapping
+/// history is retained for accountability — the property that lets the
+/// site audit "which logical user held physical account pX at time t".
+///
+/// VMs subsume most of this mechanism (each guest gets a whole OS), but
+/// the service remains the glue between site accounts and grid identity,
+/// and the capability table is where per-user policy lives.
+class LogicalAccountService {
+ public:
+  explicit LogicalAccountService(sim::Simulation& s,
+                                 std::vector<std::string> physical_pool);
+
+  /// Lease a physical account for a logical user. A user holding a lease
+  /// gets the same account back (sessions of one user share it). Returns
+  /// nullopt when the pool is exhausted.
+  [[nodiscard]] std::optional<std::string> acquire(const std::string& logical_user);
+
+  /// Release the user's lease (no-op if none held).
+  void release(const std::string& logical_user);
+
+  [[nodiscard]] std::optional<std::string> physical_for(
+      const std::string& logical_user) const;
+  [[nodiscard]] std::size_t pool_size() const { return pool_.size(); }
+  [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
+
+  // --- capabilities ---
+  void grant(const std::string& logical_user, GridOperation op);
+  void revoke(const std::string& logical_user, GridOperation op);
+  /// Everyone may do `op` unless explicitly restricted for that op.
+  void restrict_operation(GridOperation op);
+  [[nodiscard]] bool authorize(const std::string& logical_user, GridOperation op) const;
+
+  // --- audit ---
+  struct AuditEntry {
+    std::string logical_user;
+    std::string physical_account;
+    sim::TimePoint from{};
+    std::optional<sim::TimePoint> until;
+  };
+  [[nodiscard]] const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  /// Who held `physical_account` at time `t`?
+  [[nodiscard]] std::optional<std::string> holder_at(const std::string& physical_account,
+                                                     sim::TimePoint t) const;
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<std::string> pool_;
+  std::unordered_set<std::string> free_;
+  std::unordered_map<std::string, std::string> leases_;  // logical -> physical
+  std::unordered_map<std::string, std::unordered_set<int>> grants_;
+  std::unordered_set<int> restricted_;
+  std::vector<AuditEntry> audit_;
+};
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,111 @@
+#include "middleware/schedule_compiler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vmgrid::middleware {
+
+const CompiledEntity* CompiledSchedule::find(const std::string& entity) const {
+  auto it = std::find_if(entities.begin(), entities.end(),
+                         [&entity](const CompiledEntity& e) { return e.entity == entity; });
+  return it == entities.end() ? nullptr : &*it;
+}
+
+std::unique_ptr<host::Scheduler> CompiledSchedule::make_scheduler() const {
+  switch (scheduler) {
+    case SchedulerKind::kFairShare: return std::make_unique<host::FairShareScheduler>();
+    case SchedulerKind::kWfq: return std::make_unique<host::WfqScheduler>();
+    case SchedulerKind::kLottery: return std::make_unique<host::LotteryScheduler>();
+    case SchedulerKind::kPriority: return std::make_unique<host::PriorityScheduler>();
+    case SchedulerKind::kRealTime: return std::make_unique<host::RealTimeScheduler>();
+  }
+  return std::make_unique<host::FairShareScheduler>();
+}
+
+CompiledSchedule compile_policy(const OwnerPolicy& policy, double ncpus,
+                                double utilization_bound) {
+  if (ncpus <= 0.0) throw CompileError{"compile_policy: ncpus must be positive"};
+
+  CompiledSchedule out;
+  out.scheduler = policy.scheduler;
+  out.guest_total_limit = policy.guest_total_limit;
+
+  double reserved = 0.0;
+  for (const EntityRule& rule : policy.rules) {
+    CompiledEntity e;
+    e.entity = rule.entity;
+    if (rule.reservation) {
+      if (policy.scheduler != SchedulerKind::kRealTime) {
+        throw CompileError{"entity '" + rule.entity +
+                           "' has a reservation but the policy scheduler is not 'rt'"};
+      }
+      if (*rule.reservation > 1.0) {
+        throw CompileError{"entity '" + rule.entity + "': reservation exceeds one CPU"};
+      }
+      e.attrs.reservation = *rule.reservation;
+      reserved += *rule.reservation;
+    }
+    if (rule.tickets) e.attrs.tickets = *rule.tickets;
+    if (rule.weight) e.attrs.weight = *rule.weight;
+    if (rule.nice) e.attrs.nice = *rule.nice;
+    if (rule.cap) e.attrs.demand_cap = *rule.cap;
+    if (rule.duty) {
+      e.duty = *rule.duty;
+      e.duty_period = rule.duty_period;
+      if (rule.duty_period <= sim::Duration::zero()) {
+        throw CompileError{"entity '" + rule.entity + "': duty period must be positive"};
+      }
+    }
+    out.entities.push_back(std::move(e));
+  }
+
+  out.total_reservation = reserved;
+  if (reserved > utilization_bound * ncpus) {
+    throw CompileError{"admission control failed: total reservation " +
+                       std::to_string(reserved) + " exceeds " +
+                       std::to_string(utilization_bound * ncpus) + " schedulable CPUs"};
+  }
+  if (policy.guest_total_limit && reserved > *policy.guest_total_limit * ncpus) {
+    throw CompileError{"reservations exceed the policy's guest_total limit"};
+  }
+  return out;
+}
+
+ScheduleEnforcer::ScheduleEnforcer(sim::Simulation& s, host::CpuEngine& engine,
+                                   CompiledSchedule schedule)
+    : sim_{s}, engine_{engine}, schedule_{std::move(schedule)} {
+  engine_.set_scheduler(schedule_.make_scheduler());
+}
+
+ScheduleEnforcer::~ScheduleEnforcer() {
+  for (auto& b : bindings_) {
+    if (b.duty) b.duty->stop();
+  }
+}
+
+void ScheduleEnforcer::bind(const std::string& entity, host::ProcessId pid) {
+  const CompiledEntity* e = schedule_.find(entity);
+  if (e == nullptr) {
+    throw CompileError{"ScheduleEnforcer::bind: unknown entity '" + entity + "'"};
+  }
+  engine_.set_attrs(pid, e->attrs);
+  Binding b;
+  b.entity = entity;
+  b.pid = pid;
+  if (e->duty) {
+    b.duty = std::make_unique<host::DutyCycleController>(sim_, engine_, pid, *e->duty,
+                                                         e->duty_period);
+    b.duty->start();
+  }
+  bindings_.push_back(std::move(b));
+}
+
+void ScheduleEnforcer::unbind(const std::string& entity) {
+  auto it = std::find_if(bindings_.begin(), bindings_.end(),
+                         [&entity](const Binding& b) { return b.entity == entity; });
+  if (it == bindings_.end()) return;
+  if (it->duty) it->duty->stop();
+  bindings_.erase(it);
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "host/cpu_engine.hpp"
+#include "host/schedulers.hpp"
+#include "middleware/constraint_lang.hpp"
+
+namespace vmgrid::middleware {
+
+/// Raised when a policy cannot be realized on the target host (failed
+/// admission control, inconsistent rules).
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CompiledEntity {
+  std::string entity;
+  host::SchedAttrs attrs;
+  std::optional<double> duty;  // duty-cycle throttling, if requested
+  sim::Duration duty_period{sim::Duration::seconds(1)};
+};
+
+/// The output of compiling an OwnerPolicy against a concrete host:
+/// a scheduler choice plus per-entity scheduling attributes, validated
+/// by admission control.
+struct CompiledSchedule {
+  SchedulerKind scheduler{SchedulerKind::kFairShare};
+  std::vector<CompiledEntity> entities;
+  double total_reservation{0.0};
+  std::optional<double> guest_total_limit;
+
+  [[nodiscard]] const CompiledEntity* find(const std::string& entity) const;
+  [[nodiscard]] std::unique_ptr<host::Scheduler> make_scheduler() const;
+};
+
+/// Compile (with admission control) a policy for a host with `ncpus`.
+/// The schedulability bound keeps Σ reservations within
+/// `utilization_bound` × ncpus, mirroring classic periodic-task
+/// admission tests.
+[[nodiscard]] CompiledSchedule compile_policy(const OwnerPolicy& policy, double ncpus,
+                                              double utilization_bound = 0.9);
+
+/// Install a compiled schedule on a CPU engine and enforce it on bound
+/// processes for the enforcer's lifetime (switches the engine scheduler,
+/// applies attributes, runs duty-cycle throttles).
+class ScheduleEnforcer {
+ public:
+  ScheduleEnforcer(sim::Simulation& s, host::CpuEngine& engine, CompiledSchedule schedule);
+  ~ScheduleEnforcer();
+
+  ScheduleEnforcer(const ScheduleEnforcer&) = delete;
+  ScheduleEnforcer& operator=(const ScheduleEnforcer&) = delete;
+
+  /// Associate a live process with a policy entity. Throws if the entity
+  /// is not part of the schedule.
+  void bind(const std::string& entity, host::ProcessId pid);
+  void unbind(const std::string& entity);
+
+  [[nodiscard]] const CompiledSchedule& schedule() const { return schedule_; }
+
+ private:
+  sim::Simulation& sim_;
+  host::CpuEngine& engine_;
+  CompiledSchedule schedule_;
+  struct Binding {
+    std::string entity;
+    host::ProcessId pid;
+    std::unique_ptr<host::DutyCycleController> duty;
+  };
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace vmgrid::middleware

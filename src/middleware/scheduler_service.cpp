@@ -1,0 +1,165 @@
+#include "middleware/scheduler_service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "middleware/grid.hpp"
+#include "middleware/testbed.hpp"
+
+namespace vmgrid::middleware {
+
+const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRandom: return "random";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case PlacementPolicy::kPredictedRuntime: return "predicted-runtime";
+  }
+  return "?";
+}
+
+SchedulerService::SchedulerService(Grid& grid, SchedulerServiceParams params)
+    : grid_{grid}, params_{params} {}
+
+SchedulerService::~SchedulerService() = default;
+
+void SchedulerService::add_worker_host(ComputeServer& server,
+                                       const vm::VmImageSpec& image) {
+  auto w = std::make_unique<Worker>();
+  w->server = &server;
+  w->image = image;
+  w->sensor = std::make_unique<rps::HostLoadSensor>(
+      grid_.simulation(), server.host().cpu(), params_.sensor_period);
+  w->sensor->start();
+  workers_.push_back(std::move(w));
+}
+
+std::size_t SchedulerService::running_jobs() const { return running_; }
+
+void SchedulerService::submit(const std::string& owner, workload::TaskSpec spec,
+                              JobCallback cb) {
+  PendingJob job;
+  job.owner = owner;
+  job.spec = std::move(spec);
+  job.cb = std::move(cb);
+  job.submitted = grid_.simulation().now();
+  queue_.push_back(std::move(job));
+  pump();
+}
+
+void SchedulerService::ensure_worker_vm(Worker& w) {
+  if (w.vmachine != nullptr || w.instantiating) return;
+  w.instantiating = true;
+  InstantiateOptions opts;
+  opts.config = testbed::paper_vm("worker-" + w.server->name());
+  opts.image = w.image;
+  opts.mode = params_.worker_start;
+  opts.access = params_.worker_access;
+  w.server->instantiate(opts, [this, &w](vm::VirtualMachine* vmachine,
+                                         InstantiationStats stats) {
+    w.instantiating = false;
+    if (vmachine == nullptr) {
+      VMGRID_LOG(grid_.simulation(), kWarn, "scheduler",
+                 "worker VM instantiation failed on " << w.server->name() << ": "
+                                                      << stats.error);
+      return;
+    }
+    w.vmachine = vmachine;
+    pump();
+  });
+}
+
+SchedulerService::Worker* SchedulerService::pick_worker(const PendingJob& job) {
+  std::vector<Worker*> candidates;
+  for (auto& w : workers_) {
+    if (w->busy_slots < params_.slots_per_host) candidates.push_back(w.get());
+  }
+  if (candidates.empty()) return nullptr;
+
+  switch (params_.policy) {
+    case PlacementPolicy::kRandom:
+      return candidates[grid_.simulation().rng().index(candidates.size())];
+    case PlacementPolicy::kLeastLoaded: {
+      auto it = std::min_element(candidates.begin(), candidates.end(),
+                                 [](Worker* a, Worker* b) {
+                                   return a->server->host().cpu().total_demand() <
+                                          b->server->host().cpu().total_demand();
+                                 });
+      return *it;
+    }
+    case PlacementPolicy::kPredictedRuntime: {
+      Worker* best = nullptr;
+      double best_eta = std::numeric_limits<double>::infinity();
+      for (Worker* w : candidates) {
+        const rps::RunningTimePredictor rp{std::make_shared<rps::ArPredictor>(8),
+                                           w->server->host().params().ncpus};
+        const double eta =
+            rp.predict_runtime(w->sensor->series(), job.spec.total_native_seconds());
+        if (eta < best_eta) {
+          best_eta = eta;
+          best = w;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+void SchedulerService::pump() {
+  while (!queue_.empty()) {
+    Worker* w = pick_worker(queue_.front());
+    if (w == nullptr) return;  // all slots busy; a completion re-pumps
+    if (w->vmachine == nullptr) {
+      ensure_worker_vm(*w);
+      // If no other worker can take the job now, wait for the VM.
+      bool any_ready = false;
+      for (auto& other : workers_) {
+        if (other->vmachine != nullptr && other->busy_slots < params_.slots_per_host) {
+          any_ready = true;
+          break;
+        }
+      }
+      if (!any_ready) return;
+      // Re-pick among ready workers only (the chosen one is warming up).
+      Worker* ready = nullptr;
+      for (auto& other : workers_) {
+        if (other->vmachine != nullptr && other->busy_slots < params_.slots_per_host) {
+          ready = other.get();
+          break;
+        }
+      }
+      w = ready;
+    }
+    PendingJob job = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(*w, std::move(job));
+  }
+}
+
+void SchedulerService::dispatch(Worker& w, PendingJob job) {
+  ++w.busy_slots;
+  ++running_;
+  const auto started = grid_.simulation().now();
+  const auto submitted = job.submitted;
+  const std::string owner = job.owner;
+  auto cb = std::move(job.cb);
+  w.vmachine->run_task(
+      std::move(job.spec),
+      [this, &w, started, submitted, owner, cb = std::move(cb)](vm::TaskResult r) {
+        --w.busy_slots;
+        --running_;
+        grid_.accounting().charge_cpu(owner, r.total_cpu_seconds());
+        grid_.accounting().count_task(owner);
+        BatchJobResult out;
+        out.ok = r.ok;
+        out.host = w.server->name();
+        out.queue_wait = started - submitted;
+        out.run_time = r.wall;
+        out.total = grid_.simulation().now() - submitted;
+        cb(std::move(out));
+        pump();
+      });
+}
+
+}  // namespace vmgrid::middleware

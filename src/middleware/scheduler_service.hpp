@@ -1,0 +1,105 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/compute_server.hpp"
+#include "rps/predictors.hpp"
+#include "rps/runtime_predictor.hpp"
+#include "rps/sensor.hpp"
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::middleware {
+
+class Grid;
+
+/// How the grid scheduler picks a host for the next job.
+enum class PlacementPolicy {
+  kRandom,            ///< uniformly random capable host
+  kLeastLoaded,       ///< minimal instantaneous CPU demand
+  kPredictedRuntime,  ///< minimal RPS-predicted completion time (§3.2)
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy p);
+
+struct BatchJobResult {
+  bool ok{false};
+  std::string error;
+  std::string host;
+  sim::Duration queue_wait{};
+  sim::Duration run_time{};
+  sim::Duration total{};  // submission to completion
+};
+
+struct SchedulerServiceParams {
+  PlacementPolicy policy{PlacementPolicy::kPredictedRuntime};
+  /// Concurrent jobs allowed per worker VM (per host).
+  std::size_t slots_per_host{1};
+  sim::Duration sensor_period{sim::Duration::seconds(2)};
+  VmStartMode worker_start{VmStartMode::kWarmRestore};
+  StateAccess worker_access{StateAccess::kNonPersistentLocal};
+};
+
+/// A batch-queue grid scheduler over the VM substrate ("the user, or a
+/// grid scheduler, will have the option to..." — §4). Each registered
+/// compute server lazily receives one long-lived worker VM; queued jobs
+/// are dispatched into worker VMs according to the placement policy.
+/// The kPredictedRuntime policy closes the paper's RPS loop: per-host
+/// load sensors feed predictors, and jobs go where they are predicted to
+/// finish first.
+class SchedulerService {
+ public:
+  SchedulerService(Grid& grid, SchedulerServiceParams params = {});
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Register a compute server as a worker pool member. The image is
+  /// used for the worker VM (must be reachable via params.worker_access).
+  void add_worker_host(ComputeServer& server, const vm::VmImageSpec& image);
+
+  using JobCallback = std::function<void(BatchJobResult)>;
+
+  /// Enqueue a job; the callback fires at completion.
+  void submit(const std::string& owner, workload::TaskSpec spec, JobCallback cb);
+
+  [[nodiscard]] std::size_t queued_jobs() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running_jobs() const;
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] PlacementPolicy policy() const { return params_.policy; }
+
+ private:
+  struct Worker {
+    ComputeServer* server{nullptr};
+    vm::VmImageSpec image;
+    vm::VirtualMachine* vmachine{nullptr};  // null until instantiated
+    bool instantiating{false};
+    std::size_t busy_slots{0};
+    std::unique_ptr<rps::HostLoadSensor> sensor;
+  };
+
+  struct PendingJob {
+    std::string owner;
+    workload::TaskSpec spec;
+    JobCallback cb;
+    sim::TimePoint submitted{};
+  };
+
+  void pump();
+  [[nodiscard]] Worker* pick_worker(const PendingJob& job);
+  void ensure_worker_vm(Worker& w);
+  void dispatch(Worker& w, PendingJob job);
+
+  Grid& grid_;
+  SchedulerServiceParams params_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<PendingJob> queue_;
+  std::size_t running_{0};
+};
+
+}  // namespace vmgrid::middleware

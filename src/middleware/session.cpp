@@ -1,0 +1,286 @@
+#include "middleware/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "middleware/grid.hpp"
+
+namespace vmgrid::middleware {
+
+// ---------------------------------------------------------------------------
+// VmSession
+
+void VmSession::run_task(workload::TaskSpec spec, vm::TaskCallback cb) {
+  if (vm_ == nullptr) {
+    throw std::logic_error("VmSession::run_task on a closed session");
+  }
+  auto& acct = manager_->grid_.accounting();
+  const std::string user = user_;
+  vm_->run_task(std::move(spec), [&acct, user, cb = std::move(cb)](vm::TaskResult r) {
+    acct.charge_cpu(user, r.total_cpu_seconds());
+    acct.charge_io(user, r.io_rpcs);
+    acct.count_task(user);
+    cb(std::move(r));
+  });
+}
+
+void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) {
+  if (vm_ == nullptr) {
+    throw std::logic_error("VmSession::migrate_to on a closed session");
+  }
+  // Prepare the VM's storage view on the target (same image, same access
+  // mode — the grid VFS makes the state reachable from anywhere).
+  InstantiateOptions opts;
+  opts.config = vm_->config();
+  opts.image = vm_->image();
+  opts.mode = request_.start;
+  opts.access = request_.access;
+  opts.image_server_node = request_.access == StateAccess::kNonPersistentVfs
+                               ? instantiation_image_server_
+                               : net::NodeId{};
+  target.prepare_storage(
+      opts, [this, &target, cb = std::move(cb)](bool ok, std::string,
+                                                vm::VmStorage storage) mutable {
+        if (!ok) {
+          cb(false);
+          return;
+        }
+        vm::MigrationParams params;
+        params.precopy = true;
+        vm::migrate(*vm_, target.vmm(), std::move(storage), params,
+                    [this, &target, cb = std::move(cb)](vm::MigrationStats stats,
+                                                        vm::VirtualMachine* fresh) {
+                      if (!stats.ok || fresh == nullptr) {
+                        cb(false);
+                        return;
+                      }
+                      auto& grid = manager_->grid_;
+                      if (ip_.valid()) {
+                        server_->dhcp().release(ip_);
+                        ip_ = net::IpAddress{};
+                      }
+                      server_ = &target;
+                      vm_ = fresh;
+                      grid.info().register_vm(VmRecord{vm_name_, target.name(), user_,
+                                                       "running", ip_});
+                      // Re-establish the user-data session from the new host.
+                      if (request_.data_server != nullptr) {
+                        data_mount_ = &grid.gvfs().mount(
+                            target.node(), request_.data_server->node(), {});
+                      }
+                      if (!request_.want_ip) {
+                        cb(true);
+                        return;
+                      }
+                      target.dhcp().request_lease(
+                          target.node(),
+                          [this, cb = std::move(cb)](std::optional<net::IpAddress> ip) {
+                            if (ip) ip_ = *ip;
+                            cb(true);
+                          });
+                    });
+      });
+}
+
+void VmSession::shutdown() {
+  if (vm_ == nullptr) return;
+  manager_->finish_shutdown(*this);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+
+SessionManager::SessionManager(Grid& grid) : grid_{grid} {
+  frontend_ = grid_.network().add_node("middleware-frontend");
+}
+
+SessionManager::~SessionManager() = default;
+
+std::string SessionManager::fresh_vm_name(const SessionRequest& req) {
+  return "vm-" + req.user + "-" + std::to_string(++created_);
+}
+
+void SessionManager::wire_executor(ComputeServer& cs) {
+  if (wired_.contains(&cs)) return;
+  wired_.insert(&cs);
+  // The middleware front-end must be able to reach the gatekeeper.
+  if (!grid_.network().link_params(frontend_, cs.node())) {
+    grid_.network().add_link(frontend_, cs.node(), Grid::lan_link());
+  }
+  cs.gram().set_executor([this, &cs](const std::string& token,
+                                     GramService::ExecutorDone done) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+      done(false, "unknown job token: " + token);
+      return;
+    }
+    InstantiateOptions opts = std::move(it->second);
+    pending_.erase(it);
+    cs.instantiate(std::move(opts),
+                   [this, token, done = std::move(done)](vm::VirtualMachine* vmachine,
+                                                         InstantiationStats stats) {
+                     results_[token] = LaunchResult{vmachine, stats};
+                     done(vmachine != nullptr, stats.ok ? token : stats.error);
+                   });
+  });
+}
+
+void SessionManager::create_session(SessionRequest request, SessionCallback cb) {
+  const bool need_snapshot = request.start == VmStartMode::kWarmRestore;
+  const std::string os = request.os;
+  const auto memory = request.memory_mb;
+
+  // Steps 1 + 2: the futures ⋈ images join against the information service.
+  grid_.info().query_placements(
+      [memory](const VmFutureRecord& f) { return f.max_memory_mb >= memory; },
+      [os, need_snapshot](const ImageRecord& i) {
+        if (!os.empty() && i.os != os) return false;
+        if (need_snapshot && !i.has_memory_snapshot) return false;
+        return true;
+      },
+      request.query,
+      [this, request = std::move(request), cb = std::move(cb)](
+          std::vector<Placement> placements) mutable {
+        if (placements.empty()) {
+          cb(nullptr, "no suitable (future, image) placement found");
+          return;
+        }
+        // Prefer the least-loaded future, counting launches this manager
+        // already has in flight (the registry snapshot lags); tie-break
+        // on host name so runs are deterministic.
+        auto load_of = [this](const Placement& p) {
+          auto it = launching_.find(p.future.host_name);
+          const std::uint32_t inflight = it == launching_.end() ? 0 : it->second;
+          return p.future.active_instances + inflight;
+        };
+        auto best = std::min_element(
+            placements.begin(), placements.end(),
+            [&load_of](const Placement& a, const Placement& b) {
+              if (load_of(a) != load_of(b)) return load_of(a) < load_of(b);
+              return a.future.host_name < b.future.host_name;
+            });
+        launch(std::move(request), *best, std::move(cb));
+      });
+}
+
+void SessionManager::launch(SessionRequest request, Placement placement,
+                            SessionCallback cb) {
+  ComputeServer* cs = placement.future.binding;
+  ImageServer* is = placement.image.binding;
+  if (cs == nullptr) {
+    cb(nullptr, "placement has no compute binding");
+    return;
+  }
+  wire_executor(*cs);
+  ++launching_[cs->name()];
+
+  const std::string token = fresh_vm_name(request);
+  InstantiateOptions opts;
+  opts.config = request.config_template;
+  opts.config.name = token;
+  opts.config.memory_mb = request.memory_mb;
+  opts.image = placement.image.spec;
+  opts.mode = request.start;
+  opts.access = request.access;
+  opts.image_server_node = placement.image.server_node;
+
+  auto dispatch = [this, cs, token, request = std::move(request), opts,
+                   cb = std::move(cb)]() mutable {
+    pending_[token] = opts;
+    const auto image_server_node = opts.image_server_node;
+    GramClient client{grid_.fabric(), frontend_};
+    client.globusrun(
+        cs->node(), token,
+        [this, cs, token, image_server_node, request = std::move(request),
+         cb = std::move(cb)](GramJobResult job) mutable {
+          if (auto lit = launching_.find(cs->name());
+              lit != launching_.end() && lit->second > 0) {
+            --lit->second;
+          }
+          auto rit = results_.find(token);
+          LaunchResult launch = rit != results_.end() ? rit->second : LaunchResult{};
+          if (rit != results_.end()) results_.erase(rit);
+          if (!job.ok || launch.vm == nullptr) {
+            cb(nullptr, job.ok ? "instantiation failed" : job.error);
+            return;
+          }
+          auto session = std::make_unique<VmSession>();
+          session->manager_ = this;
+          session->server_ = cs;
+          session->vm_ = launch.vm;
+          session->user_ = request.user;
+          session->vm_name_ = token;
+          session->request_ = request;
+          session->stats_ = launch.stats;
+          session->started_ = grid_.simulation().now();
+          session->instantiation_image_server_ = image_server_node;
+          VmSession* raw = session.get();
+          sessions_.push_back(std::move(session));
+
+          grid_.accounting().count_vm(request.user);
+          grid_.info().register_vm(
+              VmRecord{token, cs->name(), request.user, "running", {}});
+
+          auto finish = [this, raw, cb = std::move(cb)]() mutable {
+            // Step 5: user-data session into the guest.
+            if (raw->request_.data_server != nullptr) {
+              raw->data_mount_ = &grid_.gvfs().mount(
+                  raw->server_->node(), raw->request_.data_server->node(), {});
+            }
+            cb(raw, {});
+          };
+          if (!request.want_ip) {
+            finish();
+            return;
+          }
+          // Step 4 (network identity): DHCP on the hosting site.
+          cs->dhcp().request_lease(
+              cs->node(), [this, raw, finish = std::move(finish)](
+                              std::optional<net::IpAddress> ip) mutable {
+                if (ip) {
+                  raw->ip_ = *ip;
+                  grid_.info().register_vm(VmRecord{raw->vm_name_, raw->server_->name(),
+                                                    raw->user_, "running", *ip});
+                }
+                finish();
+              });
+        });
+  };
+
+  // Step 3: make the image reachable. VFS access mounts on demand; the
+  // local-disk paths stage the image first when it is not already there.
+  const bool needs_local = opts.access != StateAccess::kNonPersistentVfs;
+  if (needs_local && !cs->host().fs().exists(opts.image.disk_file())) {
+    if (is == nullptr) {
+      cb(nullptr, "image not local and no image server to stage from");
+      return;
+    }
+    cs->stage_image(is->fs(), is->node(), opts.image,
+                    [dispatch = std::move(dispatch)](bool ok) mutable {
+                      if (ok) dispatch();
+                      // Staging failure: dispatch's captured callback is
+                      // never invoked; dispatch() owns cb, so report the
+                      // error by running the GRAM path anyway, which will
+                      // fail fast with a clear message.
+                      else dispatch();
+                    });
+    return;
+  }
+  dispatch();
+}
+
+void SessionManager::finish_shutdown(VmSession& session) {
+  grid_.accounting().charge_vm_time(session.user_,
+                                    grid_.simulation().now() - session.started_);
+  if (session.ip_.valid()) {
+    session.server_->dhcp().release(session.ip_);
+  }
+  grid_.info().unregister_vm(session.vm_name_);
+  session.server_->destroy_vm(*session.vm_);
+  session.vm_ = nullptr;
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&session](const auto& p) { return p.get() == &session; });
+  if (it != sessions_.end()) sessions_.erase(it);
+}
+
+}  // namespace vmgrid::middleware

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "middleware/compute_server.hpp"
+#include "middleware/image_server.hpp"
+#include "vm/migration.hpp"
+#include "vm/task_runner.hpp"
+
+namespace vmgrid::middleware {
+
+class Grid;
+class SessionManager;
+
+/// Everything a user asks for when requesting a virtual workspace.
+struct SessionRequest {
+  std::string user{"user"};
+  std::string os{""};  // required guest OS; empty = any
+  std::uint64_t memory_mb{128};
+  VmStartMode start{VmStartMode::kWarmRestore};
+  StateAccess access{StateAccess::kNonPersistentVfs};
+  bool want_ip{true};
+  DataServer* data_server{nullptr};  // optional user-data mount (step 5)
+  vm::VmConfig config_template{};    // cost model / sched attrs template
+  QueryOptions query{};
+};
+
+/// A live VM session (the artifact of §4's steps 1-6): the running VM,
+/// its network identity, and its data sessions; tasks run through it are
+/// accounted to the owning user.
+class VmSession {
+ public:
+  [[nodiscard]] vm::VirtualMachine& machine() { return *vm_; }
+  [[nodiscard]] ComputeServer& server() { return *server_; }
+  [[nodiscard]] const std::string& user() const { return user_; }
+  [[nodiscard]] const std::string& name() const { return vm_name_; }
+  [[nodiscard]] net::IpAddress ip() const { return ip_; }
+  [[nodiscard]] vfs::VfsMount* data_mount() { return data_mount_; }
+  [[nodiscard]] bool alive() const { return vm_ != nullptr; }
+  [[nodiscard]] const InstantiationStats& instantiation() const { return stats_; }
+
+  /// Run an application in the session's VM; CPU and I/O are charged to
+  /// the session owner.
+  void run_task(workload::TaskSpec spec, vm::TaskCallback cb);
+
+  /// Move this session's VM to another compute server, keeping the
+  /// session (and its data mounts) alive across the move.
+  void migrate_to(ComputeServer& target, std::function<void(bool)> cb);
+
+  /// Tear down: destroy the VM, release the lease, retire the records.
+  void shutdown();
+
+ private:
+  friend class SessionManager;
+  SessionManager* manager_{nullptr};
+  ComputeServer* server_{nullptr};
+  vm::VirtualMachine* vm_{nullptr};
+  std::string user_;
+  std::string vm_name_;
+  net::IpAddress ip_{};
+  vfs::VfsMount* data_mount_{nullptr};
+  SessionRequest request_{};
+  InstantiationStats stats_{};
+  sim::TimePoint started_{};
+  net::NodeId instantiation_image_server_{};
+};
+
+/// Orchestrates the paper's six-step session lifecycle:
+///  1. query the information service for a VM future,
+///  2. query for a suitable image (or take the user's own),
+///  3. establish the image data session (mount or stage),
+///  4. dispatch VM startup through GRAM and acquire an IP via DHCP,
+///  5. establish user-data sessions into the guest,
+///  6. hand the running session to the user.
+class SessionManager {
+ public:
+  explicit SessionManager(Grid& grid);
+  ~SessionManager();
+
+  using SessionCallback = std::function<void(VmSession*, std::string error)>;
+
+  void create_session(SessionRequest request, SessionCallback cb);
+
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::uint64_t sessions_created() const { return created_; }
+
+ private:
+  friend class VmSession;
+
+  /// Executor wiring: compute servers run instantiation requests that
+  /// arrive via GRAM; the pending-request registry keys them by token.
+  void wire_executor(ComputeServer& cs);
+  void launch(SessionRequest request, Placement placement, SessionCallback cb);
+  void finish_shutdown(VmSession& session);
+  std::string fresh_vm_name(const SessionRequest& req);
+
+  Grid& grid_;
+  net::NodeId frontend_{};
+  std::unordered_map<std::string, InstantiateOptions> pending_;
+  struct LaunchResult {
+    vm::VirtualMachine* vm{nullptr};
+    InstantiationStats stats{};
+  };
+  std::unordered_map<std::string, LaunchResult> results_;
+  std::unordered_set<ComputeServer*> wired_;
+  /// Launches in flight per host. Information-service snapshots race
+  /// with concurrent requests; this local count keeps simultaneous
+  /// placements from piling onto one future.
+  std::unordered_map<std::string, std::uint32_t> launching_;
+  std::vector<std::unique_ptr<VmSession>> sessions_;
+  std::uint64_t created_{0};
+};
+
+}  // namespace vmgrid::middleware

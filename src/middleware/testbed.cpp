@@ -1,0 +1,110 @@
+#include "middleware/testbed.hpp"
+
+namespace vmgrid::middleware::testbed {
+
+storage::DiskParams paper_host_disk() {
+  storage::DiskParams p;
+  p.seek = sim::Duration::millis(6);
+  p.bandwidth_bps = 17.8e6;
+  p.cache_hit = sim::Duration::micros(50);
+  p.cache_hit_rate = 0.9;
+  return p;
+}
+
+vm::VmImageSpec paper_image() {
+  vm::VmImageSpec spec;
+  spec.name = "rh7.2";
+  spec.os = "redhat-7.2";
+  spec.disk_bytes = 2ull << 30;
+  spec.memory_state_bytes = 128ull << 20;
+  spec.boot_read_bytes = 48ull << 20;
+  spec.boot_cpu_seconds = 38.0;
+  spec.boot_fixed_seconds = 24.0;
+  spec.restore_cpu_seconds = 1.5;
+  spec.restore_fixed_seconds = 2.0;
+  spec.device_state_bytes = 2ull << 20;
+  return spec;
+}
+
+host::HostParams fig1_host() {
+  host::HostParams h;
+  h.name = "fig1-node";
+  h.ncpus = 2.0;
+  h.cpu_mhz = 800;
+  h.memory_mb = 1024;
+  h.disk = paper_host_disk();
+  h.os = "redhat-7.1";
+  return h;
+}
+
+host::HostParams table1_host() {
+  host::HostParams h;
+  h.name = "table1-node";
+  h.ncpus = 2.0;
+  h.cpu_mhz = 933;
+  h.memory_mb = 512;
+  h.disk = paper_host_disk();
+  h.os = "redhat-7.1";
+  return h;
+}
+
+ComputeServerParams paper_compute(const std::string& name, host::HostParams host_params) {
+  ComputeServerParams p;
+  p.host = std::move(host_params);
+  p.host.name = name;
+  return p;
+}
+
+vm::VmConfig paper_vm(const std::string& name) {
+  vm::VmConfig cfg;
+  cfg.name = name;
+  cfg.memory_mb = 128;
+  return cfg;
+}
+
+StartupTestbed::StartupTestbed(std::uint64_t seed) {
+  grid = std::make_unique<Grid>(seed);
+  auto& g = *grid;
+  auto host_params = fig1_host();
+  // Run-to-run variance of the mechanical disk (fragmentation, zone
+  // position) — the paper's persistent column spans 232..304 s.
+  host_params.disk.bandwidth_bps *= g.simulation().rng().uniform(0.92, 1.08);
+  compute = &g.add_compute_server(paper_compute("startup-host", host_params));
+  ImageServerParams isp;
+  isp.name = "lan-image-server";
+  isp.disk = paper_host_disk();
+  images = &g.add_image_server(isp);
+  g.connect(compute->node(), images->node(), Grid::lan_link());
+  client = g.add_client("user-workstation");
+  g.connect(client, compute->node(), Grid::lan_link());
+
+  images->add_image(paper_image(), &g.info());
+  compute->preload_image(paper_image());
+}
+
+WideAreaTestbed::WideAreaTestbed(std::uint64_t seed) {
+  grid = std::make_unique<Grid>(seed);
+  auto& g = *grid;
+  nwu_router = g.add_router("nwu-router");
+  ufl_router = g.add_router("ufl-router");
+  g.connect(nwu_router, ufl_router, Grid::wan_link());
+
+  compute = &g.add_compute_server(paper_compute("nwu-compute", table1_host()));
+  g.connect(compute->node(), nwu_router, Grid::lan_link());
+
+  DataServerParams dsp;
+  dsp.name = "nwu-data";
+  dsp.disk = paper_host_disk();
+  data = &g.add_data_server(dsp);
+  g.connect(data->node(), nwu_router, Grid::lan_link());
+
+  ImageServerParams isp;
+  isp.name = "ufl-images";
+  isp.disk = paper_host_disk();
+  images = &g.add_image_server(isp);
+  g.connect(images->node(), ufl_router, Grid::lan_link());
+
+  images->add_image(paper_image(), &g.info());
+}
+
+}  // namespace vmgrid::middleware::testbed

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+
+#include "middleware/grid.hpp"
+#include "middleware/session.hpp"
+
+namespace vmgrid::middleware::testbed {
+
+/// Paper-calibrated component models (DESIGN.md §5). Everything the
+/// reproduction experiments share lives here, so a calibration change
+/// propagates to every bench consistently.
+
+/// 2001-era commodity host disk: ~16 MB/s effective, 6 ms positioning,
+/// warm kernel page cache absorbing 90% of re-reads.
+[[nodiscard]] storage::DiskParams paper_host_disk();
+
+/// The RedHat 7.x VM image of Table 2: 2 GiB virtual disk, 128 MiB
+/// post-boot memory snapshot, and the measured boot profile.
+[[nodiscard]] vm::VmImageSpec paper_image();
+
+/// Figure 1's compute node: dual PIII-800, 1 GiB RAM, RedHat 7.1.
+[[nodiscard]] host::HostParams fig1_host();
+
+/// Table 1's compute node: dual PIII-933, 512 MiB RAM, RedHat 7.1.
+[[nodiscard]] host::HostParams table1_host();
+
+/// Compute-server parameter bundle on a paper-calibrated host.
+[[nodiscard]] ComputeServerParams paper_compute(const std::string& name,
+                                                host::HostParams host_params);
+
+/// The VM configuration used across the paper's experiments
+/// (VMware Workstation 3.0a guest with 128 MB of memory).
+[[nodiscard]] vm::VmConfig paper_vm(const std::string& name);
+
+/// Table 2's environment: one compute server and one image server on a
+/// LAN; the image is preloaded on the compute host's local disk (the
+/// paper measured DiskFS and LoopbackNFS against local state).
+struct StartupTestbed {
+  explicit StartupTestbed(std::uint64_t seed);
+
+  std::unique_ptr<Grid> grid;
+  ComputeServer* compute{nullptr};
+  ImageServer* images{nullptr};
+  net::NodeId client{};
+};
+
+/// Table 1's environment: compute + data server at one site (NWU), the
+/// image server across a ~35 ms WAN at the other (UFL).
+struct WideAreaTestbed {
+  explicit WideAreaTestbed(std::uint64_t seed);
+
+  std::unique_ptr<Grid> grid;
+  ComputeServer* compute{nullptr};
+  ImageServer* images{nullptr};  // remote (UFL) side
+  DataServer* data{nullptr};     // local (NWU) side
+  net::NodeId nwu_router{};
+  net::NodeId ufl_router{};
+};
+
+}  // namespace vmgrid::middleware::testbed

@@ -1,0 +1,14 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace vmgrid::net {
+
+std::string IpAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v_ >> 24) & 0xff, (v_ >> 16) & 0xff,
+                (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+}  // namespace vmgrid::net

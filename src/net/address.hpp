@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vmgrid::net {
+
+/// Identity of a node (physical machine, server, router) in the simulated
+/// internetwork. Strong type: not interchangeable with other integer ids.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(std::uint32_t v) : v_{v} {}
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t v_{kInvalid};
+};
+
+/// IPv4-style address used by DHCP and virtual networking.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  explicit constexpr IpAddress(std::uint32_t v) : v_{v} {}
+  static constexpr IpAddress from_octets(std::uint8_t a, std::uint8_t b,
+                                         std::uint8_t c, std::uint8_t d) {
+    return IpAddress{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                     (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  [[nodiscard]] std::string to_string() const;
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t v_{0};
+};
+
+}  // namespace vmgrid::net
+
+template <>
+struct std::hash<vmgrid::net::NodeId> {
+  std::size_t operator()(vmgrid::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<vmgrid::net::IpAddress> {
+  std::size_t operator()(vmgrid::net::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

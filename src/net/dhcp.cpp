@@ -1,0 +1,41 @@
+#include "net/dhcp.hpp"
+
+#include <utility>
+
+namespace vmgrid::net {
+
+DhcpServer::DhcpServer(Network& net, NodeId self, IpAddress pool_base,
+                       std::uint32_t pool_size)
+    : net_{net}, self_{self}, pool_base_{pool_base}, pool_size_{pool_size} {}
+
+std::optional<IpAddress> DhcpServer::allocate() {
+  if (leased_.size() >= pool_size_) return std::nullopt;
+  for (std::uint32_t i = 0; i < pool_size_; ++i) {
+    const IpAddress candidate{pool_base_.value() + ((next_offset_ + i) % pool_size_)};
+    if (!leased_.contains(candidate)) {
+      next_offset_ = (next_offset_ + i + 1) % pool_size_;
+      leased_.insert(candidate);
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+void DhcpServer::request_lease(NodeId client, LeaseCallback cb) {
+  // DISCOVER -> OFFER
+  net_.send(client, self_, 300, [this, client, cb = std::move(cb)](const TransferResult&) mutable {
+    net_.send(self_, client, 300, [this, client, cb = std::move(cb)](const TransferResult&) mutable {
+      // REQUEST -> ACK carrying the allocation decision.
+      net_.send(client, self_, 300,
+                [this, client, cb = std::move(cb)](const TransferResult&) mutable {
+                  auto lease = allocate();
+                  net_.send(self_, client, 300,
+                            [cb = std::move(cb), lease](const TransferResult&) { cb(lease); });
+                });
+    });
+  });
+}
+
+void DhcpServer::release(IpAddress addr) { leased_.erase(addr); }
+
+}  // namespace vmgrid::net

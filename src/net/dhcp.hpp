@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/network.hpp"
+
+namespace vmgrid::net {
+
+/// Minimal DHCP service for a site subnet.
+///
+/// The paper's virtual-networking scenario 1 (§3.3): the VM host's site
+/// hands out IP addresses to dynamically created VM instances. Lease
+/// acquisition costs a DISCOVER/OFFER + REQUEST/ACK exchange (two round
+/// trips) plus a small server service time.
+class DhcpServer {
+ public:
+  DhcpServer(Network& net, NodeId self, IpAddress pool_base, std::uint32_t pool_size);
+
+  using LeaseCallback = std::function<void(std::optional<IpAddress>)>;
+
+  /// Request a lease on behalf of (a VM hosted at) `client`.
+  void request_lease(NodeId client, LeaseCallback cb);
+
+  /// Return an address to the pool. Unknown addresses are ignored.
+  void release(IpAddress addr);
+
+  [[nodiscard]] std::size_t leased_count() const { return leased_.size(); }
+  [[nodiscard]] std::size_t pool_size() const { return pool_size_; }
+  [[nodiscard]] NodeId node() const { return self_; }
+
+ private:
+  std::optional<IpAddress> allocate();
+
+  Network& net_;
+  NodeId self_;
+  IpAddress pool_base_;
+  std::uint32_t pool_size_;
+  std::uint32_t next_offset_{0};
+  std::unordered_set<IpAddress> leased_;
+};
+
+}  // namespace vmgrid::net

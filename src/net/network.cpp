@@ -1,0 +1,183 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace vmgrid::net {
+
+namespace {
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  return (std::uint64_t{a.value()} << 32) | b.value();
+}
+
+sim::Duration serialization_time(std::uint64_t bytes, double bandwidth_bps) {
+  if (bytes == 0) return sim::Duration::zero();
+  return sim::Duration::seconds(static_cast<double>(bytes) / bandwidth_bps);
+}
+}  // namespace
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(std::move(name));
+  routes_dirty_ = true;
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  return nodes_.at(id.value());
+}
+
+void Network::add_link(NodeId a, NodeId b, LinkParams params) {
+  assert(a.value() < nodes_.size() && b.value() < nodes_.size());
+  if (link_by_pair_.contains(pair_key(a, b))) {
+    throw std::logic_error("Network::add_link: duplicate link");
+  }
+  link_by_pair_.emplace(pair_key(a, b), links_.size());
+  links_.push_back(Link{a, b, params, {}, 0});
+  link_by_pair_.emplace(pair_key(b, a), links_.size());
+  links_.push_back(Link{b, a, params, {}, 0});
+  routes_dirty_ = true;
+}
+
+void Network::set_link(NodeId a, NodeId b, LinkParams params) {
+  links_.at(find_link(a, b)).params = params;
+  links_.at(find_link(b, a)).params = params;
+  // Deliberately does NOT invalidate routes: underlay routing reflects
+  // topology/policy, not live performance (the resilient-overlay premise
+  // — IP routing does not react when a path degrades; overlays do).
+}
+
+std::optional<LinkParams> Network::link_params(NodeId a, NodeId b) const {
+  auto it = link_by_pair_.find(pair_key(a, b));
+  if (it == link_by_pair_.end()) return std::nullopt;
+  return links_[it->second].params;
+}
+
+Network::LinkIndex Network::find_link(NodeId a, NodeId b) const {
+  auto it = link_by_pair_.find(pair_key(a, b));
+  if (it == link_by_pair_.end()) {
+    throw std::logic_error("Network: no such link " + node_name(a) + " -> " +
+                           node_name(b));
+  }
+  return it->second;
+}
+
+std::vector<Network::LinkIndex> Network::route(NodeId src, NodeId dst) const {
+  if (routes_dirty_) {
+    route_cache_.clear();
+    routes_dirty_ = false;
+  }
+  const auto key = pair_key(src, dst);
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+
+  // Dijkstra by propagation latency with a small bandwidth tie-breaker so
+  // that equal-latency paths prefer fatter pipes.
+  const std::size_t n = nodes_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkIndex> via(n, static_cast<LinkIndex>(-1));
+  std::vector<std::vector<LinkIndex>> out(n);
+  for (LinkIndex i = 0; i < links_.size(); ++i) {
+    out[links_[i].from.value()].push_back(i);
+  }
+  using QE = std::pair<double, std::uint32_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[src.value()] = 0.0;
+  pq.emplace(0.0, src.value());
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (LinkIndex li : out[u]) {
+      const Link& l = links_[li];
+      const double w = l.params.latency.to_seconds() + 1e-9 / l.params.bandwidth_bps;
+      const double nd = d + w;
+      const auto v = l.to.value();
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = li;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  std::vector<LinkIndex> path;
+  if (dist[dst.value()] < kInf && src != dst) {
+    for (std::uint32_t cur = dst.value(); cur != src.value();) {
+      const LinkIndex li = via[cur];
+      path.push_back(li);
+      cur = links_[li].from.value();
+    }
+    std::reverse(path.begin(), path.end());
+  }
+  route_cache_.emplace(key, path);
+  return path;
+}
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  return a == b || !route(a, b).empty();
+}
+
+void Network::send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb) {
+  const sim::TimePoint started = sim_.now();
+  if (src == dst) {
+    // Loopback: negligible but non-zero so callback ordering stays sane.
+    sim_.schedule_after(sim::Duration::micros(10), [cb = std::move(cb), bytes, started, this] {
+      cb(TransferResult{sim_.now() - started, bytes});
+    });
+    return;
+  }
+  auto path = route(src, dst);
+  if (path.empty()) {
+    throw std::logic_error("Network::send: no route " + node_name(src) + " -> " +
+                           node_name(dst));
+  }
+  hop(std::move(path), 0, bytes, started, std::move(cb));
+}
+
+void Network::hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
+                  sim::TimePoint started, TransferCallback cb) {
+  Link& l = links_[path[i]];
+  const sim::TimePoint begin = std::max(sim_.now(), l.busy_until);
+  const sim::Duration ser = serialization_time(bytes, l.params.bandwidth_bps);
+  l.busy_until = begin + ser;
+  l.bytes_carried += bytes;
+  const sim::TimePoint arrive = begin + ser + l.params.latency;
+  sim_.schedule_at(arrive, [this, path = std::move(path), i, bytes, started,
+                            cb = std::move(cb)]() mutable {
+    if (i + 1 == path.size()) {
+      cb(TransferResult{sim_.now() - started, bytes});
+    } else {
+      hop(std::move(path), i + 1, bytes, started, std::move(cb));
+    }
+  });
+}
+
+sim::Duration Network::estimate_latency(NodeId src, NodeId dst,
+                                        std::uint64_t bytes) const {
+  if (src == dst) return sim::Duration::micros(10);
+  auto path = route(src, dst);
+  if (path.empty()) return sim::Duration::infinite();
+  sim::TimePoint t = sim_.now();
+  for (LinkIndex li : path) {
+    const Link& l = links_[li];
+    const sim::TimePoint begin = std::max(t, l.busy_until);
+    t = begin + serialization_time(bytes, l.params.bandwidth_bps) + l.params.latency;
+  }
+  return t - sim_.now();
+}
+
+sim::Duration Network::rtt(NodeId a, NodeId b) const {
+  if (a == b) return sim::Duration::micros(20);
+  sim::Duration d = sim::Duration::zero();
+  for (LinkIndex li : route(a, b)) d += links_[li].params.latency;
+  for (LinkIndex li : route(b, a)) d += links_[li].params.latency;
+  return d;
+}
+
+std::uint64_t Network::link_bytes(NodeId a, NodeId b) const {
+  return links_.at(find_link(a, b)).bytes_carried;
+}
+
+}  // namespace vmgrid::net

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::net {
+
+/// Directed link characteristics. Bandwidth is bytes/second.
+struct LinkParams {
+  sim::Duration latency{sim::Duration::millis(1)};
+  double bandwidth_bps{10e6};  // bytes per second
+};
+
+struct TransferResult {
+  sim::Duration elapsed;
+  std::uint64_t bytes{};
+};
+
+using TransferCallback = std::function<void(const TransferResult&)>;
+
+/// Simulated internetwork: nodes joined by directed links, shortest-path
+/// (latency-metric) routing, and store-and-forward transfers with FIFO
+/// serialization at each link (which yields simple, deterministic
+/// congestion behaviour).
+///
+/// Grid sites are modelled as LAN segments (fast links) joined by WAN
+/// links (high latency, lower bandwidth) — enough fidelity for the
+/// paper's LAN vs WAN storage-path experiments.
+class Network {
+ public:
+  explicit Network(sim::Simulation& s) : sim_{s} {}
+
+  NodeId add_node(std::string name);
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Add a bidirectional link (two directed links with identical params).
+  void add_link(NodeId a, NodeId b, LinkParams params);
+
+  /// Mutate an existing link (both directions); used to model failures
+  /// and congestion in the overlay experiments. Routes are intentionally
+  /// NOT recomputed — like the real Internet, the underlay does not
+  /// reroute when a path merely degrades (that is the overlay's job).
+  void set_link(NodeId a, NodeId b, LinkParams params);
+  [[nodiscard]] std::optional<LinkParams> link_params(NodeId a, NodeId b) const;
+
+  /// Transfer `bytes` from src to dst; invokes cb at delivery time.
+  /// Zero-byte transfers model bare control packets (pure latency).
+  void send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
+
+  /// The transfer time a message would see *right now* (including queued
+  /// backlog on each hop). Used by overlay probing.
+  [[nodiscard]] sim::Duration estimate_latency(NodeId src, NodeId dst,
+                                               std::uint64_t bytes) const;
+
+  /// Propagation-only round trip time along the routed path.
+  [[nodiscard]] sim::Duration rtt(NodeId a, NodeId b) const;
+
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
+
+  /// Total bytes that traversed the (a -> b) directed link.
+  [[nodiscard]] std::uint64_t link_bytes(NodeId a, NodeId b) const;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  struct Link {
+    NodeId from, to;
+    LinkParams params;
+    sim::TimePoint busy_until{};
+    std::uint64_t bytes_carried{0};
+  };
+
+  using LinkIndex = std::size_t;
+
+  [[nodiscard]] std::vector<LinkIndex> route(NodeId src, NodeId dst) const;
+  void hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
+           sim::TimePoint started, TransferCallback cb);
+  LinkIndex find_link(NodeId a, NodeId b) const;
+
+  sim::Simulation& sim_;
+  std::vector<std::string> nodes_;
+  std::vector<Link> links_;
+  std::unordered_map<std::uint64_t, LinkIndex> link_by_pair_;
+  mutable std::unordered_map<std::uint64_t, std::vector<LinkIndex>> route_cache_;
+  mutable bool routes_dirty_{true};
+};
+
+}  // namespace vmgrid::net

@@ -1,0 +1,137 @@
+#include "net/overlay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::net {
+
+namespace {
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+}
+
+OverlayNetwork::OverlayNetwork(Network& net, std::vector<NodeId> members,
+                               OverlayParams params)
+    : net_{net}, members_{std::move(members)}, params_{params},
+      metric_(members_.size() * members_.size(), kUnreachable) {
+  assert(members_.size() >= 2);
+}
+
+OverlayNetwork::~OverlayNetwork() { stop(); }
+
+void OverlayNetwork::start() {
+  if (running_) return;
+  running_ = true;
+  probe_round();
+}
+
+void OverlayNetwork::stop() {
+  if (!running_) return;
+  running_ = false;
+  net_.simulation().cancel(probe_event_);
+  probe_event_ = {};
+}
+
+std::size_t OverlayNetwork::member_index(NodeId n) const {
+  auto it = std::find(members_.begin(), members_.end(), n);
+  if (it == members_.end()) {
+    throw std::logic_error("OverlayNetwork: node is not a member");
+  }
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+void OverlayNetwork::probe_round() {
+  ++rounds_;
+  const std::size_t n = members_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // A real deployment sends probe packets and timestamps replies;
+      // the simulator can read the same quantity directly (current
+      // expected transfer time for a probe-sized packet) without
+      // perturbing link queues.
+      const auto est = net_.estimate_latency(members_[i], members_[j], params_.probe_bytes);
+      const double sample = est.is_infinite() ? kUnreachable : est.to_seconds();
+      double& slot = metric_[i * n + j];
+      if (slot == kUnreachable || sample == kUnreachable) {
+        slot = sample;
+      } else {
+        slot = params_.ewma_alpha * sample + (1.0 - params_.ewma_alpha) * slot;
+      }
+    }
+  }
+  if (running_) {
+    probe_event_ = net_.simulation().schedule_weak_after(
+        params_.probe_interval, [this] { probe_round(); });
+  }
+}
+
+double OverlayNetwork::metric(NodeId a, NodeId b) const {
+  return metric_[member_index(a) * members_.size() + member_index(b)];
+}
+
+std::vector<NodeId> OverlayNetwork::current_path(NodeId src, NodeId dst) const {
+  const std::size_t n = members_.size();
+  const std::size_t s = member_index(src);
+  const std::size_t t = member_index(dst);
+  std::vector<double> dist(n, kUnreachable);
+  std::vector<std::size_t> prev(n, n);
+  using QE = std::pair<double, std::size_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[s] = 0.0;
+  pq.emplace(0.0, s);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double w = metric_[u * n + v];
+      if (w == kUnreachable) continue;
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        prev[v] = u;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[t] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (std::size_t cur = t; cur != n; cur = prev[cur]) {
+    path.push_back(members_[cur]);
+    if (cur == s) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void OverlayNetwork::send(NodeId src, NodeId dst, std::uint64_t bytes,
+                          TransferCallback cb) {
+  auto path = current_path(src, dst);
+  if (path.size() < 2) {
+    throw std::logic_error("OverlayNetwork::send: destination unreachable");
+  }
+  hop(std::move(path), 0, bytes, net_.simulation().now(), std::move(cb));
+}
+
+void OverlayNetwork::hop(std::vector<NodeId> path, std::size_t i, std::uint64_t bytes,
+                         sim::TimePoint started, TransferCallback cb) {
+  // Read the endpoints before the lambda capture moves `path` (argument
+  // evaluation order is unspecified).
+  const NodeId src = path[i];
+  const NodeId dst = path[i + 1];
+  net_.send(src, dst, bytes,
+            [this, path = std::move(path), i, bytes, started,
+             cb = std::move(cb)](const TransferResult&) mutable {
+              if (i + 2 == path.size()) {
+                cb(TransferResult{net_.simulation().now() - started, bytes});
+              } else {
+                hop(std::move(path), i + 1, bytes, started, std::move(cb));
+              }
+            });
+}
+
+}  // namespace vmgrid::net

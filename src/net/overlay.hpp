@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace vmgrid::net {
+
+struct OverlayParams {
+  sim::Duration probe_interval{sim::Duration::seconds(2)};
+  std::uint64_t probe_bytes{64};
+  double ewma_alpha{0.5};  // weight of the newest measurement
+};
+
+/// Resilient-overlay-style network among the virtual machines of a grid
+/// session (paper §3.3): members periodically probe pairwise path quality
+/// and route application traffic over intermediate members when the
+/// direct underlay path degrades or fails.
+class OverlayNetwork {
+ public:
+  OverlayNetwork(Network& net, std::vector<NodeId> members, OverlayParams params = {});
+  ~OverlayNetwork();
+
+  OverlayNetwork(const OverlayNetwork&) = delete;
+  OverlayNetwork& operator=(const OverlayNetwork&) = delete;
+
+  /// Begin periodic probing. The first probe round runs immediately so
+  /// routes exist before the first send.
+  void start();
+  void stop();
+
+  /// Route a payload over the overlay (store-and-forward at member hops).
+  void send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
+
+  /// Current overlay path, including endpoints. Empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> current_path(NodeId src, NodeId dst) const;
+
+  /// Smoothed pairwise metric (seconds) between two members.
+  [[nodiscard]] double metric(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] std::uint64_t probe_rounds() const { return rounds_; }
+
+ private:
+  void probe_round();
+  [[nodiscard]] std::size_t member_index(NodeId n) const;
+  void hop(std::vector<NodeId> path, std::size_t i, std::uint64_t bytes,
+           sim::TimePoint started, TransferCallback cb);
+
+  Network& net_;
+  std::vector<NodeId> members_;
+  OverlayParams params_;
+  // metric_[i*n+j]: smoothed one-way transfer estimate i -> j, seconds.
+  std::vector<double> metric_;
+  sim::EventId probe_event_;
+  bool running_{false};
+  std::uint64_t rounds_{0};
+};
+
+}  // namespace vmgrid::net

@@ -1,0 +1,73 @@
+#include "net/rpc.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::net {
+
+RpcServer::RpcServer(RpcFabric& fabric, NodeId self, RpcServerParams params)
+    : fabric_{fabric}, self_{self}, params_{params} {
+  fabric_.bind(self_, this);
+}
+
+RpcServer::~RpcServer() { fabric_.unbind(self_); }
+
+void RpcServer::register_method(std::string name, RpcHandler handler) {
+  if (!methods_.emplace(std::move(name), std::move(handler)).second) {
+    throw std::logic_error("RpcServer: duplicate method registration");
+  }
+}
+
+void RpcServer::dispatch(const RpcRequest& req, RpcResponder respond) {
+  ++calls_;
+  auto it = methods_.find(req.method);
+  if (it == methods_.end()) {
+    respond(RpcResponse{.ok = false,
+                        .error = "no such method: " + req.method,
+                        .response_bytes = 64,
+                        .payload = {}});
+    return;
+  }
+  // Apply the per-call RPC stack overhead before running the handler.
+  auto& sim = fabric_.simulation();
+  sim.schedule_after(params_.per_call_overhead,
+                     [this, req, respond = std::move(respond)]() mutable {
+                       methods_.at(req.method)(req, std::move(respond));
+                     });
+}
+
+void RpcFabric::bind(NodeId node, RpcServer* server) {
+  if (!servers_.emplace(node, server).second) {
+    throw std::logic_error("RpcFabric: node already has a bound server");
+  }
+}
+
+void RpcFabric::unbind(NodeId node) { servers_.erase(node); }
+
+void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb) {
+  net_.send(from, to, req.request_bytes,
+            [this, from, to, req = std::move(req),
+             cb = std::move(cb)](const TransferResult&) mutable {
+              auto it = servers_.find(to);
+              if (it == servers_.end()) {
+                // Reply path still costs a wire traversal.
+                net_.send(to, from, 64, [cb = std::move(cb)](const TransferResult&) {
+                  cb(RpcResponse{.ok = false,
+                                 .error = "connection refused",
+                                 .response_bytes = 64,
+                                 .payload = {}});
+                });
+                return;
+              }
+              it->second->dispatch(
+                  req, [this, from, to, cb = std::move(cb)](RpcResponse resp) mutable {
+                    const auto bytes = resp.response_bytes;
+                    net_.send(to, from, bytes,
+                              [cb = std::move(cb), resp = std::move(resp)](
+                                  const TransferResult&) mutable { cb(std::move(resp)); });
+                  });
+            });
+}
+
+}  // namespace vmgrid::net

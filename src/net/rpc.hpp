@@ -1,0 +1,89 @@
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+
+namespace vmgrid::net {
+
+/// Wire-level request: method name, request size on the wire, and an
+/// opaque in-memory payload (the simulation does not marshal real bytes).
+struct RpcRequest {
+  std::string method;
+  std::uint64_t request_bytes{128};
+  std::any payload;
+};
+
+struct RpcResponse {
+  bool ok{true};
+  std::string error;
+  std::uint64_t response_bytes{128};
+  std::any payload;
+};
+
+using RpcCallback = std::function<void(RpcResponse)>;
+using RpcResponder = std::function<void(RpcResponse)>;
+using RpcHandler = std::function<void(const RpcRequest&, RpcResponder)>;
+
+/// Per-server RPC stack parameters. The per-call overhead models the
+/// protocol stack cost (marshalling, context switches) that makes a
+/// loopback-mounted NFS slower than the native file system even with no
+/// wire latency — the effect behind Table 2's LoopbackNFS column.
+struct RpcServerParams {
+  sim::Duration per_call_overhead = sim::Duration::micros(300);
+};
+
+class RpcFabric;
+
+/// A named-method RPC service bound to one network node.
+class RpcServer {
+ public:
+  RpcServer(RpcFabric& fabric, NodeId self, RpcServerParams params = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void register_method(std::string name, RpcHandler handler);
+  [[nodiscard]] NodeId node() const { return self_; }
+  [[nodiscard]] std::uint64_t calls_served() const { return calls_; }
+  [[nodiscard]] RpcFabric& fabric() { return fabric_; }
+
+ private:
+  friend class RpcFabric;
+  void dispatch(const RpcRequest& req, RpcResponder respond);
+
+  RpcFabric& fabric_;
+  NodeId self_;
+  RpcServerParams params_;
+  std::unordered_map<std::string, RpcHandler> methods_;
+  std::uint64_t calls_{0};
+};
+
+/// Connects RpcServers to the network and routes calls to them.
+class RpcFabric {
+ public:
+  explicit RpcFabric(Network& net) : net_{net} {}
+
+  /// Issue a call from `from` to the server bound at `to`.
+  /// Unknown node / unknown method produce an ok=false response rather
+  /// than an exception: remote failures are data, not programming errors.
+  void call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb);
+
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] sim::Simulation& simulation() { return net_.simulation(); }
+
+ private:
+  friend class RpcServer;
+  void bind(NodeId node, RpcServer* server);
+  void unbind(NodeId node);
+
+  Network& net_;
+  std::unordered_map<NodeId, RpcServer*> servers_;
+};
+
+}  // namespace vmgrid::net

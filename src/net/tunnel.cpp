@@ -1,0 +1,46 @@
+#include "net/tunnel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::net {
+
+EthernetTunnel::EthernetTunnel(Network& net, NodeId local_gateway, NodeId remote_host,
+                               TunnelParams params)
+    : net_{net}, local_{local_gateway}, remote_{remote_host}, params_{params} {}
+
+void EthernetTunnel::establish(std::function<void()> on_ready) {
+  // TCP + SSH handshake: a few round trips plus key exchange time.
+  const auto handshake = net_.rtt(local_, remote_) * 3.0 + params_.setup_time;
+  net_.simulation().schedule_after(handshake, [this, on_ready = std::move(on_ready)] {
+    established_ = true;
+    on_ready();
+  });
+}
+
+std::uint64_t EthernetTunnel::wire_bytes(std::uint64_t bytes) const {
+  if (bytes == 0) return params_.encap_bytes_per_frame;
+  const std::uint64_t frames = (bytes + params_.mtu_bytes - 1) / params_.mtu_bytes;
+  return bytes + frames * params_.encap_bytes_per_frame;
+}
+
+void EthernetTunnel::send(bool to_remote, std::uint64_t bytes, TransferCallback cb) {
+  if (!established_) {
+    throw std::logic_error("EthernetTunnel::send before establish()");
+  }
+  const NodeId src = to_remote ? local_ : remote_;
+  const NodeId dst = to_remote ? remote_ : local_;
+  // Cipher cost on the sending end delays wire transmission.
+  const auto crypto = sim::Duration::seconds(static_cast<double>(bytes) /
+                                             params_.crypto_bandwidth_bps);
+  const auto started = net_.simulation().now();
+  net_.simulation().schedule_after(crypto, [this, src, dst, bytes, started,
+                                            cb = std::move(cb)]() mutable {
+    net_.send(src, dst, wire_bytes(bytes),
+              [this, bytes, started, cb = std::move(cb)](const TransferResult&) {
+                cb(TransferResult{net_.simulation().now() - started, bytes});
+              });
+  });
+}
+
+}  // namespace vmgrid::net

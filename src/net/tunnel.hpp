@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+
+#include "net/network.hpp"
+
+namespace vmgrid::net {
+
+/// Parameters of an SSH-style layer-2 tunnel.
+struct TunnelParams {
+  std::uint64_t mtu_bytes{1500};
+  std::uint64_t encap_bytes_per_frame{90};  // Ethernet-in-SSH-in-TCP/IP headers
+  double crypto_bandwidth_bps{25e6};        // cipher throughput on 2003-era CPUs
+  sim::Duration setup_time{sim::Duration::millis(900)};  // SSH handshake + auth
+};
+
+/// Ethernet-over-SSH tunnel (paper §3.3, scenario 2).
+///
+/// When the hosting site will not give a VM an address, traffic is
+/// tunnelled at the Ethernet level between the user's local gateway and
+/// the remote VM host so the VM appears on the user's LAN. The model
+/// charges per-frame encapsulation overhead and cipher throughput on both
+/// ends, on top of the underlying routed path.
+class EthernetTunnel {
+ public:
+  EthernetTunnel(Network& net, NodeId local_gateway, NodeId remote_host,
+                 TunnelParams params = {});
+
+  /// Perform the SSH connection handshake; must complete before send().
+  void establish(std::function<void()> on_ready);
+  [[nodiscard]] bool established() const { return established_; }
+
+  /// Send `bytes` through the tunnel. `to_remote` selects direction.
+  void send(bool to_remote, std::uint64_t bytes, TransferCallback cb);
+
+  /// Wire bytes including encapsulation for a payload of `bytes`.
+  [[nodiscard]] std::uint64_t wire_bytes(std::uint64_t bytes) const;
+
+  [[nodiscard]] NodeId local_gateway() const { return local_; }
+  [[nodiscard]] NodeId remote_host() const { return remote_; }
+
+ private:
+  Network& net_;
+  NodeId local_;
+  NodeId remote_;
+  TunnelParams params_;
+  bool established_{false};
+};
+
+}  // namespace vmgrid::net

@@ -1,0 +1,90 @@
+#include "rps/predictors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmgrid::rps {
+
+double LastValuePredictor::predict(const TimeSeries& series, std::size_t) const {
+  return series.empty() ? 0.0 : series.last();
+}
+
+double MovingAveragePredictor::predict(const TimeSeries& series, std::size_t) const {
+  if (series.empty()) return 0.0;
+  const auto tail = series.tail(window_);
+  double s = 0.0;
+  for (double v : tail) s += v;
+  return s / static_cast<double>(tail.size());
+}
+
+double EwmaPredictor::predict(const TimeSeries& series, std::size_t) const {
+  if (series.empty()) return 0.0;
+  const auto tail = series.tail(64);
+  double est = tail.front();
+  for (double v : tail) est = alpha_ * v + (1.0 - alpha_) * est;
+  return est;
+}
+
+std::vector<double> ArPredictor::fit(const TimeSeries& series) const {
+  const std::size_t p = std::min(order_, series.size() >= 2 ? series.size() - 1 : 0);
+  if (p == 0) return {};
+  // Levinson-Durbin on the autocovariance sequence.
+  std::vector<double> r(p + 1);
+  for (std::size_t k = 0; k <= p; ++k) r[k] = series.autocovariance(k);
+  if (r[0] <= 1e-12) return {};  // constant series
+  std::vector<double> a(p + 1, 0.0), prev(p + 1, 0.0);
+  double e = r[0];
+  for (std::size_t k = 1; k <= p; ++k) {
+    double acc = r[k];
+    for (std::size_t j = 1; j < k; ++j) acc -= a[j] * r[k - j];
+    const double reflection = acc / e;
+    prev = a;
+    a[k] = reflection;
+    for (std::size_t j = 1; j < k; ++j) a[j] = prev[j] - reflection * prev[k - j];
+    e *= (1.0 - reflection * reflection);
+    if (e <= 1e-12) break;
+  }
+  return {a.begin() + 1, a.end()};
+}
+
+double ArPredictor::predict(const TimeSeries& series, std::size_t steps) const {
+  if (series.empty()) return 0.0;
+  const auto coef = fit(series);
+  if (coef.empty()) return series.last();
+  const double mean = series.mean();
+  // History, newest first, as deviations from the mean.
+  std::vector<double> hist;
+  const auto tail = series.tail(coef.size());
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) hist.push_back(*it - mean);
+  double prediction = series.last();
+  for (std::size_t s = 0; s < std::max<std::size_t>(1, steps); ++s) {
+    double dev = 0.0;
+    for (std::size_t j = 0; j < coef.size() && j < hist.size(); ++j) {
+      dev += coef[j] * hist[j];
+    }
+    prediction = mean + dev;
+    hist.insert(hist.begin(), dev);
+    if (hist.size() > coef.size()) hist.pop_back();
+  }
+  return prediction;
+}
+
+double evaluate_mse(const Predictor& p, const std::vector<double>& data,
+                    std::size_t warmup) {
+  if (data.size() <= warmup + 1) return 0.0;
+  TimeSeries series{data.size() + 2};
+  double se = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i > warmup) {
+      const double pred = p.predict(series, 1);
+      const double err = pred - data[i];
+      se += err * err;
+      ++n;
+    }
+    series.append(sim::TimePoint::from_seconds(static_cast<double>(i)), data[i]);
+  }
+  return n > 0 ? se / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rps/timeseries.hpp"
+
+namespace vmgrid::rps {
+
+/// One-step-ahead load predictor over a TimeSeries (RPS-style: the
+/// prediction service runs a family of fitted models and applications
+/// pick by evaluated error).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  /// Predict the value `steps` epochs ahead of the series' last sample.
+  [[nodiscard]] virtual double predict(const TimeSeries& series,
+                                       std::size_t steps = 1) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// LAST: next value = current value. Hard to beat at short horizons on
+/// self-similar host load, which is why RPS ships it as the baseline.
+class LastValuePredictor final : public Predictor {
+ public:
+  [[nodiscard]] double predict(const TimeSeries& series, std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "LAST"; }
+};
+
+/// Sliding-window mean.
+class MovingAveragePredictor final : public Predictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t window = 16) : window_{window} {}
+  [[nodiscard]] double predict(const TimeSeries& series, std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override {
+    return "MA(" + std::to_string(window_) + ")";
+  }
+
+ private:
+  std::size_t window_;
+};
+
+/// Exponentially weighted moving average.
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3) : alpha_{alpha} {}
+  [[nodiscard]] double predict(const TimeSeries& series, std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "EWMA"; }
+
+ private:
+  double alpha_;
+};
+
+/// AR(p) fitted by Yule-Walker (Levinson-Durbin recursion) over the
+/// series' window; multi-step prediction iterates the model.
+class ArPredictor final : public Predictor {
+ public:
+  explicit ArPredictor(std::size_t order = 8) : order_{order} {}
+  [[nodiscard]] double predict(const TimeSeries& series, std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override {
+    return "AR(" + std::to_string(order_) + ")";
+  }
+
+  /// Exposed for tests: Yule-Walker coefficients for the series.
+  [[nodiscard]] std::vector<double> fit(const TimeSeries& series) const;
+
+ private:
+  std::size_t order_;
+};
+
+/// Mean squared error of one-step predictions replayed over a series.
+[[nodiscard]] double evaluate_mse(const Predictor& p, const std::vector<double>& data,
+                                  std::size_t warmup = 16);
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,30 @@
+#include "rps/runtime_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "host/schedulers.hpp"
+
+namespace vmgrid::rps {
+
+double RunningTimePredictor::predicted_share(const TimeSeries& load_series) const {
+  const double load = std::max(0.0, predictor_->predict(load_series, 1));
+  // Exact GPS fair-share: the job (demand 1) competes with floor(load)
+  // saturated background processes plus one fractional one.
+  const auto whole = static_cast<std::size_t>(std::floor(load));
+  const double frac = load - static_cast<double>(whole);
+  std::vector<double> weights(1 + whole + (frac > 0 ? 1 : 0), 1.0);
+  std::vector<double> caps(weights.size(), 1.0);
+  if (frac > 0) caps.back() = frac;
+  const auto alloc = host::water_fill(weights, caps, ncpus_);
+  return std::clamp(alloc[0], 0.0, 1.0);
+}
+
+double RunningTimePredictor::predict_runtime(const TimeSeries& load_series,
+                                             double cpu_seconds) const {
+  const double share = predicted_share(load_series);
+  if (share <= 1e-9) return cpu_seconds * 1e9;
+  return cpu_seconds / share;
+}
+
+}  // namespace vmgrid::rps

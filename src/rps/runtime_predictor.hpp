@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+
+#include "rps/predictors.hpp"
+
+namespace vmgrid::rps {
+
+/// Application-level performance prediction (the second half of RPS):
+/// map a predicted host load to the expected running time of a task of
+/// known CPU demand on a fair-share host with `ncpus` processors.
+class RunningTimePredictor {
+ public:
+  RunningTimePredictor(std::shared_ptr<Predictor> load_predictor, double ncpus)
+      : predictor_{std::move(load_predictor)}, ncpus_{ncpus} {}
+
+  /// Expected wall seconds for `cpu_seconds` of work started now, given
+  /// the load series of the candidate host. Under fair share, a task
+  /// competing with L runnable processes on an N-CPU host receives
+  /// min(1, N / (L + 1)) of a CPU.
+  [[nodiscard]] double predict_runtime(const TimeSeries& load_series,
+                                       double cpu_seconds) const;
+
+  /// Convenience: the predicted share the task would receive.
+  [[nodiscard]] double predicted_share(const TimeSeries& load_series) const;
+
+  [[nodiscard]] const Predictor& load_predictor() const { return *predictor_; }
+
+ private:
+  std::shared_ptr<Predictor> predictor_;
+  double ncpus_;
+};
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,32 @@
+#include "rps/sensor.hpp"
+
+namespace vmgrid::rps {
+
+HostLoadSensor::HostLoadSensor(sim::Simulation& s, const host::CpuEngine& engine,
+                               sim::Duration period, std::size_t capacity)
+    : sim_{s}, engine_{engine}, period_{period}, series_{capacity} {}
+
+HostLoadSensor::~HostLoadSensor() { stop(); }
+
+void HostLoadSensor::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void HostLoadSensor::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(event_);
+  event_ = {};
+}
+
+void HostLoadSensor::tick() {
+  if (!running_) return;
+  const double load = engine_.total_demand();
+  series_.append(sim_.now(), load);
+  if (on_sample_) on_sample_(load);
+  event_ = sim_.schedule_weak_after(period_, [this] { tick(); });
+}
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+
+#include "host/cpu_engine.hpp"
+#include "rps/timeseries.hpp"
+
+namespace vmgrid::rps {
+
+/// Periodic host-load sensor: samples the runnable demand of a CPU
+/// engine into a TimeSeries (the RPS sensor → stream → predictor chain).
+class HostLoadSensor {
+ public:
+  HostLoadSensor(sim::Simulation& s, const host::CpuEngine& engine,
+                 sim::Duration period = sim::Duration::seconds(1),
+                 std::size_t capacity = 4096);
+  ~HostLoadSensor();
+
+  HostLoadSensor(const HostLoadSensor&) = delete;
+  HostLoadSensor& operator=(const HostLoadSensor&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] sim::Duration period() const { return period_; }
+
+  /// Optional per-sample hook (e.g. to feed a migration trigger).
+  void set_on_sample(std::function<void(double)> fn) { on_sample_ = std::move(fn); }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  const host::CpuEngine& engine_;
+  sim::Duration period_;
+  TimeSeries series_;
+  sim::EventId event_{};
+  bool running_{false};
+  std::function<void(double)> on_sample_;
+};
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,52 @@
+#include "rps/timeseries.hpp"
+
+#include <cassert>
+
+namespace vmgrid::rps {
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_{capacity} {
+  assert(capacity_ >= 2);
+}
+
+void TimeSeries::append(sim::TimePoint t, double value) {
+  if (values_.size() >= capacity_) {
+    // Drop the oldest half to amortize erase cost.
+    const auto keep = capacity_ / 2;
+    values_.erase(values_.begin(), values_.end() - static_cast<std::ptrdiff_t>(keep));
+    times_.erase(times_.begin(), times_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+std::vector<double> TimeSeries::tail(std::size_t n) const {
+  const std::size_t take = std::min(n, values_.size());
+  return {values_.end() - static_cast<std::ptrdiff_t>(take), values_.end()};
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double TimeSeries::variance() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return s / static_cast<double>(values_.size());
+}
+
+double TimeSeries::autocovariance(std::size_t lag) const {
+  if (values_.size() <= lag) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (std::size_t i = lag; i < values_.size(); ++i) {
+    s += (values_[i] - m) * (values_[i - lag] - m);
+  }
+  return s / static_cast<double>(values_.size());
+}
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::rps {
+
+/// Fixed-capacity sliding window of (time, value) samples — the feed
+/// between RPS sensors and predictors.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 4096);
+
+  void append(sim::TimePoint t, double value);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
+  [[nodiscard]] sim::TimePoint time(std::size_t i) const { return times_[i]; }
+  [[nodiscard]] double last() const { return values_.back(); }
+
+  /// Most recent `n` values, oldest first.
+  [[nodiscard]] std::vector<double> tail(std::size_t n) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  /// Autocovariance at the given lag (biased estimator, as used by
+  /// Yule-Walker fitting).
+  [[nodiscard]] double autocovariance(std::size_t lag) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<sim::TimePoint> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace vmgrid::rps

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vmgrid::sim {
+
+EventId EventQueue::schedule(TimePoint at, EventCallback fn, bool weak) {
+  const std::uint64_t seq = next_seq_++;
+  auto slot = std::make_shared<EventCallback>(std::move(fn));
+  index_.emplace(seq, IndexEntry{slot, weak});
+  heap_.push(Entry{at, seq, std::move(slot), weak});
+  ++live_;
+  if (!weak) ++strong_live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = index_.find(id.seq());
+  if (it == index_.end()) return;
+  if (auto slot = it->second.slot.lock()) {
+    *slot = nullptr;  // mark entry cancelled; heap slot is skipped on pop
+    --live_;
+    if (!it->second.weak) --strong_live_;
+  }
+  index_.erase(it);
+}
+
+bool EventQueue::empty() const { return live_ == 0; }
+
+void EventQueue::drop_cancelled_prefix() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.fn && *top.fn) return;
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_prefix();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_prefix();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  index_.erase(top.seq);
+  --live_;
+  if (!top.weak) --strong_live_;
+  return Fired{top.at, std::move(*top.fn)};
+}
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Opaque handle to a scheduled event; used only for cancellation.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t seq() const { return seq_; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t s) : seq_{s} {}
+  std::uint64_t seq_{0};
+};
+
+/// Deterministic min-heap of timed callbacks.
+///
+/// Ties are broken by insertion order, so two events scheduled for the
+/// same instant fire in the order they were scheduled — this is what makes
+/// whole-simulation runs reproducible for a fixed seed.
+///
+/// Events are *strong* by default. *Weak* events (daemon-style: periodic
+/// sensors, probes, archival sweeps) do not keep an unbounded run alive:
+/// Simulation::run() stops once only weak events remain.
+class EventQueue {
+ public:
+  EventId schedule(TimePoint at, EventCallback fn, bool weak = false);
+
+  /// Cancel a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool has_strong() const { return strong_live_ > 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Pop the earliest event; the caller is responsible for invoking it.
+  /// Precondition: !empty().
+  struct Fired {
+    TimePoint at;
+    EventCallback fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::shared_ptr<EventCallback> fn;  // null fn slot => cancelled
+    bool weak{false};
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct IndexEntry {
+    std::weak_ptr<EventCallback> slot;
+    bool weak{false};
+  };
+
+  void drop_cancelled_prefix();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, IndexEntry> index_;
+  std::uint64_t next_seq_{1};
+  std::size_t live_{0};
+  std::size_t strong_live_{0};
+};
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,29 @@
+#include "sim/logger.hpp"
+
+#include <iomanip>
+#include <iostream>
+
+namespace vmgrid::sim {
+
+namespace {
+std::string_view level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel lvl, double sim_seconds, std::string_view component,
+                   std::string_view message) {
+  std::ostream& os = sink_ ? *sink_ : std::clog;
+  os << '[' << std::fixed << std::setprecision(6) << sim_seconds << "s] "
+     << level_name(lvl) << ' ' << component << ": " << message << '\n';
+}
+
+}  // namespace vmgrid::sim

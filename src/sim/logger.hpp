@@ -1,0 +1,45 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vmgrid::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Lightweight component-tagged logger for simulation traces.
+///
+/// Off (kWarn) by default so tests and benches stay quiet; examples turn
+/// it up to narrate the middleware protocol steps.
+class Logger {
+ public:
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  /// Redirect output (defaults to std::clog); pass nullptr to restore.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel lvl, double sim_seconds, std::string_view component,
+             std::string_view message);
+
+ private:
+  LogLevel level_{LogLevel::kWarn};
+  std::ostream* sink_{nullptr};
+};
+
+}  // namespace vmgrid::sim
+
+/// Usage: VMGRID_LOG(sim, kInfo, "gram", "dispatching job " << id);
+#define VMGRID_LOG(simref, lvl, component, expr)                               \
+  do {                                                                         \
+    if ((simref).log().enabled(::vmgrid::sim::LogLevel::lvl)) {                \
+      std::ostringstream vmgrid_log_os;                                        \
+      vmgrid_log_os << expr;                                                   \
+      (simref).log().write(::vmgrid::sim::LogLevel::lvl,                       \
+                           (simref).now().to_seconds(), component,             \
+                           vmgrid_log_os.str());                               \
+    }                                                                          \
+  } while (0)

@@ -1,0 +1,60 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vmgrid::sim {
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  return std::exponential_distribution<double>{1.0 / mean}(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>{mean, stddev}(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double floor) {
+  // Rejection with a resample cap; falls back to clamping so a pathological
+  // (mean far below floor) parameterization cannot loop forever.
+  for (int i = 0; i < 64; ++i) {
+    const double x = normal(mean, stddev);
+    if (x >= floor) return x;
+  }
+  return floor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>{mu, sigma}(engine_);
+}
+
+double Rng::pareto(double shape, double scale, double cap) {
+  assert(shape > 0.0);
+  const double u = std::max(uniform(0.0, 1.0), 1e-12);
+  return std::min(scale * std::pow(u, -1.0 / shape), cap);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution{std::clamp(p, 0.0, 1.0)}(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n >= 1);
+  return static_cast<std::size_t>(
+      std::uniform_int_distribution<std::size_t>{0, n - 1}(engine_));
+}
+
+Rng Rng::split() {
+  return Rng{engine_()};
+}
+
+}  // namespace vmgrid::sim

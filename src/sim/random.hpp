@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace vmgrid::sim {
+
+/// Seeded pseudo-random source shared by a Simulation.
+///
+/// All stochastic model elements (latency jitter, boot-time variance,
+/// trace generation) draw from here so one seed pins an entire run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (not rate).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Normal, optionally truncated below at `floor`.
+  [[nodiscard]] double normal(double mean, double stddev);
+  [[nodiscard]] double truncated_normal(double mean, double stddev, double floor);
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+
+  /// Bounded Pareto-ish heavy tail: scale * U^(-1/shape), capped.
+  [[nodiscard]] double pareto(double shape, double scale, double cap);
+
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Pick a uniformly random index into a collection of size n (n >= 1).
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Derive an independent child stream (for per-component streams that
+  /// must not perturb each other's draws).
+  [[nodiscard]] Rng split();
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vmgrid::sim

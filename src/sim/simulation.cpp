@@ -1,0 +1,57 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::sim {
+
+EventId Simulation::schedule_at(TimePoint at, EventCallback fn) {
+  if (at < now_) {
+    throw std::logic_error("Simulation::schedule_at: event scheduled in the past");
+  }
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Simulation::schedule_after(Duration delay, EventCallback fn) {
+  if (delay < Duration::zero()) {
+    throw std::logic_error("Simulation::schedule_after: negative delay");
+  }
+  if (delay.is_infinite()) {
+    throw std::logic_error("Simulation::schedule_after: infinite delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_weak_at(TimePoint at, EventCallback fn) {
+  if (at < now_) {
+    throw std::logic_error("Simulation::schedule_weak_at: event scheduled in the past");
+  }
+  return queue_.schedule(at, std::move(fn), /*weak=*/true);
+}
+
+EventId Simulation::schedule_weak_after(Duration delay, EventCallback fn) {
+  if (delay < Duration::zero() || delay.is_infinite()) {
+    throw std::logic_error("Simulation::schedule_weak_after: bad delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn), /*weak=*/true);
+}
+
+void Simulation::run_until(TimePoint limit) {
+  stopped_ = false;
+  const bool bounded = limit != TimePoint::max();
+  while (!stopped_ && !queue_.empty()) {
+    if (!bounded && !queue_.has_strong()) break;  // only daemons remain
+    if (queue_.next_time() > limit) break;
+    auto [at, fn] = queue_.pop();
+    assert(at >= now_);
+    now_ = at;
+    ++executed_;
+    fn();
+  }
+  if (!stopped_ && bounded && now_ < limit) {
+    now_ = limit;
+  }
+}
+
+}  // namespace vmgrid::sim

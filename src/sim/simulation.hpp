@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/logger.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+
+/// The discrete-event simulation kernel.
+///
+/// Owns the clock, the event queue, the seeded random source, and the
+/// trace logger. Every other subsystem holds a reference to a Simulation
+/// and expresses all timing through schedule_at/schedule_after.
+///
+/// The kernel is deterministic: the same seed and the same sequence of
+/// schedule calls produce the same execution. "Measurement samples" in
+/// the benches vary only through the seed.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Logger& log() { return log_; }
+
+  EventId schedule_at(TimePoint at, EventCallback fn);
+  EventId schedule_after(Duration delay, EventCallback fn);
+
+  /// Daemon-style variants: weak events never keep an unbounded run()
+  /// alive (periodic sensors, probes, sweeps). They still fire normally
+  /// during bounded run_until/run_for windows and whenever strong work
+  /// remains pending.
+  EventId schedule_weak_at(TimePoint at, EventCallback fn);
+  EventId schedule_weak_after(Duration delay, EventCallback fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until all *strong* work drains or stop() is called.
+  void run() { run_until(TimePoint::max()); }
+
+  /// Run until `limit` (inclusive of events at exactly `limit`), the queue
+  /// drains, or stop() is called. Advances the clock to `limit` when it is
+  /// finite and the queue drained earlier. Within a finite window, weak
+  /// events fire even when no strong work is pending.
+  void run_until(TimePoint limit);
+
+  /// Convenience: run for `d` more simulated time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  TimePoint now_{};
+  EventQueue queue_;
+  Rng rng_;
+  Logger log_;
+  bool stopped_{false};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,104 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vmgrid::sim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) { *this = o; return; }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  m2_ = m2_ + o.m2_ + delta * delta * na * nb / total;
+  mean_ = (mean_ * na + o.mean_ * nb) / total;
+  sum_ += o.sum_;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, bins_(bins, 0) {
+  assert(hi > lo && bins >= 1);
+}
+
+void Histogram::add(double x) {
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(f * static_cast<double>(bins_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += static_cast<double>(bins_[i]);
+    if (cum >= target) {
+      const double w = (hi_ - lo_) / static_cast<double>(bins_.size());
+      return lo_ + (static_cast<double>(i) + 0.5) * w;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto b : bins_) peak = std::max(peak, b);
+  std::string out;
+  const double w = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double edge = lo_ + static_cast<double>(i) * w;
+    out += std::to_string(edge);
+    out += " | ";
+    const auto len = bins_[i] * width / peak;
+    out.append(len, '#');
+    out += "  (" + std::to_string(bins_[i]) + ")\n";
+  }
+  return out;
+}
+
+void TimeWeightedMean::set(TimePoint now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = last_ = now;
+    value_ = value;
+    return;
+  }
+  integral_ += value_ * (now - last_).to_seconds();
+  last_ = now;
+  value_ = value;
+}
+
+double TimeWeightedMean::mean(TimePoint now) const {
+  if (!started_) return 0.0;
+  const double span = (now - start_).to_seconds();
+  if (span <= 0.0) return value_;
+  const double integral = integral_ + value_ * (now - last_).to_seconds();
+  return integral / span;
+}
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+
+/// Streaming accumulator: count/mean/stddev/min/max via Welford's method.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;   // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const Accumulator& other);
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return bins_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_{0};
+};
+
+/// Time-weighted mean of a piecewise-constant signal (e.g. utilization).
+class TimeWeightedMean {
+ public:
+  void set(TimePoint now, double value);
+  [[nodiscard]] double mean(TimePoint now) const;
+
+ private:
+  bool started_{false};
+  TimePoint start_{};
+  TimePoint last_{};
+  double value_{0.0};
+  double integral_{0.0};
+};
+
+}  // namespace vmgrid::sim

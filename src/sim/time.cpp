@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vmgrid::sim {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const double s = d.to_seconds();
+  if (std::abs(s) >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (std::abs(s) >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fus", s * 1e6);
+  }
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return to_string(t.since_epoch()); }
+
+}  // namespace vmgrid::sim

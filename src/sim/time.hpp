@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vmgrid::sim {
+
+/// Simulated duration with nanosecond resolution.
+///
+/// A strong type distinct from TimePoint so that "3 seconds" and
+/// "3 seconds after the epoch" cannot be confused. All simulation
+/// components express latencies, service times, and timeouts as Duration.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr bool is_infinite() const { return ns_ == infinite().ns_; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) / k)};
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// A point in simulated time, measured from the simulation epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_seconds(double s) {
+    return TimePoint{Duration::seconds(s)};
+  }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{Duration::infinite()};
+  }
+
+  [[nodiscard]] constexpr Duration since_epoch() const { return d_; }
+  [[nodiscard]] constexpr double to_seconds() const { return d_.to_seconds(); }
+
+  constexpr TimePoint operator+(Duration o) const { return TimePoint{d_ + o}; }
+  constexpr TimePoint operator-(Duration o) const { return TimePoint{d_ - o}; }
+  constexpr Duration operator-(TimePoint o) const { return d_ - o.d_; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(Duration d) : d_{d} {}
+  Duration d_{};
+};
+
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,28 @@
+#include "storage/disk.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vmgrid::storage {
+
+sim::Duration Disk::service_time(std::uint64_t bytes, bool sequential) const {
+  const auto transfer =
+      sim::Duration::seconds(static_cast<double>(bytes) / params_.bandwidth_bps);
+  if (sequential) return transfer + params_.cache_hit;
+  return transfer + params_.seek;
+}
+
+void Disk::access(std::uint64_t bytes, bool sequential, IoCallback cb) {
+  ++ops_;
+  bytes_ += bytes;
+  bool fast = sequential;
+  if (!fast && params_.cache_hit_rate > 0.0) {
+    fast = sim_.rng().bernoulli(params_.cache_hit_rate);
+  }
+  const auto svc = service_time(bytes, fast);
+  const sim::TimePoint begin = std::max(sim_.now(), busy_until_);
+  busy_until_ = begin + svc;
+  sim_.schedule_at(busy_until_, std::move(cb));
+}
+
+}  // namespace vmgrid::storage

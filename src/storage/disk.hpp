@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.hpp"
+
+namespace vmgrid::storage {
+
+/// 2003-era commodity IDE/SCSI disk: fixed positioning cost plus
+/// sequential transfer bandwidth, FIFO service (one head).
+struct DiskParams {
+  sim::Duration seek{sim::Duration::millis(6)};
+  double bandwidth_bps{30e6};           // sustained sequential, bytes/second
+  sim::Duration cache_hit{sim::Duration::micros(50)};  // track-buffer hit
+  double cache_hit_rate{0.0};           // fraction of ops that skip the seek
+};
+
+/// Block device with queued access. All file systems in the repo sit on
+/// one of these; contention between co-located workloads (e.g. a VM disk
+/// image and the host's own I/O) emerges from the FIFO queue.
+class Disk {
+ public:
+  Disk(sim::Simulation& s, DiskParams params = {}) : sim_{s}, params_{params} {}
+
+  using IoCallback = std::function<void()>;
+
+  /// Schedule an I/O of `bytes`; `sequential` skips the seek charge.
+  void access(std::uint64_t bytes, bool sequential, IoCallback cb);
+
+  void read(std::uint64_t bytes, IoCallback cb) { access(bytes, false, std::move(cb)); }
+  void write(std::uint64_t bytes, IoCallback cb) { access(bytes, false, std::move(cb)); }
+
+  /// Time a single access of `bytes` would take on an idle disk.
+  [[nodiscard]] sim::Duration service_time(std::uint64_t bytes, bool sequential) const;
+
+  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+
+ private:
+  sim::Simulation& sim_;
+  DiskParams params_;
+  sim::TimePoint busy_until_{};
+  std::uint64_t bytes_{0};
+  std::uint64_t ops_{0};
+};
+
+}  // namespace vmgrid::storage

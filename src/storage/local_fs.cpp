@@ -1,0 +1,127 @@
+#include "storage/local_fs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::storage {
+
+namespace {
+constexpr std::uint64_t kCopyChunk = 1 << 20;  // 1 MiB
+}
+
+void LocalFileSystem::create(const std::string& path, std::uint64_t size) {
+  files_[path] = File{size, {}};
+}
+
+void LocalFileSystem::remove(const std::string& path) { files_.erase(path); }
+
+bool LocalFileSystem::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+std::optional<std::uint64_t> LocalFileSystem::size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.size;
+}
+
+std::vector<std::string> LocalFileSystem::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+LocalFileSystem::File& LocalFileSystem::file_or_throw(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::logic_error("LocalFileSystem: no such file: " + path);
+  }
+  return it->second;
+}
+
+const LocalFileSystem::File& LocalFileSystem::file_or_throw(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::logic_error("LocalFileSystem: no such file: " + path);
+  }
+  return it->second;
+}
+
+std::uint64_t LocalFileSystem::block_version(const std::string& path,
+                                             std::uint64_t block) const {
+  const File& f = file_or_throw(path);
+  auto it = f.dirty_blocks.find(block);
+  return it == f.dirty_blocks.end() ? 0 : it->second;
+}
+
+void LocalFileSystem::read(const std::string& path, std::uint64_t offset,
+                           std::uint64_t len, ReadCallback cb) {
+  const File& f = file_or_throw(path);
+  const std::uint64_t end = std::min(offset + len, f.size);
+  const std::uint64_t bytes = end > offset ? end - offset : 0;
+  ReadResult result;
+  result.bytes = bytes;
+  if (bytes > 0) {
+    const std::uint64_t first = offset / kBlockSize;
+    const std::uint64_t last = (end - 1) / kBlockSize;
+    result.block_versions.reserve(last - first + 1);
+    for (std::uint64_t b = first; b <= last; ++b) {
+      result.block_versions.push_back(block_version(path, b));
+    }
+  }
+  // A multi-block read is one mostly-sequential disk operation.
+  disk_.access(std::max<std::uint64_t>(bytes, 512), bytes >= 4 * kBlockSize,
+               [cb = std::move(cb), result = std::move(result)]() mutable {
+                 cb(std::move(result));
+               });
+}
+
+void LocalFileSystem::write(const std::string& path, std::uint64_t offset,
+                            std::uint64_t len, DoneCallback cb) {
+  File& f = file_or_throw(path);
+  const std::uint64_t end = offset + len;
+  f.size = std::max(f.size, end);
+  if (len > 0) {
+    const std::uint64_t first = offset / kBlockSize;
+    const std::uint64_t last = (end - 1) / kBlockSize;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      ++f.dirty_blocks[b];
+    }
+  }
+  disk_.access(std::max<std::uint64_t>(len, 512), len >= 4 * kBlockSize,
+               std::move(cb));
+}
+
+void LocalFileSystem::copy(const std::string& src, const std::string& dst,
+                           DoneCallback cb) {
+  const File& s = file_or_throw(src);
+  File copy;
+  copy.size = s.size;
+  copy.dirty_blocks = s.dirty_blocks;
+  files_[dst] = std::move(copy);  // metadata now; data cost charged below
+  copy_chunk(src, dst, 0, std::move(cb));
+}
+
+void LocalFileSystem::copy_chunk(std::string src, std::string dst,
+                                 std::uint64_t offset, DoneCallback cb) {
+  const std::uint64_t total = file_or_throw(src).size;
+  if (offset >= total) {
+    cb();
+    return;
+  }
+  const std::uint64_t chunk = std::min(kCopyChunk, total - offset);
+  // Read then write: same spindle serves both halves of the copy.
+  disk_.access(chunk, true, [this, src = std::move(src), dst = std::move(dst), offset,
+                             chunk, cb = std::move(cb)]() mutable {
+    disk_.access(chunk, true, [this, src = std::move(src), dst = std::move(dst),
+                               offset, chunk, cb = std::move(cb)]() mutable {
+      copy_chunk(std::move(src), std::move(dst), offset + chunk, std::move(cb));
+    });
+  });
+}
+
+}  // namespace vmgrid::storage

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.hpp"
+
+namespace vmgrid::storage {
+
+inline constexpr std::uint64_t kBlockSize = 8192;  // NFS v2/3-era block
+
+/// Result of a block-granular read: which blocks were covered and the
+/// version of each. Versions let higher layers (caches, proxies) verify
+/// coherence without the simulator shuffling real bytes.
+struct ReadResult {
+  std::uint64_t bytes{0};
+  std::vector<std::uint64_t> block_versions;
+};
+
+/// Simple flat-namespace file system on one Disk.
+///
+/// Files carry a size and a per-block version counter (version 0 = as
+/// created). Writes bump versions; reads report them. Metadata operations
+/// are charged a small fixed cost; data operations go through the Disk.
+class LocalFileSystem {
+ public:
+  LocalFileSystem(sim::Simulation& s, Disk& disk) : sim_{s}, disk_{disk} {}
+
+  using DoneCallback = std::function<void()>;
+  using ReadCallback = std::function<void(ReadResult)>;
+
+  /// Create (or replace) a file of `size` bytes, all blocks at version 0.
+  void create(const std::string& path, std::uint64_t size);
+  void remove(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] std::optional<std::uint64_t> size(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Asynchronous block-aligned read. Reading past EOF truncates.
+  void read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+            ReadCallback cb);
+
+  /// Asynchronous write; extends the file if needed, bumps block versions.
+  void write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+             DoneCallback cb);
+
+  /// Whole-file copy in 1 MiB chunks (read + write through the disk) —
+  /// the cost behind Table 2's persistent-disk column.
+  void copy(const std::string& src, const std::string& dst, DoneCallback cb);
+
+  [[nodiscard]] std::uint64_t block_version(const std::string& path,
+                                            std::uint64_t block) const;
+  [[nodiscard]] Disk& disk() { return disk_; }
+
+ private:
+  struct File {
+    std::uint64_t size{0};
+    std::unordered_map<std::uint64_t, std::uint64_t> dirty_blocks;  // block -> version
+  };
+
+  void copy_chunk(std::string src, std::string dst, std::uint64_t offset,
+                  DoneCallback cb);
+  File& file_or_throw(const std::string& path);
+  const File& file_or_throw(const std::string& path) const;
+
+  sim::Simulation& sim_;
+  Disk& disk_;
+  std::unordered_map<std::string, File> files_;
+};
+
+}  // namespace vmgrid::storage

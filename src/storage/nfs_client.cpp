@@ -1,0 +1,158 @@
+#include "storage/nfs_client.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace vmgrid::storage {
+
+/// Shared state of one logical read/write spanning many block RPCs.
+struct NfsTransferState {
+  bool is_read{true};
+  std::string path;
+  std::uint64_t offset{0};
+  std::uint64_t len{0};
+  std::uint64_t block_bytes{kBlockSize};
+  std::uint64_t next_block{0};   // next block index (relative) to issue
+  std::uint64_t total_blocks{0};
+  std::uint64_t completed{0};
+  std::size_t in_flight{0};
+  bool failed{false};
+  bool delivered{false};
+  std::string error;
+  NfsIoResult result;
+  NfsClient::IoCallback cb;
+};
+
+NfsClient::NfsClient(net::RpcFabric& fabric, net::NodeId self, net::NodeId server,
+                     NfsClientParams params)
+    : fabric_{fabric}, self_{self}, server_{server}, params_{params} {}
+
+void NfsClient::getattr(const std::string& path, AttrCallback cb) {
+  auto& sim = fabric_.simulation();
+  if (auto it = attr_cache_.find(path); it != attr_cache_.end()) {
+    if (sim.now() - it->second.fetched <= params_.attr_cache_ttl) {
+      const auto size = it->second.size;
+      sim.schedule_after(sim::Duration::micros(5),
+                         [cb = std::move(cb), size] { cb(size); });
+      return;
+    }
+  }
+  ++rpcs_;
+  fabric_.call(self_, server_,
+               net::RpcRequest{"nfs.getattr", kNfsHeaderBytes, NfsGetattrArgs{path}},
+               [this, path, cb = std::move(cb)](net::RpcResponse resp) {
+                 if (!resp.ok) {
+                   cb(std::nullopt);
+                   return;
+                 }
+                 const auto& reply = std::any_cast<const NfsAttrReply&>(resp.payload);
+                 if (!reply.exists) {
+                   attr_cache_.erase(path);
+                   cb(std::nullopt);
+                   return;
+                 }
+                 attr_cache_[path] = AttrEntry{reply.size, fabric_.simulation().now()};
+                 cb(reply.size);
+               });
+}
+
+void NfsClient::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                     IoCallback cb) {
+  auto st = std::make_shared<NfsTransferState>();
+  st->is_read = true;
+  st->path = path;
+  st->offset = offset;
+  st->len = len;
+  st->block_bytes = params_.block_bytes;
+  st->total_blocks = len == 0 ? 0 : (len + params_.block_bytes - 1) / params_.block_bytes;
+  st->result.block_versions.assign(st->total_blocks, 0);
+  st->cb = std::move(cb);
+  if (st->total_blocks == 0) {
+    fabric_.simulation().schedule_after(sim::Duration::micros(5),
+                                        [st] { st->cb(std::move(st->result)); });
+    return;
+  }
+  run_window(st);
+}
+
+void NfsClient::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                      IoCallback cb) {
+  auto st = std::make_shared<NfsTransferState>();
+  st->is_read = false;
+  st->path = path;
+  st->offset = offset;
+  st->len = len;
+  st->block_bytes = params_.block_bytes;
+  st->total_blocks = len == 0 ? 0 : (len + params_.block_bytes - 1) / params_.block_bytes;
+  st->cb = std::move(cb);
+  if (st->total_blocks == 0) {
+    fabric_.simulation().schedule_after(sim::Duration::micros(5),
+                                        [st] { st->cb(std::move(st->result)); });
+    return;
+  }
+  run_window(st);
+}
+
+void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
+  while (st->in_flight < params_.window && st->next_block < st->total_blocks &&
+         !st->failed) {
+    const std::uint64_t rel = st->next_block++;
+    const std::uint64_t off = st->offset + rel * st->block_bytes;
+    const std::uint64_t remaining = st->len - rel * st->block_bytes;
+    const std::uint64_t chunk = std::min(st->block_bytes, remaining);
+    ++st->in_flight;
+    ++rpcs_;
+    ++st->result.rpcs;
+    net::RpcRequest req;
+    if (st->is_read) {
+      req = net::RpcRequest{"nfs.read", kNfsHeaderBytes,
+                            NfsReadArgs{st->path, off, chunk}};
+    } else {
+      req = net::RpcRequest{"nfs.write", kNfsHeaderBytes + chunk,
+                            NfsWriteArgs{st->path, off, chunk}};
+    }
+    fabric_.call(self_, server_, std::move(req),
+                 [this, st, rel, chunk](net::RpcResponse resp) {
+                   --st->in_flight;
+                   ++st->completed;
+                   if (!resp.ok) {
+                     st->failed = true;
+                     st->error = resp.error;
+                   } else if (st->is_read) {
+                     const auto& reply = std::any_cast<const NfsReadReply&>(resp.payload);
+                     st->result.bytes += reply.result.bytes;
+                     if (!reply.result.block_versions.empty() &&
+                         rel < st->result.block_versions.size()) {
+                       st->result.block_versions[rel] = reply.result.block_versions.front();
+                     }
+                   } else {
+                     st->result.bytes += chunk;
+                   }
+                   // Finished when every block answered, or when a failure
+                   // stopped the window and the outstanding RPCs drained.
+                   const bool all_answered = st->completed == st->total_blocks;
+                   const bool failed_drained = st->failed && st->in_flight == 0;
+                   if ((all_answered || failed_drained) && !st->delivered) {
+                     st->delivered = true;
+                     if (st->failed) {
+                       st->result.ok = false;
+                       st->result.error = st->error;
+                     }
+                     st->cb(std::move(st->result));
+                     return;
+                   }
+                   run_window(st);
+                 });
+  }
+}
+
+void NfsClient::create(const std::string& path, std::uint64_t size, BoolCallback cb) {
+  ++rpcs_;
+  fabric_.call(self_, server_,
+               net::RpcRequest{"nfs.create", kNfsHeaderBytes, NfsCreateArgs{path, size}},
+               [cb = std::move(cb)](net::RpcResponse resp) { cb(resp.ok); });
+}
+
+}  // namespace vmgrid::storage

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/rpc.hpp"
+#include "storage/nfs_protocol.hpp"
+
+namespace vmgrid::storage {
+
+struct NfsClientParams {
+  std::uint64_t block_bytes{kBlockSize};
+  std::size_t window{8};  // outstanding block RPCs (biods)
+  sim::Duration attr_cache_ttl{sim::Duration::seconds(3)};
+};
+
+/// Aggregate result of a (possibly multi-RPC) NFS read or write.
+struct NfsIoResult {
+  bool ok{true};
+  std::string error;
+  std::uint64_t bytes{0};
+  std::uint64_t rpcs{0};
+  std::vector<std::uint64_t> block_versions;  // reads only, in block order
+};
+
+/// Kernel NFS client model: block-granular reads/writes with a bounded
+/// window of outstanding RPCs and a TTL attribute cache.
+class NfsClient {
+ public:
+  NfsClient(net::RpcFabric& fabric, net::NodeId self, net::NodeId server,
+            NfsClientParams params = {});
+
+  using IoCallback = std::function<void(NfsIoResult)>;
+  using AttrCallback = std::function<void(std::optional<std::uint64_t>)>;
+  using BoolCallback = std::function<void(bool)>;
+
+  /// getattr with client-side attribute caching (the staleness window all
+  /// NFS coherence discussions revolve around).
+  void getattr(const std::string& path, AttrCallback cb);
+
+  void read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+            IoCallback cb);
+  void write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+             IoCallback cb);
+  void create(const std::string& path, std::uint64_t size, BoolCallback cb);
+
+  void invalidate_attr(const std::string& path) { attr_cache_.erase(path); }
+
+  [[nodiscard]] std::uint64_t rpcs_issued() const { return rpcs_; }
+  [[nodiscard]] net::NodeId server() const { return server_; }
+  [[nodiscard]] net::NodeId node() const { return self_; }
+  [[nodiscard]] const NfsClientParams& params() const { return params_; }
+
+ private:
+  struct AttrEntry {
+    std::uint64_t size;
+    sim::TimePoint fetched;
+  };
+
+  void run_window(std::shared_ptr<struct NfsTransferState> st);
+
+  net::RpcFabric& fabric_;
+  net::NodeId self_;
+  net::NodeId server_;
+  NfsClientParams params_;
+  std::unordered_map<std::string, AttrEntry> attr_cache_;
+  std::uint64_t rpcs_{0};
+};
+
+}  // namespace vmgrid::storage

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/local_fs.hpp"
+
+namespace vmgrid::storage {
+
+/// Payload types for the simulated NFS protocol (carried in RpcRequest /
+/// RpcResponse std::any slots). Method names: "nfs.getattr", "nfs.read",
+/// "nfs.write", "nfs.create", "nfs.remove".
+
+struct NfsGetattrArgs {
+  std::string path;
+};
+
+struct NfsAttrReply {
+  bool exists{false};
+  std::uint64_t size{0};
+};
+
+struct NfsReadArgs {
+  std::string path;
+  std::uint64_t offset{0};
+  std::uint64_t len{0};
+};
+
+struct NfsReadReply {
+  ReadResult result;
+};
+
+struct NfsWriteArgs {
+  std::string path;
+  std::uint64_t offset{0};
+  std::uint64_t len{0};
+};
+
+struct NfsCreateArgs {
+  std::string path;
+  std::uint64_t size{0};
+};
+
+struct NfsRemoveArgs {
+  std::string path;
+};
+
+inline constexpr std::uint64_t kNfsHeaderBytes = 128;
+
+}  // namespace vmgrid::storage

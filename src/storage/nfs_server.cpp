@@ -1,0 +1,95 @@
+#include "storage/nfs_server.hpp"
+
+#include <any>
+#include <utility>
+
+namespace vmgrid::storage {
+
+NfsServer::NfsServer(net::RpcFabric& fabric, net::NodeId self, LocalFileSystem& fs,
+                     net::RpcServerParams rpc_params)
+    : fs_{fs},
+      owned_server_{std::make_unique<net::RpcServer>(fabric, self, rpc_params)},
+      server_{owned_server_.get()} {
+  register_handlers();
+}
+
+NfsServer::NfsServer(net::RpcServer& shared_server, LocalFileSystem& fs)
+    : fs_{fs}, server_{&shared_server} {
+  register_handlers();
+}
+
+void NfsServer::register_handlers() {
+  server_->register_method("nfs.getattr", [this](const net::RpcRequest& req,
+                                                net::RpcResponder respond) {
+    const auto& args = std::any_cast<const NfsGetattrArgs&>(req.payload);
+    NfsAttrReply reply;
+    if (auto sz = fs_.size(args.path)) {
+      reply.exists = true;
+      reply.size = *sz;
+    }
+    respond(net::RpcResponse{.ok = true,
+                             .error = {},
+                             .response_bytes = kNfsHeaderBytes,
+                             .payload = reply});
+  });
+
+  server_->register_method("nfs.read", [this](const net::RpcRequest& req,
+                                             net::RpcResponder respond) {
+    const auto& args = std::any_cast<const NfsReadArgs&>(req.payload);
+    if (!fs_.exists(args.path)) {
+      respond(net::RpcResponse{.ok = false,
+                               .error = "ENOENT: " + args.path,
+                               .response_bytes = kNfsHeaderBytes,
+                               .payload = {}});
+      return;
+    }
+    fs_.read(args.path, args.offset, args.len,
+             [respond = std::move(respond)](ReadResult r) {
+               const std::uint64_t bytes = r.bytes;
+               respond(net::RpcResponse{.ok = true,
+                                        .error = {},
+                                        .response_bytes = kNfsHeaderBytes + bytes,
+                                        .payload = NfsReadReply{std::move(r)}});
+             });
+  });
+
+  server_->register_method("nfs.write", [this](const net::RpcRequest& req,
+                                              net::RpcResponder respond) {
+    const auto& args = std::any_cast<const NfsWriteArgs&>(req.payload);
+    if (!fs_.exists(args.path)) {
+      respond(net::RpcResponse{.ok = false,
+                               .error = "ENOENT: " + args.path,
+                               .response_bytes = kNfsHeaderBytes,
+                               .payload = {}});
+      return;
+    }
+    fs_.write(args.path, args.offset, args.len, [respond = std::move(respond)] {
+      respond(net::RpcResponse{.ok = true,
+                               .error = {},
+                               .response_bytes = kNfsHeaderBytes,
+                               .payload = {}});
+    });
+  });
+
+  server_->register_method("nfs.create", [this](const net::RpcRequest& req,
+                                               net::RpcResponder respond) {
+    const auto& args = std::any_cast<const NfsCreateArgs&>(req.payload);
+    fs_.create(args.path, args.size);
+    respond(net::RpcResponse{.ok = true,
+                             .error = {},
+                             .response_bytes = kNfsHeaderBytes,
+                             .payload = {}});
+  });
+
+  server_->register_method("nfs.remove", [this](const net::RpcRequest& req,
+                                               net::RpcResponder respond) {
+    const auto& args = std::any_cast<const NfsRemoveArgs&>(req.payload);
+    fs_.remove(args.path);
+    respond(net::RpcResponse{.ok = true,
+                             .error = {},
+                             .response_bytes = kNfsHeaderBytes,
+                             .payload = {}});
+  });
+}
+
+}  // namespace vmgrid::storage

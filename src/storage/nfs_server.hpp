@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+
+#include "net/rpc.hpp"
+#include "storage/local_fs.hpp"
+#include "storage/nfs_protocol.hpp"
+
+namespace vmgrid::storage {
+
+/// NFS daemon exporting one LocalFileSystem at one network node.
+///
+/// Service cost per call = RPC stack overhead (RpcServerParams) + the
+/// underlying disk time. This is the `nfsd` box in the paper's Figure 2.
+///
+/// Either owns its RpcServer (node-dedicated daemon) or registers its
+/// methods on a caller-provided RpcServer shared with other services on
+/// the same node (e.g. a compute server running both GRAM and nfsd).
+class NfsServer {
+ public:
+  NfsServer(net::RpcFabric& fabric, net::NodeId self, LocalFileSystem& fs,
+            net::RpcServerParams rpc_params = {});
+  NfsServer(net::RpcServer& shared_server, LocalFileSystem& fs);
+
+  [[nodiscard]] net::NodeId node() const { return server_->node(); }
+  [[nodiscard]] LocalFileSystem& fs() { return fs_; }
+  [[nodiscard]] std::uint64_t calls_served() const { return server_->calls_served(); }
+
+ private:
+  void register_handlers();
+
+  LocalFileSystem& fs_;
+  std::unique_ptr<net::RpcServer> owned_server_;
+  net::RpcServer* server_;
+};
+
+}  // namespace vmgrid::storage

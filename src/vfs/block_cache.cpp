@@ -1,0 +1,73 @@
+#include "vfs/block_cache.hpp"
+
+#include <cassert>
+
+namespace vmgrid::vfs {
+
+BlockCache::BlockCache(std::size_t capacity_blocks) : capacity_{capacity_blocks} {
+  assert(capacity_ >= 1);
+}
+
+std::optional<std::uint64_t> BlockCache::lookup(const std::string& file,
+                                                std::uint64_t block) {
+  auto it = map_.find(Key{file, block});
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.version;
+}
+
+std::optional<std::uint64_t> BlockCache::peek(const std::string& file,
+                                              std::uint64_t block) const {
+  auto it = map_.find(Key{file, block});
+  if (it == map_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void BlockCache::insert(const std::string& file, std::uint64_t block,
+                        std::uint64_t version) {
+  const Key key{file, block};
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second.version = version;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (map_.size() >= capacity_) evict_one();
+  lru_.push_front(key);
+  map_.emplace(key, Entry{version, lru_.begin()});
+}
+
+void BlockCache::evict_one() {
+  assert(!lru_.empty());
+  map_.erase(lru_.back());
+  lru_.pop_back();
+  ++evictions_;
+}
+
+void BlockCache::invalidate(const std::string& file, std::uint64_t block) {
+  auto it = map_.find(Key{file, block});
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+}
+
+void BlockCache::invalidate_file(const std::string& file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file == file) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace vmgrid::vfs

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace vmgrid::vfs {
+
+/// LRU cache of file blocks. Stores the block *version* observed when the
+/// block was fetched (the simulator's stand-in for block contents), which
+/// lets tests assert coherence properties exactly.
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_blocks);
+
+  /// Returns the cached version and refreshes recency; nullopt on miss.
+  [[nodiscard]] std::optional<std::uint64_t> lookup(const std::string& file,
+                                                    std::uint64_t block);
+
+  /// Peek without touching recency or hit/miss counters.
+  [[nodiscard]] std::optional<std::uint64_t> peek(const std::string& file,
+                                                  std::uint64_t block) const;
+
+  void insert(const std::string& file, std::uint64_t block, std::uint64_t version);
+  void invalidate(const std::string& file, std::uint64_t block);
+  void invalidate_file(const std::string& file);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Key {
+    std::string file;
+    std::uint64_t block;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::string>{}(k.file) ^
+             (std::hash<std::uint64_t>{}(k.block) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct Entry {
+    std::uint64_t version;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void evict_one();
+
+  std::size_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+};
+
+}  // namespace vmgrid::vfs

@@ -1,0 +1,33 @@
+#include "vfs/grid_vfs.hpp"
+
+#include <algorithm>
+
+namespace vmgrid::vfs {
+
+VfsMount::VfsMount(net::RpcFabric& fabric, net::NodeId client, net::NodeId server,
+                   const VfsMountOptions& options, std::shared_ptr<BlockCache> l2)
+    : nfs_{fabric, client, server, options.nfs},
+      proxy_{fabric.simulation(), nfs_, options.proxy, std::move(l2)} {}
+
+VfsMount& GridVfs::mount(net::NodeId client, net::NodeId server,
+                         VfsMountOptions options) {
+  std::shared_ptr<BlockCache> l2;
+  if (options.use_shared_image_cache) l2 = shared_cache(client);
+  mounts_.push_back(
+      std::make_unique<VfsMount>(fabric_, client, server, options, std::move(l2)));
+  return *mounts_.back();
+}
+
+void GridVfs::unmount(VfsMount& m) {
+  auto it = std::find_if(mounts_.begin(), mounts_.end(),
+                         [&m](const auto& p) { return p.get() == &m; });
+  if (it != mounts_.end()) mounts_.erase(it);
+}
+
+std::shared_ptr<BlockCache> GridVfs::shared_cache(net::NodeId client_host) {
+  auto& slot = shared_caches_[client_host];
+  if (!slot) slot = std::make_shared<BlockCache>(shared_cache_blocks_);
+  return slot;
+}
+
+}  // namespace vmgrid::vfs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "storage/nfs_client.hpp"
+#include "vfs/vfs_proxy.hpp"
+
+namespace vmgrid::vfs {
+
+struct VfsMountOptions {
+  storage::NfsClientParams nfs{};
+  VfsProxyParams proxy{};
+  /// Attach the per-host shared second-level cache (used for VM image
+  /// mounts, where many VM instances share one read-only base image).
+  bool use_shared_image_cache{false};
+};
+
+/// One active file-system session: a kernel NFS client plus the
+/// user-level proxy stacked on it.
+class VfsMount {
+ public:
+  VfsMount(net::RpcFabric& fabric, net::NodeId client, net::NodeId server,
+           const VfsMountOptions& options, std::shared_ptr<BlockCache> l2);
+
+  [[nodiscard]] VfsProxy& proxy() { return proxy_; }
+  [[nodiscard]] storage::NfsClient& nfs() { return nfs_; }
+  [[nodiscard]] net::NodeId client_node() const { return nfs_.node(); }
+  [[nodiscard]] net::NodeId server_node() const { return nfs_.server(); }
+
+ private:
+  storage::NfsClient nfs_;
+  VfsProxy proxy_;
+};
+
+/// Mount manager for the grid virtual file system: creates proxy-backed
+/// NFS sessions between arbitrary nodes and maintains one shared
+/// second-level image cache per client host (the proxy-controlled disk
+/// cache of §3.1 that exploits read-only sharing of VM images).
+class GridVfs {
+ public:
+  explicit GridVfs(net::RpcFabric& fabric,
+                   std::size_t shared_cache_blocks = 32768)  // 256 MiB
+      : fabric_{fabric}, shared_cache_blocks_{shared_cache_blocks} {}
+
+  VfsMount& mount(net::NodeId client, net::NodeId server, VfsMountOptions options = {});
+  void unmount(VfsMount& m);
+
+  /// The shared image cache serving a given client host (created lazily).
+  [[nodiscard]] std::shared_ptr<BlockCache> shared_cache(net::NodeId client_host);
+
+  [[nodiscard]] std::size_t mount_count() const { return mounts_.size(); }
+  [[nodiscard]] net::RpcFabric& fabric() { return fabric_; }
+
+ private:
+  net::RpcFabric& fabric_;
+  std::size_t shared_cache_blocks_;
+  std::vector<std::unique_ptr<VfsMount>> mounts_;
+  std::unordered_map<net::NodeId, std::shared_ptr<BlockCache>> shared_caches_;
+};
+
+}  // namespace vmgrid::vfs

@@ -1,0 +1,256 @@
+#include "vfs/vfs_proxy.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace vmgrid::vfs {
+
+using storage::kBlockSize;
+
+VfsProxy::VfsProxy(sim::Simulation& s, storage::NfsClient& client, VfsProxyParams params,
+                   std::shared_ptr<BlockCache> shared_l2)
+    : sim_{s},
+      client_{client},
+      params_{params},
+      l1_{std::make_unique<BlockCache>(params.cache_blocks)},
+      l2_{std::move(shared_l2)} {}
+
+VfsProxy::~VfsProxy() { sim_.cancel(flush_event_); }
+
+std::uint64_t VfsProxy::dirty_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto& [file, range] : dirty_) n += range.blocks.size();
+  return n;
+}
+
+void VfsProxy::block_arrived(const std::string& path, std::uint64_t block,
+                             std::optional<std::uint64_t> version) {
+  if (version) {
+    l1_->insert(path, block, *version);
+    if (l2_) l2_->insert(path, block, *version);
+  }
+  auto it = pending_.find(BlockKey{path, block});
+  if (it == pending_.end()) return;
+  auto waiters = std::move(it->second);
+  pending_.erase(it);
+  for (auto& w : waiters) w();
+}
+
+void VfsProxy::fetch_run(const std::string& path, std::uint64_t start_block,
+                         std::uint64_t nblocks,
+                         std::function<void(const storage::NfsIoResult&)> done) {
+  for (std::uint64_t b = start_block; b < start_block + nblocks; ++b) {
+    pending_.try_emplace(BlockKey{path, b});
+  }
+  client_.read(path, start_block * kBlockSize, nblocks * kBlockSize,
+               [this, path, start_block, nblocks,
+                done = std::move(done)](storage::NfsIoResult r) {
+                 for (std::uint64_t i = 0; i < nblocks; ++i) {
+                   std::optional<std::uint64_t> version;
+                   if (r.ok && i < r.block_versions.size() && i * kBlockSize < r.bytes) {
+                     version = r.block_versions[i];
+                   }
+                   block_arrived(path, start_block + i, version);
+                 }
+                 if (done) done(r);
+               });
+}
+
+void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                    IoCallback cb) {
+  auto stats = std::make_shared<VfsIoStats>();
+  stats->bytes = len;
+  if (len == 0) {
+    sim_.schedule_after(params_.local_hit_latency,
+                        [cb = std::move(cb), stats] { cb(*stats); });
+    return;
+  }
+  const std::uint64_t first = offset / kBlockSize;
+  const std::uint64_t last = (offset + len - 1) / kBlockSize;
+
+  // Sequential-access detection drives the prefetch engine.
+  bool sequential = false;
+  if (auto it = last_block_read_.find(path); it != last_block_read_.end()) {
+    sequential = (first == it->second + 1 || first == it->second);
+  }
+  last_block_read_[path] = last;
+
+  // Classify blocks: buffered-write hit, L1 hit, L2 hit, in-flight
+  // (join its waiters), or miss (fetch).
+  std::vector<std::uint64_t> misses;
+  std::vector<std::uint64_t> joins;
+  const auto dirty_it = dirty_.find(path);
+  for (std::uint64_t b = first; b <= last; ++b) {
+    if (dirty_it != dirty_.end() && dirty_it->second.blocks.contains(b)) {
+      ++stats->cache_hits;  // read-your-writes from the write buffer
+      continue;
+    }
+    if (l1_->lookup(path, b)) {
+      ++stats->cache_hits;
+      continue;
+    }
+    if (l2_) {
+      if (auto v = l2_->lookup(path, b)) {
+        l1_->insert(path, b, *v);
+        ++stats->cache_hits;
+        continue;
+      }
+    }
+    if (pending_.contains(BlockKey{path, b})) {
+      joins.push_back(b);  // someone (usually the prefetcher) is on it
+      continue;
+    }
+    ++stats->cache_misses;
+    misses.push_back(b);
+  }
+
+  // Coalesce misses into contiguous runs.
+  struct Run {
+    std::uint64_t start_block;
+    std::uint64_t nblocks;
+  };
+  std::vector<Run> runs;
+  for (std::uint64_t b : misses) {
+    if (!runs.empty() && runs.back().start_block + runs.back().nblocks == b) {
+      ++runs.back().nblocks;
+    } else {
+      runs.push_back(Run{b, 1});
+    }
+  }
+
+  // Asynchronous prefetch: on sequential access, pull the readahead
+  // window past the requested range without blocking this read. The
+  // in-flight table prevents double-fetching when the application
+  // catches up with the readahead.
+  if (sequential && params_.prefetch_blocks > 0) {
+    std::uint64_t pf_start = last + 1;
+    std::uint64_t pf_count = 0;
+    for (std::uint64_t b = pf_start; b <= last + params_.prefetch_blocks; ++b) {
+      if (l1_->peek(path, b) || (l2_ && l2_->peek(path, b)) ||
+          pending_.contains(BlockKey{path, b})) {
+        break;
+      }
+      ++pf_count;
+    }
+    if (pf_count > 0) {
+      // Issue the readahead in small pipelined runs so a demand read that
+      // catches up only waits for the chunk carrying its block, not for
+      // the whole readahead window.
+      constexpr std::uint64_t kPrefetchChunk = 8;
+      for (std::uint64_t b = pf_start; b < pf_start + pf_count; b += kPrefetchChunk) {
+        fetch_run(path, b, std::min(kPrefetchChunk, pf_start + pf_count - b), nullptr);
+      }
+    }
+  }
+
+  if (runs.empty() && joins.empty()) {
+    sim_.schedule_after(params_.local_hit_latency,
+                        [cb = std::move(cb), stats] { cb(*stats); });
+    return;
+  }
+
+  auto remaining = std::make_shared<std::size_t>(runs.size() + joins.size());
+  auto done_cb = std::make_shared<IoCallback>(std::move(cb));
+  auto finish_one = [stats, remaining, done_cb] {
+    if (--*remaining == 0) (*done_cb)(*stats);
+  };
+  for (std::uint64_t b : joins) {
+    pending_[BlockKey{path, b}].push_back(finish_one);
+  }
+  for (const Run& run : runs) {
+    fetch_run(path, run.start_block, run.nblocks,
+              [stats, finish_one](const storage::NfsIoResult& r) {
+                stats->rpcs += r.rpcs;
+                if (!r.ok) {
+                  stats->ok = false;
+                  stats->error = r.error;
+                }
+                finish_one();
+              });
+  }
+}
+
+void VfsProxy::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                     IoCallback cb) {
+  auto stats = VfsIoStats{};
+  stats.bytes = len;
+  if (len > 0) {
+    const std::uint64_t first = offset / kBlockSize;
+    const std::uint64_t last = (offset + len - 1) / kBlockSize;
+    auto& range = dirty_[path];
+    for (std::uint64_t b = first; b <= last; ++b) range.blocks.insert(b);
+  }
+  sim_.schedule_after(params_.local_hit_latency,
+                      [cb = std::move(cb), stats] { cb(stats); });
+  if (dirty_blocks() >= params_.write_buffer_blocks) {
+    do_flush([] {});
+  } else {
+    arm_flush_timer();
+  }
+}
+
+void VfsProxy::arm_flush_timer() {
+  if (flush_event_.valid()) return;
+  flush_event_ = sim_.schedule_after(params_.flush_interval, [this] {
+    flush_event_ = {};
+    do_flush([] {});
+  });
+}
+
+void VfsProxy::flush(DoneCallback cb) { do_flush(std::move(cb)); }
+
+void VfsProxy::do_flush(DoneCallback cb) {
+  if (flushing_) {
+    // Serialize overlapping flushes: try again shortly.
+    sim_.schedule_after(sim::Duration::millis(10),
+                        [this, cb = std::move(cb)]() mutable { do_flush(std::move(cb)); });
+    return;
+  }
+  if (dirty_.empty()) {
+    sim_.schedule_after(sim::Duration::micros(5), std::move(cb));
+    return;
+  }
+  flushing_ = true;
+  struct Push {
+    std::string path;
+    std::uint64_t start_block;
+    std::uint64_t nblocks;
+  };
+  std::vector<Push> pushes;
+  for (auto& [path, range] : dirty_) {
+    std::uint64_t run_start = 0, run_len = 0;
+    for (std::uint64_t b : range.blocks) {  // std::set: ascending
+      if (run_len > 0 && run_start + run_len == b) {
+        ++run_len;
+      } else {
+        if (run_len > 0) pushes.push_back(Push{path, run_start, run_len});
+        run_start = b;
+        run_len = 1;
+      }
+    }
+    if (run_len > 0) pushes.push_back(Push{path, run_start, run_len});
+  }
+  dirty_.clear();
+
+  auto remaining = std::make_shared<std::size_t>(pushes.size());
+  auto done = std::make_shared<DoneCallback>(std::move(cb));
+  for (const Push& p : pushes) {
+    // The server now holds newer versions than any cached copies.
+    for (std::uint64_t b = p.start_block; b < p.start_block + p.nblocks; ++b) {
+      l1_->invalidate(p.path, b);
+      if (l2_) l2_->invalidate(p.path, b);
+    }
+    client_.write(p.path, p.start_block * kBlockSize, p.nblocks * kBlockSize,
+                  [this, remaining, done](storage::NfsIoResult) {
+                    if (--*remaining == 0) {
+                      flushing_ = false;
+                      (*done)();
+                    }
+                  });
+  }
+}
+
+}  // namespace vmgrid::vfs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "storage/nfs_client.hpp"
+#include "vfs/block_cache.hpp"
+
+namespace vmgrid::vfs {
+
+struct VfsProxyParams {
+  std::size_t cache_blocks{16384};       // 128 MiB of 8 KiB blocks
+  std::uint32_t prefetch_blocks{8};      // readahead on sequential access
+  std::size_t write_buffer_blocks{512};  // delayed-write capacity
+  sim::Duration flush_interval{sim::Duration::seconds(5)};
+  sim::Duration local_hit_latency{sim::Duration::micros(25)};  // per request
+};
+
+/// Outcome of one proxy-mediated I/O.
+struct VfsIoStats {
+  bool ok{true};
+  std::string error;
+  std::uint64_t bytes{0};
+  std::uint64_t rpcs{0};
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+};
+
+/// The paper's proxy-based grid virtual file system (Figure 2): a
+/// client-side proxy interposed on the NFS path adding an LRU block
+/// cache, a sequential prefetch engine, and a delayed-write buffer.
+/// An optional shared second-level cache captures read-only sharing of
+/// VM image blocks across VM instances on the same host.
+class VfsProxy {
+ public:
+  VfsProxy(sim::Simulation& s, storage::NfsClient& client, VfsProxyParams params = {},
+           std::shared_ptr<BlockCache> shared_l2 = nullptr);
+  ~VfsProxy();
+
+  VfsProxy(const VfsProxy&) = delete;
+  VfsProxy& operator=(const VfsProxy&) = delete;
+
+  using IoCallback = std::function<void(VfsIoStats)>;
+  using DoneCallback = std::function<void()>;
+
+  void read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+            IoCallback cb);
+
+  /// Buffered write: acknowledged after local buffering; pushed to the
+  /// server when the buffer fills or the flush timer fires.
+  void write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+             IoCallback cb);
+
+  /// Force all buffered writes to the server.
+  void flush(DoneCallback cb);
+
+  [[nodiscard]] BlockCache& cache() { return *l1_; }
+  [[nodiscard]] const VfsProxyParams& params() const { return params_; }
+  [[nodiscard]] storage::NfsClient& client() { return client_; }
+  [[nodiscard]] std::uint64_t dirty_blocks() const;
+
+  /// Blocks currently being fetched (demand or prefetch). Demand reads
+  /// that need an in-flight block join its waiter list instead of
+  /// re-fetching — without this, prefetch would double-fetch everything
+  /// the application is about to read.
+  [[nodiscard]] std::uint64_t inflight_blocks() const { return pending_.size(); }
+
+ private:
+  struct DirtyRange {
+    std::set<std::uint64_t> blocks;  // block indices with buffered writes
+  };
+  struct BlockKey {
+    std::string file;
+    std::uint64_t block;
+    bool operator==(const BlockKey&) const = default;
+  };
+  struct BlockKeyHash {
+    std::size_t operator()(const BlockKey& k) const noexcept {
+      return std::hash<std::string>{}(k.file) ^
+             (std::hash<std::uint64_t>{}(k.block) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  void arm_flush_timer();
+  void do_flush(DoneCallback cb);
+  /// Fetch a contiguous run from the server; marks the blocks in-flight
+  /// and fires their waiters on arrival.
+  void fetch_run(const std::string& path, std::uint64_t start_block,
+                 std::uint64_t nblocks,
+                 std::function<void(const storage::NfsIoResult&)> done);
+  void block_arrived(const std::string& path, std::uint64_t block,
+                     std::optional<std::uint64_t> version);
+
+  sim::Simulation& sim_;
+  storage::NfsClient& client_;
+  VfsProxyParams params_;
+  std::unique_ptr<BlockCache> l1_;
+  std::shared_ptr<BlockCache> l2_;
+  std::unordered_map<std::string, DirtyRange> dirty_;
+  std::unordered_map<std::string, std::uint64_t> last_block_read_;  // sequential detect
+  std::unordered_map<BlockKey, std::vector<std::function<void()>>, BlockKeyHash> pending_;
+  sim::EventId flush_event_{};
+  bool flushing_{false};
+};
+
+}  // namespace vmgrid::vfs

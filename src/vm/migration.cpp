@@ -1,0 +1,139 @@
+#include "vm/migration.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace vmgrid::vm {
+
+namespace {
+
+struct MigrationState : std::enable_shared_from_this<MigrationState> {
+  VirtualMachine* source;
+  Vmm* target_vmm;
+  VmStorage target_storage;
+  MigrationParams params;
+  MigrationCallback cb;
+
+  net::Network* net{nullptr};
+  sim::Simulation* sim{nullptr};
+  net::NodeId src_node{}, dst_node{};
+  sim::TimePoint started{};
+  sim::TimePoint stop_started{};
+  MigrationStats stats;
+  std::uint64_t residual_bytes{0};
+
+  void begin() {
+    sim = &source->host().simulation();
+    net = &source->host().network();
+    src_node = source->host().node();
+    dst_node = target_vmm->host().node();
+    started = sim->now();
+    residual_bytes = source->migratable_state_bytes();
+    if (params.precopy) {
+      precopy_round();
+    } else {
+      stop_and_copy();
+    }
+  }
+
+  void precopy_round() {
+    if (stats.precopy_rounds >= params.max_precopy_rounds ||
+        residual_bytes <= params.stop_threshold_bytes) {
+      stop_and_copy();
+      return;
+    }
+    ++stats.precopy_rounds;
+    const std::uint64_t sending = residual_bytes;
+    auto self = shared_from_this();
+    net->send(src_node, dst_node, sending, [self, sending](const net::TransferResult& r) {
+      self->stats.bytes_transferred += sending;
+      // While the round was in flight the running guest re-dirtied pages.
+      const auto dirtied = static_cast<std::uint64_t>(
+          self->params.dirty_rate_bps * r.elapsed.to_seconds());
+      self->residual_bytes =
+          std::min(self->source->migratable_state_bytes(), dirtied);
+      self->precopy_round();
+    });
+  }
+
+  void stop_and_copy() {
+    stop_started = sim->now();
+    auto self = shared_from_this();
+    // Pre-copy streams the residual straight from RAM after a brief
+    // pause; classic suspend/resume (the paper's mechanism) serializes
+    // the whole state through the source's disk first.
+    auto after_stop = [self] {
+      const std::uint64_t bytes = self->residual_bytes + self->params.extra_state_bytes;
+      self->net->send(self->src_node, self->dst_node, bytes,
+                      [self, bytes](const net::TransferResult&) {
+                        self->stats.bytes_transferred += bytes;
+                        self->land_on_target();
+                      });
+    };
+    if (params.precopy) {
+      source->pause(std::move(after_stop));
+    } else {
+      source->suspend(std::move(after_stop));
+    }
+  }
+
+  void land_on_target() {
+    auto self = shared_from_this();
+    try {
+      VirtualMachine& fresh = target_vmm->create_vm(
+          source->config(), source->image(), std::move(target_storage));
+      // The computation moves with the machine: hand the paused guest
+      // tasks to the new instance (they re-home at resume).
+      fresh.adopt_guest_tasks(source->release_guest_tasks());
+      if (params.precopy) {
+        // Received pages are already resident on the target.
+        fresh.adopt_suspended_state(/*in_memory=*/true);
+        fresh.resume([self, &fresh] { self->complete(fresh); });
+        return;
+      }
+      // Materialize the received state file on the target's file system,
+      // then resume from it.
+      auto& tfs = target_vmm->host().fs();
+      const auto bytes = source->migratable_state_bytes();
+      tfs.create(fresh.suspend_file(), 0);
+      tfs.write(fresh.suspend_file(), 0, bytes, [self, &fresh] {
+        fresh.adopt_suspended_state(/*in_memory=*/false);
+        fresh.resume([self, &fresh] { self->complete(fresh); });
+      });
+    } catch (const std::exception& e) {
+      // Admission failure on the target: resume at the source.
+      stats.ok = false;
+      stats.error = e.what();
+      source->resume([self] {
+        self->stats.total = self->sim->now() - self->started;
+        self->stats.downtime = self->sim->now() - self->stop_started;
+        self->cb(self->stats, nullptr);
+      });
+    }
+  }
+
+  void complete(VirtualMachine& fresh) {
+    stats.ok = true;
+    stats.total = sim->now() - started;
+    stats.downtime = sim->now() - stop_started;
+    // The source instance is gone for good (its state moved).
+    source->vmm().destroy_vm(*source);
+    cb(stats, &fresh);
+  }
+};
+
+}  // namespace
+
+void migrate(VirtualMachine& vm, Vmm& target_vmm, VmStorage target_storage,
+             MigrationParams params, MigrationCallback cb) {
+  auto st = std::make_shared<MigrationState>();
+  st->source = &vm;
+  st->target_vmm = &target_vmm;
+  st->target_storage = std::move(target_storage);
+  st->params = params;
+  st->cb = std::move(cb);
+  st->begin();
+}
+
+}  // namespace vmgrid::vm

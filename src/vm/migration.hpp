@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+
+#include "net/network.hpp"
+#include "vm/vmm.hpp"
+
+namespace vmgrid::vm {
+
+struct MigrationParams {
+  /// Iterative pre-copy (an extension beyond the paper's suspend/resume
+  /// migration; the migration bench ablates it against stop-and-copy).
+  bool precopy{false};
+  double dirty_rate_bps{4e6};  // how fast the running guest re-dirties memory
+  std::uint32_t max_precopy_rounds{5};
+  std::uint64_t stop_threshold_bytes{8ull << 20};
+  /// Extra state that must travel besides memory + device state (e.g.
+  /// the non-persistent COW diff file).
+  std::uint64_t extra_state_bytes{0};
+};
+
+struct MigrationStats {
+  bool ok{false};
+  std::string error;
+  sim::Duration total{};
+  sim::Duration downtime{};
+  std::uint64_t bytes_transferred{0};
+  std::uint32_t precopy_rounds{0};
+};
+
+/// Migrate `vm` to `target_vmm`'s host. `target_storage` must make the
+/// VM's disk reachable from the target (same grid-vfs path, re-mounted).
+/// On success the source VM is destroyed, the new VM is running, and the
+/// callback receives it; on failure the source VM keeps running.
+using MigrationCallback = std::function<void(MigrationStats, VirtualMachine*)>;
+
+void migrate(VirtualMachine& vm, Vmm& target_vmm, VmStorage target_storage,
+             MigrationParams params, MigrationCallback cb);
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,21 @@
+#include "vm/overhead_model.hpp"
+
+#include <algorithm>
+
+namespace vmgrid::vm {
+
+double OverheadModel::base_efficiency(const workload::TaskSpec& t) {
+  const double native = t.user_seconds + t.sys_seconds;
+  if (native <= 0.0) return 1.0;
+  const double observed = observed_user_seconds(t) + observed_sys_seconds(t);
+  return std::min(1.0, native / observed);
+}
+
+double OverheadModel::contention_factor(double external_demand,
+                                        std::size_t guest_corunners) const {
+  const double ws = 1.0 + m_.world_switch_penalty * std::clamp(external_demand, 0.0, 1.0);
+  const double cs = 1.0 + m_.guest_cs_penalty * static_cast<double>(guest_corunners);
+  return ws * cs;
+}
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::vm {
+
+/// Cost model of a hosted trap-and-emulate VMM (VMware-Workstation
+/// style, §2.3 of the paper). User-mode guest code runs natively; costs
+/// come from four mechanisms, each exposed as a parameter so the benches
+/// can show *which* mechanism produces which observed overhead:
+///
+///  * per-workload user-mode dilation (TLB/cache interference) and
+///    privileged-op dilation (trap-and-emulate on syscalls, page-table
+///    updates, I/O) — carried on workload::TaskSpec;
+///  * world switches: when host-level load preempts the VMM, re-entering
+///    the VM world costs extra — modelled as a slowdown proportional to
+///    external runnable demand;
+///  * guest context switches: co-runnable tasks inside one VM force
+///    privileged context-switch emulation — slowdown per co-runner.
+struct VmmCostModel {
+  double world_switch_penalty{0.035};  // per unit of external demand (capped at 1)
+  double guest_cs_penalty{0.018};      // per co-runnable guest task
+  double io_client_cpu_per_rpc{0.0018};  // guest kernel+VMM CPU per NFS RPC, seconds
+};
+
+class OverheadModel {
+ public:
+  constexpr explicit OverheadModel(VmmCostModel m = {}) : m_{m} {}
+
+  /// CPU seconds a task's user phase consumes inside the VM.
+  [[nodiscard]] static double observed_user_seconds(const workload::TaskSpec& t) {
+    return t.user_seconds * (1.0 + t.vm_user_dilation);
+  }
+  /// CPU seconds the task's privileged phase consumes inside the VM.
+  [[nodiscard]] static double observed_sys_seconds(const workload::TaskSpec& t) {
+    return t.sys_seconds * t.vm_sys_factor;
+  }
+
+  /// Efficiency (native work per allocated cpu-second) of the task when
+  /// the VM runs undisturbed.
+  [[nodiscard]] static double base_efficiency(const workload::TaskSpec& t);
+
+  /// Multiplicative slowdown from host-level contention (world switches)
+  /// and in-guest co-runners (trapped context switches).
+  [[nodiscard]] double contention_factor(double external_demand,
+                                         std::size_t guest_corunners) const;
+
+  [[nodiscard]] const VmmCostModel& params() const { return m_; }
+
+ private:
+  VmmCostModel m_;
+};
+
+}  // namespace vmgrid::vm

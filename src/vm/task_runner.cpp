@@ -1,0 +1,234 @@
+#include "vm/task_runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace vmgrid::vm {
+
+namespace {
+
+struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
+  sim::Simulation& sim;
+  host::CpuEngine* engine;
+  workload::TaskSpec spec;
+  TaskRunOptions opts;
+  TaskCallback cb;
+
+  host::ProcessId pid{};
+  std::uint32_t phase{0};
+  std::uint32_t phases{1};
+  double cpu_per_phase{0.0};
+  std::uint64_t read_per_phase{0};
+  std::uint64_t write_per_phase{0};
+  std::uint64_t read_cursor{0};
+  std::uint64_t write_cursor{0};
+  double io_cpu{0.0};
+  std::uint64_t io_rpcs{0};
+  std::uint64_t io_bytes{0};
+  bool ok{true};
+  sim::TimePoint started{};
+
+  bool paused_{false};
+  bool done_{false};
+  bool aborted_{false};
+  double paused_remaining_{0.0};            // native cpu-seconds left in the chunk
+  std::function<void()> deferred_;          // continuation held while paused
+  std::function<void()> after_cpu_;         // continuation of the armed CPU chunk
+
+  RunState(sim::Simulation& s, host::CpuEngine& e, workload::TaskSpec sp,
+           TaskRunOptions o, TaskCallback c)
+      : sim{s}, engine{&e}, spec{std::move(sp)}, opts{std::move(o)}, cb{std::move(c)} {}
+
+  // -- GuestTask ------------------------------------------------------------
+
+  [[nodiscard]] bool finished() const override { return done_ || aborted_; }
+  [[nodiscard]] bool paused() const override { return paused_; }
+  void set_disk(FileAccessor* disk) override { opts.disk = disk; }
+
+  void pause() override {
+    if (finished() || paused_) return;
+    paused_ = true;
+    if (pid.valid() && engine->contains(pid)) {
+      paused_remaining_ = engine->remaining_work(pid);
+      if (opts.hooks.on_process_exit) opts.hooks.on_process_exit(pid);
+      engine->remove(pid);
+    } else {
+      paused_remaining_ = 0.0;
+    }
+    pid = {};
+  }
+
+  void resume_on(host::CpuEngine& new_engine, ProcessHooks hooks) override {
+    if (finished()) return;
+    assert(paused_);
+    paused_ = false;
+    engine = &new_engine;
+    opts.hooks = std::move(hooks);
+    auto self = shared_from_this();
+    pid = engine->add(spec.name, opts.attrs, paused_remaining_,
+                      paused_remaining_ > 0.0
+                          ? host::CpuEngine::CompletionCallback{[self] { self->cpu_done(); }}
+                          : nullptr,
+                      opts.efficiency);
+    if (opts.hooks.on_process) opts.hooks.on_process(pid);
+    // An I/O completion arrived while the VM was paused.
+    if (paused_remaining_ <= 0.0 && deferred_) {
+      auto fn = std::move(deferred_);
+      deferred_ = nullptr;
+      fn();
+    }
+    paused_remaining_ = 0.0;
+  }
+
+  void abort() override {
+    if (finished()) return;
+    aborted_ = true;
+    if (pid.valid() && engine->contains(pid)) {
+      if (opts.hooks.on_process_exit) opts.hooks.on_process_exit(pid);
+      engine->remove(pid);
+    }
+    pid = {};
+    cb = nullptr;
+    deferred_ = nullptr;
+  }
+
+  // -- execution ------------------------------------------------------------
+
+  /// Run `fn` now, or hold it until resume when paused.
+  void continue_with(std::function<void()> fn) {
+    if (aborted_) return;
+    if (paused_) {
+      deferred_ = std::move(fn);
+      return;
+    }
+    fn();
+  }
+
+  /// Arm a CPU chunk whose completion continuation survives pause/resume.
+  void add_cpu(double work, std::function<void()> then) {
+    after_cpu_ = std::move(then);
+    auto self = shared_from_this();
+    engine->add_work(pid, work, [self] { self->cpu_done(); });
+  }
+
+  void cpu_done() {
+    if (aborted_) return;
+    auto fn = std::move(after_cpu_);
+    after_cpu_ = nullptr;
+    if (fn) fn();
+  }
+
+  void begin() {
+    started = sim.now();
+    phases = std::max<std::uint32_t>(1, spec.phases);
+    cpu_per_phase = spec.total_native_seconds() / phases;
+    if (opts.disk != nullptr) {
+      read_per_phase = spec.io_read_bytes / phases;
+      write_per_phase = spec.io_write_bytes / phases;
+      read_cursor = opts.io_read_offset;
+    }
+    pid = engine->add(spec.name, opts.attrs, 0.0, nullptr, opts.efficiency);
+    if (opts.hooks.on_process) opts.hooks.on_process(pid);
+    next_phase();
+  }
+
+  void next_phase() {
+    if (aborted_) return;
+    if (phase == phases) {
+      finish();
+      return;
+    }
+    ++phase;
+    auto self = shared_from_this();
+    if (cpu_per_phase > 0.0) {
+      add_cpu(cpu_per_phase, [self] { self->do_read(); });
+    } else {
+      sim.schedule_after(sim::Duration::micros(1),
+                         [self] { self->continue_with([self] { self->do_read(); }); });
+    }
+  }
+
+  void do_read() {
+    if (aborted_) return;
+    auto self = shared_from_this();
+    if (read_per_phase == 0 || opts.disk == nullptr) {
+      do_write();
+      return;
+    }
+    opts.disk->read(read_cursor, read_per_phase, [self](VmIoStats s) {
+      self->continue_with([self, s] {
+        self->read_cursor += self->read_per_phase;
+        self->account_io(s);
+        self->charge_io_cpu(s.client_cpu_seconds, [self] { self->do_write(); });
+      });
+    });
+  }
+
+  void do_write() {
+    if (aborted_) return;
+    auto self = shared_from_this();
+    if (write_per_phase == 0 || opts.disk == nullptr) {
+      next_phase();
+      return;
+    }
+    opts.disk->write(write_cursor, write_per_phase, [self](VmIoStats s) {
+      self->continue_with([self, s] {
+        self->write_cursor += self->write_per_phase;
+        self->account_io(s);
+        self->charge_io_cpu(s.client_cpu_seconds, [self] { self->next_phase(); });
+      });
+    });
+  }
+
+  void account_io(const VmIoStats& s) {
+    ok = ok && s.ok;
+    io_cpu += s.client_cpu_seconds;
+    io_rpcs += s.rpcs;
+    io_bytes += s.bytes;
+  }
+
+  /// I/O client CPU occupies the processor: convert the observed seconds
+  /// into native work at the process' current efficiency and run it.
+  void charge_io_cpu(double observed_seconds, std::function<void()> then) {
+    if (aborted_) return;
+    if (observed_seconds <= 0.0) {
+      then();
+      return;
+    }
+    const double native = observed_seconds * engine->efficiency(pid);
+    add_cpu(native, std::move(then));
+  }
+
+  void finish() {
+    if (aborted_) return;
+    done_ = true;
+    if (opts.hooks.on_process_exit) opts.hooks.on_process_exit(pid);
+    engine->remove(pid);
+    pid = {};
+    TaskResult r;
+    r.task = spec.name;
+    r.ok = ok;
+    r.wall = sim.now() - started;
+    r.user_cpu_seconds = opts.observed_user >= 0.0 ? opts.observed_user : spec.user_seconds;
+    r.sys_cpu_seconds =
+        (opts.observed_sys >= 0.0 ? opts.observed_sys : spec.sys_seconds) + io_cpu;
+    r.io_rpcs = io_rpcs;
+    r.io_bytes = io_bytes;
+    if (cb) cb(std::move(r));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<GuestTask> run_task(sim::Simulation& sim, host::CpuEngine& engine,
+                                    workload::TaskSpec spec, TaskRunOptions options,
+                                    TaskCallback cb) {
+  auto st = std::make_shared<RunState>(sim, engine, std::move(spec), std::move(options),
+                                       std::move(cb));
+  st->begin();
+  return st;
+}
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "host/cpu_engine.hpp"
+#include "sim/simulation.hpp"
+#include "vm/vm_disk.hpp"
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::vm {
+
+/// What `time` would report for a completed run, plus grid-visible I/O
+/// accounting.
+struct TaskResult {
+  std::string task;
+  bool ok{true};
+  sim::Duration wall{};
+  double user_cpu_seconds{0.0};
+  double sys_cpu_seconds{0.0};
+  std::uint64_t io_rpcs{0};
+  std::uint64_t io_bytes{0};
+
+  [[nodiscard]] double total_cpu_seconds() const {
+    return user_cpu_seconds + sys_cpu_seconds;
+  }
+};
+
+/// Process lifecycle hooks (a VMM uses these to register guest processes
+/// for efficiency adjustment).
+struct ProcessHooks {
+  std::function<void(host::ProcessId)> on_process;       // after creation
+  std::function<void(host::ProcessId)> on_process_exit;  // before removal
+};
+
+/// How to execute a TaskSpec on a CpuEngine. Physical runs use the
+/// defaults; VM runs set efficiency/observed times from the overhead
+/// model and route I/O through the virtual disk.
+struct TaskRunOptions {
+  host::SchedAttrs attrs{};
+  double efficiency{1.0};
+  /// CPU seconds `time` will report; negative means "native" (= spec).
+  double observed_user{-1.0};
+  double observed_sys{-1.0};
+  FileAccessor* disk{nullptr};  // nullptr: I/O phases are skipped
+  std::uint64_t io_read_offset{0};
+  ProcessHooks hooks{};
+};
+
+using TaskCallback = std::function<void(TaskResult)>;
+
+/// Handle to an in-flight task. VMs hold these so suspend/resume and
+/// migration carry the computation along (the paper's "entire computing
+/// environments move" property):
+///  * pause() freezes progress and releases the CPU engine process;
+///  * resume_on() re-homes the task onto an engine (possibly of another
+///    host after migration) with fresh VMM hooks;
+///  * abort() kills the task; its callback never fires.
+class GuestTask {
+ public:
+  virtual ~GuestTask() = default;
+  virtual void pause() = 0;
+  virtual void resume_on(host::CpuEngine& engine, ProcessHooks hooks) = 0;
+  virtual void abort() = 0;
+  [[nodiscard]] virtual bool finished() const = 0;
+  [[nodiscard]] virtual bool paused() const = 0;
+  /// Pointer to the virtual-disk accessor the task's I/O goes through;
+  /// re-pointed when the task lands on a different host after migration.
+  virtual void set_disk(FileAccessor* disk) = 0;
+};
+
+/// Run a task as alternating CPU and I/O phases; completion delivers the
+/// result. The returned handle is only needed by callers that pause,
+/// migrate, or abort the run (plain callers may discard it).
+std::shared_ptr<GuestTask> run_task(sim::Simulation& sim, host::CpuEngine& engine,
+                                    workload::TaskSpec spec, TaskRunOptions options,
+                                    TaskCallback cb);
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,301 @@
+#include "vm/virtual_machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "vm/vmm.hpp"
+
+namespace vmgrid::vm {
+
+const char* to_string(VmPowerState s) {
+  switch (s) {
+    case VmPowerState::kPoweredOff: return "powered-off";
+    case VmPowerState::kBooting: return "booting";
+    case VmPowerState::kRestoring: return "restoring";
+    case VmPowerState::kRunning: return "running";
+    case VmPowerState::kSuspending: return "suspending";
+    case VmPowerState::kSuspended: return "suspended";
+    case VmPowerState::kShutDown: return "shut-down";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(Vmm& vmm, VmConfig config, VmImageSpec image,
+                               VmStorage storage)
+    : vmm_{vmm},
+      config_{std::move(config)},
+      image_{std::move(image)},
+      storage_{std::move(storage)},
+      model_{config_.cost} {
+  if (!storage_.disk) {
+    throw std::logic_error("VirtualMachine: storage.disk is required");
+  }
+}
+
+VirtualMachine::~VirtualMachine() { stop_loads(); }
+
+host::PhysicalHost& VirtualMachine::host() { return vmm_.host(); }
+
+std::uint64_t VirtualMachine::migratable_state_bytes() const {
+  return config_.memory_mb * (1ull << 20) + image_.device_state_bytes;
+}
+
+workload::TaskSpec VirtualMachine::boot_spec() const {
+  workload::TaskSpec s;
+  s.name = config_.name + ":boot";
+  // Guest boot is kernel-heavy; we carry its VM-observed CPU directly
+  // (dilations of 0 / factor 1) since the image profile is measured
+  // inside the VM to begin with.
+  s.user_seconds = image_.boot_cpu_seconds;
+  s.sys_seconds = 0.0;
+  s.vm_user_dilation = 0.0;
+  s.vm_sys_factor = 1.0;
+  s.io_read_bytes = image_.boot_read_bytes;
+  s.phases = 16;
+  return s;
+}
+
+workload::TaskSpec VirtualMachine::restore_spec() const {
+  workload::TaskSpec s;
+  s.name = config_.name + ":restore";
+  s.user_seconds = image_.restore_cpu_seconds;
+  s.sys_seconds = 0.0;
+  s.vm_user_dilation = 0.0;
+  s.vm_sys_factor = 1.0;
+  s.io_read_bytes = image_.memory_state_bytes + image_.device_state_bytes;
+  s.phases = 16;
+  return s;
+}
+
+void VirtualMachine::boot(Callback on_running) {
+  if (state_ != VmPowerState::kPoweredOff && state_ != VmPowerState::kShutDown) {
+    throw std::logic_error("VirtualMachine::boot from state " +
+                           std::string{to_string(state_)});
+  }
+  state_ = VmPowerState::kBooting;
+  auto& sim = host().simulation();
+  auto spec = boot_spec();
+  // Device probes and daemon start-up timeouts dominate the fixed part;
+  // they vary run to run.
+  const double fixed = image_.boot_fixed_seconds * sim.rng().uniform(0.94, 1.12);
+  spec.user_seconds *= sim.rng().uniform(0.97, 1.06);
+  sim.schedule_after(sim::Duration::seconds(fixed), [this, spec = std::move(spec),
+                                                     on_running =
+                                                         std::move(on_running)]() mutable {
+    TaskRunOptions opts;
+    opts.attrs = config_.attrs;
+    opts.efficiency = 1.0;
+    opts.disk = storage_.disk.get();
+    opts.hooks = guest_hooks(1.0);
+    run_task_internal_boot(std::move(spec), std::move(opts), std::move(on_running));
+  });
+}
+
+void VirtualMachine::restore(Callback on_running) {
+  if (state_ != VmPowerState::kPoweredOff && state_ != VmPowerState::kSuspended &&
+      state_ != VmPowerState::kShutDown) {
+    throw std::logic_error("VirtualMachine::restore from state " +
+                           std::string{to_string(state_)});
+  }
+  if (!storage_.memory_state) {
+    throw std::logic_error("VirtualMachine::restore: image has no memory snapshot");
+  }
+  state_ = VmPowerState::kRestoring;
+  auto& sim = host().simulation();
+  auto spec = restore_spec();
+  const double fixed = image_.restore_fixed_seconds * sim.rng().uniform(0.9, 1.25);
+  sim.schedule_after(sim::Duration::seconds(fixed), [this, spec = std::move(spec),
+                                                     on_running =
+                                                         std::move(on_running)]() mutable {
+    TaskRunOptions opts;
+    opts.attrs = config_.attrs;
+    opts.efficiency = 1.0;
+    opts.disk = storage_.memory_state.get();
+    opts.hooks = guest_hooks(1.0);
+    run_task_internal_boot(std::move(spec), std::move(opts), std::move(on_running));
+  });
+}
+
+ProcessHooks VirtualMachine::guest_hooks(double base_efficiency) {
+  ProcessHooks hooks;
+  hooks.on_process = [this, base_efficiency](host::ProcessId pid) {
+    vmm_.register_guest(this, pid, base_efficiency);
+  };
+  hooks.on_process_exit = [this](host::ProcessId pid) { vmm_.unregister_guest(pid); };
+  return hooks;
+}
+
+void VirtualMachine::pause_tasks() {
+  prune_tasks();
+  for (auto& t : tasks_) t.task->pause();
+}
+
+void VirtualMachine::resume_tasks() {
+  for (auto& t : tasks_) {
+    if (!t.task->finished() && t.task->paused()) {
+      t.task->set_disk(storage_.disk.get());
+      t.task->resume_on(host().cpu(), guest_hooks(t.base_efficiency));
+    }
+  }
+}
+
+void VirtualMachine::prune_tasks() {
+  std::erase_if(tasks_, [](const TrackedTask& t) { return t.task->finished(); });
+}
+
+std::vector<VirtualMachine::TrackedTask> VirtualMachine::release_guest_tasks() {
+  prune_tasks();
+  return std::exchange(tasks_, {});
+}
+
+void VirtualMachine::adopt_guest_tasks(std::vector<TrackedTask> tasks) {
+  for (auto& t : tasks) tasks_.push_back(std::move(t));
+}
+
+std::size_t VirtualMachine::active_task_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) {
+    if (!t.task->finished()) ++n;
+  }
+  return n;
+}
+
+void VirtualMachine::run_task_internal_boot(workload::TaskSpec spec, TaskRunOptions opts,
+                                            Callback on_running) {
+  vm::run_task(host().simulation(), host().cpu(), std::move(spec), std::move(opts),
+               [this, on_running = std::move(on_running)](const TaskResult&) {
+                 enter_running();
+                 on_running();
+               });
+}
+
+void VirtualMachine::enter_running() {
+  state_ = VmPowerState::kRunning;
+  resume_tasks();
+}
+
+void VirtualMachine::suspend(Callback on_suspended) {
+  if (state_ != VmPowerState::kRunning) {
+    throw std::logic_error("VirtualMachine::suspend from state " +
+                           std::string{to_string(state_)});
+  }
+  state_ = VmPowerState::kSuspending;
+  stop_loads();
+  pause_tasks();
+  auto& fs = host().fs();
+  const auto bytes = migratable_state_bytes();
+  fs.create(suspend_file(), 0);
+  fs.write(suspend_file(), 0, bytes, [this, on_suspended = std::move(on_suspended)] {
+    state_ = VmPowerState::kSuspended;
+    suspended_in_memory_ = false;
+    on_suspended();
+  });
+}
+
+void VirtualMachine::pause(Callback on_paused) {
+  if (state_ != VmPowerState::kRunning) {
+    throw std::logic_error("VirtualMachine::pause from state " +
+                           std::string{to_string(state_)});
+  }
+  state_ = VmPowerState::kSuspending;
+  stop_loads();
+  pause_tasks();
+  // Device quiesce only; memory stays resident.
+  host().simulation().schedule_after(sim::Duration::millis(50),
+                                     [this, on_paused = std::move(on_paused)] {
+                                       state_ = VmPowerState::kSuspended;
+                                       suspended_in_memory_ = true;
+                                       on_paused();
+                                     });
+}
+
+void VirtualMachine::resume(Callback on_running) {
+  if (state_ != VmPowerState::kSuspended) {
+    throw std::logic_error("VirtualMachine::resume from state " +
+                           std::string{to_string(state_)});
+  }
+  state_ = VmPowerState::kRestoring;
+  if (suspended_in_memory_) {
+    host().simulation().schedule_after(sim::Duration::millis(200),
+                                       [this, on_running = std::move(on_running)] {
+                                         enter_running();
+                                         on_running();
+                                       });
+    return;
+  }
+  auto& fs = host().fs();
+  const auto bytes = migratable_state_bytes();
+  fs.read(suspend_file(), 0, bytes,
+          [this, on_running = std::move(on_running)](storage::ReadResult) {
+            enter_running();
+            on_running();
+          });
+}
+
+void VirtualMachine::shutdown() {
+  stop_loads();
+  for (auto& t : tasks_) t.task->abort();
+  tasks_.clear();
+  state_ = VmPowerState::kShutDown;
+}
+
+void VirtualMachine::adopt_suspended_state(bool in_memory) {
+  if (state_ != VmPowerState::kPoweredOff) {
+    throw std::logic_error("adopt_suspended_state requires a powered-off VM");
+  }
+  state_ = VmPowerState::kSuspended;
+  suspended_in_memory_ = in_memory;
+}
+
+void VirtualMachine::run_task(workload::TaskSpec spec, TaskCallback cb) {
+  if (state_ != VmPowerState::kRunning) {
+    throw std::logic_error("VirtualMachine::run_task requires a running VM (state " +
+                           std::string{to_string(state_)} + ")");
+  }
+  TaskRunOptions opts;
+  opts.attrs = config_.attrs;
+  opts.efficiency = OverheadModel::base_efficiency(spec);
+  opts.observed_user = OverheadModel::observed_user_seconds(spec);
+  opts.observed_sys = OverheadModel::observed_sys_seconds(spec);
+  opts.disk = storage_.disk.get();
+  const double base_eff = opts.efficiency;
+  opts.hooks = guest_hooks(base_eff);
+  auto task = vm::run_task(host().simulation(), host().cpu(), std::move(spec),
+                           std::move(opts), std::move(cb));
+  prune_tasks();
+  tasks_.push_back(TrackedTask{std::move(task), base_eff});
+}
+
+host::TracePlayback& VirtualMachine::play_load(host::LoadTrace trace) {
+  if (state_ != VmPowerState::kRunning) {
+    throw std::logic_error("VirtualMachine::play_load requires a running VM");
+  }
+  // Background load is modelled as context-switch-heavy guest activity.
+  workload::TaskSpec load_profile;
+  load_profile.name = config_.name + ":bg";
+  load_profile.user_seconds = 1.0;
+  load_profile.sys_seconds = 0.035;
+  load_profile.vm_user_dilation = 0.015;
+  load_profile.vm_sys_factor = 3.0;
+  const double eff = OverheadModel::base_efficiency(load_profile);
+
+  host::TracePlayback::Options opts;
+  opts.attrs = config_.attrs;
+  opts.efficiency = eff;
+  opts.on_spawn = [this, eff](host::ProcessId pid) {
+    vmm_.register_guest(this, pid, eff);
+  };
+  opts.on_remove = [this](host::ProcessId pid) { vmm_.unregister_guest(pid); };
+  loads_.push_back(std::make_unique<host::TracePlayback>(
+      host().simulation(), host().cpu(), std::move(trace), std::move(opts)));
+  loads_.back()->start();
+  return *loads_.back();
+}
+
+void VirtualMachine::stop_loads() {
+  for (auto& l : loads_) l->stop();
+  loads_.clear();
+}
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/load_trace.hpp"
+#include "host/physical_host.hpp"
+#include "host/trace_playback.hpp"
+#include "vm/overhead_model.hpp"
+#include "vm/task_runner.hpp"
+#include "vm/vm_disk.hpp"
+#include "vm/vm_image.hpp"
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::vm {
+
+class Vmm;
+
+enum class VmPowerState {
+  kPoweredOff,
+  kBooting,
+  kRestoring,
+  kRunning,
+  kSuspending,
+  kSuspended,
+  kShutDown,
+};
+
+[[nodiscard]] const char* to_string(VmPowerState s);
+
+struct VmConfig {
+  std::string name{"vm"};
+  std::uint64_t memory_mb{128};
+  bool persistent{false};
+  VmmCostModel cost{};
+  host::SchedAttrs attrs{};  // host-level scheduling of this VM's work
+};
+
+/// Where a VM's state is reachable from its host. `disk` is the virtual
+/// disk (COW-wrapped for non-persistent VMs); `memory_state` reads the
+/// post-boot snapshot for warm restores (null for cold-boot-only images).
+struct VmStorage {
+  std::unique_ptr<FileAccessor> disk;
+  std::unique_ptr<FileAccessor> memory_state;
+};
+
+/// One dynamic VM instance ("VM guest") executing on a physical host.
+///
+/// Lifecycle (paper §4): instantiate (middleware's job: stage or mount
+/// state) → boot cold or restore warm → run tasks / host background load
+/// → suspend / shutdown. Guest work executes as host processes whose
+/// efficiency is continuously adjusted by the owning Vmm according to
+/// the overhead model (world switches, guest context switches).
+class VirtualMachine {
+ public:
+  VirtualMachine(Vmm& vmm, VmConfig config, VmImageSpec image, VmStorage storage);
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  using Callback = std::function<void()>;
+
+  /// Cold boot: guest OS reads its boot working set through the virtual
+  /// disk and burns boot CPU; completes into kRunning.
+  void boot(Callback on_running);
+
+  /// Warm restore from the image's post-boot memory snapshot.
+  void restore(Callback on_running);
+
+  /// Suspend: write memory + device state to the host's file system
+  /// (the file is named suspend_file()); completes into kSuspended.
+  void suspend(Callback on_suspended);
+
+  /// Pause: quiesce devices and stop execution, keeping memory resident
+  /// (the fast path pre-copy migration relies on).
+  void pause(Callback on_paused);
+
+  /// Resume a suspended/paused VM. Paused VMs resume from RAM in a few
+  /// hundred milliseconds; suspended VMs re-read the state file.
+  void resume(Callback on_running);
+
+  void shutdown();
+
+  /// Migration plumbing: mark a freshly created (kPoweredOff) VM as
+  /// suspended because its state just arrived from another host —
+  /// either already resident in RAM (pre-copy) or as a state file on
+  /// the target's disk (stop-and-copy).
+  void adopt_suspended_state(bool in_memory = false);
+
+  /// A task plus the base efficiency it registers with the VMM under.
+  struct TrackedTask {
+    std::shared_ptr<GuestTask> task;
+    double base_efficiency{1.0};
+  };
+
+  /// Migration plumbing: hand off the (paused) guest computation. The
+  /// receiving VM re-homes the tasks onto its host at resume and points
+  /// their I/O at its own virtual disk.
+  [[nodiscard]] std::vector<TrackedTask> release_guest_tasks();
+  void adopt_guest_tasks(std::vector<TrackedTask> tasks);
+
+  [[nodiscard]] std::size_t active_task_count() const;
+
+  /// Execute an application in the guest. Requires kRunning.
+  void run_task(workload::TaskSpec spec, TaskCallback cb);
+
+  /// Play a host-load trace *inside* the guest (background processes
+  /// subject to virtualization overhead). Returns a handle usable to
+  /// stop it; the VM owns the playback.
+  host::TracePlayback& play_load(host::LoadTrace trace);
+  void stop_loads();
+
+  [[nodiscard]] VmPowerState state() const { return state_; }
+  [[nodiscard]] const VmConfig& config() const { return config_; }
+  [[nodiscard]] const VmImageSpec& image() const { return image_; }
+  [[nodiscard]] const OverheadModel& model() const { return model_; }
+  [[nodiscard]] FileAccessor& disk() { return *storage_.disk; }
+  [[nodiscard]] Vmm& vmm() { return vmm_; }
+  [[nodiscard]] host::PhysicalHost& host();
+  [[nodiscard]] std::string suspend_file() const {
+    return config_.name + ".suspended.mem";
+  }
+  /// Bytes that must move to migrate this VM in its current state
+  /// (memory + device state; the non-persistent diff travels separately).
+  [[nodiscard]] std::uint64_t migratable_state_bytes() const;
+
+ private:
+  friend class Vmm;
+
+  void enter_running();
+  void run_task_internal_boot(workload::TaskSpec spec, TaskRunOptions opts,
+                              Callback on_running);
+  [[nodiscard]] workload::TaskSpec boot_spec() const;
+  [[nodiscard]] workload::TaskSpec restore_spec() const;
+  [[nodiscard]] ProcessHooks guest_hooks(double base_efficiency);
+  void pause_tasks();
+  void resume_tasks();
+  void prune_tasks();
+
+  Vmm& vmm_;
+  VmConfig config_;
+  VmImageSpec image_;
+  VmStorage storage_;
+  OverheadModel model_;
+  VmPowerState state_{VmPowerState::kPoweredOff};
+  bool suspended_in_memory_{false};
+  std::vector<std::unique_ptr<host::TracePlayback>> loads_;
+  std::vector<TrackedTask> tasks_;
+};
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,166 @@
+#include "vm/vm_disk.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace vmgrid::vm {
+
+namespace {
+
+using storage::kBlockSize;
+
+class LocalAccessor final : public FileAccessor {
+ public:
+  LocalAccessor(storage::LocalFileSystem& fs, std::string path)
+      : fs_{fs}, path_{std::move(path)} {}
+
+  void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    fs_.read(path_, offset, len, [cb = std::move(cb)](storage::ReadResult r) {
+      cb(VmIoStats{true, r.bytes, 0, 0.0});
+    });
+  }
+
+  void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    fs_.write(path_, offset, len,
+              [cb = std::move(cb), len] { cb(VmIoStats{true, len, 0, 0.0}); });
+  }
+
+  [[nodiscard]] std::string describe() const override { return "local:" + path_; }
+
+ private:
+  storage::LocalFileSystem& fs_;
+  std::string path_;
+};
+
+class NfsAccessor final : public FileAccessor {
+ public:
+  NfsAccessor(storage::NfsClient& client, std::string path, double cpu_per_rpc)
+      : client_{client}, path_{std::move(path)}, cpu_per_rpc_{cpu_per_rpc} {}
+
+  void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    client_.read(path_, offset, len,
+                 [this, cb = std::move(cb)](storage::NfsIoResult r) {
+                   cb(VmIoStats{r.ok, r.bytes, r.rpcs,
+                                static_cast<double>(r.rpcs) * cpu_per_rpc_});
+                 });
+  }
+
+  void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    client_.write(path_, offset, len,
+                  [this, cb = std::move(cb)](storage::NfsIoResult r) {
+                    cb(VmIoStats{r.ok, r.bytes, r.rpcs,
+                                 static_cast<double>(r.rpcs) * cpu_per_rpc_});
+                  });
+  }
+
+  [[nodiscard]] std::string describe() const override { return "nfs:" + path_; }
+
+ private:
+  storage::NfsClient& client_;
+  std::string path_;
+  double cpu_per_rpc_;
+};
+
+class VfsAccessor final : public FileAccessor {
+ public:
+  VfsAccessor(vfs::VfsProxy& proxy, std::string path, double cpu_per_rpc)
+      : proxy_{proxy}, path_{std::move(path)}, cpu_per_rpc_{cpu_per_rpc} {}
+
+  void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    proxy_.read(path_, offset, len, [this, cb = std::move(cb)](vfs::VfsIoStats s) {
+      cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                   static_cast<double>(s.rpcs) * cpu_per_rpc_});
+    });
+  }
+
+  void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    proxy_.write(path_, offset, len, [this, cb = std::move(cb)](vfs::VfsIoStats s) {
+      cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                   static_cast<double>(s.rpcs) * cpu_per_rpc_});
+    });
+  }
+
+  [[nodiscard]] std::string describe() const override { return "gvfs:" + path_; }
+
+ private:
+  vfs::VfsProxy& proxy_;
+  std::string path_;
+  double cpu_per_rpc_;
+};
+
+}  // namespace
+
+std::unique_ptr<FileAccessor> make_local_accessor(storage::LocalFileSystem& fs,
+                                                  std::string path) {
+  return std::make_unique<LocalAccessor>(fs, std::move(path));
+}
+
+std::unique_ptr<FileAccessor> make_nfs_accessor(storage::NfsClient& client,
+                                                std::string path,
+                                                double client_cpu_per_rpc) {
+  return std::make_unique<NfsAccessor>(client, std::move(path), client_cpu_per_rpc);
+}
+
+std::unique_ptr<FileAccessor> make_vfs_accessor(vfs::VfsProxy& proxy, std::string path,
+                                                double client_cpu_per_rpc) {
+  return std::make_unique<VfsAccessor>(proxy, std::move(path), client_cpu_per_rpc);
+}
+
+CowDisk::CowDisk(std::unique_ptr<FileAccessor> base, std::unique_ptr<FileAccessor> diff)
+    : base_{std::move(base)}, diff_{std::move(diff)} {}
+
+std::string CowDisk::describe() const {
+  return "cow(" + base_->describe() + " + " + diff_->describe() + ")";
+}
+
+void CowDisk::write(std::uint64_t offset, std::uint64_t len, IoCallback cb) {
+  if (len > 0) {
+    const std::uint64_t first = offset / kBlockSize;
+    const std::uint64_t last = (offset + len - 1) / kBlockSize;
+    for (std::uint64_t b = first; b <= last; ++b) written_.insert(b);
+  }
+  diff_->write(offset, len, std::move(cb));
+}
+
+void CowDisk::read(std::uint64_t offset, std::uint64_t len, IoCallback cb) {
+  if (len == 0) {
+    base_->read(offset, len, std::move(cb));
+    return;
+  }
+  // Partition the range into maximal runs that are uniformly diff or base.
+  struct Run {
+    bool from_diff;
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+  std::vector<Run> runs;
+  const std::uint64_t first = offset / kBlockSize;
+  const std::uint64_t last = (offset + len - 1) / kBlockSize;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    const bool in_diff = written_.contains(b);
+    const std::uint64_t run_off = std::max(offset, b * kBlockSize);
+    const std::uint64_t run_end = std::min(offset + len, (b + 1) * kBlockSize);
+    if (!runs.empty() && runs.back().from_diff == in_diff &&
+        runs.back().offset + runs.back().len == run_off) {
+      runs.back().len += run_end - run_off;
+    } else {
+      runs.push_back(Run{in_diff, run_off, run_end - run_off});
+    }
+  }
+  auto agg = std::make_shared<VmIoStats>();
+  auto remaining = std::make_shared<std::size_t>(runs.size());
+  auto done = std::make_shared<IoCallback>(std::move(cb));
+  for (const Run& r : runs) {
+    FileAccessor& target = r.from_diff ? *diff_ : *base_;
+    target.read(r.offset, r.len, [agg, remaining, done](VmIoStats s) {
+      agg->ok = agg->ok && s.ok;
+      agg->bytes += s.bytes;
+      agg->rpcs += s.rpcs;
+      agg->client_cpu_seconds += s.client_cpu_seconds;
+      if (--*remaining == 0) (*done)(*agg);
+    });
+  }
+}
+
+}  // namespace vmgrid::vm

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "storage/local_fs.hpp"
+#include "storage/nfs_client.hpp"
+#include "vfs/vfs_proxy.hpp"
+
+namespace vmgrid::vm {
+
+/// Outcome of one VM-storage I/O, including the client-side CPU the
+/// operation consumed (RPC marshalling in the guest kernel + VMM); the
+/// task runner charges that CPU back to the guest, which is where the
+/// extra *system* time in Table 1's PVFS rows comes from.
+struct VmIoStats {
+  bool ok{true};
+  std::uint64_t bytes{0};
+  std::uint64_t rpcs{0};
+  double client_cpu_seconds{0.0};
+};
+
+/// Access to one file of VM state (virtual disk, memory snapshot),
+/// wherever it lives: host-local file system, plain NFS, or the proxy-
+/// cached grid virtual file system.
+class FileAccessor {
+ public:
+  virtual ~FileAccessor() = default;
+  using IoCallback = std::function<void(VmIoStats)>;
+  virtual void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) = 0;
+  virtual void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<FileAccessor> make_local_accessor(
+    storage::LocalFileSystem& fs, std::string path);
+
+[[nodiscard]] std::unique_ptr<FileAccessor> make_nfs_accessor(
+    storage::NfsClient& client, std::string path, double client_cpu_per_rpc);
+
+[[nodiscard]] std::unique_ptr<FileAccessor> make_vfs_accessor(
+    vfs::VfsProxy& proxy, std::string path, double client_cpu_per_rpc);
+
+/// Copy-on-write virtual disk for non-persistent VMs: reads of written
+/// blocks come from the local diff file, everything else from the (often
+/// remote, shared, read-only) base image; writes land only in the diff.
+class CowDisk final : public FileAccessor {
+ public:
+  CowDisk(std::unique_ptr<FileAccessor> base, std::unique_ptr<FileAccessor> diff);
+
+  void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override;
+  void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t diff_block_count() const { return written_.size(); }
+  [[nodiscard]] std::uint64_t diff_bytes() const {
+    return written_.size() * storage::kBlockSize;
+  }
+
+ private:
+  std::unique_ptr<FileAccessor> base_;
+  std::unique_ptr<FileAccessor> diff_;
+  std::unordered_set<std::uint64_t> written_;
+};
+
+}  // namespace vmgrid::vm

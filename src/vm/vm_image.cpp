@@ -1,0 +1,3 @@
+#include "vm/vm_image.hpp"
+
+// VmImageSpec is a plain aggregate; see header for the calibration notes.

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vmgrid::vm {
+
+/// Static description of an archived VM image (what lives on an image
+/// server): the virtual disk, an optional post-boot memory snapshot for
+/// warm restores, and the boot-process profile of the guest OS.
+///
+/// Calibration (DESIGN.md §5): a 2 GiB RedHat 7.x virtual disk with a
+/// 128 MiB memory snapshot, a cold boot that touches ~48 MiB of the disk
+/// and burns ~38 s of CPU plus ~24 s of device-probe/daemon-start delays
+/// — sized so Table 2's startup latencies come out of the mechanisms
+/// rather than being hard-coded.
+struct VmImageSpec {
+  std::string name{"rh7.2"};
+  std::string os{"redhat-7.2"};
+  std::uint64_t disk_bytes{2ull << 30};
+  std::uint64_t memory_state_bytes{128ull << 20};
+  std::uint64_t boot_read_bytes{48ull << 20};
+  double boot_cpu_seconds{38.0};
+  double boot_fixed_seconds{24.0};  // device probes, daemon timeouts
+  double restore_cpu_seconds{1.5};
+  double restore_fixed_seconds{2.0};
+  std::uint64_t device_state_bytes{2ull << 20};  // non-memory device state
+
+  [[nodiscard]] std::string disk_file() const { return name + ".disk"; }
+  [[nodiscard]] std::string memory_file() const { return name + ".mem"; }
+};
+
+}  // namespace vmgrid::vm

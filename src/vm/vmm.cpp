@@ -1,0 +1,90 @@
+#include "vm/vmm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace vmgrid::vm {
+
+Vmm::Vmm(host::PhysicalHost& host, VmmParams params) : host_{host}, params_{params} {
+  host_.cpu().set_pre_allocate_hook(
+      [this](host::CpuEngine& engine) { adjust_efficiencies(engine); });
+}
+
+Vmm::~Vmm() {
+  host_.cpu().set_pre_allocate_hook(nullptr);
+  for (auto& vm : vms_) {
+    host_.release_memory(vm->config().memory_mb + params_.per_vm_overhead_mb);
+  }
+}
+
+VirtualMachine& Vmm::create_vm(VmConfig config, VmImageSpec image, VmStorage storage) {
+  if (vms_.size() >= params_.max_vms) {
+    throw std::runtime_error("Vmm: VM slots exhausted on " + host_.name());
+  }
+  const auto footprint = config.memory_mb + params_.per_vm_overhead_mb;
+  if (!host_.reserve_memory(footprint)) {
+    throw std::runtime_error("Vmm: insufficient memory on " + host_.name());
+  }
+  vms_.push_back(std::make_unique<VirtualMachine>(*this, std::move(config),
+                                                  std::move(image), std::move(storage)));
+  return *vms_.back();
+}
+
+void Vmm::destroy_vm(VirtualMachine& vm) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&vm](const auto& p) { return p.get() == &vm; });
+  if (it == vms_.end()) return;
+  (*it)->shutdown();
+  host_.release_memory((*it)->config().memory_mb + params_.per_vm_overhead_mb);
+  // Drop any guest registrations that still point at this VM.
+  for (auto g = guests_.begin(); g != guests_.end();) {
+    g = g->second.vm == it->get() ? guests_.erase(g) : std::next(g);
+  }
+  vms_.erase(it);
+}
+
+std::vector<VirtualMachine*> Vmm::vms() {
+  std::vector<VirtualMachine*> out;
+  out.reserve(vms_.size());
+  for (auto& v : vms_) out.push_back(v.get());
+  return out;
+}
+
+void Vmm::register_guest(VirtualMachine* vm, host::ProcessId pid,
+                         double base_efficiency) {
+  guests_[pid] = GuestProc{vm, base_efficiency};
+}
+
+void Vmm::unregister_guest(host::ProcessId pid) { guests_.erase(pid); }
+
+void Vmm::adjust_efficiencies(host::CpuEngine& engine) {
+  if (guests_.empty()) return;
+  const auto views = engine.runnable_views();
+
+  // Demand per VM and total, over currently runnable processes.
+  std::unordered_map<VirtualMachine*, double> vm_demand;
+  std::unordered_map<VirtualMachine*, std::size_t> vm_runnable;
+  double total_demand = 0.0;
+  for (const auto& v : views) {
+    const double d = std::min(1.0, v.attrs.demand_cap);
+    total_demand += d;
+    if (auto it = guests_.find(v.id); it != guests_.end()) {
+      vm_demand[it->second.vm] += d;
+      ++vm_runnable[it->second.vm];
+    }
+  }
+
+  for (const auto& v : views) {
+    auto it = guests_.find(v.id);
+    if (it == guests_.end()) continue;
+    VirtualMachine* vm = it->second.vm;
+    const double external = total_demand - vm_demand[vm];
+    const std::size_t corunners = vm_runnable[vm] > 0 ? vm_runnable[vm] - 1 : 0;
+    const double factor = vm->model().contention_factor(external, corunners);
+    const double eff = std::clamp(it->second.base_efficiency / factor, 1e-6, 1.0);
+    engine.set_efficiency_quiet(v.id, eff);
+  }
+}
+
+}  // namespace vmgrid::vm

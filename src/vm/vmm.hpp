@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "host/physical_host.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace vmgrid::vm {
+
+struct VmmParams {
+  std::uint64_t per_vm_overhead_mb{32};  // monitor + frame-buffer footprint
+  std::size_t max_vms{16};
+};
+
+/// The virtual machine monitor installed on one physical host.
+///
+/// Owns the dynamic VM instances, accounts their memory against the
+/// host, and — through the host CPU engine's pre-allocation hook —
+/// continuously re-derives each guest process' efficiency from the
+/// overhead model and the current co-runner situation. This is where
+/// "world switches" (external load preempting the VMM) and trapped
+/// guest context switches become visible as slowdown.
+class Vmm {
+ public:
+  explicit Vmm(host::PhysicalHost& host, VmmParams params = {});
+  ~Vmm();
+
+  Vmm(const Vmm&) = delete;
+  Vmm& operator=(const Vmm&) = delete;
+
+  /// Create a powered-off VM whose state is reachable via `storage`.
+  /// Throws std::runtime_error when memory or VM slots are exhausted.
+  VirtualMachine& create_vm(VmConfig config, VmImageSpec image, VmStorage storage);
+
+  void destroy_vm(VirtualMachine& vm);
+
+  [[nodiscard]] host::PhysicalHost& host() { return host_; }
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  [[nodiscard]] const VmmParams& params() const { return params_; }
+  [[nodiscard]] std::vector<VirtualMachine*> vms();
+
+  /// Guest-process registry (called by VirtualMachine/task plumbing).
+  void register_guest(VirtualMachine* vm, host::ProcessId pid, double base_efficiency);
+  void unregister_guest(host::ProcessId pid);
+
+ private:
+  void adjust_efficiencies(host::CpuEngine& engine);
+
+  struct GuestProc {
+    VirtualMachine* vm;
+    double base_efficiency;
+  };
+
+  host::PhysicalHost& host_;
+  VmmParams params_;
+  std::vector<std::unique_ptr<VirtualMachine>> vms_;
+  std::unordered_map<host::ProcessId, GuestProc> guests_;
+};
+
+}  // namespace vmgrid::vm

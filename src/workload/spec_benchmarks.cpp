@@ -1,0 +1,41 @@
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid::workload {
+
+TaskSpec spec_seis() {
+  TaskSpec t;
+  t.name = "SPECseis";
+  t.user_seconds = 16395.0;
+  t.sys_seconds = 19.0;
+  t.io_read_bytes = 320ull << 20;  // cold seismic traces pulled through the VM disk
+  t.io_write_bytes = 64ull << 20;
+  t.phases = 64;
+  t.vm_user_dilation = 0.0099;  // 16395 -> 16557
+  t.vm_sys_factor = 3.16;       // 19 -> 60
+  return t;
+}
+
+TaskSpec spec_climate() {
+  TaskSpec t;
+  t.name = "SPECclimate";
+  t.user_seconds = 9304.0;
+  t.sys_seconds = 3.0;
+  t.io_read_bytes = 12ull << 20;
+  t.io_write_bytes = 4ull << 20;
+  t.phases = 32;
+  t.vm_user_dilation = 0.0403;  // 9304 -> 9679
+  t.vm_sys_factor = 1.67;       // 3 -> 5
+  return t;
+}
+
+TaskSpec micro_test_task(double seconds) {
+  TaskSpec t;
+  t.name = "micro-test";
+  t.user_seconds = seconds;
+  t.sys_seconds = seconds * 0.004;  // a handful of syscalls
+  t.vm_user_dilation = 0.015;
+  t.vm_sys_factor = 3.0;
+  return t;
+}
+
+}  // namespace vmgrid::workload

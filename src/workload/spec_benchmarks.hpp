@@ -1,0 +1,25 @@
+#pragma once
+
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::workload {
+
+/// SPEChpc'96 macro-workload models, parameterized from the paper's
+/// Table 1 measurements on a dual PIII-933 (sequential mode, medium data
+/// set): native user/system CPU seconds, and the cold I/O footprint that
+/// explains the additional system time and wall-clock overhead observed
+/// when the VM state is accessed via the wide-area virtual file system.
+///
+/// SPECseis96 — seismic processing; long CPU phases over a multi-hundred-
+/// megabyte trace dataset, very low kernel time, ~1% user dilation.
+[[nodiscard]] TaskSpec spec_seis();
+
+/// SPECclimate (climate modeling); smaller dataset, denser memory access
+/// pattern (higher user-mode dilation inside a VM, ~4%).
+[[nodiscard]] TaskSpec spec_climate();
+
+/// A short CPU-bound synthetic task, the unit of the paper's Figure 1
+/// microbenchmark (few seconds of pure user-mode compute).
+[[nodiscard]] TaskSpec micro_test_task(double seconds = 3.0);
+
+}  // namespace vmgrid::workload

@@ -1,0 +1,33 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmgrid::workload {
+
+TaskSpec random_task(sim::Rng& rng, const SyntheticMix& mix, std::size_t index) {
+  TaskSpec t;
+  t.name = "job-" + std::to_string(index);
+  // Lognormal with the requested mean and coefficient of variation.
+  const double cv2 = mix.user_cv * mix.user_cv;
+  const double sigma2 = std::log(1.0 + cv2);
+  const double mu = std::log(mix.mean_user_seconds) - sigma2 / 2.0;
+  t.user_seconds = std::max(0.1, rng.lognormal(mu, std::sqrt(sigma2)));
+  t.sys_seconds = t.user_seconds * mix.sys_fraction;
+  if (rng.bernoulli(mix.io_probability)) {
+    t.io_read_bytes = static_cast<std::uint64_t>(rng.exponential(mix.io_mean_bytes));
+    t.io_write_bytes = t.io_read_bytes / 4;
+    t.phases = 16;
+  }
+  return t;
+}
+
+std::vector<TaskSpec> random_batch(sim::Rng& rng, std::size_t count,
+                                   const SyntheticMix& mix) {
+  std::vector<TaskSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(random_task(rng, mix, i));
+  return out;
+}
+
+}  // namespace vmgrid::workload

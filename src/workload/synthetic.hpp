@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::workload {
+
+/// Knobs for random grid-job populations (used by the examples and the
+/// middleware stress benches; the reproduction experiments use the fixed
+/// SPEC / micro task models instead).
+struct SyntheticMix {
+  double mean_user_seconds{120.0};
+  double user_cv{1.5};             // heavy-ish tail via lognormal
+  double sys_fraction{0.02};       // sys = fraction * user
+  double io_mean_bytes{32.0 * (1 << 20)};
+  double io_probability{0.6};
+};
+
+[[nodiscard]] TaskSpec random_task(sim::Rng& rng, const SyntheticMix& mix,
+                                   std::size_t index = 0);
+
+[[nodiscard]] std::vector<TaskSpec> random_batch(sim::Rng& rng, std::size_t count,
+                                                 const SyntheticMix& mix = {});
+
+}  // namespace vmgrid::workload

@@ -1,0 +1,5 @@
+#include "workload/task_spec.hpp"
+
+// TaskSpec is a plain aggregate; this translation unit exists so the
+// workload library always has at least one object file and gives the
+// header a home for future out-of-line helpers.

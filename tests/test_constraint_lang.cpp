@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "host/schedulers.hpp"
+#include "middleware/constraint_lang.hpp"
+#include "middleware/schedule_compiler.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::middleware {
+namespace {
+
+TEST(ConstraintLang, ParsesFullPolicy) {
+  const auto result = parse_policy(R"(
+    # desktop owner policy
+    policy desktop {
+      scheduler rt;
+      rt grid-vm slice=10ms period=40ms;
+      reserve interactive 0.5;
+      shares batch 300;
+      weight backup 2.5;
+      nice indexer 10;
+      dutycycle guest 0.25 period=2s;
+      cap guest 0.8;
+      limit guest_total 0.6;
+    }
+  )");
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0].message);
+  const auto& p = *result.policy;
+  EXPECT_EQ(p.name, "desktop");
+  EXPECT_EQ(p.scheduler, SchedulerKind::kRealTime);
+  ASSERT_NE(p.find("grid-vm"), nullptr);
+  EXPECT_NEAR(*p.find("grid-vm")->reservation, 0.25, 1e-12);
+  EXPECT_NEAR(*p.find("interactive")->reservation, 0.5, 1e-12);
+  EXPECT_EQ(*p.find("batch")->tickets, 300u);
+  EXPECT_NEAR(*p.find("backup")->weight, 2.5, 1e-12);
+  EXPECT_EQ(*p.find("indexer")->nice, 10);
+  EXPECT_NEAR(*p.find("guest")->duty, 0.25, 1e-12);
+  EXPECT_EQ(p.find("guest")->duty_period, sim::Duration::seconds(2));
+  EXPECT_NEAR(*p.find("guest")->cap, 0.8, 1e-12);
+  EXPECT_NEAR(*p.guest_total_limit, 0.6, 1e-12);
+}
+
+TEST(ConstraintLang, AnonymousPolicyAndComments) {
+  const auto result = parse_policy("policy { scheduler wfq; } # trailing comment");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.policy->name.empty());
+  EXPECT_EQ(result.policy->scheduler, SchedulerKind::kWfq);
+}
+
+TEST(ConstraintLang, MultipleRulesForOneEntityMerge) {
+  const auto result = parse_policy(R"(policy {
+    scheduler lottery;
+    shares vm1 200;
+    cap vm1 0.5;
+  })");
+  ASSERT_TRUE(result.ok());
+  const auto* r = result.policy->find("vm1");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(*r->tickets, 200u);
+  EXPECT_NEAR(*r->cap, 0.5, 1e-12);
+}
+
+struct BadPolicyCase {
+  const char* source;
+  const char* expected_fragment;
+};
+
+class ConstraintLangErrors : public ::testing::TestWithParam<BadPolicyCase> {};
+
+TEST_P(ConstraintLangErrors, RejectsWithMessage) {
+  const auto result = parse_policy(GetParam().source);
+  ASSERT_FALSE(result.ok());
+  ASSERT_FALSE(result.errors.empty());
+  bool found = false;
+  for (const auto& e : result.errors) {
+    if (e.message.find(GetParam().expected_fragment) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "first error: " << result.errors[0].message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadPolicies, ConstraintLangErrors,
+    ::testing::Values(
+        BadPolicyCase{"policy { scheduler bogus; }", "unknown scheduler"},
+        BadPolicyCase{"policy { frobnicate x 1; }", "unknown statement"},
+        BadPolicyCase{"policy { reserve vm 1.5; }", "out of range"},
+        BadPolicyCase{"policy { reserve vm abc; }", "not a number"},
+        BadPolicyCase{"policy { rt vm slice=10ms; }", "requires slice= and period="},
+        BadPolicyCase{"policy { rt vm slice=50ms period=10ms; }",
+                      "slice must not exceed period"},
+        BadPolicyCase{"policy { dutycycle vm 3; }", "fraction must be in [0, 1]"},
+        BadPolicyCase{"policy { limit other 0.5; }", "only 'guest_total'"},
+        BadPolicyCase{"policy { scheduler wfq; ", "expected '}'"},
+        BadPolicyCase{"nonsense", "expected 'policy'"},
+        BadPolicyCase{"policy { nice vm 99; }", "out of range"}));
+
+TEST(ConstraintLang, ReportsLineNumbers) {
+  const auto result = parse_policy("policy {\n scheduler wfq;\n bogus x;\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 3u);
+}
+
+TEST(ScheduleCompiler, CompilesReservationsUnderBound) {
+  const auto parsed = parse_policy(R"(policy {
+    scheduler rt;
+    rt vm1 slice=20ms period=100ms;
+    reserve vm2 0.4;
+    weight vm2 2;
+  })");
+  ASSERT_TRUE(parsed.ok());
+  const auto compiled = compile_policy(*parsed.policy, 2.0);
+  EXPECT_EQ(compiled.scheduler, SchedulerKind::kRealTime);
+  EXPECT_NEAR(compiled.total_reservation, 0.6, 1e-12);
+  ASSERT_NE(compiled.find("vm1"), nullptr);
+  EXPECT_NEAR(compiled.find("vm1")->attrs.reservation, 0.2, 1e-12);
+  EXPECT_NEAR(compiled.find("vm2")->attrs.weight, 2.0, 1e-12);
+  EXPECT_NE(compiled.make_scheduler(), nullptr);
+  EXPECT_EQ(compiled.make_scheduler()->name(), "real-time");
+}
+
+TEST(ScheduleCompiler, AdmissionControlRejectsOversubscription) {
+  const auto parsed = parse_policy(R"(policy {
+    scheduler rt;
+    reserve a 0.9;
+    reserve b 0.9;
+  })");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_THROW(compile_policy(*parsed.policy, 1.0), CompileError);
+  // Plenty of room on a 4-way host.
+  EXPECT_NO_THROW(compile_policy(*parsed.policy, 4.0));
+}
+
+TEST(ScheduleCompiler, ReservationRequiresRtScheduler) {
+  const auto parsed = parse_policy("policy { scheduler wfq; reserve a 0.5; }");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_THROW(compile_policy(*parsed.policy, 2.0), CompileError);
+}
+
+TEST(ScheduleCompiler, GuestTotalLimitChecked) {
+  const auto parsed = parse_policy(R"(policy {
+    scheduler rt;
+    reserve a 0.8;
+    limit guest_total 0.3;
+  })");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_THROW(compile_policy(*parsed.policy, 1.0), CompileError);
+}
+
+TEST(ScheduleEnforcer, AppliesAttrsAndDutyCycle) {
+  sim::Simulation sim;
+  host::CpuEngine engine{sim, 1.0, std::make_unique<host::FairShareScheduler>()};
+  const auto parsed = parse_policy(R"(policy {
+    scheduler wfq;
+    weight grid 1;
+    weight local 3;
+    dutycycle throttled 0.5 period=1s;
+  })");
+  ASSERT_TRUE(parsed.ok());
+  ScheduleEnforcer enforcer{sim, engine, compile_policy(*parsed.policy, 1.0)};
+  EXPECT_EQ(engine.scheduler().name(), "wfq");
+
+  auto grid_pid = engine.add("grid", {}, host::CpuEngine::kInfiniteWork);
+  auto local_pid = engine.add("local", {}, host::CpuEngine::kInfiniteWork);
+  enforcer.bind("grid", grid_pid);
+  enforcer.bind("local", local_pid);
+  EXPECT_THROW(enforcer.bind("unknown", grid_pid), CompileError);
+
+  sim.run_until(sim::TimePoint::from_seconds(4));
+  // WFQ 1:3 split.
+  EXPECT_NEAR(engine.cpu_time_used(grid_pid), 1.0, 1e-6);
+  EXPECT_NEAR(engine.cpu_time_used(local_pid), 3.0, 1e-6);
+
+  auto throttled = engine.add("throttled", {}, host::CpuEngine::kInfiniteWork);
+  enforcer.bind("throttled", throttled);
+  const auto before = engine.cpu_time_used(throttled);
+  sim.run_until(sim::TimePoint::from_seconds(24));
+  // Duty cycle 0.5 within a 3-way weighted competition: share well below
+  // an un-throttled equal competitor.
+  const double used = engine.cpu_time_used(throttled) - before;
+  EXPECT_LT(used, 0.5 * 20.0);
+  enforcer.unbind("throttled");
+}
+
+}  // namespace
+}  // namespace vmgrid::middleware

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "host/cpu_engine.hpp"
+#include "host/load_trace.hpp"
+#include "host/physical_host.hpp"
+#include "host/schedulers.hpp"
+#include "host/trace_playback.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::host {
+namespace {
+
+std::unique_ptr<CpuEngine> make_engine(sim::Simulation& sim, double ncpus) {
+  return std::make_unique<CpuEngine>(sim, ncpus, std::make_unique<FairShareScheduler>());
+}
+
+TEST(CpuEngine, SingleTaskRunsAtFullRate) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 2.0);
+  double done_at = -1;
+  eng->add("t", {}, 4.0, [&] { done_at = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 4.0, 1e-6);
+}
+
+TEST(CpuEngine, TwoTasksUseBothCpus) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 2.0);
+  double a = -1, b = -1;
+  eng->add("a", {}, 4.0, [&] { a = sim.now().to_seconds(); });
+  eng->add("b", {}, 4.0, [&] { b = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(a, 4.0, 1e-6);
+  EXPECT_NEAR(b, 4.0, 1e-6);
+}
+
+TEST(CpuEngine, ThreeEqualTasksShareDualCpu) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 2.0);
+  int done = 0;
+  double last = -1;
+  for (int i = 0; i < 3; ++i) {
+    eng->add("t" + std::to_string(i), {}, 3.0, [&] {
+      ++done;
+      last = sim.now().to_seconds();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_NEAR(last, 4.5, 1e-6);  // each runs at 2/3 CPU
+}
+
+TEST(CpuEngine, EfficiencyDilatesWork) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 1.0);
+  double done_at = -1;
+  auto id = eng->add("vm-task", {}, 2.0, [&] { done_at = sim.now().to_seconds(); }, 0.5);
+  sim.run();
+  EXPECT_NEAR(done_at, 4.0, 1e-6);
+  EXPECT_NEAR(eng->cpu_time_used(id), 4.0, 1e-6);
+}
+
+TEST(CpuEngine, DemandCapLimitsRate) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 2.0);
+  SchedAttrs attrs;
+  attrs.demand_cap = 0.5;
+  double done_at = -1;
+  eng->add("capped", attrs, 1.0, [&] { done_at = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-6);
+}
+
+TEST(CpuEngine, ArrivalMidRunSlowsExistingTask) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 1.0);
+  double a = -1, b = -1;
+  eng->add("a", {}, 2.0, [&] { a = sim.now().to_seconds(); });
+  sim.schedule_after(sim::Duration::seconds(1), [&] {
+    eng->add("b", {}, 2.0, [&] { b = sim.now().to_seconds(); });
+  });
+  sim.run();
+  // a: 1s alone + 2s shared = done at 3; b: 2s shared + 1s alone = done at 4.
+  EXPECT_NEAR(a, 3.0, 1e-6);
+  EXPECT_NEAR(b, 4.0, 1e-6);
+}
+
+TEST(CpuEngine, AddWorkExtendsAndRearmsCompletion) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 1.0);
+  std::vector<double> completions;
+  auto id = eng->add("phased", {}, 1.0,
+                     [&] { completions.push_back(sim.now().to_seconds()); });
+  sim.schedule_after(sim::Duration::seconds(2), [&] {
+    eng->add_work(id, 1.0, [&] { completions.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 1.0, 1e-6);
+  EXPECT_NEAR(completions[1], 3.0, 1e-6);
+}
+
+TEST(CpuEngine, RemoveKillsWithoutCompletion) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 1.0);
+  bool fired = false;
+  auto id = eng->add("doomed", {}, 10.0, [&] { fired = true; });
+  sim.schedule_after(sim::Duration::seconds(1), [&] { eng->remove(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(eng->contains(id));
+}
+
+TEST(CpuEngine, InfiniteProcessNeverCompletesButUsesCpu) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 1.0);
+  auto id = eng->add("bg", {}, CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(5));
+  EXPECT_NEAR(eng->cpu_time_used(id), 5.0, 1e-6);
+  EXPECT_NEAR(eng->mean_utilization(), 1.0, 1e-6);
+}
+
+TEST(CpuEngine, UtilizationTracksLoad) {
+  sim::Simulation sim;
+  auto eng = make_engine(sim, 2.0);
+  eng->add("t", {}, 5.0, nullptr);
+  sim.run_until(sim::TimePoint::from_seconds(10));
+  // 5s at rate 1.0 then idle: mean utilization 0.5 over 10s.
+  EXPECT_NEAR(eng->mean_utilization(), 0.5, 1e-6);
+}
+
+// --- water_fill properties -------------------------------------------------
+
+struct WaterFillCase {
+  std::vector<double> weights;
+  std::vector<double> caps;
+  double capacity;
+};
+
+class WaterFillProperty : public ::testing::TestWithParam<WaterFillCase> {};
+
+TEST_P(WaterFillProperty, RespectsCapsAndConservesWork) {
+  const auto& c = GetParam();
+  const auto alloc = water_fill(c.weights, c.caps, c.capacity);
+  ASSERT_EQ(alloc.size(), c.weights.size());
+  double total = 0.0, cap_sum = 0.0;
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    EXPECT_GE(alloc[i], -1e-12);
+    EXPECT_LE(alloc[i], c.caps[i] + 1e-9);
+    total += alloc[i];
+    cap_sum += c.caps[i];
+  }
+  // Work conservation: all capacity used unless demand is the binding
+  // constraint.
+  EXPECT_NEAR(total, std::min(c.capacity, cap_sum), 1e-9);
+  // Weight monotonicity among unsaturated entries.
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    for (std::size_t j = 0; j < alloc.size(); ++j) {
+      if (c.weights[i] > c.weights[j] && alloc[i] < c.caps[i] - 1e-9 &&
+          alloc[j] < c.caps[j] - 1e-9) {
+        EXPECT_GE(alloc[i], alloc[j] - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, WaterFillProperty,
+    ::testing::Values(
+        WaterFillCase{{1, 1, 1}, {1, 1, 1}, 2.0},
+        WaterFillCase{{2, 1}, {1, 1}, 1.0},
+        WaterFillCase{{5, 1, 1}, {0.3, 1, 1}, 1.0},
+        WaterFillCase{{1, 1, 1, 1}, {0.1, 0.1, 0.1, 0.1}, 2.0},
+        WaterFillCase{{0, 0}, {1, 1}, 1.0},
+        WaterFillCase{{3, 2, 1}, {0.5, 0.5, 0.5}, 4.0},
+        WaterFillCase{{1}, {1}, 8.0},
+        WaterFillCase{{10, 1}, {1, 0.05}, 0.5},
+        WaterFillCase{{1, 2, 3, 4, 5}, {1, 1, 1, 1, 1}, 3.0}));
+
+TEST(WfqScheduler, SharesProportionalToWeights) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<WfqScheduler>()};
+  SchedAttrs heavy, light;
+  heavy.weight = 2.0;
+  light.weight = 1.0;
+  auto h = eng.add("h", heavy, CpuEngine::kInfiniteWork);
+  auto l = eng.add("l", light, CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(3));
+  EXPECT_NEAR(eng.cpu_time_used(h), 2.0, 1e-6);
+  EXPECT_NEAR(eng.cpu_time_used(l), 1.0, 1e-6);
+}
+
+TEST(LotteryScheduler, SharesProportionalToTickets) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<LotteryScheduler>()};
+  SchedAttrs a, b;
+  a.tickets = 300;
+  b.tickets = 100;
+  auto pa = eng.add("a", a, CpuEngine::kInfiniteWork);
+  auto pb = eng.add("b", b, CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(4));
+  EXPECT_NEAR(eng.cpu_time_used(pa), 3.0, 1e-6);
+  EXPECT_NEAR(eng.cpu_time_used(pb), 1.0, 1e-6);
+}
+
+TEST(PriorityScheduler, HigherPriorityStarvesLower) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<PriorityScheduler>()};
+  SchedAttrs high, low;
+  high.nice = -5;
+  low.nice = 5;
+  double high_done = -1, low_done = -1;
+  eng.add("high", high, 2.0, [&] { high_done = sim.now().to_seconds(); });
+  eng.add("low", low, 1.0, [&] { low_done = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(high_done, 2.0, 1e-6);
+  EXPECT_NEAR(low_done, 3.0, 1e-6);  // runs only after high finishes
+}
+
+TEST(RealTimeScheduler, ReservationHoldsUnderLoad) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<RealTimeScheduler>()};
+  SchedAttrs rt, bulk;
+  rt.reservation = 0.4;
+  rt.weight = 0.0;  // gets only its reservation
+  bulk.weight = 10.0;
+  double rt_done = -1;
+  eng.add("rt", rt, 0.4, [&] { rt_done = sim.now().to_seconds(); });
+  for (int i = 0; i < 4; ++i) eng.add("bulk", bulk, CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(2));
+  EXPECT_NEAR(rt_done, 1.0, 1e-6);
+}
+
+TEST(RealTimeScheduler, OverAdmissionScalesProportionally) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<RealTimeScheduler>()};
+  SchedAttrs a;
+  a.reservation = 0.8;
+  a.weight = 0.0;
+  auto p1 = eng.add("r1", a, CpuEngine::kInfiniteWork);
+  auto p2 = eng.add("r2", a, CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(2));
+  // 1.6 reserved on 1 CPU: each scaled to 0.5.
+  EXPECT_NEAR(eng.cpu_time_used(p1), 1.0, 1e-6);
+  EXPECT_NEAR(eng.cpu_time_used(p2), 1.0, 1e-6);
+}
+
+TEST(NiceToWeight, MonotoneDecreasing) {
+  EXPECT_GT(nice_to_weight(-10), nice_to_weight(0));
+  EXPECT_GT(nice_to_weight(0), nice_to_weight(10));
+  EXPECT_DOUBLE_EQ(nice_to_weight(0), 1.0);
+}
+
+TEST(DutyCycleController, LongRunShareApproachesDuty) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<FairShareScheduler>()};
+  auto id = eng.add("throttled", {}, CpuEngine::kInfiniteWork);
+  DutyCycleController ctl{sim, eng, id, 0.25, sim::Duration::seconds(1)};
+  ctl.start();
+  sim.run_until(sim::TimePoint::from_seconds(40));
+  EXPECT_NEAR(eng.cpu_time_used(id) / 40.0, 0.25, 0.03);
+}
+
+TEST(DutyCycleController, StopRestoresDemand) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 1.0, std::make_unique<FairShareScheduler>()};
+  auto id = eng.add("t", {}, CpuEngine::kInfiniteWork);
+  auto ctl = std::make_unique<DutyCycleController>(sim, eng, id, 0.5,
+                                                   sim::Duration::seconds(1));
+  ctl->start();
+  sim.run_until(sim::TimePoint::from_seconds(4));
+  ctl->stop();
+  const double used_before = eng.cpu_time_used(id);
+  sim.run_until(sim::TimePoint::from_seconds(8));
+  EXPECT_NEAR(eng.cpu_time_used(id) - used_before, 4.0, 1e-6);
+}
+
+TEST(LoadTrace, GenerateMatchesTargetMean) {
+  sim::Rng rng{5};
+  LoadTraceParams p;
+  p.mean = 0.5;
+  const auto trace = LoadTrace::generate(rng, sim::Duration::seconds(2000), p);
+  EXPECT_EQ(trace.size(), 2000u);
+  EXPECT_NEAR(trace.mean(), 0.5, 0.15);
+  for (double v : trace.samples()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, p.max_load);
+  }
+}
+
+TEST(LoadTrace, AtWrapsAround) {
+  LoadTrace t{sim::Duration::seconds(1), {1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(t.at(sim::Duration::seconds(0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(sim::Duration::seconds(4.2)), 2.0);  // wraps to idx 1
+}
+
+TEST(TracePlayback, ConstantLoadConsumesExpectedCpu) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 2.0, std::make_unique<FairShareScheduler>()};
+  TracePlayback pb{sim, eng, LoadTrace::constant(sim::Duration::seconds(10), 1.5)};
+  pb.start();
+  sim.run_until(sim::TimePoint::from_seconds(10));
+  EXPECT_NEAR(eng.mean_utilization(), 1.5, 0.05);
+  pb.stop();
+  const double util_at_stop = eng.mean_utilization();
+  sim.run_until(sim::TimePoint::from_seconds(20));
+  EXPECT_LT(eng.mean_utilization(), util_at_stop);
+}
+
+TEST(TracePlayback, StopFiresOnRemoveHooks) {
+  sim::Simulation sim;
+  CpuEngine eng{sim, 2.0, std::make_unique<FairShareScheduler>()};
+  int spawned = 0, removed = 0;
+  TracePlayback::Options opts;
+  opts.on_spawn = [&](ProcessId) { ++spawned; };
+  opts.on_remove = [&](ProcessId) { ++removed; };
+  TracePlayback pb{sim, eng, LoadTrace::constant(sim::Duration::seconds(5), 0.8), opts};
+  pb.start();
+  sim.run_until(sim::TimePoint::from_seconds(2));
+  pb.stop();
+  EXPECT_GT(spawned, 0);
+  EXPECT_EQ(spawned, removed);
+}
+
+TEST(PhysicalHost, MemoryReservationAccounting) {
+  sim::Simulation sim;
+  net::Network net{sim};
+  HostParams hp;
+  hp.memory_mb = 512;
+  PhysicalHost host{sim, net, hp};
+  EXPECT_TRUE(host.reserve_memory(256));
+  EXPECT_TRUE(host.reserve_memory(256));
+  EXPECT_FALSE(host.reserve_memory(1));
+  host.release_memory(100);
+  EXPECT_EQ(host.free_memory_mb(), 100u);
+  EXPECT_TRUE(host.reserve_memory(100));
+}
+
+}  // namespace
+}  // namespace vmgrid::host

@@ -1,0 +1,165 @@
+// Isolation invariants (§2.2 "Security and isolation", "Administrator
+// privileges"): what one VM does must not leak into another VM or the
+// host beyond the resource-control envelope. These are behavioural
+// properties of the substrate, checked end to end.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "middleware/testbed.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid {
+namespace {
+
+using namespace middleware;
+
+struct IsolationFixture : ::testing::Test {
+  testbed::StartupTestbed tb{501};
+
+  vm::VirtualMachine* start_vm(const std::string& name, StateAccess access =
+                                                            StateAccess::kNonPersistentLocal) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm(name);
+    opts.image = testbed::paper_image();
+    opts.mode = VmStartMode::kWarmRestore;
+    opts.access = access;
+    opts.image_server_node = tb.images->node();
+    vm::VirtualMachine* out = nullptr;
+    tb.compute->instantiate(opts,
+                            [&](vm::VirtualMachine* v, InstantiationStats) { out = v; });
+    tb.grid->run();
+    return out;
+  }
+};
+
+TEST_F(IsolationFixture, WritesStayInThePrivateDiff) {
+  // Two non-persistent VMs of the same base image: one writes heavily to
+  // its virtual disk; the other's view of the shared base is untouched.
+  auto* writer = start_vm("writer");
+  auto* reader = start_vm("reader");
+  ASSERT_NE(writer, nullptr);
+  ASSERT_NE(reader, nullptr);
+
+  workload::TaskSpec dirty = workload::micro_test_task(5.0);
+  dirty.io_write_bytes = 64ull << 20;
+  dirty.phases = 8;
+  std::optional<vm::TaskResult> done;
+  writer->run_task(dirty, [&](vm::TaskResult r) { done = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(done && done->ok);
+
+  // The shared base image is pristine: every block still at version 0.
+  auto& fs = tb.compute->host().fs();
+  const auto base = testbed::paper_image().disk_file();
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    ASSERT_EQ(fs.block_version(base, b), 0u) << "base image block " << b << " dirtied";
+  }
+  // The writer's diff holds the writes; the reader's diff is empty.
+  EXPECT_GT(fs.size("writer.diff").value_or(0), 0u);
+  EXPECT_EQ(fs.size("reader.diff").value_or(0), 0u);
+}
+
+TEST_F(IsolationFixture, RootInOneGuestCannotTouchAnotherGuestsState) {
+  // "It is possible to grant root privileges to untrusted grid
+  // applications because the actions of malicious users are confined to
+  // their VMs": a guest's reachable storage is exactly its own VmStorage
+  // accessors. Verify the object graph enforces that: the two VMs share
+  // no accessor, and writes through one never bump versions in the
+  // other's diff namespace.
+  auto* a = start_vm("guest-a");
+  auto* b = start_vm("guest-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(&a->disk(), &b->disk());
+
+  workload::TaskSpec spec = workload::micro_test_task(2.0);
+  spec.io_write_bytes = 8ull << 20;
+  spec.phases = 4;
+  std::optional<vm::TaskResult> done;
+  a->run_task(spec, [&](vm::TaskResult r) { done = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(done && done->ok);
+  auto& fs = tb.compute->host().fs();
+  EXPECT_GT(fs.size("guest-a.diff").value_or(0), 0u);
+  EXPECT_EQ(fs.size("guest-b.diff").value_or(0), 0u);
+}
+
+TEST_F(IsolationFixture, ResourceControlBoundsCrossVmInterference) {
+  // A runaway guest saturating its VM cannot push a capped neighbour
+  // below its configured share.
+  auto* greedy = start_vm("greedy");
+  auto* victim = start_vm("victim");
+  ASSERT_NE(greedy, nullptr);
+  ASSERT_NE(victim, nullptr);
+
+  // The greedy VM runs unbounded background load.
+  greedy->play_load(host::LoadTrace::constant(sim::Duration::minutes(60), 4.0));
+
+  // The victim runs a measured task; on a dual-CPU host the GPS floor
+  // for 1-vs-many is its fair share, and the VMM contention model adds
+  // only bounded overhead.
+  auto spec = workload::micro_test_task(30.0);
+  std::optional<vm::TaskResult> result;
+  victim->run_task(spec, [&](vm::TaskResult r) { result = std::move(r); });
+  tb.grid->run_for(sim::Duration::minutes(10));
+  ASSERT_TRUE(result.has_value());
+  // GPS fairness is the isolation floor: the victim task competes with
+  // the greedy VM's 4 saturated guest processes on 2 CPUs, so its fair
+  // share is 2/5 of a CPU — it must get no less (modulo bounded VMM
+  // overhead), no matter how hard the neighbour pushes.
+  const double fair_share_wall = 30.0 / (2.0 / 5.0);
+  EXPECT_LT(result->wall.to_seconds(), fair_share_wall * 1.2);
+  EXPECT_GT(result->wall.to_seconds(), fair_share_wall * 0.9);
+}
+
+TEST_F(IsolationFixture, SharedImageCacheLeaksNoWriteData) {
+  // Two VFS-backed VMs share the host's L2 image cache for the read-only
+  // base — but writes bypass it into private local diffs, so cached
+  // base blocks never reflect one guest's writes.
+  auto* a = start_vm("vfs-a", StateAccess::kNonPersistentVfs);
+  auto* b = start_vm("vfs-b", StateAccess::kNonPersistentVfs);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  workload::TaskSpec w = workload::micro_test_task(2.0);
+  w.io_write_bytes = 4ull << 20;
+  w.phases = 2;
+  std::optional<vm::TaskResult> done;
+  a->run_task(w, [&](vm::TaskResult r) { done = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(done && done->ok);
+
+  // The image server's copy of the base is untouched.
+  auto& ifs = tb.images->fs();
+  const auto base = testbed::paper_image().disk_file();
+  for (std::uint64_t blk = 0; blk < 64; ++blk) {
+    ASSERT_EQ(ifs.block_version(base, blk), 0u);
+  }
+}
+
+TEST_F(IsolationFixture, VmCrashConfinement) {
+  // Destroying one VM mid-work (the "compromised guest gets killed"
+  // case) leaves the neighbour VM and its task untouched.
+  auto* doomed = start_vm("doomed");
+  auto* survivor = start_vm("survivor");
+  ASSERT_NE(doomed, nullptr);
+  ASSERT_NE(survivor, nullptr);
+
+  bool doomed_cb = false;
+  doomed->run_task(workload::micro_test_task(100.0),
+                   [&](vm::TaskResult) { doomed_cb = true; });
+  std::optional<vm::TaskResult> survivor_result;
+  survivor->run_task(workload::micro_test_task(20.0),
+                     [&](vm::TaskResult r) { survivor_result = std::move(r); });
+  tb.grid->run_for(sim::Duration::seconds(5));
+  tb.compute->destroy_vm(*doomed);
+  tb.grid->run();
+  EXPECT_FALSE(doomed_cb);  // aborted, never "completed"
+  ASSERT_TRUE(survivor_result.has_value());
+  EXPECT_TRUE(survivor_result->ok);
+}
+
+}  // namespace
+}  // namespace vmgrid

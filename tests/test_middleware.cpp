@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "middleware/gram.hpp"
+#include "middleware/testbed.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid::middleware {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Information service
+
+struct InfoFixture : ::testing::Test {
+  sim::Simulation sim{21};
+  InformationService info{sim};
+
+  HostRecord host_rec(const std::string& name, std::uint64_t free_mb = 512) {
+    HostRecord r;
+    r.name = name;
+    r.ncpus = 2;
+    r.memory_mb = 1024;
+    r.free_memory_mb = free_mb;
+    r.os = "linux";
+    return r;
+  }
+};
+
+TEST_F(InfoFixture, RegisterUpdateUnregister) {
+  info.register_host(host_rec("a"));
+  info.register_host(host_rec("b"));
+  EXPECT_EQ(info.host_count(), 2u);
+  info.update_host("a", 1.5, 100);
+  auto a = info.lookup_host("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->current_load, 1.5);
+  EXPECT_EQ(a->free_memory_mb, 100u);
+  info.register_host(host_rec("a", 999));  // re-register replaces
+  EXPECT_EQ(info.host_count(), 2u);
+  EXPECT_EQ(info.lookup_host("a")->free_memory_mb, 999u);
+  info.unregister_host("a");
+  EXPECT_EQ(info.host_count(), 1u);
+  EXPECT_FALSE(info.lookup_host("a").has_value());
+}
+
+TEST_F(InfoFixture, QueryFiltersByPredicate) {
+  for (int i = 0; i < 10; ++i) {
+    info.register_host(host_rec("h" + std::to_string(i), i < 4 ? 64 : 512));
+  }
+  std::optional<std::size_t> matches;
+  QueryOptions opts;
+  opts.time_bound = sim::Duration::seconds(1);  // enough to scan everything
+  opts.max_results = 100;
+  info.query_hosts([](const HostRecord& h) { return h.free_memory_mb >= 512; }, opts,
+                   [&](std::vector<HostRecord> out) { matches = out.size(); });
+  sim.run();
+  EXPECT_EQ(matches, std::optional<std::size_t>{6});
+}
+
+TEST_F(InfoFixture, TimeBoundYieldsPartialResults) {
+  for (int i = 0; i < 1000; ++i) info.register_host(host_rec("h" + std::to_string(i)));
+  QueryOptions tight;
+  tight.time_bound = sim::Duration::micros(250);  // ~10 records at 25us each
+  tight.max_results = 1000;
+  std::size_t partial = 0;
+  info.query_hosts([](const HostRecord&) { return true; }, tight,
+                   [&](std::vector<HostRecord> out) { partial = out.size(); });
+  sim.run();
+  EXPECT_GT(partial, 0u);
+  EXPECT_LE(partial, 12u);  // bounded, nowhere near all 1000
+}
+
+TEST_F(InfoFixture, QueryCostsSimulatedTime) {
+  for (int i = 0; i < 100; ++i) info.register_host(host_rec("h" + std::to_string(i)));
+  const auto t0 = sim.now();
+  QueryOptions opts;
+  opts.time_bound = sim::Duration::millis(10);
+  opts.max_results = 1000;
+  info.query_hosts([](const HostRecord&) { return true; }, opts,
+                   [](std::vector<HostRecord>) {});
+  sim.run();
+  EXPECT_GE((sim.now() - t0).to_seconds(), 100 * 25e-6 * 0.9);
+}
+
+TEST_F(InfoFixture, MaxResultsStopsScan) {
+  for (int i = 0; i < 50; ++i) info.register_host(host_rec("h" + std::to_string(i)));
+  QueryOptions opts;
+  opts.time_bound = sim::Duration::seconds(1);
+  opts.max_results = 3;
+  std::size_t n = 0;
+  info.query_hosts([](const HostRecord&) { return true; }, opts,
+                   [&](std::vector<HostRecord> out) { n = out.size(); });
+  sim.run();
+  EXPECT_EQ(n, 3u);
+}
+
+TEST_F(InfoFixture, PlacementJoinCrossesFilteredTables) {
+  VmFutureRecord f1{.host_name = "full", .max_instances = 2, .active_instances = 2};
+  VmFutureRecord f2{.host_name = "free", .max_instances = 2, .active_instances = 0,
+                    .max_memory_mb = 256};
+  info.register_future(f1);
+  info.register_future(f2);
+  ImageRecord linux_img;
+  linux_img.name = "rh7.2";
+  linux_img.os = "redhat-7.2";
+  ImageRecord w2k;
+  w2k.name = "w2k";
+  w2k.os = "windows-2000";
+  info.register_image(linux_img);
+  info.register_image(w2k);
+
+  QueryOptions opts;
+  opts.time_bound = sim::Duration::seconds(1);
+  std::vector<Placement> placements;
+  info.query_placements([](const VmFutureRecord&) { return true; },
+                        [](const ImageRecord& i) { return i.os == "redhat-7.2"; }, opts,
+                        [&](std::vector<Placement> p) { placements = std::move(p); });
+  sim.run();
+  ASSERT_EQ(placements.size(), 1u);  // saturated future filtered out
+  EXPECT_EQ(placements[0].future.host_name, "free");
+  EXPECT_EQ(placements[0].image.name, "rh7.2");
+}
+
+TEST_F(InfoFixture, VmRecordsLifecycle) {
+  info.register_vm(VmRecord{"vm1", "hostA", "alice", "running", {}});
+  EXPECT_EQ(info.vm_count(), 1u);
+  info.update_vm_state("vm1", "suspended");
+  EXPECT_EQ(info.lookup_vm("vm1")->state, "suspended");
+  info.unregister_vm("vm1");
+  EXPECT_EQ(info.vm_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GridFTP
+
+TEST(GridFtpTest, StagesWholeFileAcrossWan) {
+  testbed::WideAreaTestbed tb{31};
+  auto& g = *tb.grid;
+  tb.images->fs().create("dataset", 8ull << 20);
+  std::optional<StagingResult> result;
+  g.ftp().transfer(tb.images->fs(), tb.images->node(), "dataset",
+                   tb.compute->host().fs(), tb.compute->node(), "dataset",
+                   [&](StagingResult r) { result = std::move(r); });
+  g.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->bytes, 8ull << 20);
+  EXPECT_TRUE(tb.compute->host().fs().exists("dataset"));
+  // 8 MiB over a 2.5 MB/s WAN: at least ~3.3 s.
+  EXPECT_GT(result->elapsed.to_seconds(), 3.0);
+}
+
+TEST(GridFtpTest, MissingSourceFails) {
+  testbed::WideAreaTestbed tb{32};
+  auto& g = *tb.grid;
+  std::optional<StagingResult> result;
+  g.ftp().transfer(tb.images->fs(), tb.images->node(), "ghost", tb.compute->host().fs(),
+                   tb.compute->node(), "ghost", [&](StagingResult r) { result = r; });
+  g.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+}
+
+TEST(GridFtpTest, ParallelStreamsBeatSingleStream) {
+  auto run_with = [](std::uint32_t streams) {
+    testbed::WideAreaTestbed tb{33};
+    auto& g = *tb.grid;
+    tb.images->fs().create("big", 16ull << 20);
+    GridFtpParams p;
+    p.parallel_streams = streams;
+    double elapsed = -1;
+    g.ftp().transfer(tb.images->fs(), tb.images->node(), "big",
+                     tb.compute->host().fs(), tb.compute->node(), "big", p,
+                     [&](StagingResult r) { elapsed = r.elapsed.to_seconds(); });
+    g.run();
+    return elapsed;
+  };
+  // The WAN pipe is the bottleneck either way, but parallel streams hide
+  // the per-chunk disk + latency gaps.
+  EXPECT_LT(run_with(4), run_with(1));
+}
+
+// ---------------------------------------------------------------------------
+// GRAM
+
+TEST(GramTest, GlobusrunChargesAuthAndJobmanager) {
+  testbed::StartupTestbed tb{41};
+  auto& g = *tb.grid;
+  tb.compute->gram().set_executor([](const std::string& rsl,
+                                     GramService::ExecutorDone done) {
+    done(true, "ran:" + rsl);
+  });
+  GramClient client{g.fabric(), tb.client};
+  std::optional<GramJobResult> result;
+  client.globusrun(tb.compute->node(), "echo", [&](GramJobResult r) { result = r; });
+  g.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->output, "ran:echo");
+  // Auth (1.4s) + jobmanager (1.1s) + RPC overheads.
+  EXPECT_GT(result->elapsed.to_seconds(), 2.5);
+  EXPECT_LT(result->elapsed.to_seconds(), 4.5);
+  EXPECT_EQ(tb.compute->gram().jobs_run(), 1u);
+}
+
+TEST(GramTest, NoExecutorFailsCleanly) {
+  testbed::StartupTestbed tb{42};
+  auto& g = *tb.grid;
+  GramClient client{g.fabric(), tb.client};
+  std::optional<GramJobResult> result;
+  client.globusrun(tb.compute->node(), "x", [&](GramJobResult r) { result = r; });
+  g.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("no executor"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ComputeServer instantiation paths
+
+struct InstantiateFixture : ::testing::Test {
+  testbed::StartupTestbed tb{51};
+
+  InstantiationStats instantiate(VmStartMode mode, StateAccess access,
+                                 vm::VirtualMachine** vm_out = nullptr) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm("t-vm");
+    opts.image = testbed::paper_image();
+    opts.mode = mode;
+    opts.access = access;
+    opts.image_server_node = tb.images->node();
+    std::optional<InstantiationStats> stats;
+    tb.compute->instantiate(opts, [&](vm::VirtualMachine* v, InstantiationStats s) {
+      stats = s;
+      if (vm_out != nullptr) *vm_out = v;
+    });
+    tb.grid->run();
+    return *stats;
+  }
+};
+
+TEST_F(InstantiateFixture, DiskFsRestoreIsFastest) {
+  vm::VirtualMachine* vmachine = nullptr;
+  const auto s = instantiate(VmStartMode::kWarmRestore, StateAccess::kNonPersistentLocal,
+                             &vmachine);
+  EXPECT_TRUE(s.ok);
+  ASSERT_NE(vmachine, nullptr);
+  EXPECT_EQ(vmachine->state(), vm::VmPowerState::kRunning);
+  EXPECT_LT(s.total.to_seconds(), 20.0);
+}
+
+TEST_F(InstantiateFixture, PersistentCopyChargesFullDiskCopy) {
+  const auto s = instantiate(VmStartMode::kWarmRestore, StateAccess::kPersistentCopy);
+  EXPECT_TRUE(s.ok);
+  EXPECT_GT(s.state_preparation.to_seconds(), 150.0);  // 2 GiB through one spindle
+  EXPECT_TRUE(tb.compute->host().fs().exists("t-vm.disk"));
+}
+
+TEST(InstantiatePaths, LoopbackSlowerThanDiskFs) {
+  auto run = [](StateAccess access) {
+    testbed::StartupTestbed tb{52};
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm("t-vm");
+    opts.image = testbed::paper_image();
+    opts.mode = VmStartMode::kWarmRestore;
+    opts.access = access;
+    std::optional<InstantiationStats> stats;
+    tb.compute->instantiate(opts,
+                            [&](vm::VirtualMachine*, InstantiationStats s) { stats = s; });
+    tb.grid->run();
+    return stats->total.to_seconds();
+  };
+  const double diskfs = run(StateAccess::kNonPersistentLocal);
+  const double loopback = run(StateAccess::kNonPersistentLoopback);
+  EXPECT_GT(loopback, diskfs + 5.0);   // per-RPC stack cost on 16k block reads
+  EXPECT_LT(loopback, diskfs + 40.0);  // but nowhere near a disk copy
+}
+
+TEST_F(InstantiateFixture, VfsPathWorksWithoutLocalImage) {
+  // Wipe the preloaded image from the host: VFS path must still work.
+  tb.compute->host().fs().remove(testbed::paper_image().disk_file());
+  tb.compute->host().fs().remove(testbed::paper_image().memory_file());
+  vm::VirtualMachine* vmachine = nullptr;
+  const auto s =
+      instantiate(VmStartMode::kWarmRestore, StateAccess::kNonPersistentVfs, &vmachine);
+  EXPECT_TRUE(s.ok);
+  ASSERT_NE(vmachine, nullptr);
+  EXPECT_EQ(vmachine->state(), vm::VmPowerState::kRunning);
+}
+
+TEST_F(InstantiateFixture, LocalPathFailsWithoutImage) {
+  tb.compute->host().fs().remove(testbed::paper_image().disk_file());
+  const auto s = instantiate(VmStartMode::kColdBoot, StateAccess::kNonPersistentLocal);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.error.find("image not on local disk"), std::string::npos);
+}
+
+TEST_F(InstantiateFixture, PublishedFutureTracksInstances) {
+  tb.compute->publish(tb.grid->info());
+  instantiate(VmStartMode::kWarmRestore, StateAccess::kNonPersistentLocal);
+  QueryOptions opts;
+  opts.time_bound = sim::Duration::seconds(1);
+  std::optional<std::uint32_t> active;
+  tb.grid->info().query_futures([](const VmFutureRecord&) { return true; }, opts,
+                                [&](std::vector<VmFutureRecord> f) {
+                                  if (!f.empty()) active = f[0].active_instances;
+                                });
+  tb.grid->run();
+  EXPECT_EQ(active, std::optional<std::uint32_t>{1});
+}
+
+// ---------------------------------------------------------------------------
+// Sessions (the §4 lifecycle end to end)
+
+struct SessionFixture : ::testing::Test {
+  testbed::WideAreaTestbed tb{61};
+
+  SessionFixture() { tb.compute->publish(tb.grid->info()); }
+
+  VmSession* create(SessionRequest req) {
+    VmSession* out = nullptr;
+    std::string error;
+    tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, std::string e) {
+      out = s;
+      error = std::move(e);
+    });
+    tb.grid->run();
+    EXPECT_TRUE(out != nullptr) << error;
+    return out;
+  }
+};
+
+TEST_F(SessionFixture, SixStepLifecycleProducesRunningVm) {
+  SessionRequest req;
+  req.user = "alice";
+  req.os = "redhat-7.2";
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* s = create(std::move(req));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->machine().state(), vm::VmPowerState::kRunning);
+  EXPECT_TRUE(s->ip().valid());            // step 4: DHCP identity
+  EXPECT_EQ(&s->server(), tb.compute);     // placed on the only future
+  EXPECT_EQ(tb.grid->sessions().active_sessions(), 1u);
+  EXPECT_TRUE(tb.grid->info().lookup_vm(s->name()).has_value());
+  EXPECT_EQ(tb.grid->accounting().usage("alice").vms_instantiated, 1u);
+  s->shutdown();
+  EXPECT_EQ(tb.grid->sessions().active_sessions(), 0u);
+  EXPECT_FALSE(tb.grid->info().lookup_vm("vm-alice-1").has_value());
+}
+
+TEST_F(SessionFixture, TasksAreAccountedToOwner) {
+  SessionRequest req;
+  req.user = "bob";
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* s = create(std::move(req));
+  ASSERT_NE(s, nullptr);
+  std::optional<vm::TaskResult> result;
+  s->run_task(workload::micro_test_task(10.0),
+              [&](vm::TaskResult r) { result = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(result.has_value());
+  const auto usage = tb.grid->accounting().usage("bob");
+  EXPECT_EQ(usage.tasks_completed, 1u);
+  EXPECT_GT(usage.cpu_seconds, 9.9);
+  s->shutdown();
+}
+
+TEST_F(SessionFixture, NoPlacementYieldsError) {
+  SessionRequest req;
+  req.user = "carol";
+  req.os = "windows-2000";  // no such image registered
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* out = nullptr;
+  std::string error;
+  tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, std::string e) {
+    out = s;
+    error = std::move(e);
+  });
+  tb.grid->run();
+  EXPECT_EQ(out, nullptr);
+  EXPECT_NE(error.find("no suitable"), std::string::npos);
+}
+
+TEST_F(SessionFixture, DataServerMountEstablished) {
+  tb.data->add_user_file("dave", "input.dat", 4 << 20);
+  SessionRequest req;
+  req.user = "dave";
+  req.data_server = tb.data;
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* s = create(std::move(req));
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->data_mount(), nullptr);
+  std::optional<vfs::VfsIoStats> io;
+  s->data_mount()->proxy().read(DataServer::user_path("dave", "input.dat"), 0, 1 << 20,
+                                [&](vfs::VfsIoStats st) { io = st; });
+  tb.grid->run();
+  ASSERT_TRUE(io.has_value());
+  EXPECT_TRUE(io->ok);
+  s->shutdown();
+}
+
+TEST_F(SessionFixture, MigrationKeepsSessionAlive) {
+  auto& target = tb.grid->add_compute_server(
+      testbed::paper_compute("nwu-compute-2", testbed::table1_host()));
+  tb.grid->connect(target.node(), tb.nwu_router, Grid::lan_link());
+  target.publish(tb.grid->info());
+
+  SessionRequest req;
+  req.user = "erin";
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* s = create(std::move(req));
+  ASSERT_NE(s, nullptr);
+  ComputeServer* original = &s->server();
+
+  std::optional<bool> migrated;
+  s->migrate_to(original == &target ? *tb.compute : target,
+                [&](bool ok) { migrated = ok; });
+  tb.grid->run();
+  ASSERT_TRUE(migrated.has_value());
+  EXPECT_TRUE(*migrated);
+  EXPECT_NE(&s->server(), original);
+  EXPECT_EQ(s->machine().state(), vm::VmPowerState::kRunning);
+  EXPECT_TRUE(s->ip().valid());
+
+  // The session still runs tasks after the move.
+  std::optional<vm::TaskResult> result;
+  s->run_task(workload::micro_test_task(5.0),
+              [&](vm::TaskResult r) { result = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  s->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+TEST(AccountingTest, AggregatesPerUser) {
+  Accounting acct;
+  acct.charge_cpu("u1", 10.0);
+  acct.charge_cpu("u1", 5.0);
+  acct.charge_transfer("u1", 1000);
+  acct.charge_io("u2", 7);
+  acct.count_vm("u2");
+  acct.count_task("u1");
+  acct.charge_vm_time("u2", sim::Duration::seconds(30));
+  EXPECT_DOUBLE_EQ(acct.usage("u1").cpu_seconds, 15.0);
+  EXPECT_EQ(acct.usage("u1").bytes_transferred, 1000u);
+  EXPECT_EQ(acct.usage("u1").tasks_completed, 1u);
+  EXPECT_EQ(acct.usage("u2").io_rpcs, 7u);
+  EXPECT_EQ(acct.usage("u2").vms_instantiated, 1u);
+  EXPECT_DOUBLE_EQ(acct.usage("u2").vm_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(acct.usage("nobody").cpu_seconds, 0.0);
+  const auto report = acct.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].first, "u1");
+}
+
+}  // namespace
+}  // namespace vmgrid::middleware

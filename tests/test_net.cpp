@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/dhcp.hpp"
+#include "net/network.hpp"
+#include "net/overlay.hpp"
+#include "net/rpc.hpp"
+#include "net/tunnel.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulation sim{1};
+  Network net{sim};
+};
+
+TEST_F(NetFixture, SingleHopTransferTiming) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e6});
+  std::optional<sim::Duration> elapsed;
+  net.send(a, b, 1'000'000, [&](const TransferResult& r) { elapsed = r.elapsed; });
+  sim.run();
+  ASSERT_TRUE(elapsed.has_value());
+  // 1 MB at 1 MB/s + 10 ms propagation.
+  EXPECT_NEAR(elapsed->to_seconds(), 1.01, 1e-6);
+}
+
+TEST_F(NetFixture, MultiHopStoreAndForward) {
+  auto a = net.add_node("a");
+  auto r = net.add_node("r");
+  auto b = net.add_node("b");
+  net.add_link(a, r, LinkParams{sim::Duration::millis(5), 1e6});
+  net.add_link(r, b, LinkParams{sim::Duration::millis(5), 1e6});
+  double elapsed = -1;
+  net.send(a, b, 1'000'000, [&](const TransferResult& res) {
+    elapsed = res.elapsed.to_seconds();
+  });
+  sim.run();
+  EXPECT_NEAR(elapsed, 2.01, 1e-6);
+}
+
+TEST_F(NetFixture, RoutingPrefersLowLatencyPath) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto c = net.add_node("c");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(100), 1e7});  // slow direct
+  net.add_link(a, c, LinkParams{sim::Duration::millis(10), 1e7});
+  net.add_link(c, b, LinkParams{sim::Duration::millis(10), 1e7});
+  // Detour a->c->b (20ms) beats direct (100ms).
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 0.04, 1e-9);
+  double elapsed = -1;
+  net.send(a, b, 0, [&](const TransferResult& r) { elapsed = r.elapsed.to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(elapsed, 0.02, 1e-6);
+  EXPECT_EQ(net.link_bytes(a, b), 0u);
+}
+
+TEST_F(NetFixture, FifoCongestionDelaysSecondTransfer) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(1), 1e6});
+  double first = -1, second = -1;
+  net.send(a, b, 1'000'000, [&](const TransferResult& r) { first = r.elapsed.to_seconds(); });
+  net.send(a, b, 1'000'000, [&](const TransferResult& r) { second = r.elapsed.to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(first, 1.001, 1e-6);
+  EXPECT_NEAR(second, 2.001, 1e-6);  // queued behind the first
+}
+
+TEST_F(NetFixture, UnreachableThrowsAndReachableReports) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto island = net.add_node("island");
+  net.add_link(a, b, LinkParams{});
+  EXPECT_TRUE(net.reachable(a, b));
+  EXPECT_FALSE(net.reachable(a, island));
+  EXPECT_THROW(net.send(a, island, 100, [](const TransferResult&) {}),
+               std::logic_error);
+}
+
+TEST_F(NetFixture, EstimateLatencyReflectsBacklog) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(1), 1e6});
+  const auto idle = net.estimate_latency(a, b, 1000);
+  net.send(a, b, 5'000'000, [](const TransferResult&) {});
+  const auto busy = net.estimate_latency(a, b, 1000);
+  EXPECT_GT(busy, idle + sim::Duration::seconds(4.9));
+  sim.run();
+}
+
+TEST_F(NetFixture, LinkBytesAccounting) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{});
+  net.send(a, b, 1234, [](const TransferResult&) {});
+  net.send(b, a, 10, [](const TransferResult&) {});
+  sim.run();
+  EXPECT_EQ(net.link_bytes(a, b), 1234u);
+  EXPECT_EQ(net.link_bytes(b, a), 10u);
+}
+
+struct RpcFixture : NetFixture {
+  NodeId client = net.add_node("client");
+  NodeId server_node = net.add_node("server");
+  RpcFabric fabric{net};
+
+  RpcFixture() {
+    net.add_link(client, server_node, LinkParams{sim::Duration::millis(2), 1e7});
+  }
+};
+
+TEST_F(RpcFixture, EchoRoundTrip) {
+  RpcServer server{fabric, server_node, RpcServerParams{sim::Duration::micros(100)}};
+  server.register_method("echo", [](const RpcRequest& req, RpcResponder respond) {
+    respond(RpcResponse{.ok = true,
+                        .error = {},
+                        .response_bytes = 256,
+                        .payload = req.payload});
+  });
+  std::optional<int> got;
+  fabric.call(client, server_node, RpcRequest{"echo", 128, 42},
+              [&](RpcResponse resp) {
+                ASSERT_TRUE(resp.ok);
+                got = std::any_cast<int>(resp.payload);
+              });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(server.calls_served(), 1u);
+  // Two 2ms propagation legs + server overhead: at least 4.1ms of sim time.
+  EXPECT_GT(sim.now().to_seconds(), 0.0041);
+}
+
+TEST_F(RpcFixture, UnknownMethodFailsGracefully) {
+  RpcServer server{fabric, server_node};
+  bool failed = false;
+  fabric.call(client, server_node, RpcRequest{"nope", 64, {}}, [&](RpcResponse resp) {
+    failed = !resp.ok;
+    EXPECT_NE(resp.error.find("no such method"), std::string::npos);
+  });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(RpcFixture, UnboundNodeRefusesConnection) {
+  bool refused = false;
+  fabric.call(client, server_node, RpcRequest{"x", 64, {}}, [&](RpcResponse resp) {
+    refused = !resp.ok && resp.error == "connection refused";
+  });
+  sim.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(RpcFixture, DuplicateMethodRegistrationThrows) {
+  RpcServer server{fabric, server_node};
+  server.register_method("m", [](const RpcRequest&, RpcResponder r) { r({}); });
+  EXPECT_THROW(server.register_method("m", [](const RpcRequest&, RpcResponder r) { r({}); }),
+               std::logic_error);
+}
+
+TEST_F(NetFixture, DhcpLeasesDistinctAddressesAndExhausts) {
+  auto srv = net.add_node("dhcp");
+  auto c1 = net.add_node("c1");
+  net.add_link(srv, c1, LinkParams{sim::Duration::micros(100), 1e7});
+  DhcpServer dhcp{net, srv, IpAddress::from_octets(10, 0, 0, 10), 2};
+  std::vector<std::optional<IpAddress>> leases;
+  for (int i = 0; i < 3; ++i) {
+    dhcp.request_lease(c1, [&](std::optional<IpAddress> ip) { leases.push_back(ip); });
+  }
+  sim.run();
+  ASSERT_EQ(leases.size(), 3u);
+  ASSERT_TRUE(leases[0].has_value());
+  ASSERT_TRUE(leases[1].has_value());
+  EXPECT_NE(*leases[0], *leases[1]);
+  EXPECT_FALSE(leases[2].has_value());  // pool exhausted
+  dhcp.release(*leases[0]);
+  std::optional<IpAddress> again;
+  dhcp.request_lease(c1, [&](std::optional<IpAddress> ip) { again = ip; });
+  sim.run();
+  EXPECT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *leases[0]);
+}
+
+TEST_F(NetFixture, TunnelChargesEncapsulationAndCrypto) {
+  auto gw = net.add_node("gw");
+  auto remote = net.add_node("remote");
+  net.add_link(gw, remote, LinkParams{sim::Duration::millis(20), 1e6});
+  EthernetTunnel tun{net, gw, remote};
+  EXPECT_EQ(tun.wire_bytes(1500), 1500u + 90u);
+  EXPECT_EQ(tun.wire_bytes(1501), 1501u + 180u);
+  EXPECT_THROW(tun.send(true, 100, [](const TransferResult&) {}), std::logic_error);
+  bool ready = false;
+  tun.establish([&] { ready = true; });
+  sim.run();
+  EXPECT_TRUE(ready);
+  double direct = -1, tunneled = -1;
+  net.send(gw, remote, 100'000, [&](const TransferResult& r) { direct = r.elapsed.to_seconds(); });
+  sim.run();
+  tun.send(true, 100'000, [&](const TransferResult& r) { tunneled = r.elapsed.to_seconds(); });
+  sim.run();
+  EXPECT_GT(tunneled, direct);  // encapsulation + cipher cost
+}
+
+TEST_F(NetFixture, OverlayReroutesAroundCongestion) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto c = net.add_node("c");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e7});
+  net.add_link(a, c, LinkParams{sim::Duration::millis(8), 1e7});
+  net.add_link(c, b, LinkParams{sim::Duration::millis(8), 1e7});
+  OverlayNetwork overlay{net, {a, b, c}};
+  overlay.start();
+  sim.run_for(sim::Duration::seconds(1));
+  // Healthy direct path: overlay goes a->b.
+  EXPECT_EQ(overlay.current_path(a, b).size(), 2u);
+  // Degrade the direct link badly; probes should discover the detour.
+  net.set_link(a, b, LinkParams{sim::Duration::millis(500), 1e5});
+  sim.run_for(sim::Duration::seconds(10));
+  const auto path = overlay.current_path(a, b);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], c);
+  double elapsed = -1;
+  overlay.send(a, b, 1000, [&](const TransferResult& r) { elapsed = r.elapsed.to_seconds(); });
+  sim.run_for(sim::Duration::seconds(1));
+  EXPECT_LT(elapsed, 0.05);  // detour, not the 500 ms link
+  overlay.stop();
+}
+
+TEST_F(NetFixture, OverlayProbeRoundsAdvance) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{});
+  OverlayNetwork overlay{net, {a, b}, OverlayParams{sim::Duration::seconds(1), 64, 0.5}};
+  overlay.start();
+  sim.run_for(sim::Duration::seconds(5.5));
+  EXPECT_GE(overlay.probe_rounds(), 5u);
+  overlay.stop();
+  const auto rounds = overlay.probe_rounds();
+  sim.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(overlay.probe_rounds(), rounds);
+}
+
+TEST(IpAddress, Formatting) {
+  EXPECT_EQ(IpAddress::from_octets(192, 168, 1, 42).to_string(), "192.168.1.42");
+  EXPECT_FALSE(IpAddress{}.valid());
+}
+
+}  // namespace
+}  // namespace vmgrid::net

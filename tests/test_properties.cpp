@@ -1,0 +1,199 @@
+// Property-style sweeps over core invariants: GPS work conservation for
+// every scheduler, COW disk behaviour against a reference model, cache
+// behaviour against a reference model, and event-queue ordering under
+// random schedule/cancel interleavings.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "host/cpu_engine.hpp"
+#include "host/schedulers.hpp"
+#include "sim/simulation.hpp"
+#include "vfs/block_cache.hpp"
+#include "vm/vm_disk.hpp"
+
+namespace vmgrid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GPS work conservation across schedulers
+
+struct SchedulerCase {
+  const char* name;
+  std::function<std::unique_ptr<host::Scheduler>()> make;
+};
+
+class WorkConservation
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+std::unique_ptr<host::Scheduler> make_scheduler(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<host::FairShareScheduler>();
+    case 1: return std::make_unique<host::LotteryScheduler>();
+    case 2: return std::make_unique<host::WfqScheduler>();
+    case 3: return std::make_unique<host::PriorityScheduler>();
+    default: return std::make_unique<host::RealTimeScheduler>();
+  }
+}
+
+TEST_P(WorkConservation, TotalCpuEqualsMinOfCapacityAndDemand) {
+  const auto [kind, ncpus, nprocs] = GetParam();
+  sim::Simulation sim{static_cast<std::uint64_t>(kind * 100 + nprocs)};
+  host::CpuEngine engine{sim, ncpus, make_scheduler(kind)};
+  std::vector<host::ProcessId> pids;
+  double total_demand = 0.0;
+  for (int i = 0; i < nprocs; ++i) {
+    host::SchedAttrs attrs;
+    attrs.weight = 1.0 + (i % 3);
+    attrs.tickets = 50u + 25u * static_cast<std::uint32_t>(i % 4);
+    attrs.nice = (i % 5) - 2;
+    attrs.reservation = (i % 2) ? 0.2 : 0.0;
+    attrs.demand_cap = (i % 4 == 0) ? 0.5 : 1.0;
+    total_demand += std::min(1.0, attrs.demand_cap);
+    pids.push_back(engine.add("p" + std::to_string(i), attrs,
+                              host::CpuEngine::kInfiniteWork));
+  }
+  const double horizon = 20.0;
+  sim.run_until(sim::TimePoint::from_seconds(horizon));
+  double used = 0.0;
+  for (auto id : pids) {
+    const double u = engine.cpu_time_used(id);
+    EXPECT_GE(u, -1e-9);
+    EXPECT_LE(u, horizon + 1e-6);  // nobody exceeds one CPU
+    used += u;
+  }
+  // Work conservation: all capacity is used up to total demand.
+  EXPECT_NEAR(used, std::min(ncpus, total_demand) * horizon, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkConservation,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),   // scheduler kind
+                       ::testing::Values(1.0, 2.0, 4.0),   // ncpus
+                       ::testing::Values(1, 3, 7)));       // process count
+
+// ---------------------------------------------------------------------------
+// COW disk vs reference model
+
+class CowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CowProperty, MatchesReferenceModelUnderRandomOps) {
+  sim::Simulation sim{GetParam()};
+  storage::Disk disk{sim, {}};
+  storage::LocalFileSystem fs{sim, disk};
+  const std::uint64_t file_blocks = 64;
+  fs.create("base", storage::kBlockSize * file_blocks);
+  fs.create("diff", 0);
+  vm::CowDisk cow{vm::make_local_accessor(fs, "base"),
+                  vm::make_local_accessor(fs, "diff")};
+
+  std::set<std::uint64_t> reference_diff;
+  auto& rng = sim.rng();
+  for (int op = 0; op < 200; ++op) {
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<int>(file_blocks) - 1));
+    const std::uint64_t count = static_cast<std::uint64_t>(rng.uniform_int(1, 6));
+    const std::uint64_t last = std::min(first + count, file_blocks);
+    const std::uint64_t offset = first * storage::kBlockSize;
+    const std::uint64_t len = (last - first) * storage::kBlockSize;
+    if (rng.bernoulli(0.4)) {
+      cow.write(offset, len, [](vm::VmIoStats s) { EXPECT_TRUE(s.ok); });
+      for (std::uint64_t b = first; b < last; ++b) reference_diff.insert(b);
+    } else {
+      cow.read(offset, len, [len](vm::VmIoStats s) {
+        EXPECT_TRUE(s.ok);
+        EXPECT_EQ(s.bytes, len);
+      });
+    }
+    sim.run();
+    ASSERT_EQ(cow.diff_block_count(), reference_diff.size());
+  }
+  // Every written block must be version>=1 in the diff file's namespace;
+  // base remains untouched.
+  for (std::uint64_t b = 0; b < file_blocks; ++b) {
+    EXPECT_EQ(fs.block_version("base", b), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowProperty, ::testing::Values(1, 7, 42, 1337));
+
+// ---------------------------------------------------------------------------
+// Block cache vs reference model
+
+class CacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheProperty, NeverExceedsCapacityAndTracksContents) {
+  sim::Rng rng{GetParam()};
+  const std::size_t capacity = 16;
+  vfs::BlockCache cache{capacity};
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> reference;
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::string file = "f" + std::to_string(rng.uniform_int(0, 2));
+    const auto block = static_cast<std::uint64_t>(rng.uniform_int(0, 39));
+    const int action = static_cast<int>(rng.uniform_int(0, 2));
+    if (action == 0) {
+      const auto version = static_cast<std::uint64_t>(rng.uniform_int(1, 9));
+      cache.insert(file, block, version);
+      reference[{file, block}] = version;
+    } else if (action == 1) {
+      const auto got = cache.lookup(file, block);
+      if (got) {
+        // A hit must return the version most recently inserted.
+        auto it = reference.find({file, block});
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {
+      cache.invalidate(file, block);
+      reference.erase({file, block});
+    }
+    ASSERT_LE(cache.size(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty, ::testing::Values(2, 9, 77, 2024));
+
+// ---------------------------------------------------------------------------
+// Event queue ordering under random cancel interleavings
+
+class QueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueProperty, FiringOrderIsNondecreasingAndCancelsHold) {
+  sim::Simulation sim{GetParam()};
+  auto& rng = sim.rng();
+  std::vector<sim::EventId> ids;
+  std::set<std::uint64_t> cancelled;
+  std::vector<double> fired_at;
+  int fired_cancelled = 0;
+
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    const auto id = sim.schedule_at(sim::TimePoint::from_seconds(t), [&, i] {
+      fired_at.push_back(sim.now().to_seconds());
+      if (cancelled.contains(static_cast<std::uint64_t>(i))) ++fired_cancelled;
+    });
+    ids.push_back(id);
+  }
+  for (int i = 0; i < 150; ++i) {
+    const auto victim = static_cast<std::size_t>(rng.uniform_int(0, 499));
+    sim.cancel(ids[victim]);
+    cancelled.insert(victim);
+  }
+  sim.run();
+  // Cancelled events (cancelled before run) never fire...
+  EXPECT_EQ(fired_cancelled, 0);
+  // ...the rest fire exactly once, in nondecreasing time order.
+  EXPECT_EQ(fired_at.size(), 500 - cancelled.size());
+  for (std::size_t i = 1; i < fired_at.size(); ++i) {
+    EXPECT_LE(fired_at[i - 1], fired_at[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty, ::testing::Values(3, 11, 99, 31337));
+
+}  // namespace
+}  // namespace vmgrid

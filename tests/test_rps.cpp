@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "host/schedulers.hpp"
+#include "host/trace_playback.hpp"
+#include "rps/predictors.hpp"
+#include "rps/runtime_predictor.hpp"
+#include "rps/sensor.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::rps {
+namespace {
+
+TimeSeries series_from(const std::vector<double>& xs) {
+  TimeSeries s{xs.size() + 2};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    s.append(sim::TimePoint::from_seconds(static_cast<double>(i)), xs[i]);
+  }
+  return s;
+}
+
+TEST(TimeSeriesTest, AppendTailAndMoments) {
+  auto s = series_from({1, 2, 3, 4});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.last(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  const auto tail = s.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(tail[0], 3.0);
+  EXPECT_DOUBLE_EQ(tail[1], 4.0);
+  EXPECT_GT(s.variance(), 0.0);
+}
+
+TEST(TimeSeriesTest, CapacityEvictsOldestHalf) {
+  TimeSeries s{8};
+  for (int i = 0; i < 20; ++i) {
+    s.append(sim::TimePoint::from_seconds(i), static_cast<double>(i));
+  }
+  EXPECT_LE(s.size(), 8u);
+  EXPECT_DOUBLE_EQ(s.last(), 19.0);
+}
+
+TEST(TimeSeriesTest, AutocovarianceOfConstantIsZero) {
+  auto s = series_from({5, 5, 5, 5, 5});
+  EXPECT_NEAR(s.autocovariance(0), 0.0, 1e-12);
+  EXPECT_NEAR(s.autocovariance(1), 0.0, 1e-12);
+}
+
+TEST(Predictors, LastValueTracksCurrent) {
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(series_from({1, 2, 9}), 1), 9.0);
+}
+
+TEST(Predictors, MovingAverageSmooths) {
+  MovingAveragePredictor p{4};
+  EXPECT_DOUBLE_EQ(p.predict(series_from({0, 0, 4, 4, 4, 4}), 1), 4.0);
+  EXPECT_DOUBLE_EQ(p.predict(series_from({8, 0, 0, 0, 0}), 1), 0.0);
+}
+
+TEST(Predictors, EwmaWeighsRecentMore) {
+  EwmaPredictor p{0.5};
+  const double est = p.predict(series_from({0, 0, 0, 0, 10}), 1);
+  EXPECT_GT(est, 4.0);
+  EXPECT_LT(est, 10.0);
+}
+
+TEST(Predictors, ArFitRecoversAr1Coefficient) {
+  // Synthesize AR(1) with phi = 0.8.
+  sim::Rng rng{13};
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    x = 0.8 * x + rng.normal(0.0, 1.0);
+    xs.push_back(x);
+  }
+  ArPredictor p{1};
+  const auto coef = p.fit(series_from(xs));
+  ASSERT_EQ(coef.size(), 1u);
+  EXPECT_NEAR(coef[0], 0.8, 0.05);
+}
+
+TEST(Predictors, ArBeatsMeanOnCorrelatedLoad) {
+  sim::Rng rng{14};
+  std::vector<double> xs;
+  double x = 1.0;
+  for (int i = 0; i < 3000; ++i) {
+    x = 1.0 + 0.95 * (x - 1.0) + rng.normal(0.0, 0.1);
+    xs.push_back(std::max(0.0, x));
+  }
+  ArPredictor ar{8};
+  MovingAveragePredictor ma{64};
+  EXPECT_LT(evaluate_mse(ar, xs), evaluate_mse(ma, xs));
+}
+
+TEST(Predictors, LastIsStrongOnSelfSimilarLoad) {
+  // Dinda's well-known result: LAST is hard to beat at one-step horizon.
+  sim::Rng rng{15};
+  std::vector<double> xs;
+  double x = 0.5;
+  for (int i = 0; i < 2000; ++i) {
+    x = 0.5 + 0.98 * (x - 0.5) + rng.normal(0.0, 0.05);
+    xs.push_back(std::max(0.0, x));
+  }
+  LastValuePredictor last;
+  MovingAveragePredictor ma{128};
+  EXPECT_LT(evaluate_mse(last, xs), evaluate_mse(ma, xs));
+}
+
+TEST(Predictors, EmptySeriesPredictZero) {
+  TimeSeries s{4};
+  EXPECT_DOUBLE_EQ(LastValuePredictor{}.predict(s, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ArPredictor{4}.predict(s, 1), 0.0);
+  EXPECT_DOUBLE_EQ(EwmaPredictor{}.predict(s, 1), 0.0);
+}
+
+TEST(SensorTest, SamplesEngineDemandPeriodically) {
+  sim::Simulation sim{16};
+  host::CpuEngine engine{sim, 2.0, std::make_unique<host::FairShareScheduler>()};
+  HostLoadSensor sensor{sim, engine, sim::Duration::seconds(1)};
+  sensor.start();
+  engine.add("bg", {}, host::CpuEngine::kInfiniteWork);
+  sim.run_until(sim::TimePoint::from_seconds(10.5));
+  sensor.stop();
+  EXPECT_GE(sensor.series().size(), 10u);
+  EXPECT_DOUBLE_EQ(sensor.series().last(), 1.0);
+  const auto n = sensor.series().size();
+  sim.run_until(sim::TimePoint::from_seconds(20));
+  EXPECT_EQ(sensor.series().size(), n);  // stopped
+}
+
+TEST(SensorTest, OnSampleHookFires) {
+  sim::Simulation sim{17};
+  host::CpuEngine engine{sim, 1.0, std::make_unique<host::FairShareScheduler>()};
+  HostLoadSensor sensor{sim, engine, sim::Duration::seconds(1)};
+  int called = 0;
+  sensor.set_on_sample([&](double) { ++called; });
+  sensor.start();
+  sim.run_until(sim::TimePoint::from_seconds(5.5));
+  EXPECT_GE(called, 5);
+}
+
+TEST(RuntimePredictorTest, SharesAndRuntimesFollowLoad) {
+  RunningTimePredictor rp{std::make_shared<LastValuePredictor>(), 1.0};
+  // Idle host: full share, runtime == work.
+  EXPECT_NEAR(rp.predict_runtime(series_from({0.0, 0.0}), 100.0), 100.0, 1e-9);
+  // Load 1: fair share is 1/2 on a single CPU.
+  EXPECT_NEAR(rp.predict_runtime(series_from({1.0, 1.0}), 100.0), 200.0, 1e-9);
+  // Dual CPU absorbs one competitor.
+  RunningTimePredictor rp2{std::make_shared<LastValuePredictor>(), 2.0};
+  EXPECT_NEAR(rp2.predict_runtime(series_from({1.0, 1.0}), 100.0), 100.0, 1e-9);
+}
+
+TEST(RuntimePredictorTest, PredictionMatchesSimulatedOutcome) {
+  // Predict the runtime of a task on a host with steady background load,
+  // then actually run it and compare.
+  sim::Simulation sim{18};
+  host::CpuEngine engine{sim, 1.0, std::make_unique<host::FairShareScheduler>()};
+  host::TracePlayback pb{sim, engine,
+                         host::LoadTrace::constant(sim::Duration::seconds(500), 1.0)};
+  pb.start();
+  HostLoadSensor sensor{sim, engine, sim::Duration::seconds(1)};
+  sensor.start();
+  sim.run_until(sim::TimePoint::from_seconds(10));
+
+  RunningTimePredictor rp{std::make_shared<LastValuePredictor>(), 1.0};
+  const double predicted = rp.predict_runtime(sensor.series(), 30.0);
+
+  double actual = -1;
+  const auto t0 = sim.now();
+  engine.add("job", {}, 30.0, [&] { actual = (sim.now() - t0).to_seconds(); });
+  sim.run_until(sim::TimePoint::from_seconds(400));
+  ASSERT_GT(actual, 0.0);
+  EXPECT_NEAR(predicted, actual, actual * 0.1);
+}
+
+}  // namespace
+}  // namespace vmgrid::rps

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "middleware/archive.hpp"
+#include "middleware/console.hpp"
+#include "middleware/logical_accounts.hpp"
+#include "middleware/scheduler_service.hpp"
+#include "middleware/testbed.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid::middleware {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ArchiveService: hibernate / thaw / tape tier
+
+struct ArchiveFixture : ::testing::Test {
+  testbed::StartupTestbed tb{81};
+  ArchiveService archive{*tb.grid, *tb.images, ArchiveParams{}};
+
+  vm::VirtualMachine* boot_vm(const std::string& name) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm(name);
+    opts.image = testbed::paper_image();
+    opts.mode = VmStartMode::kWarmRestore;
+    opts.access = StateAccess::kNonPersistentLocal;
+    vm::VirtualMachine* out = nullptr;
+    tb.compute->instantiate(opts,
+                            [&](vm::VirtualMachine* v, InstantiationStats) { out = v; });
+    tb.grid->run();
+    return out;
+  }
+};
+
+TEST_F(ArchiveFixture, HibernateStoresStateAndFreesTheHost) {
+  auto* vmachine = boot_vm("sleepy");
+  ASSERT_NE(vmachine, nullptr);
+  const auto free_before = tb.compute->host().free_memory_mb();
+
+  std::optional<CheckpointId> ckpt;
+  archive.hibernate(*tb.compute, *vmachine, "zoe",
+                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+  ASSERT_TRUE(ckpt->valid());
+  EXPECT_EQ(tb.compute->vmm().vm_count(), 0u);
+  EXPECT_GT(tb.compute->host().free_memory_mb(), free_before);
+  const auto info = archive.info(*ckpt);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, "zoe");
+  EXPECT_EQ(info->tier, CheckpointTier::kDisk);
+  EXPECT_GT(archive.disk_bytes(), 100ull << 20);
+  EXPECT_TRUE(tb.images->fs().exists("ckpt-" + std::to_string(ckpt->value()) + ".state"));
+}
+
+TEST_F(ArchiveFixture, ThawRestoresRunningVm) {
+  auto* vmachine = boot_vm("phoenix");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<CheckpointId> ckpt;
+  archive.hibernate(*tb.compute, *vmachine, "zoe",
+                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+
+  vm::VirtualMachine* fresh = nullptr;
+  std::string error;
+  archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+               [&](vm::VirtualMachine* v, std::string e) {
+                 fresh = v;
+                 error = std::move(e);
+               });
+  tb.grid->run();
+  ASSERT_NE(fresh, nullptr) << error;
+  EXPECT_EQ(fresh->state(), vm::VmPowerState::kRunning);
+  EXPECT_FALSE(archive.info(*ckpt).has_value());  // consumed
+}
+
+TEST_F(ArchiveFixture, GuestComputationSurvivesHibernateThaw) {
+  auto* vmachine = boot_vm("worker");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<vm::TaskResult> result;
+  vmachine->run_task(workload::micro_test_task(40.0),
+                     [&](vm::TaskResult r) { result = std::move(r); });
+  tb.grid->run_for(sim::Duration::seconds(10));
+  ASSERT_FALSE(result.has_value());
+
+  std::optional<CheckpointId> ckpt;
+  archive.hibernate(*tb.compute, *vmachine, "zoe",
+                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run_for(sim::Duration::minutes(5));
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_FALSE(result.has_value());  // frozen inside the checkpoint
+
+  vm::VirtualMachine* fresh = nullptr;
+  archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+               [&](vm::VirtualMachine* v, std::string) { fresh = v; });
+  tb.grid->run();
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+}
+
+TEST_F(ArchiveFixture, SweepMigratesIdleCheckpointsToTapeAndThawRecalls) {
+  ArchiveParams fast;
+  fast.tape_after = sim::Duration::minutes(2);
+  fast.sweep_interval = sim::Duration::minutes(1);
+  ArchiveService tape_archive{*tb.grid, *tb.images, fast};
+
+  auto* vmachine = boot_vm("dusty");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<CheckpointId> ckpt;
+  tape_archive.hibernate(*tb.compute, *vmachine, "zoe",
+                         [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+
+  tb.grid->run_for(sim::Duration::minutes(5));
+  ASSERT_TRUE(tape_archive.info(*ckpt).has_value());
+  EXPECT_EQ(tape_archive.info(*ckpt)->tier, CheckpointTier::kTape);
+  EXPECT_EQ(tape_archive.disk_bytes(), 0u);
+  EXPECT_GT(tape_archive.tape_bytes(), 0u);
+
+  // Thaw from tape: works, but pays the mount + streaming recall.
+  const auto t0 = tb.grid->now();
+  vm::VirtualMachine* fresh = nullptr;
+  tape_archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+                    [&](vm::VirtualMachine* v, std::string) { fresh = v; });
+  tb.grid->run();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT((tb.grid->now() - t0).to_seconds(), 45.0);  // at least the mount
+}
+
+TEST_F(ArchiveFixture, RemoveEndsTheLifecycle) {
+  auto* vmachine = boot_vm("condemned");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<CheckpointId> ckpt;
+  archive.hibernate(*tb.compute, *vmachine, "zoe",
+                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_TRUE(archive.remove(*ckpt));
+  EXPECT_FALSE(archive.remove(*ckpt));  // idempotent failure
+  std::string error;
+  archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+               [&](vm::VirtualMachine* v, std::string e) {
+                 EXPECT_EQ(v, nullptr);
+                 error = std::move(e);
+               });
+  tb.grid->run();
+  EXPECT_EQ(error, "no such checkpoint");
+}
+
+TEST_F(ArchiveFixture, HibernateRequiresRunningVm) {
+  InstantiateOptions opts;
+  opts.config = testbed::paper_vm("off");
+  opts.image = testbed::paper_image();
+  vm::VmStorage storage;
+  storage.disk = vm::make_local_accessor(tb.compute->host().fs(),
+                                         testbed::paper_image().disk_file());
+  auto& vmachine = tb.compute->vmm().create_vm(opts.config, opts.image,
+                                               std::move(storage));
+  bool called = false;
+  archive.hibernate(*tb.compute, vmachine, "zoe", [&](std::optional<CheckpointId> id) {
+    called = true;
+    EXPECT_FALSE(id.has_value());
+  });
+  tb.grid->run();
+  EXPECT_TRUE(called);
+}
+
+// ---------------------------------------------------------------------------
+// ConsoleSession
+
+struct ConsoleFixture : ::testing::Test {
+  sim::Simulation sim{82};
+  net::Network net{sim};
+  net::NodeId client = net.add_node("laptop");
+  net::NodeId vm_host = net.add_node("vm-host");
+
+  ConsoleFixture() {
+    net.add_link(client, vm_host, net::LinkParams{sim::Duration::millis(17), 2.5e6});
+  }
+};
+
+TEST_F(ConsoleFixture, KeystrokeEchoCostsAtLeastOneRtt) {
+  ConsoleSession console{net, client, vm_host};
+  std::optional<double> echo_ms;
+  console.keystroke([&](sim::Duration rtt) { echo_ms = rtt.to_millis(); });
+  sim.run();
+  ASSERT_TRUE(echo_ms.has_value());
+  EXPECT_GT(*echo_ms, 34.0);  // 2 x 17 ms propagation
+  EXPECT_LT(*echo_ms, 60.0);
+}
+
+TEST_F(ConsoleFixture, BurstCollectsPerKeystrokeStats) {
+  ConsoleSession console{net, client, vm_host};
+  std::optional<sim::Accumulator> stats;
+  console.type_burst(25, [&](sim::Accumulator acc) { stats = acc; });
+  sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count(), 25u);
+  EXPECT_GT(stats->mean(), 34.0);
+  EXPECT_EQ(console.echo_stats().count(), 25u);
+}
+
+TEST_F(ConsoleFixture, TunneledConsoleIsSlowerThanDirect) {
+  net::EthernetTunnel tunnel{net, client, vm_host};
+  tunnel.establish([] {});
+  sim.run();
+  ConsoleSession direct{net, client, vm_host};
+  ConsoleSession tunneled{net, client, vm_host, ConsoleParams{}, &tunnel};
+  std::optional<double> d, t;
+  direct.keystroke([&](sim::Duration rtt) { d = rtt.to_millis(); });
+  sim.run();
+  tunneled.keystroke([&](sim::Duration rtt) { t = rtt.to_millis(); });
+  sim.run();
+  ASSERT_TRUE(d && t);
+  EXPECT_GT(*t, *d);
+  EXPECT_LT(*t, *d * 1.5);  // still interactive
+}
+
+// ---------------------------------------------------------------------------
+// LogicalAccountService
+
+TEST(LogicalAccounts, LeasesAreStableAndExhaustible) {
+  sim::Simulation sim{83};
+  LogicalAccountService svc{sim, {"p1", "p2"}};
+  const auto a = svc.acquire("alice");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(svc.acquire("alice"), a);  // idempotent
+  const auto b = svc.acquire("bob");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(svc.acquire("carol").has_value());  // pool exhausted
+  svc.release("alice");
+  EXPECT_EQ(svc.active_leases(), 1u);
+  const auto c = svc.acquire("carol");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);  // recycled physical account
+}
+
+TEST(LogicalAccounts, AuditAnswersWhoHeldWhat) {
+  sim::Simulation sim{84};
+  LogicalAccountService svc{sim, {"px"}};
+  sim.run_until(sim::TimePoint::from_seconds(10));
+  ASSERT_TRUE(svc.acquire("alice").has_value());
+  sim.run_until(sim::TimePoint::from_seconds(20));
+  svc.release("alice");
+  sim.run_until(sim::TimePoint::from_seconds(30));
+  ASSERT_TRUE(svc.acquire("bob").has_value());
+
+  EXPECT_EQ(svc.holder_at("px", sim::TimePoint::from_seconds(15)),
+            std::optional<std::string>{"alice"});
+  EXPECT_EQ(svc.holder_at("px", sim::TimePoint::from_seconds(25)), std::nullopt);
+  EXPECT_EQ(svc.holder_at("px", sim::TimePoint::from_seconds(35)),
+            std::optional<std::string>{"bob"});
+  EXPECT_EQ(svc.holder_at("py", sim::TimePoint::from_seconds(15)), std::nullopt);
+}
+
+TEST(LogicalAccounts, CapabilityChecks) {
+  sim::Simulation sim{85};
+  LogicalAccountService svc{sim, {"p1"}};
+  // Unrestricted by default.
+  EXPECT_TRUE(svc.authorize("anyone", GridOperation::kInstantiateVm));
+  svc.restrict_operation(GridOperation::kStoreImage);
+  EXPECT_FALSE(svc.authorize("alice", GridOperation::kStoreImage));
+  svc.grant("alice", GridOperation::kStoreImage);
+  EXPECT_TRUE(svc.authorize("alice", GridOperation::kStoreImage));
+  svc.revoke("alice", GridOperation::kStoreImage);
+  EXPECT_FALSE(svc.authorize("alice", GridOperation::kStoreImage));
+  EXPECT_TRUE(svc.authorize("alice", GridOperation::kMountData));  // untouched
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerService
+
+struct SchedulerFixture : ::testing::Test {
+  Grid grid{86};
+  ComputeServer* h1{nullptr};
+  ComputeServer* h2{nullptr};
+  SchedulerFixture() {
+    h1 = &grid.add_compute_server(testbed::paper_compute("farm-1", testbed::fig1_host()));
+    h2 = &grid.add_compute_server(testbed::paper_compute("farm-2", testbed::fig1_host()));
+    h1->preload_image(testbed::paper_image());
+    h2->preload_image(testbed::paper_image());
+  }
+};
+
+TEST_F(SchedulerFixture, RunsQueuedJobsToCompletion) {
+  SchedulerServiceParams p;
+  p.policy = PlacementPolicy::kLeastLoaded;
+  SchedulerService sched{grid, p};
+  sched.add_worker_host(*h1, testbed::paper_image());
+  sched.add_worker_host(*h2, testbed::paper_image());
+
+  int completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    sched.submit("team", workload::micro_test_task(20.0), [&](BatchJobResult r) {
+      EXPECT_TRUE(r.ok);
+      ++completed;
+    });
+  }
+  grid.run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(sched.queued_jobs(), 0u);
+  EXPECT_EQ(sched.running_jobs(), 0u);
+  EXPECT_EQ(grid.accounting().usage("team").tasks_completed, 6u);
+}
+
+TEST_F(SchedulerFixture, JobsSpreadAcrossWorkers) {
+  SchedulerServiceParams p;
+  p.policy = PlacementPolicy::kLeastLoaded;
+  SchedulerService sched{grid, p};
+  sched.add_worker_host(*h1, testbed::paper_image());
+  sched.add_worker_host(*h2, testbed::paper_image());
+
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 4; ++i) {
+    sched.submit("team", workload::micro_test_task(60.0),
+                 [&](BatchJobResult r) { hosts.push_back(r.host); });
+  }
+  grid.run();
+  ASSERT_EQ(hosts.size(), 4u);
+  const auto on_1 = std::count(hosts.begin(), hosts.end(), "farm-1");
+  EXPECT_GT(on_1, 0);
+  EXPECT_LT(on_1, 4);
+}
+
+TEST_F(SchedulerFixture, PredictionAvoidsTheLoadedHost) {
+  // farm-2 carries heavy native load; the predictive policy should put
+  // (nearly) everything on farm-1.
+  auto trace = host::LoadTrace::constant(sim::Duration::minutes(120), 1.8);
+  host::TracePlayback pb{grid.simulation(), h2->host().cpu(), std::move(trace)};
+  pb.start();
+  grid.run_for(sim::Duration::seconds(30));
+
+  SchedulerServiceParams p;
+  p.policy = PlacementPolicy::kPredictedRuntime;
+  SchedulerService sched{grid, p};
+  sched.add_worker_host(*h1, testbed::paper_image());
+  sched.add_worker_host(*h2, testbed::paper_image());
+  grid.run_for(sim::Duration::seconds(30));  // let sensors observe
+
+  // With both hosts free, the predictive policy must choose the idle
+  // one — and keep doing so for a sequence of one-at-a-time jobs.
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<std::string> landed;
+    sched.submit("team", workload::micro_test_task(30.0),
+                 [&](BatchJobResult r) { landed = r.host; });
+    grid.run();
+    ASSERT_TRUE(landed.has_value());
+    hosts.push_back(*landed);
+  }
+  for (const auto& h : hosts) EXPECT_EQ(h, "farm-1");
+}
+
+}  // namespace
+}  // namespace vmgrid::middleware

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace vmgrid::sim {
+namespace {
+
+TEST(Duration, ArithmeticAndConversions) {
+  const auto d = Duration::seconds(1.5);
+  EXPECT_EQ(d.count(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1500.0);
+  EXPECT_EQ(Duration::millis(250) * 4.0, Duration::seconds(1.0));
+  EXPECT_DOUBLE_EQ(Duration::seconds(3.0) / Duration::seconds(1.5), 2.0);
+  EXPECT_LT(Duration::micros(1), Duration::millis(1));
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+}
+
+TEST(TimePoint, OrderingAndOffsets) {
+  const auto t0 = TimePoint::epoch();
+  const auto t1 = t0 + Duration::seconds(2);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(2));
+  EXPECT_EQ((t1 - Duration::seconds(2)), t0);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto id = sim.schedule_after(Duration::seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation sim;
+  int count = 0;
+  auto id = sim.schedule_after(Duration::seconds(1), [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // already fired: no-op
+  sim.cancel(id);
+  sim.cancel(EventId{});  // invalid id: no-op
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtLimitAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(10), [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NestedSchedulingFromCallbacks) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(Duration::seconds(1), recurse);
+  };
+  sim.schedule_after(Duration::seconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_after(Duration::seconds(2), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::from_seconds(1), [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_after(Duration::seconds(-1), [] {}), std::logic_error);
+}
+
+TEST(Simulation, StopHaltsExecution) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, WeakEventsDoNotKeepRunAlive) {
+  Simulation sim;
+  int weak_fired = 0;
+  // A self-rescheduling daemon.
+  std::function<void()> daemon = [&] {
+    ++weak_fired;
+    sim.schedule_weak_after(Duration::seconds(1), daemon);
+  };
+  sim.schedule_weak_after(Duration::seconds(1), daemon);
+  int strong_fired = 0;
+  sim.schedule_after(Duration::seconds(3.5), [&] { ++strong_fired; });
+  sim.run();  // must terminate despite the immortal daemon
+  EXPECT_EQ(strong_fired, 1);
+  EXPECT_EQ(weak_fired, 3);  // fired while strong work was pending
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 3.5);
+}
+
+TEST(Simulation, WeakEventsFireWithinBoundedWindows) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> daemon = [&] {
+    ++fired;
+    sim.schedule_weak_after(Duration::seconds(1), daemon);
+  };
+  sim.schedule_weak_after(Duration::seconds(1), daemon);
+  sim.run_for(Duration::seconds(5.5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.5);
+}
+
+TEST(Simulation, WeakEventCancelKeepsCountsConsistent) {
+  Simulation sim;
+  auto id = sim.schedule_weak_after(Duration::seconds(1), [] {});
+  sim.schedule_after(Duration::seconds(2), [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim{seed};
+    std::vector<double> draws;
+    for (int i = 0; i < 50; ++i) draws.push_back(sim.rng().uniform(0, 1));
+    return draws;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(Rng, BoundsAndMoments) {
+  Rng rng{7};
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(2.0, 4.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 4.0);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), 3.0, 0.02);
+}
+
+TEST(Rng, TruncatedNormalRespectsFloor) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.truncated_normal(0.0, 1.0, 0.0), 0.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{11};
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.exponential(5.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{9};
+  Rng b = a.split();
+  // Streams differ but both stay deterministic for the same seed path.
+  Rng a2{9};
+  Rng b2 = a2.split();
+  EXPECT_EQ(b.uniform(0, 1), b2.uniform(0, 1));
+}
+
+TEST(Accumulator, WelfordMatchesDefinition) {
+  Accumulator acc;
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 100.0);
+  // Sample variance: sum((x-22)^2)/4 = (441+400+361+324+6084)/4.
+  EXPECT_NEAR(acc.variance(), 1902.5, 1e-9);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Accumulator a, b, all;
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(10, 2);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Histogram, PercentileAndEdgeBins) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  h.add(-5.0);   // clamps into first bin
+  h.add(50.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 102u);
+  EXPECT_GT(h.bin_count(0), 0u);
+  EXPECT_GT(h.bin_count(9), 0u);
+  EXPECT_NEAR(h.percentile(50), 5.0, 1.0);
+}
+
+TEST(TimeWeightedMean, PiecewiseConstantIntegral) {
+  TimeWeightedMean twm;
+  twm.set(TimePoint::from_seconds(0), 1.0);
+  twm.set(TimePoint::from_seconds(10), 3.0);
+  // 10s at 1.0 + 10s at 3.0 => mean 2.0 at t=20.
+  EXPECT_NEAR(twm.mean(TimePoint::from_seconds(20)), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vmgrid::sim

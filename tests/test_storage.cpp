@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "storage/disk.hpp"
+#include "storage/local_fs.hpp"
+#include "storage/nfs_client.hpp"
+#include "storage/nfs_server.hpp"
+
+namespace vmgrid::storage {
+namespace {
+
+TEST(Disk, ServiceTimeModel) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.seek = sim::Duration::millis(6);
+  p.bandwidth_bps = 30e6;
+  p.cache_hit = sim::Duration::micros(50);
+  Disk d{sim, p};
+  EXPECT_NEAR(d.service_time(3'000'000, true).to_seconds(), 0.10005, 1e-6);
+  EXPECT_NEAR(d.service_time(3'000'000, false).to_seconds(), 0.106, 1e-6);
+}
+
+TEST(Disk, FifoQueueing) {
+  sim::Simulation sim;
+  DiskParams p;
+  p.seek = sim::Duration::millis(10);
+  p.bandwidth_bps = 1e6;
+  Disk d{sim, p};
+  double first = -1, second = -1;
+  d.access(1'000'000, true, [&] { first = sim.now().to_seconds(); });
+  d.access(1'000'000, true, [&] { second = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_LT(first, second);
+  EXPECT_NEAR(second, first * 2, 1e-3);
+  EXPECT_EQ(d.ops(), 2u);
+  EXPECT_EQ(d.bytes_transferred(), 2'000'000u);
+}
+
+struct FsFixture : ::testing::Test {
+  sim::Simulation sim{2};
+  Disk disk{sim, DiskParams{}};
+  LocalFileSystem fs{sim, disk};
+};
+
+TEST_F(FsFixture, CreateExistsSizeRemove) {
+  fs.create("a.img", 1 << 20);
+  EXPECT_TRUE(fs.exists("a.img"));
+  EXPECT_EQ(fs.size("a.img"), std::optional<std::uint64_t>{1 << 20});
+  EXPECT_FALSE(fs.exists("b.img"));
+  EXPECT_EQ(fs.size("b.img"), std::nullopt);
+  fs.remove("a.img");
+  EXPECT_FALSE(fs.exists("a.img"));
+}
+
+TEST_F(FsFixture, ReadReportsBlockVersions) {
+  fs.create("f", kBlockSize * 4);
+  std::optional<ReadResult> result;
+  fs.read("f", 0, kBlockSize * 4, [&](ReadResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->bytes, kBlockSize * 4);
+  ASSERT_EQ(result->block_versions.size(), 4u);
+  for (auto v : result->block_versions) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(FsFixture, WriteBumpsVersionsAndExtends) {
+  fs.create("f", kBlockSize);
+  fs.write("f", 0, kBlockSize * 2, [] {});
+  sim.run();
+  EXPECT_EQ(fs.size("f"), std::optional<std::uint64_t>{kBlockSize * 2});
+  EXPECT_EQ(fs.block_version("f", 0), 1u);
+  EXPECT_EQ(fs.block_version("f", 1), 1u);
+  fs.write("f", 0, 1, [] {});
+  sim.run();
+  EXPECT_EQ(fs.block_version("f", 0), 2u);
+  EXPECT_EQ(fs.block_version("f", 1), 1u);
+}
+
+TEST_F(FsFixture, ReadPastEofTruncates) {
+  fs.create("f", 100);
+  std::optional<ReadResult> result;
+  fs.read("f", 0, kBlockSize * 10, [&](ReadResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->bytes, 100u);
+  EXPECT_EQ(result->block_versions.size(), 1u);
+}
+
+TEST_F(FsFixture, MissingFileThrows) {
+  EXPECT_THROW(fs.read("nope", 0, 10, [](ReadResult) {}), std::logic_error);
+  EXPECT_THROW(fs.write("nope", 0, 10, [] {}), std::logic_error);
+}
+
+TEST_F(FsFixture, CopyTakesTwoPassesOverTheSpindle) {
+  const std::uint64_t size = 8ull << 20;  // 8 MiB
+  fs.create("src", size);
+  double done = -1;
+  fs.copy("src", "dst", [&] { done = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_TRUE(fs.exists("dst"));
+  EXPECT_EQ(fs.size("dst"), std::optional<std::uint64_t>{size});
+  // Read + write of 8 MiB at 30 MB/s each: ~0.56 s.
+  const double expected = 2.0 * static_cast<double>(size) / 30e6;
+  EXPECT_NEAR(done, expected, expected * 0.1);
+}
+
+TEST_F(FsFixture, CopyPreservesBlockVersions) {
+  fs.create("src", kBlockSize * 2);
+  fs.write("src", 0, kBlockSize, [] {});
+  sim.run();
+  fs.copy("src", "dst", [] {});
+  sim.run();
+  EXPECT_EQ(fs.block_version("dst", 0), 1u);
+  EXPECT_EQ(fs.block_version("dst", 1), 0u);
+}
+
+TEST_F(FsFixture, ListIsSorted) {
+  fs.create("zeta", 1);
+  fs.create("alpha", 1);
+  const auto names = fs.list();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+struct NfsFixture : ::testing::Test {
+  sim::Simulation sim{3};
+  net::Network net{sim};
+  net::NodeId server_node = net.add_node("server");
+  net::NodeId client_node = net.add_node("client");
+  net::RpcFabric fabric{net};
+  Disk disk{sim, DiskParams{}};
+  LocalFileSystem fs{sim, disk};
+  NfsServer server{fabric, server_node, fs};
+  NfsClient client{fabric, client_node, server_node, NfsClientParams{}};
+
+  NfsFixture() {
+    net.add_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::micros(200), 10e6});
+  }
+};
+
+TEST_F(NfsFixture, GetattrFindsFilesAndCaches) {
+  fs.create("data", 4096);
+  std::optional<std::uint64_t> size;
+  client.getattr("data", [&](std::optional<std::uint64_t> s) { size = s; });
+  sim.run();
+  EXPECT_EQ(size, std::optional<std::uint64_t>{4096});
+  const auto rpcs = client.rpcs_issued();
+  client.getattr("data", [&](std::optional<std::uint64_t> s) { size = s; });
+  sim.run();
+  EXPECT_EQ(client.rpcs_issued(), rpcs);  // served from attribute cache
+}
+
+TEST_F(NfsFixture, GetattrCacheExpiresAfterTtl) {
+  fs.create("data", 1);
+  client.getattr("data", [](auto) {});
+  sim.run();
+  const auto rpcs = client.rpcs_issued();
+  sim.run_for(sim::Duration::seconds(10));
+  client.getattr("data", [](auto) {});
+  sim.run();
+  EXPECT_EQ(client.rpcs_issued(), rpcs + 1);
+}
+
+TEST_F(NfsFixture, MissingFileGetattrReturnsNull) {
+  std::optional<std::uint64_t> size{123};
+  client.getattr("ghost", [&](std::optional<std::uint64_t> s) { size = s; });
+  sim.run();
+  EXPECT_EQ(size, std::nullopt);
+}
+
+TEST_F(NfsFixture, ReadSplitsIntoBlockRpcs) {
+  fs.create("data", kBlockSize * 10);
+  std::optional<NfsIoResult> result;
+  client.read("data", 0, kBlockSize * 10, [&](NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->rpcs, 10u);
+  EXPECT_EQ(result->bytes, kBlockSize * 10);
+  EXPECT_EQ(result->block_versions.size(), 10u);
+}
+
+TEST_F(NfsFixture, ReadSeesServerSideWrites) {
+  fs.create("data", kBlockSize * 2);
+  fs.write("data", 0, kBlockSize, [] {});
+  sim.run();
+  std::optional<NfsIoResult> result;
+  client.read("data", 0, kBlockSize * 2, [&](NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->block_versions[0], 1u);
+  EXPECT_EQ(result->block_versions[1], 0u);
+}
+
+TEST_F(NfsFixture, WriteUpdatesServerState) {
+  fs.create("data", kBlockSize);
+  std::optional<NfsIoResult> result;
+  client.write("data", 0, kBlockSize * 3, [&](NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(fs.size("data"), std::optional<std::uint64_t>{kBlockSize * 3});
+  EXPECT_EQ(fs.block_version("data", 2), 1u);
+}
+
+TEST_F(NfsFixture, ReadOfMissingFileFails) {
+  std::optional<NfsIoResult> result;
+  client.read("ghost", 0, kBlockSize, [&](NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("ENOENT"), std::string::npos);
+}
+
+TEST_F(NfsFixture, CreateOverWire) {
+  bool ok = false;
+  client.create("fresh", kBlockSize * 2, [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(fs.exists("fresh"));
+}
+
+TEST_F(NfsFixture, WindowPipelinesLargeReads) {
+  // A window of 8 outstanding block RPCs must beat a window of 1 on a
+  // latency-dominated path (fast server disk so the wire is the
+  // bottleneck, as in a WAN read).
+  Disk fast_disk{sim, DiskParams{sim::Duration::zero(), 1e9,
+                                 sim::Duration::micros(10), 1.0}};
+  LocalFileSystem fast_fs{sim, fast_disk};
+  net::NodeId n2 = net.add_node("server2");
+  net::NodeId c2 = net.add_node("client2");
+  net.add_link(c2, n2, net::LinkParams{sim::Duration::millis(5), 10e6});
+  NfsServer srv2{fabric, n2, fast_fs};
+  fast_fs.create("big", kBlockSize * 64);
+
+  NfsClientParams wide, narrow;
+  wide.window = 8;
+  narrow.window = 1;
+  NfsClient wide_client{fabric, c2, n2, wide};
+  NfsClient narrow_client{fabric, c2, n2, narrow};
+
+  double wide_elapsed = -1, narrow_elapsed = -1;
+  auto start = sim.now();
+  wide_client.read("big", 0, kBlockSize * 64, [&](NfsIoResult r) {
+    ASSERT_TRUE(r.ok);
+    wide_elapsed = (sim.now() - start).to_seconds();
+  });
+  sim.run();
+  start = sim.now();
+  narrow_client.read("big", 0, kBlockSize * 64, [&](NfsIoResult r) {
+    ASSERT_TRUE(r.ok);
+    narrow_elapsed = (sim.now() - start).to_seconds();
+  });
+  sim.run();
+  EXPECT_LT(wide_elapsed * 1.5, narrow_elapsed);
+}
+
+TEST_F(NfsFixture, ZeroLengthIoCompletesImmediately) {
+  fs.create("data", kBlockSize);
+  int called = 0;
+  client.read("data", 0, 0, [&](NfsIoResult r) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.rpcs, 0u);
+    ++called;
+  });
+  client.write("data", 0, 0, [&](NfsIoResult r) {
+    EXPECT_TRUE(r.ok);
+    ++called;
+  });
+  sim.run();
+  EXPECT_EQ(called, 2);
+}
+
+}  // namespace
+}  // namespace vmgrid::storage

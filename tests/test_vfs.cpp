@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "storage/nfs_server.hpp"
+#include "vfs/block_cache.hpp"
+#include "vfs/grid_vfs.hpp"
+#include "vfs/vfs_proxy.hpp"
+
+namespace vmgrid::vfs {
+namespace {
+
+using storage::kBlockSize;
+
+TEST(BlockCache, LruEvictionOrder) {
+  BlockCache cache{3};
+  cache.insert("f", 0, 1);
+  cache.insert("f", 1, 1);
+  cache.insert("f", 2, 1);
+  ASSERT_TRUE(cache.lookup("f", 0));  // 0 becomes most recent
+  cache.insert("f", 3, 1);            // evicts block 1 (LRU)
+  EXPECT_TRUE(cache.peek("f", 0));
+  EXPECT_FALSE(cache.peek("f", 1));
+  EXPECT_TRUE(cache.peek("f", 2));
+  EXPECT_TRUE(cache.peek("f", 3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(BlockCache, HitMissCounters) {
+  BlockCache cache{8};
+  EXPECT_FALSE(cache.lookup("f", 0));
+  cache.insert("f", 0, 5);
+  EXPECT_EQ(cache.lookup("f", 0), std::optional<std::uint64_t>{5});
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCache, InsertUpdatesVersionInPlace) {
+  BlockCache cache{2};
+  cache.insert("f", 0, 1);
+  cache.insert("f", 0, 2);
+  EXPECT_EQ(cache.peek("f", 0), std::optional<std::uint64_t>{2});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCache, InvalidateFileRemovesOnlyThatFile) {
+  BlockCache cache{8};
+  cache.insert("a", 0, 1);
+  cache.insert("a", 1, 1);
+  cache.insert("b", 0, 1);
+  cache.invalidate_file("a");
+  EXPECT_FALSE(cache.peek("a", 0));
+  EXPECT_FALSE(cache.peek("a", 1));
+  EXPECT_TRUE(cache.peek("b", 0));
+}
+
+TEST(BlockCache, PeekDoesNotPerturbLruOrCounters) {
+  BlockCache cache{2};
+  cache.insert("f", 0, 1);
+  cache.insert("f", 1, 1);
+  (void)cache.peek("f", 0);
+  cache.insert("f", 2, 1);  // evicts 0 despite the peek
+  EXPECT_FALSE(cache.peek("f", 0));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+struct VfsFixture : ::testing::Test {
+  sim::Simulation sim{4};
+  net::Network net{sim};
+  net::NodeId server_node = net.add_node("server");
+  net::NodeId client_node = net.add_node("client");
+  net::RpcFabric fabric{net};
+  storage::Disk disk{sim, storage::DiskParams{}};
+  storage::LocalFileSystem fs{sim, disk};
+  storage::NfsServer server{fabric, server_node, fs};
+  storage::NfsClient nfs{fabric, client_node, server_node};
+
+  VfsFixture() {
+    net.add_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::millis(1), 10e6});
+    fs.create("image", kBlockSize * 256);
+  }
+
+  VfsIoStats read_sync(VfsProxy& proxy, const std::string& path, std::uint64_t off,
+                       std::uint64_t len) {
+    std::optional<VfsIoStats> out;
+    proxy.read(path, off, len, [&](VfsIoStats s) { out = s; });
+    sim.run();
+    return *out;
+  }
+};
+
+TEST_F(VfsFixture, ColdReadMissesWarmReadHits) {
+  VfsProxy proxy{sim, nfs, VfsProxyParams{.prefetch_blocks = 0}};
+  const auto cold = read_sync(proxy, "image", 0, kBlockSize * 8);
+  EXPECT_TRUE(cold.ok);
+  EXPECT_EQ(cold.cache_misses, 8u);
+  EXPECT_GT(cold.rpcs, 0u);
+  const auto warm = read_sync(proxy, "image", 0, kBlockSize * 8);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.rpcs, 0u);
+  EXPECT_EQ(warm.cache_hits, 8u);
+}
+
+TEST_F(VfsFixture, PartialOverlapFetchesOnlyMissingBlocks) {
+  VfsProxy proxy{sim, nfs, VfsProxyParams{.prefetch_blocks = 0}};
+  (void)read_sync(proxy, "image", 0, kBlockSize * 4);
+  const auto second = read_sync(proxy, "image", kBlockSize * 2, kBlockSize * 4);
+  EXPECT_EQ(second.cache_hits, 2u);
+  EXPECT_EQ(second.cache_misses, 2u);
+}
+
+TEST_F(VfsFixture, PrefetchHidesSequentialMisses) {
+  VfsProxyParams with_pf;
+  with_pf.prefetch_blocks = 8;
+  VfsProxyParams without_pf;
+  without_pf.prefetch_blocks = 0;
+  VfsProxy pf{sim, nfs, with_pf};
+  storage::NfsClient nfs2{fabric, client_node, server_node};
+  VfsProxy nopf{sim, nfs2, without_pf};
+
+  auto sweep = [&](VfsProxy& proxy) {
+    std::uint64_t misses = 0;
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      misses += read_sync(proxy, "image", b * kBlockSize, kBlockSize).cache_misses;
+      // Give prefetch time to land, as a paced sequential reader would.
+      sim.run_for(sim::Duration::millis(20));
+    }
+    return misses;
+  };
+  const auto misses_with = sweep(pf);
+  const auto misses_without = sweep(nopf);
+  EXPECT_EQ(misses_without, 64u);
+  EXPECT_LT(misses_with, misses_without / 4);
+}
+
+TEST_F(VfsFixture, ReadYourWritesThroughWriteBuffer) {
+  VfsProxy proxy{sim, nfs};
+  bool wrote = false;
+  proxy.write("image", 0, kBlockSize * 2, [&](VfsIoStats s) {
+    EXPECT_TRUE(s.ok);
+    wrote = true;
+  });
+  // Advance only a little so the delayed-write timer has NOT fired yet.
+  sim.run_for(sim::Duration::millis(50));
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(proxy.dirty_blocks(), 2u);
+  std::optional<VfsIoStats> r;
+  proxy.read("image", 0, kBlockSize * 2, [&](VfsIoStats s) { r = s; });
+  sim.run_for(sim::Duration::millis(50));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cache_hits, 2u);
+  EXPECT_EQ(r->rpcs, 0u);
+}
+
+TEST_F(VfsFixture, FlushPushesDirtyBlocksToServer) {
+  VfsProxy proxy{sim, nfs};
+  proxy.write("image", 0, kBlockSize * 3, [](VfsIoStats) {});
+  bool flushed = false;
+  proxy.flush([&] { flushed = true; });
+  sim.run();
+  EXPECT_TRUE(flushed);
+  EXPECT_EQ(proxy.dirty_blocks(), 0u);
+  EXPECT_EQ(fs.block_version("image", 0), 1u);
+  EXPECT_EQ(fs.block_version("image", 2), 1u);
+  EXPECT_EQ(fs.block_version("image", 3), 0u);
+}
+
+TEST_F(VfsFixture, TimerFlushesWithoutExplicitCall) {
+  VfsProxyParams p;
+  p.flush_interval = sim::Duration::seconds(2);
+  VfsProxy proxy{sim, nfs, p};
+  proxy.write("image", 0, kBlockSize, [](VfsIoStats) {});
+  sim.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(proxy.dirty_blocks(), 0u);
+  EXPECT_EQ(fs.block_version("image", 0), 1u);
+}
+
+TEST_F(VfsFixture, ReadAfterFlushSeesServerVersion) {
+  VfsProxy proxy{sim, nfs};
+  (void)read_sync(proxy, "image", 0, kBlockSize);  // caches version 0
+  proxy.write("image", 0, kBlockSize, [](VfsIoStats) {});
+  proxy.flush([] {});
+  sim.run();
+  // Flushed blocks are invalidated; the next read refetches version 1.
+  const auto r = read_sync(proxy, "image", 0, kBlockSize);
+  EXPECT_EQ(r.cache_misses, 1u);
+  EXPECT_EQ(fs.block_version("image", 0), 1u);
+}
+
+TEST_F(VfsFixture, SharedL2ServesSecondMountWithoutRpcs) {
+  GridVfs gvfs{fabric};
+  VfsMountOptions opts;
+  opts.use_shared_image_cache = true;
+  opts.proxy.prefetch_blocks = 0;
+  auto& m1 = gvfs.mount(client_node, server_node, opts);
+  auto& m2 = gvfs.mount(client_node, server_node, opts);
+  std::optional<VfsIoStats> first, second;
+  m1.proxy().read("image", 0, kBlockSize * 16, [&](VfsIoStats s) { first = s; });
+  sim.run();
+  m2.proxy().read("image", 0, kBlockSize * 16, [&](VfsIoStats s) { second = s; });
+  sim.run();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->cache_misses, 16u);
+  EXPECT_EQ(second->cache_misses, 0u);  // second VM instance hits the L2
+  EXPECT_EQ(second->rpcs, 0u);
+  EXPECT_EQ(gvfs.mount_count(), 2u);
+  gvfs.unmount(m2);
+  EXPECT_EQ(gvfs.mount_count(), 1u);
+}
+
+TEST_F(VfsFixture, SeparateHostsDoNotShareL2) {
+  GridVfs gvfs{fabric};
+  auto other_host = net.add_node("other");
+  net.add_link(other_host, server_node, net::LinkParams{sim::Duration::millis(1), 10e6});
+  VfsMountOptions opts;
+  opts.use_shared_image_cache = true;
+  opts.proxy.prefetch_blocks = 0;
+  auto& m1 = gvfs.mount(client_node, server_node, opts);
+  auto& m2 = gvfs.mount(other_host, server_node, opts);
+  std::optional<VfsIoStats> first, second;
+  m1.proxy().read("image", 0, kBlockSize * 4, [&](VfsIoStats s) { first = s; });
+  sim.run();
+  m2.proxy().read("image", 0, kBlockSize * 4, [&](VfsIoStats s) { second = s; });
+  sim.run();
+  EXPECT_EQ(second->cache_misses, 4u);  // different host: cold
+}
+
+TEST_F(VfsFixture, ConcurrentReadsOfColdBlockShareOneFetch) {
+  VfsProxy proxy{sim, nfs, VfsProxyParams{.prefetch_blocks = 0}};
+  std::optional<VfsIoStats> first, second;
+  // Both reads target the same cold block; the second is issued before
+  // the first's fetch returns, so it must join the in-flight fetch
+  // instead of issuing its own RPC.
+  proxy.read("image", 0, kBlockSize, [&](VfsIoStats s) { first = s; });
+  proxy.read("image", 0, kBlockSize, [&](VfsIoStats s) { second = s; });
+  sim.run();
+  ASSERT_TRUE(first && second);
+  EXPECT_TRUE(first->ok);
+  EXPECT_TRUE(second->ok);
+  EXPECT_EQ(first->rpcs + second->rpcs, 1u);
+  EXPECT_EQ(nfs.rpcs_issued(), 1u);
+}
+
+TEST_F(VfsFixture, SequentialReaderNeverDoubleFetches) {
+  VfsProxyParams p;
+  p.prefetch_blocks = 16;
+  VfsProxy proxy{sim, nfs, p};
+  // Sweep 64 blocks in 8-block application reads, back to back.
+  for (int i = 0; i < 8; ++i) {
+    std::optional<VfsIoStats> out;
+    proxy.read("image", static_cast<std::uint64_t>(i) * 8 * kBlockSize, 8 * kBlockSize,
+               [&](VfsIoStats s) { out = s; });
+    sim.run();
+    ASSERT_TRUE(out && out->ok);
+  }
+  // 64 demanded blocks + at most one prefetch window beyond the end.
+  EXPECT_LE(nfs.rpcs_issued(), 64u + p.prefetch_blocks);
+}
+
+TEST_F(VfsFixture, ReadErrorPropagates) {
+  VfsProxy proxy{sim, nfs};
+  std::optional<VfsIoStats> out;
+  proxy.read("ghost", 0, kBlockSize, [&](VfsIoStats s) { out = s; });
+  sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->ok);
+  EXPECT_NE(out->error.find("ENOENT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmgrid::vfs

@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "host/physical_host.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulation.hpp"
+#include "vm/migration.hpp"
+#include "vm/overhead_model.hpp"
+#include "vm/task_runner.hpp"
+#include "vm/virtual_machine.hpp"
+#include "vm/vm_disk.hpp"
+#include "vm/vmm.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid::vm {
+namespace {
+
+using storage::kBlockSize;
+
+TEST(OverheadModel, BaseEfficiencyMatchesDilations) {
+  workload::TaskSpec t;
+  t.user_seconds = 100.0;
+  t.sys_seconds = 10.0;
+  t.vm_user_dilation = 0.02;
+  t.vm_sys_factor = 4.0;
+  EXPECT_DOUBLE_EQ(OverheadModel::observed_user_seconds(t), 102.0);
+  EXPECT_DOUBLE_EQ(OverheadModel::observed_sys_seconds(t), 40.0);
+  EXPECT_DOUBLE_EQ(OverheadModel::base_efficiency(t), 110.0 / 142.0);
+}
+
+TEST(OverheadModel, ContentionFactorGrowsWithLoadAndCorunners) {
+  OverheadModel m{VmmCostModel{}};
+  EXPECT_DOUBLE_EQ(m.contention_factor(0.0, 0), 1.0);
+  EXPECT_GT(m.contention_factor(1.0, 0), 1.0);
+  EXPECT_GT(m.contention_factor(0.0, 2), 1.0);
+  EXPECT_GT(m.contention_factor(1.0, 2), m.contention_factor(1.0, 0));
+  // External demand saturates at one CPU's worth.
+  EXPECT_DOUBLE_EQ(m.contention_factor(1.0, 0), m.contention_factor(5.0, 0));
+}
+
+TEST(OverheadModel, PureUserTaskHasNearUnityEfficiency) {
+  workload::TaskSpec t;
+  t.user_seconds = 10.0;
+  t.sys_seconds = 0.0;
+  t.vm_user_dilation = 0.01;
+  EXPECT_GT(OverheadModel::base_efficiency(t), 0.98);
+}
+
+struct VmFixture : ::testing::Test {
+  sim::Simulation sim{7};
+  net::Network net{sim};
+  host::HostParams hp;
+  std::unique_ptr<host::PhysicalHost> hostp;
+  std::unique_ptr<Vmm> vmm;
+  VmImageSpec image;
+
+  VmFixture() {
+    hp.name = "compute-1";
+    hp.memory_mb = 1024;
+    hostp = std::make_unique<host::PhysicalHost>(sim, net, hp);
+    vmm = std::make_unique<Vmm>(*hostp);
+    // Small, fast image so lifecycle tests run quickly.
+    image.name = "tiny";
+    image.disk_bytes = 64ull << 20;
+    image.memory_state_bytes = 16ull << 20;
+    image.boot_read_bytes = 8ull << 20;
+    image.boot_cpu_seconds = 10.0;
+    image.boot_fixed_seconds = 5.0;
+    image.restore_cpu_seconds = 0.5;
+    image.restore_fixed_seconds = 0.5;
+    hostp->fs().create(image.disk_file(), image.disk_bytes);
+    hostp->fs().create(image.memory_file(), image.memory_state_bytes);
+    hostp->fs().create("diff", 0);
+  }
+
+  VmStorage local_storage() {
+    VmStorage s;
+    s.disk = std::make_unique<CowDisk>(
+        make_local_accessor(hostp->fs(), image.disk_file()),
+        make_local_accessor(hostp->fs(), "diff"));
+    s.memory_state = make_local_accessor(hostp->fs(), image.memory_file());
+    return s;
+  }
+};
+
+TEST_F(VmFixture, BootTransitionsToRunning) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "vm1"}, image, local_storage());
+  EXPECT_EQ(vm.state(), VmPowerState::kPoweredOff);
+  bool running = false;
+  vm.boot([&] { running = true; });
+  EXPECT_EQ(vm.state(), VmPowerState::kBooting);
+  sim.run();
+  EXPECT_TRUE(running);
+  EXPECT_EQ(vm.state(), VmPowerState::kRunning);
+  // Boot cost: fixed (~5s) + cpu (~10s) + I/O.
+  EXPECT_GT(sim.now().to_seconds(), 12.0);
+  EXPECT_LT(sim.now().to_seconds(), 25.0);
+}
+
+TEST_F(VmFixture, RestoreIsMuchFasterThanBoot) {
+  auto& cold = vmm->create_vm(VmConfig{.name = "cold"}, image, local_storage());
+  double boot_time = -1;
+  const auto t0 = sim.now();
+  cold.boot([&] { boot_time = (sim.now() - t0).to_seconds(); });
+  sim.run();
+
+  auto& warm = vmm->create_vm(VmConfig{.name = "warm"}, image, local_storage());
+  double restore_time = -1;
+  const auto t1 = sim.now();
+  warm.restore([&] { restore_time = (sim.now() - t1).to_seconds(); });
+  sim.run();
+  EXPECT_EQ(warm.state(), VmPowerState::kRunning);
+  EXPECT_LT(restore_time * 3, boot_time);
+}
+
+TEST_F(VmFixture, RestoreWithoutSnapshotThrows) {
+  VmStorage s;
+  s.disk = make_local_accessor(hostp->fs(), image.disk_file());
+  auto& vm = vmm->create_vm(VmConfig{.name = "nosnap"}, image, std::move(s));
+  EXPECT_THROW(vm.restore([] {}), std::logic_error);
+}
+
+TEST_F(VmFixture, LifecycleGuards) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "guarded"}, image, local_storage());
+  EXPECT_THROW(vm.run_task(workload::micro_test_task(), [](TaskResult) {}),
+               std::logic_error);
+  EXPECT_THROW(vm.suspend([] {}), std::logic_error);
+  vm.boot([] {});
+  EXPECT_THROW(vm.boot([] {}), std::logic_error);  // already booting
+  sim.run();
+  EXPECT_THROW(vm.resume([] {}), std::logic_error);  // not suspended
+}
+
+TEST_F(VmFixture, SuspendResumeRoundTrip) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "sr"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+  bool suspended = false;
+  vm.suspend([&] { suspended = true; });
+  sim.run();
+  EXPECT_TRUE(suspended);
+  EXPECT_EQ(vm.state(), VmPowerState::kSuspended);
+  EXPECT_TRUE(hostp->fs().exists(vm.suspend_file()));
+  bool resumed = false;
+  vm.resume([&] { resumed = true; });
+  sim.run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(vm.state(), VmPowerState::kRunning);
+}
+
+TEST_F(VmFixture, MemoryAdmissionControl) {
+  VmConfig big;
+  big.name = "big";
+  big.memory_mb = 900;
+  vmm->create_vm(big, image, local_storage());
+  VmConfig second;
+  second.name = "second";
+  second.memory_mb = 256;
+  EXPECT_THROW(vmm->create_vm(second, image, local_storage()), std::runtime_error);
+  EXPECT_EQ(vmm->vm_count(), 1u);
+}
+
+TEST_F(VmFixture, DestroyReleasesMemory) {
+  VmConfig cfg;
+  cfg.name = "temp";
+  cfg.memory_mb = 512;
+  auto& vm = vmm->create_vm(cfg, image, local_storage());
+  const auto free_with_vm = hostp->free_memory_mb();
+  vmm->destroy_vm(vm);
+  EXPECT_EQ(hostp->free_memory_mb(),
+            free_with_vm + 512 + vmm->params().per_vm_overhead_mb);
+  EXPECT_EQ(vmm->vm_count(), 0u);
+}
+
+TEST_F(VmFixture, TaskOnVmShowsDilatedCpuTimes) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "worker"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+  workload::TaskSpec spec;
+  spec.name = "job";
+  spec.user_seconds = 100.0;
+  spec.sys_seconds = 2.0;
+  spec.vm_user_dilation = 0.01;
+  spec.vm_sys_factor = 3.0;
+  std::optional<TaskResult> result;
+  vm.run_task(spec, [&](TaskResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_NEAR(result->user_cpu_seconds, 101.0, 1e-9);
+  EXPECT_NEAR(result->sys_cpu_seconds, 6.0, 1e-9);
+  // Wall clock reflects the dilation: at least observed CPU.
+  EXPECT_GE(result->wall.to_seconds(), 106.9);
+  EXPECT_LT(result->wall.to_seconds(), 112.0);
+}
+
+TEST_F(VmFixture, PhysicalRunHasNoOverhead) {
+  workload::TaskSpec spec;
+  spec.name = "native";
+  spec.user_seconds = 50.0;
+  spec.sys_seconds = 1.0;
+  std::optional<TaskResult> result;
+  run_task(sim, hostp->cpu(), spec, TaskRunOptions{},
+           [&](TaskResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->wall.to_seconds(), 51.0, 1e-6);
+  EXPECT_NEAR(result->user_cpu_seconds, 50.0, 1e-9);
+  EXPECT_NEAR(result->sys_cpu_seconds, 1.0, 1e-9);
+}
+
+TEST_F(VmFixture, GuestCorunnersSlowEachOther) {
+  // Two CPU-bound guest tasks inside one VM on a dual-CPU host: both
+  // CPUs are available, but trapped guest context switches add overhead
+  // relative to a single task.
+  auto& vm = vmm->create_vm(VmConfig{.name = "busy"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+
+  auto one = workload::micro_test_task(30.0);
+  std::optional<TaskResult> solo;
+  vm.run_task(one, [&](TaskResult r) { solo = std::move(r); });
+  sim.run();
+
+  std::optional<TaskResult> a, b;
+  vm.run_task(one, [&](TaskResult r) { a = std::move(r); });
+  vm.run_task(one, [&](TaskResult r) { b = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(solo && a && b);
+  EXPECT_GT(a->wall.to_seconds(), solo->wall.to_seconds() * 1.01);
+  // ... but nowhere near the 2x of actual CPU contention.
+  EXPECT_LT(a->wall.to_seconds(), solo->wall.to_seconds() * 1.15);
+}
+
+TEST_F(VmFixture, ExternalLoadCausesWorldSwitchSlowdown) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "victim"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+
+  auto spec = workload::micro_test_task(30.0);
+  std::optional<TaskResult> quiet;
+  vm.run_task(spec, [&](TaskResult r) { quiet = std::move(r); });
+  sim.run();
+
+  // Saturate one host CPU with native load; the dual-CPU host still has
+  // a full CPU for the VM, so any slowdown is virtualization overhead.
+  auto bg = hostp->cpu().add("native-load", {}, host::CpuEngine::kInfiniteWork);
+  std::optional<TaskResult> loaded;
+  vm.run_task(spec, [&](TaskResult r) { loaded = std::move(r); });
+  sim.run_until(sim.now() + sim::Duration::seconds(120));
+  hostp->cpu().remove(bg);
+  ASSERT_TRUE(quiet && loaded);
+  const double slowdown = loaded->wall.to_seconds() / quiet->wall.to_seconds();
+  EXPECT_GT(slowdown, 1.015);
+  EXPECT_LT(slowdown, 1.12);  // the paper's <=10% envelope
+}
+
+TEST_F(VmFixture, CowDiskRoutesWritesToDiff) {
+  auto base = make_local_accessor(hostp->fs(), image.disk_file());
+  auto diff = make_local_accessor(hostp->fs(), "diff");
+  CowDisk cow{std::move(base), std::move(diff)};
+  EXPECT_EQ(cow.diff_block_count(), 0u);
+  bool wrote = false;
+  cow.write(0, kBlockSize * 3, [&](VmIoStats s) {
+    EXPECT_TRUE(s.ok);
+    wrote = true;
+  });
+  sim.run();
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(cow.diff_block_count(), 3u);
+  // Read spanning diff and base: both halves served.
+  std::optional<VmIoStats> read;
+  cow.read(0, kBlockSize * 6, [&](VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok);
+  EXPECT_EQ(read->bytes, kBlockSize * 6);
+}
+
+TEST_F(VmFixture, BackgroundLoadInsideGuestUsesCpu) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "loaded"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+  vm.play_load(host::LoadTrace::constant(sim::Duration::seconds(10), 1.0));
+  const auto t0 = sim.now();
+  sim.run_until(t0 + sim::Duration::seconds(10));
+  EXPECT_GT(hostp->cpu().mean_utilization(), 0.1);
+  vm.stop_loads();
+}
+
+TEST_F(VmFixture, SuspendFreezesRunningTaskAndResumeContinuesIt) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "frozen"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+
+  std::optional<TaskResult> result;
+  vm.run_task(workload::micro_test_task(30.0),
+              [&](TaskResult r) { result = std::move(r); });
+  EXPECT_EQ(vm.active_task_count(), 1u);
+
+  // Freeze 10 seconds in; hold suspended for 100 seconds of wall time.
+  sim.run_for(sim::Duration::seconds(10));
+  vm.suspend([] {});
+  sim.run_for(sim::Duration::seconds(100));
+  EXPECT_FALSE(result.has_value());  // no progress while suspended
+  EXPECT_EQ(vm.state(), VmPowerState::kSuspended);
+
+  vm.resume([] {});
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // Wall = ~10s before + ~100s frozen + remaining ~20s (+overheads).
+  EXPECT_GT(result->wall.to_seconds(), 128.0);
+  EXPECT_LT(result->wall.to_seconds(), 140.0);
+}
+
+TEST_F(VmFixture, ShutdownAbortsTasksWithoutCallbacks) {
+  auto& vm = vmm->create_vm(VmConfig{.name = "killed"}, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+  bool fired = false;
+  vm.run_task(workload::micro_test_task(50.0), [&](TaskResult) { fired = true; });
+  sim.run_for(sim::Duration::seconds(5));
+  vm.shutdown();
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(vm.active_task_count(), 0u);
+}
+
+struct MigrationFixture : VmFixture {
+  host::HostParams hp2;
+  std::unique_ptr<host::PhysicalHost> host2;
+  std::unique_ptr<Vmm> vmm2;
+
+  MigrationFixture() {
+    hp2.name = "compute-2";
+    hp2.memory_mb = 1024;
+    host2 = std::make_unique<host::PhysicalHost>(sim, net, hp2);
+    vmm2 = std::make_unique<Vmm>(*host2);
+    net.add_link(hostp->node(), host2->node(),
+                 net::LinkParams{sim::Duration::millis(1), 10e6});
+    host2->fs().create(image.disk_file(), image.disk_bytes);
+    host2->fs().create(image.memory_file(), image.memory_state_bytes);
+    host2->fs().create("diff", 0);
+  }
+
+  VmStorage target_storage() {
+    VmStorage s;
+    s.disk = std::make_unique<CowDisk>(
+        make_local_accessor(host2->fs(), image.disk_file()),
+        make_local_accessor(host2->fs(), "diff"));
+    s.memory_state = make_local_accessor(host2->fs(), image.memory_file());
+    return s;
+  }
+};
+
+TEST_F(MigrationFixture, StopAndCopyMovesVm) {
+  VmConfig cfg;
+  cfg.name = "mover";
+  cfg.memory_mb = 64;
+  auto& vm = vmm->create_vm(cfg, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+
+  std::optional<MigrationStats> stats;
+  VirtualMachine* fresh = nullptr;
+  migrate(vm, *vmm2, target_storage(), MigrationParams{},
+          [&](MigrationStats s, VirtualMachine* nv) {
+            stats = s;
+            fresh = nv;
+          });
+  sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->ok);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->state(), VmPowerState::kRunning);
+  EXPECT_EQ(vmm->vm_count(), 0u);
+  EXPECT_EQ(vmm2->vm_count(), 1u);
+  // 64 MiB over 10 MB/s: tens of seconds, all of it downtime.
+  EXPECT_GT(stats->downtime.to_seconds(), 5.0);
+  EXPECT_NEAR(stats->downtime.to_seconds(), stats->total.to_seconds(), 1.0);
+}
+
+TEST_F(MigrationFixture, PrecopyShrinksDowntime) {
+  VmConfig cfg;
+  cfg.name = "mover2";
+  cfg.memory_mb = 64;
+
+  auto run_migration = [&](bool precopy) {
+    auto& vm = vmm->create_vm(cfg, image, local_storage());
+    vm.boot([] {});
+    sim.run();
+    MigrationParams p;
+    p.precopy = precopy;
+    p.dirty_rate_bps = 1e6;
+    std::optional<MigrationStats> stats;
+    VirtualMachine* fresh = nullptr;
+    migrate(vm, *vmm2, target_storage(), p, [&](MigrationStats s, VirtualMachine* nv) {
+      stats = s;
+      fresh = nv;
+    });
+    sim.run();
+    if (fresh != nullptr) vmm2->destroy_vm(*fresh);
+    return *stats;
+  };
+
+  const auto stop_copy = run_migration(false);
+  const auto precopy = run_migration(true);
+  EXPECT_TRUE(stop_copy.ok && precopy.ok);
+  EXPECT_LT(precopy.downtime.to_seconds(), stop_copy.downtime.to_seconds() * 0.5);
+  EXPECT_GT(precopy.bytes_transferred, stop_copy.bytes_transferred);
+  EXPECT_GE(precopy.precopy_rounds, 1u);
+}
+
+TEST_F(MigrationFixture, RunningTaskMovesWithTheVm) {
+  VmConfig cfg;
+  cfg.name = "carrying";
+  cfg.memory_mb = 32;
+  auto& vm = vmm->create_vm(cfg, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+
+  std::optional<TaskResult> result;
+  vm.run_task(workload::micro_test_task(60.0),
+              [&](TaskResult r) { result = std::move(r); });
+  sim.run_for(sim::Duration::seconds(15));
+  ASSERT_FALSE(result.has_value());
+
+  VirtualMachine* fresh = nullptr;
+  MigrationParams p;
+  p.precopy = true;
+  migrate(vm, *vmm2, target_storage(), p,
+          [&](MigrationStats s, VirtualMachine* nv) {
+            ASSERT_TRUE(s.ok);
+            fresh = nv;
+          });
+  sim.run();
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // The work was executed: ~60s of compute plus the migration stall.
+  EXPECT_GT(result->wall.to_seconds(), 60.0);
+  // The completing work ran on the *target* host, not the source.
+  EXPECT_EQ(vmm->vm_count(), 0u);
+  EXPECT_EQ(fresh->active_task_count(), 0u);  // finished and pruned on query
+}
+
+TEST_F(MigrationFixture, TargetAdmissionFailureResumesAtSource) {
+  VmConfig cfg;
+  cfg.name = "toolarge";
+  cfg.memory_mb = 64;
+  auto& vm = vmm->create_vm(cfg, image, local_storage());
+  vm.boot([] {});
+  sim.run();
+  // Exhaust the target's memory so create_vm there fails.
+  ASSERT_TRUE(host2->reserve_memory(host2->free_memory_mb()));
+
+  std::optional<MigrationStats> stats;
+  VirtualMachine* fresh = nullptr;
+  migrate(vm, *vmm2, target_storage(), MigrationParams{},
+          [&](MigrationStats s, VirtualMachine* nv) {
+            stats = s;
+            fresh = nv;
+          });
+  sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->ok);
+  EXPECT_EQ(fresh, nullptr);
+  EXPECT_EQ(vm.state(), VmPowerState::kRunning);  // resumed at source
+  EXPECT_EQ(vmm->vm_count(), 1u);
+  EXPECT_EQ(vmm2->vm_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vmgrid::vm
