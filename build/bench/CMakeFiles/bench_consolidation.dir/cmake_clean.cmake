@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consolidation.dir/bench_consolidation.cpp.o"
+  "CMakeFiles/bench_consolidation.dir/bench_consolidation.cpp.o.d"
+  "bench_consolidation"
+  "bench_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_microbenchmark.dir/bench_fig1_microbenchmark.cpp.o"
+  "CMakeFiles/bench_fig1_microbenchmark.dir/bench_fig1_microbenchmark.cpp.o.d"
+  "bench_fig1_microbenchmark"
+  "bench_fig1_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_information_service.dir/bench_information_service.cpp.o"
+  "CMakeFiles/bench_information_service.dir/bench_information_service.cpp.o.d"
+  "bench_information_service"
+  "bench_information_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_information_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_job_placement.dir/bench_job_placement.cpp.o"
+  "CMakeFiles/bench_job_placement.dir/bench_job_placement.cpp.o.d"
+  "bench_job_placement"
+  "bench_job_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_job_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

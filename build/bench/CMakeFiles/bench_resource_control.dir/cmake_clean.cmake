@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_control.dir/bench_resource_control.cpp.o"
+  "CMakeFiles/bench_resource_control.dir/bench_resource_control.cpp.o.d"
+  "bench_resource_control"
+  "bench_resource_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rps_prediction.dir/bench_rps_prediction.cpp.o"
+  "CMakeFiles/bench_rps_prediction.dir/bench_rps_prediction.cpp.o.d"
+  "bench_rps_prediction"
+  "bench_rps_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rps_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

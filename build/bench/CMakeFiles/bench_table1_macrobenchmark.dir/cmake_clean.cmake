@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_macrobenchmark.dir/bench_table1_macrobenchmark.cpp.o"
+  "CMakeFiles/bench_table1_macrobenchmark.dir/bench_table1_macrobenchmark.cpp.o.d"
+  "bench_table1_macrobenchmark"
+  "bench_table1_macrobenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_macrobenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

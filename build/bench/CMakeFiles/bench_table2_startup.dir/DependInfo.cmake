@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_startup.cpp" "bench/CMakeFiles/bench_table2_startup.dir/bench_table2_startup.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_startup.dir/bench_table2_startup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_rps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

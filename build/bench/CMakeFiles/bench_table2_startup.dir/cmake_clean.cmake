@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_startup.dir/bench_table2_startup.cpp.o"
+  "CMakeFiles/bench_table2_startup.dir/bench_table2_startup.cpp.o.d"
+  "bench_table2_startup"
+  "bench_table2_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

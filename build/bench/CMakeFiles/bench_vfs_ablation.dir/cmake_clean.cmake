@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vfs_ablation.dir/bench_vfs_ablation.cpp.o"
+  "CMakeFiles/bench_vfs_ablation.dir/bench_vfs_ablation.cpp.o.d"
+  "bench_vfs_ablation"
+  "bench_vfs_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vfs_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vfs_image_management.dir/bench_vfs_image_management.cpp.o"
+  "CMakeFiles/bench_vfs_image_management.dir/bench_vfs_image_management.cpp.o.d"
+  "bench_vfs_image_management"
+  "bench_vfs_image_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vfs_image_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_network.dir/bench_virtual_network.cpp.o"
+  "CMakeFiles/bench_virtual_network.dir/bench_virtual_network.cpp.o.d"
+  "bench_virtual_network"
+  "bench_virtual_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

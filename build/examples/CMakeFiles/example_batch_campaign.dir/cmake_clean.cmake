@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_batch_campaign.dir/batch_campaign.cpp.o"
+  "CMakeFiles/example_batch_campaign.dir/batch_campaign.cpp.o.d"
+  "example_batch_campaign"
+  "example_batch_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_batch_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_migration.dir/migration.cpp.o"
+  "CMakeFiles/example_migration.dir/migration.cpp.o.d"
+  "example_migration"
+  "example_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

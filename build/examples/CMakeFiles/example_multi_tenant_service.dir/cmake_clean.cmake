@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_service.dir/multi_tenant_service.cpp.o"
+  "CMakeFiles/example_multi_tenant_service.dir/multi_tenant_service.cpp.o.d"
+  "example_multi_tenant_service"
+  "example_multi_tenant_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resource_control.dir/resource_control.cpp.o"
+  "CMakeFiles/example_resource_control.dir/resource_control.cpp.o.d"
+  "example_resource_control"
+  "example_resource_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resource_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu_engine.cpp" "src/CMakeFiles/vmgrid_host.dir/host/cpu_engine.cpp.o" "gcc" "src/CMakeFiles/vmgrid_host.dir/host/cpu_engine.cpp.o.d"
+  "/root/repo/src/host/load_trace.cpp" "src/CMakeFiles/vmgrid_host.dir/host/load_trace.cpp.o" "gcc" "src/CMakeFiles/vmgrid_host.dir/host/load_trace.cpp.o.d"
+  "/root/repo/src/host/physical_host.cpp" "src/CMakeFiles/vmgrid_host.dir/host/physical_host.cpp.o" "gcc" "src/CMakeFiles/vmgrid_host.dir/host/physical_host.cpp.o.d"
+  "/root/repo/src/host/schedulers.cpp" "src/CMakeFiles/vmgrid_host.dir/host/schedulers.cpp.o" "gcc" "src/CMakeFiles/vmgrid_host.dir/host/schedulers.cpp.o.d"
+  "/root/repo/src/host/trace_playback.cpp" "src/CMakeFiles/vmgrid_host.dir/host/trace_playback.cpp.o" "gcc" "src/CMakeFiles/vmgrid_host.dir/host/trace_playback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

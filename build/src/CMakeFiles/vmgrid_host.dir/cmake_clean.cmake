@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_host.dir/host/cpu_engine.cpp.o"
+  "CMakeFiles/vmgrid_host.dir/host/cpu_engine.cpp.o.d"
+  "CMakeFiles/vmgrid_host.dir/host/load_trace.cpp.o"
+  "CMakeFiles/vmgrid_host.dir/host/load_trace.cpp.o.d"
+  "CMakeFiles/vmgrid_host.dir/host/physical_host.cpp.o"
+  "CMakeFiles/vmgrid_host.dir/host/physical_host.cpp.o.d"
+  "CMakeFiles/vmgrid_host.dir/host/schedulers.cpp.o"
+  "CMakeFiles/vmgrid_host.dir/host/schedulers.cpp.o.d"
+  "CMakeFiles/vmgrid_host.dir/host/trace_playback.cpp.o"
+  "CMakeFiles/vmgrid_host.dir/host/trace_playback.cpp.o.d"
+  "libvmgrid_host.a"
+  "libvmgrid_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

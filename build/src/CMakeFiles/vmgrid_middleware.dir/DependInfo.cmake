@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/accounting.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/accounting.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/accounting.cpp.o.d"
+  "/root/repo/src/middleware/archive.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/archive.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/archive.cpp.o.d"
+  "/root/repo/src/middleware/compute_server.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/compute_server.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/compute_server.cpp.o.d"
+  "/root/repo/src/middleware/console.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/console.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/console.cpp.o.d"
+  "/root/repo/src/middleware/constraint_lang.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/constraint_lang.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/constraint_lang.cpp.o.d"
+  "/root/repo/src/middleware/data_server.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/data_server.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/data_server.cpp.o.d"
+  "/root/repo/src/middleware/gram.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/gram.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/gram.cpp.o.d"
+  "/root/repo/src/middleware/grid.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/grid.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/grid.cpp.o.d"
+  "/root/repo/src/middleware/gridftp.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/gridftp.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/gridftp.cpp.o.d"
+  "/root/repo/src/middleware/image_server.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/image_server.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/image_server.cpp.o.d"
+  "/root/repo/src/middleware/information_service.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/information_service.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/information_service.cpp.o.d"
+  "/root/repo/src/middleware/logical_accounts.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/logical_accounts.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/logical_accounts.cpp.o.d"
+  "/root/repo/src/middleware/schedule_compiler.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/schedule_compiler.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/schedule_compiler.cpp.o.d"
+  "/root/repo/src/middleware/scheduler_service.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/scheduler_service.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/scheduler_service.cpp.o.d"
+  "/root/repo/src/middleware/session.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/session.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/session.cpp.o.d"
+  "/root/repo/src/middleware/testbed.cpp" "src/CMakeFiles/vmgrid_middleware.dir/middleware/testbed.cpp.o" "gcc" "src/CMakeFiles/vmgrid_middleware.dir/middleware/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_rps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

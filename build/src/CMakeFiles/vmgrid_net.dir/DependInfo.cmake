@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/CMakeFiles/vmgrid_net.dir/net/address.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/address.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/CMakeFiles/vmgrid_net.dir/net/dhcp.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/dhcp.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/vmgrid_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/overlay.cpp" "src/CMakeFiles/vmgrid_net.dir/net/overlay.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/overlay.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/vmgrid_net.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/net/tunnel.cpp" "src/CMakeFiles/vmgrid_net.dir/net/tunnel.cpp.o" "gcc" "src/CMakeFiles/vmgrid_net.dir/net/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_net.dir/net/address.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/address.cpp.o.d"
+  "CMakeFiles/vmgrid_net.dir/net/dhcp.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/dhcp.cpp.o.d"
+  "CMakeFiles/vmgrid_net.dir/net/network.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/vmgrid_net.dir/net/overlay.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/overlay.cpp.o.d"
+  "CMakeFiles/vmgrid_net.dir/net/rpc.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/rpc.cpp.o.d"
+  "CMakeFiles/vmgrid_net.dir/net/tunnel.cpp.o"
+  "CMakeFiles/vmgrid_net.dir/net/tunnel.cpp.o.d"
+  "libvmgrid_net.a"
+  "libvmgrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

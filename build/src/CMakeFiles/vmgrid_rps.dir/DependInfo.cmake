@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rps/predictors.cpp" "src/CMakeFiles/vmgrid_rps.dir/rps/predictors.cpp.o" "gcc" "src/CMakeFiles/vmgrid_rps.dir/rps/predictors.cpp.o.d"
+  "/root/repo/src/rps/runtime_predictor.cpp" "src/CMakeFiles/vmgrid_rps.dir/rps/runtime_predictor.cpp.o" "gcc" "src/CMakeFiles/vmgrid_rps.dir/rps/runtime_predictor.cpp.o.d"
+  "/root/repo/src/rps/sensor.cpp" "src/CMakeFiles/vmgrid_rps.dir/rps/sensor.cpp.o" "gcc" "src/CMakeFiles/vmgrid_rps.dir/rps/sensor.cpp.o.d"
+  "/root/repo/src/rps/timeseries.cpp" "src/CMakeFiles/vmgrid_rps.dir/rps/timeseries.cpp.o" "gcc" "src/CMakeFiles/vmgrid_rps.dir/rps/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_rps.dir/rps/predictors.cpp.o"
+  "CMakeFiles/vmgrid_rps.dir/rps/predictors.cpp.o.d"
+  "CMakeFiles/vmgrid_rps.dir/rps/runtime_predictor.cpp.o"
+  "CMakeFiles/vmgrid_rps.dir/rps/runtime_predictor.cpp.o.d"
+  "CMakeFiles/vmgrid_rps.dir/rps/sensor.cpp.o"
+  "CMakeFiles/vmgrid_rps.dir/rps/sensor.cpp.o.d"
+  "CMakeFiles/vmgrid_rps.dir/rps/timeseries.cpp.o"
+  "CMakeFiles/vmgrid_rps.dir/rps/timeseries.cpp.o.d"
+  "libvmgrid_rps.a"
+  "libvmgrid_rps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_rps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vmgrid_sim.dir/sim/logger.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/logger.cpp.o.d"
+  "CMakeFiles/vmgrid_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/vmgrid_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/simulation.cpp.o.d"
+  "CMakeFiles/vmgrid_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/vmgrid_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/vmgrid_sim.dir/sim/time.cpp.o.d"
+  "libvmgrid_sim.a"
+  "libvmgrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

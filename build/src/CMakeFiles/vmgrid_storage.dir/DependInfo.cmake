@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cpp" "src/CMakeFiles/vmgrid_storage.dir/storage/disk.cpp.o" "gcc" "src/CMakeFiles/vmgrid_storage.dir/storage/disk.cpp.o.d"
+  "/root/repo/src/storage/local_fs.cpp" "src/CMakeFiles/vmgrid_storage.dir/storage/local_fs.cpp.o" "gcc" "src/CMakeFiles/vmgrid_storage.dir/storage/local_fs.cpp.o.d"
+  "/root/repo/src/storage/nfs_client.cpp" "src/CMakeFiles/vmgrid_storage.dir/storage/nfs_client.cpp.o" "gcc" "src/CMakeFiles/vmgrid_storage.dir/storage/nfs_client.cpp.o.d"
+  "/root/repo/src/storage/nfs_server.cpp" "src/CMakeFiles/vmgrid_storage.dir/storage/nfs_server.cpp.o" "gcc" "src/CMakeFiles/vmgrid_storage.dir/storage/nfs_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

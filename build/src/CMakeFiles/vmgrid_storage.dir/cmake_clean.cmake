@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_storage.dir/storage/disk.cpp.o"
+  "CMakeFiles/vmgrid_storage.dir/storage/disk.cpp.o.d"
+  "CMakeFiles/vmgrid_storage.dir/storage/local_fs.cpp.o"
+  "CMakeFiles/vmgrid_storage.dir/storage/local_fs.cpp.o.d"
+  "CMakeFiles/vmgrid_storage.dir/storage/nfs_client.cpp.o"
+  "CMakeFiles/vmgrid_storage.dir/storage/nfs_client.cpp.o.d"
+  "CMakeFiles/vmgrid_storage.dir/storage/nfs_server.cpp.o"
+  "CMakeFiles/vmgrid_storage.dir/storage/nfs_server.cpp.o.d"
+  "libvmgrid_storage.a"
+  "libvmgrid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

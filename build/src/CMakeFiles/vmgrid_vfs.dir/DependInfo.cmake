@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/block_cache.cpp" "src/CMakeFiles/vmgrid_vfs.dir/vfs/block_cache.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vfs.dir/vfs/block_cache.cpp.o.d"
+  "/root/repo/src/vfs/grid_vfs.cpp" "src/CMakeFiles/vmgrid_vfs.dir/vfs/grid_vfs.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vfs.dir/vfs/grid_vfs.cpp.o.d"
+  "/root/repo/src/vfs/vfs_proxy.cpp" "src/CMakeFiles/vmgrid_vfs.dir/vfs/vfs_proxy.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vfs.dir/vfs/vfs_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_vfs.dir/vfs/block_cache.cpp.o"
+  "CMakeFiles/vmgrid_vfs.dir/vfs/block_cache.cpp.o.d"
+  "CMakeFiles/vmgrid_vfs.dir/vfs/grid_vfs.cpp.o"
+  "CMakeFiles/vmgrid_vfs.dir/vfs/grid_vfs.cpp.o.d"
+  "CMakeFiles/vmgrid_vfs.dir/vfs/vfs_proxy.cpp.o"
+  "CMakeFiles/vmgrid_vfs.dir/vfs/vfs_proxy.cpp.o.d"
+  "libvmgrid_vfs.a"
+  "libvmgrid_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvmgrid_vfs.a"
+)

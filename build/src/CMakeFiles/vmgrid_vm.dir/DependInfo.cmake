@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/migration.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/migration.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/migration.cpp.o.d"
+  "/root/repo/src/vm/overhead_model.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/overhead_model.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/overhead_model.cpp.o.d"
+  "/root/repo/src/vm/task_runner.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/task_runner.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/task_runner.cpp.o.d"
+  "/root/repo/src/vm/virtual_machine.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/virtual_machine.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/virtual_machine.cpp.o.d"
+  "/root/repo/src/vm/vm_disk.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/vm_disk.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/vm_disk.cpp.o.d"
+  "/root/repo/src/vm/vm_image.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/vm_image.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/vm_image.cpp.o.d"
+  "/root/repo/src/vm/vmm.cpp" "src/CMakeFiles/vmgrid_vm.dir/vm/vmm.cpp.o" "gcc" "src/CMakeFiles/vmgrid_vm.dir/vm/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

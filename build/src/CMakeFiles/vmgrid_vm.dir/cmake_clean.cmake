@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_vm.dir/vm/migration.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/migration.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/overhead_model.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/overhead_model.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/task_runner.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/task_runner.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/virtual_machine.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/virtual_machine.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/vm_disk.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/vm_disk.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/vm_image.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/vm_image.cpp.o.d"
+  "CMakeFiles/vmgrid_vm.dir/vm/vmm.cpp.o"
+  "CMakeFiles/vmgrid_vm.dir/vm/vmm.cpp.o.d"
+  "libvmgrid_vm.a"
+  "libvmgrid_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_workload.dir/workload/spec_benchmarks.cpp.o"
+  "CMakeFiles/vmgrid_workload.dir/workload/spec_benchmarks.cpp.o.d"
+  "CMakeFiles/vmgrid_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/vmgrid_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/vmgrid_workload.dir/workload/task_spec.cpp.o"
+  "CMakeFiles/vmgrid_workload.dir/workload/task_spec.cpp.o.d"
+  "libvmgrid_workload.a"
+  "libvmgrid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_constraint_lang.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_constraint_lang.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_constraint_lang.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_isolation.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_isolation.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_isolation.cpp.o.d"
+  "/root/repo/tests/test_middleware.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_middleware.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_middleware.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rps.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_rps.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_rps.cpp.o.d"
+  "/root/repo/tests/test_services.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_services.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_services.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_vfs.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_vfs.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_vfs.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/vmgrid_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/vmgrid_tests.dir/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vmgrid_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_rps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vmgrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

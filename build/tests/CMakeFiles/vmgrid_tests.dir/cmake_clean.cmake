@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmgrid_tests.dir/test_constraint_lang.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_constraint_lang.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_failure_injection.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_failure_injection.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_host.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_host.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_isolation.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_isolation.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_middleware.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_middleware.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_net.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_rps.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_rps.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_services.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_services.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_storage.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_storage.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_system.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_system.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_vfs.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_vfs.cpp.o.d"
+  "CMakeFiles/vmgrid_tests.dir/test_vm.cpp.o"
+  "CMakeFiles/vmgrid_tests.dir/test_vm.cpp.o.d"
+  "vmgrid_tests"
+  "vmgrid_tests.pdb"
+  "vmgrid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmgrid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
