@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "sim/stats.hpp"
 
 namespace vmgrid::bench {
@@ -32,10 +35,146 @@ inline void print_shape_check(const std::string& claim, bool holds) {
 
 [[nodiscard]] inline int shape_exit_code() { return shape_failures() == 0 ? 0 : 1; }
 
+/// Accumulator that also retains the raw samples, so the JSON reporter
+/// can emit exact p50/p99 (nearest-rank) instead of binned estimates.
+/// Mirrors the sim::Accumulator reader API so bench code can swap types.
+class SampleSet {
+ public:
+  void add(double x) {
+    acc_.add(x);
+    samples_.push_back(x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return acc_.count(); }
+  [[nodiscard]] double mean() const { return acc_.mean(); }
+  [[nodiscard]] double stddev() const { return acc_.stddev(); }
+  [[nodiscard]] double min() const { return acc_.min(); }
+  [[nodiscard]] double max() const { return acc_.max(); }
+  [[nodiscard]] double sum() const { return acc_.sum(); }
+  [[nodiscard]] const sim::Accumulator& accumulator() const { return acc_; }
+
+  /// Nearest-rank percentile over the raw samples; 0.0 when empty.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    if (p <= 0.0) return s.front();
+    if (p >= 100.0) return s.back();
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(s.size()) + 0.5);
+    return s[std::min(rank == 0 ? 0 : rank - 1, s.size() - 1)];
+  }
+
+ private:
+  sim::Accumulator acc_;
+  std::vector<double> samples_;
+};
+
 struct StatRow {
   std::string label;
   sim::Accumulator measured;
   double paper_mean{0.0};
+};
+
+/// Machine-readable bench output: one BENCH_<name>.json per bench with
+/// per-scenario count/mean/std/min/max/p50/p99 plus free-form numeric
+/// fields. Schema:
+///   {"bench":"<name>","schema":"vmgrid-bench-v1","unit":"<unit>",
+///    "scenarios":[{"name":...,"count":...,"mean":...,"std":...,
+///                  "min":...,"max":...,"p50":...,"p99":...,
+///                  "fields":{...}}]}
+/// Scenario order is insertion order, and numbers are emitted through
+/// obs::json, so identical runs produce byte-identical files.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : bench_{std::move(bench_name)} {}
+
+  void set_unit(std::string unit) { unit_ = std::move(unit); }
+
+  void add_sample(const std::string& scenario, double v) {
+    scenario_for(scenario).samples.add(v);
+  }
+
+  void add_samples(const std::string& scenario, const SampleSet& s) {
+    scenario_for(scenario).samples = s;
+  }
+
+  void add_field(const std::string& scenario, const std::string& key, double v) {
+    auto& sc = scenario_for(scenario);
+    for (auto& [k, existing] : sc.fields) {
+      if (k == key) {
+        existing = v;
+        return;
+      }
+    }
+    sc.fields.emplace_back(key, v);
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    namespace js = obs::json;
+    std::string out = "{\"bench\":" + js::quote(bench_) +
+                      ",\"schema\":\"vmgrid-bench-v1\",\"unit\":" + js::quote(unit_) +
+                      ",\"scenarios\":[";
+    bool first = true;
+    for (const auto& sc : scenarios_) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":" + js::quote(sc.name);
+      out += ",\"count\":" + js::number(static_cast<double>(sc.samples.count()));
+      out += ",\"mean\":" + js::number(sc.samples.mean());
+      out += ",\"std\":" + js::number(sc.samples.stddev());
+      out += ",\"min\":" + js::number(sc.samples.min());
+      out += ",\"max\":" + js::number(sc.samples.max());
+      out += ",\"p50\":" + js::number(sc.samples.percentile(50.0));
+      out += ",\"p99\":" + js::number(sc.samples.percentile(99.0));
+      out += ",\"fields\":{";
+      bool ffirst = true;
+      for (const auto& [k, v] : sc.fields) {
+        if (!ffirst) out += ",";
+        ffirst = false;
+        out += js::quote(k) + ":" + js::number(v);
+      }
+      out += "}}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory; returns false
+  /// (and prints a warning) on I/O failure.
+  bool write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string doc = to_json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Scenario {
+    std::string name;
+    SampleSet samples;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  Scenario& scenario_for(const std::string& name) {
+    for (auto& sc : scenarios_) {
+      if (sc.name == name) return sc;
+    }
+    scenarios_.push_back(Scenario{name, {}, {}});
+    return scenarios_.back();
+  }
+
+  std::string bench_;
+  std::string unit_{"seconds"};
+  std::vector<Scenario> scenarios_;
 };
 
 inline void print_stat_table(const std::vector<StatRow>& rows,

@@ -178,6 +178,21 @@ void print_table() {
       "(the Denali trade: no unmodified legacy guests)",
       r.light8.mean_boot_s * 5.0 < r.classic.back().mean_boot_s &&
           r.light_capacity > 10 * r.classic_capacity);
+
+  bench::JsonReporter report{"consolidation"};
+  report.set_unit("cpu_seconds_per_wall_second");
+  for (const auto& p : r.classic) {
+    const std::string name = "classic/" + std::to_string(p.vms) + "vms";
+    report.add_sample(name, p.aggregate_throughput);
+    report.add_field(name, "mean_boot_s", p.mean_boot_s);
+    report.add_field(name, "per_vm_throughput", p.per_vm_throughput);
+  }
+  report.add_sample("lightweight/8vms", r.light8.aggregate_throughput);
+  report.add_field("lightweight/8vms", "mean_boot_s", r.light8.mean_boot_s);
+  report.add_field("lightweight/8vms", "per_vm_throughput", r.light8.per_vm_throughput);
+  report.add_field("lightweight/8vms", "capacity", static_cast<double>(r.light_capacity));
+  report.add_field("classic/12vms", "capacity", static_cast<double>(r.classic_capacity));
+  report.write();
 }
 
 }  // namespace

@@ -69,7 +69,7 @@ host::LoadTraceParams heavy_params() {
   return p;
 }
 
-sim::Accumulator run_scenario(const Scenario& sc, std::uint64_t seed) {
+vmgrid::bench::SampleSet run_scenario(const Scenario& sc, std::uint64_t seed) {
   Grid grid{seed};
   auto& sim = grid.simulation();
   auto& cs = grid.add_compute_server(testbed::paper_compute("fig1", testbed::fig1_host()));
@@ -103,7 +103,7 @@ sim::Accumulator run_scenario(const Scenario& sc, std::uint64_t seed) {
     }
   }
 
-  sim::Accumulator slowdown;
+  vmgrid::bench::SampleSet slowdown;
   int completed = 0;
   std::function<void()> next_sample = [&] {
     if (completed >= kSamples) {
@@ -128,9 +128,9 @@ sim::Accumulator run_scenario(const Scenario& sc, std::uint64_t seed) {
   return slowdown;
 }
 
-std::array<sim::Accumulator, kScenarios.size()>& results() {
-  static std::array<sim::Accumulator, kScenarios.size()> acc = [] {
-    std::array<sim::Accumulator, kScenarios.size()> a;
+std::array<bench::SampleSet, kScenarios.size()>& results() {
+  static std::array<bench::SampleSet, kScenarios.size()> acc = [] {
+    std::array<bench::SampleSet, kScenarios.size()> a;
     for (std::size_t i = 0; i < kScenarios.size(); ++i) {
       a[i] = run_scenario(kScenarios[i], 7000 + i);
     }
@@ -188,6 +188,13 @@ void print_figure() {
   bench::print_shape_check(
       "trapped guest context switches: in-VM load slows the in-VM test task most",
       mean(11) >= mean(10) - 0.01);
+
+  bench::JsonReporter report{"fig1_microbenchmark"};
+  report.set_unit("slowdown");
+  for (std::size_t i = 0; i < kScenarios.size(); ++i) {
+    report.add_samples(kScenarios[i].label, acc[i]);
+  }
+  report.write();
 }
 
 }  // namespace

@@ -136,6 +136,19 @@ void print_table() {
                            loose_big.recall > tight_big.recall * 10.0);
   bench::print_shape_check("the join returns usable placements within its bound",
                            join_pairs > 0 && join_ms <= 55.0);
+
+  bench::JsonReporter report{"information_service"};
+  report.set_unit("milliseconds");
+  for (const auto& c : r) {
+    const std::string name = std::to_string(c.registry_size) + "rec/" +
+                             std::to_string(static_cast<long long>(c.bound.to_millis())) +
+                             "ms";
+    report.add_sample(name, c.latency_ms);
+    report.add_field(name, "recall", c.recall);
+  }
+  report.add_sample("join/64x64", join_ms);
+  report.add_field("join/64x64", "pairs", static_cast<double>(join_pairs));
+  report.write();
 }
 
 }  // namespace

@@ -121,6 +121,18 @@ void print_table() {
       "prediction cuts the worst-case response vs random by >15% (no job lands on "
       "the overloaded host)",
       r.predicted.p_max_response_s < r.random.p_max_response_s * 0.85);
+
+  bench::JsonReporter report{"job_placement"};
+  report.set_unit("seconds");
+  auto add = [&](const char* name, const Outcome& o) {
+    report.add_sample(name, o.mean_response_s);
+    report.add_field(name, "max_response_s", o.p_max_response_s);
+    report.add_field(name, "makespan_s", o.makespan_s);
+  };
+  add("random", r.random);
+  add("least-loaded", r.least_loaded);
+  add("predicted-runtime", r.predicted);
+  report.write();
 }
 
 }  // namespace

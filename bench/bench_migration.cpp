@@ -149,6 +149,20 @@ void print_table() {
   bench::print_shape_check(
       "WAN migration is dominated by the pipe (512MB WAN total > 3 min)",
       r[idx(512, true, false)].total_s > 180.0);
+
+  bench::JsonReporter report{"migration"};
+  report.set_unit("seconds");
+  for (std::size_t i = 0; i < cases().size(); ++i) {
+    const auto& c = cases()[i];
+    const std::string name = std::to_string(c.memory_mb) + "MB/" +
+                             (c.wan ? "wan" : "lan") + "/" +
+                             (c.precopy ? "precopy" : "stop-and-copy");
+    report.add_sample(name, r[i].total_s);
+    report.add_field(name, "downtime_s", r[i].downtime_s);
+    report.add_field(name, "mb_moved", r[i].mb_moved);
+    report.add_field(name, "task_survived", r[i].task_survived ? 1.0 : 0.0);
+  }
+  report.write();
 }
 
 }  // namespace

@@ -144,6 +144,17 @@ void print_table() {
   bench::print_shape_check(
       "...and shows the worst short-window jitter of all mechanisms",
       r[4].jitter > 2.0 * std::max({r[0].jitter, r[1].jitter, r[2].jitter}));
+
+  bench::JsonReporter report{"resource_control"};
+  report.set_unit("cpu_share");
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const std::string name = mechanisms()[i].name;
+    report.add_sample(name, r[i].guest_share);
+    report.add_field(name, "owner_share", r[i].owner_share);
+    report.add_field(name, "jitter", r[i].jitter);
+    report.add_field(name, "target", 0.25);
+  }
+  report.write();
 }
 
 }  // namespace

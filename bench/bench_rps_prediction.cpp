@@ -143,6 +143,20 @@ void print_table() {
   const auto& rt = runtime_results();
   bench::print_shape_check("predicted runtime grows with background load",
                            rt.back().predicted_s > rt.front().predicted_s * 2.0);
+
+  bench::JsonReporter report{"rps_prediction"};
+  report.set_unit("mse");
+  for (const auto& row : rows) {
+    report.add_sample("mse/" + row.name + "/light", row.mse_light);
+    report.add_sample("mse/" + row.name + "/heavy", row.mse_heavy);
+  }
+  for (const auto& row : rt) {
+    char name[48];
+    std::snprintf(name, sizeof name, "runtime/load%.1f", row.load);
+    report.add_sample(name, row.actual_s);
+    report.add_field(name, "predicted_s", row.predicted_s);
+  }
+  report.write();
 }
 
 }  // namespace

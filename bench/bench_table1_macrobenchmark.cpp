@@ -153,6 +153,19 @@ void print_table() {
                                t.rows[4].user / t.rows[3].user > 1.03);
   bench::print_shape_check("system time is a tiny fraction of total everywhere",
                            t.rows[2].sys / t.rows[2].total() < 0.02);
+
+  bench::JsonReporter report{"table1_macrobenchmark"};
+  report.set_unit("cpu_seconds");
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    const Row& r = t.rows[i];
+    report.add_sample(r.label, r.total());
+    report.add_field(r.label, "user_s", r.user);
+    report.add_field(r.label, "sys_s", r.sys);
+    report.add_field(r.label, "wall_s", r.wall);
+    report.add_field(r.label, "paper_user_s", r.paper_user);
+    report.add_field(r.label, "paper_sys_s", r.paper_sys);
+  }
+  report.write();
 }
 
 }  // namespace

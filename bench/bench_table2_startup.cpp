@@ -7,10 +7,13 @@
 
 #include <array>
 #include <optional>
+#include <string>
 
 #include "bench_common.hpp"
 #include "middleware/gram.hpp"
 #include "middleware/testbed.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 
@@ -69,9 +72,9 @@ double run_startup_sample(const Cell& cell, std::uint64_t seed) {
   return elapsed.value_or(-1.0);
 }
 
-std::array<sim::Accumulator, kCells.size()>& results() {
-  static std::array<sim::Accumulator, kCells.size()> acc = [] {
-    std::array<sim::Accumulator, kCells.size()> a;
+std::array<bench::SampleSet, kCells.size()>& results() {
+  static std::array<bench::SampleSet, kCells.size()> acc = [] {
+    std::array<bench::SampleSet, kCells.size()> a;
     for (std::size_t c = 0; c < kCells.size(); ++c) {
       for (int s = 0; s < kSamples; ++s) {
         a[c].add(run_startup_sample(kCells[c], 1000 + 17 * s));
@@ -82,12 +85,53 @@ std::array<sim::Accumulator, kCells.size()>& results() {
   return acc;
 }
 
+/// One traced pass over the whole matrix in a single simulation, so the
+/// Chrome trace shows all six Table 2 cells (vm.instantiate with its
+/// vm.stage + vm.reboot/vm.restore children, and the per-VM boot/restore
+/// phase spans) on a shared timeline.
+void write_combined_trace() {
+  testbed::StartupTestbed tb{7};
+  auto& grid = *tb.grid;
+  ComputeServer* cs = tb.compute;
+  grid.simulation().trace().enable();
+
+  for (std::size_t c = 0; c < kCells.size(); ++c) {
+    const Cell& cell = kCells[c];
+    vm::VirtualMachine* started = nullptr;
+    cs->gram().set_executor([&](const std::string&, GramService::ExecutorDone done) {
+      InstantiateOptions opts;
+      opts.config = testbed::paper_vm("vm-t2-cell" + std::to_string(c));
+      opts.image = testbed::paper_image();
+      opts.mode = cell.mode;
+      opts.access = cell.access;
+      cs->instantiate(std::move(opts),
+                      [&started, done = std::move(done)](vm::VirtualMachine* vmachine,
+                                                         InstantiationStats stats) {
+                        started = vmachine;
+                        done(vmachine != nullptr, stats.error);
+                      });
+    });
+    GramClient client{grid.fabric(), tb.client};
+    client.globusrun(cs->node(), "start-vm", [](GramJobResult) {});
+    grid.run();
+    // Tear the instance down so the next cell starts from a clean slot.
+    if (started != nullptr) cs->destroy_vm(*started);
+  }
+
+  const std::string path = "BENCH_table2_startup.trace.json";
+  if (grid.simulation().trace().write_chrome_json(path)) {
+    std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                path.c_str());
+  }
+}
+
 void BM_Startup(benchmark::State& state) {
   const auto& cell = kCells[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_startup_sample(cell, 42));
   }
-  state.counters["sim_startup_s"] = results()[static_cast<std::size_t>(state.range(0))].mean();
+  state.counters["sim_startup_s"] =
+      results()[static_cast<std::size_t>(state.range(0))].mean();
 }
 BENCHMARK(BM_Startup)->DenseRange(0, static_cast<int>(kCells.size()) - 1)
     ->Unit(benchmark::kMillisecond);
@@ -98,9 +142,18 @@ void print_table() {
       "Table 2 reproduction: VM startup times via globusrun (seconds, 10 samples)");
   std::vector<bench::StatRow> rows;
   for (std::size_t c = 0; c < kCells.size(); ++c) {
-    rows.push_back(bench::StatRow{kCells[c].label, acc[c], kCells[c].paper_mean});
+    rows.push_back(
+        bench::StatRow{kCells[c].label, acc[c].accumulator(), kCells[c].paper_mean});
   }
   bench::print_stat_table(rows, "s");
+
+  bench::JsonReporter report{"table2_startup"};
+  report.set_unit("seconds");
+  for (std::size_t c = 0; c < kCells.size(); ++c) {
+    report.add_samples(kCells[c].label, acc[c]);
+    report.add_field(kCells[c].label, "paper_mean_s", kCells[c].paper_mean);
+  }
+  report.write();
 
   std::printf("\nShape checks (paper's qualitative findings):\n");
   const auto mean = [&](std::size_t i) { return acc[i].mean(); };
@@ -123,5 +176,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   print_table();
+  write_combined_trace();
   return vmgrid::bench::shape_exit_code();
 }

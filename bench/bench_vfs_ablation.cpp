@@ -124,6 +124,16 @@ void print_table() {
                            r[2].warm_s * 100.0 < r[2].cold_s);
   bench::print_shape_check("a too-small cache loses the warm-read benefit",
                            r[5].warm_s > r[2].warm_s * 10.0);
+
+  bench::JsonReporter report{"vfs_ablation"};
+  report.set_unit("seconds");
+  for (std::size_t i = 0; i < configs().size(); ++i) {
+    const std::string name = configs()[i].label;
+    report.add_sample(name + " / cold", r[i].cold_s);
+    report.add_field(name + " / cold", "rpcs", static_cast<double>(r[i].rpcs));
+    report.add_sample(name + " / warm", r[i].warm_s);
+  }
+  report.write();
 }
 
 }  // namespace

@@ -132,6 +132,17 @@ void print_table() {
   bench::print_shape_check(
       "2nd instance boots faster than the first (cache-warm boot path)",
       r.on_demand_two.seconds < r.on_demand_one.seconds * 1.9);
+
+  bench::JsonReporter report{"vfs_image_management"};
+  report.set_unit("seconds");
+  auto add = [&](const char* name, const Outcome& o) {
+    report.add_sample(name, o.seconds);
+    report.add_field(name, "wan_mb", o.wan_mb);
+  };
+  add("gridftp-staged", r.staged);
+  add("on-demand/1-instance", r.on_demand_one);
+  add("on-demand/2-instances", r.on_demand_two);
+  report.write();
 }
 
 }  // namespace

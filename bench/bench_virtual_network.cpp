@@ -174,6 +174,24 @@ void print_table() {
   bench::print_shape_check("detour restores latency within ~2x of the healthy path",
                            r.overlay_detour_after_ms < 2.0 * r.overlay_before_ms &&
                                r.overlay_detour_after_ms * 4 < r.overlay_direct_after_ms);
+
+  bench::JsonReporter report{"virtual_network"};
+  report.set_unit("seconds");
+  report.add_sample("dhcp/lease", r.dhcp_lease_ms / 1000.0);
+  report.add_sample("tunnel/setup", r.tunnel_setup_s);
+  for (const auto& row : r.tunnel) {
+    const std::string name =
+        "tunnel/" + std::to_string(static_cast<unsigned long long>(row.payload >> 10)) +
+        "KB";
+    report.add_sample(name, row.tunneled_s);
+    report.add_field(name, "direct_s", row.direct_s);
+  }
+  report.add_sample("overlay/before_degradation", r.overlay_before_ms / 1000.0);
+  report.add_sample("overlay/direct_after", r.overlay_direct_after_ms / 1000.0);
+  report.add_sample("overlay/detour_after", r.overlay_detour_after_ms / 1000.0);
+  report.add_field("overlay/detour_after", "path_len",
+                   static_cast<double>(r.overlay_path_len));
+  report.write();
 }
 
 }  // namespace

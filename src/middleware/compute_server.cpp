@@ -1,7 +1,11 @@
 #include "middleware/compute_server.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vmgrid::middleware {
 
@@ -177,21 +181,32 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
   if (opts.config.persistent != (opts.access == StateAccess::kPersistentCopy)) {
     opts.config.persistent = opts.access == StateAccess::kPersistentCopy;
   }
+  sim_.metrics().counter("compute.instantiations", {{"host", host_.name()}}).inc();
+  auto span = std::make_shared<obs::Span>(sim_, "vm.instantiate", host_.name());
+  span->arg("vm", opts.config.name);
+  span->arg("mode", to_string(opts.mode));
+  span->arg("access", to_string(opts.access));
+  auto stage_span = std::make_shared<obs::Span>(sim_, "vm.stage", host_.name());
   // Count the request against the advertised future immediately so
   // concurrent placement decisions see this slot as taken.
   ++pending_instantiations_;
   refresh_published();
-  auto fail = [this, t0](InstantiationStats& stats, std::string error,
-                         InstantiateCallback& done) {
+  update_gauges();
+  auto fail = [this, t0, span](InstantiationStats& stats, std::string error,
+                               InstantiateCallback& done) {
     --pending_instantiations_;
     refresh_published();
+    update_gauges();
     stats.ok = false;
     stats.error = std::move(error);
     stats.total = sim_.now() - t0;
+    span->arg("ok", "false");
+    span->end();
     done(nullptr, std::move(stats));
   };
-  prepare_storage(opts, [this, opts, t0, fail, cb = std::move(cb)](
+  prepare_storage(opts, [this, opts, t0, fail, span, stage_span, cb = std::move(cb)](
                             bool ok, std::string error, vm::VmStorage storage) mutable {
+    stage_span->end();
     InstantiationStats stats;
     stats.access = opts.access;
     stats.mode = opts.mode;
@@ -208,12 +223,20 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
       return;
     }
     const auto t_start = sim_.now();
-    auto on_running = [this, vmachine, t0, t_start, stats, cb = std::move(cb)]() mutable {
+    auto start_span = std::make_shared<obs::Span>(
+        sim_, opts.mode == VmStartMode::kColdBoot ? "vm.reboot" : "vm.restore",
+        host_.name());
+    auto on_running = [this, vmachine, t0, t_start, stats, span, start_span,
+                       cb = std::move(cb)]() mutable {
+      start_span->end();
       ++instantiations_;
       --pending_instantiations_;
       refresh_published();
+      update_gauges();
       stats.start_time = sim_.now() - t_start;
       stats.total = sim_.now() - t0;
+      span->arg("ok", "true");
+      span->end();
       cb(vmachine, std::move(stats));
     };
     if (opts.mode == VmStartMode::kColdBoot) {
@@ -227,6 +250,15 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
 void ComputeServer::destroy_vm(vm::VirtualMachine& vmachine) {
   vmm_.destroy_vm(vmachine);
   refresh_published();
+  update_gauges();
+}
+
+void ComputeServer::update_gauges() {
+  auto& m = sim_.metrics();
+  const obs::Labels labels{{"host", host_.name()}};
+  m.gauge("compute.pending_instantiations", labels)
+      .set(static_cast<double>(pending_instantiations_));
+  m.gauge("compute.active_vms", labels).set(static_cast<double>(vmm_.vm_count()));
 }
 
 void ComputeServer::publish(InformationService& info) {

@@ -125,6 +125,7 @@ class ComputeServer {
 
  private:
   void refresh_published();
+  void update_gauges();
   [[nodiscard]] vfs::VfsMount& vfs_mount_for(net::NodeId image_server);
 
   sim::Simulation& sim_;

@@ -1,6 +1,11 @@
 #include "middleware/gram.hpp"
 
+#include <memory>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
 
 namespace vmgrid::middleware {
 
@@ -35,13 +40,27 @@ GramService::GramService(net::RpcServer& server, GramParams params)
         }
         ++jobs_;
         auto& sim = server_.fabric().simulation();
+        sim.metrics().counter("gram.jobs").inc();
+        // Job-lifecycle spans: gram.job wraps the gatekeeper phases
+        // (auth+jobmanager, then the executed job) on the "gram" track.
+        auto job_span = std::make_shared<obs::Span>(sim, "gram.job", "gram");
+        job_span->arg("rsl", args.rsl);
+        auto setup_span =
+            std::make_shared<obs::Span>(sim, "gram.auth+jobmanager", "gram");
         // GSI mutual authentication, then jobmanager fork/exec, then the
         // job itself; the reply is held until the job completes (the
         // -interactive globusrun behaviour the paper timed).
         sim.schedule_after(
             params_.auth_time + params_.jobmanager_startup,
-            [this, rsl = args.rsl, respond = std::move(respond)]() mutable {
-              executor_(rsl, [respond = std::move(respond)](bool ok, std::string output) {
+            [this, &sim, job_span, setup_span, rsl = args.rsl,
+             respond = std::move(respond)]() mutable {
+              setup_span->end();
+              auto exec_span = std::make_shared<obs::Span>(sim, "gram.execute", "gram");
+              executor_(rsl, [job_span, exec_span, respond = std::move(respond)](
+                                 bool ok, std::string output) {
+                exec_span->end();
+                job_span->arg("ok", ok ? "true" : "false");
+                job_span->end();
                 respond(net::RpcResponse{.ok = ok,
                                          .error = ok ? "" : output,
                                          .response_bytes = 256,
@@ -61,6 +80,10 @@ void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
               [&fabric, started, cb = std::move(cb)](net::RpcResponse resp) {
                 GramJobResult r;
                 r.elapsed = fabric.simulation().now() - started;
+                fabric.simulation()
+                    .metrics()
+                    .histogram("gram.globusrun_s", obs::HistogramOptions{0.0, 600.0, 120})
+                    .observe(r.elapsed.to_seconds());
                 r.ok = resp.ok;
                 if (resp.ok) {
                   r.output = std::any_cast<const SubmitReply&>(resp.payload).output;

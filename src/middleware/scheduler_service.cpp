@@ -6,6 +6,7 @@
 
 #include "middleware/grid.hpp"
 #include "middleware/testbed.hpp"
+#include "obs/metrics.hpp"
 
 namespace vmgrid::middleware {
 
@@ -44,7 +45,15 @@ void SchedulerService::submit(const std::string& owner, workload::TaskSpec spec,
   job.cb = std::move(cb);
   job.submitted = grid_.simulation().now();
   queue_.push_back(std::move(job));
+  grid_.simulation().metrics().counter("scheduler.jobs_submitted").inc();
+  update_gauges();
   pump();
+}
+
+void SchedulerService::update_gauges() {
+  auto& m = grid_.simulation().metrics();
+  m.gauge("scheduler.queue_depth").set(static_cast<double>(queue_.size()));
+  m.gauge("scheduler.running_jobs").set(static_cast<double>(running_));
 }
 
 void SchedulerService::ensure_worker_vm(Worker& w) {
@@ -140,6 +149,7 @@ void SchedulerService::pump() {
 void SchedulerService::dispatch(Worker& w, PendingJob job) {
   ++w.busy_slots;
   ++running_;
+  update_gauges();
   const auto started = grid_.simulation().now();
   const auto submitted = job.submitted;
   const std::string owner = job.owner;
@@ -149,6 +159,8 @@ void SchedulerService::dispatch(Worker& w, PendingJob job) {
       [this, &w, started, submitted, owner, cb = std::move(cb)](vm::TaskResult r) {
         --w.busy_slots;
         --running_;
+        grid_.simulation().metrics().counter("scheduler.jobs_completed").inc();
+        update_gauges();
         grid_.accounting().charge_cpu(owner, r.total_cpu_seconds());
         grid_.accounting().count_task(owner);
         BatchJobResult out;

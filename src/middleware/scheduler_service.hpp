@@ -91,6 +91,7 @@ class SchedulerService {
   };
 
   void pump();
+  void update_gauges();
   [[nodiscard]] Worker* pick_worker(const PendingJob& job);
   void ensure_worker_vm(Worker& w);
   void dispatch(Worker& w, PendingJob job);

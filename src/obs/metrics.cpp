@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace vmgrid::obs {
+
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void append_labels_json(std::string& out, const Labels& labels) {
+  out += "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(k);
+    out += ":";
+    out += json::quote(v);
+  }
+  out += "}";
+}
+
+std::string labels_csv(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::key(std::string_view name, const Labels& labels) {
+  std::string k{name};
+  if (labels.empty()) return k;
+  k += '{';
+  const Labels s = sorted(labels);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) k += ',';
+    k += s[i].first;
+    k += '=';
+    k += s[i].second;
+  }
+  k += '}';
+  return k;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  auto k = key(name, labels);
+  auto it = counters_.find(k);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::move(k),
+                      Instrument<Counter>{std::string{name}, sorted(labels), {}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  auto k = key(name, labels);
+  auto it = gauges_.find(k);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::move(k),
+                      Instrument<Gauge>{std::string{name}, sorted(labels), {}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, HistogramOptions opts,
+                                            const Labels& labels) {
+  auto k = key(name, labels);
+  auto it = histograms_.find(k);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::move(k), Instrument<HistogramMetric>{
+                                        std::string{name}, sorted(labels),
+                                        HistogramMetric{opts}})
+             .first;
+  }
+  return it->second.metric;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name,
+                                             const Labels& labels) const {
+  auto it = counters_.find(key(name, labels));
+  return it == counters_.end() ? nullptr : &it->second.metric;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name,
+                                         const Labels& labels) const {
+  auto it = gauges_.find(key(name, labels));
+  return it == gauges_.end() ? nullptr : &it->second.metric;
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(std::string_view name,
+                                                       const Labels& labels) const {
+  auto it = histograms_.find(key(name, labels));
+  return it == histograms_.end() ? nullptr : &it->second.metric;
+}
+
+double MetricsRegistry::counter_value(std::string_view name, const Labels& labels) const {
+  const Counter* c = find_counter(name, labels);
+  return c ? c->value() : 0.0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name, const Labels& labels) const {
+  const Gauge* g = find_gauge(name, labels);
+  return g ? g->value() : 0.0;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [k, inst] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json::quote(inst.name) + ",\"labels\":";
+    append_labels_json(out, inst.labels);
+    out += ",\"value\":" + json::number(inst.metric.value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [k, inst] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json::quote(inst.name) + ",\"labels\":";
+    append_labels_json(out, inst.labels);
+    out += ",\"value\":" + json::number(inst.metric.value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [k, inst] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const auto& acc = inst.metric.summary();
+    const auto& h = inst.metric.histogram();
+    out += "{\"name\":" + json::quote(inst.name) + ",\"labels\":";
+    append_labels_json(out, inst.labels);
+    out += ",\"count\":" + json::number(static_cast<double>(acc.count()));
+    out += ",\"mean\":" + json::number(acc.mean());
+    out += ",\"std\":" + json::number(acc.stddev());
+    out += ",\"min\":" + json::number(acc.min());
+    out += ",\"max\":" + json::number(acc.max());
+    out += ",\"p50\":" + json::number(h.percentile(50.0));
+    out += ",\"p90\":" + json::number(h.percentile(90.0));
+    out += ",\"p99\":" + json::number(h.percentile(99.0));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "type,name,labels,value,count,mean,std,min,max,p50,p99\n";
+  for (const auto& [k, inst] : counters_) {
+    out += "counter," + inst.name + "," + labels_csv(inst.labels) + "," +
+           json::number(inst.metric.value()) + ",,,,,,,\n";
+  }
+  for (const auto& [k, inst] : gauges_) {
+    out += "gauge," + inst.name + "," + labels_csv(inst.labels) + "," +
+           json::number(inst.metric.value()) + ",,,,,,,\n";
+  }
+  for (const auto& [k, inst] : histograms_) {
+    const auto& acc = inst.metric.summary();
+    const auto& h = inst.metric.histogram();
+    out += "histogram," + inst.name + "," + labels_csv(inst.labels) + ",," +
+           json::number(static_cast<double>(acc.count())) + "," +
+           json::number(acc.mean()) + "," + json::number(acc.stddev()) + "," +
+           json::number(acc.min()) + "," + json::number(acc.max()) + "," +
+           json::number(h.percentile(50.0)) + "," + json::number(h.percentile(99.0)) +
+           "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) return false;
+  f << to_json() << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace vmgrid::obs

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace vmgrid::obs {
+
+/// Label set attached to a metric instance. Call-site order does not
+/// matter: labels are canonicalized (sorted by key) before lookup, so
+/// {{"op","read"},{"node","a"}} and {{"node","a"},{"op","read"}} name
+/// the same instance.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (events, bytes, cache hits...).
+/// Negative increments are dropped so the monotonicity contract holds.
+class Counter {
+ public:
+  void inc(double d = 1.0) {
+    if (d > 0.0) v_ += d;
+  }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_{0.0};
+};
+
+/// Instantaneous level (queue depth, active VMs, dirty blocks...).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_{0.0};
+};
+
+struct HistogramOptions {
+  double lo{0.0};
+  double hi{1.0};
+  std::size_t bins{64};
+};
+
+/// Sample distribution: a fixed-bin sim::Histogram for percentiles plus
+/// a streaming sim::Accumulator for exact moments.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(HistogramOptions opts)
+      : hist_{opts.lo, opts.hi, opts.bins} {}
+
+  void observe(double x) {
+    acc_.add(x);
+    hist_.add(x);
+  }
+
+  [[nodiscard]] const sim::Accumulator& summary() const { return acc_; }
+  [[nodiscard]] const sim::Histogram& histogram() const { return hist_; }
+
+  /// Cross-run aggregation (bench reporter): both sides must share the
+  /// same bin layout.
+  void merge(const HistogramMetric& o) {
+    acc_.merge(o.acc_);
+    hist_.merge(o.hist_);
+  }
+
+ private:
+  sim::Accumulator acc_;
+  sim::Histogram hist_;
+};
+
+/// Named+labeled metric store owned by the Simulation. Registration is
+/// idempotent: the same (name, labels) always returns the same object,
+/// so instrumented components can cache references across calls.
+/// Iteration order is the canonical key order, which makes the JSON/CSV
+/// snapshots deterministic across identical runs.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  HistogramMetric& histogram(std::string_view name, HistogramOptions opts = {},
+                             const Labels& labels = {});
+
+  /// Lookup without creating; nullptr when the instance does not exist.
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(std::string_view name,
+                                                      const Labels& labels = {}) const;
+
+  /// Convenience for tests/benches: value or 0.0 when absent.
+  [[nodiscard]] double counter_value(std::string_view name,
+                                     const Labels& labels = {}) const;
+  [[nodiscard]] double gauge_value(std::string_view name,
+                                   const Labels& labels = {}) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Snapshot export. JSON: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  /// CSV: one row per instance with type,name,labels,value/stat columns.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+  bool write_json(const std::string& path) const;
+
+  void reset() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+  /// Canonical identity of one metric instance: name{k=v,...} with keys
+  /// sorted; exposed for tests.
+  [[nodiscard]] static std::string key(std::string_view name, const Labels& labels);
+
+ private:
+  template <typename T>
+  struct Instrument {
+    std::string name;
+    Labels labels;  // sorted by key
+    T metric;
+  };
+
+  // std::map keeps canonical order for export and guarantees reference
+  // stability for cached Counter/Gauge/HistogramMetric pointers.
+  std::map<std::string, Instrument<Counter>, std::less<>> counters_;
+  std::map<std::string, Instrument<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Instrument<HistogramMetric>, std::less<>> histograms_;
+};
+
+}  // namespace vmgrid::obs

@@ -1,0 +1,176 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::obs {
+
+namespace {
+
+double to_micros(sim::TimePoint t) { return t.since_epoch().to_seconds() * 1e6; }
+
+}  // namespace
+
+TraceRecord* TraceCollector::record(SpanId id) {
+  if (id == kInvalidSpan || id > records_.size()) return nullptr;
+  return &records_[id - 1];
+}
+
+SpanId TraceCollector::begin(sim::TimePoint now, std::string_view name,
+                             std::string_view track, std::string_view category) {
+  if (!enabled_) return kInvalidSpan;
+  TraceRecord rec;
+  rec.id = records_.size() + 1;
+  rec.name = std::string{name};
+  rec.category = std::string{category};
+  rec.track = std::string{track};
+  rec.begin = now;
+  rec.end = now;
+
+  auto it = open_by_track_.find(rec.track);
+  if (it == open_by_track_.end()) {
+    if (std::find(track_order_.begin(), track_order_.end(), rec.track) ==
+        track_order_.end()) {
+      track_order_.push_back(rec.track);
+    }
+    it = open_by_track_.emplace(rec.track, std::vector<SpanId>{}).first;
+  } else if (std::find(track_order_.begin(), track_order_.end(), rec.track) ==
+             track_order_.end()) {
+    track_order_.push_back(rec.track);
+  }
+  if (!it->second.empty()) {
+    rec.parent = it->second.back();
+    rec.depth = it->second.size();
+  }
+  it->second.push_back(rec.id);
+  records_.push_back(std::move(rec));
+  return records_.back().id;
+}
+
+void TraceCollector::end(SpanId id, sim::TimePoint now) {
+  TraceRecord* rec = record(id);
+  if (rec == nullptr || !rec->open) return;
+  rec->open = false;
+  rec->end = now;
+  auto it = open_by_track_.find(rec->track);
+  if (it != open_by_track_.end()) {
+    auto& stack = it->second;
+    auto pos = std::find(stack.begin(), stack.end(), id);
+    if (pos != stack.end()) stack.erase(pos);
+  }
+}
+
+void TraceCollector::arg(SpanId id, std::string_view key, std::string_view value) {
+  TraceRecord* rec = record(id);
+  if (rec == nullptr) return;
+  rec->args.emplace_back(std::string{key}, std::string{value});
+}
+
+void TraceCollector::instant(sim::TimePoint now, std::string_view name,
+                             std::string_view track, std::string_view category) {
+  SpanId id = begin(now, name, track, category);
+  if (id == kInvalidSpan) return;
+  TraceRecord* rec = record(id);
+  rec->instant = true;
+  end(id, now);
+}
+
+std::size_t TraceCollector::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& [track, stack] : open_by_track_) n += stack.size();
+  return n;
+}
+
+const TraceRecord* TraceCollector::find(std::string_view name) const {
+  for (const auto& rec : records_) {
+    if (rec.name == name) return &rec;
+  }
+  return nullptr;
+}
+
+std::vector<const TraceRecord*> TraceCollector::find_all(std::string_view name) const {
+  std::vector<const TraceRecord*> out;
+  for (const auto& rec : records_) {
+    if (rec.name == name) out.push_back(&rec);
+  }
+  return out;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  // Track lanes map to (pid=1, tid=index-in-first-use-order).
+  std::map<std::string, std::size_t, std::less<>> tid;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < track_order_.size(); ++i) {
+    tid.emplace(track_order_[i], i + 1);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           json::number(static_cast<double>(i + 1)) +
+           ",\"args\":{\"name\":" + json::quote(track_order_[i]) + "}}";
+  }
+  for (const auto& rec : records_) {
+    if (!first) out += ",";
+    first = false;
+    const std::size_t t = tid.count(rec.track) ? tid.find(rec.track)->second : 0;
+    out += "{\"name\":" + json::quote(rec.name);
+    out += ",\"cat\":" + json::quote(rec.category);
+    if (rec.instant) {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    } else if (rec.open) {
+      out += ",\"ph\":\"B\"";
+    } else {
+      out += ",\"ph\":\"X\",\"dur\":" + json::number(to_micros(rec.end) - to_micros(rec.begin));
+    }
+    out += ",\"ts\":" + json::number(to_micros(rec.begin));
+    out += ",\"pid\":1,\"tid\":" + json::number(static_cast<double>(t));
+    out += ",\"args\":{";
+    bool firstArg = true;
+    for (const auto& [k, v] : rec.args) {
+      if (!firstArg) out += ",";
+      firstArg = false;
+      out += json::quote(k) + ":" + json::quote(v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceCollector::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_chrome_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+void TraceCollector::clear() {
+  records_.clear();
+  track_order_.clear();
+  open_by_track_.clear();
+}
+
+Span::Span(sim::Simulation& sim, std::string_view name, std::string_view track,
+           std::string_view category)
+    : sim_{&sim}, id_{sim.trace().begin(sim.now(), name, track, category)} {}
+
+void Span::end() {
+  if (sim_ != nullptr && id_ != kInvalidSpan) {
+    sim_->trace().end(id_, sim_->now());
+  }
+  sim_ = nullptr;
+  id_ = kInvalidSpan;
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (sim_ != nullptr && id_ != kInvalidSpan) {
+    sim_->trace().arg(id_, key, value);
+  }
+}
+
+}  // namespace vmgrid::obs

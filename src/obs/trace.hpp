@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+class Simulation;
+}  // namespace vmgrid::sim
+
+namespace vmgrid::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kInvalidSpan = 0;
+
+/// One recorded span (or instant) on the sim timeline. `track` maps to a
+/// Chrome-trace thread lane (e.g. a host or VM name), `depth` is the
+/// nesting level within that track when the span began.
+struct TraceRecord {
+  SpanId id{kInvalidSpan};
+  SpanId parent{kInvalidSpan};
+  std::string name;
+  std::string category;
+  std::string track;
+  sim::TimePoint begin{};
+  sim::TimePoint end{};
+  bool open{true};
+  bool instant{false};
+  std::size_t depth{0};
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Records sim-time spans and serializes them in Chrome `trace_event`
+/// JSON (load the file in chrome://tracing or https://ui.perfetto.dev).
+/// Disabled by default so instrumented hot paths cost one branch when
+/// nobody is looking. Parent/child nesting is tracked per `track` via a
+/// stack of open spans: a span begun while another is open on the same
+/// track becomes its child.
+class TraceCollector {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Begin a span at `now`; returns kInvalidSpan when disabled.
+  SpanId begin(sim::TimePoint now, std::string_view name, std::string_view track,
+               std::string_view category = "sim");
+  /// End a span; ignores kInvalidSpan and already-ended ids.
+  void end(SpanId id, sim::TimePoint now);
+  /// Attach a key/value argument (shown in the trace viewer detail pane).
+  void arg(SpanId id, std::string_view key, std::string_view value);
+  /// Zero-duration marker.
+  void instant(sim::TimePoint now, std::string_view name, std::string_view track,
+               std::string_view category = "sim");
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t open_spans() const;
+  /// First record with this name, nullptr when absent.
+  [[nodiscard]] const TraceRecord* find(std::string_view name) const;
+  [[nodiscard]] std::vector<const TraceRecord*> find_all(std::string_view name) const;
+
+  /// Chrome trace_event JSON: metadata thread_name event per track (in
+  /// first-use order), then "X" complete events ("B" for spans still
+  /// open, "i" for instants). Timestamps are microseconds of sim time.
+  [[nodiscard]] std::string to_chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+  void clear();
+
+ private:
+  TraceRecord* record(SpanId id);
+
+  bool enabled_{false};
+  std::vector<TraceRecord> records_;  // id == index + 1
+  std::vector<std::string> track_order_;
+  std::map<std::string, std::vector<SpanId>, std::less<>> open_by_track_;
+};
+
+/// RAII sim-time span: begins at construction with `sim.now()`, ends at
+/// destruction (or an explicit `end()`) with the then-current sim time.
+/// Movable so spans can be stashed in callbacks that outlive the scope
+/// that opened them. No-op when the collector is disabled.
+class Span {
+ public:
+  Span() = default;
+  Span(sim::Simulation& sim, std::string_view name, std::string_view track,
+       std::string_view category = "sim");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) noexcept : sim_{o.sim_}, id_{o.id_} {
+    o.sim_ = nullptr;
+    o.id_ = kInvalidSpan;
+  }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      end();
+      sim_ = o.sim_;
+      id_ = o.id_;
+      o.sim_ = nullptr;
+      o.id_ = kInvalidSpan;
+    }
+    return *this;
+  }
+  ~Span() { end(); }
+
+  void end();
+  void arg(std::string_view key, std::string_view value);
+  [[nodiscard]] bool active() const { return sim_ != nullptr && id_ != kInvalidSpan; }
+  [[nodiscard]] SpanId id() const { return id_; }
+
+ private:
+  sim::Simulation* sim_{nullptr};
+  SpanId id_{kInvalidSpan};
+};
+
+}  // namespace vmgrid::obs

@@ -1,5 +1,7 @@
 #include "sim/logger.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
@@ -18,6 +20,22 @@ std::string_view level_name(LogLevel lvl) {
   return "?";
 }
 }  // namespace
+
+LogLevel Logger::level_from_env(LogLevel fallback) {
+  const char* raw = std::getenv("VMGRID_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string v;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return fallback;
+}
 
 void Logger::write(LogLevel lvl, double sim_seconds, std::string_view component,
                    std::string_view message) {

@@ -22,6 +22,12 @@ class Logger {
   /// Redirect output (defaults to std::clog); pass nullptr to restore.
   void set_sink(std::ostream* sink) { sink_ = sink; }
 
+  /// Level named by the VMGRID_LOG_LEVEL environment variable
+  /// (trace/debug/info/warn/error/off, case-insensitive); `fallback`
+  /// when unset or unrecognized. Simulation applies this at construction
+  /// so examples/benches can be made verbose without recompiling.
+  [[nodiscard]] static LogLevel level_from_env(LogLevel fallback = LogLevel::kWarn);
+
   void write(LogLevel lvl, double sim_seconds, std::string_view component,
              std::string_view message);
 

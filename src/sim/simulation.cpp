@@ -4,7 +4,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vmgrid::sim {
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_{seed},
+      metrics_{std::make_unique<obs::MetricsRegistry>()},
+      trace_{std::make_unique<obs::TraceCollector>()} {
+  log_.set_level(Logger::level_from_env(log_.level()));
+}
+
+Simulation::~Simulation() = default;
+
+obs::MetricsRegistry& Simulation::metrics() { return *metrics_; }
+const obs::MetricsRegistry& Simulation::metrics() const { return *metrics_; }
+obs::TraceCollector& Simulation::trace() { return *trace_; }
+const obs::TraceCollector& Simulation::trace() const { return *trace_; }
 
 EventId Simulation::schedule_at(TimePoint at, EventCallback fn) {
   if (at < now_) {

@@ -2,11 +2,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sim/event_queue.hpp"
 #include "sim/logger.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
+
+namespace vmgrid::obs {
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace vmgrid::obs
 
 namespace vmgrid::sim {
 
@@ -21,7 +27,8 @@ namespace vmgrid::sim {
 /// the benches vary only through the seed.
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : rng_{seed} {}
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -29,6 +36,14 @@ class Simulation {
   [[nodiscard]] TimePoint now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] Logger& log() { return log_; }
+
+  /// Observability: named+labeled counters/gauges/histograms and the
+  /// sim-time span collector (Chrome trace_event export). Both live for
+  /// the lifetime of the simulation.
+  [[nodiscard]] obs::MetricsRegistry& metrics();
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const;
+  [[nodiscard]] obs::TraceCollector& trace();
+  [[nodiscard]] const obs::TraceCollector& trace() const;
 
   EventId schedule_at(TimePoint at, EventCallback fn);
   EventId schedule_after(Duration delay, EventCallback fn);
@@ -66,6 +81,10 @@ class Simulation {
   Logger log_;
   bool stopped_{false};
   std::uint64_t executed_{0};
+  // unique_ptr to keep obs/ headers out of this one (and include cycles
+  // out of the build); defined out of line in simulation.cpp.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceCollector> trace_;
 };
 
 }  // namespace vmgrid::sim

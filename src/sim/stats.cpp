@@ -53,16 +53,34 @@ void Histogram::add(double x) {
 
 double Histogram::percentile(double p) const {
   if (total_ == 0) return lo_;
-  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  const double w = (hi_ - lo_) / static_cast<double>(bins_.size());
+  if (p <= 0.0) {
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      if (bins_[i] > 0) return lo_ + static_cast<double>(i) * w;
+    }
+    return lo_;
+  }
+  if (p >= 100.0) {
+    for (std::size_t i = bins_.size(); i-- > 0;) {
+      if (bins_[i] > 0) return lo_ + static_cast<double>(i + 1) * w;
+    }
+    return hi_;
+  }
+  const double target = p / 100.0 * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     cum += static_cast<double>(bins_[i]);
     if (cum >= target) {
-      const double w = (hi_ - lo_) / static_cast<double>(bins_.size());
       return lo_ + (static_cast<double>(i) + 0.5) * w;
     }
   }
   return hi_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  assert(lo_ == o.lo_ && hi_ == o.hi_ && bins_.size() == o.bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  total_ += o.total_;
 }
 
 std::string Histogram::ascii(std::size_t width) const {

@@ -44,7 +44,17 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
   [[nodiscard]] std::size_t bins() const { return bins_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
-  [[nodiscard]] double percentile(double p) const;  // p in [0,100]
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// p in [0,100]. Empty histogram -> lo. p<=0 -> lower edge of the first
+  /// occupied bin; p>=100 -> upper edge of the last occupied bin; interior
+  /// percentiles resolve to the midpoint of the bin holding that rank.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Cross-run aggregation; both sides must share the same bin layout.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::string ascii(std::size_t width = 40) const;
 
  private:

@@ -25,9 +25,22 @@ struct NfsTransferState {
   NfsClient::IoCallback cb;
 };
 
+namespace {
+constexpr obs::HistogramOptions kRpcLatencyBins{0.0, 1.0, 100};
+}  // namespace
+
 NfsClient::NfsClient(net::RpcFabric& fabric, net::NodeId self, net::NodeId server,
                      NfsClientParams params)
-    : fabric_{fabric}, self_{self}, server_{server}, params_{params} {}
+    : fabric_{fabric}, self_{self}, server_{server}, params_{params} {
+  auto& m = fabric_.simulation().metrics();
+  lat_read_ = &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "read"}});
+  lat_write_ =
+      &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "write"}});
+  lat_getattr_ =
+      &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "getattr"}});
+  lat_create_ =
+      &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "create"}});
+}
 
 void NfsClient::getattr(const std::string& path, AttrCallback cb) {
   auto& sim = fabric_.simulation();
@@ -40,9 +53,11 @@ void NfsClient::getattr(const std::string& path, AttrCallback cb) {
     }
   }
   ++rpcs_;
+  const sim::TimePoint t0 = sim.now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.getattr", kNfsHeaderBytes, NfsGetattrArgs{path}},
-               [this, path, cb = std::move(cb)](net::RpcResponse resp) {
+               [this, path, t0, cb = std::move(cb)](net::RpcResponse resp) {
+                 lat_getattr_->observe((fabric_.simulation().now() - t0).to_seconds());
                  if (!resp.ok) {
                    cb(std::nullopt);
                    return;
@@ -113,8 +128,11 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
       req = net::RpcRequest{"nfs.write", kNfsHeaderBytes + chunk,
                             NfsWriteArgs{st->path, off, chunk}};
     }
+    const sim::TimePoint t0 = fabric_.simulation().now();
     fabric_.call(self_, server_, std::move(req),
-                 [this, st, rel, chunk](net::RpcResponse resp) {
+                 [this, st, rel, chunk, t0](net::RpcResponse resp) {
+                   (st->is_read ? lat_read_ : lat_write_)
+                       ->observe((fabric_.simulation().now() - t0).to_seconds());
                    --st->in_flight;
                    ++st->completed;
                    if (!resp.ok) {
@@ -150,9 +168,13 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
 
 void NfsClient::create(const std::string& path, std::uint64_t size, BoolCallback cb) {
   ++rpcs_;
+  const sim::TimePoint t0 = fabric_.simulation().now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.create", kNfsHeaderBytes, NfsCreateArgs{path, size}},
-               [cb = std::move(cb)](net::RpcResponse resp) { cb(resp.ok); });
+               [this, t0, cb = std::move(cb)](net::RpcResponse resp) {
+                 lat_create_->observe((fabric_.simulation().now() - t0).to_seconds());
+                 cb(resp.ok);
+               });
 }
 
 }  // namespace vmgrid::storage

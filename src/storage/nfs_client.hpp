@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "storage/nfs_protocol.hpp"
 
 namespace vmgrid::storage {
@@ -67,6 +68,12 @@ class NfsClient {
   NfsClientParams params_;
   std::unordered_map<std::string, AttrEntry> attr_cache_;
   std::uint64_t rpcs_{0};
+  // Per-op RPC latency histograms (nfs.client.rpc_latency_s{op=...}),
+  // registry-owned; cached at construction.
+  obs::HistogramMetric* lat_read_{nullptr};
+  obs::HistogramMetric* lat_write_{nullptr};
+  obs::HistogramMetric* lat_getattr_{nullptr};
+  obs::HistogramMetric* lat_create_{nullptr};
 };
 
 }  // namespace vmgrid::storage

@@ -1,9 +1,24 @@
 #include "storage/nfs_server.hpp"
 
 #include <any>
+#include <string>
 #include <utility>
 
+#include "sim/simulation.hpp"
+
 namespace vmgrid::storage {
+
+obs::Counter& NfsServer::call_counter(const char* op) {
+  auto& m = server_->fabric().simulation().metrics();
+  return m.counter("nfs.server.calls",
+                   {{"op", op}, {"node", std::to_string(node().value())}});
+}
+
+obs::HistogramMetric& NfsServer::service_hist(const char* op) {
+  auto& m = server_->fabric().simulation().metrics();
+  return m.histogram("nfs.server.service_s", obs::HistogramOptions{0.0, 1.0, 100},
+                     {{"op", op}, {"node", std::to_string(node().value())}});
+}
 
 NfsServer::NfsServer(net::RpcFabric& fabric, net::NodeId self, LocalFileSystem& fs,
                      net::RpcServerParams rpc_params)
@@ -19,8 +34,10 @@ NfsServer::NfsServer(net::RpcServer& shared_server, LocalFileSystem& fs)
 }
 
 void NfsServer::register_handlers() {
-  server_->register_method("nfs.getattr", [this](const net::RpcRequest& req,
-                                                net::RpcResponder respond) {
+  server_->register_method("nfs.getattr", [this, calls = &call_counter("getattr")](
+                                              const net::RpcRequest& req,
+                                              net::RpcResponder respond) {
+    calls->inc();
     const auto& args = std::any_cast<const NfsGetattrArgs&>(req.payload);
     NfsAttrReply reply;
     if (auto sz = fs_.size(args.path)) {
@@ -33,8 +50,11 @@ void NfsServer::register_handlers() {
                              .payload = reply});
   });
 
-  server_->register_method("nfs.read", [this](const net::RpcRequest& req,
-                                             net::RpcResponder respond) {
+  server_->register_method("nfs.read", [this, calls = &call_counter("read"),
+                                        service = &service_hist("read")](
+                                           const net::RpcRequest& req,
+                                           net::RpcResponder respond) {
+    calls->inc();
     const auto& args = std::any_cast<const NfsReadArgs&>(req.payload);
     if (!fs_.exists(args.path)) {
       respond(net::RpcResponse{.ok = false,
@@ -43,8 +63,11 @@ void NfsServer::register_handlers() {
                                .payload = {}});
       return;
     }
+    auto& sim = server_->fabric().simulation();
+    const sim::TimePoint entered = sim.now();
     fs_.read(args.path, args.offset, args.len,
-             [respond = std::move(respond)](ReadResult r) {
+             [&sim, entered, service, respond = std::move(respond)](ReadResult r) {
+               service->observe((sim.now() - entered).to_seconds());
                const std::uint64_t bytes = r.bytes;
                respond(net::RpcResponse{.ok = true,
                                         .error = {},
@@ -53,8 +76,11 @@ void NfsServer::register_handlers() {
              });
   });
 
-  server_->register_method("nfs.write", [this](const net::RpcRequest& req,
-                                              net::RpcResponder respond) {
+  server_->register_method("nfs.write", [this, calls = &call_counter("write"),
+                                         service = &service_hist("write")](
+                                            const net::RpcRequest& req,
+                                            net::RpcResponder respond) {
+    calls->inc();
     const auto& args = std::any_cast<const NfsWriteArgs&>(req.payload);
     if (!fs_.exists(args.path)) {
       respond(net::RpcResponse{.ok = false,
@@ -63,16 +89,22 @@ void NfsServer::register_handlers() {
                                .payload = {}});
       return;
     }
-    fs_.write(args.path, args.offset, args.len, [respond = std::move(respond)] {
-      respond(net::RpcResponse{.ok = true,
-                               .error = {},
-                               .response_bytes = kNfsHeaderBytes,
-                               .payload = {}});
-    });
+    auto& sim = server_->fabric().simulation();
+    const sim::TimePoint entered = sim.now();
+    fs_.write(args.path, args.offset, args.len,
+              [&sim, entered, service, respond = std::move(respond)] {
+                service->observe((sim.now() - entered).to_seconds());
+                respond(net::RpcResponse{.ok = true,
+                                         .error = {},
+                                         .response_bytes = kNfsHeaderBytes,
+                                         .payload = {}});
+              });
   });
 
-  server_->register_method("nfs.create", [this](const net::RpcRequest& req,
-                                               net::RpcResponder respond) {
+  server_->register_method("nfs.create", [this, calls = &call_counter("create")](
+                                             const net::RpcRequest& req,
+                                             net::RpcResponder respond) {
+    calls->inc();
     const auto& args = std::any_cast<const NfsCreateArgs&>(req.payload);
     fs_.create(args.path, args.size);
     respond(net::RpcResponse{.ok = true,
@@ -81,8 +113,10 @@ void NfsServer::register_handlers() {
                              .payload = {}});
   });
 
-  server_->register_method("nfs.remove", [this](const net::RpcRequest& req,
-                                               net::RpcResponder respond) {
+  server_->register_method("nfs.remove", [this, calls = &call_counter("remove")](
+                                             const net::RpcRequest& req,
+                                             net::RpcResponder respond) {
+    calls->inc();
     const auto& args = std::any_cast<const NfsRemoveArgs&>(req.payload);
     fs_.remove(args.path);
     respond(net::RpcResponse{.ok = true,

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "storage/local_fs.hpp"
 #include "storage/nfs_protocol.hpp"
 
@@ -28,6 +29,8 @@ class NfsServer {
 
  private:
   void register_handlers();
+  obs::Counter& call_counter(const char* op);
+  obs::HistogramMetric& service_hist(const char* op);
 
   LocalFileSystem& fs_;
   std::unique_ptr<net::RpcServer> owned_server_;

@@ -13,9 +13,11 @@ std::optional<std::uint64_t> BlockCache::lookup(const std::string& file,
   auto it = map_.find(Key{file, block});
   if (it == map_.end()) {
     ++misses_;
+    if (m_misses_ != nullptr) m_misses_->inc();
     return std::nullopt;
   }
   ++hits_;
+  if (m_hits_ != nullptr) m_hits_->inc();
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.version;
 }
@@ -45,6 +47,7 @@ void BlockCache::evict_one() {
   map_.erase(lru_.back());
   lru_.pop_back();
   ++evictions_;
+  if (m_evictions_ != nullptr) m_evictions_->inc();
 }
 
 void BlockCache::invalidate(const std::string& file, std::uint64_t block) {

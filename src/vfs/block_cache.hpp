@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace vmgrid::vfs {
 
 /// LRU cache of file blocks. Stores the block *version* observed when the
@@ -34,6 +36,16 @@ class BlockCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
+  /// Mirror hit/miss/eviction counts into registry counters (any pointer
+  /// may be null). The owner picks names/labels, e.g. vfs.cache.hits
+  /// {level=l1}; the cache just increments.
+  void attach_metrics(obs::Counter* hits, obs::Counter* misses,
+                      obs::Counter* evictions) {
+    m_hits_ = hits;
+    m_misses_ = misses;
+    m_evictions_ = evictions;
+  }
+
  private:
   struct Key {
     std::string file;
@@ -59,6 +71,9 @@ class BlockCache {
   std::uint64_t hits_{0};
   std::uint64_t misses_{0};
   std::uint64_t evictions_{0};
+  obs::Counter* m_hits_{nullptr};
+  obs::Counter* m_misses_{nullptr};
+  obs::Counter* m_evictions_{nullptr};
 };
 
 }  // namespace vmgrid::vfs

@@ -1,6 +1,9 @@
 #include "vfs/grid_vfs.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/simulation.hpp"
 
 namespace vmgrid::vfs {
 
@@ -26,7 +29,15 @@ void GridVfs::unmount(VfsMount& m) {
 
 std::shared_ptr<BlockCache> GridVfs::shared_cache(net::NodeId client_host) {
   auto& slot = shared_caches_[client_host];
-  if (!slot) slot = std::make_shared<BlockCache>(shared_cache_blocks_);
+  if (!slot) {
+    slot = std::make_shared<BlockCache>(shared_cache_blocks_);
+    auto& m = fabric_.simulation().metrics();
+    const obs::Labels labels{{"level", "l2-shared"},
+                             {"host", std::to_string(client_host.value())}};
+    slot->attach_metrics(&m.counter("vfs.cache.hits", labels),
+                         &m.counter("vfs.cache.misses", labels),
+                         &m.counter("vfs.cache.evictions", labels));
+  }
   return slot;
 }
 

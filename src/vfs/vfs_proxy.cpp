@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/simulation.hpp"
+
 namespace vmgrid::vfs {
 
 using storage::kBlockSize;
@@ -16,7 +18,19 @@ VfsProxy::VfsProxy(sim::Simulation& s, storage::NfsClient& client, VfsProxyParam
       client_{client},
       params_{params},
       l1_{std::make_unique<BlockCache>(params.cache_blocks)},
-      l2_{std::move(shared_l2)} {}
+      l2_{std::move(shared_l2)} {
+  auto& m = sim_.metrics();
+  const obs::Labels l1_labels{{"level", "l1"}};
+  l1_->attach_metrics(&m.counter("vfs.cache.hits", l1_labels),
+                      &m.counter("vfs.cache.misses", l1_labels),
+                      &m.counter("vfs.cache.evictions", l1_labels));
+  reads_ = &m.counter("vfs.proxy.reads");
+  writes_ = &m.counter("vfs.proxy.writes");
+  bytes_read_ = &m.counter("vfs.proxy.bytes_read");
+  bytes_written_ = &m.counter("vfs.proxy.bytes_written");
+  prefetched_ = &m.counter("vfs.proxy.prefetch_blocks");
+  flushes_ = &m.counter("vfs.proxy.flushes");
+}
 
 VfsProxy::~VfsProxy() { sim_.cancel(flush_event_); }
 
@@ -61,6 +75,8 @@ void VfsProxy::fetch_run(const std::string& path, std::uint64_t start_block,
 
 void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
                     IoCallback cb) {
+  reads_->inc();
+  bytes_read_->inc(static_cast<double>(len));
   auto stats = std::make_shared<VfsIoStats>();
   stats->bytes = len;
   if (len == 0) {
@@ -140,6 +156,7 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
       // catches up only waits for the chunk carrying its block, not for
       // the whole readahead window.
       constexpr std::uint64_t kPrefetchChunk = 8;
+      prefetched_->inc(static_cast<double>(pf_count));
       for (std::uint64_t b = pf_start; b < pf_start + pf_count; b += kPrefetchChunk) {
         fetch_run(path, b, std::min(kPrefetchChunk, pf_start + pf_count - b), nullptr);
       }
@@ -175,6 +192,8 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
 
 void VfsProxy::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
                      IoCallback cb) {
+  writes_->inc();
+  bytes_written_->inc(static_cast<double>(len));
   auto stats = VfsIoStats{};
   stats.bytes = len;
   if (len > 0) {
@@ -214,6 +233,7 @@ void VfsProxy::do_flush(DoneCallback cb) {
     return;
   }
   flushing_ = true;
+  flushes_->inc();
   struct Push {
     std::string path;
     std::uint64_t start_block;

@@ -104,6 +104,14 @@ class VfsProxy {
   std::unordered_map<BlockKey, std::vector<std::function<void()>>, BlockKeyHash> pending_;
   sim::EventId flush_event_{};
   bool flushing_{false};
+  // Registry-owned counters cached at construction (registry guarantees
+  // reference stability).
+  obs::Counter* reads_{nullptr};
+  obs::Counter* writes_{nullptr};
+  obs::Counter* bytes_read_{nullptr};
+  obs::Counter* bytes_written_{nullptr};
+  obs::Counter* prefetched_{nullptr};
+  obs::Counter* flushes_{nullptr};
 };
 
 }  // namespace vmgrid::vfs

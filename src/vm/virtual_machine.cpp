@@ -1,9 +1,11 @@
 #include "vm/virtual_machine.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "vm/vmm.hpp"
 
 namespace vmgrid::vm {
@@ -76,19 +78,30 @@ void VirtualMachine::boot(Callback on_running) {
   state_ = VmPowerState::kBooting;
   auto& sim = host().simulation();
   auto spec = boot_spec();
+  auto boot_span = std::make_shared<obs::Span>(sim, "vm.boot", config_.name, "vm");
+  auto fixed_span = std::make_shared<obs::Span>(sim, "boot.fixed", config_.name, "vm");
   // Device probes and daemon start-up timeouts dominate the fixed part;
   // they vary run to run.
   const double fixed = image_.boot_fixed_seconds * sim.rng().uniform(0.94, 1.12);
   spec.user_seconds *= sim.rng().uniform(0.97, 1.06);
-  sim.schedule_after(sim::Duration::seconds(fixed), [this, spec = std::move(spec),
+  sim.schedule_after(sim::Duration::seconds(fixed), [this, &sim, boot_span, fixed_span,
+                                                     spec = std::move(spec),
                                                      on_running =
                                                          std::move(on_running)]() mutable {
+    fixed_span->end();
+    auto work_span = std::make_shared<obs::Span>(sim, "boot.workset", config_.name, "vm");
     TaskRunOptions opts;
     opts.attrs = config_.attrs;
     opts.efficiency = 1.0;
     opts.disk = storage_.disk.get();
     opts.hooks = guest_hooks(1.0);
-    run_task_internal_boot(std::move(spec), std::move(opts), std::move(on_running));
+    run_task_internal_boot(std::move(spec), std::move(opts),
+                           [boot_span, work_span,
+                            on_running = std::move(on_running)]() mutable {
+                             work_span->end();
+                             boot_span->end();
+                             on_running();
+                           });
   });
 }
 
@@ -104,16 +117,27 @@ void VirtualMachine::restore(Callback on_running) {
   state_ = VmPowerState::kRestoring;
   auto& sim = host().simulation();
   auto spec = restore_spec();
+  auto restore_span = std::make_shared<obs::Span>(sim, "vm.restore", config_.name, "vm");
+  auto fixed_span = std::make_shared<obs::Span>(sim, "restore.fixed", config_.name, "vm");
   const double fixed = image_.restore_fixed_seconds * sim.rng().uniform(0.9, 1.25);
-  sim.schedule_after(sim::Duration::seconds(fixed), [this, spec = std::move(spec),
+  sim.schedule_after(sim::Duration::seconds(fixed), [this, &sim, restore_span, fixed_span,
+                                                     spec = std::move(spec),
                                                      on_running =
                                                          std::move(on_running)]() mutable {
+    fixed_span->end();
+    auto read_span = std::make_shared<obs::Span>(sim, "restore.read", config_.name, "vm");
     TaskRunOptions opts;
     opts.attrs = config_.attrs;
     opts.efficiency = 1.0;
     opts.disk = storage_.memory_state.get();
     opts.hooks = guest_hooks(1.0);
-    run_task_internal_boot(std::move(spec), std::move(opts), std::move(on_running));
+    run_task_internal_boot(std::move(spec), std::move(opts),
+                           [restore_span, read_span,
+                            on_running = std::move(on_running)]() mutable {
+                             read_span->end();
+                             restore_span->end();
+                             on_running();
+                           });
   });
 }
 

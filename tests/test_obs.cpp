@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace vmgrid::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator. The exporters promise
+// machine-readable output; this checks the whole string parses as one
+// JSON value with nothing trailing.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_{s} {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_{0};
+};
+
+bool json_valid(std::string_view s) { return JsonChecker{s}.valid(); }
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitIdentity) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("rpc.calls", {{"op", "read"}, {"node", "n1"}});
+  auto& b = reg.counter("rpc.calls", {{"node", "n1"}, {"op", "read"}});
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+  EXPECT_EQ(reg.size(), 1u);
+
+  // Different labels are a different instance; no labels another.
+  auto& c = reg.counter("rpc.calls", {{"node", "n2"}, {"op", "read"}});
+  auto& d = reg.counter("rpc.calls");
+  EXPECT_NE(&a, &c);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, CanonicalKeyFormat) {
+  EXPECT_EQ(MetricsRegistry::key("m", {}), "m");
+  EXPECT_EQ(MetricsRegistry::key("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+}
+
+TEST(MetricsRegistry, CounterIsMonotonic) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("events");
+  c.inc();
+  c.inc(2.5);
+  c.inc(-5.0);  // dropped: counters never go down
+  c.inc(0.0);   // dropped: not an increment
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  EXPECT_DOUBLE_EQ(reg.counter_value("events"), 3.5);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_gauge("absent"), nullptr);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.counter_value("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("absent"), 0.0);
+  EXPECT_EQ(reg.size(), 0u);
+
+  reg.gauge("depth", {{"q", "a"}}).set(4.0);
+  ASSERT_NE(reg.find_gauge("depth", {{"q", "a"}}), nullptr);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("depth", {{"q", "a"}}), 4.0);
+}
+
+TEST(MetricsRegistry, GaugeMovesBothWays) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("vms");
+  g.set(3.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(MetricsRegistry, HistogramSummaryTracksObservations) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", HistogramOptions{0.0, 10.0, 100});
+  for (double x : {1.0, 2.0, 3.0, 4.0}) h.observe(x);
+  EXPECT_EQ(h.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(h.summary().mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.summary().min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 4.0);
+  EXPECT_EQ(h.histogram().total(), 4u);
+  // Same (name, opts, labels) is the same object.
+  EXPECT_EQ(&h, &reg.histogram("lat", HistogramOptions{0.0, 10.0, 100}));
+}
+
+TEST(MetricsRegistry, JsonAndCsvSnapshotsAreWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("c\"quoted\"", {{"k", "v\\w"}}).inc(2);
+  reg.gauge("g").set(-1.5);
+  reg.histogram("h", {0.0, 1.0, 10}).observe(0.25);
+  const auto js = reg.to_json();
+  EXPECT_TRUE(json_valid(js)) << js;
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(js.find("\"histograms\""), std::string::npos);
+
+  const auto csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("type,name,labels,", 0), 0u);
+  // One header + three rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------------------------
+// sim::Histogram edge cases + merge (shared with the metrics layer)
+
+TEST(Histogram, PercentileEdgeBehavior) {
+  sim::Histogram h{0.0, 10.0, 10};
+  // Empty histogram: every percentile collapses to lo.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+
+  h.add(2.5);  // bin [2,3)
+  h.add(7.5);  // bin [7,8)
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);     // lower edge of first occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 2.0);    // clamped
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8.0);   // upper edge of last occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(150.0), 8.0);   // clamped
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.5);    // midpoint of the rank's bin
+}
+
+TEST(Histogram, MergeAddsBinwise) {
+  sim::Histogram a{0.0, 10.0, 10};
+  sim::Histogram b{0.0, 10.0, 10};
+  a.add(1.5);
+  b.add(1.5);
+  b.add(8.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.bin_count(8), 1u);
+}
+
+TEST(HistogramMetric, MergeCombinesSummaryAndBins) {
+  HistogramMetric a{{0.0, 1.0, 4}};
+  HistogramMetric b{{0.0, 1.0, 4}};
+  a.observe(0.1);
+  b.observe(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.summary().mean(), 0.5);
+  EXPECT_EQ(a.histogram().total(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector + Span
+
+TEST(TraceCollector, DisabledCostsNothingAndRecordsNothing) {
+  TraceCollector tc;
+  EXPECT_FALSE(tc.enabled());
+  const auto id = tc.begin(sim::TimePoint::from_seconds(1), "work", "host");
+  EXPECT_EQ(id, kInvalidSpan);
+  tc.end(id, sim::TimePoint::from_seconds(2));
+  tc.instant(sim::TimePoint::from_seconds(1), "mark", "host");
+  EXPECT_TRUE(tc.records().empty());
+}
+
+TEST(TraceCollector, NestingTracksParentAndDepthPerTrack) {
+  TraceCollector tc;
+  tc.enable();
+  const auto outer = tc.begin(sim::TimePoint::from_seconds(0), "outer", "host-a");
+  const auto inner = tc.begin(sim::TimePoint::from_seconds(1), "inner", "host-a");
+  const auto other = tc.begin(sim::TimePoint::from_seconds(1), "other", "host-b");
+  EXPECT_EQ(tc.open_spans(), 3u);
+
+  const auto* in = tc.find("inner");
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->parent, outer);
+  EXPECT_EQ(in->depth, 1u);
+
+  const auto* ot = tc.find("other");  // separate track: no parent
+  ASSERT_NE(ot, nullptr);
+  EXPECT_EQ(ot->parent, kInvalidSpan);
+  EXPECT_EQ(ot->depth, 0u);
+
+  tc.end(inner, sim::TimePoint::from_seconds(2));
+  // A new span after the child closed nests under the still-open outer.
+  const auto second = tc.begin(sim::TimePoint::from_seconds(3), "second", "host-a");
+  EXPECT_EQ(tc.find("second")->parent, outer);
+  tc.end(second, sim::TimePoint::from_seconds(4));
+  tc.end(outer, sim::TimePoint::from_seconds(5));
+  tc.end(other, sim::TimePoint::from_seconds(5));
+  EXPECT_EQ(tc.open_spans(), 0u);
+  EXPECT_EQ(tc.find_all("inner").size(), 1u);
+
+  // Ending twice is a no-op, not a corruption.
+  tc.end(inner, sim::TimePoint::from_seconds(9));
+  EXPECT_DOUBLE_EQ(tc.find("inner")->end.to_seconds(), 2.0);
+}
+
+TEST(Span, RaiiEndsAtCurrentSimTime) {
+  sim::Simulation sim;
+  sim.trace().enable();
+  auto span = std::make_shared<Span>(sim, "boot", "vm-1", "vm");
+  span->arg("mode", "reboot");
+  EXPECT_TRUE(span->active());
+  sim.schedule_after(sim::Duration::seconds(3), [span] { span->end(); });
+  sim.run();
+  EXPECT_FALSE(span->active());
+  const auto* rec = sim.trace().find("boot");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->open);
+  EXPECT_DOUBLE_EQ((rec->end - rec->begin).to_seconds(), 3.0);
+  ASSERT_EQ(rec->args.size(), 1u);
+  EXPECT_EQ(rec->args[0].first, "mode");
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  sim::Simulation sim;
+  sim.trace().enable();
+  Span a{sim, "outer", "t"};
+  Span b{std::move(a)};
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): moved-from is inert
+  EXPECT_TRUE(b.active());
+  b.end();
+  EXPECT_EQ(sim.trace().open_spans(), 0u);
+}
+
+TEST(TraceCollector, ChromeJsonIsWellFormedAndCoversEventKinds) {
+  sim::Simulation sim;
+  auto& tc = sim.trace();
+  tc.enable();
+  const auto s = tc.begin(sim::TimePoint::from_seconds(0), "closed", "host");
+  tc.end(s, sim::TimePoint::from_seconds(1));
+  tc.instant(sim::TimePoint::from_seconds(1), "marker", "host");
+  tc.begin(sim::TimePoint::from_seconds(2), "left-open", "host");
+
+  const auto js = tc.to_chrome_json();
+  EXPECT_TRUE(json_valid(js)) << js;
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);  // completed span
+  EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(js.find("\"ph\":\"B\""), std::string::npos);  // still-open span
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed must produce byte-identical snapshots.
+
+std::pair<std::string, std::string> run_instrumented_scenario(std::uint64_t seed) {
+  sim::Simulation sim{seed};
+  sim.trace().enable();
+  auto& reg = sim.metrics();
+  auto& ops = reg.counter("scenario.ops", {{"seed", std::to_string(seed)}});
+  auto& lat = reg.histogram("scenario.lat_s", {0.0, 1.0, 32});
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_after(sim::Duration::seconds(sim.rng().uniform(0.0, 0.5)), [&, i] {
+      ops.inc();
+      lat.observe(sim.now().since_epoch().to_seconds());
+      auto span = std::make_shared<Span>(sim, "op-" + std::to_string(i), "worker");
+      sim.schedule_after(sim::Duration::millis(5), [span] { span->end(); });
+    });
+  }
+  sim.run();
+  reg.gauge("scenario.done").set(1.0);
+  return {reg.to_json(), sim.trace().to_chrome_json()};
+}
+
+TEST(Determinism, IdenticalSeedsProduceIdenticalSnapshots) {
+  const auto a = run_instrumented_scenario(42);
+  const auto b = run_instrumented_scenario(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_TRUE(json_valid(a.first));
+  EXPECT_TRUE(json_valid(a.second));
+
+  const auto c = run_instrumented_scenario(43);
+  EXPECT_NE(a.second, c.second);  // different seed, different timeline
+}
+
+// ---------------------------------------------------------------------------
+// VMGRID_LOG_LEVEL is applied at Simulation construction.
+
+TEST(Logger, LevelFromEnvironment) {
+  ::setenv("VMGRID_LOG_LEVEL", "debug", 1);
+  {
+    sim::Simulation sim;
+    EXPECT_EQ(sim.log().level(), sim::LogLevel::kDebug);
+  }
+  ::setenv("VMGRID_LOG_LEVEL", "OFF", 1);  // case-insensitive
+  {
+    sim::Simulation sim;
+    EXPECT_EQ(sim.log().level(), sim::LogLevel::kOff);
+  }
+  ::setenv("VMGRID_LOG_LEVEL", "nonsense", 1);  // unrecognized: fallback
+  {
+    sim::Simulation sim;
+    EXPECT_EQ(sim.log().level(), sim::LogLevel::kWarn);
+  }
+  ::unsetenv("VMGRID_LOG_LEVEL");
+  {
+    sim::Simulation sim;
+    EXPECT_EQ(sim.log().level(), sim::LogLevel::kWarn);
+  }
+}
+
+}  // namespace
+}  // namespace vmgrid::obs
