@@ -43,6 +43,16 @@ class SampleSet {
   void add(double x) {
     acc_.add(x);
     samples_.push_back(x);
+    sorted_valid_ = false;
+  }
+
+  /// Append another set's samples in their insertion order (replication
+  /// merge: fold per-replica sets in seed order and the result is the same
+  /// vector a serial run would have built).
+  void merge(const SampleSet& other) {
+    acc_.merge(other.acc_);
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_valid_ = false;
   }
 
   [[nodiscard]] std::size_t count() const { return acc_.count(); }
@@ -54,20 +64,27 @@ class SampleSet {
   [[nodiscard]] const sim::Accumulator& accumulator() const { return acc_; }
 
   /// Nearest-rank percentile over the raw samples; 0.0 when empty.
+  /// The sorted view is computed once and reused until the next add(),
+  /// so a report emitting p50+p99 sorts once instead of per call.
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> s = samples_;
-    std::sort(s.begin(), s.end());
-    if (p <= 0.0) return s.front();
-    if (p >= 100.0) return s.back();
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    if (p <= 0.0) return sorted_.front();
+    if (p >= 100.0) return sorted_.back();
     const auto rank = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(s.size()) + 0.5);
-    return s[std::min(rank == 0 ? 0 : rank - 1, s.size() - 1)];
+        p / 100.0 * static_cast<double>(sorted_.size()) + 0.5);
+    return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
   }
 
  private:
   sim::Accumulator acc_;
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache for percentile()
+  mutable bool sorted_valid_{false};
 };
 
 struct StatRow {

@@ -16,6 +16,7 @@
 #include "net/dhcp.hpp"
 #include "net/overlay.hpp"
 #include "net/tunnel.hpp"
+#include "sim/replication.hpp"
 
 namespace {
 
@@ -38,96 +39,107 @@ struct Results {
   std::size_t overlay_path_len{0};
 };
 
+// --- DHCP ---
+void run_dhcp(Results& out) {
+  sim::Simulation sim{71};
+  Network net{sim};
+  auto host_node = net.add_node("vm-host");
+  auto dhcp_node = net.add_node("site-dhcp");
+  net.add_link(host_node, dhcp_node, LinkParams{sim::Duration::micros(300), 10e6});
+  DhcpServer dhcp{net, dhcp_node, IpAddress::from_octets(10, 1, 0, 10), 32};
+  const auto t0 = sim.now();
+  double lease_ms = -1;
+  dhcp.request_lease(host_node, [&](std::optional<IpAddress> ip) {
+    if (ip) lease_ms = (sim.now() - t0).to_millis();
+  });
+  sim.run();
+  out.dhcp_lease_ms = lease_ms;
+}
+
+// --- SSH tunnel vs direct, across the WAN ---
+void run_tunnel(Results& out) {
+  sim::Simulation sim{72};
+  Network net{sim};
+  auto user_gw = net.add_node("user-gateway");
+  auto vm_host = net.add_node("vm-host");
+  net.add_link(user_gw, vm_host, LinkParams{sim::Duration::millis(17), 2.5e6});
+  EthernetTunnel tun{net, user_gw, vm_host};
+  const auto t0 = sim.now();
+  tun.establish([] {});
+  sim.run();
+  out.tunnel_setup_s = (sim.now() - t0).to_seconds();
+
+  for (std::uint64_t payload : {1500ull, 64ull << 10, 1ull << 20, 16ull << 20}) {
+    TunnelRow row;
+    row.payload = payload;
+    double direct = -1, tunneled = -1;
+    net.send(user_gw, vm_host, payload,
+             [&](const TransferResult& res) { direct = res.elapsed.to_seconds(); });
+    sim.run();
+    tun.send(true, payload,
+             [&](const TransferResult& res) { tunneled = res.elapsed.to_seconds(); });
+    sim.run();
+    row.direct_s = direct;
+    row.tunneled_s = tunneled;
+    out.tunnel.push_back(row);
+  }
+}
+
+// --- Overlay detour under underlay degradation ---
+void run_overlay(Results& out) {
+  sim::Simulation sim{73};
+  Network net{sim};
+  auto a = net.add_node("vm-a");
+  auto b = net.add_node("vm-b");
+  auto c = net.add_node("vm-c");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(30), 2.5e6});
+  net.add_link(a, c, LinkParams{sim::Duration::millis(20), 2.5e6});
+  net.add_link(c, b, LinkParams{sim::Duration::millis(20), 2.5e6});
+  OverlayNetwork overlay{net, {a, b, c}};
+  overlay.start();
+  sim.run_for(sim::Duration::seconds(5));
+  double before = -1;
+  overlay.send(a, b, 1000, [&](const TransferResult& res) {
+    before = res.elapsed.to_millis();
+  });
+  sim.run_for(sim::Duration::seconds(1));
+  out.overlay_before_ms = before;
+
+  // Congestion event: the direct path degrades badly; IP keeps using
+  // it (the resilient-overlay premise), the overlay routes around.
+  net.set_link(a, b, LinkParams{sim::Duration::millis(400), 1e5});
+  double direct_after = -1;
+  net.send(a, b, 1000, [&](const TransferResult& res) {
+    direct_after = res.elapsed.to_millis();
+  });
+  sim.run_for(sim::Duration::seconds(2));
+  out.overlay_direct_after_ms = direct_after;
+
+  sim.run_for(sim::Duration::seconds(10));  // let probes converge
+  double detour = -1;
+  overlay.send(a, b, 1000, [&](const TransferResult& res) {
+    detour = res.elapsed.to_millis();
+  });
+  sim.run_for(sim::Duration::seconds(2));
+  out.overlay_detour_after_ms = detour;
+  out.overlay_path_len = overlay.current_path(a, b).size();
+  overlay.stop();
+}
+
 Results& results() {
+  // The three scenarios are separate simulations writing disjoint members
+  // of Results, so they run concurrently on the replication pool; outputs
+  // do not depend on scheduling, only on the per-scenario seeds.
   static Results r = [] {
     Results out;
-
-    // --- DHCP ---
-    {
-      sim::Simulation sim{71};
-      Network net{sim};
-      auto host_node = net.add_node("vm-host");
-      auto dhcp_node = net.add_node("site-dhcp");
-      net.add_link(host_node, dhcp_node, LinkParams{sim::Duration::micros(300), 10e6});
-      DhcpServer dhcp{net, dhcp_node, IpAddress::from_octets(10, 1, 0, 10), 32};
-      const auto t0 = sim.now();
-      double lease_ms = -1;
-      dhcp.request_lease(host_node, [&](std::optional<IpAddress> ip) {
-        if (ip) lease_ms = (sim.now() - t0).to_millis();
-      });
-      sim.run();
-      out.dhcp_lease_ms = lease_ms;
-    }
-
-    // --- SSH tunnel vs direct, across the WAN ---
-    {
-      sim::Simulation sim{72};
-      Network net{sim};
-      auto user_gw = net.add_node("user-gateway");
-      auto vm_host = net.add_node("vm-host");
-      net.add_link(user_gw, vm_host, LinkParams{sim::Duration::millis(17), 2.5e6});
-      EthernetTunnel tun{net, user_gw, vm_host};
-      const auto t0 = sim.now();
-      tun.establish([] {});
-      sim.run();
-      out.tunnel_setup_s = (sim.now() - t0).to_seconds();
-
-      for (std::uint64_t payload : {1500ull, 64ull << 10, 1ull << 20, 16ull << 20}) {
-        TunnelRow row;
-        row.payload = payload;
-        double direct = -1, tunneled = -1;
-        net.send(user_gw, vm_host, payload,
-                 [&](const TransferResult& res) { direct = res.elapsed.to_seconds(); });
-        sim.run();
-        tun.send(true, payload,
-                 [&](const TransferResult& res) { tunneled = res.elapsed.to_seconds(); });
-        sim.run();
-        row.direct_s = direct;
-        row.tunneled_s = tunneled;
-        out.tunnel.push_back(row);
+    vmgrid::sim::ReplicationRunner pool;
+    pool.for_each(3, [&](std::size_t part) {
+      switch (part) {
+        case 0: run_dhcp(out); break;
+        case 1: run_tunnel(out); break;
+        default: run_overlay(out); break;
       }
-    }
-
-    // --- Overlay detour under underlay degradation ---
-    {
-      sim::Simulation sim{73};
-      Network net{sim};
-      auto a = net.add_node("vm-a");
-      auto b = net.add_node("vm-b");
-      auto c = net.add_node("vm-c");
-      net.add_link(a, b, LinkParams{sim::Duration::millis(30), 2.5e6});
-      net.add_link(a, c, LinkParams{sim::Duration::millis(20), 2.5e6});
-      net.add_link(c, b, LinkParams{sim::Duration::millis(20), 2.5e6});
-      OverlayNetwork overlay{net, {a, b, c}};
-      overlay.start();
-      sim.run_for(sim::Duration::seconds(5));
-      double before = -1;
-      overlay.send(a, b, 1000, [&](const TransferResult& res) {
-        before = res.elapsed.to_millis();
-      });
-      sim.run_for(sim::Duration::seconds(1));
-      out.overlay_before_ms = before;
-
-      // Congestion event: the direct path degrades badly; IP keeps using
-      // it (the resilient-overlay premise), the overlay routes around.
-      net.set_link(a, b, LinkParams{sim::Duration::millis(400), 1e5});
-      double direct_after = -1;
-      net.send(a, b, 1000, [&](const TransferResult& res) {
-        direct_after = res.elapsed.to_millis();
-      });
-      sim.run_for(sim::Duration::seconds(2));
-      out.overlay_direct_after_ms = direct_after;
-
-      sim.run_for(sim::Duration::seconds(10));  // let probes converge
-      double detour = -1;
-      overlay.send(a, b, 1000, [&](const TransferResult& res) {
-        detour = res.elapsed.to_millis();
-      });
-      sim.run_for(sim::Duration::seconds(2));
-      out.overlay_detour_after_ms = detour;
-      out.overlay_path_len = overlay.current_path(a, b).size();
-      overlay.stop();
-    }
+    });
     return out;
   }();
   return r;

@@ -122,6 +122,33 @@ double MetricsRegistry::gauge_value(std::string_view name, const Labels& labels)
   return g ? g->value() : 0.0;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [k, inst] : other.counters_) {
+    auto it = counters_.find(k);
+    if (it == counters_.end()) {
+      counters_.emplace(k, inst);
+    } else {
+      it->second.metric.inc(inst.metric.value());
+    }
+  }
+  for (const auto& [k, inst] : other.gauges_) {
+    auto it = gauges_.find(k);
+    if (it == gauges_.end()) {
+      gauges_.emplace(k, inst);
+    } else {
+      it->second.metric.set(inst.metric.value());
+    }
+  }
+  for (const auto& [k, inst] : other.histograms_) {
+    auto it = histograms_.find(k);
+    if (it == histograms_.end()) {
+      histograms_.emplace(k, inst);
+    } else {
+      it->second.metric.merge(inst.metric);
+    }
+  }
+}
+
 std::string MetricsRegistry::to_json() const {
   std::string out = "{\"counters\":[";
   bool first = true;

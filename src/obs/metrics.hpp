@@ -104,6 +104,15 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  /// Fold another registry into this one, instance by instance (matched on
+  /// canonical key): counters sum, gauges take the incoming value (so a
+  /// fold in seed order ends with the last replica's level, exactly as one
+  /// serial run would), histograms merge bin-wise. Instances only present
+  /// in `other` are copied in. The replication runner uses this to reduce
+  /// per-replica registries into one export; merging in a fixed order
+  /// keeps the result byte-identical across thread counts.
+  void merge(const MetricsRegistry& other);
+
   /// Snapshot export. JSON: {"counters":[...],"gauges":[...],"histograms":[...]}.
   /// CSV: one row per instance with type,name,labels,value/stat columns.
   [[nodiscard]] std::string to_json() const;

@@ -5,36 +5,45 @@
 
 namespace vmgrid::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.fn = nullptr;
+  ++slot.gen;  // orphan any heap entry / EventId still pointing here
+  free_.push_back(s);
+}
+
 EventId EventQueue::schedule(TimePoint at, EventCallback fn, bool weak) {
-  const std::uint64_t seq = next_seq_++;
-  auto slot = std::make_shared<EventCallback>(std::move(fn));
-  index_.emplace(seq, IndexEntry{slot, weak});
-  heap_.push(Entry{at, seq, std::move(slot), weak});
+  const std::uint32_t s = acquire_slot();
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  slot.weak = weak;
+  heap_.push(Entry{at, next_seq_++, s, slot.gen});
   ++live_;
   if (!weak) ++strong_live_;
-  return EventId{seq};
+  return EventId{s, slot.gen};
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
-  auto it = index_.find(id.seq());
-  if (it == index_.end()) return;
-  if (auto slot = it->second.slot.lock()) {
-    *slot = nullptr;  // mark entry cancelled; heap slot is skipped on pop
-    --live_;
-    if (!it->second.weak) --strong_live_;
-  }
-  index_.erase(it);
+  const std::uint32_t s = id.slot();
+  if (s >= slots_.size() || slots_[s].gen != id.gen()) return;  // fired/cancelled
+  --live_;
+  if (!slots_[s].weak) --strong_live_;
+  release_slot(s);
 }
 
-bool EventQueue::empty() const { return live_ == 0; }
-
 void EventQueue::drop_cancelled_prefix() {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (top.fn && *top.fn) return;
-    heap_.pop();
-  }
+  while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
 }
 
 TimePoint EventQueue::next_time() const {
@@ -47,12 +56,14 @@ TimePoint EventQueue::next_time() const {
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_prefix();
   assert(!heap_.empty());
-  Entry top = heap_.top();
+  const Entry top = heap_.top();
   heap_.pop();
-  index_.erase(top.seq);
+  Slot& slot = slots_[top.slot];
+  Fired fired{top.at, std::move(slot.fn)};
   --live_;
-  if (!top.weak) --strong_live_;
-  return Fired{top.at, std::move(*top.fn)};
+  if (!slot.weak) --strong_live_;
+  release_slot(top.slot);
+  return fired;
 }
 
 }  // namespace vmgrid::sim

@@ -2,9 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -14,17 +12,29 @@ namespace vmgrid::sim {
 using EventCallback = std::function<void()>;
 
 /// Opaque handle to a scheduled event; used only for cancellation.
+///
+/// Internally packs a slot index and a generation counter. The handle is
+/// valid exactly while the generation stored in the queue's slot arena
+/// matches; firing or cancelling bumps the generation, so stale handles
+/// (cancel-after-fire, cancel of a reused slot) are harmless no-ops.
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
-  [[nodiscard]] constexpr std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] constexpr bool valid() const { return bits_ != 0; }
   constexpr auto operator<=>(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  explicit constexpr EventId(std::uint64_t s) : seq_{s} {}
-  std::uint64_t seq_{0};
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+      : bits_{(static_cast<std::uint64_t>(gen) << 32) |
+              (static_cast<std::uint64_t>(slot) + 1)} {}
+  [[nodiscard]] constexpr std::uint32_t slot() const {
+    return static_cast<std::uint32_t>((bits_ & 0xffffffffull) - 1);
+  }
+  [[nodiscard]] constexpr std::uint32_t gen() const {
+    return static_cast<std::uint32_t>(bits_ >> 32);
+  }
+  std::uint64_t bits_{0};
 };
 
 /// Deterministic min-heap of timed callbacks.
@@ -32,6 +42,14 @@ class EventId {
 /// Ties are broken by insertion order, so two events scheduled for the
 /// same instant fire in the order they were scheduled — this is what makes
 /// whole-simulation runs reproducible for a fixed seed.
+///
+/// Hot-path layout: callbacks live in a slot arena (vector + free list),
+/// and heap entries carry only {time, seq, slot, generation} — 24 bytes,
+/// trivially copyable. Cancellation is O(1): it bumps the slot's
+/// generation, which orphans the heap entry; orphans are skipped lazily
+/// at pop time. Compared to the previous shared_ptr-per-event +
+/// unordered_map index, the arena does one allocation per slot high-water
+/// mark (amortized zero in steady state) and no hashing anywhere.
 ///
 /// Events are *strong* by default. *Weak* events (daemon-style: periodic
 /// sensors, probes, archival sweeps) do not keep an unbounded run alive:
@@ -44,7 +62,7 @@ class EventQueue {
   /// cancelled event is a harmless no-op.
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] bool has_strong() const { return strong_live_ > 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] TimePoint next_time() const;
@@ -58,11 +76,16 @@ class EventQueue {
   Fired pop();
 
  private:
+  struct Slot {
+    EventCallback fn;    // empty while the slot is free
+    std::uint32_t gen{1};  // bumped when the slot is released
+    bool weak{false};
+  };
   struct Entry {
     TimePoint at;
     std::uint64_t seq;
-    std::shared_ptr<EventCallback> fn;  // null fn slot => cancelled
-    bool weak{false};
+    std::uint32_t slot;
+    std::uint32_t gen;  // != slots_[slot].gen => cancelled, skip on pop
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -70,15 +93,17 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  struct IndexEntry {
-    std::weak_ptr<EventCallback> slot;
-    bool weak{false};
-  };
 
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t s);
   void drop_cancelled_prefix();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<std::uint64_t, IndexEntry> index_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_{1};
   std::size_t live_{0};
   std::size_t strong_live_{0};

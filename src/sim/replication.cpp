@@ -1,0 +1,122 @@
+#include "sim/replication.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vmgrid::sim {
+
+std::size_t replication_jobs_from_env() {
+  if (const char* env = std::getenv("VMGRID_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(std::min(v, 512L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Shared state of one fan-out. Workers claim indices from `next` under
+/// the mutex (one cursor, no stealing); the caller thread claims work too,
+/// so a pool of J jobs runs J bodies concurrently with J-1 spawned threads.
+struct ReplicationRunner::Pool {
+  std::mutex m;
+  std::condition_variable work_cv;  // workers: a job was published / shutdown
+  std::condition_variable done_cv;  // caller: all claimed indices finished
+  const std::function<void(std::size_t)>* body{nullptr};
+  std::vector<std::exception_ptr>* errors{nullptr};
+  std::size_t n{0};
+  std::size_t next{0};
+  std::size_t in_flight{0};
+  bool shutdown{false};
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::unique_lock lk{m};
+    for (;;) {
+      work_cv.wait(lk, [&] { return shutdown || (body != nullptr && next < n); });
+      if (shutdown) return;
+      drain(lk);
+    }
+  }
+
+  /// Claim and run indices until none remain. Called with the lock held;
+  /// returns with the lock held.
+  void drain(std::unique_lock<std::mutex>& lk) {
+    while (body != nullptr && next < n) {
+      const std::size_t i = next++;
+      ++in_flight;
+      const auto* fn = body;
+      auto* errs = errors;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err) (*errs)[i] = err;
+      --in_flight;
+      if (next >= n && in_flight == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ReplicationRunner::ReplicationRunner(std::size_t jobs)
+    : jobs_{jobs == 0 ? replication_jobs_from_env() : jobs} {
+  if (jobs_ > 1) {
+    pool_ = std::make_unique<Pool>();
+    pool_->workers.reserve(jobs_ - 1);
+    for (std::size_t w = 0; w + 1 < jobs_; ++w) {
+      pool_->workers.emplace_back([p = pool_.get()] { p->worker_loop(); });
+    }
+  }
+}
+
+ReplicationRunner::~ReplicationRunner() {
+  if (!pool_) return;
+  {
+    std::lock_guard lk{pool_->m};
+    pool_->shutdown = true;
+  }
+  pool_->work_cv.notify_all();
+  for (auto& t : pool_->workers) t.join();
+}
+
+void ReplicationRunner::run_indexed(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!pool_ || n == 1) {
+    // Strict serial path (VMGRID_JOBS=1): same code the replicas run in
+    // parallel, same index order, no threads touched.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  {
+    std::unique_lock lk{pool_->m};
+    pool_->body = &fn;
+    pool_->errors = &errors;
+    pool_->n = n;
+    pool_->next = 0;
+    pool_->work_cv.notify_all();
+    pool_->drain(lk);  // the caller is the jobs-th worker
+    pool_->done_cv.wait(lk,
+                        [&] { return pool_->next >= pool_->n && pool_->in_flight == 0; });
+    pool_->body = nullptr;
+    pool_->errors = nullptr;
+    pool_->n = 0;
+  }
+  // Failures surface deterministically: lowest replica index first.
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace vmgrid::sim

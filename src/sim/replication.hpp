@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::sim {
+
+/// Worker count policy for replicated experiments: `VMGRID_JOBS` (>= 1)
+/// wins when set and parseable; otherwise std::thread::hardware_concurrency
+/// (floored at 1). VMGRID_JOBS=1 forces the strict serial path — no pool
+/// threads are ever created.
+[[nodiscard]] std::size_t replication_jobs_from_env();
+
+/// Outputs of a seeded replica fan-out, reduced in seed order.
+template <typename R>
+struct Replicated {
+  std::vector<R> results;        ///< one per replica, in seed (index) order
+  obs::MetricsRegistry metrics;  ///< per-replica registries folded in seed order
+};
+
+/// Deterministic fan-out of independent simulation replicas over a fixed
+/// thread pool.
+///
+/// Every headline artifact in this repo is a statistic over many
+/// deterministic `Simulation` runs that differ only in seed (Figure 1 is
+/// 12 scenarios x 1000 samples, Table 2 is 6 cells x 10 samples). Those
+/// replicas share nothing, so they parallelize embarrassingly — but the
+/// reduction must not depend on completion order or the statistics stop
+/// being reproducible. The contract here:
+///
+///  - work items are claimed from a single cursor under a mutex (no work
+///    stealing, no per-thread queues), purely as a load-balancing device;
+///  - every replica's inputs are a pure function of its index (seed,
+///    scenario), never of which thread runs it or when;
+///  - results land in an index-addressed vector and all reductions
+///    (result vectors, metrics registries) fold in index order after the
+///    pool drains.
+///
+/// Consequently serial (jobs=1) and parallel (jobs=N) runs produce
+/// bit-identical outputs, and `VMGRID_JOBS` is a pure wall-clock knob.
+///
+/// A replica body that throws has its exception captured; the remaining
+/// replicas still run, the pool drains normally, and the lowest-index
+/// exception is rethrown to the caller afterwards (so failures are also
+/// deterministic).
+class ReplicationRunner {
+ public:
+  /// jobs == 0 => replication_jobs_from_env(). The pool spawns jobs-1
+  /// worker threads; the calling thread is the jobs-th worker.
+  explicit ReplicationRunner(std::size_t jobs = 0);
+  ~ReplicationRunner();
+
+  ReplicationRunner(const ReplicationRunner&) = delete;
+  ReplicationRunner& operator=(const ReplicationRunner&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Run fn(0..n-1) across the pool; results returned in index order.
+  /// fn must be safe to call concurrently for distinct indices (each call
+  /// should build its own Simulation/Grid world).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "map requires a value-returning body; use for_each");
+    std::vector<std::optional<R>> slots(n);
+    run_indexed(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// map() without results, for side-effecting bodies (tests, warmups).
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) {
+    run_indexed(n, [&](std::size_t i) { fn(i); });
+  }
+
+  /// Seeded-replica convenience: replica i runs body(sim, i) on a fresh
+  /// Simulation{seed_of(i)}; each replica's MetricsRegistry is folded into
+  /// Replicated::metrics in seed order once the pool drains.
+  template <typename Body>
+  auto run_replicas(std::size_t n,
+                    const std::function<std::uint64_t(std::size_t)>& seed_of,
+                    Body&& body)
+      -> Replicated<std::invoke_result_t<Body&, Simulation&, std::size_t>> {
+    using R = std::invoke_result_t<Body&, Simulation&, std::size_t>;
+    auto raw = map(n, [&](std::size_t i) {
+      Simulation sim{seed_of(i)};
+      R r = body(sim, i);
+      return std::pair<R, obs::MetricsRegistry>{std::move(r),
+                                                std::move(sim.metrics())};
+    });
+    Replicated<R> out;
+    out.results.reserve(n);
+    for (auto& [r, registry] : raw) {
+      out.results.push_back(std::move(r));
+      out.metrics.merge(registry);
+    }
+    return out;
+  }
+
+ private:
+  struct Pool;
+
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t jobs_;
+  std::unique_ptr<Pool> pool_;  // null when jobs_ == 1
+};
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/replication.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::sim {
+namespace {
+
+/// A replica body with real per-replica state: a seeded Simulation driving
+/// rng draws through scheduled events. Any cross-replica interference or
+/// order dependence would perturb the returned value.
+double replica_value(Simulation& sim, std::size_t index) {
+  double acc = static_cast<double>(index);
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_after(Duration::millis(1 + i), [&acc, &sim] {
+      acc += sim.rng().uniform(0.0, 1.0);
+    });
+  }
+  sim.run();
+  sim.metrics().counter("replica.events").inc(static_cast<double>(sim.executed_events()));
+  sim.metrics().gauge("replica.last_index").set(static_cast<double>(index));
+  sim.metrics().histogram("replica.value", {0.0, 64.0, 32}).observe(acc);
+  return acc;
+}
+
+std::uint64_t seed_of(std::size_t i) { return 4200 + i; }
+
+TEST(ReplicationRunner, SerialAndParallelResultsAreBitIdentical) {
+  constexpr std::size_t kReplicas = 23;
+  std::vector<std::vector<double>> per_jobs;
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    ReplicationRunner runner{jobs};
+    ASSERT_EQ(runner.jobs(), jobs);
+    per_jobs.push_back(runner.map(kReplicas, [](std::size_t i) {
+      Simulation sim{seed_of(i)};
+      return replica_value(sim, i);
+    }));
+  }
+  ASSERT_EQ(per_jobs[0].size(), kReplicas);
+  // Bit-identical, not approximately equal: the runner must not change
+  // evaluation order within a replica or reduction order across replicas.
+  EXPECT_EQ(per_jobs[0], per_jobs[1]);
+  EXPECT_EQ(per_jobs[0], per_jobs[2]);
+}
+
+TEST(ReplicationRunner, MergedMetricsAreIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kReplicas = 13;
+  std::vector<std::string> exports;
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    ReplicationRunner runner{jobs};
+    auto rep = runner.run_replicas(kReplicas, seed_of, replica_value);
+    ASSERT_EQ(rep.results.size(), kReplicas);
+    exports.push_back(rep.metrics.to_json());
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+}
+
+TEST(ReplicationRunner, RunReplicasMergesInSeedOrder) {
+  ReplicationRunner runner{8};
+  auto rep = runner.run_replicas(5, seed_of, [](Simulation& sim, std::size_t i) {
+    sim.metrics().counter("n").inc(1.0);
+    sim.metrics().gauge("last").set(static_cast<double>(i));
+    return i;
+  });
+  EXPECT_EQ(rep.results, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  // Counters sum across replicas; gauges keep the last replica's value in
+  // seed order regardless of which thread finished last.
+  EXPECT_DOUBLE_EQ(rep.metrics.counter_value("n"), 5.0);
+  EXPECT_DOUBLE_EQ(rep.metrics.gauge_value("last"), 4.0);
+}
+
+TEST(ReplicationRunner, ExceptionInOneReplicaDoesNotDeadlockOrStopOthers) {
+  ReplicationRunner runner{4};
+  std::atomic<int> completed{0};
+  constexpr std::size_t kReplicas = 16;
+  try {
+    runner.for_each(kReplicas, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("replica 5 exploded");
+      ++completed;
+    });
+    FAIL() << "expected the replica exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "replica 5 exploded");
+  }
+  // Every other replica still ran; the pool drained instead of deadlocking.
+  EXPECT_EQ(completed.load(), static_cast<int>(kReplicas) - 1);
+
+  // The pool is still usable for the next fan-out.
+  auto again = runner.map(8, [](std::size_t i) { return i * 2; });
+  EXPECT_EQ(again.size(), 8u);
+  EXPECT_EQ(again[7], 14u);
+}
+
+TEST(ReplicationRunner, LowestIndexExceptionWinsDeterministically) {
+  ReplicationRunner runner{8};
+  for (int round = 0; round < 5; ++round) {
+    try {
+      runner.for_each(12, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("replica 3");
+        if (i == 9) throw std::runtime_error("replica 9");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "replica 3");
+    }
+  }
+}
+
+TEST(ReplicationRunner, VmgridJobsEnvForcesSerial) {
+  ASSERT_EQ(setenv("VMGRID_JOBS", "1", 1), 0);
+  EXPECT_EQ(replication_jobs_from_env(), 1u);
+  ReplicationRunner runner;  // jobs = 0 => env
+  EXPECT_EQ(runner.jobs(), 1u);
+
+  // Serial execution is observable: replicas run strictly in index order
+  // on the calling thread.
+  std::vector<std::size_t> order;
+  runner.for_each(6, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+
+  ASSERT_EQ(setenv("VMGRID_JOBS", "7", 1), 0);
+  EXPECT_EQ(replication_jobs_from_env(), 7u);
+  ASSERT_EQ(setenv("VMGRID_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(replication_jobs_from_env(), 1u);  // falls back to hardware
+  ASSERT_EQ(unsetenv("VMGRID_JOBS"), 0);
+  EXPECT_GE(replication_jobs_from_env(), 1u);
+}
+
+TEST(ReplicationRunner, EmptyAndSingleItemBatches) {
+  ReplicationRunner runner{4};
+  runner.for_each(0, [](std::size_t) { FAIL() << "no items to run"; });
+  auto one = runner.map(1, [](std::size_t i) { return i + 41; });
+  EXPECT_EQ(one, (std::vector<std::size_t>{41}));
+}
+
+TEST(MetricsMerge, CountersSumGaugesOverwriteHistogramsCombine) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("c", {{"k", "v"}}).inc(2.0);
+  b.counter("c", {{"k", "v"}}).inc(3.0);
+  b.counter("only_b").inc(7.0);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h", {0.0, 10.0, 10}).observe(1.0);
+  b.histogram("h", {0.0, 10.0, 10}).observe(9.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter_value("c", {{"k", "v"}}), 5.0);
+  EXPECT_DOUBLE_EQ(a.counter_value("only_b"), 7.0);
+  EXPECT_DOUBLE_EQ(a.gauge_value("g"), 9.0);
+  const auto* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(h->summary().mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace vmgrid::sim

@@ -69,6 +69,64 @@ TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(EventQueue, StaleIdCannotCancelReusedSlot) {
+  // After an event fires (or is cancelled) its arena slot is recycled for
+  // the next schedule. The old EventId carries the old generation, so it
+  // must not cancel the new occupant.
+  Simulation sim;
+  bool first_fired = false;
+  auto first = sim.schedule_after(Duration::seconds(1), [&] { first_fired = true; });
+  sim.run();
+  EXPECT_TRUE(first_fired);
+
+  bool second_fired = false;
+  auto second = sim.schedule_after(Duration::seconds(1), [&] { second_fired = true; });
+  sim.cancel(first);  // stale handle: must be a no-op against the new event
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(second_fired);
+  (void)second;
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsCancelTargeted) {
+  Simulation sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  auto a = sim.schedule_after(Duration::seconds(1), [&] { a_fired = true; });
+  sim.cancel(a);                      // releases a's slot
+  auto b = sim.schedule_after(Duration::seconds(1), [&] { b_fired = true; });
+  sim.cancel(a);                      // stale: b now owns the slot
+  sim.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+
+  // And the fresh handle still cancels its own event.
+  bool c_fired = false;
+  auto c = sim.schedule_after(Duration::seconds(1), [&] { c_fired = true; });
+  sim.cancel(c);
+  sim.run();
+  EXPECT_FALSE(c_fired);
+  (void)b;
+}
+
+TEST(EventQueue, HeavySlotChurnStaysConsistent) {
+  // Schedule/cancel/fire cycles across many slot generations; live-count
+  // bookkeeping and ordering must survive arena reuse.
+  Simulation sim;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    auto keep = sim.schedule_after(Duration::millis(1), [&] { ++fired; });
+    auto drop = sim.schedule_after(Duration::millis(2), [&] { ++fired; });
+    sim.cancel(drop);
+    sim.cancel(drop);  // double cancel on a released slot: no-op
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    sim.cancel(keep);  // cancel-after-fire: no-op
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+  EXPECT_EQ(fired, 100);
+}
+
 TEST(Simulation, RunUntilStopsAtLimitAndAdvancesClock) {
   Simulation sim;
   int fired = 0;
