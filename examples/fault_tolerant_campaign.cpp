@@ -1,0 +1,114 @@
+// A fault-tolerant campaign (DESIGN.md §10): a user runs a queue of jobs
+// through one VM session while the hosting compute server crashes
+// mid-run. The session manager's probe detector notices the dead host,
+// re-instantiates the VM from its warm image on a surviving server, and
+// the campaign resubmits the interrupted job — every job completes even
+// though the machine it started on is gone.
+//
+//   $ ./example_fault_tolerant_campaign
+
+#include <cstdio>
+#include <functional>
+
+#include "fault/fault.hpp"
+#include "middleware/testbed.hpp"
+#include "workload/task_spec.hpp"
+
+using namespace vmgrid;
+using namespace vmgrid::middleware;
+
+int main() {
+  testbed::FaultTestbed tb{4242, 3};
+  auto& grid = *tb.grid;
+
+  // Probe-based failure detection + VM-restore failover, with a narrator.
+  FailoverPolicy pol;
+  pol.probe_interval = sim::Duration::seconds(5);
+  grid.sessions().set_failover(pol);
+  std::uint64_t failovers = 0;
+  grid.sessions().set_failover_handler([&](const FailoverEvent& ev) {
+    if (ev.ok) {
+      ++failovers;
+      std::printf("[t=%7.1fs] failover: %s -> %s after %.1f s of downtime\n",
+                  grid.now().to_seconds(), ev.from_host.c_str(), ev.to_host.c_str(),
+                  ev.downtime.to_seconds());
+    } else {
+      std::printf("[t=%7.1fs] failover attempt from %s failed; retrying\n",
+                  grid.now().to_seconds(), ev.from_host.c_str());
+    }
+  });
+
+  // Establish the session (paper §4 steps 1-6) on whichever host the
+  // information service picks.
+  SessionRequest req;
+  req.user = "lab";
+  req.want_ip = false;
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* session = nullptr;
+  grid.sessions().create_session(req, [&](VmSession* s, std::string err) {
+    session = s;
+    if (s == nullptr) std::printf("session failed: %s\n", err.c_str());
+  });
+  grid.run();
+  if (session == nullptr) return 1;
+  const std::string home = session->server().name();
+  std::printf("[t=%7.1fs] session %s established on %s\n", grid.now().to_seconds(),
+              session->name().c_str(), home.c_str());
+
+  // Script the disaster: the session's own host dies 120 s after the
+  // schedule is armed (mid-campaign, a couple of jobs in) and stays down
+  // for ten minutes — long past the end of the campaign.
+  fault::FaultEngine engine{grid.simulation(), grid.network()};
+  for (auto* cs : tb.computes) engine.register_host(*cs);
+  fault::FaultPlan plan;
+  plan.add(fault::FaultEvent{.at = sim::Duration::seconds(120),
+                             .kind = fault::FaultKind::kHostCrash,
+                             .target = home,
+                             .duration = sim::Duration::seconds(600),
+                             .magnitude = 0.0});
+  engine.arm(plan);
+
+  // The campaign: 8 jobs of 30 s each, run one at a time through the
+  // session. A job interrupted by the crash fails (ok == false) and is
+  // resubmitted after a 10 s pause (a dead session fails submissions
+  // asynchronously, so an eager loop would spin until failover finishes);
+  // the retry lands on the restored VM.
+  const int kJobs = 8;
+  int done = 0, retries = 0;
+  std::function<void(int)> submit = [&](int job) {
+    if (job >= kJobs) return;
+    workload::TaskSpec spec;
+    spec.name = "job-" + std::to_string(job);
+    spec.user_seconds = 30.0;
+    session->run_task(spec, [&, job](vm::TaskResult r) {
+      if (!r.ok) {
+        ++retries;
+        std::printf("[t=%7.1fs] %s interrupted by the crash; retrying in 10 s\n",
+                    grid.now().to_seconds(), r.task.c_str());
+        grid.simulation().schedule_weak_after(sim::Duration::seconds(10),
+                                              [&, job] { submit(job); });
+        return;
+      }
+      ++done;
+      std::printf("[t=%7.1fs] %s done on %-9s (%d/%d)\n", grid.now().to_seconds(),
+                  r.task.c_str(), session->server().name().c_str(), done, kJobs);
+      submit(job + 1);
+    });
+  };
+  submit(0);
+
+  // Bounded run: the fault schedule and the probe monitor are weak events,
+  // so run_for (not run) drives detection and recovery.
+  grid.run_for(sim::Duration::seconds(900));
+
+  std::printf(
+      "\ncampaign: %d/%d jobs done, %d resubmitted, %llu failover(s); "
+      "session now on %s (downtime %.1f s)\n",
+      done, kJobs, retries, static_cast<unsigned long long>(failovers),
+      session->alive() ? session->server().name().c_str() : "<dead>",
+      session->total_downtime().to_seconds());
+  const bool survived = done == kJobs && failovers >= 1 && session->alive() &&
+                        session->server().name() != home;
+  session->shutdown();
+  return survived ? 0 : 1;
+}

@@ -1,0 +1,247 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "middleware/compute_server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "vm/virtual_machine.hpp"
+#include "vm/vmm.hpp"
+
+namespace vmgrid::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kHostCrash:
+      return "host_crash";
+    case FaultKind::kServerOutage:
+      return "server_outage";
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kLinkDegraded:
+      return "link_degraded";
+    case FaultKind::kLinkFlaky:
+      return "link_flaky";
+    case FaultKind::kVmStall:
+      return "vm_stall";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
+                            const std::vector<std::string>& hosts,
+                            const std::vector<std::string>& servers,
+                            const std::vector<std::string>& links) {
+  FaultPlan plan;
+  if (opts.events_per_hour <= 0.0 || opts.horizon <= sim::Duration::zero()) {
+    return plan;
+  }
+  struct Choice {
+    FaultKind kind;
+    double weight;
+    const std::vector<std::string>* targets;
+  };
+  std::vector<Choice> choices;
+  auto consider = [&choices](FaultKind k, double w, const std::vector<std::string>& t) {
+    if (w > 0.0 && !t.empty()) choices.push_back(Choice{k, w, &t});
+  };
+  consider(FaultKind::kHostCrash, opts.host_crash_weight, hosts);
+  consider(FaultKind::kServerOutage, opts.server_outage_weight, servers);
+  consider(FaultKind::kLinkDown, opts.link_down_weight, links);
+  consider(FaultKind::kLinkDegraded, opts.link_degraded_weight, links);
+  consider(FaultKind::kLinkFlaky, opts.link_flaky_weight, links);
+  consider(FaultKind::kVmStall, opts.vm_stall_weight, hosts);
+  if (choices.empty()) return plan;
+  double total_weight = 0.0;
+  for (const auto& c : choices) total_weight += c.weight;
+
+  // Own Rng: the schedule depends only on (seed, options, targets), never
+  // on simulation state, so plans are portable across runs and replicas.
+  sim::Rng rng{seed};
+  const double mean_gap_s = 3600.0 / opts.events_per_hour;
+  sim::Duration t = sim::Duration::zero();
+  for (;;) {
+    t = t + sim::Duration::seconds(rng.exponential(mean_gap_s));
+    if (t >= opts.horizon) break;
+    double pick = rng.uniform(0.0, total_weight);
+    const Choice* chosen = &choices.back();
+    for (const auto& c : choices) {
+      if (pick < c.weight) {
+        chosen = &c;
+        break;
+      }
+      pick -= c.weight;
+    }
+    FaultEvent ev;
+    ev.at = t;
+    ev.kind = chosen->kind;
+    ev.target = (*chosen->targets)[rng.index(chosen->targets->size())];
+    ev.duration = sim::Duration::seconds(
+        std::max(0.5, rng.exponential(opts.mean_outage.to_seconds())));
+    if (ev.kind == FaultKind::kLinkFlaky) ev.magnitude = opts.flaky_loss;
+    if (ev.kind == FaultKind::kLinkDegraded) ev.magnitude = opts.degraded_factor;
+    plan.add(std::move(ev));
+  }
+  return plan;
+}
+
+void FaultEngine::register_host(middleware::ComputeServer& cs) {
+  if (hosts_.emplace(cs.name(), &cs).second) host_order_.push_back(cs.name());
+}
+
+void FaultEngine::register_server_node(std::string name, net::NodeId node) {
+  if (servers_.emplace(name, node).second) server_order_.push_back(std::move(name));
+}
+
+void FaultEngine::register_link(std::string name, net::NodeId a, net::NodeId b) {
+  if (links_.emplace(name, LinkRef{a, b}).second) link_order_.push_back(std::move(name));
+}
+
+std::vector<std::string> FaultEngine::host_names() const { return host_order_; }
+std::vector<std::string> FaultEngine::server_names() const { return server_order_; }
+std::vector<std::string> FaultEngine::link_names() const { return link_order_; }
+
+void FaultEngine::arm(const FaultPlan& plan) {
+  for (const auto& ev : plan.events()) {
+    const std::size_t record = log_.size();
+    log_.push_back(InjectionRecord{{}, ev.kind, ev.target, ev.duration, false, false});
+    // Weak: an armed schedule must not keep an otherwise-finished run alive.
+    sim_.schedule_weak_after(ev.at, [this, ev, record] { inject(ev, record); });
+  }
+}
+
+void FaultEngine::heal(std::size_t record, std::function<void()> undo,
+                       sim::Duration after) {
+  if (after.is_infinite()) return;  // permanent fault
+  if (after <= sim::Duration::zero()) after = sim::Duration::micros(1);
+  sim_.schedule_weak_after(after, [this, record, undo = std::move(undo)] {
+    undo();
+    log_[record].healed = true;
+    ++healed_;
+    sim_.metrics()
+        .counter("fault.healed", {{"kind", to_string(log_[record].kind)}})
+        .inc();
+  });
+}
+
+void FaultEngine::inject(FaultEvent ev, std::size_t record) {
+  auto& rec = log_[record];
+  rec.injected_at = sim_.now();
+  auto applied = [this, &rec, &ev] {
+    rec.applied = true;
+    ++injected_;
+    sim_.metrics().counter("fault.injected", {{"kind", to_string(ev.kind)}}).inc();
+    sim_.trace().instant(sim_.now(), std::string("fault.") + to_string(ev.kind),
+                         "fault");
+  };
+  auto skipped = [this, &ev] {
+    // Unknown target or the fault is already in effect: log and move on.
+    sim_.metrics().counter("fault.skipped", {{"kind", to_string(ev.kind)}}).inc();
+  };
+
+  switch (ev.kind) {
+    case FaultKind::kHostCrash: {
+      auto it = hosts_.find(ev.target);
+      if (it == hosts_.end() || !it->second->up()) {
+        skipped();
+        return;
+      }
+      middleware::ComputeServer* cs = it->second;
+      cs->crash();
+      applied();
+      heal(
+          record,
+          [cs] {
+            if (!cs->up()) cs->recover();
+          },
+          ev.duration);
+      return;
+    }
+    case FaultKind::kServerOutage: {
+      auto it = servers_.find(ev.target);
+      if (it == servers_.end() || !net_.node_up(it->second)) {
+        skipped();
+        return;
+      }
+      const net::NodeId node = it->second;
+      net_.set_node_up(node, false);
+      applied();
+      heal(record, [this, node] { net_.set_node_up(node, true); }, ev.duration);
+      return;
+    }
+    case FaultKind::kLinkDown: {
+      auto it = links_.find(ev.target);
+      if (it == links_.end() || !net_.link_up(it->second.a, it->second.b)) {
+        skipped();
+        return;
+      }
+      const LinkRef l = it->second;
+      net_.set_link_up(l.a, l.b, false);
+      applied();
+      heal(record, [this, l] { net_.set_link_up(l.a, l.b, true); }, ev.duration);
+      return;
+    }
+    case FaultKind::kLinkDegraded: {
+      auto it = links_.find(ev.target);
+      if (it == links_.end() || degraded_saved_.contains(ev.target)) {
+        skipped();
+        return;
+      }
+      const LinkRef l = it->second;
+      auto saved = net_.link_params(l.a, l.b);
+      if (!saved) {
+        skipped();
+        return;
+      }
+      const double f = ev.magnitude > 1.0 ? ev.magnitude : 8.0;
+      degraded_saved_.emplace(ev.target, *saved);
+      net_.set_link(l.a, l.b,
+                    net::LinkParams{saved->latency * f, saved->bandwidth_bps / f});
+      applied();
+      heal(
+          record,
+          [this, l, name = ev.target] {
+            auto sit = degraded_saved_.find(name);
+            if (sit == degraded_saved_.end()) return;
+            net_.set_link(l.a, l.b, sit->second);
+            degraded_saved_.erase(sit);
+          },
+          ev.duration);
+      return;
+    }
+    case FaultKind::kLinkFlaky: {
+      auto it = links_.find(ev.target);
+      if (it == links_.end() || net_.link_loss(it->second.a, it->second.b) > 0.0) {
+        skipped();
+        return;
+      }
+      const LinkRef l = it->second;
+      const double loss = std::clamp(ev.magnitude, 0.0, 1.0);
+      if (loss <= 0.0) {
+        skipped();
+        return;
+      }
+      net_.set_link_loss(l.a, l.b, loss);
+      applied();
+      heal(record, [this, l] { net_.set_link_loss(l.a, l.b, 0.0); }, ev.duration);
+      return;
+    }
+    case FaultKind::kVmStall: {
+      auto it = hosts_.find(ev.target);
+      if (it == hosts_.end() || !it->second->up()) {
+        skipped();
+        return;
+      }
+      for (vm::VirtualMachine* vmachine : it->second->vmm().vms()) {
+        vmachine->stall(ev.duration);
+      }
+      applied();
+      // Stalls resume on their own inside the VM; no engine-side heal.
+      rec.healed = true;
+      return;
+    }
+  }
+}
+
+}  // namespace vmgrid::fault

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::middleware {
+class ComputeServer;
+}
+
+namespace vmgrid::fault {
+
+/// What to break. Every kind has a matching heal action (except kVmStall,
+/// whose stall auto-resumes inside the VM).
+enum class FaultKind : std::uint8_t {
+  kHostCrash,     // ComputeServer::crash(), recover() after `duration`
+  kServerOutage,  // service node (NFS/image server) off the net, restarts after
+  kLinkDown,      // link hard-down both directions, healed after
+  kLinkDegraded,  // latency x magnitude, bandwidth / magnitude, restored after
+  kLinkFlaky,     // per-packet Bernoulli loss = magnitude, cleared after
+  kVmStall,       // every VM on the host pauses for `duration`
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One scheduled injection. `at` is relative to FaultEngine::arm().
+struct FaultEvent {
+  sim::Duration at{};
+  FaultKind kind{FaultKind::kHostCrash};
+  std::string target;        // a name registered with the engine
+  sim::Duration duration{};  // outage length; infinite => never healed
+  double magnitude{0.0};     // loss probability (flaky) / slowdown (degraded)
+};
+
+/// Knobs for FaultPlan::random. Weights are relative; a kind whose target
+/// list is empty is excluded from the draw.
+struct RandomFaultOptions {
+  double events_per_hour{6.0};
+  sim::Duration horizon{sim::Duration::seconds(3600)};
+  sim::Duration mean_outage{sim::Duration::seconds(30)};
+  double host_crash_weight{1.0};
+  double server_outage_weight{1.0};
+  double link_down_weight{1.0};
+  double link_degraded_weight{1.0};
+  double link_flaky_weight{1.0};
+  double vm_stall_weight{1.0};
+  double flaky_loss{0.05};
+  double degraded_factor{8.0};
+};
+
+/// An ordered schedule of faults. Built by hand (scripted scenarios) or
+/// drawn from a seed (chaos testing). A plan is pure data: generating it
+/// uses its own Rng, so the same (seed, options, targets) always yields
+/// the same byte-identical schedule regardless of simulation state.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultEvent ev) {
+    events_.push_back(std::move(ev));
+    return *this;
+  }
+
+  /// Poisson arrivals over `opts.horizon` with exponential outage
+  /// lengths; targets are drawn uniformly from the matching list.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const RandomFaultOptions& opts,
+                                        const std::vector<std::string>& hosts,
+                                        const std::vector<std::string>& servers,
+                                        const std::vector<std::string>& links);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// What actually happened: one record per armed event, healed flipped
+/// when the matching recovery action fired.
+struct InjectionRecord {
+  sim::TimePoint injected_at{};
+  FaultKind kind{FaultKind::kHostCrash};
+  std::string target;
+  sim::Duration duration{};
+  bool applied{false};  // false: target unknown / not applicable
+  bool healed{false};
+};
+
+/// Applies a FaultPlan to a live simulation through the fault hooks of
+/// the registered components. All scheduling is via weak events, so an
+/// armed engine never keeps an otherwise-finished run() alive, and every
+/// injection is logged + counted (`fault.injected{kind=...}`).
+class FaultEngine {
+ public:
+  FaultEngine(sim::Simulation& sim, net::Network& net) : sim_{sim}, net_{net} {}
+
+  /// Targets for kHostCrash / kVmStall, addressed by cs.name().
+  void register_host(middleware::ComputeServer& cs);
+  /// Targets for kServerOutage (NFS / image servers), addressed by name.
+  void register_server_node(std::string name, net::NodeId node);
+  /// Targets for the kLink* kinds, addressed by name.
+  void register_link(std::string name, net::NodeId a, net::NodeId b);
+
+  [[nodiscard]] std::vector<std::string> host_names() const;
+  [[nodiscard]] std::vector<std::string> server_names() const;
+  [[nodiscard]] std::vector<std::string> link_names() const;
+
+  /// Schedule every event in the plan relative to now. May be called
+  /// more than once (e.g. one scripted plan plus one random plan).
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] const std::vector<InjectionRecord>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t healed() const { return healed_; }
+
+ private:
+  struct LinkRef {
+    net::NodeId a{}, b{};
+  };
+
+  void inject(FaultEvent ev, std::size_t record);
+  void heal(std::size_t record, std::function<void()> undo, sim::Duration after);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  std::vector<std::string> host_order_;  // registration order for name lists
+  std::unordered_map<std::string, middleware::ComputeServer*> hosts_;
+  std::vector<std::string> server_order_;
+  std::unordered_map<std::string, net::NodeId> servers_;
+  std::vector<std::string> link_order_;
+  std::unordered_map<std::string, LinkRef> links_;
+  /// Original params of currently-degraded links; presence blocks a
+  /// second overlapping degradation (its heal would restore too early).
+  std::unordered_map<std::string, net::LinkParams> degraded_saved_;
+  std::vector<InjectionRecord> log_;
+  std::uint64_t injected_{0};
+  std::uint64_t healed_{0};
+};
+
+}  // namespace vmgrid::fault

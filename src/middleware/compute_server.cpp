@@ -40,8 +40,12 @@ ComputeServer::ComputeServer(sim::Simulation& s, net::Network& net,
       rpc_server_{fabric, host_.node(), params_.rpc},
       gram_{rpc_server_, params_.gram},
       loopback_export_{rpc_server_, host_.fs()},
-      loopback_client_{std::make_unique<storage::NfsClient>(fabric, host_.node(),
-                                                            host_.node())},
+      loopback_client_{std::make_unique<storage::NfsClient>(
+          fabric, host_.node(), host_.node(), [&] {
+            storage::NfsClientParams p;
+            p.rpc = params_.nfs_rpc;
+            return p;
+          }())},
       dhcp_{net, host_.node(),
             net::IpAddress::from_octets(
                 10, static_cast<std::uint8_t>(host_.node().value() & 0xff), 0, 10),
@@ -78,6 +82,7 @@ vfs::VfsMount& ComputeServer::vfs_mount_for(net::NodeId image_server) {
   if (it != vfs_mounts_.end()) return *it->second;
   vfs::VfsMountOptions opts;
   opts.use_shared_image_cache = true;
+  opts.nfs.rpc = params_.nfs_rpc;
   auto& mount = gvfs_.mount(host_.node(), image_server, opts);
   vfs_mounts_.emplace(image_server, &mount);
   return mount;
@@ -176,8 +181,27 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
   cb(false, "unknown state access mode", {});
 }
 
+ComputeServer::InstantiateCallback ComputeServer::take_inflight(std::uint64_t id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return {};
+  auto cb = std::move(it->second);
+  inflight_.erase(it);
+  return cb;
+}
+
 void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb) {
   const auto t0 = sim_.now();
+  if (!up_) {
+    sim_.schedule_after(sim::Duration::micros(10), [opts, cb = std::move(cb)] {
+      InstantiationStats stats;
+      stats.access = opts.access;
+      stats.mode = opts.mode;
+      stats.ok = false;
+      stats.error = "host down";
+      cb(nullptr, std::move(stats));
+    });
+    return;
+  }
   if (opts.config.persistent != (opts.access == StateAccess::kPersistentCopy)) {
     opts.config.persistent = opts.access == StateAccess::kPersistentCopy;
   }
@@ -188,12 +212,19 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
   span->arg("access", to_string(opts.access));
   auto stage_span = std::make_shared<obs::Span>(sim_, "vm.stage", host_.name());
   // Count the request against the advertised future immediately so
-  // concurrent placement decisions see this slot as taken.
+  // concurrent placement decisions see this slot as taken. The callback
+  // parks in the in-flight registry so a crash can fail it; every
+  // continuation below reclaims it via take_inflight() and backs off
+  // quietly when the crash path got there first.
+  const std::uint64_t id = next_inflight_id_++;
+  inflight_.emplace(id, std::move(cb));
   ++pending_instantiations_;
   refresh_published();
   update_gauges();
   auto fail = [this, t0, span](InstantiationStats& stats, std::string error,
-                               InstantiateCallback& done) {
+                               std::uint64_t call_id) {
+    auto done = take_inflight(call_id);
+    if (!done) return;
     --pending_instantiations_;
     refresh_published();
     update_gauges();
@@ -204,30 +235,33 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
     span->end();
     done(nullptr, std::move(stats));
   };
-  prepare_storage(opts, [this, opts, t0, fail, span, stage_span, cb = std::move(cb)](
+  prepare_storage(opts, [this, opts, t0, id, fail, span, stage_span](
                             bool ok, std::string error, vm::VmStorage storage) mutable {
+    if (!inflight_.contains(id)) return;  // crashed while staging
     stage_span->end();
     InstantiationStats stats;
     stats.access = opts.access;
     stats.mode = opts.mode;
     stats.state_preparation = sim_.now() - t0;
     if (!ok) {
-      fail(stats, std::move(error), cb);
+      fail(stats, std::move(error), id);
       return;
     }
     vm::VirtualMachine* vmachine = nullptr;
     try {
       vmachine = &vmm_.create_vm(opts.config, opts.image, std::move(storage));
     } catch (const std::exception& e) {
-      fail(stats, e.what(), cb);
+      fail(stats, e.what(), id);
       return;
     }
     const auto t_start = sim_.now();
     auto start_span = std::make_shared<obs::Span>(
         sim_, opts.mode == VmStartMode::kColdBoot ? "vm.reboot" : "vm.restore",
         host_.name());
-    auto on_running = [this, vmachine, t0, t_start, stats, span, start_span,
-                       cb = std::move(cb)]() mutable {
+    auto on_running = [this, id, vmachine, t0, t_start, stats, span,
+                       start_span]() mutable {
+      auto done = take_inflight(id);
+      if (!done) return;  // crashed mid-boot; the VM corpse is gone
       start_span->end();
       ++instantiations_;
       --pending_instantiations_;
@@ -237,7 +271,7 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
       stats.total = sim_.now() - t0;
       span->arg("ok", "true");
       span->end();
-      cb(vmachine, std::move(stats));
+      done(vmachine, std::move(stats));
     };
     if (opts.mode == VmStartMode::kColdBoot) {
       vmachine->boot(std::move(on_running));
@@ -249,6 +283,50 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
 
 void ComputeServer::destroy_vm(vm::VirtualMachine& vmachine) {
   vmm_.destroy_vm(vmachine);
+  refresh_published();
+  update_gauges();
+}
+
+void ComputeServer::crash() {
+  if (!up_) return;
+  up_ = false;
+  sim_.metrics().counter("fault.host_crash", {{"host", host_.name()}}).inc();
+  sim_.trace().instant(sim_.now(), "host.crash", host_.name());
+  // Off the network first: in-flight RPCs to/from this node start
+  // dropping at once.
+  net_.set_node_up(host_.node(), false);
+  // Listeners (the session layer) see the crash while VM pointers are
+  // still valid, so they can invalidate their references.
+  for (auto& listener : crash_listeners_) listener(*this);
+  // Power off each VM (aborts guest work, cancels its pending lifecycle
+  // events), then reclaim the slot. Destruction is safe mid-boot because
+  // the VM's scheduled lambdas hold weak liveness tokens.
+  for (vm::VirtualMachine* vmachine : vmm_.vms()) {
+    vmachine->power_off();
+    vmm_.destroy_vm(*vmachine);
+  }
+  // Fail every accepted-but-unfinished instantiation: callers get an
+  // error instead of a callback that never fires.
+  auto drained = std::exchange(inflight_, {});
+  pending_instantiations_ = 0;
+  for (auto& [id, done] : drained) {
+    InstantiationStats stats;
+    stats.ok = false;
+    stats.error = "host crashed";
+    done(nullptr, std::move(stats));
+  }
+  if (published_to_ != nullptr) published_to_->set_host_up(host_.name(), false);
+  refresh_published();
+  update_gauges();
+}
+
+void ComputeServer::recover() {
+  if (up_) return;
+  up_ = true;
+  sim_.metrics().counter("fault.host_recover", {{"host", host_.name()}}).inc();
+  sim_.trace().instant(sim_.now(), "host.recover", host_.name());
+  net_.set_node_up(host_.node(), true);
+  if (published_to_ != nullptr) published_to_->set_host_up(host_.name(), true);
   refresh_published();
   update_gauges();
 }

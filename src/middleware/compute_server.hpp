@@ -54,6 +54,11 @@ struct ComputeServerParams {
   /// Fixed VMM configuration/registration cost charged on every
   /// non-persistent instantiation.
   sim::Duration vm_setup_time{sim::Duration::millis(400)};
+  /// Deadline/retry policy for this server's NFS traffic (loopback export
+  /// and grid-VFS mounts). Defaults to the historical no-deadline single
+  /// attempt; fault-aware worlds set net::RpcCallOptions::nfs() here so
+  /// block RPCs ride out outages instead of stalling forever.
+  net::RpcCallOptions nfs_rpc{};
 };
 
 struct InstantiationStats {
@@ -105,6 +110,26 @@ class ComputeServer {
   /// on instantiate/destroy.
   void publish(InformationService& info);
 
+  /// Fail-stop host crash: the node drops off the network, every resident
+  /// VM is powered off and destroyed, in-flight instantiation callbacks
+  /// complete with an error (never silently vanish), and the published
+  /// host/future records go down. Crash listeners run first, while the
+  /// VM pointers they hold are still valid.
+  void crash();
+
+  /// Bring a crashed server back, empty of VMs, and re-advertise it.
+  void recover();
+
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Observes crash() before any VM teardown — the session layer uses
+  /// this to invalidate its VM pointers (ground-truth cleanup, distinct
+  /// from failure *detection*, which stays probe-based).
+  using CrashListener = std::function<void(ComputeServer&)>;
+  void add_crash_listener(CrashListener listener) {
+    crash_listeners_.push_back(std::move(listener));
+  }
+
   [[nodiscard]] host::PhysicalHost& host() { return host_; }
   [[nodiscard]] vm::Vmm& vmm() { return vmm_; }
   [[nodiscard]] net::NodeId node() const { return host_.node(); }
@@ -127,6 +152,10 @@ class ComputeServer {
   void refresh_published();
   void update_gauges();
   [[nodiscard]] vfs::VfsMount& vfs_mount_for(net::NodeId image_server);
+  /// Claim an in-flight instantiation callback. Returns an empty function
+  /// when crash() already drained it — the stale continuation must then
+  /// do nothing (no counter adjustments, no callback).
+  [[nodiscard]] InstantiateCallback take_inflight(std::uint64_t id);
 
   sim::Simulation& sim_;
   net::Network& net_;
@@ -149,6 +178,12 @@ class ComputeServer {
   /// Instantiations accepted but not yet running: counted against the
   /// advertised future so concurrent placements spread correctly.
   std::uint32_t pending_instantiations_{0};
+  bool up_{true};
+  std::uint64_t next_inflight_id_{1};
+  /// Accepted-but-not-finished instantiation callbacks, so a crash can
+  /// fail them instead of leaving callers waiting forever.
+  std::unordered_map<std::uint64_t, InstantiateCallback> inflight_;
+  std::vector<CrashListener> crash_listeners_;
 };
 
 }  // namespace vmgrid::middleware

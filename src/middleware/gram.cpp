@@ -72,11 +72,25 @@ GramService::GramService(net::RpcServer& server, GramParams params)
 
 void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
                            ResultCallback cb) {
+  globusrun(gatekeeper, rsl, net::RpcCallOptions{}, std::move(cb));
+}
+
+void GramClient::ping(net::NodeId gatekeeper, net::RpcCallOptions opts,
+                      PingCallback cb) {
+  fabric_.call(self_, gatekeeper, net::RpcRequest{"gram.ping", 64, {}}, opts,
+               [cb = std::move(cb)](net::RpcResponse resp) {
+                 cb(resp.ok, resp.status);
+               });
+}
+
+void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
+                           net::RpcCallOptions opts, ResultCallback cb) {
   // Capture the fabric by reference, not `this`: GramClient is commonly a
   // short-lived stack object while the fabric outlives the whole run.
   auto& fabric = fabric_;
   const auto started = fabric.simulation().now();
   fabric.call(self_, gatekeeper, net::RpcRequest{"gram.submit", 2048, SubmitArgs{rsl}},
+              opts,
               [&fabric, started, cb = std::move(cb)](net::RpcResponse resp) {
                 GramJobResult r;
                 r.elapsed = fabric.simulation().now() - started;

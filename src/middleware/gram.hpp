@@ -57,6 +57,14 @@ class GramClient {
   using ResultCallback = std::function<void(GramJobResult)>;
 
   void globusrun(net::NodeId gatekeeper, const std::string& rsl, ResultCallback cb);
+  /// Same, with an explicit RPC deadline/retry policy for the submission.
+  void globusrun(net::NodeId gatekeeper, const std::string& rsl,
+                 net::RpcCallOptions opts, ResultCallback cb);
+
+  /// Liveness probe against the gatekeeper's gram.ping method. A down or
+  /// crashed host never answers, so give `opts` a finite deadline.
+  using PingCallback = std::function<void(bool ok, net::RpcStatus status)>;
+  void ping(net::NodeId gatekeeper, net::RpcCallOptions opts, PingCallback cb);
 
  private:
   net::RpcFabric& fabric_;

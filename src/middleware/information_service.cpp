@@ -36,6 +36,15 @@ void InformationService::unregister_host(const std::string& name) {
   if (it != hosts_.end()) hosts_.erase(it);
 }
 
+void InformationService::set_host_up(const std::string& name, bool host_up) {
+  if (auto it = find_by_name(hosts_, name); it != hosts_.end()) it->up = host_up;
+  auto fit = std::find_if(futures_.begin(), futures_.end(),
+                          [&name](const VmFutureRecord& f) {
+                            return f.host_name == name;
+                          });
+  if (fit != futures_.end()) fit->up = host_up;
+}
+
 void InformationService::register_image(ImageRecord rec) {
   auto it = find_by_name(images_, rec.name);
   if (it != images_.end()) {
@@ -142,7 +151,7 @@ void InformationService::query_placements(FuturePredicate fpred, ImagePredicate 
   half.time_bound = opts.time_bound / 2.0;
   query_futures(
       [fpred](const VmFutureRecord& f) {
-        return f.active_instances < f.max_instances && fpred(f);
+        return f.up && f.active_instances < f.max_instances && fpred(f);
       },
       half,
       [this, ipred, half, cb = std::move(cb)](std::vector<VmFutureRecord> futures) mutable {

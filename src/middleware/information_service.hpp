@@ -33,6 +33,7 @@ struct HostRecord {
   std::string os;
   double current_load{0.0};
   ComputeServer* binding{nullptr};  // middleware-side handle, not serialized
+  bool up{true};                    // cleared while the host is crashed
 };
 
 /// Row in the images table.
@@ -55,6 +56,7 @@ struct VmFutureRecord {
   std::uint32_t active_instances{0};
   std::uint64_t max_memory_mb{0};
   ComputeServer* binding{nullptr};
+  bool up{true};  // down futures never match placement queries
 };
 
 /// Row in the (dynamic) VM instances table.
@@ -93,6 +95,9 @@ class InformationService {
   void register_host(HostRecord rec);
   void update_host(const std::string& name, double load, std::uint64_t free_mb);
   void unregister_host(const std::string& name);
+  /// Flip a crashed/recovered host's records (host + future) in place,
+  /// keeping registration so recovery is a single flag flip too.
+  void set_host_up(const std::string& name, bool host_up);
 
   void register_image(ImageRecord rec);
   void unregister_image(const std::string& name);

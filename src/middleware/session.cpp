@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "middleware/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vmgrid::middleware {
 
@@ -11,17 +13,55 @@ namespace vmgrid::middleware {
 // VmSession
 
 void VmSession::run_task(workload::TaskSpec spec, vm::TaskCallback cb) {
+  auto& grid = manager_->grid_;
   if (vm_ == nullptr) {
-    throw std::logic_error("VmSession::run_task on a closed session");
+    // Dead session (host crashed, failover not finished): complete
+    // asynchronously with failure instead of throwing, so fault-tolerant
+    // campaigns get one uniform resubmission path.
+    vm::TaskResult r;
+    r.task = spec.name;
+    r.ok = false;
+    grid.simulation().schedule_after(
+        sim::Duration::micros(10),
+        [cb = std::move(cb), r = std::move(r)]() mutable { cb(std::move(r)); });
+    return;
   }
-  auto& acct = manager_->grid_.accounting();
+  auto& acct = grid.accounting();
   const std::string user = user_;
-  vm_->run_task(std::move(spec), [&acct, user, cb = std::move(cb)](vm::TaskResult r) {
+  const std::uint64_t id = next_task_id_++;
+  pending_tasks_.emplace(id, PendingTask{spec.name, std::move(cb)});
+  vm_->run_task(std::move(spec), [this, &acct, user, id](vm::TaskResult r) {
+    // A crash may have drained this entry already; the claim decides who
+    // delivers the completion.
+    auto it = pending_tasks_.find(id);
+    if (it == pending_tasks_.end()) return;
+    auto cb = std::move(it->second.cb);
+    pending_tasks_.erase(it);
     acct.charge_cpu(user, r.total_cpu_seconds());
     acct.charge_io(user, r.io_rpcs);
     acct.count_task(user);
     cb(std::move(r));
   });
+}
+
+void VmSession::mark_dead() {
+  auto& sim = manager_->grid_.simulation();
+  vm_ = nullptr;
+  // The lease dies with the host; there is no DHCP server to release to.
+  ip_ = net::IpAddress{};
+  data_mount_ = nullptr;
+  dead_since_ = sim.now();
+  // The guest work was aborted with the VM, so this drain is the only
+  // completion path the callers will ever see.
+  auto pending = std::exchange(pending_tasks_, {});
+  for (auto& [id, p] : pending) {
+    vm::TaskResult r;
+    r.task = p.task;
+    r.ok = false;
+    sim.schedule_after(
+        sim::Duration::micros(10),
+        [cb = std::move(p.cb), r = std::move(r)]() mutable { cb(std::move(r)); });
+  }
 }
 
 void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) {
@@ -82,10 +122,7 @@ void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) 
       });
 }
 
-void VmSession::shutdown() {
-  if (vm_ == nullptr) return;
-  manager_->finish_shutdown(*this);
-}
+void VmSession::shutdown() { manager_->finish_shutdown(*this); }
 
 // ---------------------------------------------------------------------------
 // SessionManager
@@ -107,6 +144,10 @@ void SessionManager::wire_executor(ComputeServer& cs) {
   if (!grid_.network().link_params(frontend_, cs.node())) {
     grid_.network().add_link(frontend_, cs.node(), Grid::lan_link());
   }
+  // Ground-truth cleanup on crash; *detection* (what triggers failover)
+  // stays probe-based so the measured RTO includes detection latency.
+  cs.add_crash_listener(
+      [this](ComputeServer& crashed) { on_server_crashed(crashed); });
   cs.gram().set_executor([this, &cs](const std::string& token,
                                      GramService::ExecutorDone done) {
     auto it = pending_.find(token);
@@ -191,7 +232,7 @@ void SessionManager::launch(SessionRequest request, Placement placement,
     GramClient client{grid_.fabric(), frontend_};
     client.globusrun(
         cs->node(), token,
-        [this, cs, token, image_server_node, request = std::move(request),
+        [this, cs, token, image_server_node, opts, request = std::move(request),
          cb = std::move(cb)](GramJobResult job) mutable {
           if (auto lit = launching_.find(cs->name());
               lit != launching_.end() && lit->second > 0) {
@@ -214,6 +255,7 @@ void SessionManager::launch(SessionRequest request, Placement placement,
           session->stats_ = launch.stats;
           session->started_ = grid_.simulation().now();
           session->instantiation_image_server_ = image_server_node;
+          session->launch_opts_ = std::move(opts);
           VmSession* raw = session.get();
           sessions_.push_back(std::move(session));
 
@@ -276,11 +318,218 @@ void SessionManager::finish_shutdown(VmSession& session) {
     session.server_->dhcp().release(session.ip_);
   }
   grid_.info().unregister_vm(session.vm_name_);
-  session.server_->destroy_vm(*session.vm_);
-  session.vm_ = nullptr;
+  if (session.vm_ != nullptr) {
+    // Abort guest work before reclaiming the slot so no task-completion
+    // event outlives the session object.
+    session.vm_->power_off();
+    session.server_->destroy_vm(*session.vm_);
+    session.vm_ = nullptr;
+  }
+  auto pending = std::exchange(session.pending_tasks_, {});
+  for (auto& [id, p] : pending) {
+    vm::TaskResult r;
+    r.task = p.task;
+    r.ok = false;
+    grid_.simulation().schedule_after(
+        sim::Duration::micros(10),
+        [cb = std::move(p.cb), r = std::move(r)]() mutable { cb(std::move(r)); });
+  }
   auto it = std::find_if(sessions_.begin(), sessions_.end(),
                          [&session](const auto& p) { return p.get() == &session; });
   if (it != sessions_.end()) sessions_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection & failover
+
+bool SessionManager::session_exists(const VmSession* s) const {
+  return std::any_of(sessions_.begin(), sessions_.end(),
+                     [s](const auto& p) { return p.get() == s; });
+}
+
+void SessionManager::on_server_crashed(ComputeServer& cs) {
+  for (auto& s : sessions_) {
+    if (s->server_ == &cs && s->vm_ != nullptr) {
+      s->mark_dead();
+      grid_.info().update_vm_state(s->vm_name_, "dead");
+    }
+  }
+}
+
+void SessionManager::set_failover(FailoverPolicy policy) {
+  failover_policy_ = policy;
+  failover_enabled_ = true;
+  schedule_probe_tick();
+}
+
+void SessionManager::schedule_probe_tick() {
+  if (monitor_running_ || !failover_enabled_) return;
+  monitor_running_ = true;
+  // Weak: a forever-running monitor must not keep run() alive once all
+  // strong work has drained.
+  grid_.simulation().schedule_weak_after(failover_policy_.probe_interval, [this] {
+    monitor_running_ = false;
+    probe_tick();
+    schedule_probe_tick();
+  });
+}
+
+void SessionManager::probe_tick() {
+  // One gram.ping per distinct host that currently backs sessions (alive
+  // or dead-awaiting-failover). Ordered by name for determinism.
+  std::map<std::string, ComputeServer*> targets;
+  for (auto& s : sessions_) {
+    if (s->server_ != nullptr) targets.emplace(s->server_->name(), s->server_);
+  }
+  for (auto& [name, cs] : targets) {
+    GramClient client{grid_.fabric(), frontend_};
+    client.ping(cs->node(), failover_policy_.probe,
+                [this, name = name](bool ok, net::RpcStatus) {
+                  probe_failures_[name] = ok ? 0 : probe_failures_[name] + 1;
+                  consider_failovers(name);
+                });
+  }
+}
+
+void SessionManager::consider_failovers(const std::string& host_name) {
+  const int failures = probe_failures_[host_name];
+  const bool host_dead = failures >= failover_policy_.suspect_after;
+  for (auto& s : sessions_) {
+    VmSession* sess = s.get();
+    if (sess->server_ == nullptr || sess->server_->name() != host_name) continue;
+    if (sess->vm_ != nullptr || sess->failover_in_progress_) continue;
+    // Dead session: fail over once the host is confirmed dead, or right
+    // away if the probe answered (the host rebooted; the VM is gone).
+    if (host_dead || failures == 0) failover(*sess);
+  }
+}
+
+void SessionManager::failover(VmSession& session) {
+  session.failover_in_progress_ = true;
+  auto& sim = grid_.simulation();
+  sim.metrics().counter("failover.started").inc();
+  sim.trace().instant(sim.now(), "failover.start", "failover");
+  const auto memory = session.request_.memory_mb;
+  VmSession* raw = &session;
+  grid_.info().query_futures(
+      [memory](const VmFutureRecord& f) {
+        return f.up && f.active_instances < f.max_instances &&
+               f.max_memory_mb >= memory;
+      },
+      session.request_.query,
+      [this, raw](std::vector<VmFutureRecord> futures) {
+        if (!session_exists(raw)) return;  // shut down while querying
+        auto fail = [this, raw]() {
+          ++failovers_failed_;
+          grid_.simulation().metrics().counter("failover.failed").inc();
+          if (failover_handler_) {
+            FailoverEvent ev;
+            ev.session = raw;
+            ev.from_host = raw->server_ != nullptr ? raw->server_->name() : "";
+            ev.ok = false;
+            ev.downtime = grid_.simulation().now() - raw->dead_since_;
+            failover_handler_(ev);
+          }
+          // Weak retry: an unrecoverable grid must not wedge run(). The
+          // in-progress flag stays set so probes don't double-trigger.
+          grid_.simulation().schedule_weak_after(
+              failover_policy_.retry_delay, [this, raw] {
+                if (!session_exists(raw) || raw->vm_ != nullptr) return;
+                failover(*raw);
+              });
+        };
+        if (futures.empty()) {
+          fail();
+          return;
+        }
+        // Same placement rule as create_session: least loaded counting
+        // launches in flight, host name as deterministic tie-break.
+        auto load_of = [this](const VmFutureRecord& f) {
+          auto it = launching_.find(f.host_name);
+          const std::uint32_t inflight = it == launching_.end() ? 0 : it->second;
+          return f.active_instances + inflight;
+        };
+        auto best = std::min_element(
+            futures.begin(), futures.end(),
+            [&load_of](const VmFutureRecord& a, const VmFutureRecord& b) {
+              if (load_of(a) != load_of(b)) return load_of(a) < load_of(b);
+              return a.host_name < b.host_name;
+            });
+        ComputeServer* target = best->binding;
+        if (target == nullptr) {
+          fail();
+          return;
+        }
+        wire_executor(*target);
+        ++launching_[target->name()];
+        // Re-instantiate under the session's original token and options:
+        // the warm restore from the image server IS the recovery path.
+        const std::string token = raw->vm_name_;
+        pending_[token] = raw->launch_opts_;
+        GramClient client{grid_.fabric(), frontend_};
+        client.globusrun(
+            target->node(), token,
+            [this, raw, target, token, fail](GramJobResult job) mutable {
+              if (auto lit = launching_.find(target->name());
+                  lit != launching_.end() && lit->second > 0) {
+                --lit->second;
+              }
+              auto rit = results_.find(token);
+              LaunchResult launch = rit != results_.end() ? rit->second : LaunchResult{};
+              if (rit != results_.end()) results_.erase(rit);
+              if (!session_exists(raw)) return;
+              if (!job.ok || launch.vm == nullptr) {
+                fail();
+                return;
+              }
+              finish_failover(*raw, *target, launch.vm);
+            });
+      });
+}
+
+void SessionManager::finish_failover(VmSession& session, ComputeServer& target,
+                                     vm::VirtualMachine* fresh) {
+  auto& sim = grid_.simulation();
+  const auto downtime = sim.now() - session.dead_since_;
+  const std::string from =
+      session.server_ != nullptr ? session.server_->name() : std::string{};
+  session.server_ = &target;
+  session.vm_ = fresh;
+  session.total_downtime_ = session.total_downtime_ + downtime;
+  ++session.failovers_;
+  session.failover_in_progress_ = false;
+  ++failovers_ok_;
+  sim.metrics().counter("failover.completed").inc();
+  sim.metrics()
+      .histogram("failover.rto_s", obs::HistogramOptions{0.0, 600.0, 120})
+      .observe(downtime.to_seconds());
+  sim.trace().instant(sim.now(), "failover.done", "failover");
+  grid_.info().register_vm(
+      VmRecord{session.vm_name_, target.name(), session.user_, "running", {}});
+  // Re-establish the user-data session from the new host.
+  if (session.request_.data_server != nullptr) {
+    session.data_mount_ =
+        &grid_.gvfs().mount(target.node(), session.request_.data_server->node(), {});
+  }
+  if (failover_handler_) {
+    FailoverEvent ev;
+    ev.session = &session;
+    ev.from_host = from;
+    ev.to_host = target.name();
+    ev.ok = true;
+    ev.downtime = downtime;
+    failover_handler_(ev);
+  }
+  if (session.request_.want_ip) {
+    VmSession* raw = &session;
+    target.dhcp().request_lease(
+        target.node(), [this, raw](std::optional<net::IpAddress> ip) {
+          if (!session_exists(raw) || !ip) return;
+          raw->ip_ = *ip;
+          grid_.info().register_vm(VmRecord{raw->vm_name_, raw->server_->name(),
+                                            raw->user_, "running", *ip});
+        });
+  }
 }
 
 }  // namespace vmgrid::middleware

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,12 @@ struct SessionRequest {
 /// A live VM session (the artifact of §4's steps 1-6): the running VM,
 /// its network identity, and its data sessions; tasks run through it are
 /// accounted to the owning user.
+///
+/// A session can outlive its VM: when the hosting server crashes the
+/// session goes dead (alive() == false, in-flight tasks fail) until the
+/// manager's failover re-instantiates the VM on another server, after
+/// which run_task works again. The dead interval is accounted as
+/// downtime.
 class VmSession {
  public:
   [[nodiscard]] vm::VirtualMachine& machine() { return *vm_; }
@@ -42,9 +49,14 @@ class VmSession {
   [[nodiscard]] vfs::VfsMount* data_mount() { return data_mount_; }
   [[nodiscard]] bool alive() const { return vm_ != nullptr; }
   [[nodiscard]] const InstantiationStats& instantiation() const { return stats_; }
+  /// Completed failovers and the summed dead time they recovered from.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] sim::Duration total_downtime() const { return total_downtime_; }
 
   /// Run an application in the session's VM; CPU and I/O are charged to
-  /// the session owner.
+  /// the session owner. On a dead session (host crashed, failover not
+  /// finished) the callback fires asynchronously with ok == false
+  /// instead of throwing, so fault-tolerant campaigns can resubmit.
   void run_task(workload::TaskSpec spec, vm::TaskCallback cb);
 
   /// Move this session's VM to another compute server, keeping the
@@ -52,10 +64,17 @@ class VmSession {
   void migrate_to(ComputeServer& target, std::function<void(bool)> cb);
 
   /// Tear down: destroy the VM, release the lease, retire the records.
+  /// Also legal on a dead session (skips the parts the crash already took).
   void shutdown();
 
  private:
   friend class SessionManager;
+
+  /// Ground-truth cleanup when the hosting server crashes: the VM pointer
+  /// is gone, pending task callbacks fail. Failure *detection* (what
+  /// triggers failover) stays probe-based in the manager.
+  void mark_dead();
+
   SessionManager* manager_{nullptr};
   ComputeServer* server_{nullptr};
   vm::VirtualMachine* vm_{nullptr};
@@ -67,6 +86,52 @@ class VmSession {
   InstantiationStats stats_{};
   sim::TimePoint started_{};
   net::NodeId instantiation_image_server_{};
+  /// The options the session was launched with, kept so failover can
+  /// re-instantiate the same machine elsewhere.
+  InstantiateOptions launch_opts_{};
+  sim::TimePoint dead_since_{};
+  sim::Duration total_downtime_{};
+  std::uint64_t failovers_{0};
+  bool failover_in_progress_{false};
+  struct PendingTask {
+    std::string task;
+    vm::TaskCallback cb;
+  };
+  std::uint64_t next_task_id_{1};
+  /// In-flight task callbacks; mark_dead drains them with ok == false so
+  /// a crash never leaves a caller waiting on an aborted guest task.
+  /// Ordered map: the drain order is part of the determinism contract.
+  std::map<std::uint64_t, PendingTask> pending_tasks_;
+};
+
+/// When and how the session manager declares a host dead and re-homes its
+/// sessions. Detection is deliberately end-to-end: a periodic gram.ping
+/// with a finite deadline, `suspect_after` consecutive failures => dead.
+struct FailoverPolicy {
+  [[nodiscard]] static net::RpcCallOptions default_probe() {
+    net::RpcCallOptions o;
+    o.deadline = sim::Duration::seconds(2);
+    o.max_attempts = 1;
+    return o;
+  }
+
+  sim::Duration probe_interval{sim::Duration::seconds(5)};
+  int suspect_after{2};
+  net::RpcCallOptions probe{default_probe()};
+  /// Delay before retrying a failover whose placement/instantiation
+  /// failed (e.g. every other host also down). Retries are scheduled as
+  /// weak events so an undrainable failover cannot wedge run().
+  sim::Duration retry_delay{sim::Duration::seconds(5)};
+};
+
+/// Outcome of one completed (or failed) failover attempt, delivered to
+/// the registered handler; `downtime` is crash-to-recovered sim time.
+struct FailoverEvent {
+  VmSession* session{nullptr};
+  std::string from_host;
+  std::string to_host;
+  bool ok{false};
+  sim::Duration downtime{};
 };
 
 /// Orchestrates the paper's six-step session lifecycle:
@@ -82,8 +147,19 @@ class SessionManager {
   ~SessionManager();
 
   using SessionCallback = std::function<void(VmSession*, std::string error)>;
+  using FailoverHandler = std::function<void(const FailoverEvent&)>;
 
   void create_session(SessionRequest request, SessionCallback cb);
+
+  /// Enable probe-based failure detection + VM-restore failover. Starts a
+  /// weak periodic monitor that gram.pings every host with sessions; dead
+  /// sessions are re-instantiated on the best surviving placement.
+  void set_failover(FailoverPolicy policy);
+  void set_failover_handler(FailoverHandler handler) {
+    failover_handler_ = std::move(handler);
+  }
+  [[nodiscard]] std::uint64_t failovers_completed() const { return failovers_ok_; }
+  [[nodiscard]] std::uint64_t failovers_failed() const { return failovers_failed_; }
 
   [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
   [[nodiscard]] std::uint64_t sessions_created() const { return created_; }
@@ -97,6 +173,14 @@ class SessionManager {
   void launch(SessionRequest request, Placement placement, SessionCallback cb);
   void finish_shutdown(VmSession& session);
   std::string fresh_vm_name(const SessionRequest& req);
+  [[nodiscard]] bool session_exists(const VmSession* s) const;
+  void on_server_crashed(ComputeServer& cs);
+  void schedule_probe_tick();
+  void probe_tick();
+  void consider_failovers(const std::string& host_name);
+  void failover(VmSession& session);
+  void finish_failover(VmSession& session, ComputeServer& target,
+                       vm::VirtualMachine* fresh);
 
   Grid& grid_;
   net::NodeId frontend_{};
@@ -113,6 +197,14 @@ class SessionManager {
   std::unordered_map<std::string, std::uint32_t> launching_;
   std::vector<std::unique_ptr<VmSession>> sessions_;
   std::uint64_t created_{0};
+  // --- failover machinery ---
+  FailoverPolicy failover_policy_{};
+  bool failover_enabled_{false};
+  bool monitor_running_{false};
+  FailoverHandler failover_handler_;
+  std::unordered_map<std::string, int> probe_failures_;
+  std::uint64_t failovers_ok_{0};
+  std::uint64_t failovers_failed_{0};
 };
 
 }  // namespace vmgrid::middleware

@@ -107,4 +107,25 @@ WideAreaTestbed::WideAreaTestbed(std::uint64_t seed) {
   images->add_image(paper_image(), &g.info());
 }
 
+FaultTestbed::FaultTestbed(std::uint64_t seed, int compute_hosts) {
+  grid = std::make_unique<Grid>(seed);
+  auto& g = *grid;
+  router = g.add_router("site-router");
+
+  ImageServerParams isp;
+  isp.name = "site-images";
+  isp.disk = paper_host_disk();
+  images = &g.add_image_server(isp);
+  g.connect(images->node(), router, Grid::lan_link());
+  images->add_image(paper_image(), &g.info());
+
+  for (int i = 0; i < compute_hosts; ++i) {
+    auto& cs = g.add_compute_server(
+        paper_compute("compute-" + std::to_string(i), fig1_host()));
+    g.connect(cs.node(), router, Grid::lan_link());
+    cs.publish(g.info());
+    computes.push_back(&cs);
+  }
+}
+
 }  // namespace vmgrid::middleware::testbed

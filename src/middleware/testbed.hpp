@@ -58,4 +58,18 @@ struct WideAreaTestbed {
   net::NodeId ufl_router{};
 };
 
+/// Fault/recovery environment: `compute_hosts` published compute servers
+/// ("compute-0"..) and one image server on a LAN behind a site router.
+/// The warm-restorable paper image is available over VFS from the image
+/// server, so sessions can be re-instantiated on any surviving host —
+/// the world the fault-injection experiments run against.
+struct FaultTestbed {
+  explicit FaultTestbed(std::uint64_t seed, int compute_hosts = 3);
+
+  std::unique_ptr<Grid> grid;
+  std::vector<ComputeServer*> computes;
+  ImageServer* images{nullptr};
+  net::NodeId router{};
+};
+
 }  // namespace vmgrid::middleware::testbed

@@ -21,6 +21,7 @@ sim::Duration serialization_time(std::uint64_t bytes, double bandwidth_bps) {
 
 NodeId Network::add_node(std::string name) {
   nodes_.push_back(std::move(name));
+  node_up_.push_back(1);
   routes_dirty_ = true;
   return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
 }
@@ -47,6 +48,32 @@ void Network::set_link(NodeId a, NodeId b, LinkParams params) {
   // Deliberately does NOT invalidate routes: underlay routing reflects
   // topology/policy, not live performance (the resilient-overlay premise
   // — IP routing does not react when a path degrades; overlays do).
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  links_.at(find_link(a, b)).up = up;
+  links_.at(find_link(b, a)).up = up;
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  return links_.at(find_link(a, b)).up;
+}
+
+void Network::set_link_loss(NodeId a, NodeId b, double loss) {
+  links_.at(find_link(a, b)).loss = loss;
+  links_.at(find_link(b, a)).loss = loss;
+}
+
+double Network::link_loss(NodeId a, NodeId b) const {
+  return links_.at(find_link(a, b)).loss;
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  node_up_.at(id.value()) = up ? 1 : 0;
+}
+
+bool Network::node_up(NodeId id) const {
+  return node_up_.at(id.value()) != 0;
 }
 
 std::optional<LinkParams> Network::link_params(NodeId a, NodeId b) const {
@@ -119,8 +146,21 @@ bool Network::reachable(NodeId a, NodeId b) const {
   return a == b || !route(a, b).empty();
 }
 
+void Network::drop(sim::Duration after, std::uint64_t bytes, sim::TimePoint started,
+                   TransferCallback cb) {
+  // The transport reports the drop (delivered=false) instead of silently
+  // eating the packet, so every send() eventually completes its callback.
+  sim_.schedule_after(after, [this, bytes, started, cb = std::move(cb)] {
+    cb(TransferResult{sim_.now() - started, bytes, false});
+  });
+}
+
 void Network::send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb) {
   const sim::TimePoint started = sim_.now();
+  if (!node_up(src) || !node_up(dst)) {
+    drop(sim::Duration::micros(10), bytes, started, std::move(cb));
+    return;
+  }
   if (src == dst) {
     // Loopback: negligible but non-zero so callback ordering stays sane.
     sim_.schedule_after(sim::Duration::micros(10), [cb = std::move(cb), bytes, started, this] {
@@ -139,6 +179,16 @@ void Network::send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback
 void Network::hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
                   sim::TimePoint started, TransferCallback cb) {
   Link& l = links_[path[i]];
+  if (!l.up || !node_up(l.from) || !node_up(l.to)) {
+    drop(l.params.latency, bytes, started, std::move(cb));
+    return;
+  }
+  // Only consult the rng while a link is actually lossy: fault-free runs
+  // draw nothing and their event streams match pre-fault builds exactly.
+  if (l.loss > 0.0 && sim_.rng().bernoulli(l.loss)) {
+    drop(l.params.latency, bytes, started, std::move(cb));
+    return;
+  }
   const sim::TimePoint begin = std::max(sim_.now(), l.busy_until);
   const sim::Duration ser = serialization_time(bytes, l.params.bandwidth_bps);
   l.busy_until = begin + ser;

@@ -21,6 +21,10 @@ struct LinkParams {
 struct TransferResult {
   sim::Duration elapsed;
   std::uint64_t bytes{};
+  /// False when the transfer was dropped by a down link/node or random
+  /// loss: the callback still fires (transport reports the drop), so no
+  /// caller can be left hanging by a fault.
+  bool delivered{true};
 };
 
 using TransferCallback = std::function<void(const TransferResult&)>;
@@ -51,6 +55,22 @@ class Network {
   void set_link(NodeId a, NodeId b, LinkParams params);
   [[nodiscard]] std::optional<LinkParams> link_params(NodeId a, NodeId b) const;
 
+  /// Fault hooks (both directions). A down link keeps its place in the
+  /// routing tables — packets routed over it are dropped, mirroring how
+  /// the underlay does not reroute around failures (the overlay's job).
+  void set_link_up(NodeId a, NodeId b, bool up);
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  /// Per-packet Bernoulli loss probability in [0, 1] (both directions).
+  /// The rng is only consulted while loss > 0, so fault-free runs draw
+  /// nothing and stay byte-identical to pre-fault builds.
+  void set_link_loss(NodeId a, NodeId b, double loss);
+  [[nodiscard]] double link_loss(NodeId a, NodeId b) const;
+
+  /// A down node drops everything addressed to, from, or through it.
+  void set_node_up(NodeId id, bool up);
+  [[nodiscard]] bool node_up(NodeId id) const;
+
   /// Transfer `bytes` from src to dst; invokes cb at delivery time.
   /// Zero-byte transfers model bare control packets (pure latency).
   void send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
@@ -76,6 +96,8 @@ class Network {
     LinkParams params;
     sim::TimePoint busy_until{};
     std::uint64_t bytes_carried{0};
+    bool up{true};
+    double loss{0.0};
   };
 
   using LinkIndex = std::size_t;
@@ -84,9 +106,12 @@ class Network {
   void hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
            sim::TimePoint started, TransferCallback cb);
   LinkIndex find_link(NodeId a, NodeId b) const;
+  void drop(sim::Duration after, std::uint64_t bytes, sim::TimePoint started,
+            TransferCallback cb);
 
   sim::Simulation& sim_;
   std::vector<std::string> nodes_;
+  std::vector<char> node_up_;
   std::vector<Link> links_;
   std::unordered_map<std::uint64_t, LinkIndex> link_by_pair_;
   mutable std::unordered_map<std::uint64_t, std::vector<LinkIndex>> route_cache_;

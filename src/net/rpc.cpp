@@ -1,10 +1,26 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace vmgrid::net {
+
+const char* to_string(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kConnectionRefused: return "connection_refused";
+    case RpcStatus::kNoSuchMethod: return "no_such_method";
+    case RpcStatus::kUnreachable: return "unreachable";
+    case RpcStatus::kTimeout: return "timeout";
+    case RpcStatus::kServerError: return "server_error";
+  }
+  return "unknown";
+}
 
 RpcServer::RpcServer(RpcFabric& fabric, NodeId self, RpcServerParams params)
     : fabric_{fabric}, self_{self}, params_{params} {
@@ -26,15 +42,11 @@ void RpcServer::dispatch(const RpcRequest& req, RpcResponder respond) {
     respond(RpcResponse{.ok = false,
                         .error = "no such method: " + req.method,
                         .response_bytes = 64,
-                        .payload = {}});
+                        .payload = {},
+                        .status = RpcStatus::kNoSuchMethod});
     return;
   }
-  // Apply the per-call RPC stack overhead before running the handler.
-  auto& sim = fabric_.simulation();
-  sim.schedule_after(params_.per_call_overhead,
-                     [this, req, respond = std::move(respond)]() mutable {
-                       methods_.at(req.method)(req, std::move(respond));
-                     });
+  it->second(req, std::move(respond));
 }
 
 void RpcFabric::bind(NodeId node, RpcServer* server) {
@@ -45,29 +57,145 @@ void RpcFabric::bind(NodeId node, RpcServer* server) {
 
 void RpcFabric::unbind(NodeId node) { servers_.erase(node); }
 
+/// One logical call. `epoch` is bumped at every attempt start and every
+/// attempt failure, so callbacks belonging to a superseded attempt (late
+/// responses racing a timeout, replies arriving after a retry started)
+/// compare their captured epoch and become no-ops.
+struct RpcFabric::CallState {
+  NodeId from, to;
+  RpcRequest req;
+  RpcCallOptions opts;
+  RpcCallback cb;
+  int attempts{0};  ///< attempts started
+  int epoch{0};
+  bool done{false};
+  sim::EventId deadline_timer{};
+};
+
 void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb) {
-  net_.send(from, to, req.request_bytes,
-            [this, from, to, req = std::move(req),
-             cb = std::move(cb)](const TransferResult&) mutable {
-              auto it = servers_.find(to);
-              if (it == servers_.end()) {
-                // Reply path still costs a wire traversal.
-                net_.send(to, from, 64, [cb = std::move(cb)](const TransferResult&) {
-                  cb(RpcResponse{.ok = false,
-                                 .error = "connection refused",
-                                 .response_bytes = 64,
-                                 .payload = {}});
-                });
+  call(from, to, std::move(req), RpcCallOptions{}, std::move(cb));
+}
+
+void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallOptions opts,
+                     RpcCallback cb) {
+  auto st = std::make_shared<CallState>();
+  st->from = from;
+  st->to = to;
+  st->req = std::move(req);
+  st->opts = opts;
+  st->cb = std::move(cb);
+  start_attempt(st);
+}
+
+void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
+  ++st->attempts;
+  const int epoch = ++st->epoch;
+  auto& sim = simulation();
+  if (!st->opts.deadline.is_infinite()) {
+    st->deadline_timer = sim.schedule_after(st->opts.deadline, [this, st, epoch] {
+      attempt_failed(st, epoch, RpcStatus::kTimeout, "deadline exceeded");
+    });
+  }
+  net_.send(st->from, st->to, st->req.request_bytes,
+            [this, st, epoch](const TransferResult& tr) {
+              if (st->done || epoch != st->epoch) return;
+              if (!tr.delivered) {
+                attempt_failed(st, epoch, RpcStatus::kUnreachable,
+                               "request dropped in transit");
                 return;
               }
-              it->second->dispatch(
-                  req, [this, from, to, cb = std::move(cb)](RpcResponse resp) mutable {
-                    const auto bytes = resp.response_bytes;
-                    net_.send(to, from, bytes,
-                              [cb = std::move(cb), resp = std::move(resp)](
-                                  const TransferResult&) mutable { cb(std::move(resp)); });
+              auto it = servers_.find(st->to);
+              if (it == servers_.end()) {
+                // Reply path still costs a wire traversal.
+                net_.send(st->to, st->from, 64,
+                          [this, st, epoch](const TransferResult& rtr) {
+                            if (st->done || epoch != st->epoch) return;
+                            if (!rtr.delivered) {
+                              attempt_failed(st, epoch, RpcStatus::kUnreachable,
+                                             "reply dropped in transit");
+                              return;
+                            }
+                            attempt_failed(st, epoch, RpcStatus::kConnectionRefused,
+                                           "connection refused");
+                          });
+                return;
+              }
+              // Apply the server's per-call stack overhead here in the
+              // fabric, then re-resolve the binding: the server object may
+              // be destroyed inside this window, which must fail the call
+              // rather than dispatch into freed memory.
+              RpcServer* bound = it->second;
+              simulation().schedule_after(
+                  bound->params_.per_call_overhead, [this, st, epoch, bound] {
+                    if (st->done || epoch != st->epoch) return;
+                    auto again = servers_.find(st->to);
+                    if (again == servers_.end() || again->second != bound) {
+                      attempt_failed(st, epoch, RpcStatus::kUnreachable,
+                                     "server destroyed mid-call");
+                      return;
+                    }
+                    bound->dispatch(st->req, [this, st, epoch](RpcResponse resp) {
+                      if (st->done || epoch != st->epoch) return;
+                      if (!resp.ok && resp.status == RpcStatus::kOk) {
+                        resp.status = RpcStatus::kServerError;
+                      }
+                      const auto bytes = resp.response_bytes;
+                      net_.send(st->to, st->from, bytes,
+                                [this, st, epoch, resp = std::move(resp)](
+                                    const TransferResult& rtr) mutable {
+                                  if (st->done || epoch != st->epoch) return;
+                                  if (!rtr.delivered) {
+                                    attempt_failed(st, epoch, RpcStatus::kUnreachable,
+                                                   "reply dropped in transit");
+                                    return;
+                                  }
+                                  settle(st, std::move(resp));
+                                });
+                    });
                   });
             });
+}
+
+void RpcFabric::attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
+                               RpcStatus status, std::string detail) {
+  if (st->done || epoch != st->epoch) return;
+  auto& sim = simulation();
+  sim.cancel(st->deadline_timer);
+  st->deadline_timer = {};
+  ++st->epoch;  // orphan any still-in-flight callbacks of this attempt
+  sim.metrics()
+      .counter("rpc.attempt_failed", {{"status", to_string(status)}})
+      .inc();
+  if (rpc_status_retryable(status) && st->attempts < st->opts.max_attempts) {
+    double delay_s = st->opts.backoff_base.to_seconds() *
+                     std::pow(st->opts.backoff_multiplier, st->attempts - 1);
+    delay_s = std::min(delay_s, st->opts.backoff_cap.to_seconds());
+    if (st->opts.backoff_jitter > 0.0) {
+      // rng consulted only on this retry path: fault-free runs draw nothing.
+      delay_s *= 1.0 + sim.rng().uniform(-st->opts.backoff_jitter,
+                                         st->opts.backoff_jitter);
+    }
+    sim.metrics().counter("rpc.retries").inc();
+    sim.schedule_after(sim::Duration::seconds(std::max(0.0, delay_s)),
+                       [this, st] {
+                         if (!st->done) start_attempt(st);
+                       });
+    return;
+  }
+  settle(st, RpcResponse{.ok = false,
+                         .error = std::move(detail),
+                         .response_bytes = 64,
+                         .payload = {},
+                         .status = status});
+}
+
+void RpcFabric::settle(const std::shared_ptr<CallState>& st, RpcResponse resp) {
+  assert(!st->done);
+  simulation().cancel(st->deadline_timer);
+  st->deadline_timer = {};
+  st->done = true;
+  ++st->epoch;
+  st->cb(std::move(resp));
 }
 
 }  // namespace vmgrid::net

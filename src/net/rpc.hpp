@@ -10,6 +10,27 @@
 
 namespace vmgrid::net {
 
+/// Machine-checkable RPC failure taxonomy. `RpcResponse::error` keeps the
+/// human-readable detail; call sites branch on the status, never on the
+/// error text.
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  kConnectionRefused,  ///< node reachable but no server bound there
+  kNoSuchMethod,       ///< server bound, method not registered
+  kUnreachable,        ///< request/reply dropped, or server died mid-call
+  kTimeout,            ///< client-side per-attempt deadline expired
+  kServerError,        ///< handler responded ok=false (application error)
+};
+
+[[nodiscard]] const char* to_string(RpcStatus s);
+
+/// Transient transport failures worth retrying. Application errors and
+/// misrouted methods are deterministic — retrying them cannot help.
+[[nodiscard]] constexpr bool rpc_status_retryable(RpcStatus s) {
+  return s == RpcStatus::kConnectionRefused || s == RpcStatus::kUnreachable ||
+         s == RpcStatus::kTimeout;
+}
+
 /// Wire-level request: method name, request size on the wire, and an
 /// opaque in-memory payload (the simulation does not marshal real bytes).
 struct RpcRequest {
@@ -23,11 +44,46 @@ struct RpcResponse {
   std::string error;
   std::uint64_t response_bytes{128};
   std::any payload;
+  RpcStatus status{RpcStatus::kOk};
 };
 
 using RpcCallback = std::function<void(RpcResponse)>;
 using RpcResponder = std::function<void(RpcResponse)>;
 using RpcHandler = std::function<void(const RpcRequest&, RpcResponder)>;
+
+/// Client-side call policy: a per-attempt deadline plus jittered
+/// exponential backoff between retries of transient failures.
+///
+/// The default — infinite deadline, one attempt — is exactly the
+/// historical fabric behaviour: no timer is scheduled and the rng is never
+/// consulted, so fault-free runs remain byte-identical to pre-fault
+/// builds. Fault-aware worlds opt into the named presets (or their own).
+struct RpcCallOptions {
+  sim::Duration deadline{sim::Duration::infinite()};  ///< per attempt
+  int max_attempts{1};
+  sim::Duration backoff_base{sim::Duration::millis(200)};
+  double backoff_multiplier{2.0};
+  sim::Duration backoff_cap{sim::Duration::seconds(5)};
+  double backoff_jitter{0.2};  ///< +/- fraction applied to each backoff
+
+  /// Short control-plane ops (info-service queries, health probes).
+  [[nodiscard]] static RpcCallOptions control() {
+    RpcCallOptions o;
+    o.deadline = sim::Duration::seconds(2);
+    o.max_attempts = 3;
+    return o;
+  }
+
+  /// NFS data-plane traffic: deadlines generous enough for WAN backlog,
+  /// enough attempts to ride out a short server outage.
+  [[nodiscard]] static RpcCallOptions nfs() {
+    RpcCallOptions o;
+    o.deadline = sim::Duration::seconds(30);
+    o.max_attempts = 4;
+    o.backoff_base = sim::Duration::millis(250);
+    return o;
+  }
+};
 
 /// Per-server RPC stack parameters. The per-call overhead models the
 /// protocol stack cost (marshalling, context switches) that makes a
@@ -65,22 +121,40 @@ class RpcServer {
 };
 
 /// Connects RpcServers to the network and routes calls to them.
+///
+/// Failure contract: every call() completes its callback exactly once, no
+/// matter what faults occur in flight — down links and nodes surface as
+/// kUnreachable, a server destroyed between request arrival and handler
+/// execution surfaces as kUnreachable (never a dangling dispatch), and a
+/// finite deadline turns a silent stall into kTimeout.
 class RpcFabric {
  public:
   explicit RpcFabric(Network& net) : net_{net} {}
 
-  /// Issue a call from `from` to the server bound at `to`.
+  /// Issue a call from `from` to the server bound at `to` with the
+  /// default (historical) policy: no deadline, one attempt.
   /// Unknown node / unknown method produce an ok=false response rather
   /// than an exception: remote failures are data, not programming errors.
   void call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb);
+
+  /// Same, with an explicit deadline/retry policy.
+  void call(NodeId from, NodeId to, RpcRequest req, RpcCallOptions opts,
+            RpcCallback cb);
 
   [[nodiscard]] Network& network() { return net_; }
   [[nodiscard]] sim::Simulation& simulation() { return net_.simulation(); }
 
  private:
   friend class RpcServer;
+  struct CallState;
+
   void bind(NodeId node, RpcServer* server);
   void unbind(NodeId node);
+
+  void start_attempt(const std::shared_ptr<CallState>& st);
+  void attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
+                      RpcStatus status, std::string detail);
+  void settle(const std::shared_ptr<CallState>& st, RpcResponse resp);
 
   Network& net_;
   std::unordered_map<NodeId, RpcServer*> servers_;

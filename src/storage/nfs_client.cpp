@@ -21,6 +21,7 @@ struct NfsTransferState {
   bool failed{false};
   bool delivered{false};
   std::string error;
+  net::RpcStatus status{net::RpcStatus::kOk};
   NfsIoResult result;
   NfsClient::IoCallback cb;
 };
@@ -56,6 +57,7 @@ void NfsClient::getattr(const std::string& path, AttrCallback cb) {
   const sim::TimePoint t0 = sim.now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.getattr", kNfsHeaderBytes, NfsGetattrArgs{path}},
+               params_.rpc,
                [this, path, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_getattr_->observe((fabric_.simulation().now() - t0).to_seconds());
                  if (!resp.ok) {
@@ -129,15 +131,18 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                             NfsWriteArgs{st->path, off, chunk}};
     }
     const sim::TimePoint t0 = fabric_.simulation().now();
-    fabric_.call(self_, server_, std::move(req),
+    fabric_.call(self_, server_, std::move(req), params_.rpc,
                  [this, st, rel, chunk, t0](net::RpcResponse resp) {
                    (st->is_read ? lat_read_ : lat_write_)
                        ->observe((fabric_.simulation().now() - t0).to_seconds());
                    --st->in_flight;
                    ++st->completed;
                    if (!resp.ok) {
-                     st->failed = true;
-                     st->error = resp.error;
+                     if (!st->failed) {
+                       st->failed = true;
+                       st->error = resp.error;
+                       st->status = resp.status;
+                     }
                    } else if (st->is_read) {
                      const auto& reply = std::any_cast<const NfsReadReply&>(resp.payload);
                      st->result.bytes += reply.result.bytes;
@@ -157,6 +162,7 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                      if (st->failed) {
                        st->result.ok = false;
                        st->result.error = st->error;
+                       st->result.status = st->status;
                      }
                      st->cb(std::move(st->result));
                      return;
@@ -171,6 +177,7 @@ void NfsClient::create(const std::string& path, std::uint64_t size, BoolCallback
   const sim::TimePoint t0 = fabric_.simulation().now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.create", kNfsHeaderBytes, NfsCreateArgs{path, size}},
+               params_.rpc,
                [this, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_create_->observe((fabric_.simulation().now() - t0).to_seconds());
                  cb(resp.ok);

@@ -15,6 +15,11 @@ struct NfsClientParams {
   std::uint64_t block_bytes{kBlockSize};
   std::size_t window{8};  // outstanding block RPCs (biods)
   sim::Duration attr_cache_ttl{sim::Duration::seconds(3)};
+  /// Deadline/retry policy applied to every NFS RPC this client issues.
+  /// Defaults to the historical no-deadline single-attempt behaviour;
+  /// fault-aware worlds plumb net::RpcCallOptions::nfs() (or their own)
+  /// through here, which VfsMountOptions carries into every mount.
+  net::RpcCallOptions rpc{};
 };
 
 /// Aggregate result of a (possibly multi-RPC) NFS read or write.
@@ -24,6 +29,7 @@ struct NfsIoResult {
   std::uint64_t bytes{0};
   std::uint64_t rpcs{0};
   std::vector<std::uint64_t> block_versions;  // reads only, in block order
+  net::RpcStatus status{net::RpcStatus::kOk};  // first failing RPC's status
 };
 
 /// Kernel NFS client model: block-granular reads/writes with a bounded

@@ -90,8 +90,11 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
       engine->remove(pid);
     }
     pid = {};
+    // Drop every stored continuation: each captures a shared_ptr to this
+    // state, so a survivor would cycle and leak the aborted task.
     cb = nullptr;
     deferred_ = nullptr;
+    after_cpu_ = nullptr;
   }
 
   // -- execution ------------------------------------------------------------

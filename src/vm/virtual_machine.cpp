@@ -85,9 +85,13 @@ void VirtualMachine::boot(Callback on_running) {
   const double fixed = image_.boot_fixed_seconds * sim.rng().uniform(0.94, 1.12);
   spec.user_seconds *= sim.rng().uniform(0.97, 1.06);
   sim.schedule_after(sim::Duration::seconds(fixed), [this, &sim, boot_span, fixed_span,
+                                                     alive = std::weak_ptr<int>(alive_),
                                                      spec = std::move(spec),
                                                      on_running =
                                                          std::move(on_running)]() mutable {
+    // A crash (power_off) or destruction may land inside the fixed boot
+    // window; the boot then simply never completes.
+    if (alive.expired() || state_ != VmPowerState::kBooting) return;
     fixed_span->end();
     auto work_span = std::make_shared<obs::Span>(sim, "boot.workset", config_.name, "vm");
     TaskRunOptions opts;
@@ -121,9 +125,11 @@ void VirtualMachine::restore(Callback on_running) {
   auto fixed_span = std::make_shared<obs::Span>(sim, "restore.fixed", config_.name, "vm");
   const double fixed = image_.restore_fixed_seconds * sim.rng().uniform(0.9, 1.25);
   sim.schedule_after(sim::Duration::seconds(fixed), [this, &sim, restore_span, fixed_span,
+                                                     alive = std::weak_ptr<int>(alive_),
                                                      spec = std::move(spec),
                                                      on_running =
                                                          std::move(on_running)]() mutable {
+    if (alive.expired() || state_ != VmPowerState::kRestoring) return;
     fixed_span->end();
     auto read_span = std::make_shared<obs::Span>(sim, "restore.read", config_.name, "vm");
     TaskRunOptions opts;
@@ -187,11 +193,18 @@ std::size_t VirtualMachine::active_task_count() const {
 
 void VirtualMachine::run_task_internal_boot(workload::TaskSpec spec, TaskRunOptions opts,
                                             Callback on_running) {
-  vm::run_task(host().simulation(), host().cpu(), std::move(spec), std::move(opts),
-               [this, on_running = std::move(on_running)](const TaskResult&) {
-                 enter_running();
-                 on_running();
-               });
+  lifecycle_task_ = vm::run_task(
+      host().simulation(), host().cpu(), std::move(spec), std::move(opts),
+      [this, alive = std::weak_ptr<int>(alive_),
+       on_running = std::move(on_running)](const TaskResult&) {
+        if (alive.expired() || (state_ != VmPowerState::kBooting &&
+                                state_ != VmPowerState::kRestoring)) {
+          return;  // powered off mid-boot: stay dead, drop the completion
+        }
+        lifecycle_task_.reset();
+        enter_running();
+        on_running();
+      });
 }
 
 void VirtualMachine::enter_running() {
@@ -210,11 +223,14 @@ void VirtualMachine::suspend(Callback on_suspended) {
   auto& fs = host().fs();
   const auto bytes = migratable_state_bytes();
   fs.create(suspend_file(), 0);
-  fs.write(suspend_file(), 0, bytes, [this, on_suspended = std::move(on_suspended)] {
-    state_ = VmPowerState::kSuspended;
-    suspended_in_memory_ = false;
-    on_suspended();
-  });
+  fs.write(suspend_file(), 0, bytes,
+           [this, alive = std::weak_ptr<int>(alive_),
+            on_suspended = std::move(on_suspended)] {
+             if (alive.expired() || state_ != VmPowerState::kSuspending) return;
+             state_ = VmPowerState::kSuspended;
+             suspended_in_memory_ = false;
+             on_suspended();
+           });
 }
 
 void VirtualMachine::pause(Callback on_paused) {
@@ -226,12 +242,14 @@ void VirtualMachine::pause(Callback on_paused) {
   stop_loads();
   pause_tasks();
   // Device quiesce only; memory stays resident.
-  host().simulation().schedule_after(sim::Duration::millis(50),
-                                     [this, on_paused = std::move(on_paused)] {
-                                       state_ = VmPowerState::kSuspended;
-                                       suspended_in_memory_ = true;
-                                       on_paused();
-                                     });
+  host().simulation().schedule_after(
+      sim::Duration::millis(50),
+      [this, alive = std::weak_ptr<int>(alive_), on_paused = std::move(on_paused)] {
+        if (alive.expired() || state_ != VmPowerState::kSuspending) return;
+        state_ = VmPowerState::kSuspended;
+        suspended_in_memory_ = true;
+        on_paused();
+      });
 }
 
 void VirtualMachine::resume(Callback on_running) {
@@ -241,17 +259,21 @@ void VirtualMachine::resume(Callback on_running) {
   }
   state_ = VmPowerState::kRestoring;
   if (suspended_in_memory_) {
-    host().simulation().schedule_after(sim::Duration::millis(200),
-                                       [this, on_running = std::move(on_running)] {
-                                         enter_running();
-                                         on_running();
-                                       });
+    host().simulation().schedule_after(
+        sim::Duration::millis(200),
+        [this, alive = std::weak_ptr<int>(alive_), on_running = std::move(on_running)] {
+          if (alive.expired() || state_ != VmPowerState::kRestoring) return;
+          enter_running();
+          on_running();
+        });
     return;
   }
   auto& fs = host().fs();
   const auto bytes = migratable_state_bytes();
   fs.read(suspend_file(), 0, bytes,
-          [this, on_running = std::move(on_running)](storage::ReadResult) {
+          [this, alive = std::weak_ptr<int>(alive_),
+           on_running = std::move(on_running)](storage::ReadResult) {
+            if (alive.expired() || state_ != VmPowerState::kRestoring) return;
             enter_running();
             on_running();
           });
@@ -262,6 +284,27 @@ void VirtualMachine::shutdown() {
   for (auto& t : tasks_) t.task->abort();
   tasks_.clear();
   state_ = VmPowerState::kShutDown;
+}
+
+void VirtualMachine::power_off() {
+  stop_loads();
+  if (lifecycle_task_) {
+    lifecycle_task_->abort();
+    lifecycle_task_.reset();
+  }
+  for (auto& t : tasks_) t.task->abort();
+  tasks_.clear();
+  state_ = VmPowerState::kShutDown;
+}
+
+void VirtualMachine::stall(sim::Duration d) {
+  if (state_ != VmPowerState::kRunning) return;
+  pause_tasks();
+  host().simulation().schedule_after(
+      d, [this, alive = std::weak_ptr<int>(alive_)] {
+        if (alive.expired() || state_ != VmPowerState::kRunning) return;
+        resume_tasks();
+      });
 }
 
 void VirtualMachine::adopt_suspended_state(bool in_memory) {

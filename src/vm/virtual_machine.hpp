@@ -84,6 +84,18 @@ class VirtualMachine {
 
   void shutdown();
 
+  /// Hard power-off, as a host crash would inflict: aborts guest tasks and
+  /// background loads without notice and leaves the VM a kShutDown corpse.
+  /// Unlike destruction, this is legal in ANY state — pending lifecycle
+  /// events (boot/restore/suspend timers) notice and become no-ops, so
+  /// the fault engine can kill a VM mid-boot without undefined behaviour.
+  void power_off();
+
+  /// Freeze the guest for `d` of simulated time (VMM scheduling glitch,
+  /// hypervisor hiccup): tasks pause and resume automatically; the power
+  /// state stays kRunning throughout. No-op unless currently running.
+  void stall(sim::Duration d);
+
   /// Migration plumbing: mark a freshly created (kPoweredOff) VM as
   /// suspended because its state just arrived from another host —
   /// either already resident in RAM (pre-copy) or as a state file on
@@ -149,6 +161,12 @@ class VirtualMachine {
   bool suspended_in_memory_{false};
   std::vector<std::unique_ptr<host::TracePlayback>> loads_;
   std::vector<TrackedTask> tasks_;
+  /// Liveness token captured weakly by every scheduled lifecycle lambda:
+  /// once the VM is destroyed the token dies and stale events no-op
+  /// instead of dereferencing a freed object.
+  std::shared_ptr<int> alive_{std::make_shared<int>(0)};
+  /// The in-flight boot/restore workset task, so power_off can abort it.
+  std::shared_ptr<GuestTask> lifecycle_task_;
 };
 
 }  // namespace vmgrid::vm

@@ -38,19 +38,22 @@ class NfsAccessor final : public FileAccessor {
   NfsAccessor(storage::NfsClient& client, std::string path, double cpu_per_rpc)
       : client_{client}, path_{std::move(path)}, cpu_per_rpc_{cpu_per_rpc} {}
 
+  // Completion lambdas capture the CPU cost by value, not `this`: a fault
+  // can destroy the VM (and this accessor) while an RPC is in flight, and
+  // the late completion must not touch freed accessor state.
   void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     client_.read(path_, offset, len,
-                 [this, cb = std::move(cb)](storage::NfsIoResult r) {
+                 [cpu = cpu_per_rpc_, cb = std::move(cb)](storage::NfsIoResult r) {
                    cb(VmIoStats{r.ok, r.bytes, r.rpcs,
-                                static_cast<double>(r.rpcs) * cpu_per_rpc_});
+                                static_cast<double>(r.rpcs) * cpu});
                  });
   }
 
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     client_.write(path_, offset, len,
-                  [this, cb = std::move(cb)](storage::NfsIoResult r) {
+                  [cpu = cpu_per_rpc_, cb = std::move(cb)](storage::NfsIoResult r) {
                     cb(VmIoStats{r.ok, r.bytes, r.rpcs,
-                                 static_cast<double>(r.rpcs) * cpu_per_rpc_});
+                                 static_cast<double>(r.rpcs) * cpu});
                   });
   }
 
@@ -67,18 +70,22 @@ class VfsAccessor final : public FileAccessor {
   VfsAccessor(vfs::VfsProxy& proxy, std::string path, double cpu_per_rpc)
       : proxy_{proxy}, path_{std::move(path)}, cpu_per_rpc_{cpu_per_rpc} {}
 
+  // Same lifetime rule as NfsAccessor: never capture `this` in a
+  // completion that can outlive the accessor.
   void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
-    proxy_.read(path_, offset, len, [this, cb = std::move(cb)](vfs::VfsIoStats s) {
-      cb(VmIoStats{s.ok, s.bytes, s.rpcs,
-                   static_cast<double>(s.rpcs) * cpu_per_rpc_});
-    });
+    proxy_.read(path_, offset, len,
+                [cpu = cpu_per_rpc_, cb = std::move(cb)](vfs::VfsIoStats s) {
+                  cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                               static_cast<double>(s.rpcs) * cpu});
+                });
   }
 
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
-    proxy_.write(path_, offset, len, [this, cb = std::move(cb)](vfs::VfsIoStats s) {
-      cb(VmIoStats{s.ok, s.bytes, s.rpcs,
-                   static_cast<double>(s.rpcs) * cpu_per_rpc_});
-    });
+    proxy_.write(path_, offset, len,
+                 [cpu = cpu_per_rpc_, cb = std::move(cb)](vfs::VfsIoStats s) {
+                   cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                                static_cast<double>(s.rpcs) * cpu});
+                 });
   }
 
   [[nodiscard]] std::string describe() const override { return "gvfs:" + path_; }

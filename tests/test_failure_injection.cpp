@@ -42,7 +42,7 @@ TEST_F(CrashFixture, ReadsAfterCrashReportConnectionRefused) {
   sim.run();
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->ok);
-  EXPECT_EQ(result->error, "connection refused");
+  EXPECT_EQ(result->status, net::RpcStatus::kConnectionRefused);
 }
 
 TEST_F(CrashFixture, VfsProxyPropagatesServerLoss) {

@@ -141,7 +141,7 @@ TEST_F(RpcFixture, UnknownMethodFailsGracefully) {
   bool failed = false;
   fabric.call(client, server_node, RpcRequest{"nope", 64, {}}, [&](RpcResponse resp) {
     failed = !resp.ok;
-    EXPECT_NE(resp.error.find("no such method"), std::string::npos);
+    EXPECT_EQ(resp.status, RpcStatus::kNoSuchMethod);
   });
   sim.run();
   EXPECT_TRUE(failed);
@@ -150,7 +150,7 @@ TEST_F(RpcFixture, UnknownMethodFailsGracefully) {
 TEST_F(RpcFixture, UnboundNodeRefusesConnection) {
   bool refused = false;
   fabric.call(client, server_node, RpcRequest{"x", 64, {}}, [&](RpcResponse resp) {
-    refused = !resp.ok && resp.error == "connection refused";
+    refused = !resp.ok && resp.status == RpcStatus::kConnectionRefused;
   });
   sim.run();
   EXPECT_TRUE(refused);
