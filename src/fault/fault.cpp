@@ -1,9 +1,11 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "middleware/compute_server.hpp"
+#include "net/rpc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "vm/virtual_machine.hpp"
@@ -25,6 +27,8 @@ const char* to_string(FaultKind k) {
       return "link_flaky";
     case FaultKind::kVmStall:
       return "vm_stall";
+    case FaultKind::kOverload:
+      return "overload";
   }
   return "unknown";
 }
@@ -33,6 +37,14 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
                             const std::vector<std::string>& hosts,
                             const std::vector<std::string>& servers,
                             const std::vector<std::string>& links) {
+  return random(seed, opts, hosts, servers, links, {});
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
+                            const std::vector<std::string>& hosts,
+                            const std::vector<std::string>& servers,
+                            const std::vector<std::string>& links,
+                            const std::vector<std::string>& rpc_servers) {
   FaultPlan plan;
   if (opts.events_per_hour <= 0.0 || opts.horizon <= sim::Duration::zero()) {
     return plan;
@@ -52,6 +64,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
   consider(FaultKind::kLinkDegraded, opts.link_degraded_weight, links);
   consider(FaultKind::kLinkFlaky, opts.link_flaky_weight, links);
   consider(FaultKind::kVmStall, opts.vm_stall_weight, hosts);
+  consider(FaultKind::kOverload, opts.overload_weight, rpc_servers);
   if (choices.empty()) return plan;
   double total_weight = 0.0;
   for (const auto& c : choices) total_weight += c.weight;
@@ -81,6 +94,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
         std::max(0.5, rng.exponential(opts.mean_outage.to_seconds())));
     if (ev.kind == FaultKind::kLinkFlaky) ev.magnitude = opts.flaky_loss;
     if (ev.kind == FaultKind::kLinkDegraded) ev.magnitude = opts.degraded_factor;
+    if (ev.kind == FaultKind::kOverload) ev.magnitude = opts.overload_slots;
     plan.add(std::move(ev));
   }
   return plan;
@@ -98,9 +112,18 @@ void FaultEngine::register_link(std::string name, net::NodeId a, net::NodeId b) 
   if (links_.emplace(name, LinkRef{a, b}).second) link_order_.push_back(std::move(name));
 }
 
+void FaultEngine::register_rpc_server(std::string name, net::RpcServer& server) {
+  if (rpc_servers_.emplace(name, &server).second) {
+    rpc_server_order_.push_back(std::move(name));
+  }
+}
+
 std::vector<std::string> FaultEngine::host_names() const { return host_order_; }
 std::vector<std::string> FaultEngine::server_names() const { return server_order_; }
 std::vector<std::string> FaultEngine::link_names() const { return link_order_; }
+std::vector<std::string> FaultEngine::rpc_server_names() const {
+  return rpc_server_order_;
+}
 
 void FaultEngine::arm(const FaultPlan& plan) {
   for (const auto& ev : plan.events()) {
@@ -239,6 +262,20 @@ void FaultEngine::inject(FaultEvent ev, std::size_t record) {
       applied();
       // Stalls resume on their own inside the VM; no engine-side heal.
       rec.healed = true;
+      return;
+    }
+    case FaultKind::kOverload: {
+      auto it = rpc_servers_.find(ev.target);
+      if (it == rpc_servers_.end() || it->second->synthetic_load() > 0) {
+        skipped();
+        return;
+      }
+      net::RpcServer* server = it->second;
+      const auto slots =
+          static_cast<std::size_t>(std::max(1.0, std::round(ev.magnitude)));
+      server->set_synthetic_load(slots);
+      applied();
+      heal(record, [server] { server->set_synthetic_load(0); }, ev.duration);
       return;
     }
   }

@@ -14,6 +14,10 @@ namespace vmgrid::middleware {
 class ComputeServer;
 }
 
+namespace vmgrid::net {
+class RpcServer;
+}
+
 namespace vmgrid::fault {
 
 /// What to break. Every kind has a matching heal action (except kVmStall,
@@ -25,6 +29,7 @@ enum class FaultKind : std::uint8_t {
   kLinkDegraded,  // latency x magnitude, bandwidth / magnitude, restored after
   kLinkFlaky,     // per-packet Bernoulli loss = magnitude, cleared after
   kVmStall,       // every VM on the host pauses for `duration`
+  kOverload,      // synthetic load occupies admission slots of an RpcServer
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
@@ -50,8 +55,14 @@ struct RandomFaultOptions {
   double link_degraded_weight{1.0};
   double link_flaky_weight{1.0};
   double vm_stall_weight{1.0};
+  /// 0.0 by default so historical (seed, options) pairs keep producing
+  /// byte-identical plans: weight-0 kinds never enter the choice list
+  /// and therefore never perturb the rng draw sequence.
+  double overload_weight{0.0};
   double flaky_loss{0.05};
   double degraded_factor{8.0};
+  /// Admission slots the synthetic load occupies during kOverload.
+  double overload_slots{4.0};
 };
 
 /// An ordered schedule of faults. Built by hand (scripted scenarios) or
@@ -74,6 +85,16 @@ class FaultPlan {
                                         const std::vector<std::string>& hosts,
                                         const std::vector<std::string>& servers,
                                         const std::vector<std::string>& links);
+
+  /// Same, with kOverload targets (FaultEngine::rpc_server_names()).
+  /// The 4-list draw is byte-identical to the 3-list one whenever
+  /// overload_weight is 0 or `rpc_servers` is empty.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const RandomFaultOptions& opts,
+                                        const std::vector<std::string>& hosts,
+                                        const std::vector<std::string>& servers,
+                                        const std::vector<std::string>& links,
+                                        const std::vector<std::string>& rpc_servers);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -105,12 +126,17 @@ class FaultEngine {
   void register_host(middleware::ComputeServer& cs);
   /// Targets for kServerOutage (NFS / image servers), addressed by name.
   void register_server_node(std::string name, net::NodeId node);
+  /// Targets for kOverload: a server whose admission slots the fault
+  /// saturates with synthetic load. Only meaningful for servers with
+  /// admission control enabled (set_synthetic_load is a no-op otherwise).
+  void register_rpc_server(std::string name, net::RpcServer& server);
   /// Targets for the kLink* kinds, addressed by name.
   void register_link(std::string name, net::NodeId a, net::NodeId b);
 
   [[nodiscard]] std::vector<std::string> host_names() const;
   [[nodiscard]] std::vector<std::string> server_names() const;
   [[nodiscard]] std::vector<std::string> link_names() const;
+  [[nodiscard]] std::vector<std::string> rpc_server_names() const;
 
   /// Schedule every event in the plan relative to now. May be called
   /// more than once (e.g. one scripted plan plus one random plan).
@@ -136,6 +162,8 @@ class FaultEngine {
   std::unordered_map<std::string, net::NodeId> servers_;
   std::vector<std::string> link_order_;
   std::unordered_map<std::string, LinkRef> links_;
+  std::vector<std::string> rpc_server_order_;
+  std::unordered_map<std::string, net::RpcServer*> rpc_servers_;
   /// Original params of currently-degraded links; presence blocks a
   /// second overlapping degradation (its heal would restore too early).
   std::unordered_map<std::string, net::LinkParams> degraded_saved_;

@@ -69,6 +69,14 @@ void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess ac
         [cb = std::move(cb)] { cb(nullptr, "no such checkpoint"); });
     return;
   }
+  if (!server.up()) {
+    // Fail before the (possibly tape-recall) pipeline starts: restoring
+    // onto a dead host would stage state nowhere and strand the VM.
+    grid_.simulation().schedule_after(
+        sim::Duration::micros(1),
+        [cb = std::move(cb)] { cb(nullptr, "target server down"); });
+    return;
+  }
   Stored& stored = it->second;
   stored.info.last_touched = grid_.simulation().now();
 

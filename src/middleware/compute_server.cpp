@@ -205,6 +205,25 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
   if (opts.config.persistent != (opts.access == StateAccess::kPersistentCopy)) {
     opts.config.persistent = opts.access == StateAccess::kPersistentCopy;
   }
+  if (params_.max_pending_instantiations > 0 &&
+      pending_instantiations_ >= params_.max_pending_instantiations) {
+    // Shed before any staging I/O starts: each accepted instantiation
+    // pins image blocks through the VFS chain, so admitting past this
+    // point turns a placement burst into disk/NFS congestion for the
+    // VMs already starting.
+    sim_.metrics()
+        .counter("compute.instantiations_shed", {{"host", host_.name()}})
+        .inc();
+    sim_.schedule_after(sim::Duration::micros(10), [opts, cb = std::move(cb)] {
+      InstantiationStats stats;
+      stats.access = opts.access;
+      stats.mode = opts.mode;
+      stats.ok = false;
+      stats.error = "compute server overloaded: too many pending instantiations";
+      cb(nullptr, std::move(stats));
+    });
+    return;
+  }
   sim_.metrics().counter("compute.instantiations", {{"host", host_.name()}}).inc();
   auto span = std::make_shared<obs::Span>(sim_, "vm.instantiate", host_.name());
   span->arg("vm", opts.config.name);

@@ -40,6 +40,10 @@ struct ComputeServerParams {
   GramParams gram{};
   std::uint32_t future_max_instances{4};
   std::uint64_t future_max_memory_mb{512};
+  /// Admission limit on concurrently-starting VMs: instantiations past
+  /// this are rejected before any staging I/O begins. 0 = unlimited
+  /// (historical behaviour).
+  std::uint32_t max_pending_instantiations{0};
   /// Guest-side CPU charge per NFS RPC through the kernel client
   /// (VMM trap + guest kernel RPC stack).
   double io_client_cpu_per_rpc{0.00035};

@@ -38,8 +38,22 @@ GramService::GramService(net::RpcServer& server, GramParams params)
                                    .payload = {}});
           return;
         }
-        ++jobs_;
         auto& sim = server_.fabric().simulation();
+        if (params_.max_active_jobs > 0 && active_jobs_ >= params_.max_active_jobs) {
+          // Fast reject before paying auth + jobmanager fork: an
+          // overloaded gatekeeper that authenticates everything it then
+          // sheds is doing the expensive half of the work for free.
+          ++jobs_shed_;
+          sim.metrics().counter("gram.jobs_shed").inc();
+          respond(net::RpcResponse{.ok = false,
+                                   .error = "gatekeeper overloaded: too many active jobs",
+                                   .response_bytes = 64,
+                                   .payload = {},
+                                   .status = net::RpcStatus::kOverloaded});
+          return;
+        }
+        ++jobs_;
+        ++active_jobs_;
         sim.metrics().counter("gram.jobs").inc();
         // Job-lifecycle spans: gram.job wraps the gatekeeper phases
         // (auth+jobmanager, then the executed job) on the "gram" track.
@@ -56,11 +70,12 @@ GramService::GramService(net::RpcServer& server, GramParams params)
              respond = std::move(respond)]() mutable {
               setup_span->end();
               auto exec_span = std::make_shared<obs::Span>(sim, "gram.execute", "gram");
-              executor_(rsl, [job_span, exec_span, respond = std::move(respond)](
+              executor_(rsl, [this, job_span, exec_span, respond = std::move(respond)](
                                  bool ok, std::string output) {
                 exec_span->end();
                 job_span->arg("ok", ok ? "true" : "false");
                 job_span->end();
+                if (active_jobs_ > 0) --active_jobs_;
                 respond(net::RpcResponse{.ok = ok,
                                          .error = ok ? "" : output,
                                          .response_bytes = 256,
@@ -77,7 +92,11 @@ void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
 
 void GramClient::ping(net::NodeId gatekeeper, net::RpcCallOptions opts,
                       PingCallback cb) {
-  fabric_.call(self_, gatekeeper, net::RpcRequest{"gram.ping", 64, {}}, opts,
+  // Control priority: under admission pressure a ping evicts queued bulk
+  // work rather than being shed — a lost probe would look like a dead
+  // host to the failure detector.
+  fabric_.call(self_, gatekeeper,
+               net::RpcRequest{"gram.ping", 64, {}, net::RpcPriority::kControl}, opts,
                [cb = std::move(cb)](net::RpcResponse resp) {
                  cb(resp.ok, resp.status);
                });

@@ -14,6 +14,10 @@ namespace vmgrid::middleware {
 struct GramParams {
   sim::Duration auth_time{sim::Duration::millis(1400)};
   sim::Duration jobmanager_startup{sim::Duration::millis(1100)};
+  /// Gatekeeper admission limit: jobs in flight (auth through executor
+  /// completion) beyond this are rejected kOverloaded instead of forking
+  /// yet another jobmanager. 0 = unlimited (historical behaviour).
+  std::size_t max_active_jobs{0};
 };
 
 struct GramJobResult {
@@ -38,12 +42,16 @@ class GramService {
   void set_executor(Executor exec) { executor_ = std::move(exec); }
 
   [[nodiscard]] std::uint64_t jobs_run() const { return jobs_; }
+  [[nodiscard]] std::uint64_t jobs_shed() const { return jobs_shed_; }
+  [[nodiscard]] std::size_t active_jobs() const { return active_jobs_; }
 
  private:
   net::RpcServer& server_;
   GramParams params_;
   Executor executor_;
   std::uint64_t jobs_{0};
+  std::uint64_t jobs_shed_{0};
+  std::size_t active_jobs_{0};
 };
 
 /// Client side: `globusrun` — submit an RSL string to a gatekeeper node

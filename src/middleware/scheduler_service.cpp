@@ -39,6 +39,19 @@ std::size_t SchedulerService::running_jobs() const { return running_; }
 
 void SchedulerService::submit(const std::string& owner, workload::TaskSpec spec,
                               JobCallback cb) {
+  if (params_.max_queued_jobs > 0 && queue_.size() >= params_.max_queued_jobs) {
+    // Reject at the door: an unbounded batch queue converts overload
+    // into unbounded wait times for everyone, including jobs that would
+    // otherwise have met their deadline.
+    ++jobs_shed_;
+    grid_.simulation().metrics().counter("scheduler.jobs_shed").inc();
+    BatchJobResult r;
+    r.ok = false;
+    r.error = "scheduler overloaded: queue full";
+    grid_.simulation().schedule_after(sim::Duration::micros(5),
+                                      [cb = std::move(cb), r = std::move(r)] { cb(r); });
+    return;
+  }
   PendingJob job;
   job.owner = owner;
   job.spec = std::move(spec);

@@ -42,6 +42,10 @@ struct SchedulerServiceParams {
   sim::Duration sensor_period{sim::Duration::seconds(2)};
   VmStartMode worker_start{VmStartMode::kWarmRestore};
   StateAccess worker_access{StateAccess::kNonPersistentLocal};
+  /// Admission limit on the batch queue: submissions past this are
+  /// rejected immediately instead of accumulating unbounded backlog.
+  /// 0 = unlimited (historical behaviour).
+  std::size_t max_queued_jobs{0};
 };
 
 /// A batch-queue grid scheduler over the VM substrate ("the user, or a
@@ -70,6 +74,7 @@ class SchedulerService {
 
   [[nodiscard]] std::size_t queued_jobs() const { return queue_.size(); }
   [[nodiscard]] std::size_t running_jobs() const;
+  [[nodiscard]] std::uint64_t jobs_shed() const { return jobs_shed_; }
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
   [[nodiscard]] PlacementPolicy policy() const { return params_.policy; }
 
@@ -101,6 +106,7 @@ class SchedulerService {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<PendingJob> queue_;
   std::size_t running_{0};
+  std::uint64_t jobs_shed_{0};
 };
 
 }  // namespace vmgrid::middleware

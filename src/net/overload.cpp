@@ -1,0 +1,14 @@
+#include "net/overload.hpp"
+
+namespace vmgrid::net {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace vmgrid::net

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace vmgrid::net {
+
+/// Client-side retry budget: a token bucket shared by all calls a client
+/// issues. Every retry spends one token; every success refills a
+/// fraction of one. Under a persistent outage the bucket drains and
+/// further retries are denied, so the total attempt volume a client can
+/// throw at a struggling server is bounded (the SRE "retry budget"
+/// argument: unbudgeted exponential backoff still multiplies offered
+/// load by max_attempts during a full outage).
+struct RetryBudgetParams {
+  double capacity{10.0};            ///< bucket size (max banked retries)
+  double initial{10.0};             ///< tokens at construction
+  double refill_per_success{0.1};   ///< tokens earned back per success
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() : RetryBudget(RetryBudgetParams{}) {}
+  explicit RetryBudget(RetryBudgetParams params)
+      : params_{params}, tokens_{params.initial} {}
+
+  /// Spend one token for a retry. False (and nothing spent) when the
+  /// bucket is empty — the caller must give up instead of retrying.
+  bool try_spend() {
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++spent_;
+    return true;
+  }
+
+  /// A call settled ok: earn back a fraction of a token.
+  void on_success() {
+    tokens_ += params_.refill_per_success;
+    if (tokens_ > params_.capacity) tokens_ = params_.capacity;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+  [[nodiscard]] std::uint64_t spent() const { return spent_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+  [[nodiscard]] const RetryBudgetParams& params() const { return params_; }
+
+ private:
+  RetryBudgetParams params_;
+  double tokens_;
+  std::uint64_t spent_{0};
+  std::uint64_t denied_{0};
+};
+
+/// Circuit-breaker states: kClosed (traffic flows, failures counted),
+/// kOpen (fail fast, no traffic), kHalfOpen (a bounded number of probe
+/// calls test whether the downstream recovered).
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState s);
+
+struct CircuitBreakerParams {
+  int failure_threshold{5};  ///< consecutive failures that trip the breaker
+  sim::Duration open_duration{sim::Duration::seconds(10)};
+  int half_open_probes{1};   ///< concurrent probes allowed while half-open
+};
+
+/// Time-driven state machine; the owner passes `now` in, so the breaker
+/// has no scheduler dependency and works identically in tests and in the
+/// simulation proper. The owner decides which outcomes count as
+/// failures (for the VFS path: kOverloaded and kTimeout — deterministic
+/// application errors must not trip it).
+class CircuitBreaker {
+ public:
+  CircuitBreaker() : CircuitBreaker(CircuitBreakerParams{}) {}
+  explicit CircuitBreaker(CircuitBreakerParams params) : params_{params} {}
+
+  using TransitionHook = std::function<void(BreakerState from, BreakerState to)>;
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// May this call proceed? In kOpen, flips to kHalfOpen once
+  /// open_duration elapsed; in kHalfOpen, admits up to half_open_probes
+  /// outstanding probes. A true return in kHalfOpen reserves a probe
+  /// slot; the caller must report the outcome via on_success/on_failure.
+  bool allow(sim::TimePoint now) {
+    if (state_ == BreakerState::kOpen) {
+      if (now < open_until_) return false;
+      transition(BreakerState::kHalfOpen);
+      probes_outstanding_ = 0;
+    }
+    if (state_ == BreakerState::kHalfOpen) {
+      if (probes_outstanding_ >= params_.half_open_probes) return false;
+      ++probes_outstanding_;
+      return true;
+    }
+    return true;  // kClosed
+  }
+
+  void on_success(sim::TimePoint) {
+    consecutive_failures_ = 0;
+    if (state_ == BreakerState::kHalfOpen) {
+      probes_outstanding_ = 0;
+      transition(BreakerState::kClosed);
+    }
+  }
+
+  void on_failure(sim::TimePoint now) {
+    if (state_ == BreakerState::kHalfOpen) {
+      probes_outstanding_ = 0;
+      open_until_ = now + params_.open_duration;
+      transition(BreakerState::kOpen);
+      return;
+    }
+    if (state_ == BreakerState::kClosed) {
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= params_.failure_threshold) {
+        open_until_ = now + params_.open_duration;
+        transition(BreakerState::kOpen);
+      }
+    }
+  }
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  [[nodiscard]] const CircuitBreakerParams& params() const { return params_; }
+
+ private:
+  void transition(BreakerState to) {
+    const BreakerState from = state_;
+    state_ = to;
+    ++transitions_;
+    consecutive_failures_ = 0;
+    if (hook_) hook_(from, to);
+  }
+
+  CircuitBreakerParams params_;
+  BreakerState state_{BreakerState::kClosed};
+  int consecutive_failures_{0};
+  int probes_outstanding_{0};
+  sim::TimePoint open_until_{};
+  std::uint64_t transitions_{0};
+  TransitionHook hook_;
+};
+
+}  // namespace vmgrid::net

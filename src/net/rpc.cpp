@@ -18,6 +18,7 @@ const char* to_string(RpcStatus s) {
     case RpcStatus::kUnreachable: return "unreachable";
     case RpcStatus::kTimeout: return "timeout";
     case RpcStatus::kServerError: return "server_error";
+    case RpcStatus::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -36,6 +37,52 @@ void RpcServer::register_method(std::string name, RpcHandler handler) {
 }
 
 void RpcServer::dispatch(const RpcRequest& req, RpcResponder respond) {
+  if (params_.admission.max_concurrent == 0) {
+    // Admission control disabled: the historical unbounded fast path.
+    serve(req, std::move(respond));
+    return;
+  }
+  if (has_capacity() && queue_.empty()) {
+    ++active_;
+    serve(req, [this, alive = std::weak_ptr<char>(alive_),
+                respond = std::move(respond)](RpcResponse resp) {
+      const auto locked = alive.lock();
+      if (locked && active_ > 0) --active_;
+      respond(std::move(resp));
+      if (locked) pump();
+    });
+    return;
+  }
+  if (queue_.size() >= params_.admission.queue_depth) {
+    // Full queue: a control-plane request may evict the oldest waiting
+    // bulk request, but bulk traffic never displaces anything.
+    auto victim = queue_.end();
+    if (req.priority == RpcPriority::kControl) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->req.priority < req.priority) {
+          victim = it;
+          break;
+        }
+      }
+    }
+    if (victim == queue_.end()) {
+      shed(std::move(respond), "admission queue full");
+      return;
+    }
+    shed(std::move(victim->respond), "evicted by higher-priority request");
+    queue_.erase(victim);
+  }
+  queue_.push_back(Waiting{req, std::move(respond),
+                           fabric_.simulation().now()});
+  if (queue_gauge_ == nullptr) {
+    queue_gauge_ = &fabric_.simulation().metrics().gauge(
+        "rpc.server.queue_depth",
+        {{"node", fabric_.network().node_name(self_)}});
+  }
+  queue_gauge_->set(static_cast<double>(queue_.size()));
+}
+
+void RpcServer::serve(const RpcRequest& req, RpcResponder respond) {
   ++calls_;
   auto it = methods_.find(req.method);
   if (it == methods_.end()) {
@@ -47,6 +94,53 @@ void RpcServer::dispatch(const RpcRequest& req, RpcResponder respond) {
     return;
   }
   it->second(req, std::move(respond));
+}
+
+void RpcServer::pump() {
+  const auto max_age = params_.admission.max_queue_age;
+  while (!queue_.empty() && has_capacity()) {
+    Waiting w = std::move(queue_.front());
+    queue_.pop_front();
+    // Lazy age check at dequeue: a waiter that sat past max_queue_age is
+    // almost certainly past its client's deadline — serving it now wastes
+    // a concurrency slot on an answer nobody is waiting for.
+    if (!max_age.is_infinite() &&
+        fabric_.simulation().now() - w.enqueued > max_age) {
+      shed(std::move(w.respond), "queued past max age");
+      continue;
+    }
+    ++active_;
+    serve(w.req, [this, alive = std::weak_ptr<char>(alive_),
+                  respond = std::move(w.respond)](RpcResponse resp) {
+      const auto locked = alive.lock();
+      if (locked && active_ > 0) --active_;
+      respond(std::move(resp));
+      if (locked) pump();
+    });
+  }
+  if (queue_gauge_ != nullptr) {
+    queue_gauge_->set(static_cast<double>(queue_.size()));
+  }
+}
+
+void RpcServer::shed(RpcResponder respond, const char* why) {
+  ++shed_;
+  if (shed_counter_ == nullptr) {
+    shed_counter_ = &fabric_.simulation().metrics().counter(
+        "rpc.server.shed", {{"node", fabric_.network().node_name(self_)}});
+  }
+  shed_counter_->inc();
+  respond(RpcResponse{.ok = false,
+                      .error = std::string{"overloaded: "} + why,
+                      .response_bytes = 64,
+                      .payload = {},
+                      .status = RpcStatus::kOverloaded});
+}
+
+void RpcServer::set_synthetic_load(std::size_t slots) {
+  const bool shrinking = slots < synthetic_load_;
+  synthetic_load_ = slots;
+  if (shrinking && params_.admission.max_concurrent != 0) pump();
 }
 
 void RpcFabric::bind(NodeId node, RpcServer* server) {
@@ -70,6 +164,7 @@ struct RpcFabric::CallState {
   int epoch{0};
   bool done{false};
   sim::EventId deadline_timer{};
+  sim::EventId total_timer{};  ///< caps elapsed time across all attempts
 };
 
 void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb) {
@@ -84,7 +179,25 @@ void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallOptions opts
   st->req = std::move(req);
   st->opts = opts;
   st->cb = std::move(cb);
+  if (!opts.total_deadline.is_infinite()) {
+    st->total_timer = simulation().schedule_after(
+        opts.total_deadline, [this, st] { total_deadline_exceeded(st); });
+  }
   start_attempt(st);
+}
+
+void RpcFabric::total_deadline_exceeded(const std::shared_ptr<CallState>& st) {
+  if (st->done) return;
+  auto& sim = simulation();
+  sim.cancel(st->deadline_timer);
+  st->deadline_timer = {};
+  ++st->epoch;  // orphan the in-flight attempt and any pending backoff
+  sim.metrics().counter("rpc.total_deadline_exceeded").inc();
+  settle(st, RpcResponse{.ok = false,
+                         .error = "total deadline exceeded",
+                         .response_bytes = 64,
+                         .payload = {},
+                         .status = RpcStatus::kTimeout});
 }
 
 void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
@@ -149,6 +262,17 @@ void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
                                                    "reply dropped in transit");
                                     return;
                                   }
+                                  // A delivered failure with a retryable
+                                  // status (today: kOverloaded fast-reject)
+                                  // goes through the retry machinery like a
+                                  // transport failure, so backoff + the
+                                  // retry budget govern it. Non-retryable
+                                  // app failures settle as always.
+                                  if (!resp.ok && rpc_status_retryable(resp.status)) {
+                                    attempt_failed(st, epoch, resp.status,
+                                                   std::move(resp.error));
+                                    return;
+                                  }
                                   settle(st, std::move(resp));
                                 });
                     });
@@ -166,7 +290,8 @@ void RpcFabric::attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
   sim.metrics()
       .counter("rpc.attempt_failed", {{"status", to_string(status)}})
       .inc();
-  if (rpc_status_retryable(status) && st->attempts < st->opts.max_attempts) {
+  if (rpc_status_retryable(status) && st->attempts < st->opts.max_attempts &&
+      (st->opts.retry_budget == nullptr || st->opts.retry_budget->try_spend())) {
     double delay_s = st->opts.backoff_base.to_seconds() *
                      std::pow(st->opts.backoff_multiplier, st->attempts - 1);
     delay_s = std::min(delay_s, st->opts.backoff_cap.to_seconds());
@@ -182,6 +307,11 @@ void RpcFabric::attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
                        });
     return;
   }
+  if (rpc_status_retryable(status) && st->attempts < st->opts.max_attempts) {
+    // Retry was wanted but the budget denied it — the storm-prevention
+    // path. RetryBudget counted the denial; surface it for dashboards.
+    sim.metrics().counter("rpc.retry_budget_denied").inc();
+  }
   settle(st, RpcResponse{.ok = false,
                          .error = std::move(detail),
                          .response_bytes = 64,
@@ -193,6 +323,11 @@ void RpcFabric::settle(const std::shared_ptr<CallState>& st, RpcResponse resp) {
   assert(!st->done);
   simulation().cancel(st->deadline_timer);
   st->deadline_timer = {};
+  simulation().cancel(st->total_timer);
+  st->total_timer = {};
+  if (resp.ok && st->opts.retry_budget != nullptr) {
+    st->opts.retry_budget->on_success();
+  }
   st->done = true;
   ++st->epoch;
   st->cb(std::move(resp));

@@ -1,12 +1,19 @@
 #pragma once
 
 #include <any>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "net/network.hpp"
+#include "net/overload.hpp"
+
+namespace vmgrid::obs {
+class Counter;
+class Gauge;
+}  // namespace vmgrid::obs
 
 namespace vmgrid::net {
 
@@ -20,16 +27,26 @@ enum class RpcStatus : std::uint8_t {
   kUnreachable,        ///< request/reply dropped, or server died mid-call
   kTimeout,            ///< client-side per-attempt deadline expired
   kServerError,        ///< handler responded ok=false (application error)
+  kOverloaded,         ///< server shed the request (admission control)
 };
 
 [[nodiscard]] const char* to_string(RpcStatus s);
 
 /// Transient transport failures worth retrying. Application errors and
 /// misrouted methods are deterministic — retrying them cannot help.
+/// kOverloaded is retryable but is exactly the status a retry budget
+/// exists to bound: unbudgeted retries of an overloaded server are how
+/// congestion collapse starts.
 [[nodiscard]] constexpr bool rpc_status_retryable(RpcStatus s) {
   return s == RpcStatus::kConnectionRefused || s == RpcStatus::kUnreachable ||
-         s == RpcStatus::kTimeout;
+         s == RpcStatus::kTimeout || s == RpcStatus::kOverloaded;
 }
+
+/// Shedding priority. When an admission queue is full, control-plane
+/// traffic (health probes, info-service queries) evicts bulk data
+/// traffic, never the other way round — losing a ping during overload
+/// would make the failure detector declare a live host dead.
+enum class RpcPriority : std::uint8_t { kBulk = 0, kControl = 1 };
 
 /// Wire-level request: method name, request size on the wire, and an
 /// opaque in-memory payload (the simulation does not marshal real bytes).
@@ -37,6 +54,7 @@ struct RpcRequest {
   std::string method;
   std::uint64_t request_bytes{128};
   std::any payload;
+  RpcPriority priority{RpcPriority::kBulk};
 };
 
 struct RpcResponse {
@@ -65,6 +83,17 @@ struct RpcCallOptions {
   double backoff_multiplier{2.0};
   sim::Duration backoff_cap{sim::Duration::seconds(5)};
   double backoff_jitter{0.2};  ///< +/- fraction applied to each backoff
+  /// Cap on total elapsed time across all attempts and backoffs. The
+  /// per-attempt `deadline` alone does not bound caller-visible latency:
+  /// attempts × (deadline + backoff) can exceed any intent the caller
+  /// had. When the total deadline expires the call settles kTimeout
+  /// immediately, orphaning whatever attempt was in flight.
+  sim::Duration total_deadline{sim::Duration::infinite()};
+  /// Shared retry budget (non-owning; the client owning the budget must
+  /// outlive the call). Retries spend tokens; when the bucket is empty
+  /// the call fails with its last status instead of retrying — this is
+  /// what turns a would-be retry storm into bounded load.
+  RetryBudget* retry_budget{nullptr};
 
   /// Short control-plane ops (info-service queries, health probes).
   [[nodiscard]] static RpcCallOptions control() {
@@ -85,12 +114,27 @@ struct RpcCallOptions {
   }
 };
 
+/// Server-side admission control: a bounded number of requests in
+/// service, a bounded queue of waiters, and fast kOverloaded rejects for
+/// everything past that. `max_concurrent == 0` (the default) disables
+/// the whole mechanism — dispatch is immediate and unbounded, which is
+/// the historical fabric behaviour, bit for bit.
+struct RpcAdmissionParams {
+  std::size_t max_concurrent{0};  ///< requests in service; 0 = unlimited
+  std::size_t queue_depth{64};    ///< waiters beyond the in-service set
+  /// Waiters older than this are shed when they reach the head of the
+  /// queue: serving a request whose client gave up long ago is wasted
+  /// work that steals capacity from requests that can still succeed.
+  sim::Duration max_queue_age{sim::Duration::infinite()};
+};
+
 /// Per-server RPC stack parameters. The per-call overhead models the
 /// protocol stack cost (marshalling, context switches) that makes a
 /// loopback-mounted NFS slower than the native file system even with no
 /// wire latency — the effect behind Table 2's LoopbackNFS column.
 struct RpcServerParams {
   sim::Duration per_call_overhead = sim::Duration::micros(300);
+  RpcAdmissionParams admission{};
 };
 
 class RpcFabric;
@@ -107,17 +151,53 @@ class RpcServer {
   void register_method(std::string name, RpcHandler handler);
   [[nodiscard]] NodeId node() const { return self_; }
   [[nodiscard]] std::uint64_t calls_served() const { return calls_; }
+  [[nodiscard]] std::uint64_t calls_shed() const { return shed_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t active_calls() const { return active_; }
   [[nodiscard]] RpcFabric& fabric() { return fabric_; }
+
+  /// Fault hook (FaultKind::kOverload): occupy `slots` of the admission
+  /// concurrency with phantom work, so real traffic queues and sheds as
+  /// if a load spike were in progress. No-op while admission control is
+  /// disabled. Pass 0 to heal.
+  void set_synthetic_load(std::size_t slots);
+  [[nodiscard]] std::size_t synthetic_load() const { return synthetic_load_; }
 
  private:
   friend class RpcFabric;
+  struct Waiting {
+    RpcRequest req;
+    RpcResponder respond;
+    sim::TimePoint enqueued{};
+  };
+
   void dispatch(const RpcRequest& req, RpcResponder respond);
+  /// Hand the request to its handler (admission already granted).
+  void serve(const RpcRequest& req, RpcResponder respond);
+  /// Serve admitted waiters while capacity allows, shedding expired ones.
+  void pump();
+  void shed(RpcResponder respond, const char* why);
+  [[nodiscard]] bool has_capacity() const {
+    return active_ + synthetic_load_ < params_.admission.max_concurrent;
+  }
 
   RpcFabric& fabric_;
   NodeId self_;
   RpcServerParams params_;
+  // Aliveness sentinel: handlers may hold their responder past this
+  // server's destruction (e.g. a node crash mid-call), and the admission
+  // wrapper must not release a slot on a freed object.
+  std::shared_ptr<char> alive_{std::make_shared<char>(0)};
   std::unordered_map<std::string, RpcHandler> methods_;
   std::uint64_t calls_{0};
+  std::uint64_t shed_{0};
+  std::size_t active_{0};
+  std::size_t synthetic_load_{0};
+  std::deque<Waiting> queue_;
+  // Registry-owned instruments, registered lazily on first use so
+  // admission-disabled servers add nothing to the metrics export.
+  obs::Counter* shed_counter_{nullptr};
+  obs::Gauge* queue_gauge_{nullptr};
 };
 
 /// Connects RpcServers to the network and routes calls to them.
@@ -154,6 +234,7 @@ class RpcFabric {
   void start_attempt(const std::shared_ptr<CallState>& st);
   void attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
                       RpcStatus status, std::string detail);
+  void total_deadline_exceeded(const std::shared_ptr<CallState>& st);
   void settle(const std::shared_ptr<CallState>& st, RpcResponse resp);
 
   Network& net_;

@@ -24,6 +24,11 @@ struct NfsTransferState {
   net::RpcStatus status{net::RpcStatus::kOk};
   NfsIoResult result;
   NfsClient::IoCallback cb;
+  net::RpcCallOptions opts;  ///< per-transfer policy (budget + deadline)
+  /// Absolute end-to-end deadline: blocks issued later in the window get
+  /// a smaller remaining total_deadline instead of a fresh one.
+  bool has_deadline{false};
+  sim::TimePoint deadline_at{};
 };
 
 namespace {
@@ -33,6 +38,9 @@ constexpr obs::HistogramOptions kRpcLatencyBins{0.0, 1.0, 100};
 NfsClient::NfsClient(net::RpcFabric& fabric, net::NodeId self, net::NodeId server,
                      NfsClientParams params)
     : fabric_{fabric}, self_{self}, server_{server}, params_{params} {
+  if (params_.enable_retry_budget) {
+    budget_.emplace(params_.retry_budget);
+  }
   auto& m = fabric_.simulation().metrics();
   lat_read_ = &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "read"}});
   lat_write_ =
@@ -41,6 +49,16 @@ NfsClient::NfsClient(net::RpcFabric& fabric, net::NodeId self, net::NodeId serve
       &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "getattr"}});
   lat_create_ =
       &m.histogram("nfs.client.rpc_latency_s", kRpcLatencyBins, {{"op", "create"}});
+}
+
+net::RpcCallOptions NfsClient::effective_opts(sim::Duration deadline_budget) const {
+  net::RpcCallOptions o = params_.rpc;
+  if (budget_) o.retry_budget = &*budget_;
+  if (!deadline_budget.is_infinite() &&
+      (o.total_deadline.is_infinite() || deadline_budget < o.total_deadline)) {
+    o.total_deadline = deadline_budget;
+  }
+  return o;
 }
 
 void NfsClient::getattr(const std::string& path, AttrCallback cb) {
@@ -57,7 +75,7 @@ void NfsClient::getattr(const std::string& path, AttrCallback cb) {
   const sim::TimePoint t0 = sim.now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.getattr", kNfsHeaderBytes, NfsGetattrArgs{path}},
-               params_.rpc,
+               effective_opts(),
                [this, path, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_getattr_->observe((fabric_.simulation().now() - t0).to_seconds());
                  if (!resp.ok) {
@@ -77,7 +95,17 @@ void NfsClient::getattr(const std::string& path, AttrCallback cb) {
 
 void NfsClient::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
                      IoCallback cb) {
+  read(path, offset, len, sim::Duration::infinite(), std::move(cb));
+}
+
+void NfsClient::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                     sim::Duration deadline_budget, IoCallback cb) {
   auto st = std::make_shared<NfsTransferState>();
+  st->opts = effective_opts(deadline_budget);
+  if (!deadline_budget.is_infinite()) {
+    st->has_deadline = true;
+    st->deadline_at = fabric_.simulation().now() + deadline_budget;
+  }
   st->is_read = true;
   st->path = path;
   st->offset = offset;
@@ -96,7 +124,17 @@ void NfsClient::read(const std::string& path, std::uint64_t offset, std::uint64_
 
 void NfsClient::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
                       IoCallback cb) {
+  write(path, offset, len, sim::Duration::infinite(), std::move(cb));
+}
+
+void NfsClient::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+                      sim::Duration deadline_budget, IoCallback cb) {
   auto st = std::make_shared<NfsTransferState>();
+  st->opts = effective_opts(deadline_budget);
+  if (!deadline_budget.is_infinite()) {
+    st->has_deadline = true;
+    st->deadline_at = fabric_.simulation().now() + deadline_budget;
+  }
   st->is_read = false;
   st->path = path;
   st->offset = offset;
@@ -131,7 +169,17 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                             NfsWriteArgs{st->path, off, chunk}};
     }
     const sim::TimePoint t0 = fabric_.simulation().now();
-    fabric_.call(self_, server_, std::move(req), params_.rpc,
+    net::RpcCallOptions opts = st->opts;
+    if (st->has_deadline) {
+      // Remaining budget at issue time; never negative — a zero
+      // total_deadline settles the call kTimeout on the next event.
+      sim::Duration remaining = st->deadline_at - t0;
+      if (remaining < sim::Duration::zero()) remaining = sim::Duration::zero();
+      if (opts.total_deadline.is_infinite() || remaining < opts.total_deadline) {
+        opts.total_deadline = remaining;
+      }
+    }
+    fabric_.call(self_, server_, std::move(req), opts,
                  [this, st, rel, chunk, t0](net::RpcResponse resp) {
                    (st->is_read ? lat_read_ : lat_write_)
                        ->observe((fabric_.simulation().now() - t0).to_seconds());
@@ -177,7 +225,7 @@ void NfsClient::create(const std::string& path, std::uint64_t size, BoolCallback
   const sim::TimePoint t0 = fabric_.simulation().now();
   fabric_.call(self_, server_,
                net::RpcRequest{"nfs.create", kNfsHeaderBytes, NfsCreateArgs{path, size}},
-               params_.rpc,
+               effective_opts(),
                [this, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_create_->observe((fabric_.simulation().now() - t0).to_seconds());
                  cb(resp.ok);

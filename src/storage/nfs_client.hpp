@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "net/overload.hpp"
 #include "net/rpc.hpp"
 #include "obs/metrics.hpp"
 #include "storage/nfs_protocol.hpp"
@@ -20,6 +21,11 @@ struct NfsClientParams {
   /// fault-aware worlds plumb net::RpcCallOptions::nfs() (or their own)
   /// through here, which VfsMountOptions carries into every mount.
   net::RpcCallOptions rpc{};
+  /// When enabled, the client owns one token-bucket retry budget shared
+  /// by all its RPCs, bounding the total retry volume it can throw at a
+  /// struggling server (disabled by default — historical behaviour).
+  bool enable_retry_budget{false};
+  net::RetryBudgetParams retry_budget{};
 };
 
 /// Aggregate result of a (possibly multi-RPC) NFS read or write.
@@ -51,6 +57,14 @@ class NfsClient {
             IoCallback cb);
   void write(const std::string& path, std::uint64_t offset, std::uint64_t len,
              IoCallback cb);
+  /// Deadline-propagating variants: `deadline_budget` is the caller's
+  /// remaining end-to-end budget, clamped onto every RPC's
+  /// total_deadline. A proxy hop passes its shrinking remainder here so
+  /// the deadline never resets across layers.
+  void read(const std::string& path, std::uint64_t offset, std::uint64_t len,
+            sim::Duration deadline_budget, IoCallback cb);
+  void write(const std::string& path, std::uint64_t offset, std::uint64_t len,
+             sim::Duration deadline_budget, IoCallback cb);
   void create(const std::string& path, std::uint64_t size, BoolCallback cb);
 
   void invalidate_attr(const std::string& path) { attr_cache_.erase(path); }
@@ -59,6 +73,10 @@ class NfsClient {
   [[nodiscard]] net::NodeId server() const { return server_; }
   [[nodiscard]] net::NodeId node() const { return self_; }
   [[nodiscard]] const NfsClientParams& params() const { return params_; }
+  /// The client-owned retry budget; nullptr unless enable_retry_budget.
+  [[nodiscard]] net::RetryBudget* retry_budget() {
+    return budget_ ? &*budget_ : nullptr;
+  }
 
  private:
   struct AttrEntry {
@@ -67,11 +85,16 @@ class NfsClient {
   };
 
   void run_window(std::shared_ptr<struct NfsTransferState> st);
+  /// params_.rpc with the owned retry budget attached and total_deadline
+  /// clamped to the caller's remaining end-to-end budget.
+  [[nodiscard]] net::RpcCallOptions effective_opts(
+      sim::Duration deadline_budget = sim::Duration::infinite()) const;
 
   net::RpcFabric& fabric_;
   net::NodeId self_;
   net::NodeId server_;
   NfsClientParams params_;
+  mutable std::optional<net::RetryBudget> budget_;
   std::unordered_map<std::string, AttrEntry> attr_cache_;
   std::uint64_t rpcs_{0};
   // Per-op RPC latency histograms (nfs.client.rpc_latency_s{op=...}),

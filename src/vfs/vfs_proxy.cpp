@@ -30,6 +30,17 @@ VfsProxy::VfsProxy(sim::Simulation& s, storage::NfsClient& client, VfsProxyParam
   bytes_written_ = &m.counter("vfs.proxy.bytes_written");
   prefetched_ = &m.counter("vfs.proxy.prefetch_blocks");
   flushes_ = &m.counter("vfs.proxy.flushes");
+  if (params_.enable_breaker) {
+    breaker_.emplace(params_.breaker);
+    degraded_counter_ = &m.counter("vfs.proxy.degraded_rejects");
+    transitions_counter_ = &m.counter("vfs.breaker.transitions");
+    breaker_gauge_ = &m.gauge("vfs.breaker.state");
+    breaker_gauge_->set(static_cast<double>(net::BreakerState::kClosed));
+    breaker_->set_transition_hook([this](net::BreakerState, net::BreakerState to) {
+      transitions_counter_->inc();
+      breaker_gauge_->set(static_cast<double>(to));
+    });
+  }
 }
 
 VfsProxy::~VfsProxy() { sim_.cancel(flush_event_); }
@@ -53,15 +64,29 @@ void VfsProxy::block_arrived(const std::string& path, std::uint64_t block,
   for (auto& w : waiters) w();
 }
 
+void VfsProxy::feed_breaker(const storage::NfsIoResult& r) {
+  if (!breaker_) return;
+  if (r.ok) {
+    breaker_->on_success(sim_.now());
+  } else if (r.status == net::RpcStatus::kOverloaded ||
+             r.status == net::RpcStatus::kTimeout) {
+    // Only congestion signals trip the breaker: deterministic application
+    // errors (missing file, bad offset) say nothing about server health.
+    breaker_->on_failure(sim_.now());
+  }
+}
+
 void VfsProxy::fetch_run(const std::string& path, std::uint64_t start_block,
                          std::uint64_t nblocks,
-                         std::function<void(const storage::NfsIoResult&)> done) {
+                         std::function<void(const storage::NfsIoResult&)> done,
+                         sim::Duration deadline_budget) {
   for (std::uint64_t b = start_block; b < start_block + nblocks; ++b) {
     pending_.try_emplace(BlockKey{path, b});
   }
-  client_.read(path, start_block * kBlockSize, nblocks * kBlockSize,
+  client_.read(path, start_block * kBlockSize, nblocks * kBlockSize, deadline_budget,
                [this, path, start_block, nblocks,
                 done = std::move(done)](storage::NfsIoResult r) {
+                 feed_breaker(r);
                  for (std::uint64_t i = 0; i < nblocks; ++i) {
                    std::optional<std::uint64_t> version;
                    if (r.ok && i < r.block_versions.size() && i * kBlockSize < r.bytes) {
@@ -137,11 +162,29 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
     }
   }
 
+  // Cache-only degraded mode: while the breaker is open, reads the cache
+  // can satisfy still succeed and joins on already-in-flight fetches are
+  // free, but new server traffic fails fast instead of piling onto an
+  // overloaded server. allow() is consulted only when misses exist, so
+  // cache-hit reads never consume a half-open probe slot.
+  if (!runs.empty() && breaker_ && !breaker_->allow(sim_.now())) {
+    ++degraded_rejects_;
+    degraded_counter_->inc();
+    stats->ok = false;
+    stats->error = "circuit open: cache-only degraded mode";
+    sim_.schedule_after(params_.local_hit_latency,
+                        [cb = std::move(cb), stats] { cb(*stats); });
+    return;
+  }
+
   // Asynchronous prefetch: on sequential access, pull the readahead
   // window past the requested range without blocking this read. The
   // in-flight table prevents double-fetching when the application
-  // catches up with the readahead.
-  if (sequential && params_.prefetch_blocks > 0) {
+  // catches up with the readahead. Suppressed unless the breaker is
+  // fully closed — optional readahead must not spend half-open probes.
+  const bool breaker_closed =
+      !breaker_ || breaker_->state() == net::BreakerState::kClosed;
+  if (sequential && params_.prefetch_blocks > 0 && breaker_closed) {
     std::uint64_t pf_start = last + 1;
     std::uint64_t pf_count = 0;
     for (std::uint64_t b = pf_start; b <= last + params_.prefetch_blocks; ++b) {
@@ -186,7 +229,8 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
                   stats->error = r.error;
                 }
                 finish_one();
-              });
+              },
+              params_.io_deadline);
   }
 }
 
@@ -232,6 +276,15 @@ void VfsProxy::do_flush(DoneCallback cb) {
     sim_.schedule_after(sim::Duration::micros(5), std::move(cb));
     return;
   }
+  if (breaker_ && !breaker_->allow(sim_.now())) {
+    // Server path open-circuited: keep buffering (writes stay locally
+    // acknowledged) and retry next interval. A half-open allow() above
+    // admits the flush as the recovery probe; its write outcomes feed
+    // the breaker below and settle the probe.
+    sim_.schedule_after(params_.flush_interval,
+                        [this, cb = std::move(cb)]() mutable { do_flush(std::move(cb)); });
+    return;
+  }
   flushing_ = true;
   flushes_->inc();
   struct Push {
@@ -264,7 +317,8 @@ void VfsProxy::do_flush(DoneCallback cb) {
       if (l2_) l2_->invalidate(p.path, b);
     }
     client_.write(p.path, p.start_block * kBlockSize, p.nblocks * kBlockSize,
-                  [this, remaining, done](storage::NfsIoResult) {
+                  [this, remaining, done](storage::NfsIoResult r) {
+                    feed_breaker(r);
                     if (--*remaining == 0) {
                       flushing_ = false;
                       (*done)();

@@ -2,10 +2,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 
+#include "net/overload.hpp"
 #include "storage/nfs_client.hpp"
 #include "vfs/block_cache.hpp"
 
@@ -17,6 +19,16 @@ struct VfsProxyParams {
   std::size_t write_buffer_blocks{512};  // delayed-write capacity
   sim::Duration flush_interval{sim::Duration::seconds(5)};
   sim::Duration local_hit_latency{sim::Duration::micros(25)};  // per request
+  /// End-to-end budget for one read()'s server fetches. Propagated into
+  /// the NFS client as a shrinking remainder (never reset per hop); the
+  /// default keeps the historical no-deadline behaviour.
+  sim::Duration io_deadline{sim::Duration::infinite()};
+  /// Circuit breaker on the server path: consecutive kOverloaded /
+  /// kTimeout fetches open it, after which misses fail fast in a
+  /// cache-only degraded mode (hits still served, writes still buffered)
+  /// until a half-open probe finds the server healthy again.
+  bool enable_breaker{false};
+  net::CircuitBreakerParams breaker{};
 };
 
 /// Outcome of one proxy-mediated I/O.
@@ -68,6 +80,14 @@ class VfsProxy {
   /// the application is about to read.
   [[nodiscard]] std::uint64_t inflight_blocks() const { return pending_.size(); }
 
+  /// nullptr unless params.enable_breaker.
+  [[nodiscard]] net::CircuitBreaker* breaker() {
+    return breaker_ ? &*breaker_ : nullptr;
+  }
+  /// Reads failed fast in cache-only degraded mode while the breaker was
+  /// open (they needed blocks the cache did not have).
+  [[nodiscard]] std::uint64_t degraded_rejects() const { return degraded_rejects_; }
+
  private:
   struct DirtyRange {
     std::set<std::uint64_t> blocks;  // block indices with buffered writes
@@ -90,7 +110,10 @@ class VfsProxy {
   /// and fires their waiters on arrival.
   void fetch_run(const std::string& path, std::uint64_t start_block,
                  std::uint64_t nblocks,
-                 std::function<void(const storage::NfsIoResult&)> done);
+                 std::function<void(const storage::NfsIoResult&)> done,
+                 sim::Duration deadline_budget = sim::Duration::infinite());
+  /// Breaker bookkeeping for one server round-trip's outcome.
+  void feed_breaker(const storage::NfsIoResult& r);
   void block_arrived(const std::string& path, std::uint64_t block,
                      std::optional<std::uint64_t> version);
 
@@ -104,6 +127,8 @@ class VfsProxy {
   std::unordered_map<BlockKey, std::vector<std::function<void()>>, BlockKeyHash> pending_;
   sim::EventId flush_event_{};
   bool flushing_{false};
+  std::optional<net::CircuitBreaker> breaker_;
+  std::uint64_t degraded_rejects_{0};
   // Registry-owned counters cached at construction (registry guarantees
   // reference stability).
   obs::Counter* reads_{nullptr};
@@ -112,6 +137,9 @@ class VfsProxy {
   obs::Counter* bytes_written_{nullptr};
   obs::Counter* prefetched_{nullptr};
   obs::Counter* flushes_{nullptr};
+  obs::Counter* degraded_counter_{nullptr};   // registered only with breaker
+  obs::Counter* transitions_counter_{nullptr};
+  obs::Gauge* breaker_gauge_{nullptr};
 };
 
 }  // namespace vmgrid::vfs

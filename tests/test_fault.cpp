@@ -15,6 +15,8 @@
 #include "sim/replication.hpp"
 #include "storage/nfs_client.hpp"
 #include "storage/nfs_server.hpp"
+#include "vfs/grid_vfs.hpp"
+#include "workload/spec_benchmarks.hpp"
 #include "workload/task_spec.hpp"
 
 namespace vmgrid {
@@ -206,6 +208,146 @@ TEST(NfsFault, ReadRetriesAcrossServerOutage) {
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->ok);
   EXPECT_EQ(result->status, net::RpcStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-path failure injection: daemon death, proxy propagation, cache
+// survival. The middleware must degrade with typed errors, not hangs.
+
+struct NfsCrashFixture : ::testing::Test {
+  sim::Simulation sim{302};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  net::NodeId server_node = net.add_node("server");
+  net::NodeId client_node = net.add_node("client");
+  storage::Disk disk{sim, {}};
+  storage::LocalFileSystem fs{sim, disk};
+  std::optional<storage::NfsServer> server;
+
+  NfsCrashFixture() {
+    net.add_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::millis(5), 1e6});
+    fs.create("data", storage::kBlockSize * 512);
+    server.emplace(fabric, server_node, fs);
+  }
+};
+
+TEST_F(NfsCrashFixture, ReadsAfterCrashReportConnectionRefused) {
+  storage::NfsClient client{fabric, client_node, server_node};
+  server.reset();  // daemon dies
+  std::optional<storage::NfsIoResult> result;
+  client.read("data", 0, storage::kBlockSize * 4,
+              [&](storage::NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->status, net::RpcStatus::kConnectionRefused);
+}
+
+TEST_F(NfsCrashFixture, VfsProxyPropagatesServerLoss) {
+  storage::NfsClient client{fabric, client_node, server_node};
+  vfs::VfsProxy proxy{sim, client};
+  server.reset();
+  std::optional<vfs::VfsIoStats> result;
+  proxy.read("data", 0, storage::kBlockSize * 8,
+             [&](vfs::VfsIoStats s) { result = std::move(s); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->error.empty());
+}
+
+TEST_F(NfsCrashFixture, CachedBlocksSurviveServerLoss) {
+  storage::NfsClient client{fabric, client_node, server_node};
+  vfs::VfsProxy proxy{sim, client, vfs::VfsProxyParams{.prefetch_blocks = 0}};
+  // Warm the cache, then kill the server.
+  std::optional<vfs::VfsIoStats> warm;
+  proxy.read("data", 0, storage::kBlockSize * 8,
+             [&](vfs::VfsIoStats s) { warm = s; });
+  sim.run();
+  ASSERT_TRUE(warm && warm->ok);
+  server.reset();
+  std::optional<vfs::VfsIoStats> cached;
+  proxy.read("data", 0, storage::kBlockSize * 8,
+             [&](vfs::VfsIoStats s) { cached = s; });
+  sim.run();
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(cached->ok);  // served entirely from cache
+  EXPECT_EQ(cached->rpcs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Middleware failure injection: pool exhaustion and broken guest I/O
+// degrade the session, never wedge it.
+
+TEST(FailureInjection, DhcpExhaustionDoesNotKillTheSession) {
+  testbed::WideAreaTestbed tb{303};
+  tb.compute->publish(tb.grid->info());
+  // Drain the host's address pool.
+  const auto pool = tb.compute->dhcp().pool_size();
+  for (std::size_t i = 0; i < pool; ++i) {
+    tb.compute->dhcp().request_lease(tb.compute->node(), [](auto) {});
+  }
+  tb.grid->run();
+  ASSERT_EQ(tb.compute->dhcp().leased_count(), pool);
+
+  SessionRequest req;
+  req.user = "netless";
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* session = nullptr;
+  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string) { session = s; });
+  tb.grid->run();
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->machine().state(), vm::VmPowerState::kRunning);
+  EXPECT_FALSE(session->ip().valid());  // degraded: no address, still usable
+  session->shutdown();
+}
+
+TEST(FailureInjection, SessionFailsCleanlyWhenHostMemoryExhausted) {
+  testbed::WideAreaTestbed tb{304};
+  tb.compute->publish(tb.grid->info());
+  ASSERT_TRUE(tb.compute->host().reserve_memory(tb.compute->host().free_memory_mb()));
+
+  SessionRequest req;
+  req.user = "unlucky";
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* session = nullptr;
+  std::string error;
+  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string e) {
+    session = s;
+    error = std::move(e);
+  });
+  tb.grid->run();
+  EXPECT_EQ(session, nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(tb.grid->sessions().active_sessions(), 0u);
+}
+
+TEST(FailureInjection, TaskReportsIoErrorsWithoutHanging) {
+  // A VM whose virtual disk points at a file the image server never had:
+  // the guest task completes with ok=false instead of wedging the run.
+  testbed::StartupTestbed tb{305};
+  auto& cs = *tb.compute;
+  auto& mount = tb.grid->gvfs().mount(cs.node(), tb.images->node(), {});
+  vm::VmStorage storage;
+  storage.disk = vm::make_vfs_accessor(mount.proxy(), "nonexistent.disk", 0.0005);
+  auto cfg = testbed::paper_vm("broken");
+  auto image = testbed::paper_image();
+  auto& vmachine = cs.vmm().create_vm(cfg, image, std::move(storage));
+  // Boot would also fail on the bad disk; drive the state machine past it.
+  vmachine.adopt_suspended_state(/*in_memory=*/true);
+  vmachine.resume([] {});
+  tb.grid->run();
+  ASSERT_EQ(vmachine.state(), vm::VmPowerState::kRunning);
+
+  workload::TaskSpec spec = workload::micro_test_task(1.0);
+  spec.io_read_bytes = 1 << 20;
+  spec.phases = 2;
+  std::optional<vm::TaskResult> result;
+  vmachine.run_task(spec, [&](vm::TaskResult r) { result = std::move(r); });
+  tb.grid->run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
 }
 
 // ---------------------------------------------------------------------------

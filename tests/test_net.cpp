@@ -156,6 +156,53 @@ TEST_F(RpcFixture, UnboundNodeRefusesConnection) {
   EXPECT_TRUE(refused);
 }
 
+TEST_F(RpcFixture, TotalDeadlineBoundsRetriesAcrossAttempts) {
+  // A dead server with a generous retry policy: per-attempt deadlines of
+  // 1 s x 5 attempts plus backoff would take >5 s to fail. The total
+  // deadline must cut the whole call off at 1.5 s, regardless of which
+  // attempt or backoff window it lands in.
+  RpcServer server{fabric, server_node};
+  server.register_method("echo", [](const RpcRequest&, RpcResponder r) { r({}); });
+  net.set_node_up(server_node, false);
+  RpcCallOptions opts;
+  opts.deadline = sim::Duration::seconds(1);
+  opts.max_attempts = 5;
+  opts.backoff_base = sim::Duration::millis(500);
+  opts.total_deadline = sim::Duration::millis(1500);
+  std::optional<RpcResponse> resp;
+  std::optional<sim::TimePoint> completed_at;
+  fabric.call(client, server_node, RpcRequest{"echo", 64, {}}, opts,
+              [&](RpcResponse r) {
+                resp = std::move(r);
+                completed_at = sim.now();
+              });
+  sim.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->status, RpcStatus::kTimeout);
+  EXPECT_NE(resp->error.find("total deadline"), std::string::npos);
+  ASSERT_TRUE(completed_at.has_value());
+  EXPECT_NEAR((*completed_at - sim::TimePoint::epoch()).to_seconds(), 1.5, 1e-9);
+  // Only the orphaned backoff no-op may outlive the settle; the retry
+  // ladder itself (which would reach past 5 s) is gone.
+  EXPECT_LT(sim.now().to_seconds(), 5.0);
+}
+
+TEST_F(RpcFixture, TotalDeadlineIsANoOpWhenGenerous) {
+  RpcServer server{fabric, server_node};
+  server.register_method("echo", [](const RpcRequest&, RpcResponder r) {
+    r(RpcResponse{.ok = true, .error = {}, .response_bytes = 64, .payload = {}});
+  });
+  RpcCallOptions opts;
+  opts.total_deadline = sim::Duration::seconds(30);
+  std::optional<RpcResponse> resp;
+  fabric.call(client, server_node, RpcRequest{"echo", 64, {}}, opts,
+              [&](RpcResponse r) { resp = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok);
+}
+
 TEST_F(RpcFixture, DuplicateMethodRegistrationThrows) {
   RpcServer server{fabric, server_node};
   server.register_method("m", [](const RpcRequest&, RpcResponder r) { r({}); });

@@ -1,0 +1,719 @@
+// Overload protection: retry budgets, circuit breakers, bounded server
+// admission queues with priority shedding, end-to-end deadline
+// propagation through the NFS/VFS chain, middleware admission limits,
+// and the kOverload fault. The common thread: offered load past
+// capacity must produce fast typed rejections and bounded retry volume,
+// never unbounded queues or retry storms.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "middleware/scheduler_service.hpp"
+#include "middleware/testbed.hpp"
+#include "net/overload.hpp"
+#include "net/rpc.hpp"
+#include "storage/nfs_client.hpp"
+#include "storage/nfs_server.hpp"
+#include "vfs/grid_vfs.hpp"
+#include "workload/spec_benchmarks.hpp"
+
+namespace vmgrid {
+namespace {
+
+using namespace middleware;
+
+// ---------------------------------------------------------------------------
+// RetryBudget: a plain token bucket
+
+TEST(RetryBudget, SpendsUntilEmptyThenDenies) {
+  net::RetryBudgetParams p;
+  p.capacity = 3.0;
+  p.initial = 3.0;
+  net::RetryBudget b{p};
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_TRUE(b.try_spend());
+  EXPECT_FALSE(b.try_spend());  // dry
+  EXPECT_EQ(b.spent(), 3u);
+  EXPECT_EQ(b.denied(), 1u);
+  EXPECT_LT(b.tokens(), 1.0);
+}
+
+TEST(RetryBudget, SuccessesRefillUpToCapacity) {
+  net::RetryBudgetParams p;
+  p.capacity = 2.0;
+  p.initial = 0.0;
+  p.refill_per_success = 0.5;
+  net::RetryBudget b{p};
+  EXPECT_FALSE(b.try_spend());
+  b.on_success();
+  b.on_success();  // 1.0 token: one retry affordable again
+  EXPECT_TRUE(b.try_spend());
+  for (int i = 0; i < 100; ++i) b.on_success();
+  EXPECT_DOUBLE_EQ(b.tokens(), 2.0);  // capped at capacity
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker: the state machine in isolation (time passed in)
+
+sim::TimePoint at(double s) {
+  return sim::TimePoint::epoch() + sim::Duration::seconds(s);
+}
+
+TEST(CircuitBreaker, TripsOnConsecutiveFailuresOnly) {
+  net::CircuitBreakerParams p;
+  p.failure_threshold = 3;
+  net::CircuitBreaker cb{p};
+  cb.on_failure(at(0));
+  cb.on_failure(at(1));
+  cb.on_success(at(2));  // resets the consecutive count
+  cb.on_failure(at(3));
+  cb.on_failure(at(4));
+  EXPECT_EQ(cb.state(), net::BreakerState::kClosed);
+  cb.on_failure(at(5));
+  EXPECT_EQ(cb.state(), net::BreakerState::kOpen);
+  EXPECT_FALSE(cb.allow(at(6)));
+}
+
+TEST(CircuitBreaker, HalfOpenProbesThenRecovers) {
+  net::CircuitBreakerParams p;
+  p.failure_threshold = 1;
+  p.open_duration = sim::Duration::seconds(10);
+  p.half_open_probes = 1;
+  net::CircuitBreaker cb{p};
+  std::vector<std::pair<net::BreakerState, net::BreakerState>> hops;
+  cb.set_transition_hook([&](net::BreakerState from, net::BreakerState to) {
+    hops.emplace_back(from, to);
+  });
+  cb.on_failure(at(0));
+  ASSERT_EQ(cb.state(), net::BreakerState::kOpen);
+  EXPECT_FALSE(cb.allow(at(5)));  // still open
+  EXPECT_TRUE(cb.allow(at(11)));  // open_duration elapsed: probe admitted
+  EXPECT_EQ(cb.state(), net::BreakerState::kHalfOpen);
+  EXPECT_FALSE(cb.allow(at(11)));  // only one probe slot
+  cb.on_success(at(12));
+  EXPECT_EQ(cb.state(), net::BreakerState::kClosed);
+  EXPECT_TRUE(cb.allow(at(13)));
+  ASSERT_EQ(hops.size(), 3u);  // closed->open, open->half, half->closed
+  EXPECT_EQ(cb.transitions(), 3u);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  net::CircuitBreakerParams p;
+  p.failure_threshold = 1;
+  p.open_duration = sim::Duration::seconds(10);
+  net::CircuitBreaker cb{p};
+  cb.on_failure(at(0));
+  ASSERT_TRUE(cb.allow(at(11)));
+  cb.on_failure(at(12));  // the probe failed
+  EXPECT_EQ(cb.state(), net::BreakerState::kOpen);
+  EXPECT_FALSE(cb.allow(at(13)));
+  EXPECT_TRUE(cb.allow(at(23)));  // a fresh open window from t=12
+}
+
+// ---------------------------------------------------------------------------
+// RPC server admission: bounded queue, fast rejection, priority, aging
+
+struct AdmissionFixture : ::testing::Test {
+  sim::Simulation sim{91};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  net::NodeId a = net.add_node("a");
+  net::NodeId b = net.add_node("b");
+
+  AdmissionFixture() {
+    net.add_link(a, b, net::LinkParams{sim::Duration::millis(1), 1e9});
+  }
+
+  /// A handler that occupies its admission slot for `service`.
+  static void register_slow(net::RpcServer& server, sim::Simulation& sim,
+                            sim::Duration service) {
+    server.register_method(
+        "work", [&sim, service](const net::RpcRequest&, net::RpcResponder respond) {
+          sim.schedule_after(service, [respond = std::move(respond)] {
+            respond(net::RpcResponse{});
+          });
+        });
+  }
+
+  struct Tally {
+    int ok{0};
+    int overloaded{0};
+    int other{0};
+  };
+
+  void burst(int n, Tally& t, net::RpcPriority prio = net::RpcPriority::kBulk) {
+    for (int i = 0; i < n; ++i) {
+      fabric.call(a, b, net::RpcRequest{"work", 64, {}, prio},
+                  [&t](net::RpcResponse r) {
+                    if (r.ok) {
+                      ++t.ok;
+                    } else if (r.status == net::RpcStatus::kOverloaded) {
+                      ++t.overloaded;
+                    } else {
+                      ++t.other;
+                    }
+                  });
+    }
+  }
+};
+
+TEST_F(AdmissionFixture, UnlimitedByDefault) {
+  net::RpcServer server{fabric, b};  // admission.max_concurrent = 0
+  register_slow(server, sim, sim::Duration::millis(10));
+  Tally t;
+  burst(32, t);
+  sim.run();
+  EXPECT_EQ(t.ok, 32);
+  EXPECT_EQ(server.calls_shed(), 0u);
+}
+
+TEST_F(AdmissionFixture, FullQueueFastRejectsWithKOverloaded) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 1;
+  p.admission.queue_depth = 2;
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(50));
+  Tally t;
+  burst(6, t);
+  sim.run();
+  // 1 in service + 2 queued make it; 3 are shed, and the rejection is
+  // immediate (fast-fail), not after the queue drains.
+  EXPECT_EQ(t.ok, 3);
+  EXPECT_EQ(t.overloaded, 3);
+  EXPECT_EQ(t.other, 0);
+  EXPECT_EQ(server.calls_shed(), 3u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.active_calls(), 0u);
+}
+
+TEST_F(AdmissionFixture, SlotReleasePumpsTheQueue) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 2;
+  p.admission.queue_depth = 8;
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(10));
+  Tally t;
+  burst(10, t);
+  sim.run();
+  EXPECT_EQ(t.ok, 10);  // all fit through the queue eventually
+  EXPECT_EQ(server.calls_shed(), 0u);
+}
+
+TEST_F(AdmissionFixture, ControlPriorityEvictsOldestBulkWaiter) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 1;
+  p.admission.queue_depth = 2;
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(50));
+  Tally bulk;
+  burst(3, bulk);  // fills the slot + both queue slots
+  Tally control;
+  sim.schedule_after(sim::Duration::millis(5),
+                     [&] { burst(1, control, net::RpcPriority::kControl); });
+  sim.run();
+  // The control call took a queue slot from the oldest bulk waiter.
+  EXPECT_EQ(control.ok, 1);
+  EXPECT_EQ(control.overloaded, 0);
+  EXPECT_EQ(bulk.ok, 2);
+  EXPECT_EQ(bulk.overloaded, 1);
+}
+
+TEST_F(AdmissionFixture, StaleWaitersAreShedAtDequeue) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 1;
+  p.admission.queue_depth = 16;
+  p.admission.max_queue_age = sim::Duration::millis(20);
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(100));
+  Tally t;
+  burst(5, t);
+  sim.run();
+  // Each service takes 100 ms; every waiter is >20 ms old when its turn
+  // comes, so only the first call is actually served.
+  EXPECT_EQ(t.ok, 1);
+  EXPECT_EQ(t.overloaded, 4);
+}
+
+TEST_F(AdmissionFixture, SyntheticLoadOccupiesSlotsUntilCleared) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 2;
+  p.admission.queue_depth = 0;  // no queue: reject unless a slot is free
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(1));
+  server.set_synthetic_load(2);
+  Tally during;
+  burst(2, during);
+  sim.schedule_after(sim::Duration::millis(100), [&] {
+    server.set_synthetic_load(0);
+  });
+  Tally after;
+  sim.schedule_after(sim::Duration::millis(200), [&] { burst(2, after); });
+  sim.run();
+  EXPECT_EQ(during.overloaded, 2);
+  EXPECT_EQ(after.ok, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Retry budgets at the fabric level: storms bounded, shed calls retried
+
+TEST_F(AdmissionFixture, DeliveredOverloadIsRetriedAndCanRecover) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 1;
+  p.admission.queue_depth = 0;
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(1));
+  server.set_synthetic_load(1);  // first attempt is shed...
+  sim.schedule_after(sim::Duration::millis(100),
+                     [&] { server.set_synthetic_load(0); });  // ...retry isn't
+  net::RpcCallOptions opts;
+  opts.max_attempts = 3;
+  opts.backoff_base = sim::Duration::millis(200);
+  opts.backoff_jitter = 0.0;
+  std::optional<net::RpcResponse> resp;
+  fabric.call(a, b, net::RpcRequest{"work", 64, {}}, opts,
+              [&](net::RpcResponse r) { resp = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok);
+  EXPECT_GT(sim.metrics().counter_value("rpc.retries"), 0.0);
+}
+
+TEST_F(AdmissionFixture, RetryStormIsBoundedByTheBudget) {
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 1;
+  p.admission.queue_depth = 0;
+  net::RpcServer server{fabric, b, p};
+  register_slow(server, sim, sim::Duration::millis(1));
+  server.set_synthetic_load(1);  // permanently overloaded
+
+  net::RetryBudgetParams bp;
+  bp.capacity = 4.0;
+  bp.initial = 4.0;
+  net::RetryBudget budget{bp};
+  net::RpcCallOptions opts;
+  opts.max_attempts = 10;  // would be 9 retries per call, unbudgeted
+  opts.backoff_base = sim::Duration::millis(10);
+  opts.retry_budget = &budget;
+
+  int failed = 0;
+  for (int i = 0; i < 8; ++i) {
+    fabric.call(a, b, net::RpcRequest{"work", 64, {}}, opts,
+                [&](net::RpcResponse r) {
+                  EXPECT_FALSE(r.ok);
+                  EXPECT_EQ(r.status, net::RpcStatus::kOverloaded);
+                  ++failed;
+                });
+  }
+  sim.run();
+  EXPECT_EQ(failed, 8);
+  // 8 calls x 9 possible retries = 72 unbudgeted; the bucket allows 4.
+  // No successes happened, so nothing refilled: the obs counter must
+  // equal the budget exactly, and the denials are visible too.
+  EXPECT_EQ(budget.spent(), 4u);
+  EXPECT_DOUBLE_EQ(sim.metrics().counter_value("rpc.retries"), 4.0);
+  EXPECT_GT(sim.metrics().counter_value("rpc.retry_budget_denied"), 0.0);
+  EXPECT_EQ(budget.denied(),
+            static_cast<std::uint64_t>(
+                sim.metrics().counter_value("rpc.retry_budget_denied")));
+  // Total attempts: 8 first attempts + 4 budgeted retries.
+  EXPECT_EQ(server.calls_shed(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// NFS client: deadline budgets propagate, retry budget wires through
+
+struct NfsOverloadFixture : ::testing::Test {
+  sim::Simulation sim{92};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  net::NodeId client_node = net.add_node("client");
+  net::NodeId server_node = net.add_node("server");
+  storage::Disk disk{sim, {}};
+  storage::LocalFileSystem fs{sim, disk};
+  std::optional<storage::NfsServer> server;
+
+  NfsOverloadFixture() {
+    net.add_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::millis(5), 1e7});
+    fs.create("data", storage::kBlockSize * 256);
+    server.emplace(fabric, server_node, fs);
+  }
+};
+
+TEST_F(NfsOverloadFixture, DeadlineBudgetBoundsAMultiBlockTransfer) {
+  // Degrade the link so every block RPC takes ~20 s; a 200 ms budget must
+  // cut the whole transfer off at ~200 ms, not per-RPC x blocks later.
+  net.set_link(client_node, server_node,
+               net::LinkParams{sim::Duration::seconds(10), 1e7});
+  storage::NfsClientParams params;
+  params.rpc.deadline = sim::Duration::seconds(30);
+  storage::NfsClient client{fabric, client_node, server_node, params};
+  std::optional<storage::NfsIoResult> result;
+  std::optional<sim::TimePoint> completed_at;
+  client.read("data", 0, storage::kBlockSize * 32, sim::Duration::millis(200),
+              [&](storage::NfsIoResult r) {
+                result = std::move(r);
+                completed_at = sim.now();
+              });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->status, net::RpcStatus::kTimeout);
+  // The caller hears about it at the budget, not after per-RPC x blocks
+  // (orphaned transport events may still drain afterwards).
+  ASSERT_TRUE(completed_at.has_value());
+  EXPECT_LE(*completed_at - sim::TimePoint::epoch(), sim::Duration::millis(250));
+}
+
+TEST_F(NfsOverloadFixture, DeadlineBudgetLeavesFastTransfersAlone) {
+  storage::NfsClient client{fabric, client_node, server_node};
+  std::optional<storage::NfsIoResult> result;
+  client.read("data", 0, storage::kBlockSize * 8, sim::Duration::seconds(30),
+              [&](storage::NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+}
+
+TEST_F(NfsOverloadFixture, ClientRetryBudgetBoundsOutageRetries) {
+  storage::NfsClientParams params;
+  params.rpc.deadline = sim::Duration::millis(100);
+  params.rpc.max_attempts = 8;
+  params.rpc.backoff_base = sim::Duration::millis(10);
+  params.enable_retry_budget = true;
+  params.retry_budget.capacity = 2.0;
+  params.retry_budget.initial = 2.0;
+  storage::NfsClient client{fabric, client_node, server_node, params};
+  ASSERT_NE(client.retry_budget(), nullptr);
+  net.set_node_up(server_node, false);  // permanent outage
+  std::optional<storage::NfsIoResult> result;
+  client.read("data", 0, storage::kBlockSize * 4,
+              [&](storage::NfsIoResult r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(client.retry_budget()->spent(), 2u);
+  EXPECT_GT(client.retry_budget()->denied(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// VFS proxy circuit breaker: trip, degrade to cache-only, recover
+
+struct BreakerFixture : NfsOverloadFixture {
+  static vfs::VfsProxyParams breaker_params() {
+    vfs::VfsProxyParams p;
+    p.prefetch_blocks = 0;
+    p.enable_breaker = true;
+    p.breaker.failure_threshold = 2;
+    p.breaker.open_duration = sim::Duration::seconds(5);
+    return p;
+  }
+
+  void degrade_link() {
+    net.set_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::seconds(30), 1e7});
+  }
+  void restore_link() {
+    net.set_link(client_node, server_node,
+                 net::LinkParams{sim::Duration::millis(5), 1e7});
+  }
+};
+
+TEST_F(BreakerFixture, TimeoutsTripTheBreakerIntoCacheOnlyMode) {
+  storage::NfsClientParams cp;
+  cp.rpc.deadline = sim::Duration::millis(100);
+  storage::NfsClient client{fabric, client_node, server_node, cp};
+  vfs::VfsProxy proxy{sim, client, breaker_params()};
+  ASSERT_NE(proxy.breaker(), nullptr);
+
+  // Warm one run into the cache while the path is healthy.
+  std::optional<vfs::VfsIoStats> warm;
+  proxy.read("data", 0, storage::kBlockSize * 4,
+             [&](vfs::VfsIoStats s) { warm = s; });
+  sim.run();
+  ASSERT_TRUE(warm && warm->ok);
+
+  degrade_link();
+  // One scripted timeline inside a single run (the degraded link's
+  // orphaned transport events take ~60 s of sim time to drain, which
+  // would blow past the 5 s open window between separate run() calls).
+  // Two timed-out misses trip the breaker; inside the open window a miss
+  // is rejected fast while a cached read still works.
+  std::optional<vfs::VfsIoStats> m0, m1, rejected, cached;
+  std::optional<net::BreakerState> state_after_trip;
+  proxy.read("data", storage::kBlockSize * 64, storage::kBlockSize * 4,
+             [&](vfs::VfsIoStats s) { m0 = s; });  // times out at ~100 ms
+  sim.schedule_after(sim::Duration::millis(200), [&] {
+    proxy.read("data", storage::kBlockSize * 72, storage::kBlockSize * 4,
+               [&](vfs::VfsIoStats s) { m1 = s; });  // second trip at ~300 ms
+  });
+  sim.schedule_after(sim::Duration::millis(500), [&] {
+    state_after_trip = proxy.breaker()->state();
+    proxy.read("data", storage::kBlockSize * 128, storage::kBlockSize * 4,
+               [&](vfs::VfsIoStats s) { rejected = s; });
+  });
+  sim.schedule_after(sim::Duration::millis(600), [&] {
+    proxy.read("data", 0, storage::kBlockSize * 4,
+               [&](vfs::VfsIoStats s) { cached = s; });
+  });
+  sim.run();
+
+  ASSERT_TRUE(m0 && m1);
+  EXPECT_FALSE(m0->ok);
+  EXPECT_FALSE(m1->ok);
+  ASSERT_TRUE(state_after_trip.has_value());
+  EXPECT_EQ(*state_after_trip, net::BreakerState::kOpen);
+
+  // The miss inside the open window failed fast, network untouched...
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_FALSE(rejected->ok);
+  EXPECT_NE(rejected->error.find("circuit open"), std::string::npos);
+  EXPECT_EQ(rejected->rpcs, 0u);
+  EXPECT_EQ(proxy.degraded_rejects(), 1u);
+
+  // ...while cached blocks were still served (degraded, not dead).
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(cached->ok);
+  EXPECT_EQ(cached->rpcs, 0u);
+}
+
+TEST_F(BreakerFixture, HalfOpenProbeRecoversTheProxy) {
+  storage::NfsClientParams cp;
+  cp.rpc.deadline = sim::Duration::millis(100);
+  storage::NfsClient client{fabric, client_node, server_node, cp};
+  vfs::VfsProxy proxy{sim, client, breaker_params()};
+
+  degrade_link();
+  for (int i = 0; i < 2; ++i) {
+    proxy.read("data", storage::kBlockSize * i * 8, storage::kBlockSize * 4,
+               [](vfs::VfsIoStats) {});
+    sim.run();
+  }
+  ASSERT_EQ(proxy.breaker()->state(), net::BreakerState::kOpen);
+
+  // Path heals; after open_duration the next miss is admitted as the
+  // half-open probe, succeeds, and closes the breaker.
+  restore_link();
+  std::optional<vfs::VfsIoStats> probe;
+  sim.schedule_after(sim::Duration::seconds(6), [&] {
+    proxy.read("data", storage::kBlockSize * 64, storage::kBlockSize * 4,
+               [&](vfs::VfsIoStats s) { probe = s; });
+  });
+  sim.run();
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(probe->ok);
+  EXPECT_EQ(proxy.breaker()->state(), net::BreakerState::kClosed);
+  EXPECT_GE(proxy.breaker()->transitions(), 3u);
+}
+
+TEST_F(BreakerFixture, ProxyIoDeadlineBoundsDemandFetches) {
+  storage::NfsClientParams cp;
+  cp.rpc.deadline = sim::Duration::seconds(60);  // per-attempt: useless here
+  storage::NfsClient client{fabric, client_node, server_node, cp};
+  vfs::VfsProxyParams pp;
+  pp.prefetch_blocks = 0;
+  pp.io_deadline = sim::Duration::millis(200);
+  vfs::VfsProxy proxy{sim, client, pp};
+  degrade_link();
+  std::optional<vfs::VfsIoStats> r;
+  std::optional<sim::TimePoint> completed_at;
+  proxy.read("data", 0, storage::kBlockSize * 4, [&](vfs::VfsIoStats s) {
+    r = s;
+    completed_at = sim.now();
+  });
+  sim.run();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+  ASSERT_TRUE(completed_at.has_value());
+  EXPECT_LE(*completed_at - sim::TimePoint::epoch(), sim::Duration::millis(250));
+}
+
+// ---------------------------------------------------------------------------
+// Middleware admission limits: GRAM, scheduler, compute server
+
+TEST(MiddlewareAdmission, GramGatekeeperShedsPastActiveJobLimit) {
+  Grid grid{93};
+  auto params = testbed::paper_compute("gate", testbed::fig1_host());
+  params.gram.max_active_jobs = 1;
+  auto& cs = grid.add_compute_server(params);
+  cs.gram().set_executor([&grid](const std::string&, GramService::ExecutorDone done) {
+    grid.simulation().schedule_after(sim::Duration::seconds(60),
+                                     [done] { done(true, "late"); });
+  });
+  const auto client_node = grid.network().add_node("client");
+  grid.network().add_link(client_node, cs.node(),
+                          net::LinkParams{sim::Duration::millis(1), 1e9});
+  GramClient client{grid.fabric(), client_node};
+  std::vector<GramJobResult> results;
+  for (int i = 0; i < 3; ++i) {
+    client.globusrun(cs.node(), "job", [&](GramJobResult r) {
+      results.push_back(std::move(r));
+    });
+  }
+  grid.run();
+  ASSERT_EQ(results.size(), 3u);
+  int ok = 0, shed = 0;
+  for (const auto& r : results) {
+    if (r.ok) {
+      ++ok;
+    } else {
+      ++shed;
+      EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(cs.gram().jobs_shed(), 2u);
+  EXPECT_EQ(cs.gram().active_jobs(), 0u);  // the accepted one finished
+}
+
+TEST(MiddlewareAdmission, SchedulerShedsWhenQueueFull) {
+  Grid grid{94};
+  auto& h1 = grid.add_compute_server(
+      testbed::paper_compute("farm-1", testbed::fig1_host()));
+  h1.preload_image(testbed::paper_image());
+  SchedulerServiceParams p;
+  p.policy = PlacementPolicy::kLeastLoaded;
+  p.max_queued_jobs = 2;
+  SchedulerService sched{grid, p};
+  sched.add_worker_host(h1, testbed::paper_image());
+  int ok = 0, shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched.submit("team", workload::micro_test_task(5.0), [&](BatchJobResult r) {
+      if (r.ok) {
+        ++ok;
+      } else {
+        ++shed;
+        EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+      }
+    });
+  }
+  grid.run();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 3);
+  EXPECT_EQ(sched.jobs_shed(), 3u);
+}
+
+TEST(MiddlewareAdmission, ComputeServerBoundsPendingInstantiations) {
+  Grid grid{95};
+  auto params = testbed::paper_compute("busy", testbed::fig1_host());
+  params.max_pending_instantiations = 1;
+  auto& cs = grid.add_compute_server(params);
+  cs.preload_image(testbed::paper_image());
+  InstantiateOptions opts;
+  opts.config = testbed::paper_vm("vm");
+  opts.image = testbed::paper_image();
+  opts.mode = VmStartMode::kColdBoot;
+  opts.access = StateAccess::kNonPersistentLocal;
+  std::vector<InstantiationStats> stats;
+  for (int i = 0; i < 3; ++i) {
+    auto o = opts;
+    o.config.name = "vm-" + std::to_string(i);
+    cs.instantiate(o, [&](vm::VirtualMachine*, InstantiationStats s) {
+      stats.push_back(std::move(s));
+    });
+  }
+  grid.run();
+  ASSERT_EQ(stats.size(), 3u);
+  int ok = 0, shed = 0;
+  for (const auto& s : stats) {
+    if (s.ok) {
+      ++ok;
+    } else {
+      ++shed;
+      EXPECT_NE(s.error.find("overloaded"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(shed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// kOverload fault: plan generation stays byte-compatible, injection works
+
+TEST(OverloadFault, FourListRandomIsByteIdenticalWhenWeightIsZero) {
+  fault::RandomFaultOptions opts;
+  opts.events_per_hour = 120.0;
+  opts.horizon = sim::Duration::seconds(1800);
+  const std::vector<std::string> hosts{"h0", "h1"};
+  const std::vector<std::string> servers{"s0"};
+  const std::vector<std::string> links{"l0"};
+  const auto legacy = fault::FaultPlan::random(7, opts, hosts, servers, links);
+  const auto with_targets =
+      fault::FaultPlan::random(7, opts, hosts, servers, links, {"rpc0", "rpc1"});
+  ASSERT_EQ(legacy.events().size(), with_targets.events().size());
+  for (std::size_t i = 0; i < legacy.events().size(); ++i) {
+    EXPECT_EQ(legacy.events()[i].at, with_targets.events()[i].at);
+    EXPECT_EQ(legacy.events()[i].kind, with_targets.events()[i].kind);
+    EXPECT_EQ(legacy.events()[i].target, with_targets.events()[i].target);
+  }
+}
+
+TEST(OverloadFault, PositiveWeightDrawsOverloadEvents) {
+  fault::RandomFaultOptions opts;
+  opts.events_per_hour = 600.0;
+  opts.horizon = sim::Duration::seconds(3600);
+  opts.overload_weight = 5.0;
+  opts.overload_slots = 3.0;
+  const auto plan = fault::FaultPlan::random(
+      11, opts, {"h0"}, {"s0"}, {"l0"}, {"rpc0"});
+  bool any = false;
+  for (const auto& ev : plan.events()) {
+    if (ev.kind == fault::FaultKind::kOverload) {
+      any = true;
+      EXPECT_EQ(ev.target, "rpc0");
+      EXPECT_DOUBLE_EQ(ev.magnitude, 3.0);
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(OverloadFault, EngineInjectsAndHealsSyntheticLoad) {
+  sim::Simulation sim{96};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_link(a, b, net::LinkParams{sim::Duration::millis(1), 1e9});
+  net::RpcServerParams p;
+  p.admission.max_concurrent = 2;
+  p.admission.queue_depth = 0;
+  net::RpcServer server{fabric, b, p};
+  server.register_method("echo", [](const net::RpcRequest&, net::RpcResponder r) {
+    r(net::RpcResponse{});
+  });
+
+  fault::FaultEngine engine{sim, net};
+  engine.register_rpc_server("b", server);
+  EXPECT_EQ(engine.rpc_server_names(), std::vector<std::string>{"b"});
+  fault::FaultPlan plan;
+  plan.add(fault::FaultEvent{sim::Duration::millis(100), fault::FaultKind::kOverload,
+                             "b", sim::Duration::seconds(1), 2.0});
+  engine.arm(plan);
+
+  std::optional<net::RpcStatus> during, after;
+  sim.schedule_after(sim::Duration::millis(500), [&] {
+    fabric.call(a, b, net::RpcRequest{"echo", 64, {}},
+                [&](net::RpcResponse r) { during = r.status; });
+  });
+  sim.schedule_after(sim::Duration::seconds(2), [&] {
+    fabric.call(a, b, net::RpcRequest{"echo", 64, {}},
+                [&](net::RpcResponse r) { after = r.status; });
+  });
+  sim.run();
+  ASSERT_TRUE(during.has_value());
+  EXPECT_EQ(*during, net::RpcStatus::kOverloaded);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, net::RpcStatus::kOk);
+  EXPECT_EQ(engine.injected(), 1u);
+  EXPECT_EQ(engine.healed(), 1u);
+  EXPECT_EQ(server.synthetic_load(), 0u);
+}
+
+}  // namespace
+}  // namespace vmgrid

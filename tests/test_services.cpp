@@ -151,6 +151,87 @@ TEST_F(ArchiveFixture, RemoveEndsTheLifecycle) {
   EXPECT_EQ(error, "no such checkpoint");
 }
 
+TEST_F(ArchiveFixture, ThawOfNeverIssuedIdFailsAsynchronously) {
+  // An id the archive never handed out (not merely removed): same typed
+  // error, still delivered via the event loop, never synchronously.
+  bool called = false;
+  archive.thaw(CheckpointId{9999}, *tb.compute, StateAccess::kNonPersistentLocal, {},
+               [&](vm::VirtualMachine* v, std::string e) {
+                 called = true;
+                 EXPECT_EQ(v, nullptr);
+                 EXPECT_EQ(e, "no such checkpoint");
+               });
+  EXPECT_FALSE(called);  // asynchronous even on the error path
+  tb.grid->run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(ArchiveFixture, ThawReportsStateDownloadFailure) {
+  auto* vmachine = boot_vm("stranded");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<CheckpointId> ckpt;
+  archive.hibernate(*tb.compute, *vmachine, "zoe",
+                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+
+  // The serialized state vanishes from the archive's backing store (disk
+  // loss): the download cannot start, and the thaw must fail with the
+  // download error rather than hang. The record survives for diagnosis.
+  tb.images->fs().remove("ckpt-" + std::to_string(ckpt->value()) + ".state");
+  vm::VirtualMachine* fresh = nullptr;
+  std::string error;
+  bool called = false;
+  archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+               [&](vm::VirtualMachine* v, std::string e) {
+                 called = true;
+                 fresh = v;
+                 error = std::move(e);
+               });
+  tb.grid->run();
+  ASSERT_TRUE(called);
+  EXPECT_EQ(fresh, nullptr);
+  EXPECT_NE(error.find("state download failed"), std::string::npos);
+  EXPECT_TRUE(archive.info(*ckpt).has_value());  // not consumed by the failure
+}
+
+TEST_F(ArchiveFixture, TapeTierThawOntoCrashedServerFails) {
+  ArchiveParams fast;
+  fast.tape_after = sim::Duration::minutes(2);
+  fast.sweep_interval = sim::Duration::minutes(1);
+  ArchiveService tape_archive{*tb.grid, *tb.images, fast};
+
+  auto* vmachine = boot_vm("doomed");
+  ASSERT_NE(vmachine, nullptr);
+  std::optional<CheckpointId> ckpt;
+  tape_archive.hibernate(*tb.compute, *vmachine, "zoe",
+                         [&](std::optional<CheckpointId> id) { ckpt = id; });
+  tb.grid->run();
+  ASSERT_TRUE(ckpt.has_value());
+  tb.grid->run_for(sim::Duration::minutes(5));
+  ASSERT_EQ(tape_archive.info(*ckpt)->tier, CheckpointTier::kTape);
+
+  // Target host is dead at thaw time: the archive refuses up front,
+  // before paying the tape mount + recall, and the checkpoint stays
+  // intact on tape for a thaw onto a live host later.
+  tb.compute->crash();
+  vm::VirtualMachine* fresh = nullptr;
+  std::string error;
+  bool called = false;
+  tape_archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
+                    [&](vm::VirtualMachine* v, std::string e) {
+                      called = true;
+                      fresh = v;
+                      error = std::move(e);
+                    });
+  tb.grid->run();
+  ASSERT_TRUE(called);
+  EXPECT_EQ(fresh, nullptr);
+  EXPECT_EQ(error, "target server down");
+  ASSERT_TRUE(tape_archive.info(*ckpt).has_value());  // not consumed
+  EXPECT_EQ(tape_archive.info(*ckpt)->tier, CheckpointTier::kTape);  // no recall paid
+}
+
 TEST_F(ArchiveFixture, HibernateRequiresRunningVm) {
   InstantiateOptions opts;
   opts.config = testbed::paper_vm("off");
