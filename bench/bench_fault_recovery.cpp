@@ -104,7 +104,7 @@ ReplicaResult run_replica(std::size_t rate_idx, std::size_t sample_idx) {
 
   ReplicaResult out;
   g.sessions().set_failover_handler([&out](const FailoverEvent& ev) {
-    if (ev.ok) {
+    if (ev.ok()) {
       ++out.failovers_ok;
       out.rto_s.push_back(ev.downtime.to_seconds());
     } else {
@@ -139,7 +139,7 @@ ReplicaResult run_replica(std::size_t rate_idx, std::size_t sample_idx) {
   req.user = "bench";
   req.want_ip = false;
   req.query.time_bound = sim::Duration::seconds(1);
-  g.sessions().create_session(req, [&](VmSession* s, std::string) {
+  g.sessions().create_session(req, [&](VmSession* s, Status) {
     session = s;
     if (s == nullptr) return;
     out.created = true;
@@ -154,7 +154,7 @@ ReplicaResult run_replica(std::size_t rate_idx, std::size_t sample_idx) {
       spec.name = "unit";
       spec.user_seconds = 2.0;
       session->run_task(spec, [&](vm::TaskResult r) {
-        if (r.ok) {
+        if (r.ok()) {
           ++out.tasks_ok;
           submit();
         } else {

@@ -61,8 +61,8 @@ Outcome run_case(const Case& c, std::uint64_t seed) {
                      [&](vm::TaskResult r) { task_result = std::move(r); });
   grid.run_for(sim::Duration::seconds(30));
 
-  dst.prepare_storage(opts, [&](bool ok, std::string, vm::VmStorage storage) {
-    if (!ok) return;
+  dst.prepare_storage(opts, [&](Status st, vm::VmStorage storage) {
+    if (!st.ok()) return;
     vm::MigrationParams params;
     params.precopy = c.precopy;
     params.dirty_rate_bps = 2e6;
@@ -74,7 +74,7 @@ Outcome run_case(const Case& c, std::uint64_t seed) {
                 });
   });
   grid.run();
-  out.task_survived = task_result.has_value() && task_result->ok;
+  out.task_survived = task_result.has_value() && task_result->ok();
   return out;
 }
 

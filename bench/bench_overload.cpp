@@ -170,7 +170,7 @@ ReplicaResult run_replica(Mode mode, std::size_t load_idx, std::size_t sample_id
     const sim::TimePoint t0 = sim.now();
     fabric.call(clients[client_idx], server_node, net::RpcRequest{"work.unit", 256, {}},
                 o, [&out, &sim, t0](net::RpcResponse resp) {
-                  if (resp.ok) {
+                  if (resp.ok()) {
                     ++out.ok_total;
                     const double lat = (sim.now() - t0).to_seconds();
                     out.latency_s.add(lat);

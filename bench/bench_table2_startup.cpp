@@ -58,16 +58,16 @@ double run_startup_sample(const Cell& cell, std::uint64_t seed) {
     opts.mode = cell.mode;
     opts.access = cell.access;
     cs->instantiate(std::move(opts),
-                    [done = std::move(done)](vm::VirtualMachine* vmachine,
+                    [done = std::move(done)](vm::VirtualMachine*,
                                              InstantiationStats stats) {
-                      done(vmachine != nullptr, stats.error);
+                      done(stats.status, {});
                     });
   });
 
   GramClient client{grid.fabric(), tb.client};
   std::optional<double> elapsed;
   client.globusrun(cs->node(), "start-vm", [&](GramJobResult r) {
-    if (r.ok) elapsed = r.elapsed.to_seconds();
+    if (r.ok()) elapsed = r.elapsed.to_seconds();
   });
   grid.run();
   return elapsed.value_or(-1.0);
@@ -117,7 +117,7 @@ void write_combined_trace() {
                       [&started, done = std::move(done)](vm::VirtualMachine* vmachine,
                                                          InstantiationStats stats) {
                         started = vmachine;
-                        done(vmachine != nullptr, stats.error);
+                        done(stats.status, {});
                       });
     });
     GramClient client{grid.fabric(), tb.client};

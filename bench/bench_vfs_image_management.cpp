@@ -35,8 +35,8 @@ Outcome run_staged(std::uint64_t seed) {
   Outcome out;
   const auto t0 = g.now();
   tb.compute->stage_image(tb.images->fs(), tb.images->node(), testbed::paper_image(),
-                          [&](bool ok) {
-                            if (!ok) return;
+                          [&](Status st) {
+                            if (!st.ok()) return;
                             InstantiateOptions opts;
                             opts.config = testbed::paper_vm("staged-vm");
                             opts.image = testbed::paper_image();

@@ -75,13 +75,13 @@ int main() {
   std::vector<CheckpointId> ckpts;
   for (auto* cs : {&h1, &h2}) {
     for (auto* vmachine : cs->vmm().vms()) {
-      archive.hibernate(*cs, *vmachine, "lab", [&](std::optional<CheckpointId> id) {
-        if (id) {
-          ckpts.push_back(*id);
+      archive.hibernate(*cs, *vmachine, "lab", [&](Result<CheckpointId> id) {
+        if (id.ok()) {
+          ckpts.push_back(id.value());
           std::printf("[t=%7.1fs] hibernated a worker -> checkpoint %llu (%.0f MB)\n",
                       grid.now().to_seconds(),
-                      static_cast<unsigned long long>(id->value()),
-                      static_cast<double>(archive.info(*id)->state_bytes) / (1 << 20));
+                      static_cast<unsigned long long>(id.value().value()),
+                      static_cast<double>(archive.info(id.value())->state_bytes) / (1 << 20));
         }
       });
     }
@@ -95,9 +95,9 @@ int main() {
   // --- morning: thaw one worker and run a follow-up job ---
   if (!ckpts.empty()) {
     archive.thaw(ckpts.front(), h2, StateAccess::kNonPersistentLocal, {},
-                 [&](vm::VirtualMachine* fresh, std::string err) {
+                 [&](vm::VirtualMachine* fresh, Status err) {
                    if (fresh == nullptr) {
-                     std::printf("thaw failed: %s\n", err.c_str());
+                     std::printf("thaw failed: %s\n", err.to_string().c_str());
                      return;
                    }
                    std::printf("[t=%7.1fs] thawed worker on %s; running follow-up\n",

@@ -27,7 +27,7 @@ int main() {
   grid.sessions().set_failover(pol);
   std::uint64_t failovers = 0;
   grid.sessions().set_failover_handler([&](const FailoverEvent& ev) {
-    if (ev.ok) {
+    if (ev.ok()) {
       ++failovers;
       std::printf("[t=%7.1fs] failover: %s -> %s after %.1f s of downtime\n",
                   grid.now().to_seconds(), ev.from_host.c_str(), ev.to_host.c_str(),
@@ -45,9 +45,9 @@ int main() {
   req.want_ip = false;
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* session = nullptr;
-  grid.sessions().create_session(req, [&](VmSession* s, std::string err) {
+  grid.sessions().create_session(req, [&](VmSession* s, Status err) {
     session = s;
-    if (s == nullptr) std::printf("session failed: %s\n", err.c_str());
+    if (s == nullptr) std::printf("session failed: %s\n", err.to_string().c_str());
   });
   grid.run();
   if (session == nullptr) return 1;
@@ -81,7 +81,7 @@ int main() {
     spec.name = "job-" + std::to_string(job);
     spec.user_seconds = 30.0;
     session->run_task(spec, [&, job](vm::TaskResult r) {
-      if (!r.ok) {
+      if (!r.ok()) {
         ++retries;
         std::printf("[t=%7.1fs] %s interrupted by the crash; retrying in 10 s\n",
                     grid.now().to_seconds(), r.task.c_str());

@@ -49,9 +49,9 @@ int main() {
   req.access = StateAccess::kNonPersistentVfs;
   req.query.time_bound = sim::Duration::millis(100);
 
-  grid.sessions().create_session(req, [&](VmSession* s, std::string err) {
+  grid.sessions().create_session(req, [&](VmSession* s, Status err) {
     if (s == nullptr) {
-      std::printf("session failed: %s\n", err.c_str());
+      std::printf("session failed: %s\n", err.to_string().c_str());
       return;
     }
     std::printf("[t=%7.1fs] job placed in VM '%s' on '%s'\n", grid.now().to_seconds(),
@@ -92,9 +92,9 @@ int main() {
         std::printf("[t=%7.1fs] predicted load %.2f > 1.0 -> migrating VM to '%s'\n",
                     grid.now().to_seconds(), predicted, server.name().c_str());
         const auto t0 = grid.now();
-        s->migrate_to(server, [&, s, t0](bool ok) {
+        s->migrate_to(server, [&, s, t0](Status st) {
           std::printf("[t=%7.1fs] migration %s (%.1fs); job continues on '%s'\n",
-                      grid.now().to_seconds(), ok ? "succeeded" : "failed",
+                      grid.now().to_seconds(), st.ok() ? "succeeded" : "failed",
                       (grid.now() - t0).to_seconds(), s->server().name().c_str());
         });
       }

@@ -49,9 +49,9 @@ int main() {
   xreq.access = StateAccess::kNonPersistentVfs;
   xreq.data_server = &data_server;
   xreq.query.time_bound = sim::Duration::millis(100);
-  grid.sessions().create_session(xreq, [&](VmSession* s, std::string err) {
+  grid.sessions().create_session(xreq, [&](VmSession* s, Status err) {
     if (s == nullptr) {
-      std::printf("userX session failed: %s\n", err.c_str());
+      std::printf("userX session failed: %s\n", err.to_string().c_str());
       return;
     }
     std::printf("[t=%7.1fs] userX: dedicated VM '%s' on %s (ip %s)\n",
@@ -75,9 +75,9 @@ int main() {
     sreq.user = "providerS";
     sreq.access = StateAccess::kNonPersistentVfs;
     sreq.query.time_bound = sim::Duration::millis(100);
-    grid.sessions().create_session(sreq, [&, i](VmSession* s, std::string err) {
+    grid.sessions().create_session(sreq, [&, i](VmSession* s, Status err) {
       if (s == nullptr) {
-        std::printf("providerS V%d failed: %s\n", i + 1, err.c_str());
+        std::printf("providerS V%d failed: %s\n", i + 1, err.to_string().c_str());
         return;
       }
       service_vms.push_back(s);

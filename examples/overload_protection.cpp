@@ -64,7 +64,7 @@ int main() {
     for (int i = 0; i < n; ++i) {
       fabric.call(client_node, server_node, net::RpcRequest{"work", 256, {}},
                   opts, [&](net::RpcResponse resp) {
-                    if (resp.ok) {
+                    if (resp.ok()) {
                       ++ok;
                     } else if (resp.status == net::RpcStatus::kOverloaded) {
                       ++overloaded;
@@ -83,7 +83,7 @@ int main() {
     fabric.call(client_node, server_node,
                 net::RpcRequest{"ping", 64, {}, net::RpcPriority::kControl},
                 net::RpcCallOptions{},
-                [&](net::RpcResponse resp) { ping_ok = resp.ok; });
+                [&](net::RpcResponse resp) { ping_ok = resp.ok(); });
   });
 
   // t=1s: a fault engine saturates the admission slots with synthetic

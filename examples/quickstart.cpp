@@ -32,9 +32,9 @@ int main() {
   req.query.time_bound = sim::Duration::millis(100);
 
   VmSession* session = nullptr;
-  grid.sessions().create_session(req, [&](VmSession* s, std::string error) {
+  grid.sessions().create_session(req, [&](VmSession* s, Status error) {
     if (s == nullptr) {
-      std::printf("session failed: %s\n", error.c_str());
+      std::printf("session failed: %s\n", error.to_string().c_str());
       return;
     }
     session = s;

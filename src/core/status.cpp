@@ -1,0 +1,142 @@
+#include "core/status.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace vmgrid {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code == StatusCode::kOk) return;
+  auto rep = std::make_shared<Rep>();
+  rep->code = code;
+  rep->message = std::move(message);
+  rep_ = std::move(rep);
+}
+
+const std::string& Status::message() const {
+  return rep_ == nullptr ? kEmpty : rep_->message;
+}
+
+const std::string& Status::subsystem() const {
+  return rep_ == nullptr ? kEmpty : rep_->subsystem;
+}
+
+const std::string& Status::op() const {
+  return rep_ == nullptr ? kEmpty : rep_->op;
+}
+
+Status Status::at(std::string subsystem, std::string op) && {
+  if (rep_ != nullptr) {
+    auto rep = std::make_shared<Rep>(*rep_);
+    rep->subsystem = std::move(subsystem);
+    rep->op = std::move(op);
+    rep_ = std::move(rep);
+  }
+  return std::move(*this);
+}
+
+Status Status::caused_by(Status cause) && {
+  if (rep_ != nullptr && !cause.ok()) {
+    auto rep = std::make_shared<Rep>(*rep_);
+    rep->cause = std::move(cause.rep_);
+    rep_ = std::move(rep);
+  }
+  return std::move(*this);
+}
+
+Status Status::cause() const {
+  Status out;
+  if (rep_ != nullptr) out.rep_ = rep_->cause;
+  return out;
+}
+
+Status Status::root_cause() const {
+  Status out = *this;
+  while (out.rep_ != nullptr && out.rep_->cause != nullptr) {
+    Status next;
+    next.rep_ = out.rep_->cause;
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::string Status::to_string() const {
+  if (rep_ == nullptr) return "OK";
+  std::string out;
+  for (const Rep* r = rep_.get(); r != nullptr; r = r->cause.get()) {
+    if (!out.empty()) out += " ← ";  // " ← "
+    if (!r->subsystem.empty()) {
+      out += r->subsystem;
+      if (!r->op.empty()) {
+        out += '.';
+        out += r->op;
+      }
+      out += ": ";
+    }
+    if (r->message.empty()) {
+      out += vmgrid::to_string(r->code);
+    } else {
+      out += r->message;
+    }
+  }
+  return out;
+}
+
+Status OkStatus() { return Status{}; }
+Status TimeoutError(std::string message) {
+  return Status{StatusCode::kTimeout, std::move(message)};
+}
+Status OverloadedError(std::string message) {
+  return Status{StatusCode::kOverloaded, std::move(message)};
+}
+Status UnavailableError(std::string message) {
+  return Status{StatusCode::kUnavailable, std::move(message)};
+}
+Status NotFoundError(std::string message) {
+  return Status{StatusCode::kNotFound, std::move(message)};
+}
+Status InvalidArgumentError(std::string message) {
+  return Status{StatusCode::kInvalidArgument, std::move(message)};
+}
+Status FailedPreconditionError(std::string message) {
+  return Status{StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status AbortedError(std::string message) {
+  return Status{StatusCode::kAborted, std::move(message)};
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status{StatusCode::kResourceExhausted, std::move(message)};
+}
+Status InternalError(std::string message) {
+  return Status{StatusCode::kInternal, std::move(message)};
+}
+
+void record_error(obs::MetricsRegistry& metrics, const Status& status) {
+  if (status.ok()) return;
+  const std::string& origin = status.subsystem();
+  metrics
+      .counter("errors_total", {{"subsystem", origin.empty() ? "unknown" : origin},
+                                {"code", to_string(status.code())}})
+      .inc();
+}
+
+}  // namespace vmgrid

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vmgrid::obs {
+class MetricsRegistry;
+}  // namespace vmgrid::obs
+
+namespace vmgrid {
+
+/// Grid-wide failure taxonomy. Every layer — RPC fabric, NFS client, VFS
+/// proxy, VM runtime, middleware services — reports failures through these
+/// codes, so recovery policy (retry, back off, shed, fail over) can branch
+/// on machine-readable causes instead of error-string contents.
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,             ///< deadline expired before a reply arrived
+  kOverloaded,          ///< server shed the request under load
+  kUnavailable,         ///< peer unreachable / connection refused / host down
+  kNotFound,            ///< named thing (file, method, checkpoint) absent
+  kInvalidArgument,     ///< request malformed regardless of system state
+  kFailedPrecondition,  ///< system state forbids the operation (retry won't fix)
+  kAborted,             ///< operation cancelled mid-flight (crash, teardown)
+  kResourceExhausted,   ///< quota/budget spent (retry budget, disk full)
+  kInternal,            ///< invariant broken server-side
+};
+
+[[nodiscard]] const char* to_string(StatusCode code);
+
+/// True for transient failures worth retrying with backoff. Subsumes
+/// net::rpc_status_retryable: a timeout, an unreachable peer, or a shed
+/// request may succeed on a later attempt; a missing file will not.
+[[nodiscard]] constexpr bool retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kTimeout:
+    case StatusCode::kOverloaded:
+    case StatusCode::kUnavailable:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kNotFound:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+/// True for failures that signal downstream pressure: circuit breakers
+/// count these against their trip threshold and shedders treat them as
+/// congestion. Hard faults (kNotFound, kInvalidArgument, ...) are excluded
+/// so a bad request cannot open a breaker against a healthy server, and so
+/// is kUnavailable — a dead peer is the failure detector's business, not
+/// the load shedder's.
+[[nodiscard]] constexpr bool shed_priority(StatusCode code) {
+  switch (code) {
+    case StatusCode::kTimeout:
+    case StatusCode::kOverloaded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kUnavailable:
+    case StatusCode::kNotFound:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAborted:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+/// Value-type operation outcome: a code, a human message, an origin tag
+/// (subsystem + operation), and an optional cause chain. The OK status is
+/// represented by a null rep, so the success path costs nothing to
+/// construct, copy, or return.
+///
+/// A session failure renders its full provenance:
+///   session: re-instantiation failed ← gram: dispatch timeout
+///       ← rpc: timeout after 3 attempts
+class [[nodiscard]] Status {
+ public:
+  /// OK.
+  Status() = default;
+
+  /// Failure (or explicit OK when code == kOk, which drops the message).
+  Status(StatusCode code, std::string message);
+
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ == nullptr ? StatusCode::kOk : rep_->code;
+  }
+  [[nodiscard]] const std::string& message() const;
+  [[nodiscard]] const std::string& subsystem() const;
+  [[nodiscard]] const std::string& op() const;
+
+  /// Tag the origin of this status: which subsystem and operation produced
+  /// it. No-op on OK. Returns *this so construction reads as one expression:
+  ///   Status{StatusCode::kTimeout, "deadline expired"}.at("rpc", "call")
+  Status at(std::string subsystem, std::string op = {}) &&;
+
+  /// Attach the upstream failure that provoked this one. No-op on OK.
+  ///   Status{kUnavailable, "re-instantiation failed"}.at("session")
+  ///       .caused_by(gram_status)
+  Status caused_by(Status cause) &&;
+
+  /// The next link in the cause chain; OK when there is none.
+  [[nodiscard]] Status cause() const;
+
+  /// Root of the cause chain (the deepest non-OK link); *this when no
+  /// cause is attached. Failover and thaw paths record this code.
+  [[nodiscard]] Status root_cause() const;
+
+  /// `subsystem: message ← subsystem: message ← ...` — one link per
+  /// status in the cause chain. "OK" for the OK status.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Rep {
+    StatusCode code{StatusCode::kOk};
+    std::string message;
+    std::string subsystem;
+    std::string op;
+    std::shared_ptr<const Rep> cause;
+  };
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Shorthand factories, so call sites read as policy not plumbing.
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status TimeoutError(std::string message);
+[[nodiscard]] Status OverloadedError(std::string message);
+[[nodiscard]] Status UnavailableError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status AbortedError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
+
+/// Value-or-Status return for operations that produce something on
+/// success. Holds exactly one of {value, non-OK status}.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_{std::move(value)} {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : status_{std::move(status)} {
+    if (status_.ok()) {
+      status_ = Status{StatusCode::kInternal, "Result constructed from OK status"};
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() { return *value_; }
+  [[nodiscard]] const T& value() const { return *value_; }
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Bump errors_total{subsystem=<origin>,code=<code>} for a failure; no-op
+/// on OK. Every subsystem funnels its failure paths through this, so the
+/// obs export carries a grid-wide error census keyed by cause.
+void record_error(obs::MetricsRegistry& metrics, const Status& status);
+
+}  // namespace vmgrid

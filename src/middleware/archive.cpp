@@ -19,8 +19,12 @@ ArchiveService::~ArchiveService() { grid_.simulation().cancel(sweep_event_); }
 void ArchiveService::hibernate(ComputeServer& server, vm::VirtualMachine& vmachine,
                                const std::string& owner, HibernateCallback cb) {
   if (vmachine.state() != vm::VmPowerState::kRunning) {
-    grid_.simulation().schedule_after(sim::Duration::micros(1),
-                                      [cb = std::move(cb)] { cb(std::nullopt); });
+    Status st =
+        FailedPreconditionError("vm is not running").at("archive", "hibernate");
+    record_error(grid_.simulation().metrics(), st);
+    grid_.simulation().schedule_after(
+        sim::Duration::micros(1),
+        [cb = std::move(cb), st = std::move(st)]() mutable { cb(std::move(st)); });
     return;
   }
   const CheckpointId id{next_id_++};
@@ -47,9 +51,13 @@ void ArchiveService::hibernate(ComputeServer& server, vm::VirtualMachine& vmachi
         server.host().fs(), server.node(), local_state, store_.fs(), store_.node(),
         state_file(id),
         [this, id, &server, &vmachine, stored = std::move(stored),
-         cb = std::move(cb)](StagingResult r) mutable {
-          if (!r.ok) {
-            cb(std::nullopt);
+         cb = std::move(cb)](FtpTransferResult r) mutable {
+          if (!r.ok()) {
+            Status st = Status{r.status.code(), "state upload failed"}
+                            .at("archive", "hibernate")
+                            .caused_by(std::move(r.status));
+            record_error(grid_.simulation().metrics(), st);
+            cb(std::move(st));
             return;
           }
           server.host().fs().remove(vmachine.suspend_file());
@@ -64,17 +72,22 @@ void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess ac
                           net::NodeId image_server_node, ThawCallback cb) {
   auto it = checkpoints_.find(id.value());
   if (it == checkpoints_.end()) {
+    Status st = NotFoundError("no such checkpoint: " + std::to_string(id.value()))
+                    .at("archive", "thaw");
+    record_error(grid_.simulation().metrics(), st);
     grid_.simulation().schedule_after(
         sim::Duration::micros(1),
-        [cb = std::move(cb)] { cb(nullptr, "no such checkpoint"); });
+        [cb = std::move(cb), st = std::move(st)]() mutable { cb(nullptr, std::move(st)); });
     return;
   }
   if (!server.up()) {
     // Fail before the (possibly tape-recall) pipeline starts: restoring
     // onto a dead host would stage state nowhere and strand the VM.
+    Status st = UnavailableError("target server down").at("archive", "thaw");
+    record_error(grid_.simulation().metrics(), st);
     grid_.simulation().schedule_after(
         sim::Duration::micros(1),
-        [cb = std::move(cb)] { cb(nullptr, "target server down"); });
+        [cb = std::move(cb), st = std::move(st)]() mutable { cb(nullptr, std::move(st)); });
     return;
   }
   Stored& stored = it->second;
@@ -87,9 +100,13 @@ void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess ac
         store_.fs(), store_.node(), state_file(id), server.host().fs(), server.node(),
         state_file(id),
         [this, id, &server, &stored, access, image_server_node,
-         cb = std::move(cb)](StagingResult r) mutable {
-          if (!r.ok) {
-            cb(nullptr, "state download failed: " + r.error);
+         cb = std::move(cb)](FtpTransferResult r) mutable {
+          if (!r.ok()) {
+            Status st = Status{r.status.code(), "state download failed"}
+                            .at("archive", "thaw")
+                            .caused_by(std::move(r.status));
+            record_error(grid_.simulation().metrics(), st);
+            cb(nullptr, std::move(st));
             return;
           }
           InstantiateOptions opts;
@@ -99,9 +116,13 @@ void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess ac
           opts.image_server_node = image_server_node;
           server.prepare_storage(
               opts, [this, id, &server, &stored, cb = std::move(cb)](
-                        bool ok, std::string error, vm::VmStorage storage) mutable {
-                if (!ok) {
-                  cb(nullptr, std::move(error));
+                        Status st, vm::VmStorage storage) mutable {
+                if (!st.ok()) {
+                  Status why = Status{st.code(), "storage prep failed"}
+                                   .at("archive", "thaw")
+                                   .caused_by(std::move(st));
+                  record_error(grid_.simulation().metrics(), why);
+                  cb(nullptr, std::move(why));
                   return;
                 }
                 vm::VirtualMachine* fresh = nullptr;
@@ -109,7 +130,10 @@ void ArchiveService::thaw(CheckpointId id, ComputeServer& server, StateAccess ac
                   fresh = &server.vmm().create_vm(stored.config, stored.image,
                                                   std::move(storage));
                 } catch (const std::exception& e) {
-                  cb(nullptr, e.what());
+                  Status why =
+                      FailedPreconditionError(e.what()).at("archive", "thaw");
+                  record_error(grid_.simulation().metrics(), why);
+                  cb(nullptr, std::move(why));
                   return;
                 }
                 // The downloaded state file backs the resume read.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/status.hpp"
 #include "middleware/compute_server.hpp"
 #include "middleware/image_server.hpp"
 #include "vm/virtual_machine.hpp"
@@ -65,8 +66,14 @@ class ArchiveService {
   ArchiveService(const ArchiveService&) = delete;
   ArchiveService& operator=(const ArchiveService&) = delete;
 
-  using HibernateCallback = std::function<void(std::optional<CheckpointId>)>;
-  using ThawCallback = std::function<void(vm::VirtualMachine*, std::string error)>;
+  /// Receives the checkpoint id, or why hibernation failed
+  /// (kFailedPrecondition: VM not running; upload failures keep the
+  /// gridftp/rpc cause chain).
+  using HibernateCallback = std::function<void(Result<CheckpointId>)>;
+  /// Receives the thawed VM, or a status whose root cause says which
+  /// stage failed (kNotFound: unknown checkpoint; kUnavailable: target
+  /// server down; download/storage failures chain the underlying cause).
+  using ThawCallback = std::function<void(vm::VirtualMachine*, Status status)>;
 
   /// Suspend `vmachine`, upload its state to the archive, and destroy the
   /// instance on `server`. The guest's paused tasks travel with the

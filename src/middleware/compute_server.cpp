@@ -62,12 +62,12 @@ void ComputeServer::preload_image(const vm::VmImageSpec& spec) {
 
 void ComputeServer::stage_image(storage::LocalFileSystem& src_fs, net::NodeId src_node,
                                 const vm::VmImageSpec& spec,
-                                std::function<void(bool)> cb) {
+                                std::function<void(Status)> cb) {
   auto done = std::make_shared<std::size_t>(spec.memory_state_bytes > 0 ? 2 : 1);
-  auto ok_all = std::make_shared<bool>(true);
-  auto finish = [done, ok_all, cb = std::move(cb)](const StagingResult& r) {
-    *ok_all = *ok_all && r.ok;
-    if (--*done == 0) cb(*ok_all);
+  auto first_fail = std::make_shared<Status>();
+  auto finish = [done, first_fail, cb = std::move(cb)](const FtpTransferResult& r) {
+    if (first_fail->ok() && !r.ok()) *first_fail = r.status;
+    if (--*done == 0) cb(*first_fail);
   };
   ftp_.transfer(src_fs, src_node, spec.disk_file(), host_.fs(), host_.node(),
                 spec.disk_file(), finish);
@@ -96,7 +96,9 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
   switch (opts.access) {
     case StateAccess::kPersistentCopy: {
       if (!host_.fs().exists(spec.disk_file())) {
-        cb(false, "persistent copy: image not on local disk: " + spec.disk_file(), {});
+        cb(NotFoundError("persistent copy: image not on local disk: " + spec.disk_file())
+               .at("compute", "prepare_storage"),
+           {});
         return;
       }
       const std::string private_disk = opts.config.name + ".disk";
@@ -109,13 +111,15 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
                           s.memory_state =
                               vm::make_local_accessor(host_.fs(), spec.memory_file());
                         }
-                        cb(true, {}, std::move(s));
+                        cb({}, std::move(s));
                       });
       return;
     }
     case StateAccess::kNonPersistentLocal: {
       if (!host_.fs().exists(spec.disk_file())) {
-        cb(false, "diskfs: image not on local disk: " + spec.disk_file(), {});
+        cb(NotFoundError("diskfs: image not on local disk: " + spec.disk_file())
+               .at("compute", "prepare_storage"),
+           {});
         return;
       }
       host_.fs().create(diff_file, 0);
@@ -129,13 +133,15 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
       sim_.schedule_after(params_.vm_setup_time,
                           [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
                                                    std::move(s))]() mutable {
-                            cb(true, {}, std::move(*s));
+                            cb({}, std::move(*s));
                           });
       return;
     }
     case StateAccess::kNonPersistentLoopback: {
       if (!host_.fs().exists(spec.disk_file())) {
-        cb(false, "loopback: image not on local disk: " + spec.disk_file(), {});
+        cb(NotFoundError("loopback: image not on local disk: " + spec.disk_file())
+               .at("compute", "prepare_storage"),
+           {});
         return;
       }
       host_.fs().create(diff_file, 0);
@@ -150,13 +156,15 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
       sim_.schedule_after(params_.vm_setup_time,
                           [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
                                                    std::move(s))]() mutable {
-                            cb(true, {}, std::move(*s));
+                            cb({}, std::move(*s));
                           });
       return;
     }
     case StateAccess::kNonPersistentVfs: {
       if (!opts.image_server_node.valid()) {
-        cb(false, "grid-vfs: no image server specified", {});
+        cb(InvalidArgumentError("grid-vfs: no image server specified")
+               .at("compute", "prepare_storage"),
+           {});
         return;
       }
       auto& mount = vfs_mount_for(opts.image_server_node);
@@ -173,12 +181,13 @@ void ComputeServer::prepare_storage(const InstantiateOptions& opts, StorageCallb
       sim_.schedule_after(params_.vm_setup_time,
                           [cb = std::move(cb), s = std::make_shared<vm::VmStorage>(
                                                    std::move(s))]() mutable {
-                            cb(true, {}, std::move(*s));
+                            cb({}, std::move(*s));
                           });
       return;
     }
   }
-  cb(false, "unknown state access mode", {});
+  cb(InvalidArgumentError("unknown state access mode").at("compute", "prepare_storage"),
+     {});
 }
 
 ComputeServer::InstantiateCallback ComputeServer::take_inflight(std::uint64_t id) {
@@ -196,8 +205,7 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
       InstantiationStats stats;
       stats.access = opts.access;
       stats.mode = opts.mode;
-      stats.ok = false;
-      stats.error = "host down";
+      stats.status = UnavailableError("host down").at("compute", "instantiate");
       cb(nullptr, std::move(stats));
     });
     return;
@@ -218,8 +226,8 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
       InstantiationStats stats;
       stats.access = opts.access;
       stats.mode = opts.mode;
-      stats.ok = false;
-      stats.error = "compute server overloaded: too many pending instantiations";
+      stats.status = OverloadedError("too many pending instantiations")
+                         .at("compute", "instantiate");
       cb(nullptr, std::move(stats));
     });
     return;
@@ -240,37 +248,37 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
   ++pending_instantiations_;
   refresh_published();
   update_gauges();
-  auto fail = [this, t0, span](InstantiationStats& stats, std::string error,
+  auto fail = [this, t0, span](InstantiationStats& stats, Status status,
                                std::uint64_t call_id) {
     auto done = take_inflight(call_id);
     if (!done) return;
     --pending_instantiations_;
     refresh_published();
     update_gauges();
-    stats.ok = false;
-    stats.error = std::move(error);
+    stats.status = std::move(status);
+    record_error(sim_.metrics(), stats.status);
     stats.total = sim_.now() - t0;
     span->arg("ok", "false");
     span->end();
     done(nullptr, std::move(stats));
   };
   prepare_storage(opts, [this, opts, t0, id, fail, span, stage_span](
-                            bool ok, std::string error, vm::VmStorage storage) mutable {
+                            Status st, vm::VmStorage storage) mutable {
     if (!inflight_.contains(id)) return;  // crashed while staging
     stage_span->end();
     InstantiationStats stats;
     stats.access = opts.access;
     stats.mode = opts.mode;
     stats.state_preparation = sim_.now() - t0;
-    if (!ok) {
-      fail(stats, std::move(error), id);
+    if (!st.ok()) {
+      fail(stats, std::move(st), id);
       return;
     }
     vm::VirtualMachine* vmachine = nullptr;
     try {
       vmachine = &vmm_.create_vm(opts.config, opts.image, std::move(storage));
     } catch (const std::exception& e) {
-      fail(stats, e.what(), id);
+      fail(stats, FailedPreconditionError(e.what()).at("compute", "instantiate"), id);
       return;
     }
     const auto t_start = sim_.now();
@@ -330,8 +338,8 @@ void ComputeServer::crash() {
   pending_instantiations_ = 0;
   for (auto& [id, done] : drained) {
     InstantiationStats stats;
-    stats.ok = false;
-    stats.error = "host crashed";
+    stats.status = UnavailableError("host crashed").at("compute", "instantiate");
+    record_error(sim_.metrics(), stats.status);
     done(nullptr, std::move(stats));
   }
   if (published_to_ != nullptr) published_to_->set_host_up(host_.name(), false);

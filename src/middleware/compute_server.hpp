@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "host/physical_host.hpp"
 #include "middleware/gram.hpp"
 #include "middleware/gridftp.hpp"
@@ -66,13 +67,17 @@ struct ComputeServerParams {
 };
 
 struct InstantiationStats {
-  bool ok{true};
-  std::string error;
+  /// OK when the VM reached running; failures carry the compute-origin
+  /// status (kNotFound for a missing image, kOverloaded when admission
+  /// shed the request, kUnavailable for a down/crashed host...).
+  Status status;
   sim::Duration total{};
   sim::Duration state_preparation{};  // staging / persistent copy
   sim::Duration start_time{};         // boot or restore
   StateAccess access{};
   VmStartMode mode{};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 struct InstantiateOptions {
@@ -105,8 +110,9 @@ class ComputeServer {
   void instantiate(InstantiateOptions opts, InstantiateCallback cb);
 
   /// Stage an image from a remote image server to local disk (GridFTP).
+  /// The callback receives OK, or the first failing transfer's status.
   void stage_image(storage::LocalFileSystem& src_fs, net::NodeId src_node,
-                   const vm::VmImageSpec& spec, std::function<void(bool)> cb);
+                   const vm::VmImageSpec& spec, std::function<void(Status)> cb);
 
   void destroy_vm(vm::VirtualMachine& vmachine);
 
@@ -144,8 +150,7 @@ class ComputeServer {
   [[nodiscard]] net::DhcpServer& dhcp() { return dhcp_; }
   [[nodiscard]] const ComputeServerParams& params() const { return params_; }
 
-  using StorageCallback =
-      std::function<void(bool ok, std::string error, vm::VmStorage storage)>;
+  using StorageCallback = std::function<void(Status status, vm::VmStorage storage)>;
 
   /// Build the VmStorage for an instantiation request without creating
   /// the VM (used directly by migration, which lands an already-running

@@ -14,7 +14,9 @@ struct SubmitArgs {
   std::string rsl;
 };
 struct SubmitReply {
-  bool ok{false};
+  /// Executor status shipped in the reply body: the cause chain survives
+  /// the RPC boundary instead of being flattened into an error string.
+  Status status;
   std::string output;
 };
 }  // namespace
@@ -23,19 +25,16 @@ GramService::GramService(net::RpcServer& server, GramParams params)
     : server_{server}, params_{params} {
   server_.register_method(
       "gram.ping", [](const net::RpcRequest&, net::RpcResponder respond) {
-        respond(net::RpcResponse{.ok = true,
-                                 .error = {},
-                                 .response_bytes = 64,
-                                 .payload = {}});
+        respond(net::RpcResponse{.response_bytes = 64, .payload = {}});
       });
   server_.register_method(
       "gram.submit", [this](const net::RpcRequest& req, net::RpcResponder respond) {
         const auto& args = std::any_cast<const SubmitArgs&>(req.payload);
         if (!executor_) {
-          respond(net::RpcResponse{.ok = false,
-                                   .error = "gatekeeper has no executor configured",
+          respond(net::RpcResponse{.error = "gatekeeper has no executor configured",
                                    .response_bytes = 128,
-                                   .payload = {}});
+                                   .payload = {},
+                                   .status = net::RpcStatus::kServerError});
           return;
         }
         auto& sim = server_.fabric().simulation();
@@ -45,8 +44,7 @@ GramService::GramService(net::RpcServer& server, GramParams params)
           // sheds is doing the expensive half of the work for free.
           ++jobs_shed_;
           sim.metrics().counter("gram.jobs_shed").inc();
-          respond(net::RpcResponse{.ok = false,
-                                   .error = "gatekeeper overloaded: too many active jobs",
+          respond(net::RpcResponse{.error = "gatekeeper overloaded: too many active jobs",
                                    .response_bytes = 64,
                                    .payload = {},
                                    .status = net::RpcStatus::kOverloaded});
@@ -71,15 +69,17 @@ GramService::GramService(net::RpcServer& server, GramParams params)
               setup_span->end();
               auto exec_span = std::make_shared<obs::Span>(sim, "gram.execute", "gram");
               executor_(rsl, [this, job_span, exec_span, respond = std::move(respond)](
-                                 bool ok, std::string output) {
+                                 Status st, std::string output) {
                 exec_span->end();
-                job_span->arg("ok", ok ? "true" : "false");
+                job_span->arg("ok", st.ok() ? "true" : "false");
                 job_span->end();
                 if (active_jobs_ > 0) --active_jobs_;
-                respond(net::RpcResponse{.ok = ok,
-                                         .error = ok ? "" : output,
-                                         .response_bytes = 256,
-                                         .payload = SubmitReply{ok, std::move(output)}});
+                const bool ok = st.ok();
+                respond(net::RpcResponse{
+                    .error = ok ? "" : st.message(),
+                    .response_bytes = 256,
+                    .payload = SubmitReply{std::move(st), std::move(output)},
+                    .status = ok ? net::RpcStatus::kOk : net::RpcStatus::kServerError});
               });
             });
       });
@@ -98,7 +98,7 @@ void GramClient::ping(net::NodeId gatekeeper, net::RpcCallOptions opts,
   fabric_.call(self_, gatekeeper,
                net::RpcRequest{"gram.ping", 64, {}, net::RpcPriority::kControl}, opts,
                [cb = std::move(cb)](net::RpcResponse resp) {
-                 cb(resp.ok, resp.status);
+                 cb(net::to_status(resp, "gram.ping"));
                });
 }
 
@@ -117,11 +117,23 @@ void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
                     .metrics()
                     .histogram("gram.globusrun_s", obs::HistogramOptions{0.0, 600.0, 120})
                     .observe(r.elapsed.to_seconds());
-                r.ok = resp.ok;
-                if (resp.ok) {
+                if (resp.ok()) {
+                  r.status = {};
                   r.output = std::any_cast<const SubmitReply&>(resp.payload).output;
                 } else {
-                  r.error = resp.error;
+                  // Prefer the executor's own status from the reply body
+                  // (full cause chain); fall back to the RPC-level view.
+                  Status cause = net::to_status(resp, "gram.submit");
+                  if (resp.status == net::RpcStatus::kServerError) {
+                    if (const auto* reply = std::any_cast<SubmitReply>(&resp.payload);
+                        reply != nullptr && !reply->status.ok()) {
+                      cause = reply->status;
+                    }
+                  }
+                  r.status = Status{cause.code(), "globusrun failed"}
+                                 .at("gram", "globusrun")
+                                 .caused_by(std::move(cause));
+                  record_error(fabric.simulation().metrics(), r.status);
                 }
                 cb(std::move(r));
               });

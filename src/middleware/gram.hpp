@@ -3,6 +3,7 @@
 #include <functional>
 #include <string>
 
+#include "core/status.hpp"
 #include "net/rpc.hpp"
 
 namespace vmgrid::middleware {
@@ -21,10 +22,14 @@ struct GramParams {
 };
 
 struct GramJobResult {
-  bool ok{false};
-  std::string error;
+  /// OK once the job ran to completion; failures carry the gram-origin
+  /// status whose cause chain reaches down to the executor or the RPC
+  /// fabric (e.g. gram: globusrun failed <- rpc: deadline exceeded).
+  Status status{StatusCode::kAborted, "job not run"};
   std::string output;
   sim::Duration elapsed{};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Server side: the gatekeeper. The hosting component (a compute server)
@@ -35,7 +40,7 @@ class GramService {
   /// Registers gram.* methods on a shared per-node RPC server.
   GramService(net::RpcServer& server, GramParams params = {});
 
-  using ExecutorDone = std::function<void(bool ok, std::string output)>;
+  using ExecutorDone = std::function<void(Status status, std::string output)>;
   using Executor = std::function<void(const std::string& rsl, ExecutorDone done)>;
 
   /// The executor runs once per submitted job, after auth + startup.
@@ -70,8 +75,10 @@ class GramClient {
                  net::RpcCallOptions opts, ResultCallback cb);
 
   /// Liveness probe against the gatekeeper's gram.ping method. A down or
-  /// crashed host never answers, so give `opts` a finite deadline.
-  using PingCallback = std::function<void(bool ok, net::RpcStatus status)>;
+  /// crashed host never answers, so give `opts` a finite deadline. The
+  /// single Status argument is OK on answer; a failure keeps the rpc
+  /// origin (kTimeout, kUnavailable, ...) for the failure detector.
+  using PingCallback = std::function<void(Status)>;
   void ping(net::NodeId gatekeeper, net::RpcCallOptions opts, PingCallback cb);
 
  private:

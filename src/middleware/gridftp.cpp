@@ -28,7 +28,7 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
     started = sim->now();
     const auto size = src_fs->size(src_path);
     if (!size) {
-      finish(false, "gridftp: no such file: " + src_path);
+      finish(NotFoundError("no such file: " + src_path).at("gridftp", "transfer"));
       return;
     }
     total = *size;
@@ -36,7 +36,7 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
     auto self = shared_from_this();
     sim->schedule_after(params.control_setup, [self] {
       if (self->total == 0) {
-        self->finish(true, {});
+        self->finish({});
         return;
       }
       const auto streams = std::max<std::uint32_t>(1, self->params.parallel_streams);
@@ -57,7 +57,7 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
                         self->dst_fs->write(self->dst_path, offset, chunk, [self, chunk] {
                           self->written += chunk;
                           if (self->written >= self->total) {
-                            self->finish(true, {});
+                            self->finish({});
                           } else {
                             self->pump();
                           }
@@ -66,12 +66,12 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
     });
   }
 
-  void finish(bool ok, std::string error) {
+  void finish(Status status) {
     if (finished) return;
     finished = true;
-    StagingResult r;
-    r.ok = ok;
-    r.error = std::move(error);
+    FtpTransferResult r;
+    r.status = std::move(status);
+    if (!r.status.ok()) record_error(sim->metrics(), r.status);
     r.elapsed = sim->now() - started;
     r.bytes = written;
     cb(std::move(r));

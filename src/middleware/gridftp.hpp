@@ -3,6 +3,7 @@
 #include <functional>
 #include <string>
 
+#include "core/status.hpp"
 #include "net/network.hpp"
 #include "storage/local_fs.hpp"
 
@@ -14,11 +15,15 @@ struct GridFtpParams {
   sim::Duration control_setup{sim::Duration::millis(400)};  // auth + channel setup
 };
 
-struct StagingResult {
-  bool ok{true};
-  std::string error;
+/// Outcome of one whole-file GridFTP staging transfer. Named
+/// FtpTransferResult to stay clear of net::TransferResult, the
+/// transport-level notion in network.hpp.
+struct FtpTransferResult {
+  Status status;  ///< gridftp origin, e.g. kNotFound for a missing source
   sim::Duration elapsed{};
   std::uint64_t bytes{0};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Explicit whole-file staging (GridFTP/GASS style): the transfer model
@@ -29,7 +34,7 @@ class GridFtp {
  public:
   explicit GridFtp(sim::Simulation& s, net::Network& net) : sim_{s}, net_{net} {}
 
-  using StagingCallback = std::function<void(StagingResult)>;
+  using StagingCallback = std::function<void(FtpTransferResult)>;
 
   void transfer(storage::LocalFileSystem& src_fs, net::NodeId src_node,
                 const std::string& src_path, storage::LocalFileSystem& dst_fs,

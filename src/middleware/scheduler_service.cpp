@@ -46,8 +46,8 @@ void SchedulerService::submit(const std::string& owner, workload::TaskSpec spec,
     ++jobs_shed_;
     grid_.simulation().metrics().counter("scheduler.jobs_shed").inc();
     BatchJobResult r;
-    r.ok = false;
-    r.error = "scheduler overloaded: queue full";
+    r.status = OverloadedError("queue full").at("scheduler", "submit");
+    record_error(grid_.simulation().metrics(), r.status);
     grid_.simulation().schedule_after(sim::Duration::micros(5),
                                       [cb = std::move(cb), r = std::move(r)] { cb(r); });
     return;
@@ -82,8 +82,8 @@ void SchedulerService::ensure_worker_vm(Worker& w) {
     w.instantiating = false;
     if (vmachine == nullptr) {
       VMGRID_LOG(grid_.simulation(), kWarn, "scheduler",
-                 "worker VM instantiation failed on " << w.server->name() << ": "
-                                                      << stats.error);
+                 "worker VM instantiation failed on "
+                     << w.server->name() << ": " << stats.status.to_string());
       return;
     }
     w.vmachine = vmachine;
@@ -177,7 +177,14 @@ void SchedulerService::dispatch(Worker& w, PendingJob job) {
         grid_.accounting().charge_cpu(owner, r.total_cpu_seconds());
         grid_.accounting().count_task(owner);
         BatchJobResult out;
-        out.ok = r.ok;
+        if (r.ok()) {
+          out.status = {};
+        } else {
+          out.status = Status{r.status.code(), "job failed"}
+                           .at("scheduler", "dispatch")
+                           .caused_by(r.status);
+          record_error(grid_.simulation().metrics(), out.status);
+        }
         out.host = w.server->name();
         out.queue_wait = started - submitted;
         out.run_time = r.wall;

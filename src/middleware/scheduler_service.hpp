@@ -27,12 +27,15 @@ enum class PlacementPolicy {
 [[nodiscard]] const char* to_string(PlacementPolicy p);
 
 struct BatchJobResult {
-  bool ok{false};
-  std::string error;
+  /// OK once the job ran; kOverloaded when the queue shed it at the door,
+  /// otherwise the task's failure status (cause chain intact).
+  Status status{StatusCode::kAborted, "job not run"};
   std::string host;
   sim::Duration queue_wait{};
   sim::Duration run_time{};
   sim::Duration total{};  // submission to completion
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 struct SchedulerServiceParams {

@@ -20,7 +20,8 @@ void VmSession::run_task(workload::TaskSpec spec, vm::TaskCallback cb) {
     // campaigns get one uniform resubmission path.
     vm::TaskResult r;
     r.task = spec.name;
-    r.ok = false;
+    r.status = UnavailableError("session dead awaiting failover").at("session", "run_task");
+    record_error(grid.simulation().metrics(), r.status);
     grid.simulation().schedule_after(
         sim::Duration::micros(10),
         [cb = std::move(cb), r = std::move(r)]() mutable { cb(std::move(r)); });
@@ -57,14 +58,15 @@ void VmSession::mark_dead() {
   for (auto& [id, p] : pending) {
     vm::TaskResult r;
     r.task = p.task;
-    r.ok = false;
+    r.status = UnavailableError("host crashed").at("session", "run_task");
+    record_error(sim.metrics(), r.status);
     sim.schedule_after(
         sim::Duration::micros(10),
         [cb = std::move(p.cb), r = std::move(r)]() mutable { cb(std::move(r)); });
   }
 }
 
-void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) {
+void VmSession::migrate_to(ComputeServer& target, std::function<void(Status)> cb) {
   if (vm_ == nullptr) {
     throw std::logic_error("VmSession::migrate_to on a closed session");
   }
@@ -79,10 +81,12 @@ void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) 
                                ? instantiation_image_server_
                                : net::NodeId{};
   target.prepare_storage(
-      opts, [this, &target, cb = std::move(cb)](bool ok, std::string,
+      opts, [this, &target, cb = std::move(cb)](Status st,
                                                 vm::VmStorage storage) mutable {
-        if (!ok) {
-          cb(false);
+        if (!st.ok()) {
+          cb(Status{st.code(), "migration storage prep failed"}
+                 .at("session", "migrate")
+                 .caused_by(std::move(st)));
           return;
         }
         vm::MigrationParams params;
@@ -90,8 +94,10 @@ void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) 
         vm::migrate(*vm_, target.vmm(), std::move(storage), params,
                     [this, &target, cb = std::move(cb)](vm::MigrationStats stats,
                                                         vm::VirtualMachine* fresh) {
-                      if (!stats.ok || fresh == nullptr) {
-                        cb(false);
+                      if (!stats.ok() || fresh == nullptr) {
+                        cb(Status{stats.status.code(), "migration failed"}
+                               .at("session", "migrate")
+                               .caused_by(std::move(stats.status)));
                         return;
                       }
                       auto& grid = manager_->grid_;
@@ -109,14 +115,14 @@ void VmSession::migrate_to(ComputeServer& target, std::function<void(bool)> cb) 
                             target.node(), request_.data_server->node(), {});
                       }
                       if (!request_.want_ip) {
-                        cb(true);
+                        cb({});
                         return;
                       }
                       target.dhcp().request_lease(
                           target.node(),
                           [this, cb = std::move(cb)](std::optional<net::IpAddress> ip) {
                             if (ip) ip_ = *ip;
-                            cb(true);
+                            cb({});
                           });
                     });
       });
@@ -152,7 +158,7 @@ void SessionManager::wire_executor(ComputeServer& cs) {
                                      GramService::ExecutorDone done) {
     auto it = pending_.find(token);
     if (it == pending_.end()) {
-      done(false, "unknown job token: " + token);
+      done(NotFoundError("unknown job token: " + token).at("session", "executor"), {});
       return;
     }
     InstantiateOptions opts = std::move(it->second);
@@ -161,7 +167,7 @@ void SessionManager::wire_executor(ComputeServer& cs) {
                    [this, token, done = std::move(done)](vm::VirtualMachine* vmachine,
                                                          InstantiationStats stats) {
                      results_[token] = LaunchResult{vmachine, stats};
-                     done(vmachine != nullptr, stats.ok ? token : stats.error);
+                     done(stats.status, stats.ok() ? token : std::string{});
                    });
   });
 }
@@ -183,7 +189,10 @@ void SessionManager::create_session(SessionRequest request, SessionCallback cb) 
       [this, request = std::move(request), cb = std::move(cb)](
           std::vector<Placement> placements) mutable {
         if (placements.empty()) {
-          cb(nullptr, "no suitable (future, image) placement found");
+          Status st = NotFoundError("no suitable (future, image) placement found")
+                          .at("session", "create");
+          record_error(grid_.simulation().metrics(), st);
+          cb(nullptr, std::move(st));
           return;
         }
         // Prefer the least-loaded future, counting launches this manager
@@ -209,7 +218,9 @@ void SessionManager::launch(SessionRequest request, Placement placement,
   ComputeServer* cs = placement.future.binding;
   ImageServer* is = placement.image.binding;
   if (cs == nullptr) {
-    cb(nullptr, "placement has no compute binding");
+    Status st = InternalError("placement has no compute binding").at("session", "create");
+    record_error(grid_.simulation().metrics(), st);
+    cb(nullptr, std::move(st));
     return;
   }
   wire_executor(*cs);
@@ -241,8 +252,15 @@ void SessionManager::launch(SessionRequest request, Placement placement,
           auto rit = results_.find(token);
           LaunchResult launch = rit != results_.end() ? rit->second : LaunchResult{};
           if (rit != results_.end()) results_.erase(rit);
-          if (!job.ok || launch.vm == nullptr) {
-            cb(nullptr, job.ok ? "instantiation failed" : job.error);
+          if (!job.ok() || launch.vm == nullptr) {
+            Status st =
+                job.ok()
+                    ? InternalError("instantiation returned no VM").at("session", "create")
+                    : Status{job.status.code(), "session launch failed"}
+                          .at("session", "create")
+                          .caused_by(std::move(job.status));
+            record_error(grid_.simulation().metrics(), st);
+            cb(nullptr, std::move(st));
             return;
           }
           auto session = std::make_unique<VmSession>();
@@ -294,17 +312,18 @@ void SessionManager::launch(SessionRequest request, Placement placement,
   const bool needs_local = opts.access != StateAccess::kNonPersistentVfs;
   if (needs_local && !cs->host().fs().exists(opts.image.disk_file())) {
     if (is == nullptr) {
-      cb(nullptr, "image not local and no image server to stage from");
+      Status st = FailedPreconditionError("image not local and no image server to stage from")
+                      .at("session", "create");
+      record_error(grid_.simulation().metrics(), st);
+      cb(nullptr, std::move(st));
       return;
     }
     cs->stage_image(is->fs(), is->node(), opts.image,
-                    [dispatch = std::move(dispatch)](bool ok) mutable {
-                      if (ok) dispatch();
-                      // Staging failure: dispatch's captured callback is
-                      // never invoked; dispatch() owns cb, so report the
-                      // error by running the GRAM path anyway, which will
-                      // fail fast with a clear message.
-                      else dispatch();
+                    [dispatch = std::move(dispatch)](Status) mutable {
+                      // Staging failure included: dispatch() owns cb, so
+                      // report the error by running the GRAM path anyway,
+                      // which will fail fast with a clear status.
+                      dispatch();
                     });
     return;
   }
@@ -329,7 +348,7 @@ void SessionManager::finish_shutdown(VmSession& session) {
   for (auto& [id, p] : pending) {
     vm::TaskResult r;
     r.task = p.task;
-    r.ok = false;
+    r.status = AbortedError("session shut down").at("session", "run_task");
     grid_.simulation().schedule_after(
         sim::Duration::micros(10),
         [cb = std::move(p.cb), r = std::move(r)]() mutable { cb(std::move(r)); });
@@ -384,8 +403,8 @@ void SessionManager::probe_tick() {
   for (auto& [name, cs] : targets) {
     GramClient client{grid_.fabric(), frontend_};
     client.ping(cs->node(), failover_policy_.probe,
-                [this, name = name](bool ok, net::RpcStatus) {
-                  probe_failures_[name] = ok ? 0 : probe_failures_[name] + 1;
+                [this, name = name](Status st) {
+                  probe_failures_[name] = st.ok() ? 0 : probe_failures_[name] + 1;
                   consider_failovers(name);
                 });
   }
@@ -419,14 +438,22 @@ void SessionManager::failover(VmSession& session) {
       session.request_.query,
       [this, raw](std::vector<VmFutureRecord> futures) {
         if (!session_exists(raw)) return;  // shut down while querying
-        auto fail = [this, raw]() {
+        auto fail = [this, raw](Status why) {
           ++failovers_failed_;
           grid_.simulation().metrics().counter("failover.failed").inc();
+          record_error(grid_.simulation().metrics(), why);
+          // Root-cause code, exported so dashboards can split "no spare
+          // capacity" from "dispatch timed out" without string parsing.
+          grid_.simulation()
+              .metrics()
+              .counter("failover.failed_by_cause",
+                       {{"code", to_string(why.root_cause().code())}})
+              .inc();
           if (failover_handler_) {
             FailoverEvent ev;
             ev.session = raw;
             ev.from_host = raw->server_ != nullptr ? raw->server_->name() : "";
-            ev.ok = false;
+            ev.status = why;
             ev.downtime = grid_.simulation().now() - raw->dead_since_;
             failover_handler_(ev);
           }
@@ -439,7 +466,8 @@ void SessionManager::failover(VmSession& session) {
               });
         };
         if (futures.empty()) {
-          fail();
+          fail(UnavailableError("no live placement for failover")
+                   .at("session", "failover"));
           return;
         }
         // Same placement rule as create_session: least loaded counting
@@ -457,7 +485,8 @@ void SessionManager::failover(VmSession& session) {
             });
         ComputeServer* target = best->binding;
         if (target == nullptr) {
-          fail();
+          fail(InternalError("placement has no compute binding")
+                   .at("session", "failover"));
           return;
         }
         wire_executor(*target);
@@ -478,8 +507,12 @@ void SessionManager::failover(VmSession& session) {
               LaunchResult launch = rit != results_.end() ? rit->second : LaunchResult{};
               if (rit != results_.end()) results_.erase(rit);
               if (!session_exists(raw)) return;
-              if (!job.ok || launch.vm == nullptr) {
-                fail();
+              if (!job.ok() || launch.vm == nullptr) {
+                fail(job.ok() ? InternalError("re-instantiation returned no VM")
+                                    .at("session", "failover")
+                              : Status{job.status.code(), "re-instantiation failed"}
+                                    .at("session", "failover")
+                                    .caused_by(std::move(job.status)));
                 return;
               }
               finish_failover(*raw, *target, launch.vm);
@@ -516,7 +549,7 @@ void SessionManager::finish_failover(VmSession& session, ComputeServer& target,
     ev.session = &session;
     ev.from_host = from;
     ev.to_host = target.name();
-    ev.ok = true;
+    ev.status = {};
     ev.downtime = downtime;
     failover_handler_(ev);
   }

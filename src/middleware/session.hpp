@@ -55,13 +55,14 @@ class VmSession {
 
   /// Run an application in the session's VM; CPU and I/O are charged to
   /// the session owner. On a dead session (host crashed, failover not
-  /// finished) the callback fires asynchronously with ok == false
+  /// finished) the callback fires asynchronously with kUnavailable
   /// instead of throwing, so fault-tolerant campaigns can resubmit.
   void run_task(workload::TaskSpec spec, vm::TaskCallback cb);
 
   /// Move this session's VM to another compute server, keeping the
-  /// session (and its data mounts) alive across the move.
-  void migrate_to(ComputeServer& target, std::function<void(bool)> cb);
+  /// session (and its data mounts) alive across the move. The callback
+  /// receives OK or the failed step's status (storage prep / migration).
+  void migrate_to(ComputeServer& target, std::function<void(Status)> cb);
 
   /// Tear down: destroy the VM, release the lease, retire the records.
   /// Also legal on a dead session (skips the parts the crash already took).
@@ -98,7 +99,7 @@ class VmSession {
     vm::TaskCallback cb;
   };
   std::uint64_t next_task_id_{1};
-  /// In-flight task callbacks; mark_dead drains them with ok == false so
+  /// In-flight task callbacks; mark_dead drains them with kUnavailable so
   /// a crash never leaves a caller waiting on an aborted guest task.
   /// Ordered map: the drain order is part of the determinism contract.
   std::map<std::uint64_t, PendingTask> pending_tasks_;
@@ -126,12 +127,17 @@ struct FailoverPolicy {
 
 /// Outcome of one completed (or failed) failover attempt, delivered to
 /// the registered handler; `downtime` is crash-to-recovered sim time.
+/// On failure `status` carries the full cause chain, so
+/// `status.root_cause().code()` tells the handler *why* recovery failed
+/// (kUnavailable: every placement down; kTimeout: dispatch timed out...).
 struct FailoverEvent {
   VmSession* session{nullptr};
   std::string from_host;
   std::string to_host;
-  bool ok{false};
+  Status status{StatusCode::kAborted, "failover not attempted"};
   sim::Duration downtime{};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Orchestrates the paper's six-step session lifecycle:
@@ -146,7 +152,7 @@ class SessionManager {
   explicit SessionManager(Grid& grid);
   ~SessionManager();
 
-  using SessionCallback = std::function<void(VmSession*, std::string error)>;
+  using SessionCallback = std::function<void(VmSession*, Status status)>;
   using FailoverHandler = std::function<void(const FailoverEvent&)>;
 
   void create_session(SessionRequest request, SessionCallback cb);

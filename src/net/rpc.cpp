@@ -86,14 +86,20 @@ void RpcServer::serve(const RpcRequest& req, RpcResponder respond) {
   ++calls_;
   auto it = methods_.find(req.method);
   if (it == methods_.end()) {
-    respond(RpcResponse{.ok = false,
-                        .error = "no such method: " + req.method,
+    respond(RpcResponse{.error = "no such method: " + req.method,
                         .response_bytes = 64,
                         .payload = {},
                         .status = RpcStatus::kNoSuchMethod});
     return;
   }
   it->second(req, std::move(respond));
+}
+
+Status to_status(const RpcResponse& resp, std::string op) {
+  if (resp.ok()) return {};
+  return Status{to_code(resp.status),
+                resp.error.empty() ? to_string(resp.status) : resp.error}
+      .at("rpc", std::move(op));
 }
 
 void RpcServer::pump() {
@@ -130,8 +136,7 @@ void RpcServer::shed(RpcResponder respond, const char* why) {
         "rpc.server.shed", {{"node", fabric_.network().node_name(self_)}});
   }
   shed_counter_->inc();
-  respond(RpcResponse{.ok = false,
-                      .error = std::string{"overloaded: "} + why,
+  respond(RpcResponse{.error = std::string{"overloaded: "} + why,
                       .response_bytes = 64,
                       .payload = {},
                       .status = RpcStatus::kOverloaded});
@@ -193,8 +198,7 @@ void RpcFabric::total_deadline_exceeded(const std::shared_ptr<CallState>& st) {
   st->deadline_timer = {};
   ++st->epoch;  // orphan the in-flight attempt and any pending backoff
   sim.metrics().counter("rpc.total_deadline_exceeded").inc();
-  settle(st, RpcResponse{.ok = false,
-                         .error = "total deadline exceeded",
+  settle(st, RpcResponse{.error = "total deadline exceeded",
                          .response_bytes = 64,
                          .payload = {},
                          .status = RpcStatus::kTimeout});
@@ -249,9 +253,6 @@ void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
                     }
                     bound->dispatch(st->req, [this, st, epoch](RpcResponse resp) {
                       if (st->done || epoch != st->epoch) return;
-                      if (!resp.ok && resp.status == RpcStatus::kOk) {
-                        resp.status = RpcStatus::kServerError;
-                      }
                       const auto bytes = resp.response_bytes;
                       net_.send(st->to, st->from, bytes,
                                 [this, st, epoch, resp = std::move(resp)](
@@ -268,7 +269,7 @@ void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
                                   // transport failure, so backoff + the
                                   // retry budget govern it. Non-retryable
                                   // app failures settle as always.
-                                  if (!resp.ok && rpc_status_retryable(resp.status)) {
+                                  if (!resp.ok() && rpc_status_retryable(resp.status)) {
                                     attempt_failed(st, epoch, resp.status,
                                                    std::move(resp.error));
                                     return;
@@ -312,8 +313,7 @@ void RpcFabric::attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
     // path. RetryBudget counted the denial; surface it for dashboards.
     sim.metrics().counter("rpc.retry_budget_denied").inc();
   }
-  settle(st, RpcResponse{.ok = false,
-                         .error = std::move(detail),
+  settle(st, RpcResponse{.error = std::move(detail),
                          .response_bytes = 64,
                          .payload = {},
                          .status = status});
@@ -325,7 +325,7 @@ void RpcFabric::settle(const std::shared_ptr<CallState>& st, RpcResponse resp) {
   st->deadline_timer = {};
   simulation().cancel(st->total_timer);
   st->total_timer = {};
-  if (resp.ok && st->opts.retry_budget != nullptr) {
+  if (resp.ok() && st->opts.retry_budget != nullptr) {
     st->opts.retry_budget->on_success();
   }
   st->done = true;

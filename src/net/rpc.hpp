@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/status.hpp"
 #include "net/network.hpp"
 #include "net/overload.hpp"
 
@@ -26,20 +27,37 @@ enum class RpcStatus : std::uint8_t {
   kNoSuchMethod,       ///< server bound, method not registered
   kUnreachable,        ///< request/reply dropped, or server died mid-call
   kTimeout,            ///< client-side per-attempt deadline expired
-  kServerError,        ///< handler responded ok=false (application error)
+  kServerError,        ///< handler reported an application error
   kOverloaded,         ///< server shed the request (admission control)
 };
 
 [[nodiscard]] const char* to_string(RpcStatus s);
 
+/// Lossless map of the RPC failure taxonomy into the grid-wide one. The
+/// two "peer gone" flavours (kConnectionRefused, kUnreachable) collapse to
+/// kUnavailable — recovery policy treats them identically; the human
+/// detail survives in the Status message.
+[[nodiscard]] constexpr StatusCode to_code(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk: return StatusCode::kOk;
+    case RpcStatus::kConnectionRefused: return StatusCode::kUnavailable;
+    case RpcStatus::kNoSuchMethod: return StatusCode::kNotFound;
+    case RpcStatus::kUnreachable: return StatusCode::kUnavailable;
+    case RpcStatus::kTimeout: return StatusCode::kTimeout;
+    case RpcStatus::kServerError: return StatusCode::kInternal;
+    case RpcStatus::kOverloaded: return StatusCode::kOverloaded;
+  }
+  return StatusCode::kInternal;
+}
+
 /// Transient transport failures worth retrying. Application errors and
 /// misrouted methods are deterministic — retrying them cannot help.
 /// kOverloaded is retryable but is exactly the status a retry budget
 /// exists to bound: unbudgeted retries of an overloaded server are how
-/// congestion collapse starts.
+/// congestion collapse starts. Subsumed by the grid-wide policy helper:
+/// this is exactly vmgrid::retryable over the mapped code.
 [[nodiscard]] constexpr bool rpc_status_retryable(RpcStatus s) {
-  return s == RpcStatus::kConnectionRefused || s == RpcStatus::kUnreachable ||
-         s == RpcStatus::kTimeout || s == RpcStatus::kOverloaded;
+  return vmgrid::retryable(to_code(s));
 }
 
 /// Shedding priority. When an admission queue is full, control-plane
@@ -58,12 +76,21 @@ struct RpcRequest {
 };
 
 struct RpcResponse {
-  bool ok{true};
   std::string error;
   std::uint64_t response_bytes{128};
   std::any payload;
   RpcStatus status{RpcStatus::kOk};
+
+  /// Success is *defined* by the status — there is no separate ok bit to
+  /// disagree with it. Handlers reporting an application error must set
+  /// kServerError (or a more precise status) explicitly.
+  [[nodiscard]] bool ok() const { return status == RpcStatus::kOk; }
 };
+
+/// Status view of a settled response, tagged with the rpc origin (and the
+/// method name as the operation). OK responses map to the OK status; the
+/// wire-level detail string becomes the message.
+[[nodiscard]] Status to_status(const RpcResponse& resp, std::string op = {});
 
 using RpcCallback = std::function<void(RpcResponse)>;
 using RpcResponder = std::function<void(RpcResponse)>;
@@ -213,7 +240,7 @@ class RpcFabric {
 
   /// Issue a call from `from` to the server bound at `to` with the
   /// default (historical) policy: no deadline, one attempt.
-  /// Unknown node / unknown method produce an ok=false response rather
+  /// Unknown node / unknown method produce a failed response rather
   /// than an exception: remote failures are data, not programming errors.
   void call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb);
 

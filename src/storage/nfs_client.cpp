@@ -20,8 +20,7 @@ struct NfsTransferState {
   std::size_t in_flight{0};
   bool failed{false};
   bool delivered{false};
-  std::string error;
-  net::RpcStatus status{net::RpcStatus::kOk};
+  Status first_failure;  ///< rpc-origin status of the first failing block
   NfsIoResult result;
   NfsClient::IoCallback cb;
   net::RpcCallOptions opts;  ///< per-transfer policy (budget + deadline)
@@ -78,7 +77,7 @@ void NfsClient::getattr(const std::string& path, AttrCallback cb) {
                effective_opts(),
                [this, path, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_getattr_->observe((fabric_.simulation().now() - t0).to_seconds());
-                 if (!resp.ok) {
+                 if (!resp.ok()) {
                    cb(std::nullopt);
                    return;
                  }
@@ -185,11 +184,11 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                        ->observe((fabric_.simulation().now() - t0).to_seconds());
                    --st->in_flight;
                    ++st->completed;
-                   if (!resp.ok) {
+                   if (!resp.ok()) {
                      if (!st->failed) {
                        st->failed = true;
-                       st->error = resp.error;
-                       st->status = resp.status;
+                       st->first_failure =
+                           net::to_status(resp, st->is_read ? "nfs.read" : "nfs.write");
                      }
                    } else if (st->is_read) {
                      const auto& reply = std::any_cast<const NfsReadReply&>(resp.payload);
@@ -208,9 +207,12 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                    if ((all_answered || failed_drained) && !st->delivered) {
                      st->delivered = true;
                      if (st->failed) {
-                       st->result.ok = false;
-                       st->result.error = st->error;
-                       st->result.status = st->status;
+                       st->result.status =
+                           Status{st->first_failure.code(),
+                                  st->is_read ? "read failed" : "write failed"}
+                               .at("nfs", st->is_read ? "read" : "write")
+                               .caused_by(std::move(st->first_failure));
+                       record_error(fabric_.simulation().metrics(), st->result.status);
                      }
                      st->cb(std::move(st->result));
                      return;
@@ -228,7 +230,7 @@ void NfsClient::create(const std::string& path, std::uint64_t size, BoolCallback
                effective_opts(),
                [this, t0, cb = std::move(cb)](net::RpcResponse resp) {
                  lat_create_->observe((fabric_.simulation().now() - t0).to_seconds());
-                 cb(resp.ok);
+                 cb(resp.ok());
                });
 }
 

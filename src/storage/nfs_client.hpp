@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/status.hpp"
 #include "net/overload.hpp"
 #include "net/rpc.hpp"
 #include "obs/metrics.hpp"
@@ -30,12 +31,14 @@ struct NfsClientParams {
 
 /// Aggregate result of a (possibly multi-RPC) NFS read or write.
 struct NfsIoResult {
-  bool ok{true};
-  std::string error;
+  /// OK, or an nfs-origin failure whose cause chain carries the first
+  /// failing RPC's status (e.g. nfs: read failed ← rpc: deadline exceeded).
+  Status status;
   std::uint64_t bytes{0};
   std::uint64_t rpcs{0};
   std::vector<std::uint64_t> block_versions;  // reads only, in block order
-  net::RpcStatus status{net::RpcStatus::kOk};  // first failing RPC's status
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Kernel NFS client model: block-granular reads/writes with a bounded

@@ -44,9 +44,7 @@ void NfsServer::register_handlers() {
       reply.exists = true;
       reply.size = *sz;
     }
-    respond(net::RpcResponse{.ok = true,
-                             .error = {},
-                             .response_bytes = kNfsHeaderBytes,
+    respond(net::RpcResponse{.response_bytes = kNfsHeaderBytes,
                              .payload = reply});
   });
 
@@ -57,10 +55,10 @@ void NfsServer::register_handlers() {
     calls->inc();
     const auto& args = std::any_cast<const NfsReadArgs&>(req.payload);
     if (!fs_.exists(args.path)) {
-      respond(net::RpcResponse{.ok = false,
-                               .error = "ENOENT: " + args.path,
+      respond(net::RpcResponse{.error = "ENOENT: " + args.path,
                                .response_bytes = kNfsHeaderBytes,
-                               .payload = {}});
+                               .payload = {},
+                               .status = net::RpcStatus::kServerError});
       return;
     }
     auto& sim = server_->fabric().simulation();
@@ -69,9 +67,7 @@ void NfsServer::register_handlers() {
              [&sim, entered, service, respond = std::move(respond)](ReadResult r) {
                service->observe((sim.now() - entered).to_seconds());
                const std::uint64_t bytes = r.bytes;
-               respond(net::RpcResponse{.ok = true,
-                                        .error = {},
-                                        .response_bytes = kNfsHeaderBytes + bytes,
+               respond(net::RpcResponse{.response_bytes = kNfsHeaderBytes + bytes,
                                         .payload = NfsReadReply{std::move(r)}});
              });
   });
@@ -83,10 +79,10 @@ void NfsServer::register_handlers() {
     calls->inc();
     const auto& args = std::any_cast<const NfsWriteArgs&>(req.payload);
     if (!fs_.exists(args.path)) {
-      respond(net::RpcResponse{.ok = false,
-                               .error = "ENOENT: " + args.path,
+      respond(net::RpcResponse{.error = "ENOENT: " + args.path,
                                .response_bytes = kNfsHeaderBytes,
-                               .payload = {}});
+                               .payload = {},
+                               .status = net::RpcStatus::kServerError});
       return;
     }
     auto& sim = server_->fabric().simulation();
@@ -94,9 +90,7 @@ void NfsServer::register_handlers() {
     fs_.write(args.path, args.offset, args.len,
               [&sim, entered, service, respond = std::move(respond)] {
                 service->observe((sim.now() - entered).to_seconds());
-                respond(net::RpcResponse{.ok = true,
-                                         .error = {},
-                                         .response_bytes = kNfsHeaderBytes,
+                respond(net::RpcResponse{.response_bytes = kNfsHeaderBytes,
                                          .payload = {}});
               });
   });
@@ -107,9 +101,7 @@ void NfsServer::register_handlers() {
     calls->inc();
     const auto& args = std::any_cast<const NfsCreateArgs&>(req.payload);
     fs_.create(args.path, args.size);
-    respond(net::RpcResponse{.ok = true,
-                             .error = {},
-                             .response_bytes = kNfsHeaderBytes,
+    respond(net::RpcResponse{.response_bytes = kNfsHeaderBytes,
                              .payload = {}});
   });
 
@@ -119,9 +111,7 @@ void NfsServer::register_handlers() {
     calls->inc();
     const auto& args = std::any_cast<const NfsRemoveArgs&>(req.payload);
     fs_.remove(args.path);
-    respond(net::RpcResponse{.ok = true,
-                             .error = {},
-                             .response_bytes = kNfsHeaderBytes,
+    respond(net::RpcResponse{.response_bytes = kNfsHeaderBytes,
                              .payload = {}});
   });
 }

@@ -66,10 +66,9 @@ void VfsProxy::block_arrived(const std::string& path, std::uint64_t block,
 
 void VfsProxy::feed_breaker(const storage::NfsIoResult& r) {
   if (!breaker_) return;
-  if (r.ok) {
+  if (r.ok()) {
     breaker_->on_success(sim_.now());
-  } else if (r.status == net::RpcStatus::kOverloaded ||
-             r.status == net::RpcStatus::kTimeout) {
+  } else if (shed_priority(r.status.code())) {
     // Only congestion signals trip the breaker: deterministic application
     // errors (missing file, bad offset) say nothing about server health.
     breaker_->on_failure(sim_.now());
@@ -89,7 +88,7 @@ void VfsProxy::fetch_run(const std::string& path, std::uint64_t start_block,
                  feed_breaker(r);
                  for (std::uint64_t i = 0; i < nblocks; ++i) {
                    std::optional<std::uint64_t> version;
-                   if (r.ok && i < r.block_versions.size() && i * kBlockSize < r.bytes) {
+                   if (r.ok() && i < r.block_versions.size() && i * kBlockSize < r.bytes) {
                      version = r.block_versions[i];
                    }
                    block_arrived(path, start_block + i, version);
@@ -170,8 +169,9 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
   if (!runs.empty() && breaker_ && !breaker_->allow(sim_.now())) {
     ++degraded_rejects_;
     degraded_counter_->inc();
-    stats->ok = false;
-    stats->error = "circuit open: cache-only degraded mode";
+    stats->status = UnavailableError("circuit open: cache-only degraded mode")
+                        .at("vfs", "read");
+    record_error(sim_.metrics(), stats->status);
     sim_.schedule_after(params_.local_hit_latency,
                         [cb = std::move(cb), stats] { cb(*stats); });
     return;
@@ -214,8 +214,11 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
 
   auto remaining = std::make_shared<std::size_t>(runs.size() + joins.size());
   auto done_cb = std::make_shared<IoCallback>(std::move(cb));
-  auto finish_one = [stats, remaining, done_cb] {
-    if (--*remaining == 0) (*done_cb)(*stats);
+  auto finish_one = [this, stats, remaining, done_cb] {
+    if (--*remaining == 0) {
+      if (!stats->ok()) record_error(sim_.metrics(), stats->status);
+      (*done_cb)(*stats);
+    }
   };
   for (std::uint64_t b : joins) {
     pending_[BlockKey{path, b}].push_back(finish_one);
@@ -224,9 +227,10 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
     fetch_run(path, run.start_block, run.nblocks,
               [stats, finish_one](const storage::NfsIoResult& r) {
                 stats->rpcs += r.rpcs;
-                if (!r.ok) {
-                  stats->ok = false;
-                  stats->error = r.error;
+                if (!r.ok()) {
+                  stats->status = Status{r.status.code(), "read failed"}
+                                      .at("vfs", "read")
+                                      .caused_by(r.status);
                 }
                 finish_one();
               },

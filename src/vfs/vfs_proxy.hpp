@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/status.hpp"
 #include "net/overload.hpp"
 #include "storage/nfs_client.hpp"
 #include "vfs/block_cache.hpp"
@@ -33,12 +34,15 @@ struct VfsProxyParams {
 
 /// Outcome of one proxy-mediated I/O.
 struct VfsIoStats {
-  bool ok{true};
-  std::string error;
+  /// OK, or a vfs-origin failure chaining down to the nfs/rpc cause
+  /// (e.g. vfs: read failed ← nfs: read failed ← rpc: deadline exceeded).
+  Status status;
   std::uint64_t bytes{0};
   std::uint64_t rpcs{0};
   std::uint64_t cache_hits{0};
   std::uint64_t cache_misses{0};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// The paper's proxy-based grid virtual file system (Figure 2): a

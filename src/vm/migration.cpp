@@ -103,8 +103,8 @@ struct MigrationState : std::enable_shared_from_this<MigrationState> {
       });
     } catch (const std::exception& e) {
       // Admission failure on the target: resume at the source.
-      stats.ok = false;
-      stats.error = e.what();
+      stats.status = FailedPreconditionError(e.what()).at("vm", "migrate");
+      record_error(sim->metrics(), stats.status);
       source->resume([self] {
         self->stats.total = self->sim->now() - self->started;
         self->stats.downtime = self->sim->now() - self->stop_started;
@@ -114,7 +114,7 @@ struct MigrationState : std::enable_shared_from_this<MigrationState> {
   }
 
   void complete(VirtualMachine& fresh) {
-    stats.ok = true;
+    stats.status = {};
     stats.total = sim->now() - started;
     stats.downtime = sim->now() - stop_started;
     // The source instance is gone for good (its state moved).

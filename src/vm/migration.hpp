@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "core/status.hpp"
 #include "net/network.hpp"
 #include "vm/vmm.hpp"
 
@@ -20,12 +21,16 @@ struct MigrationParams {
 };
 
 struct MigrationStats {
-  bool ok{false};
-  std::string error;
+  /// OK once the VM runs on the target; a failure says why the migration
+  /// rolled back (the source keeps running). Pessimistic default so a
+  /// dropped continuation cannot read as success.
+  Status status{StatusCode::kAborted, "migration not completed"};
   sim::Duration total{};
   sim::Duration downtime{};
   std::uint64_t bytes_transferred{0};
   std::uint32_t precopy_rounds{0};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Migrate `vm` to `target_vmm`'s host. `target_storage` must make the

@@ -27,7 +27,7 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
   double io_cpu{0.0};
   std::uint64_t io_rpcs{0};
   std::uint64_t io_bytes{0};
-  bool ok{true};
+  Status io_status;  ///< first I/O failure, cause chain intact
   sim::TimePoint started{};
 
   bool paused_{false};
@@ -186,7 +186,7 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
   }
 
   void account_io(const VmIoStats& s) {
-    ok = ok && s.ok;
+    if (io_status.ok() && !s.ok()) io_status = s.status;
     io_cpu += s.client_cpu_seconds;
     io_rpcs += s.rpcs;
     io_bytes += s.bytes;
@@ -212,7 +212,7 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
     pid = {};
     TaskResult r;
     r.task = spec.name;
-    r.ok = ok;
+    r.status = io_status;
     r.wall = sim.now() - started;
     r.user_cpu_seconds = opts.observed_user >= 0.0 ? opts.observed_user : spec.user_seconds;
     r.sys_cpu_seconds =

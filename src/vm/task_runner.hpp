@@ -15,13 +15,17 @@ namespace vmgrid::vm {
 /// accounting.
 struct TaskResult {
   std::string task;
-  bool ok{true};
+  /// OK, or why the run failed: I/O failures forward the storage cause
+  /// chain (vfs/nfs origin, rpc root cause); infrastructure failures
+  /// (host crash, dead session) are stamped by the layer detecting them.
+  Status status;
   sim::Duration wall{};
   double user_cpu_seconds{0.0};
   double sys_cpu_seconds{0.0};
   std::uint64_t io_rpcs{0};
   std::uint64_t io_bytes{0};
 
+  [[nodiscard]] bool ok() const { return status.ok(); }
   [[nodiscard]] double total_cpu_seconds() const {
     return user_cpu_seconds + sys_cpu_seconds;
   }

@@ -17,13 +17,13 @@ class LocalAccessor final : public FileAccessor {
 
   void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     fs_.read(path_, offset, len, [cb = std::move(cb)](storage::ReadResult r) {
-      cb(VmIoStats{true, r.bytes, 0, 0.0});
+      cb(VmIoStats{{}, r.bytes, 0, 0.0});
     });
   }
 
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     fs_.write(path_, offset, len,
-              [cb = std::move(cb), len] { cb(VmIoStats{true, len, 0, 0.0}); });
+              [cb = std::move(cb), len] { cb(VmIoStats{{}, len, 0, 0.0}); });
   }
 
   [[nodiscard]] std::string describe() const override { return "local:" + path_; }
@@ -44,7 +44,7 @@ class NfsAccessor final : public FileAccessor {
   void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     client_.read(path_, offset, len,
                  [cpu = cpu_per_rpc_, cb = std::move(cb)](storage::NfsIoResult r) {
-                   cb(VmIoStats{r.ok, r.bytes, r.rpcs,
+                   cb(VmIoStats{std::move(r.status), r.bytes, r.rpcs,
                                 static_cast<double>(r.rpcs) * cpu});
                  });
   }
@@ -52,7 +52,7 @@ class NfsAccessor final : public FileAccessor {
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     client_.write(path_, offset, len,
                   [cpu = cpu_per_rpc_, cb = std::move(cb)](storage::NfsIoResult r) {
-                    cb(VmIoStats{r.ok, r.bytes, r.rpcs,
+                    cb(VmIoStats{std::move(r.status), r.bytes, r.rpcs,
                                  static_cast<double>(r.rpcs) * cpu});
                   });
   }
@@ -75,7 +75,7 @@ class VfsAccessor final : public FileAccessor {
   void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     proxy_.read(path_, offset, len,
                 [cpu = cpu_per_rpc_, cb = std::move(cb)](vfs::VfsIoStats s) {
-                  cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                  cb(VmIoStats{std::move(s.status), s.bytes, s.rpcs,
                                static_cast<double>(s.rpcs) * cpu});
                 });
   }
@@ -83,7 +83,7 @@ class VfsAccessor final : public FileAccessor {
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
     proxy_.write(path_, offset, len,
                  [cpu = cpu_per_rpc_, cb = std::move(cb)](vfs::VfsIoStats s) {
-                   cb(VmIoStats{s.ok, s.bytes, s.rpcs,
+                   cb(VmIoStats{std::move(s.status), s.bytes, s.rpcs,
                                 static_cast<double>(s.rpcs) * cpu});
                  });
   }
@@ -161,7 +161,8 @@ void CowDisk::read(std::uint64_t offset, std::uint64_t len, IoCallback cb) {
   for (const Run& r : runs) {
     FileAccessor& target = r.from_diff ? *diff_ : *base_;
     target.read(r.offset, r.len, [agg, remaining, done](VmIoStats s) {
-      agg->ok = agg->ok && s.ok;
+      // Keep the first failure: later runs may fail for derivative reasons.
+      if (agg->ok() && !s.ok()) agg->status = std::move(s.status);
       agg->bytes += s.bytes;
       agg->rpcs += s.rpcs;
       agg->client_cpu_seconds += s.client_cpu_seconds;

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "core/status.hpp"
 #include "storage/local_fs.hpp"
 #include "storage/nfs_client.hpp"
 #include "vfs/vfs_proxy.hpp"
@@ -17,10 +18,15 @@ namespace vmgrid::vm {
 /// task runner charges that CPU back to the guest, which is where the
 /// extra *system* time in Table 1's PVFS rows comes from.
 struct VmIoStats {
-  bool ok{true};
+  /// OK, or the underlying storage failure (nfs/vfs origin, rpc cause) —
+  /// the VM layer forwards the status untouched so the root cause is
+  /// still addressable at the task level.
+  Status status;
   std::uint64_t bytes{0};
   std::uint64_t rpcs{0};
   double client_cpu_seconds{0.0};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Access to one file of VM state (virtual disk, memory snapshot),

@@ -90,8 +90,7 @@ struct RpcFaultFixture : ::testing::Test {
   static void register_echo(net::RpcServer& server) {
     server.register_method(
         "echo", [](const net::RpcRequest&, net::RpcResponder respond) {
-          respond(net::RpcResponse{
-              .ok = true, .error = {}, .response_bytes = 64, .payload = {}});
+          respond(net::RpcResponse{.response_bytes = 64, .payload = {}});
         });
   }
 };
@@ -105,7 +104,7 @@ TEST_F(RpcFaultFixture, CallOverDownLinkCompletesUnreachable) {
               [&](net::RpcResponse r) { resp = std::move(r); });
   sim.run();  // terminates: the transport reports the drop, nothing hangs
   ASSERT_TRUE(resp.has_value());
-  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->ok());
   EXPECT_EQ(resp->status, net::RpcStatus::kUnreachable);
 }
 
@@ -120,7 +119,7 @@ TEST_F(RpcFaultFixture, ServerNodeDyingMidCallCompletesUnreachable) {
                      [this] { net.set_node_up(b, false); });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->ok());
   EXPECT_EQ(resp->status, net::RpcStatus::kUnreachable);
 }
 
@@ -135,7 +134,7 @@ TEST_F(RpcFaultFixture, ServerDestroyedInOverheadWindowCompletes) {
   sim.schedule_after(sim::Duration::millis(8), [&server] { server.reset(); });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->ok());
   EXPECT_EQ(resp->status, net::RpcStatus::kUnreachable);
 }
 
@@ -174,7 +173,7 @@ TEST_F(RpcFaultFixture, RetriesRideOutServerOutage) {
               [&](net::RpcResponse r) { resp = std::move(r); });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_TRUE(resp->ok);
+  EXPECT_TRUE(resp->ok());
   EXPECT_EQ(resp->status, net::RpcStatus::kOk);
 }
 
@@ -206,8 +205,8 @@ TEST(NfsFault, ReadRetriesAcrossServerOutage) {
               [&](storage::NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
-  EXPECT_EQ(result->status, net::RpcStatus::kOk);
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kOk);
 }
 
 // ---------------------------------------------------------------------------
@@ -240,8 +239,11 @@ TEST_F(NfsCrashFixture, ReadsAfterCrashReportConnectionRefused) {
               [&](storage::NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
-  EXPECT_EQ(result->status, net::RpcStatus::kConnectionRefused);
+  EXPECT_FALSE(result->ok());
+  // kConnectionRefused maps to kUnavailable; the rpc origin survives in
+  // the cause chain.
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result->status.root_cause().subsystem(), "rpc");
 }
 
 TEST_F(NfsCrashFixture, VfsProxyPropagatesServerLoss) {
@@ -253,8 +255,10 @@ TEST_F(NfsCrashFixture, VfsProxyPropagatesServerLoss) {
              [&](vfs::VfsIoStats s) { result = std::move(s); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
-  EXPECT_FALSE(result->error.empty());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result->status.subsystem(), "vfs");
+  EXPECT_EQ(result->status.root_cause().subsystem(), "rpc");
 }
 
 TEST_F(NfsCrashFixture, CachedBlocksSurviveServerLoss) {
@@ -265,14 +269,14 @@ TEST_F(NfsCrashFixture, CachedBlocksSurviveServerLoss) {
   proxy.read("data", 0, storage::kBlockSize * 8,
              [&](vfs::VfsIoStats s) { warm = s; });
   sim.run();
-  ASSERT_TRUE(warm && warm->ok);
+  ASSERT_TRUE(warm && warm->ok());
   server.reset();
   std::optional<vfs::VfsIoStats> cached;
   proxy.read("data", 0, storage::kBlockSize * 8,
              [&](vfs::VfsIoStats s) { cached = s; });
   sim.run();
   ASSERT_TRUE(cached.has_value());
-  EXPECT_TRUE(cached->ok);  // served entirely from cache
+  EXPECT_TRUE(cached->ok());  // served entirely from cache
   EXPECT_EQ(cached->rpcs, 0u);
 }
 
@@ -295,7 +299,7 @@ TEST(FailureInjection, DhcpExhaustionDoesNotKillTheSession) {
   req.user = "netless";
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* session = nullptr;
-  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string) { session = s; });
+  tb.grid->sessions().create_session(req, [&](VmSession* s, Status) { session = s; });
   tb.grid->run();
   ASSERT_NE(session, nullptr);
   EXPECT_EQ(session->machine().state(), vm::VmPowerState::kRunning);
@@ -312,14 +316,15 @@ TEST(FailureInjection, SessionFailsCleanlyWhenHostMemoryExhausted) {
   req.user = "unlucky";
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* session = nullptr;
-  std::string error;
-  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string e) {
+  Status error;
+  tb.grid->sessions().create_session(req, [&](VmSession* s, Status e) {
     session = s;
     error = std::move(e);
   });
   tb.grid->run();
   EXPECT_EQ(session, nullptr);
-  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.subsystem(), "session");
   EXPECT_EQ(tb.grid->sessions().active_sessions(), 0u);
 }
 
@@ -347,7 +352,7 @@ TEST(FailureInjection, TaskReportsIoErrorsWithoutHanging) {
   vmachine.run_task(spec, [&](vm::TaskResult r) { result = std::move(r); });
   tb.grid->run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -361,7 +366,7 @@ TEST(Failover, InFlightTaskFailsInsteadOfHanging) {
   req.want_ip = false;
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* session = nullptr;
-  g.sessions().create_session(req, [&](VmSession* s, std::string) { session = s; });
+  g.sessions().create_session(req, [&](VmSession* s, Status) { session = s; });
   g.run();
   ASSERT_NE(session, nullptr);
 
@@ -374,7 +379,8 @@ TEST(Failover, InFlightTaskFailsInsteadOfHanging) {
                                 [session] { session->server().crash(); });
   g.run();
   ASSERT_TRUE(result.has_value());  // completed (as a failure), never hung
-  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
   EXPECT_FALSE(session->alive());
 
   // A dead session keeps accepting work, failing it asynchronously.
@@ -382,7 +388,9 @@ TEST(Failover, InFlightTaskFailsInsteadOfHanging) {
   session->run_task(spec, [&](vm::TaskResult r) { dead_result = std::move(r); });
   g.run();
   ASSERT_TRUE(dead_result.has_value());
-  EXPECT_FALSE(dead_result->ok);
+  EXPECT_FALSE(dead_result->ok());
+  EXPECT_EQ(dead_result->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dead_result->status.subsystem(), "session");
   session->shutdown();
   EXPECT_EQ(g.sessions().active_sessions(), 0u);
 }
@@ -402,7 +410,7 @@ TEST(Failover, SessionSurvivesScriptedHostCrash) {
   req.want_ip = false;
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* session = nullptr;
-  g.sessions().create_session(req, [&](VmSession* s, std::string) { session = s; });
+  g.sessions().create_session(req, [&](VmSession* s, Status) { session = s; });
   g.run();
   ASSERT_NE(session, nullptr);
   const std::string first_host = session->server().name();
@@ -425,7 +433,7 @@ TEST(Failover, SessionSurvivesScriptedHostCrash) {
   EXPECT_GT(session->total_downtime().to_seconds(), 0.0);
   EXPECT_EQ(g.sessions().failovers_completed(), 1u);
   ASSERT_FALSE(events.empty());
-  EXPECT_TRUE(events.back().ok);
+  EXPECT_TRUE(events.back().ok());
   EXPECT_EQ(events.back().from_host, first_host);
   EXPECT_EQ(events.back().to_host, session->server().name());
 
@@ -437,8 +445,82 @@ TEST(Failover, SessionSurvivesScriptedHostCrash) {
   session->run_task(spec, [&](vm::TaskResult r) { result = std::move(r); });
   g.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   session->shutdown();
+}
+
+TEST_F(NfsCrashFixture, SlowServerSurfacesTimeoutCodeThroughVfsProxy) {
+  // The Table 1 access path (guest I/O -> vfs proxy -> nfs -> rpc): a
+  // server that stops answering must surface as a typed kTimeout at the
+  // proxy, with the rpc origin preserved — not as an opaque string.
+  storage::NfsClientParams params;
+  params.rpc.deadline = sim::Duration::millis(100);
+  params.rpc.max_attempts = 2;
+  storage::NfsClient client{fabric, client_node, server_node, params};
+  vfs::VfsProxy proxy{sim, client, vfs::VfsProxyParams{.prefetch_blocks = 0}};
+  // Degrade the link so every RPC blows its deadline.
+  net.set_link(client_node, server_node,
+               net::LinkParams{sim::Duration::seconds(30), 1e6});
+  std::optional<vfs::VfsIoStats> result;
+  proxy.read("data", 0, storage::kBlockSize * 4,
+             [&](vfs::VfsIoStats s) { result = std::move(s); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimeout);
+  EXPECT_TRUE(retryable(result->status.code()));
+  // Full chain: vfs <- nfs <- rpc, every link carrying the same code.
+  EXPECT_EQ(result->status.subsystem(), "vfs");
+  EXPECT_FALSE(result->status.cause().ok());
+  EXPECT_EQ(result->status.cause().subsystem(), "nfs");
+  EXPECT_EQ(result->status.root_cause().subsystem(), "rpc");
+  EXPECT_EQ(result->status.root_cause().code(), StatusCode::kTimeout);
+  EXPECT_NE(result->status.to_string().find(" \u2190 "), std::string::npos);
+}
+
+TEST(Failover, FailedRecoveryRecordsRpcRootCauseCode) {
+  // Kill the session's host, and silently partition the only spare (the
+  // information service still believes it is up). Failover dispatch then
+  // dies on the wire, and the FailoverEvent must carry kUnavailable with
+  // an rpc-origin root cause — the code recovery policy keys off.
+  testbed::FaultTestbed tb{73, 2};
+  auto& g = *tb.grid;
+  FailoverPolicy pol;
+  pol.probe_interval = sim::Duration::seconds(2);
+  g.sessions().set_failover(pol);
+  std::vector<FailoverEvent> events;
+  g.sessions().set_failover_handler(
+      [&events](const FailoverEvent& ev) { events.push_back(ev); });
+
+  SessionRequest req;
+  req.user = "carol";
+  req.want_ip = false;
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* session = nullptr;
+  g.sessions().create_session(req, [&](VmSession* s, Status) { session = s; });
+  g.run();
+  ASSERT_NE(session, nullptr);
+
+  ComputeServer* spare = nullptr;
+  for (auto* cs : tb.computes) {
+    if (cs != &session->server()) spare = cs;
+  }
+  ASSERT_NE(spare, nullptr);
+  g.simulation().schedule_after(sim::Duration::seconds(5), [&g, session, spare] {
+    g.network().set_node_up(spare->node(), false);
+    session->server().crash();
+  });
+  g.run_for(sim::Duration::seconds(60));
+
+  ASSERT_FALSE(events.empty());
+  const FailoverEvent& ev = events.back();
+  EXPECT_FALSE(ev.ok());
+  EXPECT_EQ(ev.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ev.status.subsystem(), "session");
+  EXPECT_EQ(ev.status.root_cause().subsystem(), "rpc");
+  EXPECT_EQ(ev.status.root_cause().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(session->alive());
+  EXPECT_GT(g.sessions().failovers_failed(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -482,7 +564,7 @@ std::string chaos_digest(std::uint64_t seed) {
   req.user = "chaos";
   req.want_ip = false;
   req.query.time_bound = sim::Duration::seconds(1);
-  g.sessions().create_session(req, [&](VmSession* s, std::string) {
+  g.sessions().create_session(req, [&](VmSession* s, Status) {
     session = s;
     if (s == nullptr) {
       ++create_failures;
@@ -497,7 +579,7 @@ std::string chaos_digest(std::uint64_t seed) {
       spec.name = "unit";
       spec.user_seconds = 2.0;
       session->run_task(spec, [&](vm::TaskResult r) {
-        r.ok ? ++tasks_ok : ++tasks_failed;
+        r.ok() ? ++tasks_ok : ++tasks_failed;
         submit();
       });
     };

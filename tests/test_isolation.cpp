@@ -48,7 +48,7 @@ TEST_F(IsolationFixture, WritesStayInThePrivateDiff) {
   std::optional<vm::TaskResult> done;
   writer->run_task(dirty, [&](vm::TaskResult r) { done = std::move(r); });
   tb.grid->run();
-  ASSERT_TRUE(done && done->ok);
+  ASSERT_TRUE(done && done->ok());
 
   // The shared base image is pristine: every block still at version 0.
   auto& fs = tb.compute->host().fs();
@@ -80,7 +80,7 @@ TEST_F(IsolationFixture, RootInOneGuestCannotTouchAnotherGuestsState) {
   std::optional<vm::TaskResult> done;
   a->run_task(spec, [&](vm::TaskResult r) { done = std::move(r); });
   tb.grid->run();
-  ASSERT_TRUE(done && done->ok);
+  ASSERT_TRUE(done && done->ok());
   auto& fs = tb.compute->host().fs();
   EXPECT_GT(fs.size("guest-a.diff").value_or(0), 0u);
   EXPECT_EQ(fs.size("guest-b.diff").value_or(0), 0u);
@@ -129,7 +129,7 @@ TEST_F(IsolationFixture, SharedImageCacheLeaksNoWriteData) {
   std::optional<vm::TaskResult> done;
   a->run_task(w, [&](vm::TaskResult r) { done = std::move(r); });
   tb.grid->run();
-  ASSERT_TRUE(done && done->ok);
+  ASSERT_TRUE(done && done->ok());
 
   // The image server's copy of the base is untouched.
   auto& ifs = tb.images->fs();
@@ -158,7 +158,7 @@ TEST_F(IsolationFixture, VmCrashConfinement) {
   tb.grid->run();
   EXPECT_FALSE(doomed_cb);  // aborted, never "completed"
   ASSERT_TRUE(survivor_result.has_value());
-  EXPECT_TRUE(survivor_result->ok);
+  EXPECT_TRUE(survivor_result->ok());
 }
 
 }  // namespace

@@ -138,13 +138,13 @@ TEST(GridFtpTest, StagesWholeFileAcrossWan) {
   testbed::WideAreaTestbed tb{31};
   auto& g = *tb.grid;
   tb.images->fs().create("dataset", 8ull << 20);
-  std::optional<StagingResult> result;
+  std::optional<FtpTransferResult> result;
   g.ftp().transfer(tb.images->fs(), tb.images->node(), "dataset",
                    tb.compute->host().fs(), tb.compute->node(), "dataset",
-                   [&](StagingResult r) { result = std::move(r); });
+                   [&](FtpTransferResult r) { result = std::move(r); });
   g.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   EXPECT_EQ(result->bytes, 8ull << 20);
   EXPECT_TRUE(tb.compute->host().fs().exists("dataset"));
   // 8 MiB over a 2.5 MB/s WAN: at least ~3.3 s.
@@ -154,12 +154,14 @@ TEST(GridFtpTest, StagesWholeFileAcrossWan) {
 TEST(GridFtpTest, MissingSourceFails) {
   testbed::WideAreaTestbed tb{32};
   auto& g = *tb.grid;
-  std::optional<StagingResult> result;
+  std::optional<FtpTransferResult> result;
   g.ftp().transfer(tb.images->fs(), tb.images->node(), "ghost", tb.compute->host().fs(),
-                   tb.compute->node(), "ghost", [&](StagingResult r) { result = r; });
+                   tb.compute->node(), "ghost", [&](FtpTransferResult r) { result = r; });
   g.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(result->status.subsystem(), "gridftp");
 }
 
 TEST(GridFtpTest, ParallelStreamsBeatSingleStream) {
@@ -172,7 +174,7 @@ TEST(GridFtpTest, ParallelStreamsBeatSingleStream) {
     double elapsed = -1;
     g.ftp().transfer(tb.images->fs(), tb.images->node(), "big",
                      tb.compute->host().fs(), tb.compute->node(), "big", p,
-                     [&](StagingResult r) { elapsed = r.elapsed.to_seconds(); });
+                     [&](FtpTransferResult r) { elapsed = r.elapsed.to_seconds(); });
     g.run();
     return elapsed;
   };
@@ -189,14 +191,14 @@ TEST(GramTest, GlobusrunChargesAuthAndJobmanager) {
   auto& g = *tb.grid;
   tb.compute->gram().set_executor([](const std::string& rsl,
                                      GramService::ExecutorDone done) {
-    done(true, "ran:" + rsl);
+    done({}, "ran:" + rsl);
   });
   GramClient client{g.fabric(), tb.client};
   std::optional<GramJobResult> result;
   client.globusrun(tb.compute->node(), "echo", [&](GramJobResult r) { result = r; });
   g.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   EXPECT_EQ(result->output, "ran:echo");
   // Auth (1.4s) + jobmanager (1.1s) + RPC overheads.
   EXPECT_GT(result->elapsed.to_seconds(), 2.5);
@@ -212,8 +214,9 @@ TEST(GramTest, NoExecutorFailsCleanly) {
   client.globusrun(tb.compute->node(), "x", [&](GramJobResult r) { result = r; });
   g.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
-  EXPECT_NE(result->error.find("no executor"), std::string::npos);
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.subsystem(), "gram");
+  EXPECT_NE(result->status.to_string().find("no executor"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,7 +247,7 @@ TEST_F(InstantiateFixture, DiskFsRestoreIsFastest) {
   vm::VirtualMachine* vmachine = nullptr;
   const auto s = instantiate(VmStartMode::kWarmRestore, StateAccess::kNonPersistentLocal,
                              &vmachine);
-  EXPECT_TRUE(s.ok);
+  EXPECT_TRUE(s.ok());
   ASSERT_NE(vmachine, nullptr);
   EXPECT_EQ(vmachine->state(), vm::VmPowerState::kRunning);
   EXPECT_LT(s.total.to_seconds(), 20.0);
@@ -252,7 +255,7 @@ TEST_F(InstantiateFixture, DiskFsRestoreIsFastest) {
 
 TEST_F(InstantiateFixture, PersistentCopyChargesFullDiskCopy) {
   const auto s = instantiate(VmStartMode::kWarmRestore, StateAccess::kPersistentCopy);
-  EXPECT_TRUE(s.ok);
+  EXPECT_TRUE(s.ok());
   EXPECT_GT(s.state_preparation.to_seconds(), 150.0);  // 2 GiB through one spindle
   EXPECT_TRUE(tb.compute->host().fs().exists("t-vm.disk"));
 }
@@ -284,7 +287,7 @@ TEST_F(InstantiateFixture, VfsPathWorksWithoutLocalImage) {
   vm::VirtualMachine* vmachine = nullptr;
   const auto s =
       instantiate(VmStartMode::kWarmRestore, StateAccess::kNonPersistentVfs, &vmachine);
-  EXPECT_TRUE(s.ok);
+  EXPECT_TRUE(s.ok());
   ASSERT_NE(vmachine, nullptr);
   EXPECT_EQ(vmachine->state(), vm::VmPowerState::kRunning);
 }
@@ -292,8 +295,10 @@ TEST_F(InstantiateFixture, VfsPathWorksWithoutLocalImage) {
 TEST_F(InstantiateFixture, LocalPathFailsWithoutImage) {
   tb.compute->host().fs().remove(testbed::paper_image().disk_file());
   const auto s = instantiate(VmStartMode::kColdBoot, StateAccess::kNonPersistentLocal);
-  EXPECT_FALSE(s.ok);
-  EXPECT_NE(s.error.find("image not on local disk"), std::string::npos);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.status.subsystem(), "compute");
+  EXPECT_NE(s.status.message().find("image not on local disk"), std::string::npos);
 }
 
 TEST_F(InstantiateFixture, PublishedFutureTracksInstances) {
@@ -320,13 +325,13 @@ struct SessionFixture : ::testing::Test {
 
   VmSession* create(SessionRequest req) {
     VmSession* out = nullptr;
-    std::string error;
-    tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, std::string e) {
+    Status error;
+    tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, Status e) {
       out = s;
       error = std::move(e);
     });
     tb.grid->run();
-    EXPECT_TRUE(out != nullptr) << error;
+    EXPECT_TRUE(out != nullptr) << error.to_string();
     return out;
   }
 };
@@ -372,14 +377,15 @@ TEST_F(SessionFixture, NoPlacementYieldsError) {
   req.os = "windows-2000";  // no such image registered
   req.query.time_bound = sim::Duration::seconds(1);
   VmSession* out = nullptr;
-  std::string error;
-  tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, std::string e) {
+  Status error;
+  tb.grid->sessions().create_session(std::move(req), [&](VmSession* s, Status e) {
     out = s;
     error = std::move(e);
   });
   tb.grid->run();
   EXPECT_EQ(out, nullptr);
-  EXPECT_NE(error.find("no suitable"), std::string::npos);
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_NE(error.message().find("no suitable"), std::string::npos);
 }
 
 TEST_F(SessionFixture, DataServerMountEstablished) {
@@ -396,7 +402,7 @@ TEST_F(SessionFixture, DataServerMountEstablished) {
                                 [&](vfs::VfsIoStats st) { io = st; });
   tb.grid->run();
   ASSERT_TRUE(io.has_value());
-  EXPECT_TRUE(io->ok);
+  EXPECT_TRUE(io->ok());
   s->shutdown();
 }
 
@@ -413,12 +419,12 @@ TEST_F(SessionFixture, MigrationKeepsSessionAlive) {
   ASSERT_NE(s, nullptr);
   ComputeServer* original = &s->server();
 
-  std::optional<bool> migrated;
+  std::optional<Status> migrated;
   s->migrate_to(original == &target ? *tb.compute : target,
-                [&](bool ok) { migrated = ok; });
+                [&](Status st) { migrated = std::move(st); });
   tb.grid->run();
   ASSERT_TRUE(migrated.has_value());
-  EXPECT_TRUE(*migrated);
+  EXPECT_TRUE(migrated->ok());
   EXPECT_NE(&s->server(), original);
   EXPECT_EQ(s->machine().state(), vm::VmPowerState::kRunning);
   EXPECT_TRUE(s->ip().valid());
@@ -429,7 +435,7 @@ TEST_F(SessionFixture, MigrationKeepsSessionAlive) {
               [&](vm::TaskResult r) { result = std::move(r); });
   tb.grid->run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   s->shutdown();
 }
 

@@ -117,15 +117,12 @@ struct RpcFixture : NetFixture {
 TEST_F(RpcFixture, EchoRoundTrip) {
   RpcServer server{fabric, server_node, RpcServerParams{sim::Duration::micros(100)}};
   server.register_method("echo", [](const RpcRequest& req, RpcResponder respond) {
-    respond(RpcResponse{.ok = true,
-                        .error = {},
-                        .response_bytes = 256,
-                        .payload = req.payload});
+    respond(RpcResponse{.response_bytes = 256, .payload = req.payload});
   });
   std::optional<int> got;
   fabric.call(client, server_node, RpcRequest{"echo", 128, 42},
               [&](RpcResponse resp) {
-                ASSERT_TRUE(resp.ok);
+                ASSERT_TRUE(resp.ok());
                 got = std::any_cast<int>(resp.payload);
               });
   sim.run();
@@ -140,7 +137,7 @@ TEST_F(RpcFixture, UnknownMethodFailsGracefully) {
   RpcServer server{fabric, server_node};
   bool failed = false;
   fabric.call(client, server_node, RpcRequest{"nope", 64, {}}, [&](RpcResponse resp) {
-    failed = !resp.ok;
+    failed = !resp.ok();
     EXPECT_EQ(resp.status, RpcStatus::kNoSuchMethod);
   });
   sim.run();
@@ -150,7 +147,7 @@ TEST_F(RpcFixture, UnknownMethodFailsGracefully) {
 TEST_F(RpcFixture, UnboundNodeRefusesConnection) {
   bool refused = false;
   fabric.call(client, server_node, RpcRequest{"x", 64, {}}, [&](RpcResponse resp) {
-    refused = !resp.ok && resp.status == RpcStatus::kConnectionRefused;
+    refused = !resp.ok() && resp.status == RpcStatus::kConnectionRefused;
   });
   sim.run();
   EXPECT_TRUE(refused);
@@ -178,7 +175,7 @@ TEST_F(RpcFixture, TotalDeadlineBoundsRetriesAcrossAttempts) {
               });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_FALSE(resp->ok);
+  EXPECT_FALSE(resp->ok());
   EXPECT_EQ(resp->status, RpcStatus::kTimeout);
   EXPECT_NE(resp->error.find("total deadline"), std::string::npos);
   ASSERT_TRUE(completed_at.has_value());
@@ -191,7 +188,7 @@ TEST_F(RpcFixture, TotalDeadlineBoundsRetriesAcrossAttempts) {
 TEST_F(RpcFixture, TotalDeadlineIsANoOpWhenGenerous) {
   RpcServer server{fabric, server_node};
   server.register_method("echo", [](const RpcRequest&, RpcResponder r) {
-    r(RpcResponse{.ok = true, .error = {}, .response_bytes = 64, .payload = {}});
+    r(RpcResponse{.response_bytes = 64, .payload = {}});
   });
   RpcCallOptions opts;
   opts.total_deadline = sim::Duration::seconds(30);
@@ -200,7 +197,7 @@ TEST_F(RpcFixture, TotalDeadlineIsANoOpWhenGenerous) {
               [&](RpcResponse r) { resp = std::move(r); });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_TRUE(resp->ok);
+  EXPECT_TRUE(resp->ok());
 }
 
 TEST_F(RpcFixture, DuplicateMethodRegistrationThrows) {

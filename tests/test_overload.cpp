@@ -150,7 +150,7 @@ struct AdmissionFixture : ::testing::Test {
     for (int i = 0; i < n; ++i) {
       fabric.call(a, b, net::RpcRequest{"work", 64, {}, prio},
                   [&t](net::RpcResponse r) {
-                    if (r.ok) {
+                    if (r.ok()) {
                       ++t.ok;
                     } else if (r.status == net::RpcStatus::kOverloaded) {
                       ++t.overloaded;
@@ -279,7 +279,7 @@ TEST_F(AdmissionFixture, DeliveredOverloadIsRetriedAndCanRecover) {
               [&](net::RpcResponse r) { resp = std::move(r); });
   sim.run();
   ASSERT_TRUE(resp.has_value());
-  EXPECT_TRUE(resp->ok);
+  EXPECT_TRUE(resp->ok());
   EXPECT_GT(sim.metrics().counter_value("rpc.retries"), 0.0);
 }
 
@@ -304,7 +304,7 @@ TEST_F(AdmissionFixture, RetryStormIsBoundedByTheBudget) {
   for (int i = 0; i < 8; ++i) {
     fabric.call(a, b, net::RpcRequest{"work", 64, {}}, opts,
                 [&](net::RpcResponse r) {
-                  EXPECT_FALSE(r.ok);
+                  EXPECT_FALSE(r.ok());
                   EXPECT_EQ(r.status, net::RpcStatus::kOverloaded);
                   ++failed;
                 });
@@ -362,8 +362,8 @@ TEST_F(NfsOverloadFixture, DeadlineBudgetBoundsAMultiBlockTransfer) {
               });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
-  EXPECT_EQ(result->status, net::RpcStatus::kTimeout);
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimeout);
   // The caller hears about it at the budget, not after per-RPC x blocks
   // (orphaned transport events may still drain afterwards).
   ASSERT_TRUE(completed_at.has_value());
@@ -377,7 +377,7 @@ TEST_F(NfsOverloadFixture, DeadlineBudgetLeavesFastTransfersAlone) {
               [&](storage::NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
 }
 
 TEST_F(NfsOverloadFixture, ClientRetryBudgetBoundsOutageRetries) {
@@ -396,7 +396,9 @@ TEST_F(NfsOverloadFixture, ClientRetryBudgetBoundsOutageRetries) {
               [&](storage::NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->ok());
+  // Down node → kUnreachable at the transport, kUnavailable grid-wide.
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(client.retry_budget()->spent(), 2u);
   EXPECT_GT(client.retry_budget()->denied(), 0u);
 }
@@ -436,7 +438,7 @@ TEST_F(BreakerFixture, TimeoutsTripTheBreakerIntoCacheOnlyMode) {
   proxy.read("data", 0, storage::kBlockSize * 4,
              [&](vfs::VfsIoStats s) { warm = s; });
   sim.run();
-  ASSERT_TRUE(warm && warm->ok);
+  ASSERT_TRUE(warm && warm->ok());
 
   degrade_link();
   // One scripted timeline inside a single run (the degraded link's
@@ -464,21 +466,22 @@ TEST_F(BreakerFixture, TimeoutsTripTheBreakerIntoCacheOnlyMode) {
   sim.run();
 
   ASSERT_TRUE(m0 && m1);
-  EXPECT_FALSE(m0->ok);
-  EXPECT_FALSE(m1->ok);
+  EXPECT_FALSE(m0->ok());
+  EXPECT_FALSE(m1->ok());
   ASSERT_TRUE(state_after_trip.has_value());
   EXPECT_EQ(*state_after_trip, net::BreakerState::kOpen);
 
   // The miss inside the open window failed fast, network untouched...
   ASSERT_TRUE(rejected.has_value());
-  EXPECT_FALSE(rejected->ok);
-  EXPECT_NE(rejected->error.find("circuit open"), std::string::npos);
+  EXPECT_FALSE(rejected->ok());
+  EXPECT_EQ(rejected->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rejected->status.subsystem(), "vfs");
   EXPECT_EQ(rejected->rpcs, 0u);
   EXPECT_EQ(proxy.degraded_rejects(), 1u);
 
   // ...while cached blocks were still served (degraded, not dead).
   ASSERT_TRUE(cached.has_value());
-  EXPECT_TRUE(cached->ok);
+  EXPECT_TRUE(cached->ok());
   EXPECT_EQ(cached->rpcs, 0u);
 }
 
@@ -506,7 +509,7 @@ TEST_F(BreakerFixture, HalfOpenProbeRecoversTheProxy) {
   });
   sim.run();
   ASSERT_TRUE(probe.has_value());
-  EXPECT_TRUE(probe->ok);
+  EXPECT_TRUE(probe->ok());
   EXPECT_EQ(proxy.breaker()->state(), net::BreakerState::kClosed);
   EXPECT_GE(proxy.breaker()->transitions(), 3u);
 }
@@ -528,7 +531,8 @@ TEST_F(BreakerFixture, ProxyIoDeadlineBoundsDemandFetches) {
   });
   sim.run();
   ASSERT_TRUE(r.has_value());
-  EXPECT_FALSE(r->ok);
+  EXPECT_FALSE(r->ok());
+  EXPECT_EQ(r->status.code(), StatusCode::kTimeout);
   ASSERT_TRUE(completed_at.has_value());
   EXPECT_LE(*completed_at - sim::TimePoint::epoch(), sim::Duration::millis(250));
 }
@@ -543,7 +547,7 @@ TEST(MiddlewareAdmission, GramGatekeeperShedsPastActiveJobLimit) {
   auto& cs = grid.add_compute_server(params);
   cs.gram().set_executor([&grid](const std::string&, GramService::ExecutorDone done) {
     grid.simulation().schedule_after(sim::Duration::seconds(60),
-                                     [done] { done(true, "late"); });
+                                     [done] { done({}, "late"); });
   });
   const auto client_node = grid.network().add_node("client");
   grid.network().add_link(client_node, cs.node(),
@@ -559,11 +563,11 @@ TEST(MiddlewareAdmission, GramGatekeeperShedsPastActiveJobLimit) {
   ASSERT_EQ(results.size(), 3u);
   int ok = 0, shed = 0;
   for (const auto& r : results) {
-    if (r.ok) {
+    if (r.ok()) {
       ++ok;
     } else {
       ++shed;
-      EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+      EXPECT_EQ(r.status.code(), StatusCode::kOverloaded);
     }
   }
   EXPECT_EQ(ok, 1);
@@ -585,11 +589,11 @@ TEST(MiddlewareAdmission, SchedulerShedsWhenQueueFull) {
   int ok = 0, shed = 0;
   for (int i = 0; i < 5; ++i) {
     sched.submit("team", workload::micro_test_task(5.0), [&](BatchJobResult r) {
-      if (r.ok) {
+      if (r.ok()) {
         ++ok;
       } else {
         ++shed;
-        EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+        EXPECT_EQ(r.status.code(), StatusCode::kOverloaded);
       }
     });
   }
@@ -622,11 +626,11 @@ TEST(MiddlewareAdmission, ComputeServerBoundsPendingInstantiations) {
   ASSERT_EQ(stats.size(), 3u);
   int ok = 0, shed = 0;
   for (const auto& s : stats) {
-    if (s.ok) {
+    if (s.ok()) {
       ++ok;
     } else {
       ++shed;
-      EXPECT_NE(s.error.find("overloaded"), std::string::npos);
+      EXPECT_EQ(s.status.code(), StatusCode::kOverloaded);
     }
   }
   EXPECT_EQ(ok, 1);

@@ -100,11 +100,11 @@ TEST_P(CowProperty, MatchesReferenceModelUnderRandomOps) {
     const std::uint64_t offset = first * storage::kBlockSize;
     const std::uint64_t len = (last - first) * storage::kBlockSize;
     if (rng.bernoulli(0.4)) {
-      cow.write(offset, len, [](vm::VmIoStats s) { EXPECT_TRUE(s.ok); });
+      cow.write(offset, len, [](vm::VmIoStats s) { EXPECT_TRUE(s.ok()); });
       for (std::uint64_t b = first; b < last; ++b) reference_diff.insert(b);
     } else {
       cow.read(offset, len, [len](vm::VmIoStats s) {
-        EXPECT_TRUE(s.ok);
+        EXPECT_TRUE(s.ok());
         EXPECT_EQ(s.bytes, len);
       });
     }

@@ -40,7 +40,7 @@ TEST_F(ArchiveFixture, HibernateStoresStateAndFreesTheHost) {
 
   std::optional<CheckpointId> ckpt;
   archive.hibernate(*tb.compute, *vmachine, "zoe",
-                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+                    [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
   ASSERT_TRUE(ckpt->valid());
@@ -59,19 +59,19 @@ TEST_F(ArchiveFixture, ThawRestoresRunningVm) {
   ASSERT_NE(vmachine, nullptr);
   std::optional<CheckpointId> ckpt;
   archive.hibernate(*tb.compute, *vmachine, "zoe",
-                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+                    [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
 
   vm::VirtualMachine* fresh = nullptr;
-  std::string error;
+  Status error;
   archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-               [&](vm::VirtualMachine* v, std::string e) {
+               [&](vm::VirtualMachine* v, Status e) {
                  fresh = v;
                  error = std::move(e);
                });
   tb.grid->run();
-  ASSERT_NE(fresh, nullptr) << error;
+  ASSERT_NE(fresh, nullptr) << error.to_string();
   EXPECT_EQ(fresh->state(), vm::VmPowerState::kRunning);
   EXPECT_FALSE(archive.info(*ckpt).has_value());  // consumed
 }
@@ -87,18 +87,18 @@ TEST_F(ArchiveFixture, GuestComputationSurvivesHibernateThaw) {
 
   std::optional<CheckpointId> ckpt;
   archive.hibernate(*tb.compute, *vmachine, "zoe",
-                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+                    [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run_for(sim::Duration::minutes(5));
   ASSERT_TRUE(ckpt.has_value());
   EXPECT_FALSE(result.has_value());  // frozen inside the checkpoint
 
   vm::VirtualMachine* fresh = nullptr;
   archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-               [&](vm::VirtualMachine* v, std::string) { fresh = v; });
+               [&](vm::VirtualMachine* v, Status) { fresh = v; });
   tb.grid->run();
   ASSERT_NE(fresh, nullptr);
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
 }
 
 TEST_F(ArchiveFixture, SweepMigratesIdleCheckpointsToTapeAndThawRecalls) {
@@ -111,7 +111,7 @@ TEST_F(ArchiveFixture, SweepMigratesIdleCheckpointsToTapeAndThawRecalls) {
   ASSERT_NE(vmachine, nullptr);
   std::optional<CheckpointId> ckpt;
   tape_archive.hibernate(*tb.compute, *vmachine, "zoe",
-                         [&](std::optional<CheckpointId> id) { ckpt = id; });
+                         [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
 
@@ -125,7 +125,7 @@ TEST_F(ArchiveFixture, SweepMigratesIdleCheckpointsToTapeAndThawRecalls) {
   const auto t0 = tb.grid->now();
   vm::VirtualMachine* fresh = nullptr;
   tape_archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-                    [&](vm::VirtualMachine* v, std::string) { fresh = v; });
+                    [&](vm::VirtualMachine* v, Status) { fresh = v; });
   tb.grid->run();
   ASSERT_NE(fresh, nullptr);
   EXPECT_GT((tb.grid->now() - t0).to_seconds(), 45.0);  // at least the mount
@@ -136,19 +136,20 @@ TEST_F(ArchiveFixture, RemoveEndsTheLifecycle) {
   ASSERT_NE(vmachine, nullptr);
   std::optional<CheckpointId> ckpt;
   archive.hibernate(*tb.compute, *vmachine, "zoe",
-                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+                    [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
   EXPECT_TRUE(archive.remove(*ckpt));
   EXPECT_FALSE(archive.remove(*ckpt));  // idempotent failure
-  std::string error;
+  Status error;
   archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-               [&](vm::VirtualMachine* v, std::string e) {
+               [&](vm::VirtualMachine* v, Status e) {
                  EXPECT_EQ(v, nullptr);
                  error = std::move(e);
                });
   tb.grid->run();
-  EXPECT_EQ(error, "no such checkpoint");
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.subsystem(), "archive");
 }
 
 TEST_F(ArchiveFixture, ThawOfNeverIssuedIdFailsAsynchronously) {
@@ -156,10 +157,10 @@ TEST_F(ArchiveFixture, ThawOfNeverIssuedIdFailsAsynchronously) {
   // error, still delivered via the event loop, never synchronously.
   bool called = false;
   archive.thaw(CheckpointId{9999}, *tb.compute, StateAccess::kNonPersistentLocal, {},
-               [&](vm::VirtualMachine* v, std::string e) {
+               [&](vm::VirtualMachine* v, Status e) {
                  called = true;
                  EXPECT_EQ(v, nullptr);
-                 EXPECT_EQ(e, "no such checkpoint");
+                 EXPECT_EQ(e.code(), StatusCode::kNotFound);
                });
   EXPECT_FALSE(called);  // asynchronous even on the error path
   tb.grid->run();
@@ -171,7 +172,7 @@ TEST_F(ArchiveFixture, ThawReportsStateDownloadFailure) {
   ASSERT_NE(vmachine, nullptr);
   std::optional<CheckpointId> ckpt;
   archive.hibernate(*tb.compute, *vmachine, "zoe",
-                    [&](std::optional<CheckpointId> id) { ckpt = id; });
+                    [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
 
@@ -180,10 +181,10 @@ TEST_F(ArchiveFixture, ThawReportsStateDownloadFailure) {
   // download error rather than hang. The record survives for diagnosis.
   tb.images->fs().remove("ckpt-" + std::to_string(ckpt->value()) + ".state");
   vm::VirtualMachine* fresh = nullptr;
-  std::string error;
+  Status error;
   bool called = false;
   archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-               [&](vm::VirtualMachine* v, std::string e) {
+               [&](vm::VirtualMachine* v, Status e) {
                  called = true;
                  fresh = v;
                  error = std::move(e);
@@ -191,7 +192,10 @@ TEST_F(ArchiveFixture, ThawReportsStateDownloadFailure) {
   tb.grid->run();
   ASSERT_TRUE(called);
   EXPECT_EQ(fresh, nullptr);
-  EXPECT_NE(error.find("state download failed"), std::string::npos);
+  // The cause chain pins the root to the gridftp transfer.
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_NE(error.message().find("state download failed"), std::string::npos);
+  EXPECT_EQ(error.root_cause().subsystem(), "gridftp");
   EXPECT_TRUE(archive.info(*ckpt).has_value());  // not consumed by the failure
 }
 
@@ -205,7 +209,7 @@ TEST_F(ArchiveFixture, TapeTierThawOntoCrashedServerFails) {
   ASSERT_NE(vmachine, nullptr);
   std::optional<CheckpointId> ckpt;
   tape_archive.hibernate(*tb.compute, *vmachine, "zoe",
-                         [&](std::optional<CheckpointId> id) { ckpt = id; });
+                         [&](Result<CheckpointId> id) { if (id.ok()) ckpt = id.value(); });
   tb.grid->run();
   ASSERT_TRUE(ckpt.has_value());
   tb.grid->run_for(sim::Duration::minutes(5));
@@ -216,10 +220,10 @@ TEST_F(ArchiveFixture, TapeTierThawOntoCrashedServerFails) {
   // intact on tape for a thaw onto a live host later.
   tb.compute->crash();
   vm::VirtualMachine* fresh = nullptr;
-  std::string error;
+  Status error;
   bool called = false;
   tape_archive.thaw(*ckpt, *tb.compute, StateAccess::kNonPersistentLocal, {},
-                    [&](vm::VirtualMachine* v, std::string e) {
+                    [&](vm::VirtualMachine* v, Status e) {
                       called = true;
                       fresh = v;
                       error = std::move(e);
@@ -227,7 +231,8 @@ TEST_F(ArchiveFixture, TapeTierThawOntoCrashedServerFails) {
   tb.grid->run();
   ASSERT_TRUE(called);
   EXPECT_EQ(fresh, nullptr);
-  EXPECT_EQ(error, "target server down");
+  EXPECT_EQ(error.code(), StatusCode::kUnavailable);
+  EXPECT_NE(error.message().find("target server down"), std::string::npos);
   ASSERT_TRUE(tape_archive.info(*ckpt).has_value());  // not consumed
   EXPECT_EQ(tape_archive.info(*ckpt)->tier, CheckpointTier::kTape);  // no recall paid
 }
@@ -242,9 +247,10 @@ TEST_F(ArchiveFixture, HibernateRequiresRunningVm) {
   auto& vmachine = tb.compute->vmm().create_vm(opts.config, opts.image,
                                                std::move(storage));
   bool called = false;
-  archive.hibernate(*tb.compute, vmachine, "zoe", [&](std::optional<CheckpointId> id) {
+  archive.hibernate(*tb.compute, vmachine, "zoe", [&](Result<CheckpointId> id) {
     called = true;
-    EXPECT_FALSE(id.has_value());
+    EXPECT_FALSE(id.ok());
+    EXPECT_EQ(id.status().code(), StatusCode::kFailedPrecondition);
   });
   tb.grid->run();
   EXPECT_TRUE(called);
@@ -378,7 +384,7 @@ TEST_F(SchedulerFixture, RunsQueuedJobsToCompletion) {
   int completed = 0;
   for (int i = 0; i < 6; ++i) {
     sched.submit("team", workload::micro_test_task(20.0), [&](BatchJobResult r) {
-      EXPECT_TRUE(r.ok);
+      EXPECT_TRUE(r.ok());
       ++completed;
     });
   }

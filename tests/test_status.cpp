@@ -1,0 +1,210 @@
+// The grid-wide typed error model: Status value semantics, origin tags,
+// cause chains and their rendering, Result<T>, the recovery-policy
+// helpers, the lossless RpcStatus mapping, and the errors_total export.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "net/rpc.hpp"
+#include "obs/metrics.hpp"
+
+namespace vmgrid {
+namespace {
+
+TEST(Status, DefaultIsOkAndCheap) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_TRUE(st.message().empty());
+  EXPECT_TRUE(st.subsystem().empty());
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
+TEST(Status, ExplicitOkCodeDropsTheMessage) {
+  Status st{StatusCode::kOk, "should vanish"};
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, CarriesCodeMessageAndOrigin) {
+  Status st = TimeoutError("deadline expired").at("rpc", "call");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+  EXPECT_EQ(st.message(), "deadline expired");
+  EXPECT_EQ(st.subsystem(), "rpc");
+  EXPECT_EQ(st.op(), "call");
+}
+
+TEST(Status, FactoriesProduceTheirCodes) {
+  EXPECT_EQ(TimeoutError("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(OverloadedError("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_TRUE(OkStatus().ok());
+}
+
+TEST(Status, CauseChainWalksToTheRoot) {
+  Status rpc = TimeoutError("timeout after 3 attempts").at("rpc", "gram.submit");
+  Status gram =
+      Status{rpc.code(), "dispatch timeout"}.at("gram", "globusrun").caused_by(rpc);
+  Status session = Status{gram.code(), "re-instantiation failed"}
+                       .at("session", "failover")
+                       .caused_by(gram);
+
+  EXPECT_EQ(session.code(), StatusCode::kTimeout);  // code propagates verbatim
+  EXPECT_EQ(session.cause().subsystem(), "gram");
+  EXPECT_EQ(session.cause().cause().subsystem(), "rpc");
+  EXPECT_TRUE(session.cause().cause().cause().ok());  // chain ends
+
+  const Status root = session.root_cause();
+  EXPECT_EQ(root.subsystem(), "rpc");
+  EXPECT_EQ(root.op(), "gram.submit");
+  EXPECT_EQ(root.code(), StatusCode::kTimeout);
+}
+
+TEST(Status, RootCauseOfLeafIsItself) {
+  Status st = NotFoundError("no such file").at("gridftp");
+  EXPECT_EQ(st.root_cause().subsystem(), "gridftp");
+  EXPECT_EQ(st.root_cause().code(), StatusCode::kNotFound);
+}
+
+TEST(Status, RendersTheWholeChain) {
+  Status rpc = TimeoutError("timeout after 3 attempts").at("rpc");
+  Status gram = Status{rpc.code(), "dispatch timeout"}.at("gram").caused_by(rpc);
+  Status session = Status{gram.code(), "re-instantiation failed"}
+                       .at("session")
+                       .caused_by(gram);
+  EXPECT_EQ(session.to_string(),
+            "session: re-instantiation failed ← gram: dispatch timeout "
+            "← rpc: timeout after 3 attempts");
+}
+
+TEST(Status, RenderingIncludesOpWhenTagged) {
+  Status st = TimeoutError("deadline expired").at("rpc", "nfs.read");
+  EXPECT_EQ(st.to_string(), "rpc.nfs.read: deadline expired");
+}
+
+TEST(Status, CopiesShareTheChainCheaply) {
+  Status a = UnavailableError("down").at("x").caused_by(TimeoutError("t").at("y"));
+  Status b = a;  // shallow copy of the immutable rep
+  EXPECT_EQ(b.to_string(), a.to_string());
+  EXPECT_EQ(b.root_cause().subsystem(), "y");
+}
+
+TEST(StatusPolicy, RetryableMatchesTransientCodes) {
+  EXPECT_TRUE(retryable(StatusCode::kTimeout));
+  EXPECT_TRUE(retryable(StatusCode::kOverloaded));
+  EXPECT_TRUE(retryable(StatusCode::kUnavailable));
+  EXPECT_FALSE(retryable(StatusCode::kOk));
+  EXPECT_FALSE(retryable(StatusCode::kNotFound));
+  EXPECT_FALSE(retryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(retryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(retryable(StatusCode::kAborted));
+  EXPECT_FALSE(retryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(retryable(StatusCode::kInternal));
+}
+
+TEST(StatusPolicy, ShedPriorityIsCongestionOnly) {
+  EXPECT_TRUE(shed_priority(StatusCode::kTimeout));
+  EXPECT_TRUE(shed_priority(StatusCode::kOverloaded));
+  EXPECT_TRUE(shed_priority(StatusCode::kResourceExhausted));
+  // A dead peer must not open a breaker against a healthy server.
+  EXPECT_FALSE(shed_priority(StatusCode::kUnavailable));
+  EXPECT_FALSE(shed_priority(StatusCode::kNotFound));
+  EXPECT_FALSE(shed_priority(StatusCode::kOk));
+}
+
+TEST(StatusPolicy, RpcStatusMapsLosslesslyAndPreservesRetryability) {
+  using net::RpcStatus;
+  EXPECT_EQ(net::to_code(RpcStatus::kOk), StatusCode::kOk);
+  EXPECT_EQ(net::to_code(RpcStatus::kConnectionRefused), StatusCode::kUnavailable);
+  EXPECT_EQ(net::to_code(RpcStatus::kNoSuchMethod), StatusCode::kNotFound);
+  EXPECT_EQ(net::to_code(RpcStatus::kUnreachable), StatusCode::kUnavailable);
+  EXPECT_EQ(net::to_code(RpcStatus::kTimeout), StatusCode::kTimeout);
+  EXPECT_EQ(net::to_code(RpcStatus::kServerError), StatusCode::kInternal);
+  EXPECT_EQ(net::to_code(RpcStatus::kOverloaded), StatusCode::kOverloaded);
+  // The fabric's retry predicate is now defined through the code mapping.
+  for (auto s : {RpcStatus::kOk, RpcStatus::kConnectionRefused,
+                 RpcStatus::kNoSuchMethod, RpcStatus::kUnreachable,
+                 RpcStatus::kTimeout, RpcStatus::kServerError,
+                 RpcStatus::kOverloaded}) {
+    EXPECT_EQ(net::rpc_status_retryable(s), retryable(net::to_code(s)));
+  }
+}
+
+TEST(StatusPolicy, RpcResponseToStatusTagsTheRpcOrigin) {
+  net::RpcResponse resp;
+  resp.status = net::RpcStatus::kTimeout;
+  resp.error = "deadline expired before reply";
+  Status st = net::to_status(resp, "nfs.read");
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+  EXPECT_EQ(st.subsystem(), "rpc");
+  EXPECT_EQ(st.op(), "nfs.read");
+  EXPECT_EQ(st.message(), "deadline expired before reply");
+
+  net::RpcResponse ok;
+  EXPECT_TRUE(net::to_status(ok, "x").ok());
+
+  // An empty transport detail falls back to the status name.
+  net::RpcResponse bare;
+  bare.status = net::RpcStatus::kUnreachable;
+  EXPECT_EQ(net::to_status(bare, "x").message(), "unreachable");
+}
+
+TEST(ResultT, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+
+  Result<int> bad = NotFoundError("missing").at("archive");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultT, OkStatusConstructionBecomesInternalError) {
+  Result<int> r = Status{};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(RecordError, ExportsErrorsTotalBySubsystemAndCode) {
+  obs::MetricsRegistry metrics;
+  record_error(metrics, TimeoutError("t").at("nfs", "read"));
+  record_error(metrics, TimeoutError("t").at("nfs", "read"));
+  record_error(metrics, OverloadedError("shed").at("scheduler", "submit"));
+  record_error(metrics, Status{});  // OK: must not count
+
+  EXPECT_DOUBLE_EQ(metrics.counter_value(
+                       "errors_total",
+                       {{"subsystem", "nfs"}, {"code", "timeout"}}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(metrics.counter_value(
+                       "errors_total",
+                       {{"subsystem", "scheduler"}, {"code", "overloaded"}}),
+                   1.0);
+  EXPECT_EQ(metrics.find_counter("errors_total",
+                                 {{"subsystem", "unknown"}, {"code", "ok"}}),
+            nullptr);
+}
+
+TEST(RecordError, UntaggedFailureLandsInUnknown) {
+  obs::MetricsRegistry metrics;
+  record_error(metrics, InternalError("anonymous"));
+  EXPECT_DOUBLE_EQ(metrics.counter_value(
+                       "errors_total",
+                       {{"subsystem", "unknown"}, {"code", "internal"}}),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace vmgrid

@@ -179,7 +179,7 @@ TEST_F(NfsFixture, ReadSplitsIntoBlockRpcs) {
   client.read("data", 0, kBlockSize * 10, [&](NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   EXPECT_EQ(result->rpcs, 10u);
   EXPECT_EQ(result->bytes, kBlockSize * 10);
   EXPECT_EQ(result->block_versions.size(), 10u);
@@ -203,7 +203,7 @@ TEST_F(NfsFixture, WriteUpdatesServerState) {
   client.write("data", 0, kBlockSize * 3, [&](NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   EXPECT_EQ(fs.size("data"), std::optional<std::uint64_t>{kBlockSize * 3});
   EXPECT_EQ(fs.block_version("data", 2), 1u);
 }
@@ -213,8 +213,9 @@ TEST_F(NfsFixture, ReadOfMissingFileFails) {
   client.read("ghost", 0, kBlockSize, [&](NfsIoResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->ok);
-  EXPECT_NE(result->error.find("ENOENT"), std::string::npos);
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->status.subsystem(), "nfs");
+  EXPECT_NE(result->status.to_string().find("ENOENT"), std::string::npos);
 }
 
 TEST_F(NfsFixture, CreateOverWire) {
@@ -247,13 +248,13 @@ TEST_F(NfsFixture, WindowPipelinesLargeReads) {
   double wide_elapsed = -1, narrow_elapsed = -1;
   auto start = sim.now();
   wide_client.read("big", 0, kBlockSize * 64, [&](NfsIoResult r) {
-    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.ok());
     wide_elapsed = (sim.now() - start).to_seconds();
   });
   sim.run();
   start = sim.now();
   narrow_client.read("big", 0, kBlockSize * 64, [&](NfsIoResult r) {
-    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.ok());
     narrow_elapsed = (sim.now() - start).to_seconds();
   });
   sim.run();
@@ -264,12 +265,12 @@ TEST_F(NfsFixture, ZeroLengthIoCompletesImmediately) {
   fs.create("data", kBlockSize);
   int called = 0;
   client.read("data", 0, 0, [&](NfsIoResult r) {
-    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.rpcs, 0u);
     ++called;
   });
   client.write("data", 0, 0, [&](NfsIoResult r) {
-    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.ok());
     ++called;
   });
   sim.run();

@@ -24,7 +24,7 @@ std::string scenario_fingerprint(std::uint64_t seed) {
   SessionRequest req;
   req.user = "det";
   req.query.time_bound = sim::Duration::millis(100);
-  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string) {
+  tb.grid->sessions().create_session(req, [&](VmSession* s, Status) {
     if (s == nullptr) return;
     out << "ready@" << tb.grid->now().to_seconds() << ";ip=" << s->ip().to_string();
     s->run_task(workload::micro_test_task(25.0), [&, s](vm::TaskResult r) {
@@ -59,14 +59,14 @@ TEST(SystemStaging, SessionStagesImageWhenLocalAccessRequested) {
   req.start = VmStartMode::kWarmRestore;
   req.query.time_bound = sim::Duration::millis(100);
   VmSession* session = nullptr;
-  std::string error;
+  Status error;
   const auto t0 = tb.grid->now();
-  tb.grid->sessions().create_session(req, [&](VmSession* s, std::string e) {
+  tb.grid->sessions().create_session(req, [&](VmSession* s, Status e) {
     session = s;
     error = std::move(e);
   });
   tb.grid->run();
-  ASSERT_NE(session, nullptr) << error;
+  ASSERT_NE(session, nullptr) << error.to_string();
   EXPECT_TRUE(tb.compute->host().fs().exists(testbed::paper_image().disk_file()));
   // 2 GiB over a 2.5 MB/s WAN: staging dominates (> 10 minutes).
   EXPECT_GT((tb.grid->now() - t0).to_seconds(), 600.0);
@@ -96,11 +96,11 @@ TEST(SystemChurn, ManySessionsAcrossServersAllComplete) {
     req.user = "user-" + std::to_string(i % 3);
     req.access = StateAccess::kNonPersistentVfs;
     req.query.time_bound = sim::Duration::millis(200);
-    grid.sessions().create_session(req, [&](VmSession* s, std::string e) {
-      ASSERT_NE(s, nullptr) << e;
+    grid.sessions().create_session(req, [&](VmSession* s, Status e) {
+      ASSERT_NE(s, nullptr) << e.to_string();
       sessions.push_back(s);
       s->run_task(workload::micro_test_task(30.0),
-                  [&](vm::TaskResult r) { completed_tasks += r.ok ? 1 : 0; });
+                  [&](vm::TaskResult r) { completed_tasks += r.ok() ? 1 : 0; });
     });
   }
   grid.run();

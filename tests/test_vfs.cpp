@@ -95,7 +95,7 @@ struct VfsFixture : ::testing::Test {
 TEST_F(VfsFixture, ColdReadMissesWarmReadHits) {
   VfsProxy proxy{sim, nfs, VfsProxyParams{.prefetch_blocks = 0}};
   const auto cold = read_sync(proxy, "image", 0, kBlockSize * 8);
-  EXPECT_TRUE(cold.ok);
+  EXPECT_TRUE(cold.ok());
   EXPECT_EQ(cold.cache_misses, 8u);
   EXPECT_GT(cold.rpcs, 0u);
   const auto warm = read_sync(proxy, "image", 0, kBlockSize * 8);
@@ -140,7 +140,7 @@ TEST_F(VfsFixture, ReadYourWritesThroughWriteBuffer) {
   VfsProxy proxy{sim, nfs};
   bool wrote = false;
   proxy.write("image", 0, kBlockSize * 2, [&](VfsIoStats s) {
-    EXPECT_TRUE(s.ok);
+    EXPECT_TRUE(s.ok());
     wrote = true;
   });
   // Advance only a little so the delayed-write timer has NOT fired yet.
@@ -238,8 +238,8 @@ TEST_F(VfsFixture, ConcurrentReadsOfColdBlockShareOneFetch) {
   proxy.read("image", 0, kBlockSize, [&](VfsIoStats s) { second = s; });
   sim.run();
   ASSERT_TRUE(first && second);
-  EXPECT_TRUE(first->ok);
-  EXPECT_TRUE(second->ok);
+  EXPECT_TRUE(first->ok());
+  EXPECT_TRUE(second->ok());
   EXPECT_EQ(first->rpcs + second->rpcs, 1u);
   EXPECT_EQ(nfs.rpcs_issued(), 1u);
 }
@@ -254,7 +254,7 @@ TEST_F(VfsFixture, SequentialReaderNeverDoubleFetches) {
     proxy.read("image", static_cast<std::uint64_t>(i) * 8 * kBlockSize, 8 * kBlockSize,
                [&](VfsIoStats s) { out = s; });
     sim.run();
-    ASSERT_TRUE(out && out->ok);
+    ASSERT_TRUE(out && out->ok());
   }
   // 64 demanded blocks + at most one prefetch window beyond the end.
   EXPECT_LE(nfs.rpcs_issued(), 64u + p.prefetch_blocks);
@@ -266,8 +266,10 @@ TEST_F(VfsFixture, ReadErrorPropagates) {
   proxy.read("ghost", 0, kBlockSize, [&](VfsIoStats s) { out = s; });
   sim.run();
   ASSERT_TRUE(out.has_value());
-  EXPECT_FALSE(out->ok);
-  EXPECT_NE(out->error.find("ENOENT"), std::string::npos);
+  EXPECT_FALSE(out->ok());
+  // ENOENT arrives as a typed kInternal (server-side error) with the
+  // original message preserved down the cause chain.
+  EXPECT_NE(out->status.to_string().find("ENOENT"), std::string::npos);
 }
 
 }  // namespace

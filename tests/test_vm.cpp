@@ -187,7 +187,7 @@ TEST_F(VmFixture, TaskOnVmShowsDilatedCpuTimes) {
   vm.run_task(spec, [&](TaskResult r) { result = std::move(r); });
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   EXPECT_NEAR(result->user_cpu_seconds, 101.0, 1e-9);
   EXPECT_NEAR(result->sys_cpu_seconds, 6.0, 1e-9);
   // Wall clock reflects the dilation: at least observed CPU.
@@ -263,7 +263,7 @@ TEST_F(VmFixture, CowDiskRoutesWritesToDiff) {
   EXPECT_EQ(cow.diff_block_count(), 0u);
   bool wrote = false;
   cow.write(0, kBlockSize * 3, [&](VmIoStats s) {
-    EXPECT_TRUE(s.ok);
+    EXPECT_TRUE(s.ok());
     wrote = true;
   });
   sim.run();
@@ -274,7 +274,7 @@ TEST_F(VmFixture, CowDiskRoutesWritesToDiff) {
   cow.read(0, kBlockSize * 6, [&](VmIoStats s) { read = s; });
   sim.run();
   ASSERT_TRUE(read.has_value());
-  EXPECT_TRUE(read->ok);
+  EXPECT_TRUE(read->ok());
   EXPECT_EQ(read->bytes, kBlockSize * 6);
 }
 
@@ -309,7 +309,7 @@ TEST_F(VmFixture, SuspendFreezesRunningTaskAndResumeContinuesIt) {
   vm.resume([] {});
   sim.run();
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   // Wall = ~10s before + ~100s frozen + remaining ~20s (+overheads).
   EXPECT_GT(result->wall.to_seconds(), 128.0);
   EXPECT_LT(result->wall.to_seconds(), 140.0);
@@ -372,7 +372,7 @@ TEST_F(MigrationFixture, StopAndCopyMovesVm) {
           });
   sim.run();
   ASSERT_TRUE(stats.has_value());
-  EXPECT_TRUE(stats->ok);
+  EXPECT_TRUE(stats->ok());
   ASSERT_NE(fresh, nullptr);
   EXPECT_EQ(fresh->state(), VmPowerState::kRunning);
   EXPECT_EQ(vmm->vm_count(), 0u);
@@ -407,7 +407,7 @@ TEST_F(MigrationFixture, PrecopyShrinksDowntime) {
 
   const auto stop_copy = run_migration(false);
   const auto precopy = run_migration(true);
-  EXPECT_TRUE(stop_copy.ok && precopy.ok);
+  EXPECT_TRUE(stop_copy.ok() && precopy.ok());
   EXPECT_LT(precopy.downtime.to_seconds(), stop_copy.downtime.to_seconds() * 0.5);
   EXPECT_GT(precopy.bytes_transferred, stop_copy.bytes_transferred);
   EXPECT_GE(precopy.precopy_rounds, 1u);
@@ -432,13 +432,13 @@ TEST_F(MigrationFixture, RunningTaskMovesWithTheVm) {
   p.precopy = true;
   migrate(vm, *vmm2, target_storage(), p,
           [&](MigrationStats s, VirtualMachine* nv) {
-            ASSERT_TRUE(s.ok);
+            ASSERT_TRUE(s.ok());
             fresh = nv;
           });
   sim.run();
   ASSERT_NE(fresh, nullptr);
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(result->ok());
   // The work was executed: ~60s of compute plus the migration stall.
   EXPECT_GT(result->wall.to_seconds(), 60.0);
   // The completing work ran on the *target* host, not the source.
@@ -465,7 +465,7 @@ TEST_F(MigrationFixture, TargetAdmissionFailureResumesAtSource) {
           });
   sim.run();
   ASSERT_TRUE(stats.has_value());
-  EXPECT_FALSE(stats->ok);
+  EXPECT_FALSE(stats->ok());
   EXPECT_EQ(fresh, nullptr);
   EXPECT_EQ(vm.state(), VmPowerState::kRunning);  // resumed at source
   EXPECT_EQ(vmm->vm_count(), 1u);
