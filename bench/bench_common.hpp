@@ -62,6 +62,7 @@ class SampleSet {
   [[nodiscard]] double max() const { return acc_.max(); }
   [[nodiscard]] double sum() const { return acc_.sum(); }
   [[nodiscard]] const sim::Accumulator& accumulator() const { return acc_; }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
   /// Nearest-rank percentile over the raw samples; 0.0 when empty.
   /// The sorted view is computed once and reused until the next add(),

@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "fault/fault.hpp"
 #include "middleware/testbed.hpp"
+#include "obs/slo.hpp"
 #include "sim/replication.hpp"
 #include "workload/task_spec.hpp"
 
@@ -79,6 +80,8 @@ sim::Duration horizon() {
 
 struct ReplicaResult {
   double availability{0.0};
+  std::uint64_t alive_samples{0};  // raw 1 Hz liveness counts behind it
+  std::uint64_t total_samples{0};
   std::vector<double> rto_s;  // one per completed failover
   std::uint64_t injected{0};
   std::uint64_t failovers_ok{0};
@@ -180,6 +183,8 @@ ReplicaResult run_replica(std::size_t rate_idx, std::size_t sample_idx) {
   g.run_for(window + sim::Duration::seconds(60));
 
   out.injected = eng.injected();
+  out.alive_samples = alive_samples;
+  out.total_samples = total_samples;
   out.availability =
       total_samples == 0
           ? 0.0
@@ -190,6 +195,8 @@ ReplicaResult run_replica(std::size_t rate_idx, std::size_t sample_idx) {
 struct RateSummary {
   bench::SampleSet availability;
   bench::SampleSet rto;
+  std::uint64_t alive_samples{0};
+  std::uint64_t total_samples{0};
   std::uint64_t injected{0};
   std::uint64_t failovers_ok{0};
   std::uint64_t failovers_failed{0};
@@ -215,6 +222,8 @@ std::vector<RateSummary>& results() {
       const auto& r = replicas[idx];
       auto& s = out[idx / n_samples];
       s.availability.add(r.availability);
+      s.alive_samples += r.alive_samples;
+      s.total_samples += r.total_samples;
       for (double rto : r.rto_s) s.rto.add(rto);
       s.injected += r.injected;
       s.failovers_ok += r.failovers_ok;
@@ -278,6 +287,25 @@ void print_table() {
     report.add_field(avail_name, "events_per_hour", rs[i]);
     report.add_field(avail_name, "replicas",
                      static_cast<double>(samples_per_rate()));
+    // SLO accounting over the folded counts: session availability against
+    // a three-nines objective (1 Hz liveness samples), RTO against a
+    // 60 s recovery-time objective at p90, task success against 95%.
+    obs::SloMonitor slo;
+    slo.add_availability_objective("session_uptime", 0.999);
+    slo.add_latency_objective("failover_rto", 60.0, 0.90);
+    slo.add_availability_objective("task_success", 0.95);
+    slo.observe_counts("session_uptime", s.total_samples, s.alive_samples);
+    std::uint64_t rto_good = 0;
+    for (double rto : s.rto.samples()) {
+      if (rto <= 60.0) ++rto_good;
+    }
+    slo.observe_counts("failover_rto", s.rto.count(), rto_good);
+    slo.observe_counts("task_success", s.tasks_ok + s.tasks_failed, s.tasks_ok);
+    for (const auto& r : slo.evaluate()) {
+      report.add_field(avail_name, "slo_" + r.name + "_compliance", r.compliance);
+      report.add_field(avail_name, "slo_" + r.name + "_burn_rate", r.burn_rate);
+      report.add_field(avail_name, "slo_" + r.name + "_met", r.met ? 1.0 : 0.0);
+    }
   }
   report.write();
 

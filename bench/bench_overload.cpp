@@ -32,6 +32,7 @@
 #include "bench_common.hpp"
 #include "net/rpc.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "sim/replication.hpp"
 #include "sim/simulation.hpp"
 
@@ -320,6 +321,21 @@ void print_table() {
       report.add_field(name, "retry_budget_denied",
                        static_cast<double>(s.budget_denied));
       report.add_field(name, "latency_p99_s", s.latency.percentile(99.0));
+      // SLO view of the same counts: latency objective = completions
+      // within kSloS; availability objective = sent requests that
+      // succeeded at all. Burn rate > 1 means the error budget is being
+      // violated at this load point. Pure fold of replica counters, so
+      // byte-identical for every VMGRID_JOBS.
+      obs::SloMonitor slo;
+      slo.add_latency_objective("rpc_latency", kSloS, 0.99);
+      slo.add_availability_objective("rpc_success", 0.999);
+      slo.observe_counts("rpc_latency", s.ok_total, s.ok_in_slo);
+      slo.observe_counts("rpc_success", s.sent, s.ok_total);
+      for (const auto& r : slo.evaluate()) {
+        report.add_field(name, "slo_" + r.name + "_compliance", r.compliance);
+        report.add_field(name, "slo_" + r.name + "_burn_rate", r.burn_rate);
+        report.add_field(name, "slo_" + r.name + "_met", r.met ? 1.0 : 0.0);
+      }
     }
   }
   report.write();

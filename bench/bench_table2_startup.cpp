@@ -12,6 +12,8 @@
 #include "bench_common.hpp"
 #include "middleware/gram.hpp"
 #include "middleware/testbed.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/replication.hpp"
 #include "sim/simulation.hpp"
@@ -127,10 +129,36 @@ void write_combined_trace() {
     if (started != nullptr) cs->destroy_vm(*started);
   }
 
+  // Per-cell critical-path attribution: each cell's globusrun is one
+  // trace root; the extracted chain says which subsystem the startup
+  // latency was actually spent waiting on (DESIGN.md §13).
+  const auto& trace = grid.simulation().trace();
+  const auto roots = trace.find_all("gram.globusrun");
+  std::printf("\nCritical path per Table 2 cell (begin/end/charged, subsystem/op @ track):\n");
+  for (std::size_t c = 0; c < roots.size() && c < kCells.size(); ++c) {
+    const auto path_segments =
+        obs::coalesce_path(obs::extract_critical_path(trace, roots[c]->id));
+    std::printf("%s\n%s", kCells[c].label,
+                obs::format_critical_path(path_segments).c_str());
+  }
+  if (trace.orphan_spans() != 0) {
+    std::printf("WARNING: %zu orphaned spans in combined trace\n",
+                static_cast<std::size_t>(trace.orphan_spans()));
+  }
+
   const std::string path = "BENCH_table2_startup.trace.json";
   if (grid.simulation().trace().write_chrome_json(path)) {
     std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
                 path.c_str());
+  }
+  // Wall-clock attribution of the sim itself (VMGRID_PROFILE=1 runs only);
+  // deliberately a separate file: wall time is nondeterministic and must
+  // never leak into the metric JSON the CI byte-compares.
+  if (obs::SimProfiler::instance().enabled()) {
+    const std::string prof = "BENCH_table2_startup.profile.json";
+    if (obs::SimProfiler::instance().write_json(prof)) {
+      std::printf("wrote %s\n", prof.c_str());
+    }
   }
 }
 

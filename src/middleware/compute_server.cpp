@@ -233,11 +233,16 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
     return;
   }
   sim_.metrics().counter("compute.instantiations", {{"host", host_.name()}}).inc();
-  auto span = std::make_shared<obs::Span>(sim_, "vm.instantiate", host_.name());
+  // Explicit parents: the host track is shared by concurrent
+  // instantiations, so track-stack inference would nest them spuriously.
+  // The ambient context here is the dispatching GRAM job's execute span.
+  auto span = std::make_shared<obs::Span>(sim_, "vm.instantiate", host_.name(),
+                                          sim_.trace().current(), "vm");
   span->arg("vm", opts.config.name);
   span->arg("mode", to_string(opts.mode));
   span->arg("access", to_string(opts.access));
-  auto stage_span = std::make_shared<obs::Span>(sim_, "vm.stage", host_.name());
+  auto stage_span = std::make_shared<obs::Span>(sim_, "vm.stage", host_.name(),
+                                                span->context(), "vm");
   // Count the request against the advertised future immediately so
   // concurrent placement decisions see this slot as taken. The callback
   // parks in the in-flight registry so a crash can fail it; every
@@ -258,13 +263,14 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
     stats.status = std::move(status);
     record_error(sim_.metrics(), stats.status);
     stats.total = sim_.now() - t0;
-    span->arg("ok", "false");
+    span->set_status(stats.status);
     span->end();
     done(nullptr, std::move(stats));
   };
-  prepare_storage(opts, [this, opts, t0, id, fail, span, stage_span](
-                            Status st, vm::VmStorage storage) mutable {
+  auto on_staged = [this, opts, t0, id, fail, span, stage_span](
+                       Status st, vm::VmStorage storage) mutable {
     if (!inflight_.contains(id)) return;  // crashed while staging
+    stage_span->set_status(st);
     stage_span->end();
     InstantiationStats stats;
     stats.access = opts.access;
@@ -284,7 +290,10 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
     const auto t_start = sim_.now();
     auto start_span = std::make_shared<obs::Span>(
         sim_, opts.mode == VmStartMode::kColdBoot ? "vm.reboot" : "vm.restore",
-        host_.name());
+        host_.name(), span->context(), "vm");
+    // Session-lifetime attribution: task runs on this VM (long after the
+    // instantiate span closed) still join the instantiation's trace.
+    vmachine->set_trace_context(span->context());
     auto on_running = [this, id, vmachine, t0, t_start, stats, span,
                        start_span]() mutable {
       auto done = take_inflight(id);
@@ -296,16 +305,23 @@ void ComputeServer::instantiate(InstantiateOptions opts, InstantiateCallback cb)
       update_gauges();
       stats.start_time = sim_.now() - t_start;
       stats.total = sim_.now() - t0;
-      span->arg("ok", "true");
+      span->set_status(Status{});
       span->end();
       done(vmachine, std::move(stats));
     };
+    // Scope so the guest-side boot/restore spans (on the VM's own track)
+    // parent under this host-side start span.
+    obs::ScopedTraceContext scope{sim_.trace(), start_span->context()};
     if (opts.mode == VmStartMode::kColdBoot) {
       vmachine->boot(std::move(on_running));
     } else {
       vmachine->restore(std::move(on_running));
     }
-  });
+  };
+  // Staging I/O (image fetch, cache warm, NFS mounts) parents under the
+  // stage span via this scope.
+  obs::ScopedTraceContext stage_scope{sim_.trace(), stage_span->context()};
+  prepare_storage(opts, std::move(on_staged));
 }
 
 void ComputeServer::destroy_vm(vm::VirtualMachine& vmachine) {

@@ -53,12 +53,17 @@ GramService::GramService(net::RpcServer& server, GramParams params)
         ++jobs_;
         ++active_jobs_;
         sim.metrics().counter("gram.jobs").inc();
+        VMGRID_LOG(sim, kDebug, "gram", "accepted job rsl=" << args.rsl);
         // Job-lifecycle spans: gram.job wraps the gatekeeper phases
         // (auth+jobmanager, then the executed job) on the "gram" track.
-        auto job_span = std::make_shared<obs::Span>(sim, "gram.job", "gram");
+        // Explicit parents throughout: gram.job continues the submitting
+        // RPC attempt's trace (concurrent jobs on the shared "gram" track
+        // must not nest under each other), and the phases hang off it.
+        auto job_span = std::make_shared<obs::Span>(sim, "gram.job", "gram",
+                                                    sim.trace().current(), "gram");
         job_span->arg("rsl", args.rsl);
-        auto setup_span =
-            std::make_shared<obs::Span>(sim, "gram.auth+jobmanager", "gram");
+        auto setup_span = std::make_shared<obs::Span>(
+            sim, "gram.auth+jobmanager", "gram", job_span->context(), "gram");
         // GSI mutual authentication, then jobmanager fork/exec, then the
         // job itself; the reply is held until the job completes (the
         // -interactive globusrun behaviour the paper timed).
@@ -67,20 +72,32 @@ GramService::GramService(net::RpcServer& server, GramParams params)
             [this, &sim, job_span, setup_span, rsl = args.rsl,
              respond = std::move(respond)]() mutable {
               setup_span->end();
-              auto exec_span = std::make_shared<obs::Span>(sim, "gram.execute", "gram");
-              executor_(rsl, [this, job_span, exec_span, respond = std::move(respond)](
-                                 Status st, std::string output) {
-                exec_span->end();
-                job_span->arg("ok", st.ok() ? "true" : "false");
-                job_span->end();
-                if (active_jobs_ > 0) --active_jobs_;
-                const bool ok = st.ok();
-                respond(net::RpcResponse{
-                    .error = ok ? "" : st.message(),
-                    .response_bytes = 256,
-                    .payload = SubmitReply{std::move(st), std::move(output)},
-                    .status = ok ? net::RpcStatus::kOk : net::RpcStatus::kServerError});
-              });
+              auto exec_span = std::make_shared<obs::Span>(
+                  sim, "gram.execute", "gram", job_span->context(), "gram");
+              {
+                // Executor work (VM instantiate, task run) joins the job's
+                // trace through this scope.
+                obs::ScopedTraceContext scope{sim.trace(), exec_span->context()};
+                executor_(rsl, [this, &sim, job_span, exec_span,
+                                respond = std::move(respond)](Status st,
+                                                              std::string output) {
+                  exec_span->set_status(st);
+                  exec_span->end();
+                  job_span->set_status(st);
+                  job_span->end();
+                  if (!st.ok()) {
+                    VMGRID_LOG(sim, kInfo, "gram", "job failed: " << st.to_string());
+                  }
+                  if (active_jobs_ > 0) --active_jobs_;
+                  const bool ok = st.ok();
+                  respond(net::RpcResponse{
+                      .error = ok ? "" : st.message(),
+                      .response_bytes = 256,
+                      .payload = SubmitReply{std::move(st), std::move(output)},
+                      .status =
+                          ok ? net::RpcStatus::kOk : net::RpcStatus::kServerError});
+                });
+              }
             });
       });
 }
@@ -107,10 +124,18 @@ void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
   // Capture the fabric by reference, not `this`: GramClient is commonly a
   // short-lived stack object while the fabric outlives the whole run.
   auto& fabric = fabric_;
-  const auto started = fabric.simulation().now();
-  fabric.call(self_, gatekeeper, net::RpcRequest{"gram.submit", 2048, SubmitArgs{rsl}},
-              opts,
-              [&fabric, started, cb = std::move(cb)](net::RpcResponse resp) {
+  auto& sim = fabric.simulation();
+  const auto started = sim.now();
+  // Root-or-continue: under an ambient scope (session launch, failover)
+  // the submission joins that trace; bare client submissions start one.
+  auto run_span = std::make_shared<obs::Span>(
+      sim, "gram.globusrun", fabric.network().node_name(self_),
+      sim.trace().current(), "gram");
+  run_span->arg("rsl", rsl);
+  net::RpcRequest req{"gram.submit", 2048, SubmitArgs{rsl}};
+  req.trace = run_span->context();
+  fabric.call(self_, gatekeeper, std::move(req), opts,
+              [&fabric, started, run_span, cb = std::move(cb)](net::RpcResponse resp) {
                 GramJobResult r;
                 r.elapsed = fabric.simulation().now() - started;
                 fabric.simulation()
@@ -135,6 +160,8 @@ void GramClient::globusrun(net::NodeId gatekeeper, const std::string& rsl,
                                  .caused_by(std::move(cause));
                   record_error(fabric.simulation().metrics(), r.status);
                 }
+                run_span->set_status(r.status);
+                run_span->end();
                 cb(std::move(r));
               });
 }

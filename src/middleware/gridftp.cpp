@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace vmgrid::middleware {
 
 namespace {
@@ -23,9 +25,15 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
   std::uint64_t written{0};
   sim::TimePoint started{};
   bool finished{false};
+  /// Whole-transfer span (all parallel streams); child of the caller's
+  /// ambient trace (e.g. vm.stage during instantiation).
+  obs::Span span{};
 
   void begin() {
     started = sim->now();
+    span = obs::Span{*sim, "gridftp.transfer", "gridftp", sim->trace().current(),
+                     "gridftp"};
+    span.arg("src", src_path);
     const auto size = src_fs->size(src_path);
     if (!size) {
       finish(NotFoundError("no such file: " + src_path).at("gridftp", "transfer"));
@@ -71,6 +79,8 @@ struct TransferState : std::enable_shared_from_this<TransferState> {
     finished = true;
     FtpTransferResult r;
     r.status = std::move(status);
+    span.set_status(r.status);
+    span.end();
     if (!r.status.ok()) record_error(sim->metrics(), r.status);
     r.elapsed = sim->now() - started;
     r.bytes = written;

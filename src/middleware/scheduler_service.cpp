@@ -7,6 +7,8 @@
 #include "middleware/grid.hpp"
 #include "middleware/testbed.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace vmgrid::middleware {
 
@@ -57,6 +59,12 @@ void SchedulerService::submit(const std::string& owner, workload::TaskSpec spec,
   job.spec = std::move(spec);
   job.cb = std::move(cb);
   job.submitted = grid_.simulation().now();
+  // Root-or-continue: the job's whole life (queue wait, dispatch, run)
+  // hangs off one span on the shared "scheduler" track.
+  auto& sim = grid_.simulation();
+  job.span = std::make_shared<obs::Span>(sim, "scheduler.job", "scheduler",
+                                         sim.trace().current(), "scheduler");
+  job.span->arg("owner", owner);
   queue_.push_back(std::move(job));
   grid_.simulation().metrics().counter("scheduler.jobs_submitted").inc();
   update_gauges();
@@ -129,6 +137,7 @@ SchedulerService::Worker* SchedulerService::pick_worker(const PendingJob& job) {
 }
 
 void SchedulerService::pump() {
+  obs::SimProfiler::Scope prof{"scheduler.pump"};
   while (!queue_.empty()) {
     Worker* w = pick_worker(queue_.front());
     if (w == nullptr) return;  // all slots busy; a completion re-pumps
@@ -167,9 +176,13 @@ void SchedulerService::dispatch(Worker& w, PendingJob job) {
   const auto submitted = job.submitted;
   const std::string owner = job.owner;
   auto cb = std::move(job.cb);
+  auto span = job.span;
+  span->arg("host", w.server->name());
+  // The worker VM reads the ambient trace into the task's I/O context.
+  obs::ScopedTraceContext scope{grid_.simulation().trace(), span->context()};
   w.vmachine->run_task(
       std::move(job.spec),
-      [this, &w, started, submitted, owner, cb = std::move(cb)](vm::TaskResult r) {
+      [this, &w, started, submitted, owner, span, cb = std::move(cb)](vm::TaskResult r) {
         --w.busy_slots;
         --running_;
         grid_.simulation().metrics().counter("scheduler.jobs_completed").inc();
@@ -189,6 +202,8 @@ void SchedulerService::dispatch(Worker& w, PendingJob job) {
         out.queue_wait = started - submitted;
         out.run_time = r.wall;
         out.total = grid_.simulation().now() - submitted;
+        span->set_status(out.status);
+        span->end();
         cb(std::move(out));
         pump();
       });

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "middleware/compute_server.hpp"
+#include "obs/trace.hpp"
 #include "rps/predictors.hpp"
 #include "rps/runtime_predictor.hpp"
 #include "rps/sensor.hpp"
@@ -96,6 +97,10 @@ class SchedulerService {
     workload::TaskSpec spec;
     JobCallback cb;
     sim::TimePoint submitted{};
+    /// Job-lifetime span opened at submission (queue wait included);
+    /// the worker VM's task I/O joins its trace, and it closes with the
+    /// job's final status.
+    std::shared_ptr<obs::Span> span;
   };
 
   void pump();

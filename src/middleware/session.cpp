@@ -31,6 +31,9 @@ void VmSession::run_task(workload::TaskSpec spec, vm::TaskCallback cb) {
   const std::string user = user_;
   const std::uint64_t id = next_task_id_++;
   pending_tasks_.emplace(id, PendingTask{spec.name, std::move(cb)});
+  // Task spans (and the VFS/NFS traffic they trigger) join the session
+  // trace, surviving failover: the context is the session's, not the VM's.
+  obs::ScopedTraceContext scope{grid.simulation().trace(), trace_ctx_};
   vm_->run_task(std::move(spec), [this, &acct, user, id](vm::TaskResult r) {
     // A crash may have drained this entry already; the claim decides who
     // delivers the completion.
@@ -176,8 +179,24 @@ void SessionManager::create_session(SessionRequest request, SessionCallback cb) 
   const bool need_snapshot = request.start == VmStartMode::kWarmRestore;
   const std::string os = request.os;
   const auto memory = request.memory_mb;
+  auto& sim = grid_.simulation();
+
+  // Entry point of the session trace: everything the instantiation fans
+  // out into (info query, GRAM dispatch, VM boot/restore, NFS traffic)
+  // joins this span's trace, and the session keeps the identity for its
+  // whole life (task runs, failovers).
+  auto span = std::make_shared<obs::Span>(sim, "session.create", "session",
+                                          sim.trace().current(), "session");
+  span->arg("user", request.user);
+  const obs::TraceContext trace = span->context();
+  cb = [span, cb = std::move(cb)](VmSession* s, Status st) mutable {
+    span->set_status(st);
+    span->end();
+    cb(s, std::move(st));
+  };
 
   // Steps 1 + 2: the futures ⋈ images join against the information service.
+  obs::ScopedTraceContext scope{sim.trace(), trace};
   grid_.info().query_placements(
       [memory](const VmFutureRecord& f) { return f.max_memory_mb >= memory; },
       [os, need_snapshot](const ImageRecord& i) {
@@ -186,7 +205,7 @@ void SessionManager::create_session(SessionRequest request, SessionCallback cb) 
         return true;
       },
       request.query,
-      [this, request = std::move(request), cb = std::move(cb)](
+      [this, trace, request = std::move(request), cb = std::move(cb)](
           std::vector<Placement> placements) mutable {
         if (placements.empty()) {
           Status st = NotFoundError("no suitable (future, image) placement found")
@@ -209,12 +228,12 @@ void SessionManager::create_session(SessionRequest request, SessionCallback cb) 
               if (load_of(a) != load_of(b)) return load_of(a) < load_of(b);
               return a.future.host_name < b.future.host_name;
             });
-        launch(std::move(request), *best, std::move(cb));
+        launch(std::move(request), *best, trace, std::move(cb));
       });
 }
 
 void SessionManager::launch(SessionRequest request, Placement placement,
-                            SessionCallback cb) {
+                            obs::TraceContext trace, SessionCallback cb) {
   ComputeServer* cs = placement.future.binding;
   ImageServer* is = placement.image.binding;
   if (cs == nullptr) {
@@ -236,14 +255,19 @@ void SessionManager::launch(SessionRequest request, Placement placement,
   opts.access = request.access;
   opts.image_server_node = placement.image.server_node;
 
-  auto dispatch = [this, cs, token, request = std::move(request), opts,
+  auto dispatch = [this, cs, token, trace, request = std::move(request), opts,
                    cb = std::move(cb)]() mutable {
     pending_[token] = opts;
     const auto image_server_node = opts.image_server_node;
+    VMGRID_LOG(grid_.simulation(), kDebug, "session",
+               "dispatching " << token << " to " << cs->name());
     GramClient client{grid_.fabric(), frontend_};
+    // Re-enter the session trace: dispatch runs from a query/staging
+    // callback where the creation scope is long gone.
+    obs::ScopedTraceContext scope{grid_.simulation().trace(), trace};
     client.globusrun(
         cs->node(), token,
-        [this, cs, token, image_server_node, opts, request = std::move(request),
+        [this, cs, token, trace, image_server_node, opts, request = std::move(request),
          cb = std::move(cb)](GramJobResult job) mutable {
           if (auto lit = launching_.find(cs->name());
               lit != launching_.end() && lit->second > 0) {
@@ -274,6 +298,7 @@ void SessionManager::launch(SessionRequest request, Placement placement,
           session->started_ = grid_.simulation().now();
           session->instantiation_image_server_ = image_server_node;
           session->launch_opts_ = std::move(opts);
+          session->trace_ctx_ = trace;
           VmSession* raw = session.get();
           sessions_.push_back(std::move(session));
 
@@ -428,6 +453,13 @@ void SessionManager::failover(VmSession& session) {
   auto& sim = grid_.simulation();
   sim.metrics().counter("failover.started").inc();
   sim.trace().instant(sim.now(), "failover.start", "failover");
+  VMGRID_LOG(sim, kInfo, "session", "failover started for " << session.vm_name_);
+  // The re-instantiation CONTINUES the session's original trace — the
+  // whole point of request-scoped causality: crash recovery shows up in
+  // the same trace as the session it recovers.
+  session.failover_span_ = obs::Span{sim, "session.failover", "failover",
+                                     session.trace_ctx_, "session"};
+  session.failover_span_.arg("vm", session.vm_name_);
   const auto memory = session.request_.memory_mb;
   VmSession* raw = &session;
   grid_.info().query_futures(
@@ -440,6 +472,8 @@ void SessionManager::failover(VmSession& session) {
         if (!session_exists(raw)) return;  // shut down while querying
         auto fail = [this, raw](Status why) {
           ++failovers_failed_;
+          raw->failover_span_.set_status(why);
+          raw->failover_span_.end();
           grid_.simulation().metrics().counter("failover.failed").inc();
           record_error(grid_.simulation().metrics(), why);
           // Root-cause code, exported so dashboards can split "no spare
@@ -496,6 +530,8 @@ void SessionManager::failover(VmSession& session) {
         const std::string token = raw->vm_name_;
         pending_[token] = raw->launch_opts_;
         GramClient client{grid_.fabric(), frontend_};
+        obs::ScopedTraceContext scope{grid_.simulation().trace(),
+                                      raw->failover_span_.context()};
         client.globusrun(
             target->node(), token,
             [this, raw, target, token, fail](GramJobResult job) mutable {
@@ -537,6 +573,12 @@ void SessionManager::finish_failover(VmSession& session, ComputeServer& target,
       .histogram("failover.rto_s", obs::HistogramOptions{0.0, 600.0, 120})
       .observe(downtime.to_seconds());
   sim.trace().instant(sim.now(), "failover.done", "failover");
+  session.failover_span_.set_status(Status{});
+  session.failover_span_.arg("to_host", target.name());
+  session.failover_span_.end();
+  VMGRID_LOG(sim, kInfo, "session",
+             "failover of " << session.vm_name_ << " to " << target.name()
+                            << " done after " << downtime.to_seconds() << "s");
   grid_.info().register_vm(
       VmRecord{session.vm_name_, target.name(), session.user_, "running", {}});
   // Re-establish the user-data session from the new host.

@@ -9,6 +9,7 @@
 
 #include "middleware/compute_server.hpp"
 #include "middleware/image_server.hpp"
+#include "obs/trace.hpp"
 #include "vm/migration.hpp"
 #include "vm/task_runner.hpp"
 
@@ -94,6 +95,12 @@ class VmSession {
   sim::Duration total_downtime_{};
   std::uint64_t failovers_{0};
   bool failover_in_progress_{false};
+  /// Session-lifetime causal identity: set at creation (the session.create
+  /// span), continued by every failover re-instantiation and task run, so
+  /// one trace id follows the session across hosts.
+  obs::TraceContext trace_ctx_{};
+  /// Open while a failover attempt is in flight; child of trace_ctx_.
+  obs::Span failover_span_{};
   struct PendingTask {
     std::string task;
     vm::TaskCallback cb;
@@ -176,7 +183,8 @@ class SessionManager {
   /// Executor wiring: compute servers run instantiation requests that
   /// arrive via GRAM; the pending-request registry keys them by token.
   void wire_executor(ComputeServer& cs);
-  void launch(SessionRequest request, Placement placement, SessionCallback cb);
+  void launch(SessionRequest request, Placement placement, obs::TraceContext trace,
+              SessionCallback cb);
   void finish_shutdown(VmSession& session);
   std::string fresh_vm_name(const SessionRequest& req);
   [[nodiscard]] bool session_exists(const VmSession* s) const;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace vmgrid::net {
 
@@ -92,6 +94,10 @@ void RpcServer::serve(const RpcRequest& req, RpcResponder respond) {
                         .status = RpcStatus::kNoSuchMethod});
     return;
   }
+  // Handler runs under the request's causal context, so every span the
+  // server opens synchronously parents under the delivering attempt.
+  obs::SimProfiler::Scope prof{"rpc.server"};
+  obs::ScopedTraceContext scope{fabric_.simulation().trace(), req.trace};
   it->second(req, std::move(respond));
 }
 
@@ -170,6 +176,8 @@ struct RpcFabric::CallState {
   bool done{false};
   sim::EventId deadline_timer{};
   sim::EventId total_timer{};  ///< caps elapsed time across all attempts
+  obs::SpanId call_span{obs::kInvalidSpan};     ///< whole logical call
+  obs::SpanId attempt_span{obs::kInvalidSpan};  ///< attempt in flight
 };
 
 void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallback cb) {
@@ -184,6 +192,15 @@ void RpcFabric::call(NodeId from, NodeId to, RpcRequest req, RpcCallOptions opts
   st->req = std::move(req);
   st->opts = opts;
   st->cb = std::move(cb);
+  auto& tracer = simulation().trace();
+  if (tracer.enabled()) {
+    // Callers that stamped req.trace win; otherwise adopt the ambient
+    // scope (or start a fresh trace when there is none).
+    if (!st->req.trace.valid()) st->req.trace = tracer.current();
+    st->call_span =
+        tracer.begin_child(simulation().now(), st->req.trace,
+                           "rpc." + st->req.method, net_.node_name(from), "rpc");
+  }
   if (!opts.total_deadline.is_infinite()) {
     st->total_timer = simulation().schedule_after(
         opts.total_deadline, [this, st] { total_deadline_exceeded(st); });
@@ -208,6 +225,16 @@ void RpcFabric::start_attempt(const std::shared_ptr<CallState>& st) {
   ++st->attempts;
   const int epoch = ++st->epoch;
   auto& sim = simulation();
+  if (st->call_span != obs::kInvalidSpan) {
+    auto& tracer = sim.trace();
+    st->attempt_span =
+        tracer.begin_child(sim.now(), tracer.context_of(st->call_span),
+                           "rpc.attempt", net_.node_name(st->from), "rpc");
+    tracer.arg(st->attempt_span, "attempt", std::to_string(st->attempts));
+    tracer.arg(st->attempt_span, "method", st->req.method);
+    // Downstream (server handlers, sub-RPCs) hangs off this attempt.
+    st->req.trace = tracer.context_of(st->attempt_span);
+  }
   if (!st->opts.deadline.is_infinite()) {
     st->deadline_timer = sim.schedule_after(st->opts.deadline, [this, st, epoch] {
       attempt_failed(st, epoch, RpcStatus::kTimeout, "deadline exceeded");
@@ -288,6 +315,12 @@ void RpcFabric::attempt_failed(const std::shared_ptr<CallState>& st, int epoch,
   sim.cancel(st->deadline_timer);
   st->deadline_timer = {};
   ++st->epoch;  // orphan any still-in-flight callbacks of this attempt
+  if (st->attempt_span != obs::kInvalidSpan) {
+    sim.trace().set_status(st->attempt_span,
+                           Status{to_code(status), detail}.at("rpc", st->req.method));
+    sim.trace().end(st->attempt_span, sim.now());
+    st->attempt_span = obs::kInvalidSpan;
+  }
   sim.metrics()
       .counter("rpc.attempt_failed", {{"status", to_string(status)}})
       .inc();
@@ -325,6 +358,20 @@ void RpcFabric::settle(const std::shared_ptr<CallState>& st, RpcResponse resp) {
   st->deadline_timer = {};
   simulation().cancel(st->total_timer);
   st->total_timer = {};
+  if (st->call_span != obs::kInvalidSpan) {
+    auto& tracer = simulation().trace();
+    const Status call_status = to_status(resp, st->req.method);
+    if (st->attempt_span != obs::kInvalidSpan) {
+      // Open attempt at settle time: the successful (or orphaned-by-
+      // total-deadline) one. Failed attempts already closed themselves.
+      tracer.set_status(st->attempt_span, call_status);
+      tracer.end(st->attempt_span, simulation().now());
+      st->attempt_span = obs::kInvalidSpan;
+    }
+    tracer.set_status(st->call_span, call_status);
+    tracer.end(st->call_span, simulation().now());
+    st->call_span = obs::kInvalidSpan;
+  }
   if (resp.ok() && st->opts.retry_budget != nullptr) {
     st->opts.retry_budget->on_success();
   }

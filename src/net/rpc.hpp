@@ -10,6 +10,7 @@
 #include "core/status.hpp"
 #include "net/network.hpp"
 #include "net/overload.hpp"
+#include "obs/trace_context.hpp"
 
 namespace vmgrid::obs {
 class Counter;
@@ -73,6 +74,12 @@ struct RpcRequest {
   std::uint64_t request_bytes{128};
   std::any payload;
   RpcPriority priority{RpcPriority::kBulk};
+  /// Causal context carried across the hop. Callers may stamp it
+  /// explicitly; when left empty the fabric fills it from the ambient
+  /// trace scope at call() time. The fabric then re-stamps it with each
+  /// attempt's span, so server-side spans parent under the attempt that
+  /// actually delivered the request.
+  obs::TraceContext trace{};
 };
 
 struct RpcResponse {

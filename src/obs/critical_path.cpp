@@ -1,0 +1,102 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace vmgrid::obs {
+
+namespace {
+
+struct Walker {
+  const std::vector<TraceRecord>& records;
+  std::unordered_map<SpanId, std::vector<const TraceRecord*>> children;
+  std::vector<PathSegment> out;
+
+  [[nodiscard]] static PathSegment self_segment(const TraceRecord& rec,
+                                               sim::TimePoint b, sim::TimePoint e) {
+    return PathSegment{rec.id, rec.name, rec.category, rec.track, b, e};
+  }
+
+  // Gating child under `rec` for the backward walk standing at `cur`: the
+  // closed, non-instant child whose end is latest but not after `cur`.
+  // Lexicographic (end, begin, id) tie-break keeps extraction deterministic.
+  [[nodiscard]] const TraceRecord* gating_child(const TraceRecord& rec,
+                                               sim::TimePoint cur) const {
+    auto it = children.find(rec.id);
+    if (it == children.end()) return nullptr;
+    const TraceRecord* best = nullptr;
+    for (const TraceRecord* c : it->second) {
+      if (c->open || c->instant) continue;
+      if (c->end > cur || c->end <= rec.begin) continue;
+      if (best == nullptr || c->end > best->end ||
+          (c->end == best->end &&
+           (c->begin > best->begin ||
+            (c->begin == best->begin && c->id > best->id)))) {
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  void walk(const TraceRecord& rec, sim::TimePoint window_end) {
+    sim::TimePoint cur = window_end;
+    while (cur > rec.begin) {
+      const TraceRecord* child = gating_child(rec, cur);
+      if (child == nullptr) break;
+      if (child->end < cur) out.push_back(self_segment(rec, child->end, cur));
+      walk(*child, child->end);
+      cur = std::max(rec.begin, child->begin);
+    }
+    if (cur > rec.begin) out.push_back(self_segment(rec, rec.begin, cur));
+  }
+};
+
+}  // namespace
+
+std::vector<PathSegment> extract_critical_path(const TraceCollector& trace,
+                                               SpanId root) {
+  const auto& records = trace.records();
+  if (root == kInvalidSpan || root > records.size()) return {};
+  const TraceRecord& rec = records[root - 1];
+  if (rec.open || rec.instant || rec.end <= rec.begin) return {};
+
+  Walker w{records, {}, {}};
+  for (const auto& r : records) {
+    if (r.parent != kInvalidSpan) w.children[r.parent].push_back(&r);
+  }
+  w.walk(rec, rec.end);
+  std::sort(w.out.begin(), w.out.end(),
+            [](const PathSegment& a, const PathSegment& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.span < b.span;
+            });
+  return std::move(w.out);
+}
+
+std::vector<PathSegment> coalesce_path(std::vector<PathSegment> path) {
+  std::vector<PathSegment> out;
+  for (auto& seg : path) {
+    if (!out.empty() && out.back().span == seg.span && out.back().end == seg.begin) {
+      out.back().end = seg.end;
+    } else {
+      out.push_back(std::move(seg));
+    }
+  }
+  return out;
+}
+
+std::string format_critical_path(const std::vector<PathSegment>& path) {
+  std::string out;
+  char line[256];
+  for (const auto& seg : path) {
+    std::snprintf(line, sizeof line, "  %8.3fs  %8.3fs  %8.3fs  %s/%s @ %s\n",
+                  seg.begin.since_epoch().to_seconds(),
+                  seg.end.since_epoch().to_seconds(), seg.seconds(),
+                  seg.category.c_str(), seg.name.c_str(), seg.track.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vmgrid::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace vmgrid::obs {
+
+/// One segment of a critical path: a contiguous slice of sim time during
+/// which `span` (identified by subsystem `category` and op `name`) was the
+/// thing the root was waiting on.
+struct PathSegment {
+  SpanId span{kInvalidSpan};
+  std::string name;      // op, e.g. "vm.restore"
+  std::string category;  // subsystem, e.g. "vm"
+  std::string track;     // host/VM lane the time was spent on
+  sim::TimePoint begin{};
+  sim::TimePoint end{};
+
+  [[nodiscard]] double seconds() const {
+    return (end - begin).to_seconds();
+  }
+};
+
+/// Extract the dominant (critical) path of a completed span tree rooted at
+/// `root`: the ordered chain of (subsystem, op, duration) segments that
+/// explains the root's wall time. The walk is backward from the root's end:
+/// at each point the child span that finished latest (and therefore gated
+/// progress) is charged, recursively; sim-time not covered by any gating
+/// child is charged to the enclosing span itself. Segments come back in
+/// chronological order and tile [root.begin, root.end] exactly.
+///
+/// Ties (identical end times, common in a discrete-event sim) break by
+/// begin then span id, so extraction is deterministic. Children still open
+/// or ending after the analysis window never gate and are skipped.
+[[nodiscard]] std::vector<PathSegment> extract_critical_path(
+    const TraceCollector& trace, SpanId root);
+
+/// Merge adjacent segments charged to the same span (a span interleaved
+/// with its children otherwise shows up once per gap).
+[[nodiscard]] std::vector<PathSegment> coalesce_path(std::vector<PathSegment> path);
+
+/// Human-readable one-segment-per-line rendering:
+///   "  0.000s  1.800s  1.800s  vm/vm.restore @ vm-1"
+[[nodiscard]] std::string format_critical_path(const std::vector<PathSegment>& path);
+
+}  // namespace vmgrid::obs

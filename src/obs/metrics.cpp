@@ -39,6 +39,13 @@ std::string labels_csv(const Labels& labels) {
   return out;
 }
 
+// Sink instance for registrations rejected by the cardinality guard; its
+// own creation bypasses the guard so overflow accounting always lands.
+const Labels& overflow_labels() {
+  static const Labels kOverflow{{"overflow", "true"}};
+  return kOverflow;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::key(std::string_view name, const Labels& labels) {
@@ -56,10 +63,47 @@ std::string MetricsRegistry::key(std::string_view name, const Labels& labels) {
   return k;
 }
 
+bool MetricsRegistry::admit_labels(std::string_view name, const Labels& /*labels*/) {
+  auto it = label_set_counts_.find(name);
+  const std::size_t count = it == label_set_counts_.end() ? 0 : it->second;
+  if (count >= max_label_sets_) {
+    counter("obs.labels_dropped").inc();
+    return false;
+  }
+  if (it == label_set_counts_.end()) {
+    label_set_counts_.emplace(std::string{name}, 1);
+  } else {
+    ++it->second;
+  }
+  return true;
+}
+
+void MetricsRegistry::note_merged_labels(std::string_view name, const Labels& labels) {
+  if (labels.empty() || labels == overflow_labels()) return;
+  auto it = label_set_counts_.find(name);
+  if (it == label_set_counts_.end()) {
+    label_set_counts_.emplace(std::string{name}, 1);
+  } else {
+    ++it->second;
+  }
+}
+
 Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
   auto k = key(name, labels);
   auto it = counters_.find(k);
   if (it == counters_.end()) {
+    if (!labels.empty() && !admit_labels(name, labels)) {
+      auto ok = key(name, overflow_labels());
+      auto oit = counters_.find(ok);
+      if (oit == counters_.end()) {
+        oit = counters_
+                  .emplace(std::move(ok), Instrument<Counter>{std::string{name},
+                                                              overflow_labels(),
+                                                              {}})
+                  .first;
+      }
+      return oit->second.metric;
+    }
     it = counters_
              .emplace(std::move(k),
                       Instrument<Counter>{std::string{name}, sorted(labels), {}})
@@ -72,6 +116,18 @@ Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
   auto k = key(name, labels);
   auto it = gauges_.find(k);
   if (it == gauges_.end()) {
+    if (!labels.empty() && !admit_labels(name, labels)) {
+      auto ok = key(name, overflow_labels());
+      auto oit = gauges_.find(ok);
+      if (oit == gauges_.end()) {
+        oit = gauges_
+                  .emplace(std::move(ok), Instrument<Gauge>{std::string{name},
+                                                            overflow_labels(),
+                                                            {}})
+                  .first;
+      }
+      return oit->second.metric;
+    }
     it = gauges_
              .emplace(std::move(k),
                       Instrument<Gauge>{std::string{name}, sorted(labels), {}})
@@ -85,6 +141,19 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name, HistogramOpti
   auto k = key(name, labels);
   auto it = histograms_.find(k);
   if (it == histograms_.end()) {
+    if (!labels.empty() && !admit_labels(name, labels)) {
+      auto ok = key(name, overflow_labels());
+      auto oit = histograms_.find(ok);
+      if (oit == histograms_.end()) {
+        oit = histograms_
+                  .emplace(std::move(ok),
+                           Instrument<HistogramMetric>{std::string{name},
+                                                       overflow_labels(),
+                                                       HistogramMetric{opts}})
+                  .first;
+      }
+      return oit->second.metric;
+    }
     it = histograms_
              .emplace(std::move(k), Instrument<HistogramMetric>{
                                         std::string{name}, sorted(labels),
@@ -127,6 +196,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     auto it = counters_.find(k);
     if (it == counters_.end()) {
       counters_.emplace(k, inst);
+      note_merged_labels(inst.name, inst.labels);
     } else {
       it->second.metric.inc(inst.metric.value());
     }
@@ -135,6 +205,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     auto it = gauges_.find(k);
     if (it == gauges_.end()) {
       gauges_.emplace(k, inst);
+      note_merged_labels(inst.name, inst.labels);
     } else {
       it->second.metric.set(inst.metric.value());
     }
@@ -143,6 +214,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     auto it = histograms_.find(k);
     if (it == histograms_.end()) {
       histograms_.emplace(k, inst);
+      note_merged_labels(inst.name, inst.labels);
     } else {
       it->second.metric.merge(inst.metric);
     }

@@ -79,12 +79,24 @@ class HistogramMetric {
 /// so instrumented components can cache references across calls.
 /// Iteration order is the canonical key order, which makes the JSON/CSV
 /// snapshots deterministic across identical runs.
+///
+/// Cardinality guard: each metric name admits at most max_label_sets()
+/// distinct labeled instances (unlabeled instances are always admitted).
+/// Past the cap, registration is redirected to a single per-name
+/// `{overflow=true}` instance and `obs.labels_dropped` is incremented —
+/// so an instrumented path that labels by trace id or VM name can never
+/// blow up the registry, and the export stays bounded.
 class MetricsRegistry {
  public:
   Counter& counter(std::string_view name, const Labels& labels = {});
   Gauge& gauge(std::string_view name, const Labels& labels = {});
   HistogramMetric& histogram(std::string_view name, HistogramOptions opts = {},
                              const Labels& labels = {});
+
+  /// Cap on distinct label sets per metric name (default 256). Lowering
+  /// the cap does not evict instances already admitted.
+  void set_max_label_sets(std::size_t cap) { max_label_sets_ = cap; }
+  [[nodiscard]] std::size_t max_label_sets() const { return max_label_sets_; }
 
   /// Lookup without creating; nullptr when the instance does not exist.
   [[nodiscard]] const Counter* find_counter(std::string_view name,
@@ -123,6 +135,7 @@ class MetricsRegistry {
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
+    label_set_counts_.clear();
   }
 
   /// Canonical identity of one metric instance: name{k=v,...} with keys
@@ -137,11 +150,21 @@ class MetricsRegistry {
     T metric;
   };
 
+  /// True when a NEW labeled instance of `name` may be created; false
+  /// means the caller must fall back to the overflow instance. Counts the
+  /// admission and bumps obs.labels_dropped on rejection.
+  bool admit_labels(std::string_view name, const Labels& labels);
+  /// Count a labeled instance that arrived via merge() (never drops —
+  /// folding replica registries must be lossless).
+  void note_merged_labels(std::string_view name, const Labels& labels);
+
   // std::map keeps canonical order for export and guarantees reference
   // stability for cached Counter/Gauge/HistogramMetric pointers.
   std::map<std::string, Instrument<Counter>, std::less<>> counters_;
   std::map<std::string, Instrument<Gauge>, std::less<>> gauges_;
   std::map<std::string, Instrument<HistogramMetric>, std::less<>> histograms_;
+  std::map<std::string, std::size_t, std::less<>> label_set_counts_;
+  std::size_t max_label_sets_{256};
 };
 
 }  // namespace vmgrid::obs

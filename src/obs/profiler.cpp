@@ -1,0 +1,70 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+namespace vmgrid::obs {
+
+SimProfiler& SimProfiler::instance() {
+  static SimProfiler prof;
+  return prof;
+}
+
+SimProfiler::SimProfiler() {
+  const char* env = std::getenv("VMGRID_PROFILE");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void SimProfiler::record(const char* key, double seconds) {
+  std::lock_guard<std::mutex> lock{mu_};
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    it = data_.emplace(std::string{key}, Entry{std::string{key}, 0, 0.0}).first;
+  }
+  ++it->second.calls;
+  it->second.seconds += seconds;
+}
+
+std::vector<SimProfiler::Entry> SimProfiler::snapshot() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<Entry> out;
+  out.reserve(data_.size());
+  for (const auto& [k, e] : data_) out.push_back(e);
+  return out;
+}
+
+std::string SimProfiler::to_json() const {
+  std::string out = "{\"profile\":[";
+  bool first = true;
+  for (const Entry& e : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"key\":" + json::quote(e.key);
+    out += ",\"calls\":" + json::number(static_cast<double>(e.calls));
+    out += ",\"seconds\":" + json::number(e.seconds) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool SimProfiler::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+void SimProfiler::reset() {
+  std::lock_guard<std::mutex> lock{mu_};
+  data_.clear();
+}
+
+}  // namespace vmgrid::obs

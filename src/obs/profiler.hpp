@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vmgrid::obs {
+
+/// Lightweight wall-clock attribution of simulator event handlers to
+/// subsystems ("sim.loop", "rpc.server", "nfs.client", "vfs.read", ...).
+///
+/// This measures REAL time the host CPU spends inside instrumented scopes
+/// — the sim-floor cost of running the simulation, not simulated time —
+/// so it is inherently nondeterministic and must NEVER feed back into sim
+/// behavior or the deterministic BENCH_*.json metric files. Benches export
+/// it to a separate BENCH_<name>.profile.json, and only when profiling is
+/// on (VMGRID_PROFILE=1 or enable()).
+///
+/// Disabled cost is one relaxed atomic load per scope. Scopes nest and
+/// each records its inclusive time, so nested subsystem totals overlap by
+/// design (rpc.server time includes the vfs/nfs work it dispatched).
+/// A process-wide singleton (not per-Simulation) so replicated worker
+/// threads fold into one profile; recording takes a mutex, which is fine
+/// for a diagnostics-only path.
+class SimProfiler {
+ public:
+  /// Process-wide instance; first call latches VMGRID_PROFILE.
+  static SimProfiler& instance();
+
+  void enable(bool on = true) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII scope: attributes the enclosed wall time to `key`. `key` must be
+  /// a string literal (stored as a pointer until recording).
+  class Scope {
+   public:
+    explicit Scope(const char* key) {
+      if (SimProfiler::instance().enabled()) {
+        key_ = key;
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (key_ != nullptr) {
+        SimProfiler::instance().record(
+            key_, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                start_)
+                      .count());
+      }
+    }
+
+   private:
+    const char* key_{nullptr};
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  struct Entry {
+    std::string key;
+    std::uint64_t calls{0};
+    double seconds{0.0};
+  };
+
+  /// Per-key totals in key order.
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+  /// {"profile":[{"key":...,"calls":...,"seconds":...},...]}
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+  void reset();
+
+ private:
+  SimProfiler();
+  void record(const char* key, double seconds);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> data_;
+};
+
+}  // namespace vmgrid::obs

@@ -1,0 +1,84 @@
+#include "obs/slo.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace vmgrid::obs {
+
+void SloMonitor::add_latency_objective(std::string_view name, double threshold_s,
+                                       double target) {
+  objectives_.push_back(Objective{std::string{name}, true, threshold_s, target, 0, 0});
+}
+
+void SloMonitor::add_availability_objective(std::string_view name, double target) {
+  objectives_.push_back(Objective{std::string{name}, false, 0.0, target, 0, 0});
+}
+
+SloMonitor::Objective* SloMonitor::find(std::string_view name, bool latency) {
+  for (auto& o : objectives_) {
+    if (o.latency == latency && o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+void SloMonitor::observe_latency(std::string_view name, double seconds) {
+  Objective* o = find(name, /*latency=*/true);
+  if (o == nullptr) return;
+  ++o->total;
+  if (seconds <= o->threshold_s) ++o->good;
+}
+
+void SloMonitor::observe_event(std::string_view name, bool ok) {
+  Objective* o = find(name, /*latency=*/false);
+  if (o == nullptr) return;
+  ++o->total;
+  if (ok) ++o->good;
+}
+
+void SloMonitor::observe_counts(std::string_view name, std::uint64_t total,
+                                std::uint64_t good) {
+  for (auto& o : objectives_) {
+    if (o.name == name) {
+      o.total += total;
+      o.good += good;
+      return;
+    }
+  }
+}
+
+std::vector<SloMonitor::Result> SloMonitor::evaluate() const {
+  std::vector<Result> out;
+  out.reserve(objectives_.size());
+  for (const auto& o : objectives_) {
+    Result r;
+    r.name = o.name;
+    r.kind = o.latency ? "latency" : "availability";
+    r.threshold_s = o.threshold_s;
+    r.target = o.target;
+    r.total = o.total;
+    r.good = o.good;
+    r.compliance =
+        o.total == 0 ? 1.0
+                     : static_cast<double>(o.good) / static_cast<double>(o.total);
+    const double bad_fraction = 1.0 - r.compliance;
+    const double budget = 1.0 - o.target;
+    // A zero error budget (target == 1.0) burns infinitely on any bad
+    // event; cap at a large sentinel to keep JSON finite.
+    r.burn_rate = budget > 0.0 ? bad_fraction / budget
+                               : (bad_fraction > 0.0 ? 1e9 : 0.0);
+    r.met = r.compliance >= o.target;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void SloMonitor::export_metrics(MetricsRegistry& metrics) const {
+  for (const Result& r : evaluate()) {
+    const Labels labels{{"slo", r.name}};
+    metrics.counter("slo.events_total", labels).inc(static_cast<double>(r.total));
+    metrics.counter("slo.events_good", labels).inc(static_cast<double>(r.good));
+    metrics.gauge("slo.burn_rate", labels).set(r.burn_rate);
+    metrics.gauge("slo.met", labels).set(r.met ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace vmgrid::obs

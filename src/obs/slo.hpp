@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmgrid::obs {
+
+class MetricsRegistry;
+
+/// Declarative service-level-objective accounting over sim events.
+///
+/// Two objective kinds:
+///  - latency: an event is "good" when its measured latency is within the
+///    threshold; the objective is met when at least `target` fraction of
+///    events are good (e.g. p99 session-start <= 2 s == threshold 2.0,
+///    target 0.99);
+///  - availability: events are good/bad outcomes directly (e.g. request
+///    goodput under overload), met when good/total >= target.
+///
+/// Burn rate is reported as the fraction of the error budget consumed per
+/// unit of budget available: bad_fraction / (1 - target). 1.0 means the
+/// service is burning exactly its budget; above 1.0 the objective is being
+/// violated. Everything is a pure function of observed sim events — no
+/// wall clock — so replicated runs report identical SLO numbers.
+class SloMonitor {
+ public:
+  struct Result {
+    std::string name;
+    std::string kind;        // "latency" | "availability"
+    double threshold_s{0.0}; // latency objectives only
+    double target{0.0};      // required good fraction
+    std::uint64_t total{0};
+    std::uint64_t good{0};
+    double compliance{1.0};  // good/total (1.0 when no events)
+    double burn_rate{0.0};   // bad_fraction / (1 - target)
+    bool met{true};
+  };
+
+  /// Latency objective: `target` fraction of events must complete within
+  /// `threshold_s` seconds.
+  void add_latency_objective(std::string_view name, double threshold_s, double target);
+  /// Availability objective: `target` fraction of events must succeed.
+  void add_availability_objective(std::string_view name, double target);
+
+  /// Feed one latency sample to a latency objective (unknown names ignored).
+  void observe_latency(std::string_view name, double seconds);
+  /// Feed one success/failure outcome to an availability objective.
+  void observe_event(std::string_view name, bool ok);
+  /// Bulk form for folding replicated runs: add pre-counted totals to the
+  /// objective with this name (either kind; unknown names ignored).
+  void observe_counts(std::string_view name, std::uint64_t total, std::uint64_t good);
+
+  /// Evaluate all objectives in declaration order.
+  [[nodiscard]] std::vector<Result> evaluate() const;
+
+  /// Export per-objective counters/gauges:
+  ///   slo.events_total{slo=NAME}, slo.events_good{slo=NAME},
+  ///   slo.burn_rate{slo=NAME}, slo.met{slo=NAME} (1/0).
+  void export_metrics(MetricsRegistry& metrics) const;
+
+ private:
+  struct Objective {
+    std::string name;
+    bool latency{false};
+    double threshold_s{0.0};
+    double target{0.0};
+    std::uint64_t total{0};
+    std::uint64_t good{0};
+  };
+
+  Objective* find(std::string_view name, bool latency);
+
+  std::vector<Objective> objectives_;
+};
+
+}  // namespace vmgrid::obs

@@ -1,7 +1,9 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "core/status.hpp"
 #include "obs/json.hpp"
 #include "sim/simulation.hpp"
 
@@ -11,11 +13,28 @@ namespace {
 
 double to_micros(sim::TimePoint t) { return t.since_epoch().to_seconds() * 1e6; }
 
+// splitmix64 finalizer: cheap, well-mixed, and a pure function of its
+// input — trace ids depend only on (seed, allocation sequence), never
+// wall clock, so replicated runs export byte-identical traces.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 TraceRecord* TraceCollector::record(SpanId id) {
   if (id == kInvalidSpan || id > records_.size()) return nullptr;
   return &records_[id - 1];
+}
+
+std::uint64_t TraceCollector::fresh_trace_id() {
+  ++trace_counter_;
+  std::uint64_t id = mix64(trace_seed_ ^ (trace_counter_ * 0x2545f4914f6cdd1dULL));
+  if (id == 0) id = 1;  // 0 is the "no trace" sentinel
+  return id;
 }
 
 SpanId TraceCollector::begin(sim::TimePoint now, std::string_view name,
@@ -41,10 +60,46 @@ SpanId TraceCollector::begin(sim::TimePoint now, std::string_view name,
     track_order_.push_back(rec.track);
   }
   if (!it->second.empty()) {
+    // Same-track nesting wins: inherit the enclosing span's trace.
     rec.parent = it->second.back();
     rec.depth = it->second.size();
+    rec.trace_id = records_[rec.parent - 1].trace_id;
+  } else if (TraceContext ambient = current(); ambient.valid()) {
+    // Cross-track causal link from the ambient scope.
+    rec.parent = ambient.span_id;
+    rec.trace_id = ambient.trace_id;
+  } else {
+    rec.trace_id = fresh_trace_id();
   }
   it->second.push_back(rec.id);
+  records_.push_back(std::move(rec));
+  return records_.back().id;
+}
+
+SpanId TraceCollector::begin_child(sim::TimePoint now, const TraceContext& parent,
+                                   std::string_view name, std::string_view track,
+                                   std::string_view category) {
+  if (!enabled_) return kInvalidSpan;
+  TraceRecord rec;
+  rec.id = records_.size() + 1;
+  rec.name = std::string{name};
+  rec.category = std::string{category};
+  rec.track = std::string{track};
+  rec.begin = now;
+  rec.end = now;
+  if (parent.valid()) {
+    rec.parent = parent.span_id;
+    rec.trace_id = parent.trace_id;
+  } else {
+    rec.trace_id = fresh_trace_id();
+  }
+  if (std::find(track_order_.begin(), track_order_.end(), rec.track) ==
+      track_order_.end()) {
+    track_order_.push_back(rec.track);
+  }
+  // Deliberately NOT pushed onto the track's open-span stack: concurrent
+  // explicit-parent spans on one track (e.g. an 8-wide NFS block window
+  // issued from one client node) must not adopt each other.
   records_.push_back(std::move(rec));
   return records_.back().id;
 }
@@ -68,6 +123,21 @@ void TraceCollector::arg(SpanId id, std::string_view key, std::string_view value
   rec->args.emplace_back(std::string{key}, std::string{value});
 }
 
+void TraceCollector::set_status(SpanId id, const Status& status) {
+  TraceRecord* rec = record(id);
+  if (rec == nullptr) return;
+  if (status.ok()) {
+    rec->args.emplace_back("ok", "true");
+    return;
+  }
+  rec->args.emplace_back("ok", "false");
+  rec->args.emplace_back("status.code", std::string{to_string(status.code())});
+  const Status& root = status.root_cause();
+  rec->args.emplace_back("status.root",
+                         std::string{root.subsystem()} + "/" + std::string{root.op()} +
+                             ": " + std::string{to_string(root.code())});
+}
+
 void TraceCollector::instant(sim::TimePoint now, std::string_view name,
                              std::string_view track, std::string_view category) {
   SpanId id = begin(now, name, track, category);
@@ -77,9 +147,25 @@ void TraceCollector::instant(sim::TimePoint now, std::string_view name,
   end(id, now);
 }
 
+TraceContext TraceCollector::context_of(SpanId id) const {
+  if (id == kInvalidSpan || id > records_.size()) return {};
+  return TraceContext{records_[id - 1].trace_id, id};
+}
+
 std::size_t TraceCollector::open_spans() const {
   std::size_t n = 0;
   for (const auto& [track, stack] : open_by_track_) n += stack.size();
+  return n;
+}
+
+std::size_t TraceCollector::orphan_spans() const {
+  std::unordered_set<SpanId> ids;
+  ids.reserve(records_.size());
+  for (const auto& rec : records_) ids.insert(rec.id);
+  std::size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.parent != kInvalidSpan && ids.count(rec.parent) == 0) ++n;
+  }
   return n;
 }
 
@@ -126,6 +212,13 @@ std::string TraceCollector::to_chrome_json() const {
     }
     out += ",\"ts\":" + json::number(to_micros(rec.begin));
     out += ",\"pid\":1,\"tid\":" + json::number(static_cast<double>(t));
+    // Causal identity for tooling (viewers ignore unknown keys): the CI
+    // orphan gate and the critical-path extractor read these back.
+    out += ",\"id\":" + json::number(static_cast<double>(rec.id));
+    if (rec.parent != kInvalidSpan) {
+      out += ",\"parent\":" + json::number(static_cast<double>(rec.parent));
+    }
+    out += ",\"trace\":" + json::quote(std::to_string(rec.trace_id));
     out += ",\"args\":{";
     bool firstArg = true;
     for (const auto& [k, v] : rec.args) {
@@ -153,11 +246,18 @@ void TraceCollector::clear() {
   records_.clear();
   track_order_.clear();
   open_by_track_.clear();
+  context_stack_.clear();
+  trace_counter_ = 0;
 }
 
 Span::Span(sim::Simulation& sim, std::string_view name, std::string_view track,
            std::string_view category)
     : sim_{&sim}, id_{sim.trace().begin(sim.now(), name, track, category)} {}
+
+Span::Span(sim::Simulation& sim, std::string_view name, std::string_view track,
+           const TraceContext& parent, std::string_view category)
+    : sim_{&sim},
+      id_{sim.trace().begin_child(sim.now(), parent, name, track, category)} {}
 
 void Span::end() {
   if (sim_ != nullptr && id_ != kInvalidSpan) {
@@ -171,6 +271,17 @@ void Span::arg(std::string_view key, std::string_view value) {
   if (sim_ != nullptr && id_ != kInvalidSpan) {
     sim_->trace().arg(id_, key, value);
   }
+}
+
+void Span::set_status(const Status& status) {
+  if (sim_ != nullptr && id_ != kInvalidSpan) {
+    sim_->trace().set_status(id_, status);
+  }
+}
+
+TraceContext Span::context() const {
+  if (sim_ == nullptr || id_ == kInvalidSpan) return {};
+  return sim_->trace().context_of(id_);
 }
 
 }  // namespace vmgrid::obs

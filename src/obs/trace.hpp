@@ -8,23 +8,28 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.hpp"
 #include "sim/time.hpp"
 
 namespace vmgrid::sim {
 class Simulation;
 }  // namespace vmgrid::sim
 
-namespace vmgrid::obs {
+namespace vmgrid {
+class Status;
+}  // namespace vmgrid
 
-using SpanId = std::uint64_t;
-inline constexpr SpanId kInvalidSpan = 0;
+namespace vmgrid::obs {
 
 /// One recorded span (or instant) on the sim timeline. `track` maps to a
 /// Chrome-trace thread lane (e.g. a host or VM name), `depth` is the
-/// nesting level within that track when the span began.
+/// nesting level within that track when the span began. `trace_id` ties
+/// the span to the causal trace it belongs to: children inherit it from
+/// their parent; roots are assigned a fresh deterministic id.
 struct TraceRecord {
   SpanId id{kInvalidSpan};
   SpanId parent{kInvalidSpan};
+  std::uint64_t trace_id{0};
   std::string name;
   std::string category;
   std::string track;
@@ -39,27 +44,67 @@ struct TraceRecord {
 /// Records sim-time spans and serializes them in Chrome `trace_event`
 /// JSON (load the file in chrome://tracing or https://ui.perfetto.dev).
 /// Disabled by default so instrumented hot paths cost one branch when
-/// nobody is looking. Parent/child nesting is tracked per `track` via a
-/// stack of open spans: a span begun while another is open on the same
-/// track becomes its child.
+/// nobody is looking.
+///
+/// Parenting resolves in priority order:
+///  1. an open span on the same `track` (the historical per-track stack:
+///     a span begun while another is open on its track becomes its child);
+///  2. the current ambient TraceContext (pushed by ScopedTraceContext
+///     around synchronous downcalls), which links across tracks;
+///  3. none — the span is a trace root and gets a fresh trace id.
+/// begin_child() bypasses all inference with an explicit parent context;
+/// layers whose spans overlap freely on a shared track (rpc, nfs, vfs)
+/// use it so concurrent operations never nest spuriously.
 class TraceCollector {
  public:
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Root trace-id derivation seed; the Simulation passes its own seed so
+  /// trace ids are a pure function of (seed, allocation order).
+  void set_trace_seed(std::uint64_t seed) { trace_seed_ = seed; }
+
   /// Begin a span at `now`; returns kInvalidSpan when disabled.
   SpanId begin(sim::TimePoint now, std::string_view name, std::string_view track,
                std::string_view category = "sim");
+  /// Begin a span with an explicit parent context (cross-track causality:
+  /// retries under a call, server work under a client attempt). An invalid
+  /// parent makes the span a root of a fresh trace. The span renders on
+  /// `track` but never joins the track's open-span stack, so concurrent
+  /// explicit-parent spans on one track cannot adopt each other.
+  SpanId begin_child(sim::TimePoint now, const TraceContext& parent,
+                     std::string_view name, std::string_view track,
+                     std::string_view category = "sim");
   /// End a span; ignores kInvalidSpan and already-ended ids.
   void end(SpanId id, sim::TimePoint now);
   /// Attach a key/value argument (shown in the trace viewer detail pane).
   void arg(SpanId id, std::string_view key, std::string_view value);
+  /// Join a span to the typed error model: stamps ok=true, or on failure
+  /// ok=false plus the Status code and the cause-chain root, so every
+  /// failed span carries machine-readable provenance.
+  void set_status(SpanId id, const Status& status);
   /// Zero-duration marker.
   void instant(sim::TimePoint now, std::string_view name, std::string_view track,
                std::string_view category = "sim");
 
+  /// The context naming a recorded span; invalid for kInvalidSpan.
+  [[nodiscard]] TraceContext context_of(SpanId id) const;
+
+  /// Ambient context stack (ScopedTraceContext is the RAII form).
+  void push_context(TraceContext ctx) { context_stack_.push_back(ctx); }
+  void pop_context() {
+    if (!context_stack_.empty()) context_stack_.pop_back();
+  }
+  /// Innermost ambient context; invalid when none is in scope.
+  [[nodiscard]] TraceContext current() const {
+    return context_stack_.empty() ? TraceContext{} : context_stack_.back();
+  }
+
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t open_spans() const;
+  /// Non-root spans whose parent id is absent from the record set. Always
+  /// 0 by construction; exported traces are CI-gated on the same property.
+  [[nodiscard]] std::size_t orphan_spans() const;
   /// First record with this name, nullptr when absent.
   [[nodiscard]] const TraceRecord* find(std::string_view name) const;
   [[nodiscard]] std::vector<const TraceRecord*> find_all(std::string_view name) const;
@@ -67,6 +112,8 @@ class TraceCollector {
   /// Chrome trace_event JSON: metadata thread_name event per track (in
   /// first-use order), then "X" complete events ("B" for spans still
   /// open, "i" for instants). Timestamps are microseconds of sim time.
+  /// Each event also carries top-level "id"/"parent"/"trace" keys (ignored
+  /// by the viewers, consumed by the CI orphan/determinism gate).
   [[nodiscard]] std::string to_chrome_json() const;
   bool write_chrome_json(const std::string& path) const;
 
@@ -74,11 +121,36 @@ class TraceCollector {
 
  private:
   TraceRecord* record(SpanId id);
+  [[nodiscard]] std::uint64_t fresh_trace_id();
 
   bool enabled_{false};
+  std::uint64_t trace_seed_{1};
+  std::uint64_t trace_counter_{0};
   std::vector<TraceRecord> records_;  // id == index + 1
   std::vector<std::string> track_order_;
   std::map<std::string, std::vector<SpanId>, std::less<>> open_by_track_;
+  std::vector<TraceContext> context_stack_;
+};
+
+/// RAII ambient-context scope: everything begun synchronously inside the
+/// scope (including down the call stack: vfs -> nfs -> rpc) parents under
+/// `ctx` unless a same-track open span claims it first. No-op when the
+/// collector is disabled or the context is invalid.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(TraceCollector& collector, TraceContext ctx)
+      : collector_{&collector}, pushed_{collector.enabled() && ctx.valid()} {
+    if (pushed_) collector_->push_context(ctx);
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext() {
+    if (pushed_) collector_->pop_context();
+  }
+
+ private:
+  TraceCollector* collector_;
+  bool pushed_;
 };
 
 /// RAII sim-time span: begins at construction with `sim.now()`, ends at
@@ -90,6 +162,9 @@ class Span {
   Span() = default;
   Span(sim::Simulation& sim, std::string_view name, std::string_view track,
        std::string_view category = "sim");
+  /// Explicit-parent form (collector begin_child semantics).
+  Span(sim::Simulation& sim, std::string_view name, std::string_view track,
+       const TraceContext& parent, std::string_view category = "sim");
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   Span(Span&& o) noexcept : sim_{o.sim_}, id_{o.id_} {
@@ -110,8 +185,12 @@ class Span {
 
   void end();
   void arg(std::string_view key, std::string_view value);
+  /// Stamp the span's outcome (ok / status.code / status.root args).
+  void set_status(const Status& status);
   [[nodiscard]] bool active() const { return sim_ != nullptr && id_ != kInvalidSpan; }
   [[nodiscard]] SpanId id() const { return id_; }
+  /// This span's identity as a propagatable context; invalid when inert.
+  [[nodiscard]] TraceContext context() const;
 
  private:
   sim::Simulation* sim_{nullptr};

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace vmgrid::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kInvalidSpan = 0;
+
+/// Causal identity carried across asynchronous boundaries: which trace an
+/// operation belongs to and which span caused it. Created at job/session
+/// entry points (GRAM submit, session instantiate, VFS read, failover),
+/// stamped onto every RpcRequest, and captured into transfer/callback
+/// state wherever the ambient scope cannot survive a schedule_after.
+///
+/// Header is intentionally tiny (cstdint only) so wire-level structs like
+/// net::RpcRequest can embed a context without dragging in the collector.
+struct TraceContext {
+  /// Deterministic trace id: derived from the sim seed and a per-collector
+  /// sequence (never wall clock), so serial and VMGRID_JOBS=N runs export
+  /// byte-identical traces. 0 = no trace (collector disabled or no scope).
+  std::uint64_t trace_id{0};
+  /// The span that caused whatever carries this context.
+  SpanId span_id{kInvalidSpan};
+
+  [[nodiscard]] bool valid() const {
+    return trace_id != 0 && span_id != kInvalidSpan;
+  }
+};
+
+}  // namespace vmgrid::obs

@@ -38,10 +38,12 @@ LogLevel Logger::level_from_env(LogLevel fallback) {
 }
 
 void Logger::write(LogLevel lvl, double sim_seconds, std::string_view component,
-                   std::string_view message) {
+                   std::string_view message, std::uint64_t trace_id) {
   std::ostream& os = sink_ ? *sink_ : std::clog;
   os << '[' << std::fixed << std::setprecision(6) << sim_seconds << "s] "
-     << level_name(lvl) << ' ' << component << ": " << message << '\n';
+     << level_name(lvl) << ' ' << component << ": " << message;
+  if (trace_id != 0) os << " trace=" << trace_id;
+  os << '\n';
 }
 
 }  // namespace vmgrid::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <sstream>
 #include <string>
@@ -28,8 +29,10 @@ class Logger {
   /// so examples/benches can be made verbose without recompiling.
   [[nodiscard]] static LogLevel level_from_env(LogLevel fallback = LogLevel::kWarn);
 
+  /// `trace_id` (0 = none) appends " trace=<id>" so a log line can be
+  /// joined to the causal trace that emitted it.
   void write(LogLevel lvl, double sim_seconds, std::string_view component,
-             std::string_view message);
+             std::string_view message, std::uint64_t trace_id = 0);
 
  private:
   LogLevel level_{LogLevel::kWarn};
@@ -39,6 +42,7 @@ class Logger {
 }  // namespace vmgrid::sim
 
 /// Usage: VMGRID_LOG(sim, kInfo, "gram", "dispatching job " << id);
+/// Lines are stamped with the active trace id when a trace scope is open.
 #define VMGRID_LOG(simref, lvl, component, expr)                               \
   do {                                                                         \
     if ((simref).log().enabled(::vmgrid::sim::LogLevel::lvl)) {                \
@@ -46,6 +50,7 @@ class Logger {
       vmgrid_log_os << expr;                                                   \
       (simref).log().write(::vmgrid::sim::LogLevel::lvl,                       \
                            (simref).now().to_seconds(), component,             \
-                           vmgrid_log_os.str());                               \
+                           vmgrid_log_os.str(),                                \
+                           (simref).current_trace_id());                       \
     }                                                                          \
   } while (0)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace vmgrid::sim {
@@ -14,6 +15,11 @@ Simulation::Simulation(std::uint64_t seed)
       metrics_{std::make_unique<obs::MetricsRegistry>()},
       trace_{std::make_unique<obs::TraceCollector>()} {
   log_.set_level(Logger::level_from_env(log_.level()));
+  trace_->set_trace_seed(seed);
+}
+
+std::uint64_t Simulation::current_trace_id() const {
+  return trace_->current().trace_id;
 }
 
 Simulation::~Simulation() = default;
@@ -57,6 +63,9 @@ EventId Simulation::schedule_weak_after(Duration delay, EventCallback fn) {
 void Simulation::run_until(TimePoint limit) {
   stopped_ = false;
   const bool bounded = limit != TimePoint::max();
+  // Hoisted: the profiling branch costs one relaxed atomic load per
+  // run_until, not per event, when profiling is off (the common case).
+  const bool profiling = obs::SimProfiler::instance().enabled();
   while (!stopped_ && !queue_.empty()) {
     if (!bounded && !queue_.has_strong()) break;  // only daemons remain
     if (queue_.next_time() > limit) break;
@@ -64,7 +73,12 @@ void Simulation::run_until(TimePoint limit) {
     assert(at >= now_);
     now_ = at;
     ++executed_;
-    fn();
+    if (profiling) {
+      obs::SimProfiler::Scope scope{"sim.loop"};
+      fn();
+    } else {
+      fn();
+    }
   }
   if (!stopped_ && bounded && now_ < limit) {
     now_ = limit;

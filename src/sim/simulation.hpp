@@ -45,6 +45,11 @@ class Simulation {
   [[nodiscard]] obs::TraceCollector& trace();
   [[nodiscard]] const obs::TraceCollector& trace() const;
 
+  /// Trace id of the innermost ambient trace scope, 0 when none — used to
+  /// stamp log lines with the causal context that emitted them. Out of
+  /// line so this header stays free of obs/ includes.
+  [[nodiscard]] std::uint64_t current_trace_id() const;
+
   EventId schedule_at(TimePoint at, EventCallback fn);
   EventId schedule_after(Duration delay, EventCallback fn);
 

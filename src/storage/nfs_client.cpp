@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
 namespace vmgrid::storage {
 
 /// Shared state of one logical read/write spanning many block RPCs.
@@ -28,6 +31,9 @@ struct NfsTransferState {
   /// a smaller remaining total_deadline instead of a fresh one.
   bool has_deadline{false};
   sim::TimePoint deadline_at{};
+  /// Transfer-level span covering every block RPC of this read/write;
+  /// per-block rpc spans parent under it via req.trace.
+  obs::Span span{};
 };
 
 namespace {
@@ -118,6 +124,10 @@ void NfsClient::read(const std::string& path, std::uint64_t offset, std::uint64_
                                         [st] { st->cb(std::move(st->result)); });
     return;
   }
+  auto& sim = fabric_.simulation();
+  st->span = obs::Span{sim, "nfs.read", fabric_.network().node_name(self_),
+                       sim.trace().current(), "nfs"};
+  st->span.arg("path", path);
   run_window(st);
 }
 
@@ -146,10 +156,15 @@ void NfsClient::write(const std::string& path, std::uint64_t offset, std::uint64
                                         [st] { st->cb(std::move(st->result)); });
     return;
   }
+  auto& sim = fabric_.simulation();
+  st->span = obs::Span{sim, "nfs.write", fabric_.network().node_name(self_),
+                       sim.trace().current(), "nfs"};
+  st->span.arg("path", path);
   run_window(st);
 }
 
 void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
+  obs::SimProfiler::Scope prof{"nfs.client"};
   while (st->in_flight < params_.window && st->next_block < st->total_blocks &&
          !st->failed) {
     const std::uint64_t rel = st->next_block++;
@@ -167,6 +182,7 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
       req = net::RpcRequest{"nfs.write", kNfsHeaderBytes + chunk,
                             NfsWriteArgs{st->path, off, chunk}};
     }
+    req.trace = st->span.context();
     const sim::TimePoint t0 = fabric_.simulation().now();
     net::RpcCallOptions opts = st->opts;
     if (st->has_deadline) {
@@ -214,6 +230,8 @@ void NfsClient::run_window(std::shared_ptr<NfsTransferState> st) {
                                .caused_by(std::move(st->first_failure));
                        record_error(fabric_.simulation().metrics(), st->result.status);
                      }
+                     st->span.set_status(st->result.status);
+                     st->span.end();
                      st->cb(std::move(st->result));
                      return;
                    }

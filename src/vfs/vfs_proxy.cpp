@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace vmgrid::vfs {
@@ -99,6 +101,7 @@ void VfsProxy::fetch_run(const std::string& path, std::uint64_t start_block,
 
 void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t len,
                     IoCallback cb) {
+  obs::SimProfiler::Scope prof{"vfs.proxy"};
   reads_->inc();
   bytes_read_->inc(static_cast<double>(len));
   auto stats = std::make_shared<VfsIoStats>();
@@ -108,6 +111,13 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
                         [cb = std::move(cb), stats] { cb(*stats); });
     return;
   }
+  // Read-level span: child of the caller's ambient trace (the guest task
+  // re-enters its context around disk I/O); nfs spans from the miss
+  // fetches parent under it via the scope pushed before fetch_run.
+  auto span = std::make_shared<obs::Span>(sim_, "vfs.read", "vfs",
+                                          sim_.trace().current(), "vfs");
+  span->arg("path", path);
+  obs::ScopedTraceContext trace_scope{sim_.trace(), span->context()};
   const std::uint64_t first = offset / kBlockSize;
   const std::uint64_t last = (offset + len - 1) / kBlockSize;
 
@@ -172,6 +182,8 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
     stats->status = UnavailableError("circuit open: cache-only degraded mode")
                         .at("vfs", "read");
     record_error(sim_.metrics(), stats->status);
+    span->set_status(stats->status);
+    span->end();
     sim_.schedule_after(params_.local_hit_latency,
                         [cb = std::move(cb), stats] { cb(*stats); });
     return;
@@ -207,6 +219,8 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
   }
 
   if (runs.empty() && joins.empty()) {
+    span->set_status(Status{});
+    span->end();
     sim_.schedule_after(params_.local_hit_latency,
                         [cb = std::move(cb), stats] { cb(*stats); });
     return;
@@ -214,9 +228,11 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
 
   auto remaining = std::make_shared<std::size_t>(runs.size() + joins.size());
   auto done_cb = std::make_shared<IoCallback>(std::move(cb));
-  auto finish_one = [this, stats, remaining, done_cb] {
+  auto finish_one = [this, stats, span, remaining, done_cb] {
     if (--*remaining == 0) {
       if (!stats->ok()) record_error(sim_.metrics(), stats->status);
+      span->set_status(stats->status);
+      span->end();
       (*done_cb)(*stats);
     }
   };
@@ -240,6 +256,7 @@ void VfsProxy::read(const std::string& path, std::uint64_t offset, std::uint64_t
 
 void VfsProxy::write(const std::string& path, std::uint64_t offset, std::uint64_t len,
                      IoCallback cb) {
+  obs::SimProfiler::Scope prof{"vfs.proxy"};
   writes_->inc();
   bytes_written_->inc(static_cast<double>(len));
   auto stats = VfsIoStats{};
@@ -290,6 +307,7 @@ void VfsProxy::do_flush(DoneCallback cb) {
     return;
   }
   flushing_ = true;
+  obs::SimProfiler::Scope prof{"vfs.flush"};
   flushes_->inc();
   struct Push {
     std::string path;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace vmgrid::vm {
 
 namespace {
@@ -160,6 +162,9 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
       do_write();
       return;
     }
+    // Phase boundaries fire from scheduled events; re-enter the task's
+    // trace so storage spans (vfs/nfs) parent under it, not a fresh root.
+    obs::ScopedTraceContext scope{sim.trace(), opts.trace};
     opts.disk->read(read_cursor, read_per_phase, [self](VmIoStats s) {
       self->continue_with([self, s] {
         self->read_cursor += self->read_per_phase;
@@ -176,6 +181,7 @@ struct RunState : GuestTask, std::enable_shared_from_this<RunState> {
       next_phase();
       return;
     }
+    obs::ScopedTraceContext scope{sim.trace(), opts.trace};
     opts.disk->write(write_cursor, write_per_phase, [self](VmIoStats s) {
       self->continue_with([self, s] {
         self->write_cursor += self->write_per_phase;

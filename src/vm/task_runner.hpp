@@ -5,6 +5,7 @@
 #include <string>
 
 #include "host/cpu_engine.hpp"
+#include "obs/trace_context.hpp"
 #include "sim/simulation.hpp"
 #include "vm/vm_disk.hpp"
 #include "workload/task_spec.hpp"
@@ -50,6 +51,10 @@ struct TaskRunOptions {
   FileAccessor* disk{nullptr};  // nullptr: I/O phases are skipped
   std::uint64_t io_read_offset{0};
   ProcessHooks hooks{};
+  /// Causal context the task's I/O is issued under: phase boundaries run
+  /// from scheduled events where the submitting scope is long gone, so
+  /// the runner re-enters this context around every disk read/write.
+  obs::TraceContext trace{};
 };
 
 using TaskCallback = std::function<void(TaskResult)>;

@@ -99,6 +99,7 @@ void VirtualMachine::boot(Callback on_running) {
     opts.efficiency = 1.0;
     opts.disk = storage_.disk.get();
     opts.hooks = guest_hooks(1.0);
+    opts.trace = boot_span->context();
     run_task_internal_boot(std::move(spec), std::move(opts),
                            [boot_span, work_span,
                             on_running = std::move(on_running)]() mutable {
@@ -137,6 +138,7 @@ void VirtualMachine::restore(Callback on_running) {
     opts.efficiency = 1.0;
     opts.disk = storage_.memory_state.get();
     opts.hooks = guest_hooks(1.0);
+    opts.trace = restore_span->context();
     run_task_internal_boot(std::move(spec), std::move(opts),
                            [restore_span, read_span,
                             on_running = std::move(on_running)]() mutable {
@@ -328,6 +330,10 @@ void VirtualMachine::run_task(workload::TaskSpec spec, TaskCallback cb) {
   opts.disk = storage_.disk.get();
   const double base_eff = opts.efficiency;
   opts.hooks = guest_hooks(base_eff);
+  // Prefer the submitter's ambient trace (session run_task pushes its
+  // scope); bare callers fall back to the VM's instantiation identity.
+  const auto ambient = host().simulation().trace().current();
+  opts.trace = ambient.valid() ? ambient : trace_context_;
   auto task = vm::run_task(host().simulation(), host().cpu(), std::move(spec),
                            std::move(opts), std::move(cb));
   prune_tasks();

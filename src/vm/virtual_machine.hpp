@@ -139,6 +139,12 @@ class VirtualMachine {
   /// (memory + device state; the non-persistent diff travels separately).
   [[nodiscard]] std::uint64_t migratable_state_bytes() const;
 
+  /// Causal identity of this VM instance: set by the instantiating
+  /// compute server (the vm.instantiate span), used as the fallback trace
+  /// for task I/O when the caller runs with no ambient context.
+  void set_trace_context(obs::TraceContext ctx) { trace_context_ = ctx; }
+  [[nodiscard]] obs::TraceContext trace_context() const { return trace_context_; }
+
  private:
   friend class Vmm;
 
@@ -167,6 +173,7 @@ class VirtualMachine {
   std::shared_ptr<int> alive_{std::make_shared<int>(0)};
   /// The in-flight boot/restore workset task, so power_off can abort it.
   std::shared_ptr<GuestTask> lifecycle_task_;
+  obs::TraceContext trace_context_{};
 };
 
 }  // namespace vmgrid::vm

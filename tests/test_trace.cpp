@@ -1,0 +1,515 @@
+// Causal trace propagation across the grid stack: deterministic trace
+// ids, RPC retry/attempt span structure, session-trace continuity across
+// failover, critical-path extraction, SLO accounting, the metric label
+// cardinality guard, and serial-vs-parallel trace export bit-identity.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "middleware/gram.hpp"
+#include "middleware/testbed.hpp"
+#include "net/rpc.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "sim/replication.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::obs {
+namespace {
+
+using namespace vmgrid::middleware;
+
+std::string arg_of(const TraceRecord& r, std::string_view key) {
+  for (const auto& [k, v] : r.args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+sim::TimePoint tp(double s) {
+  return sim::TimePoint::epoch() + sim::Duration::seconds(s);
+}
+
+// ---------------------------------------------------------------------------
+// Trace identity
+
+TEST(TraceContextTest, ValidityRequiresBothIds) {
+  EXPECT_FALSE(TraceContext{}.valid());
+  EXPECT_FALSE((TraceContext{0, 7}).valid());
+  EXPECT_FALSE((TraceContext{7, kInvalidSpan}).valid());
+  EXPECT_TRUE((TraceContext{7, 7}).valid());
+}
+
+TEST(TraceIdTest, RootIdsAreDeterministicPerSeed) {
+  const auto ids_for = [](std::uint64_t seed) {
+    TraceCollector tc;
+    tc.enable();
+    tc.set_trace_seed(seed);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+      const SpanId s = tc.begin(tp(0), "root", "t");
+      ids.push_back(tc.records()[s - 1].trace_id);
+      tc.end(s, tp(1));
+    }
+    return ids;
+  };
+  const auto a = ids_for(42);
+  EXPECT_EQ(a, ids_for(42));       // same seed => same ids
+  EXPECT_NE(a, ids_for(43));       // different seed => different trace
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a[i], 0u);           // 0 is the "no trace" sentinel
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+  }
+}
+
+TEST(TraceIdTest, ChildrenInheritTraceIdAmbientLinksAcrossTracks) {
+  TraceCollector tc;
+  tc.enable();
+  tc.set_trace_seed(5);
+  const SpanId root = tc.begin(tp(0), "root", "t0");
+  const std::uint64_t trace = tc.records()[root - 1].trace_id;
+  // Ambient context links a span on a different track into the trace.
+  tc.push_context(tc.context_of(root));
+  const SpanId remote = tc.begin(tp(1), "remote", "t1");
+  tc.pop_context();
+  EXPECT_EQ(tc.records()[remote - 1].parent, root);
+  EXPECT_EQ(tc.records()[remote - 1].trace_id, trace);
+  // Explicit-parent children inherit too.
+  const SpanId child = tc.begin_child(tp(2), tc.context_of(remote), "child", "t2");
+  EXPECT_EQ(tc.records()[child - 1].parent, remote);
+  EXPECT_EQ(tc.records()[child - 1].trace_id, trace);
+  tc.end(child, tp(3));
+  tc.end(remote, tp(3));
+  tc.end(root, tp(4));
+  EXPECT_EQ(tc.open_spans(), 0u);
+  EXPECT_EQ(tc.orphan_spans(), 0u);
+}
+
+TEST(TraceIdTest, FailedSpanCarriesStatusCodeAndRoot) {
+  sim::Simulation sim{9};
+  sim.trace().enable();
+  Span s{sim, "op", "track"};
+  const Status st = Status{StatusCode::kTimeout, "deadline exceeded"}
+                        .at("vfs", "read")
+                        .caused_by(Status{StatusCode::kTimeout, "rpc timed out"}
+                                       .at("rpc", "nfs.read"));
+  s.set_status(st);
+  s.end();
+  const TraceRecord* rec = sim.trace().find("op");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(arg_of(*rec, "ok"), "false");
+  EXPECT_EQ(arg_of(*rec, "status.code"), "timeout");
+  EXPECT_EQ(arg_of(*rec, "status.root"), "rpc/nfs.read: timeout");
+}
+
+// ---------------------------------------------------------------------------
+// RPC propagation: retries are attempt spans under one call
+
+TEST(RpcTraceTest, RetryAttemptsShareTraceWithDistinctAttemptSpans) {
+  sim::Simulation sim{21};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  const auto client = net.add_node("client");
+  const auto server_node = net.add_node("server");
+  net.add_link(client, server_node, net::LinkParams{sim::Duration::millis(2), 1e7});
+  sim.trace().enable();
+
+  net::RpcServer server{fabric, server_node,
+                        net::RpcServerParams{sim::Duration::micros(100)}};
+  server.register_method("echo", [](const net::RpcRequest&, net::RpcResponder r) {
+    r(net::RpcResponse{.response_bytes = 64, .payload = {}});
+  });
+  net.set_node_up(server_node, false);
+  sim.schedule_after(sim::Duration::seconds(1.2),
+                     [&net, server_node] { net.set_node_up(server_node, true); });
+
+  // While the node is down attempts fail fast (unreachable). Backoffs of
+  // 0.6s then 1.2s (x jitter <= 20%) put attempt 2 before the 1.2s
+  // recovery and attempt 3 after it, whatever the jitter draws.
+  net::RpcCallOptions opts;
+  opts.max_attempts = 4;
+  opts.backoff_base = sim::Duration::seconds(0.6);
+  std::optional<net::RpcResponse> resp;
+  fabric.call(client, server_node, net::RpcRequest{"echo", 64, {}}, opts,
+              [&resp](net::RpcResponse r) { resp = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok());
+
+  const auto& trace = sim.trace();
+  const TraceRecord* call = trace.find("rpc.echo");
+  ASSERT_NE(call, nullptr);
+  EXPECT_NE(call->trace_id, 0u);
+  EXPECT_EQ(arg_of(*call, "ok"), "true");
+
+  const auto attempts = trace.find_all("rpc.attempt");
+  ASSERT_EQ(attempts.size(), 3u);  // two unreachable attempts, then success
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    EXPECT_EQ(attempts[i]->parent, call->id);
+    EXPECT_EQ(attempts[i]->trace_id, call->trace_id);
+    EXPECT_EQ(arg_of(*attempts[i], "attempt"), std::to_string(i + 1));
+    for (std::size_t j = i + 1; j < attempts.size(); ++j) {
+      EXPECT_NE(attempts[i]->id, attempts[j]->id);
+    }
+  }
+  // The failed attempt carries its failure; the delivering one is ok.
+  EXPECT_EQ(arg_of(*attempts.front(), "ok"), "false");
+  EXPECT_EQ(arg_of(*attempts.front(), "status.code"), "unavailable");
+  EXPECT_EQ(arg_of(*attempts.back(), "ok"), "true");
+  EXPECT_EQ(trace.open_spans(), 0u);
+  EXPECT_EQ(trace.orphan_spans(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Full stack: one trace id from globusrun down to NFS block I/O
+
+TEST(StackTraceTest, GramJobTraceReachesVmAndNfsSpans) {
+  testbed::StartupTestbed tb{7};
+  auto& grid = *tb.grid;
+  ComputeServer* cs = tb.compute;
+  grid.simulation().trace().enable();
+
+  cs->gram().set_executor([&](const std::string&, GramService::ExecutorDone done) {
+    InstantiateOptions opts;
+    opts.config = testbed::paper_vm("vm-trace");
+    opts.image = testbed::paper_image();
+    opts.mode = VmStartMode::kColdBoot;
+    opts.access = StateAccess::kNonPersistentLoopback;
+    cs->instantiate(std::move(opts),
+                    [done = std::move(done)](vm::VirtualMachine*,
+                                             InstantiationStats stats) {
+                      done(stats.status, {});
+                    });
+  });
+  GramClient client{grid.fabric(), tb.client};
+  bool ok = false;
+  client.globusrun(cs->node(), "start-vm", [&ok](GramJobResult r) { ok = r.ok(); });
+  grid.run();
+  ASSERT_TRUE(ok);
+
+  const auto& trace = grid.simulation().trace();
+  const TraceRecord* run = trace.find("gram.globusrun");
+  ASSERT_NE(run, nullptr);
+  const std::uint64_t trace_id = run->trace_id;
+  EXPECT_NE(trace_id, 0u);
+
+  for (const char* name : {"gram.job", "gram.execute", "vm.instantiate",
+                           "vm.reboot", "vm.boot", "boot.workset", "nfs.read"}) {
+    const TraceRecord* rec = trace.find(name);
+    ASSERT_NE(rec, nullptr) << name;
+    EXPECT_EQ(rec->trace_id, trace_id) << name << " escaped the job trace";
+  }
+  // Every nfs transfer of the boot working set stays on the job's trace.
+  for (const TraceRecord* nfs : trace.find_all("nfs.read")) {
+    EXPECT_EQ(nfs->trace_id, trace_id);
+  }
+  EXPECT_EQ(trace.open_spans(), 0u);
+  EXPECT_EQ(trace.orphan_spans(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failover continues the session's trace
+
+TEST(FailoverTraceTest, FailoverSpanContinuesSessionTrace) {
+  testbed::FaultTestbed tb{71, 3};
+  auto& g = *tb.grid;
+  g.simulation().trace().enable();
+  FailoverPolicy pol;
+  pol.probe_interval = sim::Duration::seconds(2);
+  g.sessions().set_failover(pol);
+
+  SessionRequest req;
+  req.user = "alice";
+  req.want_ip = false;
+  req.query.time_bound = sim::Duration::seconds(1);
+  VmSession* session = nullptr;
+  g.sessions().create_session(req, [&](VmSession* s, Status) { session = s; });
+  g.run();
+  ASSERT_NE(session, nullptr);
+  const std::string first_host = session->server().name();
+
+  fault::FaultEngine eng{g.simulation(), g.network()};
+  for (auto* cs : tb.computes) eng.register_host(*cs);
+  fault::FaultPlan plan;
+  plan.add(fault::FaultEvent{.at = sim::Duration::seconds(5),
+                             .kind = fault::FaultKind::kHostCrash,
+                             .target = first_host,
+                             .duration = sim::Duration::seconds(600),
+                             .magnitude = 0.0});
+  eng.arm(plan);
+  g.run_for(sim::Duration::seconds(180));
+  ASSERT_TRUE(session->alive());
+  ASSERT_EQ(session->failovers(), 1u);
+
+  const auto& trace = g.simulation().trace();
+  const TraceRecord* create = trace.find("session.create");
+  ASSERT_NE(create, nullptr);
+  EXPECT_NE(create->trace_id, 0u);
+  const TraceRecord* failover = trace.find("session.failover");
+  ASSERT_NE(failover, nullptr);
+  // The recovery continues the trace begun at session creation: one
+  // trace id follows the session across hosts.
+  EXPECT_EQ(failover->trace_id, create->trace_id);
+  EXPECT_EQ(arg_of(*failover, "ok"), "true");
+  // The re-instantiation's globusrun rides the failover span's trace.
+  const auto runs = trace.find_all("gram.globusrun");
+  ASSERT_GE(runs.size(), 2u);
+  EXPECT_EQ(runs.back()->trace_id, create->trace_id);
+  EXPECT_EQ(trace.orphan_spans(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel replication: trace export is bit-identical
+
+std::string traced_world_json(std::size_t idx) {
+  sim::Simulation sim{1000 + 31 * idx};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  const auto client = net.add_node("client");
+  const auto server_node = net.add_node("server");
+  net.add_link(client, server_node, net::LinkParams{sim::Duration::millis(2), 1e7});
+  sim.trace().enable();
+  net::RpcServer server{fabric, server_node,
+                        net::RpcServerParams{sim::Duration::micros(100)}};
+  server.register_method("echo", [](const net::RpcRequest&, net::RpcResponder r) {
+    r(net::RpcResponse{.response_bytes = 64, .payload = {}});
+  });
+  for (int i = 0; i < 3; ++i) {
+    fabric.call(client, server_node, net::RpcRequest{"echo", 128, {}},
+                [](net::RpcResponse) {});
+  }
+  sim.run();
+  return sim.trace().to_chrome_json();
+}
+
+TEST(TraceDeterminismTest, SerialAndParallelExportsAreBitIdentical) {
+  constexpr std::size_t kWorlds = 8;
+  sim::ReplicationRunner serial{1};
+  sim::ReplicationRunner parallel{4};
+  const auto a = serial.map(kWorlds, traced_world_json);
+  const auto b = parallel.map(kWorlds, traced_world_json);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "trace export for world " << i
+                          << " differs between 1 and 4 jobs";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+
+TEST(CriticalPathTest, SyntheticDagChargesGatingChildren) {
+  TraceCollector tc;
+  tc.enable();
+  tc.set_trace_seed(3);
+  const SpanId root = tc.begin(tp(0), "root", "t0", "top");
+  const SpanId a = tc.begin_child(tp(0), tc.context_of(root), "a", "t1", "sub");
+  tc.end(a, tp(4));
+  const SpanId b = tc.begin_child(tp(3), tc.context_of(root), "b", "t1", "sub");
+  const SpanId d = tc.begin_child(tp(5), tc.context_of(b), "d", "t2", "leaf");
+  tc.end(d, tp(8));
+  tc.end(b, tp(9));
+  tc.end(root, tp(10));
+
+  const auto path = extract_critical_path(tc, root);
+  ASSERT_EQ(path.size(), 5u);
+  const auto expect_seg = [&](std::size_t i, SpanId span, double b0, double e0) {
+    EXPECT_EQ(path[i].span, span) << "segment " << i;
+    EXPECT_EQ(path[i].begin, tp(b0)) << "segment " << i;
+    EXPECT_EQ(path[i].end, tp(e0)) << "segment " << i;
+  };
+  // `a` never gates: root's wait from 3..9 belongs to `b` (which ends
+  // later), and before 3 nothing qualifying is closed yet.
+  expect_seg(0, root, 0.0, 3.0);
+  expect_seg(1, b, 3.0, 5.0);
+  expect_seg(2, d, 5.0, 8.0);
+  expect_seg(3, b, 8.0, 9.0);
+  expect_seg(4, root, 9.0, 10.0);
+
+  // Segments tile [root.begin, root.end] exactly.
+  double total = 0.0;
+  for (const auto& seg : path) total += seg.seconds();
+  EXPECT_DOUBLE_EQ(total, 10.0);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(path[i].begin, path[i - 1].end);
+  }
+
+  const std::string text = format_critical_path(coalesce_path(path));
+  EXPECT_NE(text.find("sub/b @ t1"), std::string::npos);
+  EXPECT_NE(text.find("leaf/d @ t2"), std::string::npos);
+}
+
+TEST(CriticalPathTest, CoalesceMergesAdjacentSameSpanSegments) {
+  std::vector<PathSegment> segs{
+      PathSegment{1, "r", "c", "t", tp(0), tp(2)},
+      PathSegment{1, "r", "c", "t", tp(2), tp(5)},
+      PathSegment{2, "x", "c", "t", tp(5), tp(6)},
+  };
+  const auto out = coalesce_path(segs);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].span, 1u);
+  EXPECT_EQ(out[0].begin, tp(0));
+  EXPECT_EQ(out[0].end, tp(5));
+  EXPECT_EQ(out[1].span, 2u);
+}
+
+TEST(CriticalPathTest, OpenOrInvalidRootYieldsEmptyPath) {
+  TraceCollector tc;
+  tc.enable();
+  const SpanId open = tc.begin(tp(0), "open", "t");
+  EXPECT_TRUE(extract_critical_path(tc, open).empty());
+  EXPECT_TRUE(extract_critical_path(tc, kInvalidSpan).empty());
+  EXPECT_TRUE(extract_critical_path(tc, 999).empty());
+}
+
+// ---------------------------------------------------------------------------
+// SLO accounting
+
+TEST(SloMonitorTest, LatencyAndAvailabilityObjectives) {
+  SloMonitor slo;
+  slo.add_latency_objective("start", 2.0, 0.9);
+  slo.add_availability_objective("up", 0.99);
+  for (int i = 0; i < 8; ++i) slo.observe_latency("start", 1.0);
+  slo.observe_latency("start", 5.0);
+  slo.observe_latency("start", 1.5);
+  for (int i = 0; i < 99; ++i) slo.observe_event("up", true);
+  slo.observe_event("up", false);
+
+  const auto results = slo.evaluate();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "start");
+  EXPECT_EQ(results[0].kind, "latency");
+  EXPECT_EQ(results[0].total, 10u);
+  EXPECT_EQ(results[0].good, 9u);
+  EXPECT_DOUBLE_EQ(results[0].compliance, 0.9);
+  EXPECT_NEAR(results[0].burn_rate, 1.0, 1e-9);  // burning exactly the budget
+  EXPECT_TRUE(results[0].met);
+  EXPECT_EQ(results[1].kind, "availability");
+  EXPECT_DOUBLE_EQ(results[1].compliance, 0.99);
+  EXPECT_NEAR(results[1].burn_rate, 1.0, 1e-9);
+  EXPECT_TRUE(results[1].met);
+}
+
+TEST(SloMonitorTest, BulkCountsAndZeroBudgetCap) {
+  SloMonitor slo;
+  slo.add_availability_objective("strict", 1.0);
+  slo.observe_counts("strict", 10, 9);
+  auto results = slo.evaluate();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].met);
+  EXPECT_EQ(results[0].burn_rate, 1e9);  // zero error budget, capped
+
+  SloMonitor empty;
+  empty.add_latency_objective("idle", 1.0, 0.99);
+  const auto r = empty.evaluate();
+  EXPECT_DOUBLE_EQ(r[0].compliance, 1.0);  // no events: vacuously compliant
+  EXPECT_TRUE(r[0].met);
+}
+
+TEST(SloMonitorTest, ExportsMetrics) {
+  SloMonitor slo;
+  slo.add_availability_objective("up", 0.5);
+  slo.observe_event("up", true);
+  slo.observe_event("up", false);
+  MetricsRegistry m;
+  slo.export_metrics(m);
+  const Labels labels{{"slo", "up"}};
+  EXPECT_DOUBLE_EQ(m.counter_value("slo.events_total", labels), 2.0);
+  EXPECT_DOUBLE_EQ(m.counter_value("slo.events_good", labels), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge_value("slo.met", labels), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge_value("slo.burn_rate", labels), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Metric label cardinality guard
+
+TEST(CardinalityGuardTest, OverflowRedirectsAndCounts) {
+  MetricsRegistry m;
+  m.set_max_label_sets(2);
+  m.counter("hot", {{"k", "a"}}).inc();
+  m.counter("hot", {{"k", "b"}}).inc();
+  m.counter("hot", {{"k", "c"}}).inc();  // past the cap
+  m.counter("hot", {{"k", "d"}}).inc();  // also redirected
+  EXPECT_DOUBLE_EQ(m.counter_value("hot", {{"k", "a"}}), 1.0);
+  EXPECT_DOUBLE_EQ(m.counter_value("hot", {{"k", "b"}}), 1.0);
+  EXPECT_EQ(m.find_counter("hot", {{"k", "c"}}), nullptr);
+  EXPECT_DOUBLE_EQ(m.counter_value("hot", {{"overflow", "true"}}), 2.0);
+  EXPECT_DOUBLE_EQ(m.counter_value("obs.labels_dropped"), 2.0);
+  // Existing instances keep resolving to themselves past the cap.
+  m.counter("hot", {{"k", "a"}}).inc();
+  EXPECT_DOUBLE_EQ(m.counter_value("hot", {{"k", "a"}}), 2.0);
+  // Unlabeled instances are never subject to the cap.
+  m.counter("hot").inc();
+  EXPECT_DOUBLE_EQ(m.counter_value("hot"), 1.0);
+}
+
+TEST(CardinalityGuardTest, MergeIsLossless) {
+  MetricsRegistry a;
+  a.set_max_label_sets(1);
+  a.counter("m", {{"k", "a"}}).inc();
+
+  MetricsRegistry b;
+  b.counter("m", {{"k", "b"}}).inc(3.0);
+  b.counter("m", {{"k", "c"}}).inc(5.0);
+  a.merge(b);
+  // Replica folding bypasses the guard: all instances survive.
+  EXPECT_DOUBLE_EQ(a.counter_value("m", {{"k", "a"}}), 1.0);
+  EXPECT_DOUBLE_EQ(a.counter_value("m", {{"k", "b"}}), 3.0);
+  EXPECT_DOUBLE_EQ(a.counter_value("m", {{"k", "c"}}), 5.0);
+  EXPECT_DOUBLE_EQ(a.counter_value("obs.labels_dropped"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sim-floor profiler
+
+TEST(ProfilerTest, ScopesRecordOnlyWhenEnabled) {
+  auto& prof = SimProfiler::instance();
+  const bool was_enabled = prof.enabled();
+  prof.enable(false);
+  prof.reset();
+  { SimProfiler::Scope s{"test.disabled"}; }
+  EXPECT_TRUE(prof.snapshot().empty());
+
+  prof.enable(true);
+  { SimProfiler::Scope s{"test.scope"}; }
+  { SimProfiler::Scope s{"test.scope"}; }
+  const auto snap = prof.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].key, "test.scope");
+  EXPECT_EQ(snap[0].calls, 2u);
+  EXPECT_GE(snap[0].seconds, 0.0);
+  EXPECT_NE(prof.to_json().find("\"test.scope\""), std::string::npos);
+  prof.reset();
+  prof.enable(was_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Export carries causal identity
+
+TEST(TraceExportTest, ChromeJsonCarriesIdParentAndTraceKeys) {
+  sim::Simulation sim{4};
+  sim.trace().enable();
+  Span parent{sim, "outer", "t"};
+  Span child{sim, "inner", "t"};
+  child.end();
+  parent.end();
+  const std::string json = sim.trace().to_chrome_json();
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos);
+  const TraceRecord* outer = sim.trace().find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NE(json.find("\"trace\":\"" + std::to_string(outer->trace_id) + "\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vmgrid::obs
