@@ -1,0 +1,40 @@
+#include "image/chunk_directory.hpp"
+
+#include <algorithm>
+
+namespace vmgrid::image {
+
+namespace {
+const std::vector<net::NodeId> kNoHolders;
+}  // namespace
+
+void ChunkDirectory::register_holder(ChunkId id, net::NodeId node) {
+  auto& list = holders_[id];
+  if (std::find(list.begin(), list.end(), node) == list.end()) {
+    list.push_back(node);
+  }
+}
+
+void ChunkDirectory::unregister_node(net::NodeId node) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), node), list.end());
+    if (list.empty()) {
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const std::vector<net::NodeId>& ChunkDirectory::holders(ChunkId id) const {
+  auto it = holders_.find(id);
+  return it == holders_.end() ? kNoHolders : it->second;
+}
+
+std::size_t ChunkDirectory::holder_count(ChunkId id) const {
+  auto it = holders_.find(id);
+  return it == holders_.end() ? 0 : it->second.size();
+}
+
+}  // namespace vmgrid::image

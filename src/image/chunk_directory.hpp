@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "image/manifest.hpp"
+#include "net/address.hpp"
+
+namespace vmgrid::image {
+
+/// Chunk availability table: which nodes currently hold which chunk.
+///
+/// This is the information-service side of swarm distribution (the
+/// middleware `InformationService` owns one and exposes it next to its
+/// host/image/future tables): image servers seed it when they ingest a
+/// manifest, swarm fetchers append themselves as chunks land, and the
+/// distributor's source selection and rarest-first ordering read it.
+/// Holder lists keep registration order, so "first holder" is always the
+/// seeding origin and every read of the table is deterministic.
+class ChunkDirectory {
+ public:
+  /// Record `node` as holding `id`. Idempotent per (chunk, node).
+  void register_holder(ChunkId id, net::NodeId node);
+
+  /// Drop every holding of `node` (host crash / deregistration).
+  void unregister_node(net::NodeId node);
+
+  /// Nodes holding `id`, in registration order; empty when untracked.
+  [[nodiscard]] const std::vector<net::NodeId>& holders(ChunkId id) const;
+  [[nodiscard]] std::size_t holder_count(ChunkId id) const;
+  [[nodiscard]] std::size_t tracked_chunks() const { return holders_.size(); }
+
+ private:
+  std::unordered_map<ChunkId, std::vector<net::NodeId>> holders_;
+};
+
+}  // namespace vmgrid::image

@@ -1,0 +1,58 @@
+#include "image/chunk_store.hpp"
+
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::image {
+
+void ChunkStore::count_dedup(std::uint64_t bytes) {
+  dedup_bytes_ += bytes;
+  sim_.metrics().counter("image.dedup_bytes").inc(static_cast<double>(bytes));
+}
+
+void ChunkStore::publish() {
+  if (!publish_gauges_) return;
+  sim_.metrics().gauge("image.unique_chunks").set(static_cast<double>(entries_.size()));
+}
+
+void ChunkStore::add_manifest(const ImageManifest& m) {
+  for (std::size_t i = 0; i < m.chunks.size(); ++i) {
+    const ChunkId id = m.chunks[i];
+    const std::uint64_t len = m.chunk_len(i);
+    auto [it, inserted] = entries_.try_emplace(id, Entry{len, 0});
+    ++it->second.refs;
+    if (inserted) {
+      fs_.create(chunk_path(id), len);
+      stored_bytes_ += len;
+    } else {
+      count_dedup(len);
+    }
+  }
+  publish();
+}
+
+void ChunkStore::release_manifest(const ImageManifest& m) {
+  for (const ChunkId id : m.chunks) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    if (--it->second.refs == 0) {
+      stored_bytes_ -= it->second.bytes;
+      fs_.remove(chunk_path(id));
+      entries_.erase(it);
+    }
+  }
+  publish();
+}
+
+bool ChunkStore::add_chunk(ChunkId id, std::uint64_t bytes) {
+  auto [it, inserted] = entries_.try_emplace(id, Entry{bytes, 1});
+  if (!inserted) {
+    count_dedup(bytes);
+    return false;
+  }
+  stored_bytes_ += bytes;
+  publish();
+  return true;
+}
+
+}  // namespace vmgrid::image

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "image/manifest.hpp"
+#include "storage/local_fs.hpp"
+
+namespace vmgrid::image {
+
+/// Content-addressed chunk archive on one node's local file system.
+///
+/// Each distinct ChunkId is backed by exactly one file (`chunk/<hex>`),
+/// whatever number of image versions reference it — that sharing is the
+/// dedup the manifests exist to enable. Entries are refcounted per
+/// manifest ingest so retiring an image version reclaims only the chunks
+/// nothing else references.
+///
+/// Metrics (on the owning Simulation's registry):
+///  - `image.dedup_bytes`   bytes a manifest ingest or chunk arrival did
+///                          NOT have to store/transfer because the chunk
+///                          was already present;
+///  - `image.unique_chunks` distinct chunks resident in this store
+///                          (published only by stores constructed with
+///                          `publish_gauges` — the origin archive — so
+///                          per-host caches don't fight over the gauge).
+class ChunkStore {
+ public:
+  ChunkStore(sim::Simulation& s, storage::LocalFileSystem& fs,
+             bool publish_gauges = false)
+      : sim_{s}, fs_{fs}, publish_gauges_{publish_gauges} {}
+
+  /// Origin-side ingest: create backing files for every chunk of `m` not
+  /// already present; bump refcounts on the rest and account the dedup.
+  void add_manifest(const ImageManifest& m);
+
+  /// Retire one manifest's references; chunks at refcount 0 are removed
+  /// from the file system.
+  void release_manifest(const ImageManifest& m);
+
+  /// A fetched chunk landed (its file was just written by the transfer).
+  /// Returns false (and accounts dedup) when the chunk was already held.
+  bool add_chunk(ChunkId id, std::uint64_t bytes);
+
+  [[nodiscard]] bool has(ChunkId id) const { return entries_.contains(id); }
+  [[nodiscard]] std::size_t unique_chunks() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+  /// Bytes deduplicated away over this store's lifetime.
+  [[nodiscard]] std::uint64_t dedup_bytes() const { return dedup_bytes_; }
+  [[nodiscard]] storage::LocalFileSystem& fs() { return fs_; }
+
+ private:
+  struct Entry {
+    std::uint64_t bytes{0};
+    std::uint32_t refs{0};
+  };
+
+  void count_dedup(std::uint64_t bytes);
+  void publish();
+
+  sim::Simulation& sim_;
+  storage::LocalFileSystem& fs_;
+  bool publish_gauges_;
+  std::unordered_map<ChunkId, Entry> entries_;
+  std::uint64_t stored_bytes_{0};
+  std::uint64_t dedup_bytes_{0};
+};
+
+}  // namespace vmgrid::image

@@ -1,0 +1,114 @@
+#include "image/cow_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/status.hpp"
+
+namespace vmgrid::image {
+
+namespace {
+
+class ChunkAccessor final : public vm::FileAccessor {
+ public:
+  ChunkAccessor(ImageManifest manifest, ChunkStore& store)
+      : manifest_{std::move(manifest)}, store_{store} {}
+
+  void read(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    // Split [offset, offset+len) at chunk boundaries; issue one store read
+    // per covered chunk and aggregate (same fan-in shape as CowDisk).
+    struct Piece {
+      std::size_t chunk;
+      std::uint64_t in_chunk_off;
+      std::uint64_t len;
+    };
+    std::vector<Piece> pieces;
+    const std::uint64_t cb_bytes = manifest_.chunk_bytes;
+    const std::uint64_t end = std::min(offset + len, manifest_.image_bytes);
+    for (std::uint64_t off = std::min(offset, end); off < end;) {
+      const std::size_t c = static_cast<std::size_t>(off / cb_bytes);
+      const std::uint64_t piece_end = std::min(end, (c + 1) * cb_bytes);
+      pieces.push_back(Piece{c, off - c * cb_bytes, piece_end - off});
+      off = piece_end;
+    }
+    if (pieces.empty()) {
+      // Zero-length (or past-EOF) read: still deliver asynchronously-shaped.
+      cb(vm::VmIoStats{{}, 0, 0, 0.0});
+      return;
+    }
+    for (const Piece& p : pieces) {
+      if (p.chunk >= manifest_.chunks.size() || !store_.has(manifest_.chunks[p.chunk])) {
+        cb(vm::VmIoStats{NotFoundError("chunk " + std::to_string(p.chunk) + " of " +
+                                       manifest_.id() + " not in local store")
+                             .at("image", "read"),
+                         0, 0, 0.0});
+        return;
+      }
+    }
+    auto agg = std::make_shared<vm::VmIoStats>();
+    auto remaining = std::make_shared<std::size_t>(pieces.size());
+    auto done = std::make_shared<IoCallback>(std::move(cb));
+    for (const Piece& p : pieces) {
+      store_.fs().read(chunk_path(manifest_.chunks[p.chunk]), p.in_chunk_off, p.len,
+                       [agg, remaining, done](storage::ReadResult r) {
+                         agg->bytes += r.bytes;
+                         if (--*remaining == 0) (*done)(*agg);
+                       });
+    }
+  }
+
+  void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override {
+    (void)offset;
+    (void)len;
+    cb(vm::VmIoStats{FailedPreconditionError("chunked image layer " + manifest_.id() +
+                                             " is read-only")
+                         .at("image", "write"),
+                     0, 0, 0.0});
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "chunked:" + manifest_.id();
+  }
+
+ private:
+  ImageManifest manifest_;
+  ChunkStore& store_;
+};
+
+}  // namespace
+
+std::unique_ptr<vm::FileAccessor> make_chunk_accessor(const ImageManifest& manifest,
+                                                      ChunkStore& store) {
+  return std::make_unique<ChunkAccessor>(manifest, store);
+}
+
+std::unique_ptr<vm::FileAccessor> make_chain_accessor(
+    const std::vector<const ImageManifest*>& lineage, ChunkStore& store,
+    std::unique_ptr<vm::FileAccessor> writable_diff) {
+  if (lineage.empty()) {
+    throw std::invalid_argument("make_chain_accessor: empty lineage");
+  }
+  std::unique_ptr<vm::FileAccessor> chain =
+      make_chunk_accessor(*lineage.front(), store);
+  for (std::size_t i = 1; i < lineage.size(); ++i) {
+    const ImageManifest& layer = *lineage[i];
+    if (layer.parent_version != lineage[i - 1]->version ||
+        layer.image != lineage[i - 1]->image) {
+      throw std::invalid_argument("make_chain_accessor: " + layer.id() +
+                                  " does not derive from " + lineage[i - 1]->id());
+    }
+    auto cow = std::make_unique<vm::CowDisk>(std::move(chain),
+                                             make_chunk_accessor(layer, store));
+    for (const std::uint32_t c : layer.delta) {
+      cow->seed_written(c * layer.chunk_bytes, layer.chunk_len(c));
+    }
+    chain = std::move(cow);
+  }
+  if (writable_diff != nullptr) {
+    chain = std::make_unique<vm::CowDisk>(std::move(chain), std::move(writable_diff));
+  }
+  return chain;
+}
+
+}  // namespace vmgrid::image

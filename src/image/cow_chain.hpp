@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "image/chunk_store.hpp"
+#include "image/manifest.hpp"
+#include "vm/vm_disk.hpp"
+
+namespace vmgrid::image {
+
+/// Read-only view of a manifest's chunks in a local chunk store: byte
+/// offsets map to `chunk/<hex>` files through the manifest's chunk list.
+/// Reads of absent chunks fail with kNotFound (the fetch that should have
+/// landed them is the root cause); writes are rejected — mutation belongs
+/// to the CowDisk diff layer stacked on top.
+[[nodiscard]] std::unique_ptr<vm::FileAccessor> make_chunk_accessor(
+    const ImageManifest& manifest, ChunkStore& store);
+
+/// Instantiate an image lineage as a base→diff CowDisk chain:
+///
+///   chunked(root) ← cow(delta v2) ← cow(delta v3) ← ... ← cow(writable)
+///
+/// `lineage` is ordered root first, leaf last; every non-root layer must
+/// be a derived manifest (its `delta` says which blocks it overrides, and
+/// the chain seeds those into the CowDisk written-set so reads route to
+/// the youngest layer that defines each block). `writable_diff`, when
+/// given, becomes the top copy-on-write layer for guest writes; without
+/// it the chain is a read-only base (shareable across VMs).
+///
+/// Throws std::invalid_argument on an empty or mis-ordered lineage.
+[[nodiscard]] std::unique_ptr<vm::FileAccessor> make_chain_accessor(
+    const std::vector<const ImageManifest*>& lineage, ChunkStore& store,
+    std::unique_ptr<vm::FileAccessor> writable_diff = nullptr);
+
+}  // namespace vmgrid::image

@@ -1,0 +1,87 @@
+#include "image/manifest.hpp"
+
+#include <algorithm>
+
+namespace vmgrid::image {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing function the trace-id derivation
+/// uses (DESIGN.md §13); good avalanche, no state.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t lineage_hash(const std::string& image, std::uint32_t version) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const char c : image) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h ^ (static_cast<std::uint64_t>(version) << 32));
+}
+
+ChunkId chunk_id(std::uint64_t lineage, std::uint64_t index) {
+  return mix64(lineage ^ mix64(index));
+}
+
+std::string chunk_path(ChunkId id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string path = "chunk/0000000000000000";
+  for (int i = 15; i >= 0; --i) {
+    path[6 + i] = kHex[id & 0xf];
+    id >>= 4;
+  }
+  return path;
+}
+
+std::uint64_t ImageManifest::chunk_len(std::size_t i) const {
+  if (i + 1 < chunks.size() || chunks.empty()) return chunk_bytes;
+  const std::uint64_t tail = image_bytes - chunk_bytes * (chunks.size() - 1);
+  return tail == 0 ? chunk_bytes : tail;
+}
+
+std::uint64_t ImageManifest::unique_bytes() const {
+  if (parent_version == 0) return image_bytes;
+  std::uint64_t total = 0;
+  for (const std::uint32_t i : delta) total += chunk_len(i);
+  return total;
+}
+
+ImageManifest build_manifest(std::string image, std::uint64_t image_bytes,
+                             std::uint64_t chunk_bytes, std::uint32_t version) {
+  ImageManifest m;
+  m.image = std::move(image);
+  m.version = version;
+  m.image_bytes = image_bytes;
+  m.chunk_bytes = chunk_bytes;
+  const std::uint64_t n = (image_bytes + chunk_bytes - 1) / chunk_bytes;
+  const std::uint64_t lineage = lineage_hash(m.image, m.version);
+  m.chunks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m.chunks.push_back(chunk_id(lineage, i));
+  return m;
+}
+
+ImageManifest derive_manifest(const ImageManifest& parent,
+                              std::vector<std::uint32_t> changed) {
+  ImageManifest m = parent;
+  m.version = parent.version + 1;
+  m.parent_version = parent.version;
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  const std::uint64_t lineage = lineage_hash(m.image, m.version);
+  m.delta.clear();
+  for (const std::uint32_t i : changed) {
+    if (i >= m.chunks.size()) continue;
+    m.chunks[i] = chunk_id(lineage, i);
+    m.delta.push_back(i);
+  }
+  return m;
+}
+
+}  // namespace vmgrid::image

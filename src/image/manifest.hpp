@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vmgrid::image {
+
+/// Content address of one image chunk. In a real deployment this would be
+/// a cryptographic digest of the chunk bytes; the simulator derives it as
+/// a seeded hash of the image *lineage* (family name + version) and the
+/// chunk index — a pure function of the image's identity, never of wall
+/// clock or run order — so two runs (and two replicas of one run) agree
+/// on every address, and a derived version that keeps a chunk untouched
+/// keeps its parent's address for it (which is what makes dedup work).
+using ChunkId = std::uint64_t;
+
+/// Stable 64-bit hash of an image lineage ("rh7.2" version 3). FNV-1a
+/// over the name folded with the version.
+[[nodiscard]] std::uint64_t lineage_hash(const std::string& image,
+                                         std::uint32_t version);
+
+/// Chunk address: splitmix64 finalizer over (lineage, index).
+[[nodiscard]] ChunkId chunk_id(std::uint64_t lineage, std::uint64_t index);
+
+/// Canonical path of a chunk's backing file within a chunk store's file
+/// system: "chunk/" + 16 hex digits.
+[[nodiscard]] std::string chunk_path(ChunkId id);
+
+/// Recipe for one version of a virtual-disk image: an ordered list of
+/// chunk addresses. A root manifest names fresh chunks for the whole
+/// image; a derived manifest copies its parent's list and overrides only
+/// the chunks its version changed (`delta`), so shared content keeps
+/// shared addresses across versions.
+struct ImageManifest {
+  std::string image;               ///< image family name, e.g. "rh7.2"
+  std::uint32_t version{1};        ///< 1 = root of the lineage
+  std::uint32_t parent_version{0}; ///< 0 = no parent (root)
+  std::uint64_t image_bytes{0};
+  std::uint64_t chunk_bytes{4ull << 20};
+  std::vector<ChunkId> chunks;        ///< fully resolved, index = offset / chunk_bytes
+  std::vector<std::uint32_t> delta;   ///< indices overridden vs parent (root: empty)
+
+  [[nodiscard]] std::string id() const {
+    return image + "@v" + std::to_string(version);
+  }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks.size(); }
+
+  /// Byte length of chunk `i` (the tail chunk may be short).
+  [[nodiscard]] std::uint64_t chunk_len(std::size_t i) const;
+
+  /// Bytes introduced by this version: the whole image for a root, the
+  /// delta chunks for a derived version.
+  [[nodiscard]] std::uint64_t unique_bytes() const;
+};
+
+/// Root manifest: every chunk addressed under this image's own lineage.
+[[nodiscard]] ImageManifest build_manifest(std::string image,
+                                           std::uint64_t image_bytes,
+                                           std::uint64_t chunk_bytes = 4ull << 20,
+                                           std::uint32_t version = 1);
+
+/// Derived manifest: parent's chunk list with `changed` indices re-addressed
+/// under the child lineage (parent.version + 1). Out-of-range indices are
+/// ignored; duplicates collapse.
+[[nodiscard]] ImageManifest derive_manifest(const ImageManifest& parent,
+                                            std::vector<std::uint32_t> changed);
+
+}  // namespace vmgrid::image

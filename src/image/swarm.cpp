@@ -1,0 +1,314 @@
+#include "image/swarm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::image {
+
+namespace {
+
+/// Deterministic per-(node, chunk-index) tie-break key. Reuses the chunk
+/// address mixer with a distinct lineage-like seed, so the key stream is
+/// independent of the actual chunk ids.
+std::uint64_t order_key(net::NodeId node, std::uint64_t index) {
+  return chunk_id(0x9e3779b97f4a7c15ull ^ node.value(), index);
+}
+
+}  // namespace
+
+/// One in-progress manifest fetch. Streams share this state: `remaining`
+/// holds unclaimed chunk indices, `inflight` counts claimed-but-unlanded
+/// transfers, and the first failure parks in `result.status` while the
+/// rest of the in-flight set drains.
+struct SwarmDistributor::FetchState {
+  ImageManifest manifest;
+  net::NodeId dst;
+  ChunkStore* dst_store{nullptr};
+  FetchCallback cb;
+  sim::TimePoint started{};
+  std::vector<std::uint32_t> remaining;
+  std::uint32_t inflight{0};
+  std::uint32_t idle_scans{0};
+  bool finished{false};
+  SwarmFetchResult result;
+  obs::Span span;
+};
+
+SwarmDistributor::SwarmDistributor(sim::Simulation& s, net::Network& net,
+                                   ChunkDirectory& dir, SwarmParams params)
+    : sim_{s}, net_{net}, dir_{dir}, params_{params} {
+  if (params_.streams == 0) params_.streams = 1;
+}
+
+void SwarmDistributor::register_store(net::NodeId node, ChunkStore& store) {
+  stores_[node] = &store;
+}
+
+void SwarmDistributor::drop_node(net::NodeId node) {
+  stores_.erase(node);
+  active_uploads_.erase(node);
+  dir_.unregister_node(node);
+}
+
+ChunkStore* SwarmDistributor::store_of(net::NodeId node) const {
+  auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : it->second;
+}
+
+std::uint32_t SwarmDistributor::uploads_of(net::NodeId node) const {
+  auto it = active_uploads_.find(node);
+  return it == active_uploads_.end() ? 0 : it->second;
+}
+
+void SwarmDistributor::fetch(const ImageManifest& manifest, net::NodeId dst,
+                             FetchCallback cb) {
+  auto st = std::make_shared<FetchState>();
+  st->manifest = manifest;
+  st->dst = dst;
+  st->dst_store = store_of(dst);
+  st->cb = std::move(cb);
+  st->started = sim_.now();
+  if (st->dst_store == nullptr) {
+    st->result.status =
+        FailedPreconditionError("node not registered in swarm").at("image", "fetch");
+    sim_.schedule_after(sim::Duration{}, [st] { st->cb(st->result); });
+    return;
+  }
+  // Parents under the ambient context (ScopedTraceContext), so a fetch
+  // issued inside session creation joins the session.create trace.
+  st->span = obs::Span{sim_, "image.fetch", net_.node_name(dst), "image"};
+  if (st->span.active()) {
+    st->span.arg("image", manifest.id());
+    st->span.arg("chunks", std::to_string(manifest.chunk_count()));
+  }
+  auto& deduped = sim_.metrics().counter("image.chunks_deduped");
+  for (std::uint32_t i = 0; i < manifest.chunk_count(); ++i) {
+    if (st->dst_store->has(manifest.chunks[i])) {
+      ++st->result.chunks_local;
+      deduped.inc();
+    } else {
+      st->remaining.push_back(i);
+    }
+  }
+  sim_.schedule_after(params_.control_setup, [this, st] {
+    const std::size_t streams = std::max<std::size_t>(
+        1, std::min<std::size_t>(params_.streams, st->remaining.size()));
+    for (std::size_t i = 0; i < streams; ++i) pump(st);
+  });
+}
+
+void SwarmDistributor::pump(const std::shared_ptr<FetchState>& st) {
+  if (st->finished) return;
+  if (!st->result.status.ok() || st->remaining.empty()) {
+    if (st->inflight == 0) finish(st);
+    return;
+  }
+  // Deterministic rarest-first claim: among chunks fetchable *right now*,
+  // take the one with the fewest holders; break ties with the per-(node,
+  // index) hash so concurrent fetchers spread over the chunk space.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::size_t best_pos = kNone;
+  std::size_t best_holders = std::numeric_limits<std::size_t>::max();
+  std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+  net::NodeId best_src{};
+  bool best_from_origin = false;
+  bool any_source_exists = false;  // some holder is registered, even if busy
+  for (std::size_t pos = 0; pos < st->remaining.size(); ++pos) {
+    const std::uint32_t index = st->remaining[pos];
+    const auto& holders = dir_.holders(st->manifest.chunks[index]);
+    for (const net::NodeId h : holders) {
+      if (h != st->dst && stores_.find(h) != stores_.end()) {
+        any_source_exists = true;
+        break;
+      }
+    }
+    const std::uint64_t key = order_key(st->dst, index);
+    net::NodeId src{};
+    bool from_origin = false;
+    if (params_.prefer_peers && !holders.empty()) {
+      // Least-loaded peer holder with a free upload slot; ties go to the
+      // lowest node id (holder order is deterministic, so this is too).
+      // Only a peer_view-sized window of the holder list is examined,
+      // starting at a per-(node, chunk) offset: claim cost stays bounded
+      // in a 1000-node swarm and the load spreads across all holders.
+      std::uint32_t src_load = 0;
+      const std::size_t window =
+          std::min<std::size_t>(holders.size(), params_.peer_view);
+      const std::size_t start = static_cast<std::size_t>(key % holders.size());
+      for (std::size_t k = 0; k < window; ++k) {
+        const net::NodeId h = holders[(start + k) % holders.size()];
+        if (h == st->dst || h == origin_ || stores_.find(h) == stores_.end()) continue;
+        const std::uint32_t load = uploads_of(h);
+        if (load >= params_.max_peer_uploads) continue;
+        if (!src.valid() || load < src_load || (load == src_load && h < src)) {
+          src = h;
+          src_load = load;
+        }
+      }
+    }
+    if (!src.valid() && origin_.valid() && stores_.find(origin_) != stores_.end() &&
+        uploads_of(origin_) < params_.origin_upload_slots &&
+        std::find(holders.begin(), holders.end(), origin_) != holders.end()) {
+      src = origin_;
+      from_origin = true;
+    }
+    if (!src.valid()) continue;  // every source saturated; retry later
+    if (holders.size() < best_holders ||
+        (holders.size() == best_holders && key < best_key)) {
+      best_pos = pos;
+      best_holders = holders.size();
+      best_key = key;
+      best_src = src;
+      best_from_origin = from_origin;
+    }
+  }
+  if (best_pos == kNone) {
+    if (!any_source_exists && st->inflight == 0) {
+      // No registered node holds any remaining chunk and nothing is in
+      // flight that could change that: retrying would spin forever.
+      st->result.status = NotFoundError("no swarm member holds chunks of " +
+                                        st->manifest.id())
+                              .at("image", "fetch");
+      finish(st);
+      return;
+    }
+    // Nothing fetchable: linear backoff plus deterministic per-node jitter
+    // so the waiting crowd re-scans staggered instead of in lock step.
+    ++st->idle_scans;
+    const double scale = std::min<std::uint32_t>(st->idle_scans, 8);
+    const sim::Duration jitter = sim::Duration::millis(
+        static_cast<std::int64_t>(order_key(st->dst, st->idle_scans) % 32));
+    sim_.schedule_after(params_.retry_delay * scale + jitter,
+                        [this, st] { pump(st); });
+    return;
+  }
+  st->idle_scans = 0;
+  const std::uint32_t index = st->remaining[best_pos];
+  st->remaining[best_pos] = st->remaining.back();
+  st->remaining.pop_back();
+  start_transfer(st, index, best_src, best_from_origin);
+}
+
+void SwarmDistributor::start_transfer(const std::shared_ptr<FetchState>& st,
+                                      std::uint32_t index, net::NodeId src,
+                                      bool from_origin) {
+  const ChunkId id = st->manifest.chunks[index];
+  const std::uint64_t bytes = st->manifest.chunk_len(index);
+  const std::string path = chunk_path(id);
+  ++st->inflight;
+  ++active_uploads_[src];
+  auto span = std::make_shared<obs::Span>(sim_, "image.chunk",
+                                          net_.node_name(st->dst),
+                                          st->span.context(), "image");
+  if (span->active()) {
+    span->arg("chunk", std::to_string(index));
+    span->arg("src", net_.node_name(src));
+    span->arg("source", from_origin ? "origin" : "peer");
+  }
+  auto done = [this, st, index, id, bytes, src, from_origin, span](
+                  Status status, std::uint64_t landed) {
+    auto up = active_uploads_.find(src);
+    if (up != active_uploads_.end() && up->second > 0) --up->second;
+    --st->inflight;
+    span->set_status(status);
+    span->end();
+    if (!status.ok()) {
+      if (!from_origin && origin_.valid() && store_of(origin_) != nullptr) {
+        // A peer path failed (drop, dead holder): retry this one chunk
+        // straight from the origin, bypassing the slot ration so a lossy
+        // swarm degrades to origin serving instead of deadlocking.
+        sim_.metrics().counter("image.chunk_retries").inc();
+        start_transfer(st, index, origin_, true);
+        pump(st);
+        return;
+      }
+      if (st->result.status.ok()) {
+        st->result.status = Status{status.code(),
+                                   "chunk " + std::to_string(index) + " of " +
+                                       st->manifest.id() + " unfetchable"}
+                                .at("image", "fetch")
+                                .caused_by(status);
+      }
+      pump(st);
+      return;
+    }
+    st->dst_store->add_chunk(id, bytes);
+    dir_.register_holder(id, st->dst);
+    if (from_origin) {
+      origin_bytes_ += landed;
+      ++origin_chunks_;
+      ++st->result.chunks_from_origin;
+      st->result.bytes_from_origin += landed;
+      sim_.metrics().counter("image.origin_bytes_served").inc(double(landed));
+      sim_.metrics().counter("image.chunk_fetches", {{"source", "origin"}}).inc();
+    } else {
+      peer_bytes_ += landed;
+      ++peer_chunks_;
+      ++st->result.chunks_from_peers;
+      st->result.bytes_from_peers += landed;
+      sim_.metrics().counter("image.peer_bytes_served").inc(double(landed));
+      sim_.metrics().counter("image.chunk_fetches", {{"source", "peer"}}).inc();
+    }
+    pump(st);
+  };
+  ChunkStore* src_store = store_of(src);
+  if (src_store == nullptr) {
+    sim_.schedule_after(sim::Duration{}, [done] {
+      done(UnavailableError("chunk source left the swarm").at("image", "fetch"), 0);
+    });
+    return;
+  }
+  if (from_origin && origin_transport_) {
+    origin_transport_(src_store->fs(), src, path, st->dst_store->fs(), st->dst,
+                      bytes, done);
+    return;
+  }
+  // Built-in path: local read at the source, one network transfer (over
+  // the overlay when it knows a route), then a local write at dst.
+  const net::NodeId dst = st->dst;
+  auto* dst_fs = &st->dst_store->fs();
+  src_store->fs().read(
+      path, 0, bytes, [this, src, dst, dst_fs, path, bytes, done](storage::ReadResult) {
+        auto delivered = [dst_fs, path, bytes, done](const net::TransferResult& r) {
+          if (!r.delivered) {
+            done(UnavailableError("chunk transfer dropped").at("image", "fetch"), 0);
+            return;
+          }
+          if (!dst_fs->exists(path)) dst_fs->create(path, bytes);
+          dst_fs->write(path, 0, bytes, [done, bytes] { done(Status{}, bytes); });
+        };
+        if (overlay_ != nullptr && overlay_->has_route(src, dst)) {
+          overlay_->send(src, dst, bytes, delivered);
+        } else {
+          net_.send(src, dst, bytes, delivered);
+        }
+      });
+}
+
+void SwarmDistributor::finish(const std::shared_ptr<FetchState>& st) {
+  if (st->finished) return;
+  st->finished = true;
+  st->result.elapsed = sim_.now() - st->started;
+  if (st->span.active()) {
+    st->span.arg("from_origin", std::to_string(st->result.chunks_from_origin));
+    st->span.arg("from_peers", std::to_string(st->result.chunks_from_peers));
+    st->span.arg("local", std::to_string(st->result.chunks_local));
+  }
+  st->span.set_status(st->result.status);
+  st->span.end();
+  if (!st->result.status.ok()) {
+    record_error(sim_.metrics(), st->result.status);
+  }
+  sim_.metrics()
+      .histogram("image.fetch_seconds", {0.0, 600.0, 64})
+      .observe(st->result.elapsed.to_seconds());
+  st->cb(st->result);
+}
+
+}  // namespace vmgrid::image

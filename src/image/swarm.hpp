@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/status.hpp"
+#include "image/chunk_directory.hpp"
+#include "image/chunk_store.hpp"
+#include "net/network.hpp"
+#include "net/overlay.hpp"
+
+namespace vmgrid::image {
+
+struct SwarmParams {
+  /// Striped parallel chunk transfers per fetching node (the GridFTP
+  /// parallel-streams idea applied at chunk granularity).
+  std::uint32_t streams{4};
+  /// Concurrent chunk uploads the origin will serve; past this, fetchers
+  /// wait for a peer copy instead of piling onto the origin. This is the
+  /// knob that makes origin load O(unique chunks) instead of O(N · image).
+  std::uint32_t origin_upload_slots{8};
+  /// Concurrent uploads accepted per peer holder; a chunk whose holders
+  /// are all saturated is deferred (rarest-first retries it once the
+  /// swarm has spread more copies).
+  std::uint32_t max_peer_uploads{4};
+  /// Holders examined per source-selection, windowed at a deterministic
+  /// per-(node, chunk) offset into the holder list. Keeps claim cost O(1)
+  /// in swarm size while still spreading load over every holder.
+  std::uint32_t peer_view{16};
+  /// Peer copies are preferred over the origin whenever one exists.
+  /// false = every chunk from the origin (naive-chunked ablation).
+  bool prefer_peers{true};
+  /// One-time per-fetch control cost: manifest retrieval, tracker
+  /// handshake, transfer-channel setup (GridFTP control channel).
+  sim::Duration control_setup{sim::Duration::millis(400)};
+  /// Base delay before re-scanning when no chunk is currently fetchable
+  /// (all sources saturated); grows linearly per consecutive idle scan
+  /// plus a deterministic per-node jitter so waiters desynchronize.
+  sim::Duration retry_delay{sim::Duration::millis(50)};
+};
+
+/// Outcome of one node's manifest fetch.
+struct SwarmFetchResult {
+  Status status;
+  sim::Duration elapsed{};
+  std::uint64_t chunks_from_origin{0};
+  std::uint64_t chunks_from_peers{0};
+  std::uint64_t chunks_local{0};  ///< already in the local store (dedup hits)
+  std::uint64_t bytes_from_origin{0};
+  std::uint64_t bytes_from_peers{0};
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  [[nodiscard]] std::uint64_t bytes_fetched() const {
+    return bytes_from_origin + bytes_from_peers;
+  }
+};
+
+/// Peer-to-peer distributor of content-addressed image chunks.
+///
+/// Every participating node registers its local ChunkStore; the origin
+/// (image-server archive) is one of them. A fetch pulls every chunk of a
+/// manifest the destination does not already hold, with chunk selection
+/// governed by a *deterministic rarest-first* policy (DESIGN.md §14):
+/// each stream claims the remaining chunk with the fewest registered
+/// holders, tie-broken by a per-(node, chunk) hash, so concurrent
+/// fetchers spread across the chunk space instead of marching in lock
+/// step. Sources: any peer already holding the chunk (least-loaded
+/// first, then lowest node id), falling back to the origin while it has
+/// free upload slots; when every source is saturated the stream backs
+/// off deterministically and retries — by which time the swarm usually
+/// has more copies. Peer transfers are routed over the attached
+/// net::OverlayNetwork when it knows a path (so chunk traffic rides out
+/// degraded underlay links); origin transfers go through the pluggable
+/// origin transport (middleware wires striped GridFTP here).
+///
+/// Determinism: selection reads only sim-deterministic state (directory
+/// holder lists, upload counters, hashes of stable ids) — no wall clock,
+/// no unordered-container iteration — so a seeded run is bit-reproducible
+/// and replicated benches stay byte-identical across VMGRID_JOBS.
+class SwarmDistributor {
+ public:
+  SwarmDistributor(sim::Simulation& s, net::Network& net, ChunkDirectory& dir,
+                   SwarmParams params = {});
+
+  /// Join `node` (with its local store) to the swarm. The store must
+  /// outlive the distributor's use of it.
+  void register_store(net::NodeId node, ChunkStore& store);
+
+  /// Leave the swarm (host crash/retirement): drops the store binding,
+  /// the node's directory records, and its upload accounting.
+  void drop_node(net::NodeId node);
+
+  /// The archive node whose uploads are rationed by origin_upload_slots
+  /// and carried by the origin transport.
+  void set_origin(net::NodeId node) { origin_ = node; }
+
+  /// Optional resilient routing for peer transfers.
+  void set_overlay(net::OverlayNetwork* overlay) { overlay_ = overlay; }
+
+  /// Pluggable origin-side chunk transport (src store file → dst store
+  /// file); middleware/bench wire striped GridFTP transfers here. The
+  /// built-in direct path (read → send → write) is used when unset.
+  using TransportCallback = std::function<void(Status, std::uint64_t bytes)>;
+  using ChunkTransport = std::function<void(
+      storage::LocalFileSystem& src_fs, net::NodeId src, const std::string& path,
+      storage::LocalFileSystem& dst_fs, net::NodeId dst, std::uint64_t bytes,
+      TransportCallback done)>;
+  void set_origin_transport(ChunkTransport transport) {
+    origin_transport_ = std::move(transport);
+  }
+
+  using FetchCallback = std::function<void(SwarmFetchResult)>;
+
+  /// Pull every chunk of `manifest` missing from `dst`'s store. The
+  /// callback fires when all chunks are resident (or on the first
+  /// failure, after in-flight transfers drain). Chunk-fetch spans parent
+  /// under the caller's ambient trace context, so a fetch issued during
+  /// session creation joins the session.create trace.
+  void fetch(const ImageManifest& manifest, net::NodeId dst, FetchCallback cb);
+
+  // --- cumulative accounting (all fetches through this distributor) ---
+  [[nodiscard]] std::uint64_t origin_bytes_served() const { return origin_bytes_; }
+  [[nodiscard]] std::uint64_t peer_bytes_served() const { return peer_bytes_; }
+  [[nodiscard]] std::uint64_t origin_chunks_served() const { return origin_chunks_; }
+  [[nodiscard]] std::uint64_t peer_chunks_served() const { return peer_chunks_; }
+  [[nodiscard]] const SwarmParams& params() const { return params_; }
+
+ private:
+  struct FetchState;
+
+  [[nodiscard]] ChunkStore* store_of(net::NodeId node) const;
+  [[nodiscard]] std::uint32_t uploads_of(net::NodeId node) const;
+  void pump(const std::shared_ptr<FetchState>& st);
+  void start_transfer(const std::shared_ptr<FetchState>& st, std::uint32_t index,
+                      net::NodeId src, bool from_origin);
+  void finish(const std::shared_ptr<FetchState>& st);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  ChunkDirectory& dir_;
+  SwarmParams params_;
+  net::NodeId origin_{};
+  net::OverlayNetwork* overlay_{nullptr};
+  ChunkTransport origin_transport_;
+  std::unordered_map<net::NodeId, ChunkStore*> stores_;
+  std::unordered_map<net::NodeId, std::uint32_t> active_uploads_;
+  std::uint64_t origin_bytes_{0};
+  std::uint64_t peer_bytes_{0};
+  std::uint64_t origin_chunks_{0};
+  std::uint64_t peer_chunks_{0};
+};
+
+}  // namespace vmgrid::image

@@ -50,7 +50,8 @@ ComputeServer::ComputeServer(sim::Simulation& s, net::Network& net,
             net::IpAddress::from_octets(
                 10, static_cast<std::uint8_t>(host_.node().value() & 0xff), 0, 10),
             64},
-      ftp_{s, net} {}
+      ftp_{s, net},
+      chunk_store_{s, host_.fs()} {}
 
 void ComputeServer::preload_image(const vm::VmImageSpec& spec) {
   host_.fs().create(spec.disk_file(), spec.disk_bytes);
@@ -75,6 +76,16 @@ void ComputeServer::stage_image(storage::LocalFileSystem& src_fs, net::NodeId sr
     ftp_.transfer(src_fs, src_node, spec.memory_file(), host_.fs(), host_.node(),
                   spec.memory_file(), finish);
   }
+}
+
+void ComputeServer::stage_image_swarm(image::SwarmDistributor& swarm,
+                                      const image::ImageManifest& manifest,
+                                      std::function<void(Status)> cb) {
+  swarm.register_store(host_.node(), chunk_store_);  // idempotent join
+  swarm.fetch(manifest, host_.node(),
+              [cb = std::move(cb)](image::SwarmFetchResult r) {
+                cb(std::move(r.status));
+              });
 }
 
 vfs::VfsMount& ComputeServer::vfs_mount_for(net::NodeId image_server) {

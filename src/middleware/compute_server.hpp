@@ -7,6 +7,8 @@
 
 #include "core/status.hpp"
 #include "host/physical_host.hpp"
+#include "image/chunk_store.hpp"
+#include "image/swarm.hpp"
 #include "middleware/gram.hpp"
 #include "middleware/gridftp.hpp"
 #include "middleware/information_service.hpp"
@@ -114,6 +116,19 @@ class ComputeServer {
   void stage_image(storage::LocalFileSystem& src_fs, net::NodeId src_node,
                    const vm::VmImageSpec& spec, std::function<void(Status)> cb);
 
+  /// Stage a chunked image version through the swarm: joins this node's
+  /// chunk store to the distributor and pulls the manifest's missing
+  /// chunks (peers preferred over the origin archive). Chunks shared with
+  /// previously staged versions are already local and cost nothing — the
+  /// CoW-chain dedup. Fetch spans parent under the ambient trace context,
+  /// so staging inside session creation joins the session.create trace.
+  void stage_image_swarm(image::SwarmDistributor& swarm,
+                         const image::ImageManifest& manifest,
+                         std::function<void(Status)> cb);
+
+  /// This node's content-addressed chunk cache (backed by the host fs).
+  [[nodiscard]] image::ChunkStore& chunk_store() { return chunk_store_; }
+
   void destroy_vm(vm::VirtualMachine& vmachine);
 
   /// Publish this server's host record and VM future; keeps them fresh
@@ -181,6 +196,7 @@ class ComputeServer {
   std::unique_ptr<storage::NfsClient> loopback_client_;
   net::DhcpServer dhcp_;
   GridFtp ftp_;
+  image::ChunkStore chunk_store_;
   std::unordered_map<net::NodeId, vfs::VfsMount*> vfs_mounts_;
   InformationService* published_to_{nullptr};
   std::uint32_t instantiations_{0};

@@ -13,12 +13,17 @@ ImageServer::ImageServer(sim::Simulation& s, net::Network& net, net::RpcFabric& 
       node_{net.add_node(params_.name)},
       disk_{s, params_.disk},
       fs_{s, disk_},
-      nfs_{fabric, node_, fs_, params_.rpc} {}
+      nfs_{fabric, node_, fs_, params_.rpc},
+      chunks_{s, fs_, /*publish_gauges=*/true} {}
 
 void ImageServer::add_image(const vm::VmImageSpec& spec, InformationService* info) {
   fs_.create(spec.disk_file(), spec.disk_bytes);
   if (spec.memory_state_bytes > 0) {
     fs_.create(spec.memory_file(), spec.memory_state_bytes + spec.device_state_bytes);
+  } else if (fs_.exists(spec.memory_file())) {
+    // Replacement dropped the snapshot: reclaim the old memory-state file
+    // rather than exporting stale bytes under the new spec's name.
+    fs_.remove(spec.memory_file());
   }
   auto it = std::find_if(images_.begin(), images_.end(),
                          [&spec](const vm::VmImageSpec& i) { return i.name == spec.name; });
@@ -52,6 +57,71 @@ std::vector<std::string> ImageServer::catalog() const {
   for (const auto& i : images_) names.push_back(i.name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+const image::ImageManifest& ImageServer::add_image_chunked(const std::string& image,
+                                                           std::uint64_t image_bytes,
+                                                           std::uint64_t chunk_bytes,
+                                                           InformationService* info) {
+  image::ImageManifest m = image::build_manifest(image, image_bytes, chunk_bytes);
+  chunks_.add_manifest(m);
+  if (info != nullptr) {
+    for (const image::ChunkId id : m.chunks) {
+      info->chunks().register_holder(id, node_);
+    }
+  }
+  for (auto& existing : manifests_) {
+    if (existing.image == m.image && existing.version == m.version) {
+      // Re-ingest of the same version: the new refs are already counted,
+      // so releasing the old ones leaves shared chunks at refcount >= 1.
+      chunks_.release_manifest(existing);
+      existing = std::move(m);
+      return existing;
+    }
+  }
+  manifests_.push_back(std::move(m));
+  return manifests_.back();
+}
+
+const image::ImageManifest* ImageServer::derive_version(
+    const std::string& image, std::vector<std::uint32_t> changed,
+    InformationService* info) {
+  const image::ImageManifest* parent = find_manifest(image);
+  if (parent == nullptr) return nullptr;
+  image::ImageManifest m = image::derive_manifest(*parent, std::move(changed));
+  chunks_.add_manifest(m);  // only delta chunks are new; the rest dedup
+  if (info != nullptr) {
+    for (const image::ChunkId id : m.chunks) {
+      info->chunks().register_holder(id, node_);
+    }
+  }
+  manifests_.push_back(std::move(m));
+  return &manifests_.back();
+}
+
+const image::ImageManifest* ImageServer::find_manifest(const std::string& image,
+                                                       std::uint32_t version) const {
+  const image::ImageManifest* best = nullptr;
+  for (const auto& m : manifests_) {
+    if (m.image != image) continue;
+    if (version != 0 ? m.version == version : (best == nullptr || m.version > best->version)) {
+      best = &m;
+    }
+  }
+  return best;
+}
+
+std::vector<const image::ImageManifest*> ImageServer::lineage(
+    const std::string& image, std::uint32_t version) const {
+  std::vector<const image::ImageManifest*> chain;
+  const image::ImageManifest* cur = find_manifest(image, version);
+  while (cur != nullptr) {
+    chain.push_back(cur);
+    if (cur->parent_version == 0) break;
+    cur = find_manifest(image, cur->parent_version);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
 }
 
 }  // namespace vmgrid::middleware

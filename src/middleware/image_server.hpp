@@ -1,10 +1,14 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "image/chunk_store.hpp"
+#include "image/manifest.hpp"
 #include "net/rpc.hpp"
 #include "storage/disk.hpp"
 #include "storage/local_fs.hpp"
@@ -30,11 +34,43 @@ class ImageServer {
               ImageServerParams params = {});
 
   /// Create the image's backing files and advertise it. Re-adding an
-  /// image with the same name replaces it.
+  /// image with the same name replaces it — including removing a stale
+  /// memory-state file when the new spec carries no snapshot.
   void add_image(const vm::VmImageSpec& spec, InformationService* info = nullptr);
 
+  /// Stable across later catalog growth (entries live in a deque and are
+  /// never reordered), so callers may hold the pointer.
   [[nodiscard]] const vm::VmImageSpec* find(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> catalog() const;
+
+  // --- content-addressed (chunked) images ---
+
+  /// Ingest a root image version as a chunk manifest: backing chunk files
+  /// land in this server's chunk store, and every chunk is advertised in
+  /// the information service's chunk directory with this node as origin.
+  /// The returned reference stays valid for the server's lifetime.
+  const image::ImageManifest& add_image_chunked(
+      const std::string& image, std::uint64_t image_bytes,
+      std::uint64_t chunk_bytes = 4ull << 20, InformationService* info = nullptr);
+
+  /// Ingest a derived version: the latest version's manifest with
+  /// `changed` chunk indices re-addressed. Only the delta chunks cost
+  /// storage (the rest dedup against the parent). Null when the image
+  /// family is unknown.
+  const image::ImageManifest* derive_version(const std::string& image,
+                                             std::vector<std::uint32_t> changed,
+                                             InformationService* info = nullptr);
+
+  /// Manifest of `image` at `version`; version 0 = latest. Null if absent.
+  [[nodiscard]] const image::ImageManifest* find_manifest(
+      const std::string& image, std::uint32_t version = 0) const;
+
+  /// Root-first manifest chain ending at `version` (0 = latest): the
+  /// lineage a CoW chain accessor instantiates. Empty if absent.
+  [[nodiscard]] std::vector<const image::ImageManifest*> lineage(
+      const std::string& image, std::uint32_t version = 0) const;
+
+  [[nodiscard]] image::ChunkStore& chunk_store() { return chunks_; }
 
   [[nodiscard]] net::NodeId node() const { return node_; }
   [[nodiscard]] const std::string& name() const { return params_.name; }
@@ -48,7 +84,11 @@ class ImageServer {
   storage::Disk disk_;
   storage::LocalFileSystem fs_;
   storage::NfsServer nfs_;
-  std::vector<vm::VmImageSpec> images_;
+  // Deques: find()/find_manifest() hand out pointers that must survive
+  // later additions (a vector would invalidate them on growth).
+  std::deque<vm::VmImageSpec> images_;
+  image::ChunkStore chunks_;
+  std::deque<image::ImageManifest> manifests_;
 };
 
 /// Storage for user/application data (§3.1's "data server" role).

@@ -46,7 +46,12 @@ void InformationService::set_host_up(const std::string& name, bool host_up) {
 }
 
 void InformationService::register_image(ImageRecord rec) {
-  auto it = find_by_name(images_, rec.name);
+  // Keyed by (name, server_node): replacing is only valid when the same
+  // server re-advertises; another server offering the same image is a
+  // replica and must not clobber the first server's record.
+  auto it = std::find_if(images_.begin(), images_.end(), [&rec](const ImageRecord& r) {
+    return r.name == rec.name && r.server_node == rec.server_node;
+  });
   if (it != images_.end()) {
     *it = std::move(rec);
   } else {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "image/chunk_directory.hpp"
 #include "net/address.hpp"
 #include "sim/simulation.hpp"
 #include "vm/vm_image.hpp"
@@ -99,8 +100,17 @@ class InformationService {
   /// keeping registration so recovery is a single flag flip too.
   void set_host_up(const std::string& name, bool host_up);
 
+  /// Verified replace: an image record is keyed by (name, server_node),
+  /// so a server re-advertising its own image updates in place while the
+  /// same image on a *different* server registers as a separate replica.
   void register_image(ImageRecord rec);
   void unregister_image(const std::string& name);
+
+  /// Chunk availability table for swarm image distribution: image servers
+  /// seed it at manifest ingest, fetchers append as chunks land, and the
+  /// swarm distributor's source selection reads it.
+  [[nodiscard]] image::ChunkDirectory& chunks() { return chunk_dir_; }
+  [[nodiscard]] const image::ChunkDirectory& chunks() const { return chunk_dir_; }
 
   void register_future(VmFutureRecord rec);
   void update_future(const std::string& host_name, std::uint32_t active);
@@ -148,6 +158,7 @@ class InformationService {
   std::vector<ImageRecord> images_;
   std::vector<VmFutureRecord> futures_;
   std::vector<VmRecord> vms_;
+  image::ChunkDirectory chunk_dir_;
 };
 
 }  // namespace vmgrid::middleware

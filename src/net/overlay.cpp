@@ -108,6 +108,15 @@ std::vector<NodeId> OverlayNetwork::current_path(NodeId src, NodeId dst) const {
   return path;
 }
 
+bool OverlayNetwork::is_member(NodeId n) const {
+  return std::find(members_.begin(), members_.end(), n) != members_.end();
+}
+
+bool OverlayNetwork::has_route(NodeId src, NodeId dst) const {
+  if (src == dst || !is_member(src) || !is_member(dst)) return false;
+  return current_path(src, dst).size() >= 2;
+}
+
 void OverlayNetwork::send(NodeId src, NodeId dst, std::uint64_t bytes,
                           TransferCallback cb) {
   auto path = current_path(src, dst);

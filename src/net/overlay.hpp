@@ -37,6 +37,15 @@ class OverlayNetwork {
   /// Current overlay path, including endpoints. Empty if unreachable.
   [[nodiscard]] std::vector<NodeId> current_path(NodeId src, NodeId dst) const;
 
+  /// Whether `n` is one of this overlay's members.
+  [[nodiscard]] bool is_member(NodeId n) const;
+
+  /// True when both endpoints are members and a probed overlay route
+  /// currently exists between them — the precondition of send(), which
+  /// throws where this returns false. Callers with an underlay fallback
+  /// (the image swarm) branch on this instead of catching.
+  [[nodiscard]] bool has_route(NodeId src, NodeId dst) const;
+
   /// Smoothed pairwise metric (seconds) between two members.
   [[nodiscard]] double metric(NodeId a, NodeId b) const;
 

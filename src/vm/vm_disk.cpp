@@ -121,6 +121,13 @@ std::string CowDisk::describe() const {
   return "cow(" + base_->describe() + " + " + diff_->describe() + ")";
 }
 
+void CowDisk::seed_written(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / kBlockSize;
+  const std::uint64_t last = (offset + len - 1) / kBlockSize;
+  for (std::uint64_t b = first; b <= last; ++b) written_.insert(b);
+}
+
 void CowDisk::write(std::uint64_t offset, std::uint64_t len, IoCallback cb) {
   if (len > 0) {
     const std::uint64_t first = offset / kBlockSize;

@@ -61,6 +61,13 @@ class CowDisk final : public FileAccessor {
   void write(std::uint64_t offset, std::uint64_t len, IoCallback cb) override;
   [[nodiscard]] std::string describe() const override;
 
+  /// Pre-mark [offset, offset+len) as present in the diff layer without
+  /// issuing I/O. Image chains use this to route reads of a derived
+  /// version's delta chunks to the delta layer: the "diff" there is a
+  /// read-only manifest layer whose content exists from the start, not
+  /// the product of guest writes.
+  void seed_written(std::uint64_t offset, std::uint64_t len);
+
   [[nodiscard]] std::size_t diff_block_count() const { return written_.size(); }
   [[nodiscard]] std::uint64_t diff_bytes() const {
     return written_.size() * storage::kBlockSize;

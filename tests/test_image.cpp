@@ -1,0 +1,522 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "image/chunk_directory.hpp"
+#include "image/chunk_store.hpp"
+#include "image/cow_chain.hpp"
+#include "image/manifest.hpp"
+#include "image/swarm.hpp"
+#include "middleware/image_server.hpp"
+#include "middleware/information_service.hpp"
+#include "middleware/testbed.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "storage/disk.hpp"
+#include "storage/local_fs.hpp"
+#include "vm/vm_disk.hpp"
+
+namespace vmgrid::image {
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+// ---------------------------------------------------------------------------
+// Manifests: deterministic content addressing and version derivation
+
+TEST(Manifest, BuildCoversImageWithDeterministicIds) {
+  const auto m = build_manifest("rh7.2", 30 * kMiB, 4 * kMiB);
+  EXPECT_EQ(m.version, 1u);
+  EXPECT_EQ(m.parent_version, 0u);
+  EXPECT_EQ(m.chunk_count(), 8u);           // ceil(30/4)
+  EXPECT_EQ(m.chunk_len(0), 4 * kMiB);
+  EXPECT_EQ(m.chunk_len(7), 2 * kMiB);      // short tail
+  EXPECT_EQ(m.unique_bytes(), 30 * kMiB);
+  EXPECT_TRUE(m.delta.empty());
+  // Pure function of identity: a second build is identical, and every
+  // chunk id is distinct.
+  const auto again = build_manifest("rh7.2", 30 * kMiB, 4 * kMiB);
+  EXPECT_EQ(m.chunks, again.chunks);
+  EXPECT_EQ(std::set<ChunkId>(m.chunks.begin(), m.chunks.end()).size(), 8u);
+  // A different lineage addresses differently.
+  const auto other = build_manifest("debian", 30 * kMiB, 4 * kMiB);
+  EXPECT_NE(m.chunks, other.chunks);
+}
+
+TEST(Manifest, DeriveSharesUnchangedChunksAndReAddressesDelta) {
+  const auto v1 = build_manifest("rh7.2", 32 * kMiB, 4 * kMiB);
+  const auto v2 = derive_manifest(v1, {3, 1, 3, 99});  // dup + out-of-range
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_EQ(v2.parent_version, 1u);
+  EXPECT_EQ(v2.chunk_count(), v1.chunk_count());
+  EXPECT_EQ(v2.delta, (std::vector<std::uint32_t>{1, 3}));
+  for (std::size_t i = 0; i < v1.chunk_count(); ++i) {
+    if (i == 1 || i == 3) {
+      EXPECT_NE(v2.chunks[i], v1.chunks[i]) << "delta chunk " << i;
+    } else {
+      EXPECT_EQ(v2.chunks[i], v1.chunks[i]) << "shared chunk " << i;
+    }
+  }
+  EXPECT_EQ(v2.unique_bytes(), 8 * kMiB);
+  EXPECT_EQ(v2.id(), "rh7.2@v2");
+}
+
+// ---------------------------------------------------------------------------
+// Chunk store: refcounted dedup over one file system
+
+struct StoreFixture : ::testing::Test {
+  sim::Simulation sim{5};
+  storage::Disk disk{sim, {}};
+  storage::LocalFileSystem fs{sim, disk};
+  ChunkStore store{sim, fs, /*publish_gauges=*/true};
+};
+
+TEST_F(StoreFixture, ManifestIngestDedupsAcrossVersions) {
+  const auto v1 = build_manifest("img", 32 * kMiB, 4 * kMiB);
+  store.add_manifest(v1);
+  EXPECT_EQ(store.unique_chunks(), 8u);
+  EXPECT_EQ(store.stored_bytes(), 32 * kMiB);
+  EXPECT_EQ(store.dedup_bytes(), 0u);
+  for (const ChunkId id : v1.chunks) EXPECT_TRUE(fs.exists(chunk_path(id)));
+
+  const auto v2 = derive_manifest(v1, {0, 5});
+  store.add_manifest(v2);
+  // Only the two delta chunks cost storage; six dedup against v1.
+  EXPECT_EQ(store.unique_chunks(), 10u);
+  EXPECT_EQ(store.stored_bytes(), 40 * kMiB);
+  EXPECT_EQ(store.dedup_bytes(), 24 * kMiB);
+  EXPECT_EQ(sim.metrics().counter_value("image.dedup_bytes"), 24.0 * kMiB);
+  EXPECT_EQ(sim.metrics().gauge_value("image.unique_chunks"), 10.0);
+}
+
+TEST_F(StoreFixture, ReleaseReclaimsOnlyUnreferencedChunks) {
+  const auto v1 = build_manifest("img", 16 * kMiB, 4 * kMiB);
+  const auto v2 = derive_manifest(v1, {2});
+  store.add_manifest(v1);
+  store.add_manifest(v2);
+  store.release_manifest(v1);
+  // v1's chunk 2 is referenced by nothing anymore; 0,1,3 are shared.
+  EXPECT_FALSE(fs.exists(chunk_path(v1.chunks[2])));
+  EXPECT_TRUE(fs.exists(chunk_path(v1.chunks[0])));
+  EXPECT_TRUE(fs.exists(chunk_path(v2.chunks[2])));
+  EXPECT_EQ(store.unique_chunks(), 4u);
+  store.release_manifest(v2);
+  EXPECT_EQ(store.unique_chunks(), 0u);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+}
+
+TEST_F(StoreFixture, AddChunkReportsDuplicate) {
+  EXPECT_TRUE(store.add_chunk(42, kMiB));
+  EXPECT_FALSE(store.add_chunk(42, kMiB));
+  EXPECT_EQ(store.dedup_bytes(), kMiB);
+  EXPECT_TRUE(store.has(42));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk directory
+
+TEST(ChunkDirectory, HoldersKeepRegistrationOrderAndDedup) {
+  ChunkDirectory dir;
+  const net::NodeId a{1}, b{2}, c{3};
+  dir.register_holder(7, b);
+  dir.register_holder(7, a);
+  dir.register_holder(7, b);  // idempotent
+  dir.register_holder(9, c);
+  EXPECT_EQ(dir.holder_count(7), 2u);
+  EXPECT_EQ(dir.holders(7), (std::vector<net::NodeId>{b, a}));
+  EXPECT_EQ(dir.tracked_chunks(), 2u);
+  dir.unregister_node(b);
+  EXPECT_EQ(dir.holders(7), (std::vector<net::NodeId>{a}));
+  dir.unregister_node(c);
+  EXPECT_EQ(dir.holder_count(9), 0u);
+  EXPECT_TRUE(dir.holders(9).empty());
+  EXPECT_EQ(dir.tracked_chunks(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CoW chains over chunked layers
+
+struct ChainFixture : StoreFixture {
+  ImageManifest v1 = build_manifest("img", 16 * kMiB, 4 * kMiB);
+  ImageManifest v2 = derive_manifest(v1, {1});
+  ImageManifest v3 = derive_manifest(v2, {3});
+
+  ChainFixture() {
+    store.add_manifest(v1);
+    store.add_manifest(v2);
+    store.add_manifest(v3);
+  }
+};
+
+TEST_F(ChainFixture, ChunkAccessorReadsAcrossChunkBoundaries) {
+  auto acc = make_chunk_accessor(v1, store);
+  std::optional<vm::VmIoStats> got;
+  // Spans chunks 0..2 with partial first and last pieces.
+  acc->read(3 * kMiB, 6 * kMiB, [&](vm::VmIoStats s) { got = s; });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ok());
+  EXPECT_EQ(got->bytes, 6 * kMiB);
+  EXPECT_EQ(acc->describe(), "chunked:img@v1");
+}
+
+TEST_F(ChainFixture, ChunkAccessorFailsClosedOnMissingChunkAndWrites) {
+  const auto foreign = build_manifest("absent", 8 * kMiB, 4 * kMiB);
+  auto acc = make_chunk_accessor(foreign, store);
+  std::optional<vm::VmIoStats> read;
+  acc->read(0, kMiB, [&](vm::VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(read->status.subsystem(), "image");
+
+  auto ro = make_chunk_accessor(v1, store);
+  std::optional<vm::VmIoStats> wrote;
+  ro->write(0, kMiB, [&](vm::VmIoStats s) { wrote = s; });
+  sim.run();
+  ASSERT_TRUE(wrote.has_value());
+  EXPECT_EQ(wrote->status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ChainFixture, ChainServesWholeImageAndAcceptsTopLayerWrites) {
+  fs.create("vm.diff", 16 * kMiB);
+  auto writable = vm::make_local_accessor(fs, "vm.diff");
+  auto chain = make_chain_accessor({&v1, &v2, &v3}, store, std::move(writable));
+  std::optional<vm::VmIoStats> read;
+  chain->read(0, 16 * kMiB, [&](vm::VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok());
+  EXPECT_EQ(read->bytes, 16 * kMiB);
+
+  std::optional<vm::VmIoStats> wrote;
+  chain->write(5 * kMiB, kMiB, [&](vm::VmIoStats s) { wrote = s; });
+  sim.run();
+  ASSERT_TRUE(wrote.has_value());
+  EXPECT_TRUE(wrote->ok());
+}
+
+TEST_F(ChainFixture, ChainRejectsMisorderedLineage) {
+  EXPECT_THROW((void)make_chain_accessor({&v1, &v3}, store), std::invalid_argument);
+  EXPECT_THROW((void)make_chain_accessor({}, store), std::invalid_argument);
+  const auto other = build_manifest("debian", 16 * kMiB, 4 * kMiB);
+  const auto other2 = derive_manifest(other, {0});
+  EXPECT_THROW((void)make_chain_accessor({&v1, &other2}, store),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Swarm distribution
+
+struct SwarmWorld {
+  explicit SwarmWorld(std::uint64_t seed) : sim{seed}, net{sim} {
+    hub = net.add_node("hub");
+  }
+
+  struct Node {
+    net::NodeId id;
+    std::unique_ptr<storage::Disk> disk;
+    std::unique_ptr<storage::LocalFileSystem> fs;
+    std::unique_ptr<ChunkStore> store;
+  };
+
+  Node& add_node(const std::string& name) {
+    auto& n = *nodes.emplace_back(std::make_unique<Node>());
+    n.id = net.add_node(name);
+    net.add_link(n.id, hub, net::LinkParams{sim::Duration::millis(1), 12.5e6});
+    n.disk = std::make_unique<storage::Disk>(sim, storage::DiskParams{});
+    n.fs = std::make_unique<storage::LocalFileSystem>(sim, *n.disk);
+    n.store = std::make_unique<ChunkStore>(sim, *n.fs);
+    swarm.register_store(n.id, *n.store);
+    return n;
+  }
+
+  Node& seed_origin(const ImageManifest& m) {
+    auto& o = add_node("origin");
+    o.store->add_manifest(m);
+    for (const ChunkId id : m.chunks) dir.register_holder(id, o.id);
+    swarm.set_origin(o.id);
+    return o;
+  }
+
+  SwarmFetchResult fetch(const ImageManifest& m, const Node& dst) {
+    std::optional<SwarmFetchResult> out;
+    swarm.fetch(m, dst.id, [&](SwarmFetchResult r) { out = r; });
+    sim.run();
+    return *out;
+  }
+
+  sim::Simulation sim;
+  net::Network net;
+  ChunkDirectory dir;
+  SwarmDistributor swarm{sim, net, dir};
+  net::NodeId hub;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+TEST(Swarm, SingleFetcherPullsEverythingFromOrigin) {
+  SwarmWorld w{11};
+  const auto m = build_manifest("img", 32 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  auto& host = w.add_node("host0");
+  const auto r = w.fetch(m, host);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.chunks_from_origin, 8u);
+  EXPECT_EQ(r.chunks_from_peers, 0u);
+  EXPECT_EQ(r.bytes_from_origin, 32 * kMiB);
+  EXPECT_GT(r.elapsed.to_seconds(), 0.0);
+  for (const ChunkId id : m.chunks) {
+    EXPECT_TRUE(host.store->has(id));
+    EXPECT_TRUE(host.fs->exists(chunk_path(id)));
+  }
+  // The fetcher advertised itself: every chunk now has two holders.
+  EXPECT_EQ(w.dir.holder_count(m.chunks[0]), 2u);
+  EXPECT_EQ(w.swarm.origin_bytes_served(), 32 * kMiB);
+}
+
+TEST(Swarm, SecondFetcherPrefersThePeerCopy) {
+  SwarmWorld w{12};
+  const auto m = build_manifest("img", 32 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  auto& a = w.add_node("host0");
+  auto& b = w.add_node("host1");
+  ASSERT_TRUE(w.fetch(m, a).ok());
+  const auto r = w.fetch(m, b);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.chunks_from_peers, 8u);
+  EXPECT_EQ(r.chunks_from_origin, 0u);
+  EXPECT_EQ(w.swarm.peer_bytes_served(), 32 * kMiB);
+  EXPECT_EQ(w.swarm.origin_bytes_served(), 32 * kMiB);  // only the first fetch
+}
+
+TEST(Swarm, DerivedVersionFetchMovesOnlyTheDelta) {
+  SwarmWorld w{13};
+  const auto v1 = build_manifest("img", 32 * kMiB, 4 * kMiB);
+  const auto v2 = derive_manifest(v1, {2, 6});
+  auto& origin = w.seed_origin(v1);
+  origin.store->add_manifest(v2);
+  for (const ChunkId id : v2.chunks) w.dir.register_holder(id, origin.id);
+  auto& host = w.add_node("host0");
+  ASSERT_TRUE(w.fetch(v1, host).ok());
+  const auto r = w.fetch(v2, host);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.chunks_local, 6u);  // shared with v1, already resident
+  EXPECT_EQ(r.bytes_fetched(), 8 * kMiB);
+}
+
+TEST(Swarm, FlashCrowdKeepsOriginLoadSublinear) {
+  SwarmWorld w{14};
+  const auto m = build_manifest("img", 32 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  std::vector<SwarmWorld::Node*> hosts;
+  for (int i = 0; i < 8; ++i) hosts.push_back(&w.add_node("host" + std::to_string(i)));
+  std::vector<SwarmFetchResult> results;
+  for (auto* h : hosts) {
+    w.swarm.fetch(m, h->id, [&](SwarmFetchResult r) { results.push_back(r); });
+  }
+  w.sim.run();
+  ASSERT_EQ(results.size(), 8u);
+  std::uint64_t fetched = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.chunks_from_origin + r.chunks_from_peers, 8u);
+    fetched += r.bytes_fetched();
+  }
+  EXPECT_EQ(fetched, 8 * 32 * kMiB);
+  // Peers carry most of the load; the origin serves well under half.
+  EXPECT_GT(w.swarm.peer_bytes_served(), w.swarm.origin_bytes_served());
+  EXPECT_LT(w.swarm.origin_bytes_served(), fetched / 2);
+}
+
+TEST(Swarm, ConcurrentFetchesAreSeedDeterministic) {
+  auto run = [] {
+    SwarmWorld w{15};
+    const auto m = build_manifest("img", 32 * kMiB, 4 * kMiB);
+    w.seed_origin(m);
+    std::vector<SwarmWorld::Node*> hosts;
+    for (int i = 0; i < 6; ++i) {
+      hosts.push_back(&w.add_node("host" + std::to_string(i)));
+    }
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, double>> out;
+    for (auto* h : hosts) {
+      w.swarm.fetch(m, h->id, [&](SwarmFetchResult r) {
+        out.emplace_back(r.chunks_from_origin, r.chunks_from_peers,
+                         r.elapsed.to_seconds());
+      });
+    }
+    w.sim.run();
+    out.emplace_back(w.swarm.origin_bytes_served(), w.swarm.peer_bytes_served(), 0.0);
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Swarm, FetchFromUnregisteredNodeFailsClosed) {
+  SwarmWorld w{16};
+  const auto m = build_manifest("img", 8 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  std::optional<SwarmFetchResult> out;
+  w.swarm.fetch(m, net::NodeId{999}, [&](SwarmFetchResult r) { out = r; });
+  w.sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Swarm, UnheldImageFailsWithNotFound) {
+  SwarmWorld w{17};
+  const auto m = build_manifest("img", 8 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  auto& host = w.add_node("host0");
+  const auto stranger = build_manifest("stranger", 8 * kMiB, 4 * kMiB);
+  const auto r = w.fetch(stranger, host);
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status.subsystem(), "image");
+}
+
+TEST(Swarm, DroppedPeerFallsBackToOrigin) {
+  SwarmWorld w{18};
+  const auto m = build_manifest("img", 16 * kMiB, 4 * kMiB);
+  w.seed_origin(m);
+  auto& a = w.add_node("host0");
+  auto& b = w.add_node("host1");
+  ASSERT_TRUE(w.fetch(m, a).ok());
+  w.swarm.drop_node(a.id);  // crash: directory + store binding cleared
+  EXPECT_EQ(w.dir.holder_count(m.chunks[0]), 1u);
+  const auto r = w.fetch(m, b);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.chunks_from_origin, 4u);
+  EXPECT_EQ(r.chunks_from_peers, 0u);
+}
+
+}  // namespace
+}  // namespace vmgrid::image
+
+// ---------------------------------------------------------------------------
+// Middleware integration: image server catalog fixes + swarm staging
+
+namespace vmgrid::middleware {
+namespace {
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+struct ImageServerFixture : ::testing::Test {
+  sim::Simulation sim{31};
+  net::Network net{sim};
+  net::RpcFabric fabric{net};
+  InformationService info{sim};
+  ImageServer server{sim, net, fabric, {}};
+
+  vm::VmImageSpec spec(const std::string& name, std::uint64_t mem_bytes) {
+    vm::VmImageSpec s;
+    s.name = name;
+    s.disk_bytes = 64 * kMiB;
+    s.memory_state_bytes = mem_bytes;
+    return s;
+  }
+};
+
+TEST_F(ImageServerFixture, ReplacingImageWithoutSnapshotRemovesStaleMemoryFile) {
+  const auto with_mem = spec("rh7.2", 128 * kMiB);
+  server.add_image(with_mem, &info);
+  EXPECT_TRUE(server.fs().exists(with_mem.memory_file()));
+  ASSERT_TRUE(info.lookup_image("rh7.2").has_value());
+  EXPECT_TRUE(info.lookup_image("rh7.2")->has_memory_snapshot);
+
+  // Re-add the same image as cold-boot-only: the old memory-state file
+  // must not survive as stale export state, and the information-service
+  // record must reflect the replacement (not a duplicate).
+  server.add_image(spec("rh7.2", 0), &info);
+  EXPECT_FALSE(server.fs().exists(with_mem.memory_file()));
+  EXPECT_EQ(info.image_count(), 1u);
+  EXPECT_FALSE(info.lookup_image("rh7.2")->has_memory_snapshot);
+}
+
+TEST_F(ImageServerFixture, FindReturnsStableStorageAcrossCatalogGrowth) {
+  server.add_image(spec("first", 0));
+  const vm::VmImageSpec* p = server.find("first");
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    server.add_image(spec("img" + std::to_string(i), 0));
+  }
+  // The pointer must survive 64 later additions (deque storage): same
+  // address, same contents.
+  EXPECT_EQ(server.find("first"), p);
+  EXPECT_EQ(p->name, "first");
+  EXPECT_EQ(server.catalog().size(), 65u);
+}
+
+TEST_F(ImageServerFixture, SameImageOnTwoServersRegistersAsReplicas) {
+  ImageServerParams p2;
+  p2.name = "image-server-2";
+  ImageServer other{sim, net, fabric, p2};
+  server.add_image(spec("rh7.2", 0), &info);
+  other.add_image(spec("rh7.2", 0), &info);
+  EXPECT_EQ(info.image_count(), 2u);  // replicas, not a clobbered record
+  server.add_image(spec("rh7.2", 0), &info);
+  EXPECT_EQ(info.image_count(), 2u);  // same server re-advertising replaces
+}
+
+TEST_F(ImageServerFixture, ChunkedIngestPublishesManifestsAndDirectory) {
+  const auto& v1 = server.add_image_chunked("rh7.2", 32 * kMiB, 4 * kMiB, &info);
+  EXPECT_EQ(v1.chunk_count(), 8u);
+  EXPECT_EQ(info.chunks().tracked_chunks(), 8u);
+  EXPECT_EQ(info.chunks().holders(v1.chunks[0]),
+            (std::vector<net::NodeId>{server.node()}));
+
+  const auto* v2 = server.derive_version("rh7.2", {1, 4}, &info);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(info.chunks().tracked_chunks(), 10u);
+  EXPECT_EQ(server.chunk_store().dedup_bytes(), 24 * kMiB);
+
+  EXPECT_EQ(server.find_manifest("rh7.2"), v2);       // latest
+  EXPECT_EQ(server.find_manifest("rh7.2", 1), &v1);   // explicit version
+  EXPECT_EQ(server.find_manifest("absent"), nullptr);
+  EXPECT_EQ(server.derive_version("absent", {0}), nullptr);
+  const auto chain = server.lineage("rh7.2");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], &v1);
+  EXPECT_EQ(chain[1], v2);
+}
+
+TEST(SwarmStaging, ComputeServersStageThroughSwarmWithPeerHits) {
+  testbed::FaultTestbed tb{77, 3};
+  auto& grid = *tb.grid;
+  auto& sim = grid.simulation();
+  const auto& m =
+      tb.images->add_image_chunked("rh7.2", 64 * kMiB, 4 * kMiB, &grid.info());
+
+  image::SwarmDistributor swarm{sim, grid.network(), grid.info().chunks()};
+  swarm.register_store(tb.images->node(), tb.images->chunk_store());
+  swarm.set_origin(tb.images->node());
+
+  // Stage on the three compute servers one after another: the first pull
+  // comes from the origin archive, later ones ride the peers.
+  std::vector<Status> done;
+  std::function<void(std::size_t)> stage = [&](std::size_t i) {
+    if (i >= tb.computes.size()) return;
+    tb.computes[i]->stage_image_swarm(swarm, m, [&, i](Status s) {
+      done.push_back(std::move(s));
+      stage(i + 1);
+    });
+  };
+  stage(0);
+  grid.run();
+
+  ASSERT_EQ(done.size(), 3u);
+  for (const auto& s : done) EXPECT_TRUE(s.ok());
+  EXPECT_EQ(swarm.origin_bytes_served(), 64 * kMiB);       // each chunk once
+  EXPECT_EQ(swarm.peer_bytes_served(), 2 * 64 * kMiB);     // the other two
+  for (auto* cs : tb.computes) {
+    for (const image::ChunkId id : m.chunks) {
+      EXPECT_TRUE(cs->chunk_store().has(id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vmgrid::middleware

@@ -278,6 +278,89 @@ TEST_F(VmFixture, CowDiskRoutesWritesToDiff) {
   EXPECT_EQ(read->bytes, kBlockSize * 6);
 }
 
+TEST_F(VmFixture, CowDiskReadSpansWrittenAndUnwrittenBoundaries) {
+  auto base = make_local_accessor(hostp->fs(), image.disk_file());
+  auto diff = make_local_accessor(hostp->fs(), "diff");
+  CowDisk cow{std::move(base), std::move(diff)};
+  // Write an interior run (blocks 2..3); its neighbours stay in the base.
+  bool wrote = false;
+  cow.write(kBlockSize * 2, kBlockSize * 2, [&](VmIoStats s) {
+    EXPECT_TRUE(s.ok());
+    wrote = true;
+  });
+  sim.run();
+  ASSERT_TRUE(wrote);
+  EXPECT_EQ(cow.diff_block_count(), 2u);
+  // A read covering base-run / diff-run / base-run must splice all three
+  // and deliver every byte exactly once.
+  std::optional<VmIoStats> read;
+  cow.read(0, kBlockSize * 6, [&](VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok());
+  EXPECT_EQ(read->bytes, kBlockSize * 6);
+  // A read that starts mid-written-run and ends mid-base works too.
+  read.reset();
+  cow.read(kBlockSize * 2 + kBlockSize / 2, kBlockSize * 2,
+           [&](VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok());
+  EXPECT_EQ(read->bytes, kBlockSize * 2);
+}
+
+TEST_F(VmFixture, CowDiskPartialBlockWriteMarksWholeBlock) {
+  auto base = make_local_accessor(hostp->fs(), image.disk_file());
+  auto diff = make_local_accessor(hostp->fs(), "diff");
+  CowDisk cow{std::move(base), std::move(diff)};
+  // A sub-block write at an unaligned offset dirties exactly the one
+  // block it touches (copy-on-write granularity is the block).
+  bool wrote = false;
+  cow.write(kBlockSize * 5 + 100, 200, [&](VmIoStats s) {
+    EXPECT_TRUE(s.ok());
+    wrote = true;
+  });
+  sim.run();
+  ASSERT_TRUE(wrote);
+  EXPECT_EQ(cow.diff_block_count(), 1u);
+  // An unaligned write spanning a block boundary dirties both sides.
+  cow.write(kBlockSize * 8 - 10, 20, [&](VmIoStats) {});
+  sim.run();
+  EXPECT_EQ(cow.diff_block_count(), 3u);
+  // Reading the partially-written block back delivers the requested
+  // range from the diff.
+  std::optional<VmIoStats> read;
+  cow.read(kBlockSize * 5, kBlockSize, [&](VmIoStats s) { read = s; });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->ok());
+  EXPECT_EQ(read->bytes, kBlockSize);
+}
+
+TEST_F(VmFixture, CowDiskDiffBytesAccounting) {
+  auto base = make_local_accessor(hostp->fs(), image.disk_file());
+  auto diff = make_local_accessor(hostp->fs(), "diff");
+  CowDisk cow{std::move(base), std::move(diff)};
+  EXPECT_EQ(cow.diff_bytes(), 0u);
+  cow.write(0, kBlockSize * 4, [](VmIoStats) {});
+  sim.run();
+  EXPECT_EQ(cow.diff_bytes(), kBlockSize * 4);
+  // Rewriting the same blocks must not double-count.
+  cow.write(0, kBlockSize * 4, [](VmIoStats) {});
+  sim.run();
+  EXPECT_EQ(cow.diff_bytes(), kBlockSize * 4);
+  // Zero-length writes dirty nothing.
+  cow.write(kBlockSize * 20, 0, [](VmIoStats) {});
+  sim.run();
+  EXPECT_EQ(cow.diff_block_count(), 4u);
+  // seed_written marks ranges without I/O (image chains pre-route delta
+  // chunks this way); zero-length seeding is a no-op.
+  cow.seed_written(kBlockSize * 10, kBlockSize * 2);
+  cow.seed_written(kBlockSize * 30, 0);
+  EXPECT_EQ(cow.diff_block_count(), 6u);
+  EXPECT_EQ(cow.diff_bytes(), kBlockSize * 6);
+}
+
 TEST_F(VmFixture, BackgroundLoadInsideGuestUsesCpu) {
   auto& vm = vmm->create_vm(VmConfig{.name = "loaded"}, image, local_storage());
   vm.boot([] {});
