@@ -1,0 +1,243 @@
+#include "fault/explore_world.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "middleware/testbed.hpp"
+#include "net/overload.hpp"
+#include "obs/metrics.hpp"
+#include "vm/virtual_machine.hpp"
+#include "vm/vmm.hpp"
+#include "workload/task_spec.hpp"
+
+namespace vmgrid::fault {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double meta_num(const std::map<std::string, std::string>& meta,
+                const std::string& key, double fallback) {
+  auto it = meta.find(key);
+  if (it == meta.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() && *end == '\0' ? v : fallback;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ExploreWorldOptions::to_meta() const {
+  return {
+      {"world_hosts", std::to_string(hosts)},
+      {"world_sessions", std::to_string(sessions)},
+      {"world_faults", std::to_string(faults)},
+      {"world_fault_at_s", fmt(fault_at_s)},
+      {"world_outage_s", fmt(outage_s)},
+      {"world_probe_interval_s", fmt(probe_interval_s)},
+      {"world_horizon_s", fmt(horizon_s)},
+      {"world_fault_window_s", fmt(fault_window_s)},
+      {"world_fault_slots", std::to_string(fault_slots)},
+      {"world_task_s", fmt(task_s)},
+  };
+}
+
+ExploreWorldOptions ExploreWorldOptions::from_meta(
+    const std::map<std::string, std::string>& meta, ExploreWorldOptions base) {
+  base.hosts = static_cast<int>(meta_num(meta, "world_hosts", base.hosts));
+  base.sessions = static_cast<int>(meta_num(meta, "world_sessions", base.sessions));
+  base.faults = static_cast<int>(meta_num(meta, "world_faults", base.faults));
+  base.fault_at_s = meta_num(meta, "world_fault_at_s", base.fault_at_s);
+  base.outage_s = meta_num(meta, "world_outage_s", base.outage_s);
+  base.probe_interval_s =
+      meta_num(meta, "world_probe_interval_s", base.probe_interval_s);
+  base.horizon_s = meta_num(meta, "world_horizon_s", base.horizon_s);
+  base.fault_window_s =
+      meta_num(meta, "world_fault_window_s", base.fault_window_s);
+  base.fault_slots = static_cast<std::uint32_t>(
+      meta_num(meta, "world_fault_slots", base.fault_slots));
+  base.task_s = meta_num(meta, "world_task_s", base.task_s);
+  return base;
+}
+
+void run_failover_world(sim::ExploreRun& run, const ExploreWorldOptions& opts) {
+  using namespace middleware;
+
+  testbed::FaultTestbed tb{run.seed(), std::max(1, opts.hosts)};
+  auto& g = *tb.grid;
+
+  // Phase 1, outside the choice scope: session creation. It is identical
+  // on every schedule, so exploring its (large) internal traffic would
+  // only dilute the depth budget the fault/recovery races need.
+  std::vector<VmSession*> sessions;
+  for (int i = 0; i < std::max(1, opts.sessions); ++i) {
+    SessionRequest req;
+    req.user = "explorer-" + std::to_string(i);
+    req.want_ip = false;
+    req.query.time_bound = sim::Duration::seconds(1);
+    g.sessions().create_session(req, [&sessions](VmSession* s, Status) {
+      if (s != nullptr) sessions.push_back(s);
+    });
+  }
+  g.run();
+
+  // Phase 2: every instrumented site from here on is schedule-explored.
+  run.attach(g.simulation());
+
+  auto events = std::make_shared<std::vector<FailoverEvent>>();
+  g.sessions().set_failover_handler(
+      [events](const FailoverEvent& ev) { events->push_back(ev); });
+
+  // Probes retry once through a shared budget so the retry_budget
+  // invariant watches a live token bucket, not a vacuous one.
+  auto probe_budget = std::make_shared<net::RetryBudget>();
+  FailoverPolicy pol;
+  pol.probe_interval = sim::Duration::seconds(opts.probe_interval_s);
+  pol.probe.max_attempts = 2;
+  pol.probe.retry_budget = probe_budget.get();
+  g.sessions().set_failover(pol);
+
+  FaultEngine eng{g.simulation(), g.network()};
+  for (auto* cs : tb.computes) eng.register_host(*cs);
+  eng.set_choice_window(sim::Duration::seconds(opts.fault_window_s),
+                        std::max<std::uint32_t>(1, opts.fault_slots));
+  FaultPlan plan;
+  for (int i = 0; i < opts.faults; ++i) {
+    std::string target;
+    if (!sessions.empty()) {
+      target = sessions[static_cast<std::size_t>(i) % sessions.size()]
+                   ->server()
+                   .name();
+    } else if (!tb.computes.empty()) {
+      target =
+          tb.computes[static_cast<std::size_t>(i) % tb.computes.size()]->name();
+    }
+    plan.add(FaultEvent{.at = sim::Duration::seconds(opts.fault_at_s + 7.0 * i),
+                        .kind = FaultKind::kHostCrash,
+                        .target = target,
+                        .duration = sim::Duration::seconds(opts.outage_s),
+                        .magnitude = 0.0});
+  }
+  eng.arm(plan);
+
+  // Closed-loop task stream: each session keeps one task in flight, so
+  // the task_ok_while_dead and no_lost_tasks invariants see traffic
+  // racing the crash and the recovery.
+  auto tasks_ok = std::make_shared<std::uint64_t>(0);
+  auto tasks_failed = std::make_shared<std::uint64_t>(0);
+  if (opts.task_s > 0.0) {
+    for (VmSession* s : sessions) {
+      auto pump = std::make_shared<std::function<void()>>();
+      *pump = [s, pump, tasks_ok, tasks_failed, &g, task_s = opts.task_s] {
+        workload::TaskSpec spec;
+        spec.name = "explore-task";
+        spec.user_seconds = task_s;
+        s->run_task(spec, [pump, tasks_ok, tasks_failed, &g](vm::TaskResult r) {
+          ++*(r.ok() ? tasks_ok : tasks_failed);
+          g.simulation().schedule_weak_after(sim::Duration::millis(250), *pump);
+        });
+      };
+      (*pump)();
+    }
+  }
+
+  // --- the §15 invariant catalog ---
+  const std::vector<ComputeServer*> computes = tb.computes;
+  run.invariants().add("no_double_vm", [computes]() -> std::string {
+    std::unordered_map<std::string, int> by_name;
+    for (auto* cs : computes) {
+      if (!cs->up()) continue;
+      for (auto* vmachine : cs->vmm().vms()) {
+        if (++by_name[vmachine->config().name] > 1) {
+          return "two live VMs named " + vmachine->config().name;
+        }
+      }
+    }
+    return {};
+  });
+  auto* simp = &g.simulation();
+  run.invariants().add("task_ok_while_dead", [simp]() -> std::string {
+    const double v =
+        simp->metrics().counter("session.invariant.task_ok_while_dead").value();
+    return v > 0.0 ? "a guest task reported ok on a session with no VM" : "";
+  });
+  run.invariants().add("no_lost_tasks", [sessions]() -> std::string {
+    for (VmSession* s : sessions) {
+      if (!s->alive() && s->pending_task_count() > 0) {
+        return "dead session " + s->name() + " still holds " +
+               std::to_string(s->pending_task_count()) + " task claim(s)";
+      }
+    }
+    return {};
+  });
+  run.invariants().add("cause_chain_preserved", [events]() -> std::string {
+    for (const auto& ev : *events) {
+      if (ev.ok()) continue;
+      if (!ev.status.cause().ok()) continue;  // chain intact
+      const std::string& m = ev.status.message();
+      // Genuine session-layer root errors legitimately have no cause.
+      if (m == "no live placement for failover" ||
+          m == "placement has no compute binding") {
+        continue;
+      }
+      return "failover failure dropped its cause: " + ev.status.to_string();
+    }
+    return {};
+  });
+  run.invariants().add("retry_budget", [probe_budget]() -> std::string {
+    return probe_budget->tokens() < 0.0 ? "probe retry budget overdrawn" : "";
+  });
+  run.invariants().add("chunk_refcounts", [computes]() -> std::string {
+    for (auto* cs : computes) {
+      if (!cs->chunk_store().refcounts_valid()) {
+        return "chunk refcount wrapped on " + cs->name();
+      }
+    }
+    return {};
+  });
+
+  // State digest for the explorer's cache: deliberately time-free — two
+  // schedules that land in the same recovery state merge even when their
+  // held deliveries shifted every timestamp.
+  auto* engp = &eng;
+  auto* mgr = &g.sessions();
+  run.set_state_digest([computes, sessions, events, tasks_ok, tasks_failed,
+                        engp, mgr]() -> std::uint64_t {
+    std::uint64_t d = 0x243f6a8885a308d3ull;
+    auto mixin = [&d](std::uint64_t v) {
+      d ^= v + 0x9e3779b97f4a7c15ull + (d << 6) + (d >> 2);
+    };
+    mixin(mgr->failovers_completed());
+    mixin(mgr->failovers_failed());
+    mixin(mgr->active_sessions());
+    for (auto* cs : computes) {
+      mixin(cs->up() ? 1 : 0);
+      mixin(cs->vmm().vms().size());
+    }
+    for (VmSession* s : sessions) {
+      mixin(s->alive() ? 1 : 0);
+      mixin(s->failovers());
+      mixin(s->pending_task_count());
+    }
+    mixin(engp->injected());
+    mixin(engp->healed());
+    mixin(*tasks_ok);
+    mixin(*tasks_failed);
+    mixin(events->size());
+    return d;
+  });
+
+  g.run_for(sim::Duration::seconds(opts.horizon_s));
+}
+
+}  // namespace vmgrid::fault

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/explorer.hpp"
+
+namespace vmgrid::fault {
+
+/// Parameters of the standard exploration world: the FaultTestbed
+/// topology (N published compute hosts + image server behind a site
+/// router), sessions with probe-based failover, scripted host-crash
+/// faults aimed at the sessions' hosts, and a closed-loop task stream.
+/// Small by design — the explorer re-executes it once per schedule.
+struct ExploreWorldOptions {
+  int hosts{2};
+  int sessions{1};
+  int faults{1};
+  double fault_at_s{5.0};
+  /// Crash outage; longer than the horizon means the host stays down.
+  double outage_s{600.0};
+  double probe_interval_s{2.0};
+  double horizon_s{120.0};
+  /// Exploration window for injection timing ("fault.inject" choice).
+  double fault_window_s{4.0};
+  std::uint32_t fault_slots{3};
+  /// Per-task guest seconds of the closed-loop stream; 0 disables tasks.
+  double task_s{2.0};
+
+  /// Round-trip through ScheduleTrace meta, so a counterexample file
+  /// carries the world it was found in and replay rebuilds it exactly.
+  [[nodiscard]] std::map<std::string, std::string> to_meta() const;
+  [[nodiscard]] static ExploreWorldOptions from_meta(
+      const std::map<std::string, std::string>& meta, ExploreWorldOptions base);
+  [[nodiscard]] static ExploreWorldOptions from_meta(
+      const std::map<std::string, std::string>& meta) {
+    return from_meta(meta, ExploreWorldOptions{});
+  }
+};
+
+/// Build the failover world for one explored schedule, register the
+/// DESIGN.md §15 invariant catalog and state digest, and run it to the
+/// horizon. Intended as (the body of) a sim::Explorer::WorldFn:
+///
+///   sim::Explorer ex;
+///   auto report = ex.explore(opts, [&](sim::ExploreRun& run) {
+///     fault::run_failover_world(run, world_opts);
+///   });
+///
+/// Invariants checked after every event:
+///   no_double_vm         one live VM per session token, grid-wide
+///   task_ok_while_dead   no task reports ok on a VM-less session
+///   no_lost_tasks        dead sessions hold no undrained task claims
+///   cause_chain_preserved failed failovers carry their root cause
+///   retry_budget         the probe retry budget never goes negative
+///   chunk_refcounts      no chunk-store refcount ever wraps below zero
+void run_failover_world(sim::ExploreRun& run, const ExploreWorldOptions& opts);
+
+}  // namespace vmgrid::fault

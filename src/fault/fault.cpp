@@ -73,6 +73,12 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
   // on simulation state, so plans are portable across runs and replicas.
   sim::Rng rng{seed};
   const double mean_gap_s = 3600.0 / opts.events_per_hour;
+  // Heal time of the last outage drawn per target. A new event for a
+  // busy target is clamped to start at the heal point instead of
+  // silently stacking a second outage on the first (which the engine
+  // would skip anyway, mis-counting injected faults and distorting the
+  // per-target outage statistics chaos sweeps reason about).
+  std::unordered_map<std::string, sim::Duration> busy_until;
   sim::Duration t = sim::Duration::zero();
   for (;;) {
     t = t + sim::Duration::seconds(rng.exponential(mean_gap_s));
@@ -95,8 +101,19 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomFaultOptions& opts,
     if (ev.kind == FaultKind::kLinkFlaky) ev.magnitude = opts.flaky_loss;
     if (ev.kind == FaultKind::kLinkDegraded) ev.magnitude = opts.degraded_factor;
     if (ev.kind == FaultKind::kOverload) ev.magnitude = opts.overload_slots;
+    auto& busy = busy_until[ev.target];
+    if (busy.is_infinite()) continue;  // target never heals: drop the draw
+    if (ev.at < busy) ev.at = busy;    // clamp into the idle window
+    if (ev.at >= opts.horizon) continue;  // clamped past the horizon: drop
+    busy = ev.duration.is_infinite() ? sim::Duration::infinite()
+                                     : ev.at + ev.duration;
     plan.add(std::move(ev));
   }
+  // Clamping can locally reorder arrivals; the plan contract is a
+  // time-ordered schedule (stable: equal times keep draw order).
+  std::stable_sort(
+      plan.events_.begin(), plan.events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
   return plan;
 }
 
@@ -127,10 +144,18 @@ std::vector<std::string> FaultEngine::rpc_server_names() const {
 
 void FaultEngine::arm(const FaultPlan& plan) {
   for (const auto& ev : plan.events()) {
+    sim::Duration at = ev.at;
+    if (choice_slots_ > 1 && sim_.exploring()) {
+      const std::uint32_t slot =
+          sim_.choose({"fault.inject", choice_slots_,
+                       sim::footprint_of(ev.target), true});
+      at = at + choice_window_ * (static_cast<double>(slot) /
+                                  static_cast<double>(choice_slots_ - 1));
+    }
     const std::size_t record = log_.size();
     log_.push_back(InjectionRecord{{}, ev.kind, ev.target, ev.duration, false, false});
     // Weak: an armed schedule must not keep an otherwise-finished run alive.
-    sim_.schedule_weak_after(ev.at, [this, ev, record] { inject(ev, record); });
+    sim_.schedule_weak_after(at, [this, ev, record] { inject(ev, record); });
   }
 }
 

@@ -142,6 +142,17 @@ class FaultEngine {
   /// more than once (e.g. one scripted plan plus one random plan).
   void arm(const FaultPlan& plan);
 
+  /// Exploration hook: while the simulation is exploring and `slots` is
+  /// at least 2, arming an event raises a "fault.inject" choice that
+  /// shifts its injection time among `slots` offsets evenly spanning
+  /// [at, at + window] — fault timing becomes a schedule dimension the
+  /// explorer races against probes and recovery. No effect outside
+  /// exploration (choices resolve to offset 0).
+  void set_choice_window(sim::Duration window, std::uint32_t slots) {
+    choice_window_ = window;
+    choice_slots_ = slots;
+  }
+
   [[nodiscard]] const std::vector<InjectionRecord>& log() const { return log_; }
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   [[nodiscard]] std::uint64_t healed() const { return healed_; }
@@ -170,6 +181,8 @@ class FaultEngine {
   std::vector<InjectionRecord> log_;
   std::uint64_t injected_{0};
   std::uint64_t healed_{0};
+  sim::Duration choice_window_{};
+  std::uint32_t choice_slots_{1};
 };
 
 }  // namespace vmgrid::fault

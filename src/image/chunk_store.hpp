@@ -43,6 +43,15 @@ class ChunkStore {
   bool add_chunk(ChunkId id, std::uint64_t bytes);
 
   [[nodiscard]] bool has(ChunkId id) const { return entries_.contains(id); }
+  /// Sanity view for the explorer's refcount invariant: true while every
+  /// resident entry holds a positive, non-wrapped refcount (an unsigned
+  /// underflow from a double release shows up as a huge value).
+  [[nodiscard]] bool refcounts_valid() const {
+    for (const auto& [id, e] : entries_) {
+      if (e.refs == 0 || e.refs > (1u << 30)) return false;
+    }
+    return true;
+  }
   [[nodiscard]] std::size_t unique_chunks() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
   /// Bytes deduplicated away over this store's lifetime.

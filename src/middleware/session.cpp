@@ -41,6 +41,15 @@ void VmSession::run_task(workload::TaskSpec spec, vm::TaskCallback cb) {
     if (it == pending_tasks_.end()) return;
     auto cb = std::move(it->second.cb);
     pending_tasks_.erase(it);
+    if (r.status.ok() && vm_ == nullptr) {
+      // A guest task claiming success on a session whose VM is gone is a
+      // lost-update in the making; counted so the explorer's invariant
+      // set can flag the schedule that produced it.
+      manager_->grid_.simulation()
+          .metrics()
+          .counter("session.invariant.task_ok_while_dead")
+          .inc();
+    }
     acct.charge_cpu(user, r.total_cpu_seconds());
     acct.charge_io(user, r.io_rpcs);
     acct.count_task(user);
@@ -421,9 +430,20 @@ void SessionManager::schedule_probe_tick() {
 void SessionManager::probe_tick() {
   // One gram.ping per distinct host that currently backs sessions (alive
   // or dead-awaiting-failover). Ordered by name for determinism.
-  std::map<std::string, ComputeServer*> targets;
+  std::map<std::string, ComputeServer*> ordered;
   for (auto& s : sessions_) {
-    if (s->server_ != nullptr) targets.emplace(s->server_->name(), s->server_);
+    if (s->server_ != nullptr) ordered.emplace(s->server_->name(), s->server_);
+  }
+  std::vector<std::pair<std::string, ComputeServer*>> targets(ordered.begin(),
+                                                              ordered.end());
+  if (targets.size() > 1 && grid_.simulation().exploring()) {
+    // Which host's probe verdict lands first is a real race (replies
+    // traverse independent paths); rotate the issue order so the
+    // explorer covers each host going first.
+    const std::uint32_t r = grid_.simulation().choose(
+        {"session.probe_order", static_cast<std::uint32_t>(targets.size()),
+         sim::footprint_of("session.probe_order"), true});
+    std::rotate(targets.begin(), targets.begin() + r, targets.end());
   }
   for (auto& [name, cs] : targets) {
     GramClient client{grid_.fabric(), frontend_};
@@ -441,10 +461,30 @@ void SessionManager::consider_failovers(const std::string& host_name) {
   for (auto& s : sessions_) {
     VmSession* sess = s.get();
     if (sess->server_ == nullptr || sess->server_->name() != host_name) continue;
-    if (sess->vm_ != nullptr || sess->failover_in_progress_) continue;
+#ifdef VMGRID_MUTATION_DOUBLE_FAILOVER
+    // Planted bug (checker self-test, gated behind a CMake option that is
+    // never on in shipping builds): the in-progress guard is dropped, so
+    // the next probe verdict re-triggers failover for a session whose
+    // recovery is already in flight. Two re-instantiations of the same
+    // token then race — the double-VM state the explorer must catch.
+    const bool failover_busy = false;
+#else
+    const bool failover_busy = sess->failover_in_progress_;
+#endif
+    if (sess->vm_ != nullptr || failover_busy) continue;
     // Dead session: fail over once the host is confirmed dead, or right
     // away if the probe answered (the host rebooted; the VM is gone).
-    if (host_dead || failures == 0) failover(*sess);
+    if (host_dead || failures == 0) {
+      if (!host_dead && grid_.simulation().exploring() &&
+          grid_.simulation().choose({"session.failover_defer", 2,
+                                     sim::footprint_of(host_name), true}) == 1) {
+        // The recovered-host verdict raced the probe tick: starting now
+        // or at the next tick are both field-realistic timings, so the
+        // explorer branches on the race outcome.
+        continue;
+      }
+      failover(*sess);
+    }
   }
 }
 

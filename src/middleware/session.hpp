@@ -53,6 +53,11 @@ class VmSession {
   /// Completed failovers and the summed dead time they recovered from.
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
   [[nodiscard]] sim::Duration total_downtime() const { return total_downtime_; }
+  /// In-flight task claims (the explorer's no-lost-tasks invariant: a
+  /// dead session must have drained them all).
+  [[nodiscard]] std::size_t pending_task_count() const {
+    return pending_tasks_.size();
+  }
 
   /// Run an application in the session's VM; CPU and I/O are charged to
   /// the session owner. On a dead session (host crashed, failover not

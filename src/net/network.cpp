@@ -156,6 +156,31 @@ void Network::drop(sim::Duration after, std::uint64_t bytes, sim::TimePoint star
 }
 
 void Network::send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb) {
+  if (sim_.exploring()) {
+    // Enumerable delivery order: racing messages to the same destination
+    // may be held back a few quanta so the explorer can interleave them.
+    const bool racing = inflight_to_[dst.value()] > 0;
+    const std::uint32_t hold = sim_.choose(
+        {"net.deliver", 3, sim::footprint_of(node_name(dst)), racing});
+    ++inflight_to_[dst.value()];
+    cb = [this, d = dst.value(), cb = std::move(cb)](const TransferResult& r) {
+      auto it = inflight_to_.find(d);
+      if (it != inflight_to_.end() && it->second > 0) --it->second;
+      cb(r);
+    };
+    if (hold > 0) {
+      sim_.schedule_after(delivery_quantum_ * static_cast<double>(hold),
+                          [this, src, dst, bytes, cb = std::move(cb)]() mutable {
+                            send_now(src, dst, bytes, std::move(cb));
+                          });
+      return;
+    }
+  }
+  send_now(src, dst, bytes, std::move(cb));
+}
+
+void Network::send_now(NodeId src, NodeId dst, std::uint64_t bytes,
+                       TransferCallback cb) {
   const sim::TimePoint started = sim_.now();
   if (!node_up(src) || !node_up(dst)) {
     drop(sim::Duration::micros(10), bytes, started, std::move(cb));

@@ -73,7 +73,21 @@ class Network {
 
   /// Transfer `bytes` from src to dst; invokes cb at delivery time.
   /// Zero-byte transfers model bare control packets (pure latency).
+  ///
+  /// Under exploration (Simulation::exploring()) each send is a
+  /// "net.deliver" choice point: the message may be held for 1..N-1
+  /// delivery quanta before entering the network, which is how the
+  /// explorer enumerates delivery orders of racing messages. The site
+  /// reports a conflict only when another transfer to the same
+  /// destination is in flight — deliveries to different nodes commute
+  /// and are never reordered (sleep-set pruning). Outside exploration
+  /// the choice resolves to 0 (no hold) and nothing changes.
   void send(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
+
+  /// Hold granularity for the exploration delivery choice (default 1 ms:
+  /// larger than LAN latency, so a held message really does arrive after
+  /// an unheld one).
+  void set_delivery_quantum(sim::Duration q) { delivery_quantum_ = q; }
 
   /// The transfer time a message would see *right now* (including queued
   /// backlog on each hop). Used by overlay probing.
@@ -103,6 +117,7 @@ class Network {
   using LinkIndex = std::size_t;
 
   [[nodiscard]] std::vector<LinkIndex> route(NodeId src, NodeId dst) const;
+  void send_now(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
   void hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
            sim::TimePoint started, TransferCallback cb);
   LinkIndex find_link(NodeId a, NodeId b) const;
@@ -116,6 +131,10 @@ class Network {
   std::unordered_map<std::uint64_t, LinkIndex> link_by_pair_;
   mutable std::unordered_map<std::uint64_t, std::vector<LinkIndex>> route_cache_;
   mutable bool routes_dirty_{true};
+  /// In-flight transfers per destination node, maintained only while
+  /// exploring (the conflict signal for the delivery choice point).
+  std::unordered_map<std::uint32_t, std::uint32_t> inflight_to_;
+  sim::Duration delivery_quantum_{sim::Duration::millis(1)};
 };
 
 }  // namespace vmgrid::net

@@ -1,0 +1,133 @@
+#include "sim/choice.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace vmgrid::sim {
+
+namespace {
+
+constexpr std::string_view kMagic = "vmgrid-schedule-v1";
+
+bool fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return false;
+}
+
+template <typename T>
+bool parse_int(std::string_view tok, T* out, int base = 10) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), *out, base);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+/// Splits one line into whitespace-separated tokens.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ScheduleTrace::to_text() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "seed " << seed << "\n";
+  for (const auto& [k, v] : meta) {
+    out << "meta " << k << " " << v << "\n";
+  }
+  for (const auto& c : choices) {
+    out << "choice " << c.label << " " << c.options << " " << c.chosen << " "
+        << std::hex << c.footprint << std::dec << " " << (c.conflicts ? 1 : 0)
+        << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ScheduleTrace> ScheduleTrace::parse(std::string_view text,
+                                                  std::string* error) {
+  ScheduleTrace trace;
+  std::size_t pos = 0;
+  bool saw_magic = false;
+  bool saw_end = false;
+  int lineno = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kMagic) {
+        fail(error, "line 1: expected '" + std::string(kMagic) + "'");
+        return std::nullopt;
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (saw_end) {
+      fail(error, "line " + std::to_string(lineno) + ": content after 'end'");
+      return std::nullopt;
+    }
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+    const auto bad = [&](const char* why) {
+      fail(error, "line " + std::to_string(lineno) + ": " + why);
+      return std::nullopt;
+    };
+    if (toks[0] == "end") {
+      saw_end = true;
+    } else if (toks[0] == "seed") {
+      if (toks.size() != 2 || !parse_int(toks[1], &trace.seed)) {
+        return bad("malformed seed");
+      }
+    } else if (toks[0] == "meta") {
+      if (toks.size() < 2) return bad("malformed meta");
+      // The value is everything after the key, spaces preserved.
+      const std::size_t key_end =
+          static_cast<std::size_t>(toks[1].data() - line.data()) + toks[1].size();
+      std::string_view value = line.substr(key_end);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      trace.meta[std::string(toks[1])] = std::string(value);
+    } else if (toks[0] == "choice") {
+      if (toks.size() != 6) return bad("malformed choice (want 6 fields)");
+      ChoiceRecord c;
+      c.label = std::string(toks[1]);
+      std::uint32_t conflicts = 0;
+      if (!parse_int(toks[2], &c.options) || !parse_int(toks[3], &c.chosen) ||
+          !parse_int(toks[4], &c.footprint, 16) ||
+          !parse_int(toks[5], &conflicts)) {
+        return bad("malformed choice fields");
+      }
+      if (c.options == 0 || c.chosen >= c.options) {
+        return bad("choice out of range");
+      }
+      c.conflicts = conflicts != 0;
+      trace.choices.push_back(std::move(c));
+    } else {
+      return bad("unknown directive");
+    }
+  }
+  if (!saw_magic) {
+    fail(error, "empty schedule file");
+    return std::nullopt;
+  }
+  if (!saw_end) {
+    fail(error, "truncated schedule file (no 'end')");
+    return std::nullopt;
+  }
+  return trace;
+}
+
+}  // namespace vmgrid::sim

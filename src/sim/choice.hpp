@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmgrid::sim {
+
+/// Stable 64-bit content hash for choice footprints (FNV-1a). Used to
+/// name the piece of state a schedule choice touches, so the explorer
+/// can tell commuting choices (different footprints) from racing ones.
+[[nodiscard]] constexpr std::uint64_t footprint_of(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// One resolvable point of bounded nondeterminism, announced by an
+/// instrumented site (message delivery order, fault timing, probe
+/// races). Outside exploration every site takes option 0 — the
+/// historical deterministic path — so instrumentation alone never
+/// changes behaviour.
+struct ChoiceRequest {
+  /// Stable site name ("net.deliver", "fault.inject", ...). Must not
+  /// contain whitespace: it is a token in the schedule file format.
+  const char* label{""};
+  /// Number of alternatives at this site (>= 1). The explorer may clamp
+  /// this with its choice bound.
+  std::uint32_t options{1};
+  /// Hash of the state this choice touches (e.g. the destination node of
+  /// a delivery). Two co-enabled choices with different footprints
+  /// commute: exploring their orderings separately proves nothing new.
+  std::uint64_t footprint{0};
+  /// True when another currently-enabled action shares the footprint —
+  /// the site's own cheap dependence approximation. Non-conflicting
+  /// sites are never branched (sleep-set style pruning).
+  bool conflicts{false};
+};
+
+/// Resolves choice requests. The DFS explorer installs one per run;
+/// replay installs one that forces a recorded schedule.
+class ChoiceSource {
+ public:
+  virtual ~ChoiceSource() = default;
+  /// Returns the selected option in [0, options).
+  virtual std::uint32_t choose(const ChoiceRequest& req) = 0;
+};
+
+/// One resolved choice as recorded in a schedule.
+struct ChoiceRecord {
+  std::string label;
+  std::uint32_t options{1};  ///< arity after the explorer's choice bound
+  std::uint32_t chosen{0};
+  std::uint64_t footprint{0};
+  bool conflicts{false};
+
+  friend bool operator==(const ChoiceRecord&, const ChoiceRecord&) = default;
+};
+
+/// A complete recorded schedule: seed + every choice taken, plus free-form
+/// metadata (world parameters, violated invariant) so a counterexample
+/// file is self-contained. Serialized as a line-oriented text file
+/// ("vmgrid-schedule-v1") that `vmgrid_explore --replay` consumes.
+class ScheduleTrace {
+ public:
+  std::uint64_t seed{1};
+  std::vector<ChoiceRecord> choices;
+  /// World parameters and violation info, embedded by the tool so replay
+  /// can rebuild the exact world. Keys and values must not contain
+  /// newlines; keys must not contain spaces.
+  std::map<std::string, std::string> meta;
+
+  [[nodiscard]] std::string to_text() const;
+  /// Parses the text format; on failure returns nullopt and, when
+  /// `error` is non-null, stores a one-line reason.
+  [[nodiscard]] static std::optional<ScheduleTrace> parse(std::string_view text,
+                                                          std::string* error);
+
+  friend bool operator==(const ScheduleTrace&, const ScheduleTrace&) = default;
+};
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,355 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::sim {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2);
+  return a;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return end != raw && *end == '\0' ? v : fallback;
+}
+
+}  // namespace
+
+ExploreOptions ExploreOptions::from_env(ExploreOptions base) {
+  const double depth = env_double("VMGRID_EXPLORE_DEPTH", base.max_depth);
+  if (depth >= 0.0) base.max_depth = static_cast<std::uint32_t>(depth);
+  const double choices = env_double("VMGRID_EXPLORE_CHOICES", base.max_choices);
+  if (choices >= 1.0) base.max_choices = static_cast<std::uint32_t>(choices);
+  const double budget =
+      env_double("VMGRID_EXPLORE_TIME_BUDGET_S", base.time_budget_s);
+  if (budget > 0.0) base.time_budget_s = budget;
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// The per-run schedule controller
+
+namespace detail {
+
+/// Resolves each run's choices: replays a forced prefix, then takes
+/// option 0 everywhere while recording which fresh sites are branch
+/// points (conflicting, within the depth bound, state not yet visited).
+/// The Explorer backtracks over the recorded trace between runs.
+class DfsController : public ChoiceSource {
+ public:
+  struct Rec {
+    std::string label;
+    std::uint32_t arity{1};
+    std::uint32_t chosen{0};
+    std::uint64_t footprint{0};
+    bool conflicts{false};
+    /// Eligible for backtracking: conflicting, not forced by the depth
+    /// bound, not behind a state-cache cut.
+    bool branchable{false};
+    bool depth_forced{false};
+  };
+
+  // --- configured by the Explorer before the run ---
+  std::vector<Rec> prefix;
+  std::uint32_t max_depth{0};
+  std::uint32_t max_choices{1};
+  ExploreRun* run{nullptr};
+  std::unordered_set<std::uint64_t>* visited{nullptr};  // null: cache off
+
+  // --- per-run outputs ---
+  std::vector<Rec> trace;
+  std::uint64_t fresh_points{0};
+  std::uint64_t pruned_sleep{0};
+  std::uint64_t pruned_state{0};
+  std::uint64_t forced{0};
+  std::uint64_t divergences{0};
+  std::uint32_t branch_depth{0};  ///< branch points so far (prefix included)
+  bool hit_depth{false};
+  bool cut{false};
+
+  std::uint32_t choose(const ChoiceRequest& req) override {
+    const std::uint32_t arity =
+        std::max<std::uint32_t>(1, std::min(req.options, max_choices));
+    // Per-footprint visit counter: part of the state-cache key so states
+    // recurring over time within ONE run never collide with each other —
+    // only equal states reached by DIFFERENT schedules do.
+    const std::uint32_t seq = site_seq_[req.footprint]++;
+    const std::size_t pos = trace.size();
+    Rec rec;
+    rec.label = req.label;
+    rec.arity = arity;
+    rec.footprint = req.footprint;
+    rec.conflicts = req.conflicts;
+    if (pos < prefix.size()) {
+      const Rec& p = prefix[pos];
+      if (p.label != rec.label || p.footprint != rec.footprint) ++divergences;
+      rec.chosen = std::min(p.chosen, arity - 1);
+      rec.branchable = p.branchable;
+      rec.depth_forced = p.depth_forced;
+      if (rec.branchable) ++branch_depth;
+      const std::uint32_t chosen = rec.chosen;
+      trace.push_back(std::move(rec));
+      return chosen;
+    }
+    ++fresh_points;
+    bool branch = req.conflicts && arity > 1 && !cut;
+    if (!req.conflicts && arity > 1) pruned_sleep += arity - 1;
+    if (branch && branch_depth >= max_depth) {
+      hit_depth = true;
+      ++forced;
+      rec.depth_forced = true;
+      branch = false;
+    }
+    if (branch && visited != nullptr && run->digest_) {
+      std::uint64_t d = run->digest_();
+      d = mix(d, footprint_of(req.label));
+      d = mix(d, req.footprint);
+      d = mix(d, seq);
+      if (!visited->insert(d).second) {
+        // This (state, site) pair was reached by an earlier schedule and
+        // its subtree explored; abandon the rest of this run.
+        branch = false;
+        cut = true;
+        ++pruned_state;
+        if (run->sim_ != nullptr) run->sim_->stop();
+      }
+    }
+    if (branch) ++branch_depth;
+    rec.chosen = 0;
+    rec.branchable = branch;
+    trace.push_back(std::move(rec));
+    return 0;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint32_t> site_seq_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// ExploreRun
+
+void ExploreRun::attach(Simulation& sim) {
+  sim_ = &sim;
+  sim.set_choice_source(controller_);
+  sim.set_step_hook([this] {
+    if (failure_) return;
+    ++checks_;
+    if (auto f = invariants_.evaluate()) {
+      failure_ = std::move(f);
+      failure_step_ = sim_->executed_events();
+      failure_time_s_ = sim_->now().to_seconds();
+      sim_->stop();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+
+namespace {
+
+ScheduleTrace trace_of(std::uint64_t seed,
+                       const std::vector<detail::DfsController::Rec>& recs) {
+  ScheduleTrace t;
+  t.seed = seed;
+  t.choices.reserve(recs.size());
+  for (const auto& r : recs) {
+    t.choices.push_back(ChoiceRecord{r.label, r.arity, r.chosen, r.footprint,
+                                     r.conflicts});
+  }
+  return t;
+}
+
+void account_run(ExploreReport& report, const detail::DfsController& ctl,
+                 const ExploreRun& run) {
+  ++report.schedules_explored;
+  report.choice_points += ctl.fresh_points;
+  report.pruned_sleep += ctl.pruned_sleep;
+  report.pruned_state += ctl.pruned_state;
+  report.forced_choices += ctl.forced;
+  report.replay_divergences += ctl.divergences;
+  report.invariant_checks += run.checks();
+  report.hit_depth_bound = report.hit_depth_bound || ctl.hit_depth;
+  report.max_depth_seen =
+      std::max<std::uint64_t>(report.max_depth_seen, ctl.branch_depth);
+  double naive = 1.0;
+  for (const auto& r : ctl.trace) {
+    if (r.arity > 1 && !r.depth_forced) {
+      naive = std::min(1e300, naive * r.arity);
+    }
+  }
+  report.naive_schedule_bound = std::max(report.naive_schedule_bound, naive);
+}
+
+}  // namespace
+
+ExploreReport Explorer::explore(const ExploreOptions& opts, const WorldFn& world) {
+  ExploreReport report;
+  report.options = opts;
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<detail::DfsController::Rec> prefix;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (;;) {
+    detail::DfsController ctl;
+    ctl.prefix = prefix;
+    ctl.max_depth = opts.max_depth;
+    ctl.max_choices = std::max<std::uint32_t>(1, opts.max_choices);
+    ctl.visited = &visited;
+    ExploreRun run;
+    run.seed_ = opts.seed;
+    run.controller_ = &ctl;
+    ctl.run = &run;
+    world(run);
+    account_run(report, ctl, run);
+    if (run.failure_) {
+      Violation v;
+      v.invariant = run.failure_->invariant;
+      v.detail = run.failure_->detail;
+      v.schedule = report.schedules_explored - 1;
+      v.step = run.failure_step_;
+      v.sim_time_s = run.failure_time_s_;
+      report.violations.push_back(v);
+      if (report.violations.size() == 1) {
+        report.counterexample = trace_of(opts.seed, ctl.trace);
+        report.counterexample.meta["violation"] = v.invariant;
+        report.counterexample.meta["violation_step"] = std::to_string(v.step);
+      }
+      if (opts.stop_at_first_violation) return report;
+    }
+    // Backtrack: deepest branch point with an untried alternative.
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(ctl.trace.size()) - 1;
+    for (; i >= 0; --i) {
+      const auto& r = ctl.trace[static_cast<std::size_t>(i)];
+      if (r.branchable && r.chosen + 1 < r.arity) break;
+    }
+    if (i < 0) {
+      report.exhausted = true;
+      return report;
+    }
+    if (report.schedules_explored >= opts.max_schedules) {
+      report.hit_schedule_cap = true;
+      return report;
+    }
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    if (elapsed > opts.time_budget_s) {
+      report.hit_time_budget = true;
+      return report;
+    }
+    prefix.assign(ctl.trace.begin(),
+                  ctl.trace.begin() + static_cast<std::size_t>(i) + 1);
+    prefix.back().chosen += 1;
+  }
+}
+
+ExploreReport Explorer::replay(const ScheduleTrace& trace, const WorldFn& world) {
+  ExploreReport report;
+  report.options.seed = trace.seed;
+  report.options.max_depth = 0;
+  report.options.max_choices = 1;
+  detail::DfsController ctl;
+  ctl.prefix.reserve(trace.choices.size());
+  for (const auto& c : trace.choices) {
+    detail::DfsController::Rec r;
+    r.label = c.label;
+    r.arity = c.options;
+    r.chosen = c.chosen;
+    r.footprint = c.footprint;
+    r.conflicts = c.conflicts;
+    r.branchable = false;
+    ctl.prefix.push_back(std::move(r));
+  }
+  // Past the recorded prefix everything is forced to option 0 and the
+  // clamp keeps recorded arities intact within it.
+  ctl.max_depth = 0;
+  ctl.max_choices = std::numeric_limits<std::uint32_t>::max();
+  ExploreRun run;
+  run.seed_ = trace.seed;
+  run.controller_ = &ctl;
+  ctl.run = &run;
+  world(run);
+  account_run(report, ctl, run);
+  report.forced_choices = 0;       // depth bound is vacuous on replay
+  report.hit_depth_bound = false;
+  if (run.failure_) {
+    Violation v;
+    v.invariant = run.failure_->invariant;
+    v.detail = run.failure_->detail;
+    v.schedule = 0;
+    v.step = run.failure_step_;
+    v.sim_time_s = run.failure_time_s_;
+    report.violations.push_back(v);
+    report.counterexample = trace;
+  }
+  report.exhausted = false;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Report serialization
+
+std::string ExploreReport::to_json() const {
+  using obs::json::number;
+  using obs::json::quote;
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"vmgrid-explore-v1\",\n";
+  out += "  \"options\": {";
+  out += "\"seed\": " + std::to_string(options.seed);
+  out += ", \"max_depth\": " + std::to_string(options.max_depth);
+  out += ", \"max_choices\": " + std::to_string(options.max_choices);
+  out += ", \"max_schedules\": " + std::to_string(options.max_schedules);
+  out += std::string(", \"stop_at_first_violation\": ") +
+         (options.stop_at_first_violation ? "true" : "false");
+  out += "},\n";
+  out += "  \"schedules_explored\": " + std::to_string(schedules_explored) + ",\n";
+  out += "  \"naive_schedule_bound\": " + number(naive_schedule_bound) + ",\n";
+  out += "  \"choice_points\": " + std::to_string(choice_points) + ",\n";
+  out += "  \"forced_choices\": " + std::to_string(forced_choices) + ",\n";
+  out += "  \"max_depth_seen\": " + std::to_string(max_depth_seen) + ",\n";
+  out += "  \"pruned_sleep\": " + std::to_string(pruned_sleep) + ",\n";
+  out += "  \"pruned_state\": " + std::to_string(pruned_state) + ",\n";
+  out += "  \"invariant_checks\": " + std::to_string(invariant_checks) + ",\n";
+  out += "  \"replay_divergences\": " + std::to_string(replay_divergences) + ",\n";
+  out += std::string("  \"exhausted\": ") + (exhausted ? "true" : "false") + ",\n";
+  out += std::string("  \"hit_depth_bound\": ") +
+         (hit_depth_bound ? "true" : "false") + ",\n";
+  out += std::string("  \"hit_time_budget\": ") +
+         (hit_time_budget ? "true" : "false") + ",\n";
+  out += std::string("  \"hit_schedule_cap\": ") +
+         (hit_schedule_cap ? "true" : "false") + ",\n";
+  out += "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    if (i > 0) out += ",";
+    out += "\n    {\"invariant\": " + quote(v.invariant);
+    out += ", \"detail\": " + quote(v.detail);
+    out += ", \"schedule\": " + std::to_string(v.schedule);
+    out += ", \"step\": " + std::to_string(v.step);
+    out += ", \"sim_time_s\": " + number(v.sim_time_s) + "}";
+  }
+  if (!violations.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"counterexample_choices\": " +
+         std::to_string(counterexample.choices.size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace vmgrid::sim

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/choice.hpp"
+#include "sim/time.hpp"
+
+namespace vmgrid::sim {
+
+class Simulation;
+
+namespace detail {
+class DfsController;
+}
+
+/// Machine-readable safety properties, evaluated after every executed
+/// event of an explored run. A check returns an empty string while the
+/// invariant holds and a one-line diagnosis when it is violated.
+class InvariantSet {
+ public:
+  using Check = std::function<std::string()>;
+
+  void add(std::string name, Check check) {
+    checks_.push_back({std::move(name), std::move(check)});
+  }
+
+  struct Failure {
+    std::string invariant;
+    std::string detail;
+  };
+
+  /// First violated invariant, in registration order; nullopt if all hold.
+  [[nodiscard]] std::optional<Failure> evaluate() const {
+    for (const auto& [name, check] : checks_) {
+      std::string detail = check();
+      if (!detail.empty()) return Failure{name, std::move(detail)};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return checks_.size(); }
+
+ private:
+  struct Named {
+    std::string name;
+    Check check;
+  };
+  std::vector<Named> checks_;
+};
+
+/// Exploration bounds. Depth counts *branch points* (conflicting choices
+/// the DFS will actually enumerate), not raw choice sites: commuting
+/// sites are free. `max_choices` clamps per-site arity. `from_env`
+/// applies the VMGRID_EXPLORE_{DEPTH,CHOICES,TIME_BUDGET_S} knobs.
+struct ExploreOptions {
+  std::uint64_t seed{1};
+  std::uint32_t max_depth{12};
+  std::uint32_t max_choices{3};
+  double time_budget_s{60.0};
+  std::uint64_t max_schedules{100000};
+  bool stop_at_first_violation{true};
+
+  [[nodiscard]] static ExploreOptions from_env(ExploreOptions base);
+  [[nodiscard]] static ExploreOptions from_env() {
+    return from_env(ExploreOptions{});
+  }
+};
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  std::uint64_t schedule{0};  ///< index of the violating schedule
+  std::uint64_t step{0};      ///< executed_events() at the violation
+  double sim_time_s{0.0};
+};
+
+/// What an exploration covered and found. Serializes to deterministic
+/// JSON ("vmgrid-explore-v1"): no wall-clock values appear in the
+/// document, so the same world + bounds give byte-identical reports
+/// across processes and VMGRID_JOBS settings.
+struct ExploreReport {
+  ExploreOptions options{};
+  std::uint64_t schedules_explored{0};
+  /// Fresh (non-replayed) choice sites visited across all runs.
+  std::uint64_t choice_points{0};
+  /// Branch points suppressed because the depth bound was reached.
+  std::uint64_t forced_choices{0};
+  /// Deepest branch-point count reached by any single run.
+  std::uint64_t max_depth_seen{0};
+  /// Schedules a naive enumeration (same sites, same choice clamp, no
+  /// independence pruning, no state cache) would need: the max over runs
+  /// of the saturating product of site arities. The DPOR denominator.
+  double naive_schedule_bound{1.0};
+  /// Alternatives never explored because the site reported no conflict
+  /// (sleep-set style: commuting deliveries are not reordered).
+  std::uint64_t pruned_sleep{0};
+  /// Subtrees cut because the world's state digest was already visited.
+  std::uint64_t pruned_state{0};
+  std::uint64_t invariant_checks{0};
+  /// Replayed prefixes whose site labels diverged from the recording —
+  /// always 0 for a deterministic world; nonzero means the world itself
+  /// is not a function of (seed, schedule).
+  std::uint64_t replay_divergences{0};
+  /// True when the whole (pruned, bounded) schedule space was covered.
+  bool exhausted{false};
+  bool hit_depth_bound{false};
+  bool hit_time_budget{false};
+  bool hit_schedule_cap{false};
+  std::vector<Violation> violations;
+  /// Schedule of violations[0], replayable via Explorer::replay.
+  ScheduleTrace counterexample;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Handed to the world function once per explored schedule. The function
+/// builds a fresh world from `seed()`, calls `attach` on its Simulation
+/// (installing the schedule controller and the invariant step hook),
+/// registers invariants, optionally supplies a state digest, then runs
+/// the world to its horizon.
+class ExploreRun {
+ public:
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Install the controller + invariant hook. Must be called before the
+  /// first instrumented choice fires (i.e. right after constructing the
+  /// Simulation, before arming faults or creating sessions).
+  void attach(Simulation& sim);
+
+  [[nodiscard]] InvariantSet& invariants() { return invariants_; }
+
+  /// Optional abstraction for the state-hash cache: a digest of the
+  /// world state that is a pure function of the schedule so far (counts,
+  /// liveness flags — NOT sim time or wall clock). Two runs reaching the
+  /// same digest at the same site continue identically, so the second
+  /// subtree is cut. Without a digest the cache is off; pruning
+  /// precision equals digest precision, while counterexamples stay sound
+  /// (every reported violation happened on a really-executed schedule).
+  void set_state_digest(std::function<std::uint64_t()> digest) {
+    digest_ = std::move(digest);
+  }
+
+  /// Invariant evaluations performed by this run's step hook.
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  friend class Explorer;
+  friend class detail::DfsController;
+
+  std::uint64_t seed_{1};
+  Simulation* sim_{nullptr};
+  InvariantSet invariants_;
+  std::function<std::uint64_t()> digest_;
+  ChoiceSource* controller_{nullptr};
+  // Per-run violation capture, written by the step hook.
+  std::optional<InvariantSet::Failure> failure_;
+  std::uint64_t failure_step_{0};
+  double failure_time_s_{0.0};
+  std::uint64_t checks_{0};
+};
+
+/// The model checker: DFS over bounded schedules of a deterministic
+/// world (DESIGN.md §15). Each iteration re-executes the world with a
+/// forced prefix and backtracks at the deepest conflicting choice with
+/// untried alternatives. Strictly serial and wall-clock free in its
+/// report, so exploration is reproducible byte-for-byte.
+class Explorer {
+ public:
+  using WorldFn = std::function<void(ExploreRun&)>;
+
+  [[nodiscard]] ExploreReport explore(const ExploreOptions& opts,
+                                      const WorldFn& world);
+
+  /// Re-execute exactly one recorded schedule (counterexample replay).
+  /// The report carries any violation the re-execution hits, at the
+  /// exact step of the original run.
+  [[nodiscard]] ExploreReport replay(const ScheduleTrace& trace,
+                                     const WorldFn& world);
+};
+
+}  // namespace vmgrid::sim

@@ -79,6 +79,7 @@ void Simulation::run_until(TimePoint limit) {
     } else {
       fn();
     }
+    if (step_hook_) step_hook_();
   }
   if (!stopped_ && bounded && now_ < limit) {
     now_ = limit;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/choice.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/logger.hpp"
 #include "sim/random.hpp"
@@ -79,6 +80,23 @@ class Simulation {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// --- bounded-nondeterminism hooks (sim::Explorer) ---
+  /// With a choice source installed, instrumented sites resolve their
+  /// schedule choices through it; with none (the normal case) choose()
+  /// returns 0 and every site takes its historical deterministic path,
+  /// so instrumentation alone never changes behaviour.
+  void set_choice_source(ChoiceSource* source) { choices_ = source; }
+  [[nodiscard]] ChoiceSource* choice_source() const { return choices_; }
+  [[nodiscard]] bool exploring() const { return choices_ != nullptr; }
+  [[nodiscard]] std::uint32_t choose(const ChoiceRequest& req) {
+    return choices_ == nullptr || req.options <= 1 ? 0 : choices_->choose(req);
+  }
+
+  /// Invoked after every executed event — the explorer evaluates its
+  /// invariant set here, so a violation is caught at the exact step that
+  /// introduced it. The hook may call stop().
+  void set_step_hook(std::function<void()> hook) { step_hook_ = std::move(hook); }
+
  private:
   TimePoint now_{};
   EventQueue queue_;
@@ -86,6 +104,8 @@ class Simulation {
   Logger log_;
   bool stopped_{false};
   std::uint64_t executed_{0};
+  ChoiceSource* choices_{nullptr};
+  std::function<void()> step_hook_;
   // unique_ptr to keep obs/ headers out of this one (and include cycles
   // out of the build); defined out of line in simulation.cpp.
   std::unique_ptr<obs::MetricsRegistry> metrics_;

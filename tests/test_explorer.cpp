@@ -1,0 +1,322 @@
+// sim::Explorer: schedule-space model checking (DESIGN.md §15).
+//
+// The toy worlds here drive the DFS core directly through raw
+// Simulations with hand-placed choice sites, so enumeration counts,
+// pruning, bounds, and counterexample replay are checked exactly.
+// The last tests run the real fault::run_failover_world.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/explore_world.hpp"
+#include "sim/choice.hpp"
+#include "sim/explorer.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ScheduleTrace serialization
+
+sim::ScheduleTrace sample_trace() {
+  sim::ScheduleTrace t;
+  t.seed = 42;
+  t.meta["violation"] = "no_double_vm";
+  t.meta["world_hosts"] = "3";
+  t.choices.push_back({"net.deliver", 3, 1, sim::footprint_of("compute-1"), true});
+  t.choices.push_back({"fault.inject", 2, 0, sim::footprint_of("compute-0"), false});
+  return t;
+}
+
+TEST(ScheduleTrace, RoundTripsThroughText) {
+  const auto t = sample_trace();
+  std::string error;
+  const auto back = sim::ScheduleTrace::parse(t.to_text(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, t);
+  // Serialization itself is deterministic.
+  EXPECT_EQ(back->to_text(), t.to_text());
+}
+
+TEST(ScheduleTrace, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(sim::ScheduleTrace::parse("", &error).has_value());
+  EXPECT_FALSE(sim::ScheduleTrace::parse("not-a-schedule\nend\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const std::string good = sample_trace().to_text();
+  // Truncation (missing "end") must not parse.
+  EXPECT_FALSE(sim::ScheduleTrace::parse(good.substr(0, good.size() - 4), &error)
+                   .has_value());
+  // Trailing garbage after "end" must not parse.
+  EXPECT_FALSE(sim::ScheduleTrace::parse(good + "extra\n", &error).has_value());
+  // A chosen index outside [0, options) must not parse.
+  std::string bad = good;
+  const auto pos = bad.find("net.deliver 3 1");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 15, "net.deliver 3 7");
+  EXPECT_FALSE(sim::ScheduleTrace::parse(bad, &error).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Toy worlds for the DFS core
+
+/// A world of `sites` sequential events; event i announces a binary
+/// choice labelled "toy.site" and appends its pick to `picks`.
+struct ToyWorld {
+  int sites{3};
+  bool conflicts{true};
+  std::uint32_t options{2};
+  // Chosen values of the most recent run.
+  std::vector<std::uint32_t> picks;
+
+  void operator()(sim::ExploreRun& run) {
+    picks.clear();
+    auto sim = std::make_unique<sim::Simulation>(run.seed());
+    run.attach(*sim);
+    for (int i = 0; i < sites; ++i) {
+      sim->schedule_after(sim::Duration::seconds(i + 1), [this, &sim = *sim] {
+        picks.push_back(sim.choose(
+            {"toy.site", options, sim::footprint_of("shared"), conflicts}));
+      });
+    }
+    sim->run();
+  }
+};
+
+TEST(Explorer, EnumeratesAllSchedulesOfConflictingChoices) {
+  ToyWorld world;  // 3 binary conflicting sites
+  std::vector<std::vector<std::uint32_t>> seen;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 16;
+  opts.max_choices = 2;
+  const auto report = ex.explore(opts, [&](sim::ExploreRun& run) {
+    world(run);
+    seen.push_back(world.picks);
+  });
+  EXPECT_EQ(report.schedules_explored, 8u);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_FALSE(report.hit_depth_bound);
+  EXPECT_EQ(report.naive_schedule_bound, 8.0);
+  EXPECT_EQ(report.violations.size(), 0u);
+  EXPECT_EQ(report.replay_divergences, 0u);
+  // All 2^3 pick vectors, each exactly once.
+  ASSERT_EQ(seen.size(), 8u);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Explorer, ClampsArityToChoiceBound) {
+  ToyWorld world;
+  world.sites = 2;
+  world.options = 5;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 16;
+  opts.max_choices = 2;  // 5-way sites explored as 2-way
+  const auto report = ex.explore(opts, [&](sim::ExploreRun& run) { world(run); });
+  EXPECT_EQ(report.schedules_explored, 4u);
+  EXPECT_TRUE(report.exhausted);
+}
+
+TEST(Explorer, NonConflictingSitesAreNeverBranched) {
+  ToyWorld world;
+  world.conflicts = false;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 16;
+  opts.max_choices = 2;
+  const auto report = ex.explore(opts, [&](sim::ExploreRun& run) { world(run); });
+  EXPECT_EQ(report.schedules_explored, 1u);
+  EXPECT_TRUE(report.exhausted);
+  // One pruned alternative per commuting site.
+  EXPECT_EQ(report.pruned_sleep, 3u);
+  EXPECT_EQ(report.choice_points, 3u);
+}
+
+TEST(Explorer, DepthBoundForcesDeeperChoices) {
+  ToyWorld world;
+  world.sites = 6;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 2;  // branch the first two sites only
+  opts.max_choices = 2;
+  const auto report = ex.explore(opts, [&](sim::ExploreRun& run) { world(run); });
+  EXPECT_EQ(report.schedules_explored, 4u);  // 2^2, not 2^6
+  EXPECT_TRUE(report.hit_depth_bound);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.max_depth_seen, 2u);
+  EXPECT_GT(report.forced_choices, 0u);
+}
+
+TEST(Explorer, ScheduleCapStopsExploration) {
+  ToyWorld world;
+  world.sites = 10;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 32;
+  opts.max_choices = 2;
+  opts.max_schedules = 5;
+  const auto report = ex.explore(opts, [&](sim::ExploreRun& run) { world(run); });
+  EXPECT_EQ(report.schedules_explored, 5u);
+  EXPECT_TRUE(report.hit_schedule_cap);
+  EXPECT_FALSE(report.exhausted);
+}
+
+TEST(Explorer, ViolationYieldsReplayableCounterexample) {
+  // The invariant fails iff the second site picks 1 — only some schedules.
+  ToyWorld world;
+  auto make_world = [&world](sim::ExploreRun& run) {
+    run.invariants().add("second_site_zero", [&world]() -> std::string {
+      return world.picks.size() >= 2 && world.picks[1] == 1
+                 ? "site 1 chose " + std::to_string(world.picks[1])
+                 : "";
+    });
+    world(run);
+  };
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 16;
+  opts.max_choices = 2;
+  const auto report = ex.explore(opts, make_world);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].invariant, "second_site_zero");
+  EXPECT_GT(report.schedules_explored, 1u);
+  ASSERT_FALSE(report.counterexample.choices.empty());
+  EXPECT_EQ(report.counterexample.meta.at("violation"), "second_site_zero");
+
+  // Replay hits the same invariant at the same step.
+  const auto replayed = ex.replay(report.counterexample, make_world);
+  ASSERT_EQ(replayed.violations.size(), 1u);
+  EXPECT_EQ(replayed.violations[0].invariant, "second_site_zero");
+  EXPECT_EQ(replayed.violations[0].step, report.violations[0].step);
+  EXPECT_EQ(replayed.violations[0].sim_time_s, report.violations[0].sim_time_s);
+  EXPECT_EQ(replayed.replay_divergences, 0u);
+
+  // ...and survives a text round-trip, like the CLI's schedule file.
+  std::string error;
+  const auto parsed =
+      sim::ScheduleTrace::parse(report.counterexample.to_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto reparsed = ex.replay(*parsed, make_world);
+  ASSERT_EQ(reparsed.violations.size(), 1u);
+  EXPECT_EQ(reparsed.violations[0].step, report.violations[0].step);
+}
+
+TEST(Explorer, StateDigestCutsRevisitedSubtrees) {
+  // The digest ignores the first site's pick, so both of its subtrees
+  // look identical to the cache and the second one is cut.
+  ToyWorld world;
+  world.sites = 4;
+  sim::Explorer ex;
+  sim::ExploreOptions opts;
+  opts.max_depth = 16;
+  opts.max_choices = 2;
+  const auto report = ex.explore(opts, [&world](sim::ExploreRun& run) {
+    run.set_state_digest([]() -> std::uint64_t { return 7; });
+    world(run);
+  });
+  EXPECT_GT(report.pruned_state, 0u);
+  EXPECT_LT(report.schedules_explored, 16u);
+  EXPECT_TRUE(report.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// The real failover world
+
+fault::ExploreWorldOptions small_world() {
+  fault::ExploreWorldOptions w;
+  w.hosts = 2;
+  w.sessions = 1;
+  w.faults = 1;
+  w.horizon_s = 40.0;
+  return w;
+}
+
+sim::ExploreOptions small_bounds() {
+  sim::ExploreOptions opts;
+  opts.max_depth = 3;
+  opts.max_choices = 2;
+  opts.time_budget_s = 120.0;
+  return opts;
+}
+
+TEST(ExplorerWorld, CleanBuildHasNoViolations) {
+  const auto w = small_world();
+  sim::Explorer ex;
+  const auto report = ex.explore(small_bounds(), [&w](sim::ExploreRun& run) {
+    fault::run_failover_world(run, w);
+  });
+  EXPECT_TRUE(report.violations.empty())
+      << report.violations[0].invariant << ": " << report.violations[0].detail;
+  EXPECT_GE(report.schedules_explored, 2u);
+  EXPECT_GT(report.invariant_checks, 0u);
+  EXPECT_GE(report.naive_schedule_bound,
+            static_cast<double>(report.schedules_explored));
+  EXPECT_EQ(report.replay_divergences, 0u);
+}
+
+TEST(ExplorerWorld, WorldOptionsRoundTripThroughMeta) {
+  auto w = small_world();
+  w.fault_at_s = 3.25;
+  w.outage_s = 17.5;
+  w.fault_slots = 4;
+  const auto back = fault::ExploreWorldOptions::from_meta(w.to_meta());
+  EXPECT_EQ(back.hosts, w.hosts);
+  EXPECT_EQ(back.sessions, w.sessions);
+  EXPECT_EQ(back.faults, w.faults);
+  EXPECT_EQ(back.fault_at_s, w.fault_at_s);
+  EXPECT_EQ(back.outage_s, w.outage_s);
+  EXPECT_EQ(back.fault_slots, w.fault_slots);
+  EXPECT_EQ(back.horizon_s, w.horizon_s);
+}
+
+// Reports must be byte-identical run to run and independent of the
+// replication thread-pool width (VMGRID_JOBS): exploration is strictly
+// serial and its JSON carries no wall-clock values. A second *process*
+// is covered by the CI explore job, which diffs reports across runs.
+TEST(ExplorerWorld, ReportIsDeterministicAcrossRunsAndJobWidths) {
+  const auto w = small_world();
+  const auto run_once = [&w]() {
+    sim::Explorer ex;
+    return ex
+        .explore(small_bounds(),
+                 [&w](sim::ExploreRun& run) { fault::run_failover_world(run, w); })
+        .to_json();
+  };
+  ::setenv("VMGRID_JOBS", "1", 1);
+  const std::string a = run_once();
+  const std::string b = run_once();
+  ::setenv("VMGRID_JOBS", "4", 1);
+  const std::string c = run_once();
+  ::unsetenv("VMGRID_JOBS");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a.find("\"schema\": \"vmgrid-explore-v1\""), std::string::npos);
+}
+
+TEST(ExploreOptions, EnvKnobsOverrideDefaults) {
+  ::setenv("VMGRID_EXPLORE_DEPTH", "5", 1);
+  ::setenv("VMGRID_EXPLORE_CHOICES", "4", 1);
+  ::setenv("VMGRID_EXPLORE_TIME_BUDGET_S", "7.5", 1);
+  const auto opts = sim::ExploreOptions::from_env();
+  ::unsetenv("VMGRID_EXPLORE_DEPTH");
+  ::unsetenv("VMGRID_EXPLORE_CHOICES");
+  ::unsetenv("VMGRID_EXPLORE_TIME_BUDGET_S");
+  EXPECT_EQ(opts.max_depth, 5u);
+  EXPECT_EQ(opts.max_choices, 4u);
+  EXPECT_EQ(opts.time_budget_s, 7.5);
+  const auto defaults = sim::ExploreOptions::from_env();
+  EXPECT_EQ(defaults.max_depth, 12u);
+  EXPECT_EQ(defaults.max_choices, 3u);
+  EXPECT_EQ(defaults.time_budget_s, 60.0);
+}
+
+}  // namespace
+}  // namespace vmgrid

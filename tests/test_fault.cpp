@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -70,6 +71,36 @@ TEST(FaultPlan, EventsStayInsideHorizonAndOrdered) {
     EXPECT_GE(ev.at, prev);
     EXPECT_LT(ev.at, opts.horizon);
     prev = ev.at;
+  }
+}
+
+// Regression: a dense plan used to stack a second outage onto a target
+// that was still down — the engine skipped the duplicate, so injected
+// counts and per-target outage statistics drifted from the plan. random()
+// now clamps each draw past the target's heal time (dropping draws that
+// fall off the horizon), so per-target windows never overlap.
+TEST(FaultPlan, RandomNeverOverlapsOutagesOnOneTarget) {
+  fault::RandomFaultOptions opts;
+  opts.events_per_hour = 7200.0;  // mean gap 0.5 s: heavy pressure
+  opts.horizon = sim::Duration::seconds(300);
+  opts.mean_outage = sim::Duration::seconds(40);
+  for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    const auto plan = fault::FaultPlan::random(seed, opts, {"h0", "h1"}, {}, {});
+    ASSERT_FALSE(plan.empty());
+    std::map<std::string, sim::Duration> healed_at;
+    sim::Duration prev = sim::Duration::zero();
+    for (const auto& ev : plan.events()) {
+      EXPECT_GE(ev.at, prev);  // clamping must preserve plan ordering
+      EXPECT_LT(ev.at, opts.horizon);
+      auto [it, fresh] = healed_at.try_emplace(ev.target, sim::Duration::zero());
+      if (!fresh) {
+        EXPECT_GE(ev.at, it->second)
+            << ev.target << " hit again at t=" << ev.at.to_seconds()
+            << "s while still down until t=" << it->second.to_seconds() << "s";
+      }
+      it->second = ev.at + ev.duration;
+      prev = ev.at;
+    }
   }
 }
 

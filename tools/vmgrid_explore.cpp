@@ -1,0 +1,197 @@
+// vmgrid_explore: model-check the failover/recovery invariants by
+// exhaustively enumerating bounded schedules of the standard fault world
+// (DESIGN.md §15). Exit code 0 = clean (or, with --expect-violation, a
+// violation was found); 1 = the opposite; 2 = usage/file errors.
+//
+//   vmgrid_explore --hosts 3 --depth 8 --choices 2 --report out.json
+//   vmgrid_explore --replay counterexample.schedule
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fault/explore_world.hpp"
+#include "sim/explorer.hpp"
+
+namespace {
+
+struct Cli {
+  vmgrid::fault::ExploreWorldOptions world{};
+  vmgrid::sim::ExploreOptions explore =
+      vmgrid::sim::ExploreOptions::from_env();
+  std::string report_file{"explore_report.json"};
+  std::string counterexample_file{"counterexample.schedule"};
+  std::string replay_file;
+  bool expect_violation{false};
+};
+
+void usage() {
+  std::cerr <<
+      "usage: vmgrid_explore [options]\n"
+      "  world:    --hosts N --sessions N --faults N --fault-at S --outage S\n"
+      "            --horizon S --task-s S\n"
+      "  bounds:   --seed N --depth N --choices N --budget-s S --max-schedules N\n"
+      "            --keep-going (do not stop at the first violation)\n"
+      "  output:   --report FILE --counterexample FILE\n"
+      "  modes:    --replay FILE (re-execute a recorded schedule)\n"
+      "            --expect-violation (invert the exit code: finding a\n"
+      "            violation is the success — mutation-testing the checker)\n"
+      "  env:      VMGRID_EXPLORE_DEPTH, VMGRID_EXPLORE_CHOICES,\n"
+      "            VMGRID_EXPLORE_TIME_BUDGET_S (defaults for the bounds)\n";
+}
+
+bool parse_args(int argc, char** argv, Cli* cli) {
+  auto need = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto num = [&]() { return std::strtod(argv[++i], nullptr); };
+    if (a == "--hosts" && need(i)) {
+      cli->world.hosts = static_cast<int>(num());
+    } else if (a == "--sessions" && need(i)) {
+      cli->world.sessions = static_cast<int>(num());
+    } else if (a == "--faults" && need(i)) {
+      cli->world.faults = static_cast<int>(num());
+    } else if (a == "--fault-at" && need(i)) {
+      cli->world.fault_at_s = num();
+    } else if (a == "--outage" && need(i)) {
+      cli->world.outage_s = num();
+    } else if (a == "--horizon" && need(i)) {
+      cli->world.horizon_s = num();
+    } else if (a == "--task-s" && need(i)) {
+      cli->world.task_s = num();
+    } else if (a == "--seed" && need(i)) {
+      cli->explore.seed = static_cast<std::uint64_t>(num());
+    } else if (a == "--depth" && need(i)) {
+      cli->explore.max_depth = static_cast<std::uint32_t>(num());
+    } else if (a == "--choices" && need(i)) {
+      cli->explore.max_choices = static_cast<std::uint32_t>(num());
+    } else if (a == "--budget-s" && need(i)) {
+      cli->explore.time_budget_s = num();
+    } else if (a == "--max-schedules" && need(i)) {
+      cli->explore.max_schedules = static_cast<std::uint64_t>(num());
+    } else if (a == "--keep-going") {
+      cli->explore.stop_at_first_violation = false;
+    } else if (a == "--report" && need(i)) {
+      cli->report_file = argv[++i];
+    } else if (a == "--counterexample" && need(i)) {
+      cli->counterexample_file = argv[++i];
+    } else if (a == "--replay" && need(i)) {
+      cli->replay_file = argv[++i];
+    } else if (a == "--expect-violation") {
+      cli->expect_violation = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown or incomplete option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  out << content;
+  return static_cast<bool>(out);
+}
+
+void print_summary(const vmgrid::sim::ExploreReport& r) {
+  std::cout << "schedules explored: " << r.schedules_explored
+            << "  (naive bound: " << r.naive_schedule_bound << ")\n"
+            << "choice points: " << r.choice_points
+            << "  pruned commuting alternatives: " << r.pruned_sleep
+            << "  state-cache cuts: " << r.pruned_state << "\n"
+            << "invariant checks: " << r.invariant_checks
+            << "  max branch depth: " << r.max_depth_seen
+            << (r.hit_depth_bound ? "  [depth bound hit]" : "")
+            << (r.hit_time_budget ? "  [time budget hit]" : "")
+            << (r.hit_schedule_cap ? "  [schedule cap hit]" : "")
+            << (r.exhausted ? "  [space exhausted]" : "") << "\n";
+  for (const auto& v : r.violations) {
+    std::cout << "VIOLATION " << v.invariant << " @ schedule " << v.schedule
+              << " step " << v.step << " t=" << v.sim_time_s << "s: "
+              << v.detail << "\n";
+  }
+  if (r.violations.empty()) std::cout << "no invariant violations\n";
+}
+
+int run_replay(const Cli& cli) {
+  std::ifstream in{cli.replay_file, std::ios::binary};
+  if (!in) {
+    std::cerr << "cannot open " << cli.replay_file << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto trace = vmgrid::sim::ScheduleTrace::parse(buf.str(), &error);
+  if (!trace) {
+    std::cerr << "bad schedule file: " << error << "\n";
+    return 2;
+  }
+  const auto world =
+      vmgrid::fault::ExploreWorldOptions::from_meta(trace->meta, cli.world);
+  vmgrid::sim::Explorer explorer;
+  const auto report =
+      explorer.replay(*trace, [&world](vmgrid::sim::ExploreRun& run) {
+        vmgrid::fault::run_failover_world(run, world);
+      });
+  print_summary(report);
+  if (report.replay_divergences > 0) {
+    std::cerr << "replay diverged from the recorded schedule ("
+              << report.replay_divergences << " site(s))\n";
+    return 1;
+  }
+  const auto expected = trace->meta.find("violation");
+  if (expected != trace->meta.end()) {
+    if (report.violations.empty() ||
+        report.violations.front().invariant != expected->second) {
+      std::cerr << "recorded violation '" << expected->second
+                << "' did not reproduce\n";
+      return 1;
+    }
+    std::cout << "counterexample reproduced: " << expected->second
+              << " at step " << report.violations.front().step << "\n";
+    return 0;
+  }
+  return report.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_args(argc, argv, &cli)) {
+    usage();
+    return 2;
+  }
+  if (!cli.replay_file.empty()) return run_replay(cli);
+
+  vmgrid::sim::Explorer explorer;
+  const auto report =
+      explorer.explore(cli.explore, [&cli](vmgrid::sim::ExploreRun& run) {
+        vmgrid::fault::run_failover_world(run, cli.world);
+      });
+  print_summary(report);
+  if (!write_file(cli.report_file, report.to_json())) {
+    std::cerr << "cannot write " << cli.report_file << "\n";
+    return 2;
+  }
+  if (!report.violations.empty()) {
+    auto counterexample = report.counterexample;
+    // Embed the world so the schedule file is self-contained.
+    for (const auto& [k, v] : cli.world.to_meta()) counterexample.meta[k] = v;
+    if (!write_file(cli.counterexample_file, counterexample.to_text())) {
+      std::cerr << "cannot write " << cli.counterexample_file << "\n";
+      return 2;
+    }
+    std::cout << "counterexample written to " << cli.counterexample_file
+              << " (replay with --replay)\n";
+  }
+  const bool violated = !report.violations.empty();
+  return violated == cli.expect_violation ? 0 : 1;
+}
