@@ -1,5 +1,10 @@
 #include "core/status.hpp"
 
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <unordered_map>
+
 #include "obs/metrics.hpp"
 
 namespace vmgrid {
@@ -7,6 +12,19 @@ namespace vmgrid {
 namespace {
 const std::string kEmpty;
 }  // namespace
+
+const std::string& intern_tag(std::string_view tag) {
+  // std::set gives node stability: references survive every later insert,
+  // and entries are never erased, so handing them out is safe forever.
+  static std::shared_mutex mu;
+  static std::set<std::string, std::less<>> pool;
+  {
+    std::shared_lock lock{mu};
+    if (auto it = pool.find(tag); it != pool.end()) return *it;
+  }
+  std::unique_lock lock{mu};
+  return *pool.emplace(tag).first;
+}
 
 const char* to_string(StatusCode code) {
   switch (code) {
@@ -37,18 +55,18 @@ const std::string& Status::message() const {
 }
 
 const std::string& Status::subsystem() const {
-  return rep_ == nullptr ? kEmpty : rep_->subsystem;
+  return rep_ == nullptr || rep_->subsystem == nullptr ? kEmpty : *rep_->subsystem;
 }
 
 const std::string& Status::op() const {
-  return rep_ == nullptr ? kEmpty : rep_->op;
+  return rep_ == nullptr || rep_->op == nullptr ? kEmpty : *rep_->op;
 }
 
-Status Status::at(std::string subsystem, std::string op) && {
+Status Status::at(std::string_view subsystem, std::string_view op) && {
   if (rep_ != nullptr) {
     auto rep = std::make_shared<Rep>(*rep_);
-    rep->subsystem = std::move(subsystem);
-    rep->op = std::move(op);
+    rep->subsystem = subsystem.empty() ? nullptr : &intern_tag(subsystem);
+    rep->op = op.empty() ? nullptr : &intern_tag(op);
     rep_ = std::move(rep);
   }
   return std::move(*this);
@@ -84,11 +102,11 @@ std::string Status::to_string() const {
   std::string out;
   for (const Rep* r = rep_.get(); r != nullptr; r = r->cause.get()) {
     if (!out.empty()) out += " ← ";  // " ← "
-    if (!r->subsystem.empty()) {
-      out += r->subsystem;
-      if (!r->op.empty()) {
+    if (r->subsystem != nullptr) {
+      out += *r->subsystem;
+      if (r->op != nullptr) {
         out += '.';
-        out += r->op;
+        out += *r->op;
       }
       out += ": ";
     }
@@ -130,13 +148,43 @@ Status InternalError(std::string message) {
   return Status{StatusCode::kInternal, std::move(message)};
 }
 
+namespace {
+
+struct ErrorSiteKey {
+  std::uint64_t epoch;     // registry identity + reset generation
+  const std::string* tag;  // interned subsystem
+  StatusCode code;
+  bool operator==(const ErrorSiteKey&) const = default;
+};
+
+struct ErrorSiteHash {
+  std::size_t operator()(const ErrorSiteKey& k) const {
+    std::size_t h = std::hash<std::uint64_t>{}(k.epoch);
+    h ^= std::hash<const void*>{}(k.tag) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::size_t>(k.code) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace
+
 void record_error(obs::MetricsRegistry& metrics, const Status& status) {
   if (status.ok()) return;
   const std::string& origin = status.subsystem();
-  metrics
-      .counter("errors_total", {{"subsystem", origin.empty() ? "unknown" : origin},
-                                {"code", to_string(status.code())}})
-      .inc();
+  const std::string& tag = intern_tag(origin.empty() ? "unknown" : origin);
+  // Per-thread handle pool: registries are thread-confined (one per
+  // replica), epochs are process-unique and bumped by reset(), and the
+  // registry's std::map storage keeps Counter references stable — so a
+  // hit can skip the Labels construction entirely.
+  thread_local std::unordered_map<ErrorSiteKey, obs::Counter*, ErrorSiteHash> pool;
+  if (pool.size() > 4096) pool.clear();  // bound a pathological tag/registry churn
+  auto [it, inserted] =
+      pool.try_emplace(ErrorSiteKey{metrics.epoch(), &tag, status.code()}, nullptr);
+  if (it->second == nullptr) {
+    it->second = &metrics.counter(
+        "errors_total", {{"subsystem", tag}, {"code", to_string(status.code())}});
+  }
+  it->second->inc();
 }
 
 }  // namespace vmgrid

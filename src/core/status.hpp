@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace vmgrid::obs {
@@ -10,6 +11,16 @@ class MetricsRegistry;
 }  // namespace vmgrid::obs
 
 namespace vmgrid {
+
+/// Process-wide interner for status origin tags (subsystem/op names).
+/// Tags come from a small closed vocabulary ("rpc", "nfs", "session", ...)
+/// but flow through every failure: interning stores each spelling once,
+/// makes Status::at() clone-free for the tag fields, and gives each tag a
+/// stable address that record_error uses as a cache key. The returned
+/// reference lives for the process. Thread-safe (replica runners tag
+/// statuses concurrently); the pool only ever grows, by design — the tag
+/// vocabulary is code, not data.
+[[nodiscard]] const std::string& intern_tag(std::string_view tag);
 
 /// Grid-wide failure taxonomy. Every layer — RPC fabric, NFS client, VFS
 /// proxy, VM runtime, middleware services — reports failures through these
@@ -100,9 +111,11 @@ class [[nodiscard]] Status {
   [[nodiscard]] const std::string& op() const;
 
   /// Tag the origin of this status: which subsystem and operation produced
-  /// it. No-op on OK. Returns *this so construction reads as one expression:
+  /// it. No-op on OK. Tags are interned (see intern_tag), so the clone
+  /// this makes carries two pointers, not two string copies. Returns
+  /// *this so construction reads as one expression:
   ///   Status{StatusCode::kTimeout, "deadline expired"}.at("rpc", "call")
-  Status at(std::string subsystem, std::string op = {}) &&;
+  Status at(std::string_view subsystem, std::string_view op = {}) &&;
 
   /// Attach the upstream failure that provoked this one. No-op on OK.
   ///   Status{kUnavailable, "re-instantiation failed"}.at("session")
@@ -124,8 +137,8 @@ class [[nodiscard]] Status {
   struct Rep {
     StatusCode code{StatusCode::kOk};
     std::string message;
-    std::string subsystem;
-    std::string op;
+    const std::string* subsystem{nullptr};  // interned; nullptr = untagged
+    const std::string* op{nullptr};         // interned; nullptr = untagged
     std::shared_ptr<const Rep> cause;
   };
 
@@ -174,6 +187,13 @@ class [[nodiscard]] Result {
 /// Bump errors_total{subsystem=<origin>,code=<code>} for a failure; no-op
 /// on OK. Every subsystem funnels its failure paths through this, so the
 /// obs export carries a grid-wide error census keyed by cause.
+///
+/// Hot-path cost: the Counter handle is cached per thread, keyed by
+/// (registry epoch, interned subsystem tag, code), so the steady state
+/// is one hash probe and an increment — the label-vector allocations are
+/// paid once per distinct origin, not per error. MetricsRegistry's
+/// std::map storage keeps the cached references stable; reset() bumps
+/// the registry epoch, which invalidates the cache entries wholesale.
 void record_error(obs::MetricsRegistry& metrics, const Status& status);
 
 }  // namespace vmgrid

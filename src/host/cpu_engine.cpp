@@ -13,7 +13,8 @@ constexpr double kEps = 1e-9;  // native cpu-seconds considered "done"
 }
 
 CpuEngine::CpuEngine(sim::Simulation& s, double ncpus, std::unique_ptr<Scheduler> sched)
-    : sim_{s}, ncpus_{ncpus}, sched_{std::move(sched)}, last_advance_{s.now()} {
+    : sim_{s}, ncpus_{ncpus}, sched_{std::move(sched)}, last_advance_{s.now()},
+      fidelity_{model::fidelity_from_env()} {
   assert(ncpus_ > 0.0);
   assert(sched_ != nullptr);
 }
@@ -28,17 +29,36 @@ ProcessId CpuEngine::add(std::string name, SchedAttrs attrs, double work,
   p.remaining = work;
   p.on_complete = std::move(on_complete);
   procs_.emplace(id, std::move(p));
+  ++revision_;
   reschedule();
   return id;
 }
 
 void CpuEngine::remove(ProcessId id) {
-  if (procs_.erase(id) > 0) reschedule();
+  auto it = procs_.find(id);
+  if (it == procs_.end()) return;
+  if (fidelity_ == model::Fidelity::kFluid) {
+    // Lazy tier: reaping an already-drained proc (remaining 0, no rate)
+    // does not change the runnable set — it was filtered out of every
+    // view — so rates, the completion horizon, and the solved revision
+    // all stay valid. Skip the solve; don't even bump the revision.
+    // (Exact tier keeps the historical cancel/re-arm event sequence.)
+    advance();
+    const Proc& p = it->second;
+    if (std::isfinite(p.remaining) && p.remaining <= kEps && p.rate <= 0.0) {
+      procs_.erase(it);
+      return;
+    }
+  }
+  procs_.erase(it);
+  ++revision_;
+  reschedule();
 }
 
 void CpuEngine::set_attrs(ProcessId id, SchedAttrs attrs) {
   advance();
   procs_.at(id).attrs = attrs;
+  ++revision_;
   reschedule();
 }
 
@@ -55,7 +75,11 @@ void CpuEngine::set_efficiency_quiet(ProcessId id, double eff) {
   }
   // Advance first so past progress is charged at the old efficiency.
   advance();
-  procs_.at(id).efficiency = eff;
+  Proc& p = procs_.at(id);
+  if (p.efficiency != eff) {
+    p.efficiency = eff;
+    ++revision_;
+  }
 }
 
 double CpuEngine::efficiency(ProcessId id) const { return procs_.at(id).efficiency; }
@@ -68,6 +92,7 @@ void CpuEngine::add_work(ProcessId id, double cpu_seconds, CompletionCallback on
   }
   p.remaining += cpu_seconds;
   if (on_complete) p.on_complete = std::move(on_complete);
+  ++revision_;
   reschedule();
 }
 
@@ -113,6 +138,7 @@ void CpuEngine::set_scheduler(std::unique_ptr<Scheduler> sched) {
   assert(sched != nullptr);
   advance();
   sched_ = std::move(sched);
+  ++revision_;
   reschedule();
 }
 
@@ -140,9 +166,17 @@ void CpuEngine::reschedule() {
     again = false;
     advance();
 
-    // Fire completions. Callbacks may add/remove work; gather first.
-    std::vector<std::pair<ProcessId, CompletionCallback>> done;
+    // Fire completions. Callbacks may add/remove work; gather first. A
+    // proc draining (with or without a callback) leaves the runnable
+    // set, so it is a constraint-set change like any other. The scratch
+    // is safe to reuse: nested reschedule() calls from callbacks bounce
+    // off the in_reschedule_ guard before touching it.
+    std::vector<std::pair<ProcessId, CompletionCallback>>& done = done_scratch_;
+    done.clear();
     for (auto& [id, p] : procs_) {
+      if (std::isfinite(p.remaining) && p.remaining <= kEps && p.rate > 0.0) {
+        ++revision_;
+      }
       if (std::isfinite(p.remaining) && p.remaining <= kEps && p.on_complete) {
         done.emplace_back(id, std::move(p.on_complete));
         p.on_complete = nullptr;
@@ -159,29 +193,47 @@ void CpuEngine::reschedule() {
 
     if (hook_) hook_(*this);
 
-    const auto views = runnable_views();
-    std::vector<double> rates;
-    if (!views.empty()) {
-      rates = sched_->allocate(views, ncpus_);
-      assert(rates.size() == views.size());
+    // Lazy-update tier: while the constraint set is untouched since the
+    // last solve, the scheduler would hand back the same rate vector —
+    // keep it (timer-driven reschedules at scale almost always hit this).
+    if (fidelity_ == model::Fidelity::kFluid && revision_ == solved_revision_) {
+      ++lazy_reuses_;
+    } else {
+      std::vector<ProcView>& views = views_scratch_;
+      views.clear();
+      for (const auto& [id, p] : procs_) {
+        if (p.remaining > kEps && p.attrs.demand_cap > 0.0) {
+          views.push_back(ProcView{id, p.attrs, p.efficiency,
+                                   std::isfinite(p.remaining), p.remaining});
+        }
+      }
+      std::sort(views.begin(), views.end(),
+                [](const ProcView& a, const ProcView& b) { return a.id < b.id; });
+      std::vector<double> rates;
+      if (!views.empty()) {
+        rates = sched_->allocate(views, ncpus_);
+        assert(rates.size() == views.size());
+      }
+      for (auto& [id, p] : procs_) p.rate = 0.0;
+      double total_rate = 0.0;
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        const double cap = std::min(1.0, views[i].attrs.demand_cap);
+        const double r = std::clamp(rates[i], 0.0, cap);
+        procs_.at(views[i].id).rate = r;
+        total_rate += r;
+      }
+      util_.set(sim_.now(), total_rate);
+      solved_revision_ = revision_;
+      ++allocations_;
     }
-    for (auto& [id, p] : procs_) p.rate = 0.0;
-    double total_rate = 0.0;
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      const double cap = std::min(1.0, views[i].attrs.demand_cap);
-      const double r = std::clamp(rates[i], 0.0, cap);
-      procs_.at(views[i].id).rate = r;
-      total_rate += r;
-    }
-    util_.set(sim_.now(), total_rate);
 
-    // Arm the next completion event.
+    // Arm the next completion event. Procs with rate > 0 are exactly the
+    // runnable views the last solve granted CPU to.
     sim_.cancel(next_event_);
     next_event_ = {};
     double horizon = std::numeric_limits<double>::infinity();
-    for (const auto& v : views) {
-      const Proc& p = procs_.at(v.id);
-      if (std::isfinite(p.remaining) && p.rate > 0.0) {
+    for (const auto& [id, p] : procs_) {
+      if (std::isfinite(p.remaining) && p.remaining > kEps && p.rate > 0.0) {
         horizon = std::min(horizon, p.remaining / (p.rate * p.efficiency));
       }
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "host/sched_types.hpp"
+#include "model/fidelity.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 
@@ -24,6 +25,14 @@ namespace vmgrid::host {
 /// Determinism: everything is recomputed at event boundaries; no quantum
 /// randomness. Lottery-scheduler variance is modelled by the scheduler's
 /// fluid expected shares (see schedulers.hpp).
+///
+/// Fidelity tiers (DESIGN.md §16): the CPU model is already fluid, so
+/// kFluid changes no timing — it adds the lazy-update contract: the
+/// scheduler's allocate() (plus the sort behind it) is skipped whenever
+/// the constraint set is unchanged since the last solve (same runnable
+/// procs, attrs, efficiencies, scheduler), which timer-driven
+/// reschedules at scale almost always satisfy. Rates are provably
+/// identical either way; `lazy_reuses()` meters the savings.
 class CpuEngine {
  public:
   CpuEngine(sim::Simulation& s, double ncpus, std::unique_ptr<Scheduler> sched);
@@ -73,6 +82,13 @@ class CpuEngine {
 
   void set_pre_allocate_hook(PreAllocateHook hook) { hook_ = std::move(hook); }
 
+  /// Default tier comes from `VMGRID_FIDELITY` at construction.
+  void set_fidelity(model::Fidelity f) { fidelity_ = f; }
+  [[nodiscard]] model::Fidelity fidelity() const { return fidelity_; }
+  /// Scheduler allocate() calls actually run / skipped as unchanged.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] std::uint64_t lazy_reuses() const { return lazy_reuses_; }
+
   /// Time-weighted mean utilization (0..ncpus) since construction.
   [[nodiscard]] double mean_utilization() const;
 
@@ -100,6 +116,17 @@ class CpuEngine {
   PreAllocateHook hook_;
   sim::TimeWeightedMean util_;
   bool in_reschedule_{false};
+  model::Fidelity fidelity_;
+  /// Bumped by every constraint-set mutation (add/remove/attrs/
+  /// efficiency/work/scheduler/drain); allocation reuse is valid only
+  /// while it matches solved_revision_.
+  std::uint64_t revision_{0};
+  std::uint64_t solved_revision_{std::numeric_limits<std::uint64_t>::max()};
+  std::uint64_t allocations_{0};
+  std::uint64_t lazy_reuses_{0};
+  // reschedule() scratch (hot at scale); see the reuse-safety note there.
+  std::vector<ProcView> views_scratch_;
+  std::vector<std::pair<ProcessId, CompletionCallback>> done_scratch_;
 };
 
 }  // namespace vmgrid::host

@@ -405,6 +405,7 @@ void ComputeServer::publish(InformationService& info) {
   rec.os = host_.params().os;
   rec.current_load = host_.cpu().total_demand();
   rec.binding = this;
+  if (auto z = net_.node_zone(host_.node())) rec.zone = net_.zone_name(*z);
   info.register_host(std::move(rec));
 
   VmFutureRecord fut;

@@ -34,9 +34,26 @@ void Grid::connect(net::NodeId a, net::NodeId b, net::LinkParams params) {
   net_.add_link(a, b, params);
 }
 
+net::ZoneId Grid::add_wan_zone(const std::string& name) {
+  return net_.add_zone(name, wan_link());
+}
+
+net::ZoneId Grid::add_cluster_zone(const std::string& name, net::ZoneId wan) {
+  return net_.add_zone(name, wan, wan_link(), lan_link());
+}
+
 ComputeServer& Grid::add_compute_server(ComputeServerParams params) {
   compute_.push_back(
       std::make_unique<ComputeServer>(sim_, net_, fabric_, gvfs_, std::move(params)));
+  compute_.back()->publish(info_);
+  return *compute_.back();
+}
+
+ComputeServer& Grid::add_compute_server(net::ZoneId zone, ComputeServerParams params) {
+  compute_.push_back(
+      std::make_unique<ComputeServer>(sim_, net_, fabric_, gvfs_, std::move(params)));
+  // Enroll before publishing so the HostRecord carries the zone name.
+  net_.assign_zone(compute_.back()->node(), zone);
   compute_.back()->publish(info_);
   return *compute_.back();
 }

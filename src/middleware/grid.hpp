@@ -51,8 +51,17 @@ class Grid {
   net::NodeId add_client(const std::string& name);  // user workstation
   void connect(net::NodeId a, net::NodeId b, net::LinkParams params);
 
+  /// Hierarchical routing zones (net::Network zones with grid-flavored
+  /// defaults): a WAN root zone joined by wan_link-class uplinks, holding
+  /// LAN cluster zones whose members join over lan_link-class links.
+  net::ZoneId add_wan_zone(const std::string& name);
+  net::ZoneId add_cluster_zone(const std::string& name, net::ZoneId wan);
+
   // --- servers (owned by the grid) ---
   ComputeServer& add_compute_server(ComputeServerParams params = {});
+  /// Place the server's host inside a routing zone before it publishes,
+  /// so its HostRecord carries the zone name.
+  ComputeServer& add_compute_server(net::ZoneId zone, ComputeServerParams params = {});
   ImageServer& add_image_server(ImageServerParams params = {});
   DataServer& add_data_server(DataServerParams params = {});
 

@@ -174,6 +174,14 @@ void InformationService::query_placements(FuturePredicate fpred, ImagePredicate 
       });
 }
 
+std::vector<HostRecord> InformationService::hosts_in_zone(const std::string& zone) const {
+  std::vector<HostRecord> out;
+  for (const HostRecord& r : hosts_) {
+    if (r.up && r.zone == zone) out.push_back(r);
+  }
+  return out;
+}
+
 std::optional<HostRecord> InformationService::lookup_host(const std::string& name) const {
   auto it = std::find_if(hosts_.begin(), hosts_.end(),
                          [&name](const HostRecord& r) { return r.name == name; });

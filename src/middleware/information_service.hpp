@@ -35,6 +35,7 @@ struct HostRecord {
   double current_load{0.0};
   ComputeServer* binding{nullptr};  // middleware-side handle, not serialized
   bool up{true};                    // cleared while the host is crashed
+  std::string zone;                 // routing-zone name; empty for flat hosts
 };
 
 /// Row in the images table.
@@ -135,6 +136,12 @@ class InformationService {
   /// subject to the combined time bound.
   void query_placements(FuturePredicate fpred, ImagePredicate ipred, QueryOptions opts,
                         std::function<void(std::vector<Placement>)> cb);
+
+  /// Hosts registered under a routing zone (HostRecord.zone), up hosts
+  /// only. Synchronous registry-side lookup — zone scoping is how a
+  /// scheduler works a 10k-host grid without time-bounded scans over the
+  /// whole table: pick a zone, then query within it.
+  [[nodiscard]] std::vector<HostRecord> hosts_in_zone(const std::string& zone) const;
 
   [[nodiscard]] std::optional<HostRecord> lookup_host(const std::string& name) const;
   [[nodiscard]] std::optional<ImageRecord> lookup_image(const std::string& name) const;

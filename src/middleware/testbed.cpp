@@ -128,4 +128,21 @@ FaultTestbed::FaultTestbed(std::uint64_t seed, int compute_hosts) {
   }
 }
 
+ScaleTestbed::ScaleTestbed(std::uint64_t seed, int clusters, int hosts_per_cluster) {
+  grid = std::make_unique<Grid>(seed);
+  auto& g = *grid;
+  wan = g.add_wan_zone("wan");
+  cluster_zones.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    const net::ZoneId zone = g.add_cluster_zone("cluster-" + std::to_string(c), wan);
+    cluster_zones.push_back(zone);
+    for (int h = 0; h < hosts_per_cluster; ++h) {
+      auto& cs = g.add_compute_server(
+          zone, paper_compute("c" + std::to_string(c) + "-host-" + std::to_string(h),
+                              fig1_host()));
+      computes.push_back(&cs);
+    }
+  }
+}
+
 }  // namespace vmgrid::middleware::testbed

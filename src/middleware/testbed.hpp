@@ -72,4 +72,20 @@ struct FaultTestbed {
   net::NodeId router{};
 };
 
+/// Scale environment (DESIGN.md §16): `clusters` LAN cluster zones nested
+/// in one WAN zone, each holding `hosts_per_cluster` published compute
+/// servers — routes resolve through the zone hierarchy in O(depth), and
+/// every HostRecord carries its cluster zone name so schedulers can work
+/// zone-by-zone (info().hosts_in_zone). The zone names are
+/// "cluster-0".."cluster-N".
+struct ScaleTestbed {
+  explicit ScaleTestbed(std::uint64_t seed, int clusters = 4,
+                        int hosts_per_cluster = 8);
+
+  std::unique_ptr<Grid> grid;
+  net::ZoneId wan{};
+  std::vector<net::ZoneId> cluster_zones;
+  std::vector<ComputeServer*> computes;  // cluster-major order
+};
+
 }  // namespace vmgrid::middleware::testbed

@@ -1,0 +1,25 @@
+#include "model/fidelity.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vmgrid::model {
+
+const char* to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::kExact: return "exact";
+    case Fidelity::kFluid: return "fluid";
+  }
+  return "unknown";
+}
+
+Fidelity fidelity_from_env() {
+  static const Fidelity cached = [] {
+    const char* v = std::getenv("VMGRID_FIDELITY");
+    if (v != nullptr && std::strcmp(v, "fluid") == 0) return Fidelity::kFluid;
+    return Fidelity::kExact;
+  }();
+  return cached;
+}
+
+}  // namespace vmgrid::model

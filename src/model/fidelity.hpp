@@ -1,0 +1,31 @@
+#pragma once
+
+namespace vmgrid::model {
+
+/// Simulation fidelity tier (DESIGN.md §16).
+///
+/// kExact is the historical discrete model: every packet hop, disk
+/// service slot, and CPU reallocation is its own event, FIFO queues and
+/// store-and-forward included. kFluid trades that per-operation detail
+/// for per-flow/per-action completion events under max-min fair sharing
+/// (the FluidArena machinery), which is what makes 10k-host x 1M-job
+/// campaigns tractable.
+///
+/// The default tier is kExact and exact-mode behaviour is byte-identical
+/// to pre-tier builds: the knob is only consulted at component
+/// construction, and the exact code paths never touch the fluid
+/// machinery.
+enum class Fidelity {
+  kExact,
+  kFluid,
+};
+
+[[nodiscard]] const char* to_string(Fidelity f);
+
+/// Process-wide tier from `VMGRID_FIDELITY` ("exact" | "fluid",
+/// anything else — including unset — means exact). Read once and
+/// cached; components also expose per-instance setters so tests can mix
+/// tiers without environment games.
+[[nodiscard]] Fidelity fidelity_from_env();
+
+}  // namespace vmgrid::model

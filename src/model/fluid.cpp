@@ -1,0 +1,394 @@
+#include "model/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace vmgrid::model {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Work units this close to zero count as drained (units are bytes or
+// cpu-seconds; both are far above this scale).
+constexpr double kDoneEps = 1e-9;
+}  // namespace
+
+ResourceId FluidArena::add_resource(double capacity) {
+  assert(capacity >= 0.0);
+  resources_.push_back(Resource{capacity, 0.0, {}});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void FluidArena::set_capacity(ResourceId r, double capacity) {
+  assert(capacity >= 0.0);
+  resources_.at(r).capacity = capacity;
+  if (!resources_[r].actions.empty()) resolve({r});
+}
+
+double FluidArena::capacity(ResourceId r) const { return resources_.at(r).capacity; }
+
+std::size_t FluidArena::actions_on(ResourceId r) const {
+  return resources_.at(r).actions.size();
+}
+
+ActionId FluidArena::start(std::vector<ResourceId> res, double work, double rate_cap,
+                           double weight, DoneCallback on_done) {
+  return start(std::span<const ResourceId>(res), work, rate_cap, weight,
+               std::move(on_done));
+}
+
+ActionId FluidArena::start(std::span<const ResourceId> res, double work,
+                           double rate_cap, double weight, DoneCallback on_done) {
+  assert(work > 0.0);
+  assert(weight > 0.0);
+  const ActionId id = next_id_++;
+  Action a;
+  if (!res_pool_.empty()) {
+    a.res = std::move(res_pool_.back());
+    res_pool_.pop_back();
+  }
+  a.res.assign(res.begin(), res.end());
+  a.remaining = work;
+  a.cap = rate_cap;
+  a.weight = weight;
+  a.last = sim_.now();
+  a.on_done = std::move(on_done);
+  const double cap_add = rate_cap > 0.0 ? rate_cap : kInf;
+  bool any_contended = false;
+  for (ResourceId r : a.res) {
+    Resource& rr = resources_.at(r);
+    rr.actions.push_back(id);
+    rr.cap_demand += cap_add;
+    any_contended = any_contended || contended(rr);
+  }
+  const auto [it, inserted] = actions_.emplace(id, std::move(a));
+  assert(inserted);
+  if (!any_contended) {
+    // Fast path (the common case in a well-provisioned topology): every
+    // path resource keeps headroom even with the new action at full cap
+    // (uncapped actions make cap_demand infinite, so they never get
+    // here). None of these resources has ever bound a resident — before
+    // or now — so no existing rate changes and the max-min solution
+    // simply grants the newcomer its cap. O(path) instead of a
+    // component solve, and no neighbor heap churn.
+    Action& na = it->second;
+    na.rate = na.cap;
+    push_finish(id, na);
+    arm();
+  } else {
+    resolve(it->second.res);
+  }
+  return id;
+}
+
+void FluidArena::detach(ActionId id, Action& a) {
+  const double cap_sub = a.cap > 0.0 ? a.cap : kInf;
+  for (ResourceId r : a.res) {
+    Resource& rr = resources_.at(r);
+    rr.actions.erase(std::find(rr.actions.begin(), rr.actions.end(), id));
+    if (std::isinf(cap_sub)) {
+      // Recount: another uncapped action may remain.
+      rr.cap_demand = 0.0;
+      for (ActionId o : rr.actions) {
+        const Action& oa = actions_.at(o);
+        rr.cap_demand += oa.cap > 0.0 ? oa.cap : kInf;
+      }
+    } else {
+      rr.cap_demand = std::max(0.0, rr.cap_demand - cap_sub);
+    }
+  }
+}
+
+void FluidArena::cancel(ActionId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return;
+  // Leaving an uncontended resource frees rate nobody was waiting for
+  // (it never bound a resident), so the solve would be a no-op.
+  bool any_contended = false;
+  for (ResourceId r : it->second.res) {
+    any_contended = any_contended || contended(resources_[r]);
+  }
+  seed_scratch_ = it->second.res;
+  detach(id, it->second);
+  recycle(std::move(it->second.res));
+  actions_.erase(it);
+  if (any_contended) {
+    resolve(seed_scratch_);
+  } else {
+    arm();  // the erased action's heap entries are stale now
+  }
+}
+
+double FluidArena::rate(ActionId id) const {
+  auto it = actions_.find(id);
+  return it == actions_.end() ? 0.0 : it->second.rate;
+}
+
+double FluidArena::remaining(ActionId id) const {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return 0.0;
+  const Action& a = it->second;
+  const double dt = (sim_.now() - a.last).to_seconds();
+  return std::max(0.0, a.remaining - a.rate * dt);
+}
+
+void FluidArena::push_finish(ActionId id, Action& a) {
+  ++a.serial;
+  if (a.remaining <= kDoneEps) {
+    // Drained at a solve boundary (a resolve advanced it to zero before
+    // its padded timer fired). The serial bump above just invalidated
+    // its live heap entry, so it must be re-entered here or its
+    // completion is lost: fire the timer path at once.
+    heap_.push(HeapEntry{a.last, id, a.serial});
+    return;
+  }
+  if (a.rate <= 0.0) return;  // parked until a capacity shows up
+  const double secs = a.remaining / a.rate;
+  if (!std::isfinite(secs)) return;
+  const auto delay =
+      sim::Duration::nanos(static_cast<std::int64_t>(std::ceil(secs * 1e9)) + 1);
+  heap_.push(HeapEntry{a.last + delay, id, a.serial});
+}
+
+void FluidArena::arm() {
+  // Drop stale heap tops, then keep exactly one kernel event armed at
+  // the earliest live finish.
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end() || it->second.serial != top.serial) {
+      heap_.pop();
+      continue;
+    }
+    break;
+  }
+  const sim::TimePoint want = heap_.empty() ? sim::TimePoint::max() : heap_.top().finish;
+  if (timer_armed_ && timer_at_ == want) return;
+  if (timer_armed_) {
+    sim_.cancel(timer_);
+    timer_armed_ = false;
+  }
+  if (want != sim::TimePoint::max()) {
+    timer_ = sim_.schedule_at(want, [this] { on_timer(); });
+    timer_at_ = want;
+    timer_armed_ = true;
+  }
+}
+
+void FluidArena::resolve(const std::vector<ResourceId>& seeds) {
+  ++solves_;
+  const sim::TimePoint now = sim_.now();
+
+  // --- gather the component: seed resources always join; traversal
+  // continues through contended resources only (an uncontended resource
+  // can never bind, so actions beyond it keep their rates).
+  std::vector<ResourceId>& comp_res = comp_res_;
+  std::vector<ActionId>& comp_act = comp_act_;
+  std::vector<ResourceId>& res_stack = res_stack_;
+  comp_res.clear();
+  comp_act.clear();
+  res_stack.assign(seeds.begin(), seeds.end());
+  // Membership flags; components are small, linear scans would also do,
+  // but sorted vectors keep this deterministic and allocation-light.
+  auto res_member = [&](ResourceId r) {
+    return std::find(comp_res.begin(), comp_res.end(), r) != comp_res.end();
+  };
+  auto act_member = [&](ActionId a) {
+    return std::find(comp_act.begin(), comp_act.end(), a) != comp_act.end();
+  };
+  while (!res_stack.empty()) {
+    const ResourceId r = res_stack.back();
+    res_stack.pop_back();
+    if (res_member(r)) continue;
+    comp_res.push_back(r);
+    for (ActionId aid : resources_[r].actions) {
+      if (act_member(aid)) continue;
+      comp_act.push_back(aid);
+      for (ResourceId r2 : actions_.at(aid).res) {
+        if (!res_member(r2) && contended(resources_[r2])) res_stack.push_back(r2);
+      }
+    }
+  }
+  if (comp_act.empty()) {
+    arm();
+    return;
+  }
+  std::sort(comp_res.begin(), comp_res.end());
+  std::sort(comp_act.begin(), comp_act.end());
+
+  // --- advance component actions to now at their old rates.
+  for (ActionId aid : comp_act) {
+    Action& a = actions_.at(aid);
+    const double dt = (now - a.last).to_seconds();
+    if (dt > 0.0 && a.rate > 0.0) {
+      a.remaining = std::max(0.0, a.remaining - a.rate * dt);
+    }
+    a.last = now;
+  }
+
+  // --- weighted max-min progressive filling with per-action caps.
+  // Only component members participate; rates of actions outside the
+  // component are unchanged by construction, but their *shares* on
+  // component resources must still be reserved.
+  const std::size_t nr = comp_res.size();
+  std::vector<double>& cap_left = cap_left_;
+  std::vector<double>& wsum = wsum_;
+  cap_left.assign(nr, 0.0);
+  wsum.assign(nr, 0.0);
+  auto res_slot = [&](ResourceId r) {
+    return static_cast<std::size_t>(
+        std::lower_bound(comp_res.begin(), comp_res.end(), r) - comp_res.begin());
+  };
+  for (std::size_t i = 0; i < nr; ++i) {
+    const Resource& rr = resources_[comp_res[i]];
+    cap_left[i] = rr.capacity;
+    for (ActionId aid : rr.actions) {
+      const Action& a = actions_.at(aid);
+      if (std::binary_search(comp_act.begin(), comp_act.end(), aid)) {
+        wsum[i] += a.weight;
+      } else {
+        cap_left[i] = std::max(0.0, cap_left[i] - a.rate);  // outsider keeps share
+      }
+    }
+  }
+
+  std::vector<ActionId>& todo = todo_;
+  todo = comp_act;
+  while (!todo.empty()) {
+    // Water level from resources, and the tightest per-action cap.
+    double level = kInf;
+    for (std::size_t i = 0; i < nr; ++i) {
+      if (wsum[i] > 0.0) level = std::min(level, cap_left[i] / wsum[i]);
+    }
+    double cap_level = kInf;
+    for (ActionId aid : todo) {
+      const Action& a = actions_.at(aid);
+      if (a.cap > 0.0) cap_level = std::min(cap_level, a.cap / a.weight);
+    }
+    std::vector<ActionId>& assigned = assigned_;
+    assigned.clear();
+    if (cap_level <= level) {
+      // Cap binds first: freeze every action at that cap level.
+      for (ActionId aid : todo) {
+        Action& a = actions_.at(aid);
+        if (a.cap > 0.0 && a.cap / a.weight <= cap_level) {
+          a.rate = a.cap;
+          assigned.push_back(aid);
+        }
+      }
+    } else if (std::isfinite(level)) {
+      // The bottleneck resource saturates: freeze its residents.
+      std::size_t bi = nr;
+      for (std::size_t i = 0; i < nr; ++i) {
+        if (wsum[i] > 0.0 && cap_left[i] / wsum[i] == level) {
+          bi = i;
+          break;
+        }
+      }
+      for (ActionId aid : resources_[comp_res[bi]].actions) {
+        Action& a = actions_.at(aid);
+        if (std::binary_search(todo.begin(), todo.end(), aid)) {
+          a.rate = level * a.weight;
+          assigned.push_back(aid);
+        }
+      }
+    } else {
+      // No binding constraint at all (all caps uncapped on uncontended
+      // resources): run flat out at the least resource headroom.
+      for (ActionId aid : todo) {
+        Action& a = actions_.at(aid);
+        double r = kInf;
+        for (ResourceId rid : a.res) {
+          r = std::min(r, resources_[rid].capacity);
+        }
+        a.rate = std::isfinite(r) ? r : 0.0;
+        assigned.push_back(aid);
+      }
+    }
+    assert(!assigned.empty());
+    for (ActionId aid : assigned) {
+      const Action& a = actions_.at(aid);
+      for (ResourceId rid : a.res) {
+        const auto i = res_slot(rid);
+        if (i < nr && comp_res[i] == rid) {
+          cap_left[i] = std::max(0.0, cap_left[i] - a.rate);
+          wsum[i] -= a.weight;
+        }
+      }
+    }
+    std::vector<ActionId>& rest = rest_;
+    rest.clear();
+    std::set_difference(todo.begin(), todo.end(), assigned.begin(), assigned.end(),
+                        std::back_inserter(rest));
+    todo.swap(rest);
+  }
+
+  for (ActionId aid : comp_act) push_finish(aid, actions_.at(aid));
+  arm();
+}
+
+void FluidArena::on_timer() {
+  timer_armed_ = false;
+  const sim::TimePoint now = sim_.now();
+  // Member scratch: on_timer is only entered from the armed kernel event
+  // (never recursively), so the buffers are free at this point even if a
+  // callback below schedules more work.
+  std::vector<ActionId>& done = timer_done_;
+  std::vector<ResourceId>& seeds = timer_seeds_;
+  done.clear();
+  seeds.clear();
+  while (!heap_.empty() && heap_.top().finish <= now) {
+    const HeapEntry e = heap_.top();
+    heap_.pop();
+    auto it = actions_.find(e.id);
+    if (it == actions_.end() || it->second.serial != e.serial) continue;  // stale
+    Action& a = it->second;
+    const double dt = (now - a.last).to_seconds();
+    a.remaining = std::max(0.0, a.remaining - a.rate * dt);
+    a.last = now;
+    if (a.remaining <= kDoneEps) {
+      done.push_back(e.id);
+      for (ResourceId r : a.res) seeds.push_back(r);
+    } else {
+      push_finish(e.id, a);  // numeric drift: re-arm, don't complete early
+    }
+  }
+  std::vector<DoneCallback>& callbacks = timer_callbacks_;
+  callbacks.clear();
+  callbacks.reserve(done.size());
+  bool need_resolve = false;
+  for (ActionId aid : done) {
+    auto it = actions_.find(aid);
+    // Same no-op-solve test as cancel(): checked before each detach, so
+    // the flag is exact for the state each removal actually sees.
+    for (ResourceId r : it->second.res) {
+      need_resolve = need_resolve || contended(resources_[r]);
+    }
+    detach(aid, it->second);
+    callbacks.push_back(std::move(it->second.on_done));
+    recycle(std::move(it->second.res));
+    actions_.erase(it);
+    ++completed_;
+  }
+  if (need_resolve) {
+    resolve(seeds);
+  } else {
+    arm();
+  }
+  // Callbacks last, on a consistent arena: they may start new actions.
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+  callbacks.clear();  // release moved-from callbacks' captures promptly
+}
+
+void FluidArena::recycle(std::vector<ResourceId>&& res) {
+  constexpr std::size_t kPoolCap = 1024;
+  if (res.capacity() > 0 && res_pool_.size() < kPoolCap) {
+    res.clear();
+    res_pool_.push_back(std::move(res));
+  }
+}
+
+}  // namespace vmgrid::model

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace vmgrid::model {
+
+using ResourceId = std::uint32_t;
+using ActionId = std::uint64_t;  // 0 is never issued
+
+/// Shared fluid resource-model machinery (DESIGN.md §16): the kFluid
+/// tier's replacement for per-packet / per-slice discrete events.
+///
+/// A *resource* is a capacity pipe (a directed link's bandwidth, a
+/// disk's transfer rate, a host's CPUs). An *action* pushes `work`
+/// units through every resource on its list simultaneously (a network
+/// flow occupies each link of its path; a disk IO occupies the one
+/// disk), at a rate set by weighted max-min fair sharing across all
+/// concurrent actions, clipped by the action's own rate cap.
+///
+/// Lazy-update contract: the solver runs only when the constraint set
+/// changes (an action starts, completes, is cancelled, or a capacity
+/// changes) — never per packet or time slice — and each solve touches
+/// only the *connected component* of actions and resources reachable
+/// from the change through potentially-contended resources. A resource
+/// whose summed action caps fit inside its capacity can never bind, so
+/// traversal stops there; in a well-provisioned topology components
+/// stay O(flows on the congested link) instead of O(all flows).
+/// Completion events are kept in a lazy min-heap with one armed kernel
+/// event for the earliest finisher; rate changes push fresh entries and
+/// stale ones are skipped on pop.
+///
+/// Determinism: actions and resources are iterated in id order
+/// everywhere, so identical call sequences produce identical rate
+/// vectors and completion schedules across processes and VMGRID_JOBS.
+class FluidArena {
+ public:
+  explicit FluidArena(sim::Simulation& s) : sim_{s} {}
+
+  FluidArena(const FluidArena&) = delete;
+  FluidArena& operator=(const FluidArena&) = delete;
+
+  ResourceId add_resource(double capacity);
+  /// Capacity changes re-solve the affected component (fluid analogue of
+  /// a link degrading: in-flight actions adapt, routing does not).
+  void set_capacity(ResourceId r, double capacity);
+  [[nodiscard]] double capacity(ResourceId r) const;
+  /// Actions currently holding a share of `r` (estimate_latency probes).
+  [[nodiscard]] std::size_t actions_on(ResourceId r) const;
+
+  using DoneCallback = std::function<void()>;
+
+  /// Start an action: `work` units through every resource in `res`.
+  /// `rate_cap` <= 0 means uncapped (finite caps enable component
+  /// pruning — pass the natural bottleneck, e.g. min path bandwidth).
+  /// `weight` scales the max-min share. `on_done` fires when the work
+  /// drains; it may start further actions.
+  ActionId start(std::vector<ResourceId> res, double work, double rate_cap,
+                 double weight, DoneCallback on_done);
+  /// Allocation-free variant: the resource list is copied into pooled
+  /// storage recycled from completed actions (hot path for per-flow
+  /// callers like Network::send_fluid).
+  ActionId start(std::span<const ResourceId> res, double work, double rate_cap,
+                 double weight, DoneCallback on_done);
+
+  /// Drop an action without firing its callback (no-op if unknown).
+  void cancel(ActionId id);
+
+  [[nodiscard]] bool active(ActionId id) const { return actions_.contains(id); }
+  [[nodiscard]] double rate(ActionId id) const;
+  /// Work left at sim.now() (lazily advanced; does not mutate).
+  [[nodiscard]] double remaining(ActionId id) const;
+
+  [[nodiscard]] std::size_t active_actions() const { return actions_.size(); }
+  /// Component re-solves since construction (the lazy-update meter:
+  /// compare against completed actions to see how much work each
+  /// constraint change actually touched).
+  [[nodiscard]] std::uint64_t solves() const { return solves_; }
+  [[nodiscard]] std::uint64_t actions_completed() const { return completed_; }
+
+ private:
+  struct Action {
+    std::vector<ResourceId> res;
+    double remaining{0.0};
+    double rate{0.0};
+    double cap{0.0};  // <= 0: uncapped
+    double weight{1.0};
+    sim::TimePoint last{};    // remaining is exact as of this instant
+    std::uint64_t serial{0};  // heap entries with older serials are stale
+    DoneCallback on_done;
+  };
+
+  struct Resource {
+    double capacity{0.0};
+    /// Sum of caps of resident actions; infinite while any is uncapped.
+    double cap_demand{0.0};
+    std::vector<ActionId> actions;  // ascending id (insertion) order
+  };
+
+  struct HeapEntry {
+    sim::TimePoint finish;
+    ActionId id;
+    std::uint64_t serial;
+    bool operator>(const HeapEntry& o) const {
+      return finish != o.finish ? finish > o.finish : id > o.id;
+    }
+  };
+
+  [[nodiscard]] bool contended(const Resource& r) const {
+    return r.cap_demand > r.capacity * (1.0 + 1e-12);
+  }
+
+  /// Advance + max-min + completion re-arm for the component reachable
+  /// from `seeds` (resource ids, duplicates fine). Never runs user code,
+  /// so the scratch buffers below can be reused across calls.
+  void resolve(const std::vector<ResourceId>& seeds);
+  void push_finish(ActionId id, Action& a);
+  void arm();
+  void on_timer();
+  void detach(ActionId id, Action& a);  // remove from resource lists
+  void recycle(std::vector<ResourceId>&& res);  // return storage to the pool
+
+  sim::Simulation& sim_;
+  std::vector<Resource> resources_;
+  // Hashed, not ordered: nothing iterates the table, and determinism
+  // comes from iterating ids through `Resource::actions` / the heap.
+  std::unordered_map<ActionId, Action> actions_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  // resolve() scratch, reused across solves (solver hot path at scale).
+  std::vector<ResourceId> comp_res_, res_stack_, seed_scratch_;
+  std::vector<ActionId> comp_act_, todo_, assigned_, rest_;
+  std::vector<double> cap_left_, wsum_;
+  // on_timer() scratch. Safe to reuse: on_timer only ever runs from the
+  // armed kernel event, and the user callbacks it fires can start/cancel
+  // actions (touching the resolve scratch above) but never re-enter it.
+  std::vector<ActionId> timer_done_;
+  std::vector<ResourceId> timer_seeds_;
+  std::vector<DoneCallback> timer_callbacks_;
+  // Recycled Action::res storage (span-start overload draws from here).
+  std::vector<std::vector<ResourceId>> res_pool_;
+  sim::EventId timer_{};
+  sim::TimePoint timer_at_{sim::TimePoint::max()};
+  bool timer_armed_{false};
+  ActionId next_id_{1};
+  std::uint64_t solves_{0};
+  std::uint64_t completed_{0};
+};
+
+}  // namespace vmgrid::model

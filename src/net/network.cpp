@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "model/fluid.hpp"
+
 namespace vmgrid::net {
 
 namespace {
@@ -19,9 +21,17 @@ sim::Duration serialization_time(std::uint64_t bytes, double bandwidth_bps) {
 }
 }  // namespace
 
+Network::Network(sim::Simulation& s)
+    : sim_{s}, fidelity_{model::fidelity_from_env()} {}
+
+Network::~Network() = default;
+
 NodeId Network::add_node(std::string name) {
   nodes_.push_back(std::move(name));
   node_up_.push_back(1);
+  node_zone_.push_back(-1);
+  up_link_.push_back(kNoLink);
+  down_link_.push_back(kNoLink);
   routes_dirty_ = true;
   return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
 }
@@ -32,8 +42,22 @@ const std::string& Network::node_name(NodeId id) const {
 
 void Network::add_link(NodeId a, NodeId b, LinkParams params) {
   assert(a.value() < nodes_.size() && b.value() < nodes_.size());
-  if (link_by_pair_.contains(pair_key(a, b))) {
-    throw std::logic_error("Network::add_link: duplicate link");
+  if (a == b) {
+    throw std::logic_error("Network::add_link: self link at " + node_name(a));
+  }
+  if (auto it = link_by_pair_.find(pair_key(a, b)); it != link_by_pair_.end()) {
+    // Duplicate registration: reuse the existing records rather than
+    // leaking a shadowed Link (counters/fault state survive, params are
+    // replaced). Unlike set_link this IS a topology/policy event, so
+    // cached routes are recomputed.
+    const LinkIndex fwd = it->second;
+    const LinkIndex rev = find_link(b, a);
+    links_[fwd].params = params;
+    links_[rev].params = params;
+    sync_fluid_capacity(fwd);
+    sync_fluid_capacity(rev);
+    routes_dirty_ = true;
+    return;
   }
   link_by_pair_.emplace(pair_key(a, b), links_.size());
   links_.push_back(Link{a, b, params, {}, 0});
@@ -43,11 +67,17 @@ void Network::add_link(NodeId a, NodeId b, LinkParams params) {
 }
 
 void Network::set_link(NodeId a, NodeId b, LinkParams params) {
-  links_.at(find_link(a, b)).params = params;
-  links_.at(find_link(b, a)).params = params;
+  const LinkIndex fwd = find_link(a, b);
+  const LinkIndex rev = find_link(b, a);
+  links_[fwd].params = params;
+  links_[rev].params = params;
   // Deliberately does NOT invalidate routes: underlay routing reflects
   // topology/policy, not live performance (the resilient-overlay premise
   // — IP routing does not react when a path degrades; overlays do).
+  // The fluid tier mirrors this: in-flight flows re-share the new
+  // capacity, but nobody is rerouted.
+  sync_fluid_capacity(fwd);
+  sync_fluid_capacity(rev);
 }
 
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
@@ -91,13 +121,164 @@ Network::LinkIndex Network::find_link(NodeId a, NodeId b) const {
   return it->second;
 }
 
+// --- hierarchical routing zones ------------------------------------------
+
+ZoneId Network::add_zone(std::string name, LinkParams member_link) {
+  const NodeId gw = add_node(name + ".gw");
+  const auto z = static_cast<std::int32_t>(zones_.size());
+  zones_.push_back(Zone{std::move(name), -1, gw, member_link});
+  // The root gateway is a member of its own zone (the hub is addressable).
+  node_zone_[gw.value()] = z;
+  return ZoneId{static_cast<std::uint32_t>(z)};
+}
+
+ZoneId Network::add_zone(std::string name, ZoneId parent, LinkParams uplink,
+                         LinkParams member_link) {
+  const NodeId parent_gw = zones_.at(parent.value()).gateway;
+  const NodeId gw = add_node(name + ".gw");
+  const auto z = static_cast<std::int32_t>(zones_.size());
+  zones_.push_back(Zone{std::move(name), static_cast<std::int32_t>(parent.value()),
+                        gw, member_link});
+  // The child gateway lives in the parent zone, one uplink hop from the
+  // parent gateway; it is the zone's single entry/exit point.
+  node_zone_[gw.value()] = static_cast<std::int32_t>(parent.value());
+  add_link(gw, parent_gw, uplink);
+  cache_zone_links(gw, parent_gw);
+  return ZoneId{static_cast<std::uint32_t>(z)};
+}
+
+NodeId Network::add_zone_node(ZoneId z, std::string name) {
+  const NodeId n = add_node(std::move(name));
+  assign_zone(n, z);
+  return n;
+}
+
+void Network::assign_zone(NodeId n, ZoneId z) {
+  const Zone& zn = zones_.at(z.value());
+  if (node_zone_.at(n.value()) != -1) {
+    throw std::logic_error("Network::assign_zone: " + node_name(n) +
+                           " already belongs to a zone");
+  }
+  node_zone_[n.value()] = static_cast<std::int32_t>(z.value());
+  add_link(n, zn.gateway, zn.member_link);  // sets routes_dirty_
+  cache_zone_links(n, zn.gateway);
+}
+
+void Network::cache_zone_links(NodeId member, NodeId gateway) {
+  up_link_[member.value()] = find_link(member, gateway);
+  down_link_[member.value()] = find_link(gateway, member);
+}
+
+Network::LinkIndex Network::link_between(NodeId a, NodeId b) const {
+  // Every step of a zone path is member -> its gateway (up) or gateway
+  // -> member (down); both directions are cached per member node.
+  const std::int32_t za = node_zone_[a.value()];
+  if (za >= 0 && zones_[za].gateway == b && up_link_[a.value()] != kNoLink) {
+    return up_link_[a.value()];
+  }
+  const std::int32_t zb = node_zone_[b.value()];
+  if (zb >= 0 && zones_[zb].gateway == a && down_link_[b.value()] != kNoLink) {
+    return down_link_[b.value()];
+  }
+  return find_link(a, b);
+}
+
+NodeId Network::zone_gateway(ZoneId z) const { return zones_.at(z.value()).gateway; }
+
+const std::string& Network::zone_name(ZoneId z) const {
+  return zones_.at(z.value()).name;
+}
+
+std::optional<ZoneId> Network::node_zone(NodeId n) const {
+  const std::int32_t z = node_zone_.at(n.value());
+  if (z < 0) return std::nullopt;
+  return ZoneId{static_cast<std::uint32_t>(z)};
+}
+
+bool Network::zone_route(NodeId src, NodeId dst,
+                         std::vector<LinkIndex>& out) const {
+  out.clear();
+  // Ancestor zone chains, innermost first.
+  auto chain = [this](NodeId n, std::int32_t* buf, std::size_t cap) {
+    std::size_t len = 0;
+    for (std::int32_t z = node_zone_[n.value()]; z >= 0; z = zones_[z].parent) {
+      if (len == cap) throw std::logic_error("Network: zone nesting too deep");
+      buf[len++] = z;
+    }
+    return len;
+  };
+  constexpr std::size_t kMaxDepth = 64;
+  std::int32_t cs[kMaxDepth];
+  std::int32_t cd[kMaxDepth];
+  std::size_t ns = chain(src, cs, kMaxDepth);
+  std::size_t nd = chain(dst, cd, kMaxDepth);
+  if (cs[ns - 1] != cd[nd - 1]) return false;  // different roots: unreachable
+  // Peel common ancestors from the root end; the last one peeled is the LCA.
+  while (ns > 1 && nd > 1 && cs[ns - 2] == cd[nd - 2]) {
+    --ns;
+    --nd;
+  }
+  const std::int32_t lca = cs[ns - 1];
+
+  // Gateway chain up from src into the LCA, and down into dst (built up,
+  // then reversed). A node's zone gateway is a member of the next zone
+  // out, so each step is exactly one registered link. Stack buffers —
+  // this runs once per send at scale.
+  NodeId nodes[2 * kMaxDepth + 2];
+  std::size_t nn = 0;
+  nodes[nn++] = src;
+  for (std::size_t k = 0; cs[k] != lca; ++k) nodes[nn++] = zones_[cs[k]].gateway;
+  NodeId down[kMaxDepth];
+  std::size_t ndn = 0;
+  down[ndn++] = dst;
+  for (std::size_t k = 0; cd[k] != lca; ++k) down[ndn++] = zones_[cd[k]].gateway;
+
+  // Bridge the two chains inside the LCA zone via its gateway (skipping
+  // it when an endpoint chain already ends there).
+  const NodeId hub = zones_[lca].gateway;
+  if (nodes[nn - 1] != down[ndn - 1] && nodes[nn - 1] != hub &&
+      down[ndn - 1] != hub) {
+    nodes[nn++] = hub;
+  }
+  for (std::size_t i = ndn; i-- > 0;) {
+    if (down[i] != nodes[nn - 1]) nodes[nn++] = down[i];
+  }
+
+  out.reserve(nn - 1);
+  for (std::size_t i = 0; i + 1 < nn; ++i) {
+    out.push_back(link_between(nodes[i], nodes[i + 1]));
+  }
+  return true;
+}
+
 std::vector<Network::LinkIndex> Network::route(NodeId src, NodeId dst) const {
+  std::vector<LinkIndex> path;
+  route_into(src, dst, path);
+  return path;
+}
+
+void Network::route_into(NodeId src, NodeId dst, std::vector<LinkIndex>& out) const {
+  // Zone pairs resolve structurally: O(depth) walk, no Dijkstra, and —
+  // deliberately — no cache entry, so 10k-member topologies never build
+  // an O(nodes^2) route table.
+  if (node_zone_[src.value()] >= 0 && node_zone_[dst.value()] >= 0 && src != dst) {
+    zone_route(src, dst, out);  // unreachable -> empty, as Dijkstra would
+    return;
+  }
+  const std::vector<LinkIndex>& p = flat_route(src, dst);
+  out.assign(p.begin(), p.end());
+}
+
+const std::vector<Network::LinkIndex>& Network::flat_route(NodeId src,
+                                                           NodeId dst) const {
   if (routes_dirty_) {
     route_cache_.clear();
     routes_dirty_ = false;
   }
   const auto key = pair_key(src, dst);
-  if (auto it = route_cache_.find(key); it != route_cache_.end()) return it->second;
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    return it->second;
+  }
 
   // Dijkstra by propagation latency with a small bandwidth tie-breaker so
   // that equal-latency paths prefer fatter pipes.
@@ -138,8 +319,7 @@ std::vector<Network::LinkIndex> Network::route(NodeId src, NodeId dst) const {
     }
     std::reverse(path.begin(), path.end());
   }
-  route_cache_.emplace(key, path);
-  return path;
+  return route_cache_.emplace(key, std::move(path)).first->second;
 }
 
 bool Network::reachable(NodeId a, NodeId b) const {
@@ -193,6 +373,18 @@ void Network::send_now(NodeId src, NodeId dst, std::uint64_t bytes,
     });
     return;
   }
+  if (fidelity_ == model::Fidelity::kFluid) {
+    // Reused scratch path: send_fluid reads it synchronously and its
+    // scheduled continuations don't capture it.
+    std::vector<LinkIndex>& path = fluid_path_scratch_;
+    route_into(src, dst, path);
+    if (path.empty()) {
+      throw std::logic_error("Network::send: no route " + node_name(src) +
+                             " -> " + node_name(dst));
+    }
+    send_fluid(path, bytes, started, std::move(cb));
+    return;
+  }
   auto path = route(src, dst);
   if (path.empty()) {
     throw std::logic_error("Network::send: no route " + node_name(src) + " -> " +
@@ -229,11 +421,95 @@ void Network::hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t byte
   });
 }
 
+// --- fluid tier -----------------------------------------------------------
+
+model::FluidArena& Network::fluid() {
+  if (!fluid_) fluid_ = std::make_unique<model::FluidArena>(sim_);
+  return *fluid_;
+}
+
+std::uint32_t Network::fluid_resource(LinkIndex li) {
+  if (fluid_link_res_.size() < links_.size()) {
+    fluid_link_res_.resize(links_.size(), kNoFluidRes);
+  }
+  if (fluid_link_res_[li] == kNoFluidRes) {
+    fluid_link_res_[li] = fluid().add_resource(links_[li].params.bandwidth_bps);
+  }
+  return fluid_link_res_[li];
+}
+
+void Network::sync_fluid_capacity(LinkIndex li) {
+  if (li < fluid_link_res_.size() && fluid_link_res_[li] != kNoFluidRes) {
+    fluid().set_capacity(fluid_link_res_[li], links_[li].params.bandwidth_bps);
+  }
+}
+
+void Network::send_fluid(const std::vector<LinkIndex>& path, std::uint64_t bytes,
+                         sim::TimePoint started, TransferCallback cb) {
+  // Per-link fault checks happen up front (the exact tier discovers them
+  // hop by hop); the drop is charged the propagation delay up to and
+  // including the failing hop, matching where the packet dies.
+  sim::Duration lat = sim::Duration::zero();
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (LinkIndex li : path) {
+    const Link& l = links_[li];
+    if (!l.up || !node_up(l.from) || !node_up(l.to)) {
+      drop(lat + l.params.latency, bytes, started, std::move(cb));
+      return;
+    }
+    if (l.loss > 0.0 && sim_.rng().bernoulli(l.loss)) {
+      drop(lat + l.params.latency, bytes, started, std::move(cb));
+      return;
+    }
+    lat += l.params.latency;
+    min_bw = std::min(min_bw, l.params.bandwidth_bps);
+  }
+  for (LinkIndex li : path) links_[li].bytes_carried += bytes;
+  if (bytes == 0) {
+    // Bare control packet: pure propagation, no bandwidth share.
+    sim_.schedule_after(lat, [this, started, cb = std::move(cb)] {
+      cb(TransferResult{sim_.now() - started, 0, true});
+    });
+    return;
+  }
+  std::vector<model::ResourceId>& res = fluid_res_scratch_;
+  res.clear();
+  res.reserve(path.size());
+  for (LinkIndex li : path) res.push_back(fluid_resource(li));
+  // One flow holding a max-min share of every path link; the min path
+  // bandwidth is its natural rate cap (a flow cannot outrun its thinnest
+  // link), which is also what lets the solver prune at fat uplinks.
+  fluid().start(std::span<const model::ResourceId>(res),
+                static_cast<double>(bytes), min_bw, 1.0,
+                [this, lat, bytes, started, cb = std::move(cb)]() mutable {
+                  sim_.schedule_after(
+                      lat, [this, bytes, started, cb = std::move(cb)] {
+                        cb(TransferResult{sim_.now() - started, bytes, true});
+                      });
+                });
+}
+
 sim::Duration Network::estimate_latency(NodeId src, NodeId dst,
                                         std::uint64_t bytes) const {
   if (src == dst) return sim::Duration::micros(10);
   auto path = route(src, dst);
   if (path.empty()) return sim::Duration::infinite();
+  if (fidelity_ == model::Fidelity::kFluid && fluid_) {
+    // The fair share a new flow would get beside the flows currently on
+    // each link (busy_until is meaningless in fluid mode).
+    sim::Duration t = sim::Duration::zero();
+    double share = std::numeric_limits<double>::infinity();
+    for (LinkIndex li : path) {
+      const Link& l = links_[li];
+      t += l.params.latency;
+      double cap = l.params.bandwidth_bps;
+      if (li < fluid_link_res_.size() && fluid_link_res_[li] != kNoFluidRes) {
+        cap /= 1.0 + static_cast<double>(fluid_->actions_on(fluid_link_res_[li]));
+      }
+      share = std::min(share, cap);
+    }
+    return t + serialization_time(bytes, share);
+  }
   sim::TimePoint t = sim_.now();
   for (LinkIndex li : path) {
     const Link& l = links_[li];

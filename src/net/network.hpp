@@ -2,15 +2,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "model/fidelity.hpp"
 #include "net/address.hpp"
 #include "sim/simulation.hpp"
 
+namespace vmgrid::model {
+class FluidArena;
+}
+
 namespace vmgrid::net {
+
+/// Identity of a hierarchical routing zone. Strong type, same idiom as
+/// NodeId.
+class ZoneId {
+ public:
+  constexpr ZoneId() = default;
+  explicit constexpr ZoneId(std::uint32_t v) : v_{v} {}
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+  constexpr auto operator<=>(const ZoneId&) const = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t v_{kInvalid};
+};
 
 /// Directed link characteristics. Bandwidth is bytes/second.
 struct LinkParams {
@@ -29,23 +50,45 @@ struct TransferResult {
 
 using TransferCallback = std::function<void(const TransferResult&)>;
 
-/// Simulated internetwork: nodes joined by directed links, shortest-path
-/// (latency-metric) routing, and store-and-forward transfers with FIFO
-/// serialization at each link (which yields simple, deterministic
-/// congestion behaviour).
+/// Simulated internetwork: nodes joined by directed links, with two
+/// switchable fidelity tiers (DESIGN.md §16, `VMGRID_FIDELITY`):
+///
+///  - kExact (default): shortest-path (latency-metric) routing and
+///    store-and-forward transfers with FIFO serialization at each link —
+///    one event per hop, byte-identical to the historical model.
+///  - kFluid: the same routes, but a transfer is one *flow* holding a
+///    max-min fair share of every link on its path (model::FluidArena);
+///    one completion event per flow regardless of hop count.
+///
+/// Topology comes in two shapes that freely coexist:
+///
+///  - flat nodes + explicit links, routed by cached all-pairs Dijkstra
+///    (the historical model; cache memory is O(pairs actually used));
+///  - hierarchical routing *zones*: star-shaped member sets around a
+///    gateway node, nested (cluster zones inside a WAN zone). A route
+///    between zone members resolves structurally in O(tree depth) —
+///    member -> gateway chain up to the lowest common ancestor zone and
+///    back down — with no Dijkstra run and no per-pair cache entry, so
+///    10k-host topologies stop costing O(nodes^2) time or memory.
 ///
 /// Grid sites are modelled as LAN segments (fast links) joined by WAN
 /// links (high latency, lower bandwidth) — enough fidelity for the
 /// paper's LAN vs WAN storage-path experiments.
 class Network {
  public:
-  explicit Network(sim::Simulation& s) : sim_{s} {}
+  explicit Network(sim::Simulation& s);
+  ~Network();
 
   NodeId add_node(std::string name);
   [[nodiscard]] const std::string& node_name(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
   /// Add a bidirectional link (two directed links with identical params).
+  /// Registering a pair that already has a link *reuses* the existing
+  /// record — params are replaced in both directions, byte counters and
+  /// up/loss state survive, and routes are recomputed (a re-registration
+  /// is a topology/policy event, unlike set_link) — so no stale Link can
+  /// be leaked and link_bytes never splits across duplicates.
   void add_link(NodeId a, NodeId b, LinkParams params);
 
   /// Mutate an existing link (both directions); used to model failures
@@ -71,6 +114,48 @@ class Network {
   void set_node_up(NodeId id, bool up);
   [[nodiscard]] bool node_up(NodeId id) const;
 
+  // --- hierarchical routing zones ---
+
+  /// Create a root zone: a gateway hub node `<name>.gw` is created and
+  /// every member added later links to it with `member_link` params.
+  ZoneId add_zone(std::string name, LinkParams member_link);
+
+  /// Create a nested zone: its gateway is a member of `parent` (joined
+  /// to the parent gateway with `uplink` params); its own members join
+  /// the new gateway with `member_link` params.
+  ZoneId add_zone(std::string name, ZoneId parent, LinkParams uplink,
+                  LinkParams member_link);
+
+  /// Create a node directly inside a zone.
+  NodeId add_zone_node(ZoneId z, std::string name);
+
+  /// Enroll an existing flat node (e.g. a PhysicalHost's) into a zone:
+  /// adds the member link to the zone gateway. A node joins at most one
+  /// zone; zone membership changes invalidate cached routes (they are
+  /// topology events, unlike set_link).
+  void assign_zone(NodeId n, ZoneId z);
+
+  [[nodiscard]] NodeId zone_gateway(ZoneId z) const;
+  [[nodiscard]] const std::string& zone_name(ZoneId z) const;
+  [[nodiscard]] std::optional<ZoneId> node_zone(NodeId n) const;
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+
+  /// Flat-pair route-cache population (test hook: zone-resolved routes
+  /// must never grow it, that is the O(nodes^2) memory this layer kills).
+  [[nodiscard]] std::size_t route_cache_size() const { return route_cache_.size(); }
+
+  // --- fidelity tier ---
+
+  /// Default tier comes from `VMGRID_FIDELITY` at construction; tests
+  /// and benches may override per instance. Switch before traffic
+  /// starts: in-flight exact transfers stay exact and vice versa.
+  void set_fidelity(model::Fidelity f) { fidelity_ = f; }
+  [[nodiscard]] model::Fidelity fidelity() const { return fidelity_; }
+
+  /// The fluid machinery behind this network; nullptr until the first
+  /// fluid transfer (and always in exact mode). Bench introspection.
+  [[nodiscard]] const model::FluidArena* fluid_arena() const { return fluid_.get(); }
+
   /// Transfer `bytes` from src to dst; invokes cb at delivery time.
   /// Zero-byte transfers model bare control packets (pure latency).
   ///
@@ -90,7 +175,8 @@ class Network {
   void set_delivery_quantum(sim::Duration q) { delivery_quantum_ = q; }
 
   /// The transfer time a message would see *right now* (including queued
-  /// backlog on each hop). Used by overlay probing.
+  /// backlog on each hop; in fluid mode, the fair share it would get
+  /// beside the flows currently on each link). Used by overlay probing.
   [[nodiscard]] sim::Duration estimate_latency(NodeId src, NodeId dst,
                                                std::uint64_t bytes) const;
 
@@ -99,7 +185,9 @@ class Network {
 
   [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
 
-  /// Total bytes that traversed the (a -> b) directed link.
+  /// Total bytes that traversed the (a -> b) directed link. The fluid
+  /// tier charges a delivered flow to every path link at send time;
+  /// totals match the exact tier for delivered traffic.
   [[nodiscard]] std::uint64_t link_bytes(NodeId a, NodeId b) const;
 
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
@@ -114,23 +202,65 @@ class Network {
     double loss{0.0};
   };
 
+  struct Zone {
+    std::string name;
+    std::int32_t parent{-1};  // index into zones_, -1 for roots
+    NodeId gateway;
+    LinkParams member_link;
+  };
+
   using LinkIndex = std::size_t;
+  static constexpr std::uint32_t kNoFluidRes = 0xffffffffu;
+  static constexpr LinkIndex kNoLink = static_cast<LinkIndex>(-1);
 
   [[nodiscard]] std::vector<LinkIndex> route(NodeId src, NodeId dst) const;
+  /// route() without the return-value allocation: fills `out` (cleared
+  /// first). Zone pairs resolve structurally; flat pairs copy the cached
+  /// Dijkstra path.
+  void route_into(NodeId src, NodeId dst, std::vector<LinkIndex>& out) const;
+  /// Cached Dijkstra for flat pairs; the reference lives until the next
+  /// topology change (routes_dirty_) — copy before any mutation.
+  [[nodiscard]] const std::vector<LinkIndex>& flat_route(NodeId src, NodeId dst) const;
+  /// O(depth) structural route for two zone members; false (and empty
+  /// `out`) when the pair lives under different zone roots (unreachable).
+  bool zone_route(NodeId src, NodeId dst, std::vector<LinkIndex>& out) const;
+  /// Link for one step of a zone path: consults the cached member<->
+  /// gateway indices before falling back to the hash lookup.
+  [[nodiscard]] LinkIndex link_between(NodeId a, NodeId b) const;
+  void cache_zone_links(NodeId member, NodeId gateway);
   void send_now(NodeId src, NodeId dst, std::uint64_t bytes, TransferCallback cb);
+  void send_fluid(const std::vector<LinkIndex>& path, std::uint64_t bytes,
+                  sim::TimePoint started, TransferCallback cb);
   void hop(std::vector<LinkIndex> path, std::size_t i, std::uint64_t bytes,
            sim::TimePoint started, TransferCallback cb);
   LinkIndex find_link(NodeId a, NodeId b) const;
   void drop(sim::Duration after, std::uint64_t bytes, sim::TimePoint started,
             TransferCallback cb);
+  model::FluidArena& fluid();
+  std::uint32_t fluid_resource(LinkIndex li);
+  void sync_fluid_capacity(LinkIndex li);
 
   sim::Simulation& sim_;
   std::vector<std::string> nodes_;
   std::vector<char> node_up_;
+  std::vector<std::int32_t> node_zone_;  // parallel to nodes_; -1 = flat
+  // Per-node link to / from its zone gateway (kNoLink until enrolled).
+  // Zone paths are member<->gateway steps, so zone_route emits from
+  // these arrays instead of hashing link_by_pair_ once per hop. add_link
+  // reuses indices on duplicate registration, so they never go stale.
+  std::vector<LinkIndex> up_link_, down_link_;
+  std::vector<Zone> zones_;
   std::vector<Link> links_;
   std::unordered_map<std::uint64_t, LinkIndex> link_by_pair_;
   mutable std::unordered_map<std::uint64_t, std::vector<LinkIndex>> route_cache_;
   mutable bool routes_dirty_{true};
+  model::Fidelity fidelity_;
+  std::unique_ptr<model::FluidArena> fluid_;      // lazily built, fluid tier only
+  std::vector<std::uint32_t> fluid_link_res_;     // per directed link, kNoFluidRes
+  // send_now/send_fluid scratch (safe: nothing in that path re-enters
+  // send_now — the fluid solver and drop() only schedule events).
+  std::vector<LinkIndex> fluid_path_scratch_;
+  std::vector<std::uint32_t> fluid_res_scratch_;
   /// In-flight transfers per destination node, maintained only while
   /// exploring (the conflict signal for the delivery choice point).
   std::unordered_map<std::uint32_t, std::uint32_t> inflight_to_;

@@ -1,12 +1,20 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 
 #include "obs/json.hpp"
 
 namespace vmgrid::obs {
+
+MetricsRegistry::MetricsRegistry() : epoch_{next_epoch()} {}
+
+std::uint64_t MetricsRegistry::next_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -88,6 +89,8 @@ class HistogramMetric {
 /// blow up the registry, and the export stays bounded.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+
   Counter& counter(std::string_view name, const Labels& labels = {});
   Gauge& gauge(std::string_view name, const Labels& labels = {});
   HistogramMetric& histogram(std::string_view name, HistogramOptions opts = {},
@@ -136,7 +139,14 @@ class MetricsRegistry {
     gauges_.clear();
     histograms_.clear();
     label_set_counts_.clear();
+    epoch_ = next_epoch();  // cached instrument references are now invalid
   }
+
+  /// Process-unique generation stamp: fresh per registry instance and
+  /// after every reset(). Callers that cache instrument references
+  /// (record_error's handle pool) key them by epoch, so a cleared or
+  /// reincarnated registry can never serve a stale reference.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   /// Canonical identity of one metric instance: name{k=v,...} with keys
   /// sorted; exposed for tests.
@@ -165,6 +175,8 @@ class MetricsRegistry {
   std::map<std::string, Instrument<HistogramMetric>, std::less<>> histograms_;
   std::map<std::string, std::size_t, std::less<>> label_set_counts_;
   std::size_t max_label_sets_{256};
+  static std::uint64_t next_epoch();
+  std::uint64_t epoch_;
 };
 
 }  // namespace vmgrid::obs

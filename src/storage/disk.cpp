@@ -1,9 +1,17 @@
 #include "storage/disk.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
+#include "model/fluid.hpp"
+
 namespace vmgrid::storage {
+
+Disk::Disk(sim::Simulation& s, DiskParams params)
+    : sim_{s}, params_{params}, fidelity_{model::fidelity_from_env()} {}
+
+Disk::~Disk() = default;
 
 sim::Duration Disk::service_time(std::uint64_t bytes, bool sequential) const {
   const auto transfer =
@@ -18,6 +26,26 @@ void Disk::access(std::uint64_t bytes, bool sequential, IoCallback cb) {
   bool fast = sequential;
   if (!fast && params_.cache_hit_rate > 0.0) {
     fast = sim_.rng().bernoulli(params_.cache_hit_rate);
+  }
+  if (fidelity_ == model::Fidelity::kFluid) {
+    // The head position cost becomes byte-equivalent work, so seeks
+    // dilate under contention exactly like the transfer itself (a busy
+    // head serves everyone proportionally slower).
+    const sim::Duration positioning = fast ? params_.cache_hit : params_.seek;
+    const double work = static_cast<double>(bytes) +
+                        positioning.to_seconds() * params_.bandwidth_bps;
+    if (work <= 0.0) {
+      sim_.schedule_after(sim::Duration::zero(), std::move(cb));
+      return;
+    }
+    if (!fluid_) {
+      fluid_ = std::make_unique<model::FluidArena>(sim_);
+      fluid_res_ = fluid_->add_resource(params_.bandwidth_bps);
+    }
+    const model::ResourceId res[] = {fluid_res_};
+    fluid_->start(std::span<const model::ResourceId>(res), work, 0.0, 1.0,
+                  std::move(cb));
+    return;
   }
   const auto svc = service_time(bytes, fast);
   const sim::TimePoint begin = std::max(sim_.now(), busy_until_);

@@ -2,8 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "model/fidelity.hpp"
 #include "sim/simulation.hpp"
+
+namespace vmgrid::model {
+class FluidArena;
+}
 
 namespace vmgrid::storage {
 
@@ -19,9 +25,19 @@ struct DiskParams {
 /// Block device with queued access. All file systems in the repo sit on
 /// one of these; contention between co-located workloads (e.g. a VM disk
 /// image and the host's own I/O) emerges from the FIFO queue.
+///
+/// Fidelity tiers (DESIGN.md §16): kExact (default) serializes accesses
+/// FIFO at full bandwidth — byte-identical to the historical model.
+/// kFluid runs concurrent accesses simultaneously, each holding a
+/// max-min share of the disk's bandwidth (model::FluidArena), with the
+/// positioning cost folded in as byte-equivalent work; one completion
+/// event per IO either way, but fluid IOs overlap instead of queueing.
+/// Both tiers draw the cache-hit Bernoulli identically, so switching
+/// tiers never perturbs the rng stream.
 class Disk {
  public:
-  Disk(sim::Simulation& s, DiskParams params = {}) : sim_{s}, params_{params} {}
+  explicit Disk(sim::Simulation& s, DiskParams params = {});
+  ~Disk();
 
   using IoCallback = std::function<void()>;
 
@@ -34,6 +50,13 @@ class Disk {
   /// Time a single access of `bytes` would take on an idle disk.
   [[nodiscard]] sim::Duration service_time(std::uint64_t bytes, bool sequential) const;
 
+  /// Default tier comes from `VMGRID_FIDELITY` at construction; switch
+  /// before issuing traffic (in-flight IOs keep their tier).
+  void set_fidelity(model::Fidelity f) { fidelity_ = f; }
+  [[nodiscard]] model::Fidelity fidelity() const { return fidelity_; }
+  /// Fluid machinery; nullptr until the first fluid IO (test/bench hook).
+  [[nodiscard]] const model::FluidArena* fluid_arena() const { return fluid_.get(); }
+
   [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
   [[nodiscard]] std::uint64_t ops() const { return ops_; }
   [[nodiscard]] const DiskParams& params() const { return params_; }
@@ -41,7 +64,10 @@ class Disk {
  private:
   sim::Simulation& sim_;
   DiskParams params_;
-  sim::TimePoint busy_until_{};
+  sim::TimePoint busy_until_{};  // exact tier only; meaningless in fluid
+  model::Fidelity fidelity_;
+  std::unique_ptr<model::FluidArena> fluid_;  // lazily built, fluid tier only
+  std::uint32_t fluid_res_{0};                // valid while fluid_ != nullptr
   std::uint64_t bytes_{0};
   std::uint64_t ops_{0};
 };

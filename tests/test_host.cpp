@@ -340,5 +340,55 @@ TEST(PhysicalHost, MemoryReservationAccounting) {
   EXPECT_TRUE(host.reserve_memory(100));
 }
 
+TEST(CpuEngineFluid, LazyTierMatchesExactCompletionTimes) {
+  const auto run_one = [](model::Fidelity f) {
+    sim::Simulation sim{1};
+    CpuEngine eng{sim, 2.0, std::make_unique<FairShareScheduler>()};
+    eng.set_fidelity(f);
+    std::vector<double> done;
+    for (int i = 0; i < 3; ++i) {
+      eng.add("p" + std::to_string(i), SchedAttrs{}, 1.0 + i,
+              [&done, &sim] { done.push_back(sim.now().to_seconds()); });
+    }
+    sim.run();
+    return done;
+  };
+  const auto exact = run_one(model::Fidelity::kExact);
+  const auto fluid = run_one(model::Fidelity::kFluid);
+  ASSERT_EQ(exact.size(), 3u);
+  ASSERT_EQ(fluid.size(), 3u);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(fluid[i], exact[i], 1e-9);
+  }
+}
+
+TEST(CpuEngineFluid, UnchangedConstraintSetReusesTheLastSolve) {
+  sim::Simulation sim{1};
+  CpuEngine eng{sim, 1.0, std::make_unique<FairShareScheduler>()};
+  eng.set_fidelity(model::Fidelity::kFluid);
+  int completions = 0;
+  eng.add("a", SchedAttrs{}, 1.0, [&] { ++completions; });
+  eng.add("b", SchedAttrs{}, 2.0, [&] { ++completions; });
+  sim.run();
+  EXPECT_EQ(completions, 2);
+  // Completion callbacks trigger a re-run of the allocation loop; when
+  // they did not change the constraint set, the lazy tier keeps the
+  // solved rate vector instead of calling the scheduler again.
+  EXPECT_GT(eng.lazy_reuses(), 0u);
+}
+
+TEST(CpuEngineFluid, ReapingADrainedProcSkipsTheSolver) {
+  sim::Simulation sim{1};
+  CpuEngine eng{sim, 1.0, std::make_unique<FairShareScheduler>()};
+  eng.set_fidelity(model::Fidelity::kFluid);
+  const ProcessId done_proc = eng.add("done", SchedAttrs{}, 1.0, nullptr);
+  eng.add("bg", SchedAttrs{}, 100.0, nullptr);
+  sim.run_for(sim::Duration::seconds(10));  // "done" drained long ago
+  EXPECT_NEAR(eng.remaining_work(done_proc), 0.0, 1e-9);
+  const std::uint64_t allocs = eng.allocations();
+  eng.remove(done_proc);  // removing a drained proc changes no one's rate
+  EXPECT_EQ(eng.allocations(), allocs);
+}
+
 }  // namespace
 }  // namespace vmgrid::host

@@ -463,5 +463,30 @@ TEST(AccountingTest, AggregatesPerUser) {
   EXPECT_EQ(report[0].first, "u1");
 }
 
+TEST(ScaleTestbed, ZonesCarryHostsAndResolveRoutes) {
+  testbed::ScaleTestbed tb{1, /*clusters=*/2, /*hosts_per_cluster=*/3};
+  auto& g = *tb.grid;
+  ASSERT_EQ(tb.cluster_zones.size(), 2u);
+  ASSERT_EQ(tb.computes.size(), 6u);
+
+  // Every HostRecord carries its cluster zone name, and the registry can
+  // be worked zone-by-zone instead of scanned whole.
+  const auto c0 = g.info().hosts_in_zone("cluster-0");
+  const auto c1 = g.info().hosts_in_zone("cluster-1");
+  EXPECT_EQ(c0.size(), 3u);
+  EXPECT_EQ(c1.size(), 3u);
+  for (const auto& r : c0) EXPECT_EQ(r.zone, "cluster-0");
+  EXPECT_TRUE(g.info().hosts_in_zone("cluster-9").empty());
+
+  // Cross-cluster routes resolve structurally through the gateway chain:
+  // reachable, costlier than intra-cluster, and never cached per pair.
+  const auto n_intra = tb.computes[0]->node();
+  const auto n_same = tb.computes[1]->node();
+  const auto n_cross = tb.computes[3]->node();  // cluster-major order
+  EXPECT_TRUE(g.network().reachable(n_intra, n_cross));
+  EXPECT_GT(g.network().rtt(n_intra, n_cross), g.network().rtt(n_intra, n_same));
+  EXPECT_EQ(g.network().route_cache_size(), 0u);
+}
+
 }  // namespace
 }  // namespace vmgrid::middleware

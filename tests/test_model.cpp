@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/fidelity.hpp"
+#include "model/fluid.hpp"
+#include "sim/simulation.hpp"
+
+namespace vmgrid::model {
+namespace {
+
+struct FluidFixture : ::testing::Test {
+  sim::Simulation sim{1};
+  FluidArena arena{sim};
+};
+
+TEST_F(FluidFixture, SingleActionDrainsAtCapacity) {
+  const ResourceId r = arena.add_resource(100.0);
+  double done_at = -1.0;
+  arena.start({r}, 100.0, 0.0, 1.0, [&] { done_at = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-8);
+  EXPECT_EQ(arena.actions_completed(), 1u);
+  EXPECT_EQ(arena.active_actions(), 0u);
+}
+
+TEST_F(FluidFixture, TwoActionsShareMaxMinThenRedistribute) {
+  const ResourceId r = arena.add_resource(100.0);
+  double a_done = -1.0, b_done = -1.0;
+  arena.start({r}, 50.0, 0.0, 1.0, [&] { a_done = sim.now().to_seconds(); });
+  arena.start({r}, 100.0, 0.0, 1.0, [&] { b_done = sim.now().to_seconds(); });
+  sim.run();
+  // Both at 50 until A drains (t=1); B then takes the full pipe for its
+  // remaining 50 units: 1.0 + 0.5.
+  EXPECT_NEAR(a_done, 1.0, 1e-8);
+  EXPECT_NEAR(b_done, 1.5, 1e-8);
+}
+
+TEST_F(FluidFixture, WeightsScaleTheFairShare) {
+  const ResourceId r = arena.add_resource(90.0);
+  const ActionId heavy = arena.start({r}, 1e9, 0.0, 2.0, nullptr);
+  const ActionId light = arena.start({r}, 1e9, 0.0, 1.0, nullptr);
+  EXPECT_NEAR(arena.rate(heavy), 60.0, 1e-9);
+  EXPECT_NEAR(arena.rate(light), 30.0, 1e-9);
+}
+
+TEST_F(FluidFixture, UncontendedCappedActionsSkipTheSolver) {
+  // Three capped flows fitting inside the pipe: every one takes the
+  // uncontended fast path (rate = cap), so the solver never runs.
+  const ResourceId r = arena.add_resource(100.0);
+  double done = -1.0;
+  arena.start({r}, 30.0, 30.0, 1.0, nullptr);
+  arena.start({r}, 30.0, 30.0, 1.0, nullptr);
+  arena.start({r}, 30.0, 30.0, 1.0, [&] { done = sim.now().to_seconds(); });
+  EXPECT_EQ(arena.solves(), 0u);
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-8);
+  EXPECT_EQ(arena.solves(), 0u);  // completions from uncontended pipes too
+  EXPECT_EQ(arena.actions_completed(), 3u);
+}
+
+TEST_F(FluidFixture, OverflowingCapsEngageTheSolver) {
+  const ResourceId r = arena.add_resource(100.0);
+  const ActionId a = arena.start({r}, 1e9, 80.0, 1.0, nullptr);
+  EXPECT_EQ(arena.solves(), 0u);
+  EXPECT_NEAR(arena.rate(a), 80.0, 1e-9);
+  const ActionId b = arena.start({r}, 1e9, 80.0, 1.0, nullptr);
+  EXPECT_GT(arena.solves(), 0u);  // 160 of demand over a 100 pipe
+  EXPECT_NEAR(arena.rate(a), 50.0, 1e-9);
+  EXPECT_NEAR(arena.rate(b), 50.0, 1e-9);
+}
+
+TEST_F(FluidFixture, CancelReturnsShareToSurvivors) {
+  const ResourceId r = arena.add_resource(100.0);
+  const ActionId a = arena.start({r}, 1e9, 0.0, 1.0, nullptr);
+  const ActionId b = arena.start({r}, 1e9, 0.0, 1.0, nullptr);
+  EXPECT_NEAR(arena.rate(a), 50.0, 1e-9);
+  bool b_fired = false;
+  arena.cancel(b);
+  EXPECT_FALSE(arena.active(b));
+  EXPECT_NEAR(arena.rate(a), 100.0, 1e-9);
+  sim.run();
+  EXPECT_FALSE(b_fired);  // cancelled actions never call back
+}
+
+TEST_F(FluidFixture, CapacityChangeRescalesInFlightActions) {
+  const ResourceId r = arena.add_resource(100.0);
+  double done = -1.0;
+  arena.start({r}, 100.0, 0.0, 1.0, [&] { done = sim.now().to_seconds(); });
+  sim.schedule_at(sim::TimePoint::from_seconds(0.5),
+                  [&] { arena.set_capacity(r, 50.0); });
+  sim.run();
+  // 50 units at rate 100, then 50 at rate 50: 0.5 + 1.0.
+  EXPECT_NEAR(done, 1.5, 1e-8);
+}
+
+TEST_F(FluidFixture, BottleneckedFlowLeavesSlackToOthers) {
+  // A path flow capped by a thin link shares a fat link with a local
+  // flow: max-min gives the local flow all the slack.
+  const ResourceId thin = arena.add_resource(10.0);
+  const ResourceId fat = arena.add_resource(100.0);
+  const ActionId path = arena.start({thin, fat}, 1e9, 0.0, 1.0, nullptr);
+  const ActionId local = arena.start({fat}, 1e9, 0.0, 1.0, nullptr);
+  EXPECT_NEAR(arena.rate(path), 10.0, 1e-9);
+  EXPECT_NEAR(arena.rate(local), 90.0, 1e-9);
+}
+
+TEST_F(FluidFixture, DoneCallbackCanStartTheNextAction) {
+  const ResourceId r = arena.add_resource(10.0);
+  double second_done = -1.0;
+  arena.start({r}, 10.0, 0.0, 1.0, [&] {
+    arena.start({r}, 10.0, 0.0, 1.0,
+                [&] { second_done = sim.now().to_seconds(); });
+  });
+  sim.run();
+  EXPECT_NEAR(second_done, 2.0, 1e-8);
+  EXPECT_EQ(arena.actions_completed(), 2u);
+}
+
+TEST_F(FluidFixture, SolveAtTheExactFinishInstantStillCompletes) {
+  // The completion timer is padded +1ns past the ideal finish. A solve
+  // landing inside that pad (here: an uncapped newcomer arriving at the
+  // exact finish instant) advances the draining action to zero remaining
+  // and bumps its serial, invalidating the armed heap entry — the
+  // completion must be re-entered, not silently parked.
+  const ResourceId r = arena.add_resource(100.0);
+  double a_done = -1.0;
+  arena.start({r}, 100.0, 0.0, 1.0, [&] { a_done = sim.now().to_seconds(); });
+  sim.schedule_at(sim::TimePoint::from_seconds(1.0),
+                  [&] { arena.start({r}, 100.0, 0.0, 1.0, nullptr); });
+  sim.run();
+  EXPECT_NEAR(a_done, 1.0, 1e-8);
+  EXPECT_EQ(arena.actions_completed(), 2u);
+  EXPECT_EQ(arena.active_actions(), 0u);
+}
+
+TEST_F(FluidFixture, RemainingIsLazilyAdvanced) {
+  const ResourceId r = arena.add_resource(10.0);
+  const ActionId a = arena.start({r}, 10.0, 0.0, 1.0, nullptr);
+  sim.schedule_at(sim::TimePoint::from_seconds(0.25), [&] {
+    EXPECT_NEAR(arena.remaining(a), 7.5, 1e-9);
+  });
+  sim.run();
+  EXPECT_FALSE(arena.active(a));
+}
+
+TEST(Fidelity, EnvParsesAndDefaultsToExact) {
+  // The suite runs without VMGRID_FIDELITY set, so construction-time
+  // sniffing must land on the byte-identical tier.
+  EXPECT_EQ(fidelity_from_env(), Fidelity::kExact);
+}
+
+}  // namespace
+}  // namespace vmgrid::model

@@ -294,5 +294,231 @@ TEST(IpAddress, Formatting) {
   EXPECT_FALSE(IpAddress{}.valid());
 }
 
+// --- add_link re-registration ------------------------------------------------
+
+TEST_F(NetFixture, AddLinkDuplicateReusesTheRecord) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e6});
+  net.send(a, b, 500, [](const TransferResult&) {});
+  sim.run();
+  EXPECT_EQ(net.link_bytes(a, b), 500u);
+  // Re-registering replaces params but keeps counters and up/loss state —
+  // no second Link record, no split byte accounting.
+  net.set_link_loss(a, b, 0.25);
+  net.add_link(a, b, LinkParams{sim::Duration::millis(20), 2e6});
+  ASSERT_TRUE(net.link_params(a, b).has_value());
+  EXPECT_NEAR(net.link_params(a, b)->latency.to_seconds(), 0.02, 1e-12);
+  EXPECT_NEAR(net.link_params(a, b)->bandwidth_bps, 2e6, 1e-6);
+  EXPECT_EQ(net.link_bytes(a, b), 500u);
+  EXPECT_NEAR(net.link_loss(a, b), 0.25, 1e-12);
+  // And routing sees the new params (re-registration is a topology event).
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 0.04, 1e-9);
+}
+
+TEST_F(NetFixture, AddLinkDuplicateRecomputesRoutesButSetLinkDoesNot) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto c = net.add_node("c");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e7});  // direct
+  net.add_link(a, c, LinkParams{sim::Duration::millis(15), 1e7});
+  net.add_link(c, b, LinkParams{sim::Duration::millis(15), 1e7});
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 0.02, 1e-9);  // direct wins
+  // Underlay pinning: set_link degrading the direct path does NOT
+  // reroute — like the real Internet, a worse path is still the path
+  // (overlays exist to route around it).
+  net.set_link(a, b, LinkParams{sim::Duration::millis(500), 1e7});
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 1.0, 1e-9);
+  // add_link re-registration IS a topology/policy event: routes shift
+  // to the now-cheaper detour.
+  net.add_link(a, b, LinkParams{sim::Duration::millis(500), 1e7});
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 0.06, 1e-9);
+}
+
+TEST_F(NetFixture, DownLinkDropsWithoutRerouting) {
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto c = net.add_node("c");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e7});
+  net.add_link(a, c, LinkParams{sim::Duration::millis(15), 1e7});
+  net.add_link(c, b, LinkParams{sim::Duration::millis(15), 1e7});
+  net.set_link_up(a, b, false);
+  // The detour exists, but the underlay keeps routing over the dead
+  // direct link; transport reports the drop.
+  bool delivered = true;
+  net.send(a, b, 100, [&](const TransferResult& r) { delivered = r.delivered; });
+  sim.run();
+  EXPECT_FALSE(delivered);
+}
+
+// --- hierarchical routing zones ---------------------------------------------
+
+struct ZoneFixture : NetFixture {
+  LinkParams wan{sim::Duration::millis(17), 2.5e6};
+  LinkParams lan{sim::Duration::micros(500), 12.5e6};
+};
+
+TEST_F(ZoneFixture, IntraZoneRouteGoesThroughTheGateway) {
+  auto z = net.add_zone("site", lan);
+  auto a = net.add_zone_node(z, "a");
+  auto b = net.add_zone_node(z, "b");
+  // a -> gw -> b, two LAN hops each way.
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 4 * 500e-6, 1e-12);
+  double elapsed = -1;
+  net.send(a, b, 0, [&](const TransferResult& r) { elapsed = r.elapsed.to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(elapsed, 2 * 500e-6, 1e-12);
+}
+
+TEST_F(ZoneFixture, NestedZonesResolveThroughGatewayChain) {
+  auto root = net.add_zone("wan", wan);
+  auto c0 = net.add_zone("cluster-0", root, wan, lan);
+  auto c1 = net.add_zone("cluster-1", root, wan, lan);
+  auto a = net.add_zone_node(c0, "a");
+  auto b = net.add_zone_node(c1, "b");
+  // a -> c0.gw -> wan.gw -> c1.gw -> b: lan + wan + wan + lan one way.
+  const double one_way = 2 * 500e-6 + 2 * 17e-3;
+  EXPECT_NEAR(net.rtt(a, b).to_seconds(), 2 * one_way, 1e-12);
+  EXPECT_TRUE(net.reachable(a, b));
+  // Gateways resolve per zone.
+  EXPECT_EQ(net.node_name(net.zone_gateway(c0)), "cluster-0.gw");
+  EXPECT_EQ(net.node_zone(a), c0);
+  EXPECT_EQ(net.node_zone(net.zone_gateway(c0)), root);  // child gw is a parent member
+}
+
+TEST_F(ZoneFixture, ZoneRoutesNeverGrowTheFlatRouteCache) {
+  auto root = net.add_zone("wan", wan);
+  auto c0 = net.add_zone("cluster-0", root, wan, lan);
+  auto c1 = net.add_zone("cluster-1", root, wan, lan);
+  auto a = net.add_zone_node(c0, "a");
+  auto b = net.add_zone_node(c1, "b");
+  for (int i = 0; i < 4; ++i) {
+    net.send(a, b, 1000, [](const TransferResult&) {});
+    (void)net.rtt(b, a);
+  }
+  sim.run();
+  // This is the O(nodes^2) memory the zone layer exists to kill.
+  EXPECT_EQ(net.route_cache_size(), 0u);
+}
+
+TEST_F(ZoneFixture, SeparateZoneRootsAreUnreachable) {
+  auto r1 = net.add_zone("grid-a", lan);
+  auto r2 = net.add_zone("grid-b", lan);
+  auto a = net.add_zone_node(r1, "a");
+  auto b = net.add_zone_node(r2, "b");
+  EXPECT_FALSE(net.reachable(a, b));
+  EXPECT_THROW(net.send(a, b, 1, [](const TransferResult&) {}), std::logic_error);
+}
+
+TEST_F(ZoneFixture, FlatNodeReachesZoneMembersOverExplicitLinks) {
+  auto root = net.add_zone("wan", wan);
+  auto c0 = net.add_zone("cluster-0", root, wan, lan);
+  auto a = net.add_zone_node(c0, "a");
+  auto client = net.add_node("client");  // flat workstation
+  net.add_link(client, net.zone_gateway(root), wan);
+  // Mixed pair falls back to Dijkstra over the real link graph, which
+  // includes every zone membership link.
+  EXPECT_TRUE(net.reachable(client, a));
+  const double one_way = 17e-3 + 17e-3 + 500e-6;  // client->wan.gw->c0.gw->a
+  EXPECT_NEAR(net.rtt(client, a).to_seconds(), 2 * one_way, 1e-12);
+}
+
+TEST_F(ZoneFixture, AssignZoneEnrollsAnExistingNode) {
+  auto z = net.add_zone("site", lan);
+  auto host = net.add_node("host");
+  EXPECT_FALSE(net.node_zone(host).has_value());
+  net.assign_zone(host, z);
+  EXPECT_EQ(net.node_zone(host), z);
+  auto peer = net.add_zone_node(z, "peer");
+  EXPECT_NEAR(net.rtt(host, peer).to_seconds(), 4 * 500e-6, 1e-12);
+}
+
+// --- fluid fidelity tier -----------------------------------------------------
+
+TEST(NetFluid, SingleHopMatchesExactTiming) {
+  const auto run_one = [](model::Fidelity f) {
+    sim::Simulation sim{1};
+    Network net{sim};
+    net.set_fidelity(f);
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    net.add_link(a, b, LinkParams{sim::Duration::millis(10), 1e6});
+    double elapsed = -1;
+    net.send(a, b, 1'000'000,
+             [&](const TransferResult& r) { elapsed = r.elapsed.to_seconds(); });
+    sim.run();
+    return elapsed;
+  };
+  const double exact = run_one(model::Fidelity::kExact);
+  const double fluid = run_one(model::Fidelity::kFluid);
+  EXPECT_NEAR(exact, 1.01, 1e-9);
+  EXPECT_NEAR(fluid, exact, 1e-8);
+}
+
+TEST(NetFluid, FlowRateIsTheMinPathBandwidth) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.set_fidelity(model::Fidelity::kFluid);
+  auto a = net.add_node("a");
+  auto r = net.add_node("r");
+  auto b = net.add_node("b");
+  net.add_link(a, r, LinkParams{sim::Duration::millis(5), 4e6});
+  net.add_link(r, b, LinkParams{sim::Duration::millis(5), 1e6});
+  double elapsed = -1;
+  net.send(a, b, 1'000'000,
+           [&](const TransferResult& res) { elapsed = res.elapsed.to_seconds(); });
+  sim.run();
+  // One flow at the thin link's 1 MB/s plus end-to-end propagation —
+  // no store-and-forward re-serialization at the middle hop.
+  EXPECT_NEAR(elapsed, 1.01, 1e-8);
+  EXPECT_EQ(net.link_bytes(a, r), 1'000'000u);
+  EXPECT_EQ(net.link_bytes(r, b), 1'000'000u);
+}
+
+TEST(NetFluid, ConcurrentFlowsShareALinkFairly) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.set_fidelity(model::Fidelity::kFluid);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::zero(), 1e6});
+  double first = -1, second = -1;
+  net.send(a, b, 1'000'000, [&](const TransferResult& r) { first = r.elapsed.to_seconds(); });
+  net.send(a, b, 1'000'000, [&](const TransferResult& r) { second = r.elapsed.to_seconds(); });
+  sim.run();
+  // Each holds half the pipe; both drain together at t=2 (the exact
+  // tier's FIFO would finish them at 1 and 2).
+  EXPECT_NEAR(first, 2.0, 1e-8);
+  EXPECT_NEAR(second, 2.0, 1e-8);
+}
+
+TEST(NetFluid, ZeroByteControlPacketIsPureLatency) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.set_fidelity(model::Fidelity::kFluid);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(3), 1e6});
+  double elapsed = -1;
+  net.send(a, b, 0, [&](const TransferResult& r) { elapsed = r.elapsed.to_seconds(); });
+  sim.run();
+  EXPECT_NEAR(elapsed, 0.003, 1e-12);
+  EXPECT_EQ(net.fluid_arena(), nullptr);  // no flow was ever started
+}
+
+TEST(NetFluid, DownLinkStillDropsInFluidMode) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  net.set_fidelity(model::Fidelity::kFluid);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.add_link(a, b, LinkParams{sim::Duration::millis(1), 1e6});
+  net.set_link_up(a, b, false);
+  bool delivered = true;
+  net.send(a, b, 100, [&](const TransferResult& r) { delivered = r.delivered; });
+  sim.run();
+  EXPECT_FALSE(delivered);
+}
+
 }  // namespace
 }  // namespace vmgrid::net

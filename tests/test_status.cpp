@@ -206,5 +206,58 @@ TEST(RecordError, UntaggedFailureLandsInUnknown) {
                    1.0);
 }
 
+TEST(InternTag, SameSpellingSharesOneAddress) {
+  const std::string& a = intern_tag("rpc");
+  const std::string& b = intern_tag("rpc");
+  const std::string& c = intern_tag("nfs");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(a, "rpc");
+}
+
+TEST(InternTag, StatusAtSharesInternedStorage) {
+  const Status s1 = Status{StatusCode::kTimeout, "one"}.at("session", "restore");
+  const Status s2 = Status{StatusCode::kUnavailable, "two"}.at("session", "restore");
+  // Tag fields of independent statuses alias the interned spelling:
+  // Status::at copies two pointers, not two strings.
+  EXPECT_EQ(&s1.subsystem(), &s2.subsystem());
+  EXPECT_EQ(&s1.op(), &s2.op());
+  EXPECT_EQ(s1.subsystem(), "session");
+  EXPECT_EQ(s1.op(), "restore");
+}
+
+TEST(RecordError, HandlePoolSurvivesRegistryReset) {
+  obs::MetricsRegistry metrics;
+  const Status s = Status{StatusCode::kTimeout, "t"}.at("rpc");
+  record_error(metrics, s);
+  record_error(metrics, s);  // pooled-handle hit, same counter
+  EXPECT_DOUBLE_EQ(
+      metrics.counter_value("errors_total",
+                            {{"subsystem", "rpc"}, {"code", "timeout"}}),
+      2.0);
+  metrics.reset();
+  // The reset bumps the registry epoch, so the pooled reference from
+  // before the reset can never be served stale: the count restarts.
+  record_error(metrics, s);
+  EXPECT_DOUBLE_EQ(
+      metrics.counter_value("errors_total",
+                            {{"subsystem", "rpc"}, {"code", "timeout"}}),
+      1.0);
+}
+
+TEST(RecordError, DistinctRegistriesKeepDistinctCounters) {
+  obs::MetricsRegistry m1, m2;
+  const Status s = Status{StatusCode::kAborted, "t"}.at("disk");
+  record_error(m1, s);
+  record_error(m2, s);
+  record_error(m2, s);
+  EXPECT_DOUBLE_EQ(m1.counter_value("errors_total",
+                                    {{"subsystem", "disk"}, {"code", "aborted"}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(m2.counter_value("errors_total",
+                                    {{"subsystem", "disk"}, {"code", "aborted"}}),
+                   2.0);
+}
+
 }  // namespace
 }  // namespace vmgrid

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "model/fluid.hpp"
 #include "net/rpc.hpp"
 #include "sim/simulation.hpp"
 #include "storage/disk.hpp"
@@ -275,6 +276,42 @@ TEST_F(NfsFixture, ZeroLengthIoCompletesImmediately) {
   });
   sim.run();
   EXPECT_EQ(called, 2);
+}
+
+TEST(DiskFluid, SingleIoMatchesExactServiceTime) {
+  sim::Simulation sim{1};
+  DiskParams p;
+  p.seek = sim::Duration::millis(6);
+  p.bandwidth_bps = 30e6;
+  Disk disk{sim, p};
+  disk.set_fidelity(model::Fidelity::kFluid);
+  double elapsed = -1;
+  disk.access(30'000'000, false, [&] { elapsed = sim.now().to_seconds(); });
+  sim.run();
+  // Alone on the disk, the fluid IO runs at full bandwidth and the seek
+  // (folded in as byte-equivalent work) costs exactly its exact-tier time.
+  EXPECT_NEAR(elapsed, disk.service_time(30'000'000, false).to_seconds(), 1e-8);
+}
+
+TEST(DiskFluid, ConcurrentIosShareTheHeadInsteadOfQueueing) {
+  sim::Simulation sim{1};
+  DiskParams p;
+  p.seek = sim::Duration::zero();  // isolate the bandwidth-sharing term
+  p.cache_hit = sim::Duration::zero();
+  p.bandwidth_bps = 30e6;
+  Disk disk{sim, p};
+  disk.set_fidelity(model::Fidelity::kFluid);
+  double first = -1, second = -1;
+  disk.access(30'000'000, true, [&] { first = sim.now().to_seconds(); });
+  disk.access(30'000'000, true, [&] { second = sim.now().to_seconds(); });
+  sim.run();
+  // Each IO holds half the bandwidth: both drain together at t=2 where
+  // the exact tier's FIFO head would finish them at 1 and 2.
+  EXPECT_NEAR(first, 2.0, 1e-8);
+  EXPECT_NEAR(second, 2.0, 1e-8);
+  EXPECT_EQ(disk.bytes_transferred(), 60'000'000u);
+  ASSERT_NE(disk.fluid_arena(), nullptr);
+  EXPECT_EQ(disk.fluid_arena()->active_actions(), 0u);
 }
 
 }  // namespace
